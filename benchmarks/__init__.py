@@ -1,0 +1,1 @@
+"""Benchmark package (importable so benchmarks.conftest helpers are shared)."""

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive step — compiling and simulating the full workload × ISA ×
+compiler matrix with every probe attached — runs once per session; each
+table/figure benchmark then regenerates its artifact from that suite (and
+additionally times a representative end-to-end configuration).
+
+``REPRO_BENCH_SCALE`` (default 0.2) scales problem sizes; raise it toward
+1.0 for paper-shaped runs, lower it for quick smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.experiments import run_suite
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+#: window sizes used by the figure-2 bench (the paper's list)
+BENCH_WINDOWS = (4, 16, 64, 200, 500, 1000, 2000)
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return run_suite(scale=BENCH_SCALE, windowed=True,
+                     window_sizes=BENCH_WINDOWS)
+
+
+def show(title: str, text: str) -> None:
+    """Print an artifact so ``pytest benchmarks/ -s`` shows the regenerated
+    rows; under the default capture they still appear for failed tests."""
+    print(f"\n{'=' * 70}\n{title}\n{'=' * 70}\n{text}\n")

@@ -1,0 +1,105 @@
+"""Ablations A1–A3: design choices the methodology sections call out.
+
+* A1 — §4.1's zero-register chain breaking: how much measured ILP does the
+  "reads of the zero register break critical paths" rule account for?
+* A2 — §6.1's 50% window slide ("Due to time constraints we do not adjust
+  this value"): sensitivity of mean window CP to the slide fraction.
+* A3 — §5.1's choice of the TX2 latency model: scaled CPs under
+  TX2-, A64FX- and M1-flavoured latencies and the identity (unit) model.
+"""
+
+import pytest
+
+from repro.analysis import CriticalPathProbe, WindowedCPProbe
+from repro.analysis.report import format_table
+from repro.sim.config import load_core_model
+from repro.workloads import run_workload
+from repro.workloads.minisweep import MiniSweep, SweepParams
+from repro.workloads.stream import Stream, StreamParams
+
+from benchmarks.conftest import show
+
+WL = Stream(StreamParams(n=512, ntimes=2))
+
+
+def test_ablation_zero_register_break(benchmark):
+    """A1: CP with and without the zero-register chain break."""
+
+    def measure():
+        breaking = CriticalPathProbe(break_on_zero=True)
+        serial = CriticalPathProbe(break_on_zero=False)
+        run_workload(WL, "rv64", "gcc12", [breaking, serial])
+        return breaking.result(), serial.result()
+
+    with_break, without = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [
+        ["with zero-register break (paper)", with_break.critical_path,
+         round(with_break.ilp, 1)],
+        ["without (WAW-serialized)", without.critical_path,
+         round(without.ilp, 1)],
+    ]
+    show("A1 — zero-register chain breaking",
+         format_table(["variant", "CP", "ILP"], rows))
+    # breaking chains can only shorten the critical path
+    assert with_break.critical_path <= without.critical_path
+    # and on STREAM it matters: constants re-materialize every kernel
+    assert without.critical_path > 1.02 * with_break.critical_path
+
+
+@pytest.mark.parametrize("slide", [0.25, 0.5, 1.0])
+def test_ablation_window_slide(benchmark, slide):
+    """A2: mean window CP under different slide fractions."""
+
+    def measure():
+        probe = WindowedCPProbe(window_sizes=(64,), slide_fraction=slide)
+        run_workload(WL, "rv64", "gcc12", [probe])
+        return probe.results()[64]
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    show(f"A2 — slide fraction {slide}",
+         f"windows={result.count} mean CP={result.mean_cp:.2f} "
+         f"mean ILP={result.mean_ilp:.2f}")
+    assert result.count >= 1
+    # overlapping windows see the same chains: the mean must be stable
+    # across slides within a loose band (the paper's 50% is not magic)
+    assert 1.0 <= result.mean_cp <= 64.0
+
+
+def test_ablation_window_slide_consistency():
+    """A2 (cross-check): different slides agree on mean CP within 15%."""
+    means = {}
+    for slide in (0.25, 0.5, 1.0):
+        probe = WindowedCPProbe(window_sizes=(64,), slide_fraction=slide)
+        run_workload(WL, "rv64", "gcc12", [probe])
+        means[slide] = probe.results()[64].mean_cp
+    base = means[0.5]
+    for slide, mean in means.items():
+        assert abs(mean - base) / base < 0.15, means
+
+
+def test_ablation_latency_model(benchmark):
+    """A3: the scaled CP under different canonical core models."""
+    models = ["ideal", "tx2-riscv", "a64fx", "m1-firestorm"]
+    workload = MiniSweep(SweepParams(ncx=2, ncy=3, ncz=3, na=6, nsweeps=1))
+
+    def measure():
+        probes = {name: CriticalPathProbe(load_core_model(name))
+                  for name in models}
+        plain = CriticalPathProbe()
+        run_workload(workload, "rv64", "gcc12",
+                     list(probes.values()) + [plain])
+        return {name: p.result() for name, p in probes.items()}, plain.result()
+
+    scaled, plain = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [["(unscaled §4 CP)", plain.critical_path, "1.00"]]
+    for name in models:
+        cp = scaled[name].critical_path
+        rows.append([name, cp, f"{cp / plain.critical_path:.2f}"])
+    show("A3 — scaled CP by latency model (minisweep, rv64g)",
+         format_table(["model", "scaled CP", "x plain"], rows))
+
+    assert scaled["ideal"].critical_path == plain.critical_path
+    # A64FX's longer FP pipes stretch chains more than TX2's
+    assert scaled["a64fx"].critical_path >= scaled["tx2-riscv"].critical_path
+    # M1's short pipes stretch them least (of the real models)
+    assert scaled["m1-firestorm"].critical_path <= scaled["tx2-riscv"].critical_path

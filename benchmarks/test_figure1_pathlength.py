@@ -1,0 +1,66 @@
+"""E1 — Figure 1: path lengths per kernel, normalized to GCC 9.2 AArch64.
+
+Regenerates the figure's data (per-kernel dynamic instruction counts for
+every workload × ISA × compiler) and checks the headline shapes the paper
+reports in §3.2:
+
+* path lengths mostly within ~10–20% between ISAs,
+* RISC-V shorter on miniBUDE,
+* GCC 12.2 shortens AArch64 STREAM (the §3.3 cmp fix), RISC-V unchanged.
+"""
+
+from repro.harness.experiments import run_figure1
+from repro.workloads import run_workload
+from repro.workloads.stream import Stream, StreamParams
+from repro.analysis import PathLengthProbe
+
+from benchmarks.conftest import show
+
+
+def test_figure1_regenerate(benchmark, suite):
+    figure = benchmark.pedantic(
+        run_figure1, kwargs={"suite": suite}, rounds=1, iterations=1
+    )
+    show("Figure 1 — path length by kernel (normalized to GCC 9.2 AArch64)",
+         figure.render())
+
+    norm = figure.normalized
+    # baseline bars sum to 1.0
+    for name in norm:
+        assert sum(norm[name][("aarch64", "gcc9")].values()) == 1.0
+
+    # headline shape: totals between ISAs within ~25% everywhere
+    for name in norm:
+        for profile in ("gcc9", "gcc12"):
+            rv = sum(norm[name][("rv64", profile)].values())
+            arm = sum(norm[name][("aarch64", profile)].values())
+            assert 0.7 < rv / arm < 1.45, (name, profile, rv / arm)
+
+    # RISC-V shorter on miniBUDE (paper: 16.2% shorter)
+    rv = sum(norm["minibude"][("rv64", "gcc12")].values())
+    arm = sum(norm["minibude"][("aarch64", "gcc12")].values())
+    assert rv < arm
+
+    # GCC 12.2 shortens AArch64 STREAM; RISC-V STREAM identical
+    arm9 = sum(norm["stream"][("aarch64", "gcc9")].values())
+    arm12 = sum(norm["stream"][("aarch64", "gcc12")].values())
+    rv9 = sum(norm["stream"][("rv64", "gcc9")].values())
+    rv12 = sum(norm["stream"][("rv64", "gcc12")].values())
+    assert arm12 < arm9
+    assert rv12 == rv9
+
+
+def test_pathlength_probe_throughput(benchmark):
+    """End-to-end cost of one path-length measurement (compile + simulate +
+    per-kernel attribution) on a small STREAM binary."""
+    workload = Stream(StreamParams(n=512, ntimes=2))
+    compiled = workload.compile("rv64", "gcc12")
+
+    def measure():
+        probe = PathLengthProbe(compiled.image.regions)
+        run_workload(workload, "rv64", "gcc12", [probe], compiled=compiled)
+        return probe.result()
+
+    result = benchmark.pedantic(measure, rounds=3, iterations=1)
+    assert result.total > 0
+    assert set(result.per_region) >= {"copy", "scale", "add", "triad"}

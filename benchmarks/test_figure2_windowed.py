@@ -1,0 +1,44 @@
+"""E4 — Figure 2: mean ILP per ROB-window size (GCC 12.2 binaries).
+
+Regenerates the figure's series and checks §6.2's shapes: the ISAs track
+each other closely at every window size, mean ILP grows with window size,
+and at small windows (≤ a few hundred entries) RISC-V tends to expose at
+least as much ILP as AArch64 ("at lower window sizes RISC-V has more ILP
+available").
+"""
+
+from repro.harness.experiments import run_figure2
+
+from benchmarks.conftest import show
+
+
+def test_figure2_regenerate(benchmark, suite):
+    figure = benchmark.pedantic(
+        run_figure2, kwargs={"suite": suite}, rounds=1, iterations=1
+    )
+    show("Figure 2 — mean ILP per window size (GCC 12.2)", figure.render())
+    show("windowAverages.txt (artifact format)",
+         figure.window_averages_text())
+
+    for name, per_isa in figure.series.items():
+        rv = dict(per_isa["rv64"])
+        arm = dict(per_isa["aarch64"])
+        for window in suite.window_sizes:
+            # the ISAs track each other closely (§6.2: largest gap ~12%)
+            ratio = rv[window] / arm[window]
+            assert 0.75 < ratio < 1.35, (name, window, ratio)
+            # ILP is bounded by the window (can't execute more than fits)
+            assert rv[window] <= window and arm[window] <= window
+
+        # ILP grows with the window for every benchmark/ISA
+        for isa_points in per_isa.values():
+            values = [v for _w, v in isa_points]
+            assert values[0] < values[-1]
+
+    # small windows: RISC-V at least on par for most benchmarks (§6.2)
+    small = suite.window_sizes[0]
+    favourable = sum(
+        1 for per_isa in figure.series.values()
+        if dict(per_isa["rv64"])[small] >= dict(per_isa["aarch64"])[small] * 0.97
+    )
+    assert favourable >= len(figure.series) - 1

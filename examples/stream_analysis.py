@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The §3.3 STREAM deep-dive, regenerated.
+
+Reproduces the paper's qualitative STREAM analysis quantitatively:
+
+* Listings 1 and 2 — the copy kernels both compilers emit (5 instructions
+  per element on each ISA, with the structural differences the paper
+  dissects: register-offset loads + cmp/b.ne on AArch64, pointer bumps +
+  fused bne on RISC-V);
+* the GCC 9.2 → 12.2 delta on AArch64 (the sub/subs → cmp bound fix);
+* the branch accounting behind the "up to 15% longer paths" conclusion.
+
+Run:  python examples/stream_analysis.py
+"""
+
+import re
+
+from repro.analysis import InstructionMixProbe, PathLengthProbe
+from repro.compiler import compile_to_asm
+from repro.workloads import run_workload
+from repro.workloads.stream import Stream, StreamParams
+
+WORKLOAD = Stream(StreamParams(n=6000, ntimes=2))
+
+
+def copy_kernel(asm_text):
+    lines = asm_text.splitlines()
+    start = next(i for i, l in enumerate(lines) if ".region copy" in l)
+    end = next(i for i in range(start, len(lines)) if ".endregion" in lines[i])
+    loops = [i for i in range(start, end)
+             if re.fullmatch(r"\.loop\d+:", lines[i].strip())]
+    body = []
+    for line in lines[loops[-1] + 1 : end]:
+        stripped = line.strip()
+        if stripped and not stripped.endswith(":") and not stripped.startswith("."):
+            body.append(stripped)
+    return body
+
+
+def main():
+    source = WORKLOAD.source()
+
+    print("== Listings: the copy kernel per ISA (GCC 12.2 profile) ==\n")
+    for isa, listing in (("aarch64", "Listing 1"), ("rv64", "Listing 2")):
+        body = copy_kernel(compile_to_asm(source, isa, "gcc12"))
+        print(f"{listing} — {isa} ({len(body)} instructions/element):")
+        for line in body:
+            print(f"    {line}")
+        print()
+
+    print("== GCC 9.2's AArch64 loop-bound idiom ==\n")
+    body9 = copy_kernel(compile_to_asm(source, "aarch64", "gcc9"))
+    print(f"gcc9 copy kernel ({len(body9)} instructions/element):")
+    for line in body9:
+        print(f"    {line}")
+    print("\nthe sub/subs pair re-materializes the 6000-element bound each")
+    print("iteration; GCC 12.2 hoists it into a register and uses cmp.\n")
+
+    print("== Path lengths and branch accounting ==\n")
+    for isa in ("aarch64", "rv64"):
+        for profile in ("gcc9", "gcc12"):
+            mix = InstructionMixProbe()
+            path = PathLengthProbe()
+            run = run_workload(WORKLOAD, isa, profile, [mix, path])
+            result = mix.result()
+            print(
+                f"{isa:8s} {profile:6s}: path={run.path_length:9,}  "
+                f"branches={result.branch_fraction:6.1%}  "
+                f"NZCV setters={result.flag_setter_fraction:6.1%}"
+            )
+    print()
+    print("RISC-V's conditional branches are fused compare-and-branch; every")
+    print("AArch64 conditional branch needs an NZCV-setting compare first —")
+    print("'this slight difference in branching could lead to Arm requiring")
+    print("up to 15% more instructions to execute this workload' (§3.3).")
+
+
+if __name__ == "__main__":
+    main()

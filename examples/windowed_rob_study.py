@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Figure 2 on one benchmark, plus the §6 ROB intuition as an ASCII plot.
+
+Runs the windowed critical-path analysis (the paper's naive finite-ROB
+model) over a range of window sizes for both ISAs and renders the mean-ILP
+curves — the same series Figure 2 plots — as a terminal chart.
+
+Run:  python examples/windowed_rob_study.py [workload] [scale]
+      (workload defaults to lbm; scale to 0.5)
+"""
+
+import sys
+
+from repro.analysis import WindowedCPProbe
+from repro.workloads import get_workload, run_workload
+
+WINDOWS = (4, 16, 64, 200, 500, 1000, 2000)
+
+
+def measure(workload, isa):
+    probe = WindowedCPProbe(window_sizes=WINDOWS)
+    run_workload(workload, isa, "gcc12", [probe])
+    return {w: r.mean_ilp for w, r in probe.results().items()}
+
+
+def ascii_plot(series, width=60):
+    top = max(max(points.values()) for points in series.values())
+    print(f"mean ILP (0 .. {top:.1f})")
+    for window in WINDOWS:
+        print(f"  window {window:>5}:")
+        for label, points in series.items():
+            value = points[window]
+            bar = "#" * max(1, round(value / top * width))
+            print(f"    {label:8s} {bar} {value:.2f}")
+    print()
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "lbm"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    workload = get_workload(name, scale)
+    print(f"workload: {name} (scale {scale}); GCC 12.2 binaries, both ISAs")
+    print("windowed critical path, slid by 50% of the window (§6.1)\n")
+
+    series = {}
+    for isa in ("aarch64", "rv64"):
+        print(f"running {isa} ...", flush=True)
+        series[isa] = measure(workload, isa)
+    print()
+    ascii_plot(series)
+
+    small, large = WINDOWS[0], WINDOWS[-1]
+    rv, arm = series["rv64"], series["aarch64"]
+    print("the §6.2 observation to look for: the curves track closely;")
+    print(f"  window {small:>4}: RISC-V/AArch64 ILP ratio = {rv[small]/arm[small]:.3f}")
+    print(f"  window {large:>4}: RISC-V/AArch64 ILP ratio = {rv[large]/arm[large]:.3f}")
+    print("(RISC-V tends to lead in small windows; AArch64 catches up as the")
+    print("window grows — local dependences are spread further apart in the")
+    print("RISC-V binaries.)")
+
+
+if __name__ == "__main__":
+    main()

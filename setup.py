@@ -1,0 +1,14 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP-517 editable
+installs (``pip install -e .``) cannot build a wheel. This shim lets pip
+fall back to the legacy ``setup.py develop`` path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""repro — reproduction of "An Empirical Comparison of the RISC-V and AArch64
+Instruction Sets" (Weaver & McIntosh-Smith, SC-W 2023).
+
+The package rebuilds, in pure Python, the full experimental pipeline of the
+paper: two scalar RISC instruction sets (AArch64 ``armv8-a+nosimd`` and
+RISC-V ``rv64g``), an assembler and static-ELF loader, a SimEng-style atomic
+emulation core with pluggable analysis probes, a small optimizing compiler
+("kernelc") with two cost-model profiles standing in for GCC 9.2 and
+GCC 12.2, the five HPC workloads the paper evaluates, and the experiment
+harness that regenerates every table and figure.
+
+Typical entry points:
+
+>>> from repro.harness import experiments
+>>> fig1 = experiments.run_figure1(scale=0.5)   # doctest: +SKIP
+
+or, for a single program:
+
+>>> from repro.compiler import compile_workload   # doctest: +SKIP
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,6 @@
+"""``python -m repro`` runs the experiment harness CLI."""
+
+from repro.harness.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,155 @@
+"""Explicit dependence-DAG construction (the road the paper didn't take).
+
+§4.1: "Other tools are available to perform this sort of analysis, but
+these produce full directed acyclic graphs which aren't necessary for our
+study." This module builds that full DAG anyway — for two reasons:
+
+* **cross-validation**: the longest path through the explicit DAG must
+  equal the streaming :class:`~repro.analysis.critpath.CriticalPathProbe`
+  result computed over the same instructions (tested property);
+* **in-depth kernel analysis**: for a small window of execution the DAG
+  (a ``networkx.DiGraph``) supports the per-kernel questions the paper
+  defers to such tools — which chain is critical, what's on it, how wide
+  the graph is per depth level.
+
+Node ``i`` is the i-th retired instruction; edges point producer →
+consumer through registers and 8-byte memory cells. Because the graph is
+O(trace length), the probe takes a ``limit`` and simply stops recording
+beyond it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.analysis.critpath import mem_cells
+from repro.isa.base import DecodedInst, InstructionGroup
+from repro.sim.config import CoreModel
+
+
+@dataclass
+class DagStats:
+    """Summary statistics of a dependence DAG."""
+
+    nodes: int
+    edges: int
+    critical_path: int           # nodes on the longest chain
+    critical_nodes: list[int]    # instruction indices along one such chain
+    width_histogram: dict[int, int]  # depth level -> instructions at level
+
+    @property
+    def ilp(self) -> float:
+        return self.nodes / self.critical_path if self.critical_path else 0.0
+
+
+class DependenceDAGProbe:
+    """Builds the RAW dependence DAG of (a prefix of) an execution."""
+
+    needs_memory = True
+
+    def __init__(self, limit: int = 20_000,
+                 model: CoreModel | None = None):
+        self.limit = limit
+        self.graph = nx.DiGraph()
+        self.count = 0
+        self._last_reg_writer: dict[int, int] = {}
+        self._last_mem_writer: dict[int, int] = {}
+        if model is None:
+            self.weights = None
+        else:
+            load, store, atomic = (InstructionGroup.LOAD,
+                                   InstructionGroup.STORE,
+                                   InstructionGroup.ATOMIC)
+            self.weights = [
+                1 if g in (load, store, atomic) else model.latency(g)
+                for g in InstructionGroup
+            ]
+
+    def on_retire(self, inst: DecodedInst, reads, writes) -> None:
+        if self.count >= self.limit:
+            return
+        node = self.count
+        self.count += 1
+        weight = 1 if self.weights is None else self.weights[inst.group]
+        self.graph.add_node(node, mnemonic=inst.mnemonic, pc=inst.pc,
+                            group=inst.group.name, weight=weight)
+        for src in inst.srcs:
+            producer = self._last_reg_writer.get(src)
+            if producer is not None:
+                self.graph.add_edge(producer, node)
+        if reads:
+            for addr, size in reads:
+                for cell in mem_cells(addr, size):
+                    producer = self._last_mem_writer.get(cell)
+                    if producer is not None:
+                        self.graph.add_edge(producer, node)
+        for dst in inst.dsts:
+            self._last_reg_writer[dst] = node
+        if writes:
+            for addr, size in writes:
+                for cell in mem_cells(addr, size):
+                    self._last_mem_writer[cell] = node
+
+    # -- analyses -------------------------------------------------------
+
+    def critical_path_length(self) -> int:
+        """Weighted longest path (node weights = execution contribution),
+        i.e. exactly what CriticalPathProbe computes streamingly."""
+        if self.count == 0:
+            return 0
+        depth = self._depths()
+        return max(depth.values())
+
+    def critical_path_nodes(self) -> list[int]:
+        """Instruction indices along one critical chain, in order."""
+        if self.count == 0:
+            return []
+        depth = self._depths()
+        node = max(depth, key=depth.get)
+        chain = [node]
+        while True:
+            preds = list(self.graph.predecessors(chain[-1]))
+            if not preds:
+                break
+            own = self.graph.nodes[chain[-1]]["weight"]
+            target = depth[chain[-1]] - own
+            nxt = next(p for p in preds if depth[p] == target)
+            chain.append(nxt)
+        chain.reverse()
+        return chain
+
+    def stats(self) -> DagStats:
+        depth = self._depths()
+        histogram: dict[int, int] = {}
+        for node in self.graph.nodes:
+            level = depth[node]
+            histogram[level] = histogram.get(level, 0) + 1
+        return DagStats(
+            nodes=self.graph.number_of_nodes(),
+            edges=self.graph.number_of_edges(),
+            critical_path=self.critical_path_length(),
+            critical_nodes=self.critical_path_nodes(),
+            width_histogram=histogram,
+        )
+
+    def to_networkx(self) -> nx.DiGraph:
+        return self.graph
+
+    def _depths(self) -> dict[int, int]:
+        """Depth (inclusive weighted chain length) per node, topologically.
+
+        Node order *is* a topological order: edges always point from an
+        earlier retired instruction to a later one.
+        """
+        depth: dict[int, int] = {}
+        graph = self.graph
+        for node in range(self.count):
+            best = 0
+            for pred in graph.predecessors(node):
+                value = depth[pred]
+                if value > best:
+                    best = value
+            depth[node] = best + graph.nodes[node]["weight"]
+        return depth

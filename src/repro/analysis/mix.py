@@ -1,0 +1,91 @@
+"""Instruction-mix and branch accounting (the §3.3 STREAM deep-dive).
+
+The paper's qualitative STREAM analysis rests on two countable facts:
+
+* RISC-V executes ~15% branches on STREAM, and every conditional branch is
+  a single fused compare-and-branch instruction;
+* every AArch64 conditional branch needs a preceding NZCV-setting
+  instruction (``cmp``/``subs``/...), so with all else equal AArch64 pays
+  up to that branch fraction in extra path length.
+
+This probe counts instructions by mnemonic and by group, plus the
+flag-setter and conditional-branch populations needed to reproduce that
+argument quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.base import DEP_NZCV, DecodedInst, InstructionGroup
+
+
+@dataclass
+class InstructionMixResult:
+    """Histograms plus branch/flag accounting for one run."""
+
+    total: int = 0
+    by_mnemonic: dict[str, int] = field(default_factory=dict)
+    by_group: dict[InstructionGroup, int] = field(default_factory=dict)
+    branches: int = 0
+    conditional_branches: int = 0
+    flag_setters: int = 0
+    loads: int = 0
+    stores: int = 0
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.branches / self.total if self.total else 0.0
+
+    @property
+    def conditional_branch_fraction(self) -> float:
+        return self.conditional_branches / self.total if self.total else 0.0
+
+    @property
+    def flag_setter_fraction(self) -> float:
+        """Fraction of instructions that exist to set NZCV — the AArch64
+        compare overhead the paper's §7 conclusion quantifies as "up to
+        15%"."""
+        return self.flag_setters / self.total if self.total else 0.0
+
+    def top_mnemonics(self, n: int = 10) -> list[tuple[str, int]]:
+        return sorted(self.by_mnemonic.items(), key=lambda kv: -kv[1])[:n]
+
+
+#: RISC-V conditional branches are fused compare-and-branch instructions.
+_RISCV_COND_BRANCHES = {"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+#: AArch64 conditional control flow.
+_A64_COND_BRANCHES = {"cbz", "cbnz", "tbz", "tbnz"}
+
+
+class InstructionMixProbe:
+    """Counts mnemonics, groups, branches and NZCV-setting instructions."""
+
+    needs_memory = False
+
+    def __init__(self):
+        self.result_ = InstructionMixResult()
+
+    def on_retire(self, inst: DecodedInst, reads, writes) -> None:
+        res = self.result_
+        res.total += 1
+        mnemonic = inst.mnemonic
+        res.by_mnemonic[mnemonic] = res.by_mnemonic.get(mnemonic, 0) + 1
+        res.by_group[inst.group] = res.by_group.get(inst.group, 0) + 1
+        if inst.is_branch:
+            res.branches += 1
+            if (
+                mnemonic in _RISCV_COND_BRANCHES
+                or mnemonic in _A64_COND_BRANCHES
+                or mnemonic.startswith("b.")
+            ):
+                res.conditional_branches += 1
+        elif DEP_NZCV in inst.dsts:
+            res.flag_setters += 1
+        if inst.is_load:
+            res.loads += 1
+        if inst.is_store:
+            res.stores += 1
+
+    def result(self) -> InstructionMixResult:
+        return self.result_

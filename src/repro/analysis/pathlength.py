@@ -1,0 +1,61 @@
+"""Path-length analysis (§3 of the paper).
+
+Path length is simply the number of dynamically executed instructions. The
+paper's Figure 1 breaks it down "by kernel or basic code block"; we attribute
+each retired instruction to the kernel region (``.region`` marker range)
+covering its PC. Instructions outside every region are attributed to
+``"other"`` (startup, glue, validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.asm.program import Region
+from repro.isa.base import DecodedInst
+
+
+@dataclass
+class PathLengthResult:
+    """Total and per-kernel dynamic instruction counts."""
+
+    total: int = 0
+    per_region: dict[str, int] = field(default_factory=dict)
+
+    def fraction(self, region: str) -> float:
+        """Share of the total path length spent in ``region``."""
+        if self.total == 0:
+            return 0.0
+        return self.per_region.get(region, 0) / self.total
+
+
+class PathLengthProbe:
+    """Counts retired instructions, attributed to kernel regions by PC."""
+
+    needs_memory = False
+
+    def __init__(self, regions: Sequence[Region] = ()):
+        self.regions = list(regions)
+        self.total = 0
+        self.counts: dict[str, int] = {}
+        # PC -> region name cache; decode locations are finite, so this
+        # settles quickly and the hot path is a single dict lookup.
+        self._pc_region: dict[int, str] = {}
+
+    def on_retire(self, inst: DecodedInst, reads, writes) -> None:
+        self.total += 1
+        pc = inst.pc
+        name = self._pc_region.get(pc)
+        if name is None:
+            name = "other"
+            for region in self.regions:
+                if region.start <= pc < region.end:
+                    name = region.name
+                    break
+            self._pc_region[pc] = name
+        counts = self.counts
+        counts[name] = counts.get(name, 0) + 1
+
+    def result(self) -> PathLengthResult:
+        return PathLengthResult(total=self.total, per_region=dict(self.counts))

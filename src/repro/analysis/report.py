@@ -1,0 +1,76 @@
+"""Shared reporting arithmetic and text-table rendering.
+
+The paper reports, per benchmark × compiler × ISA: path length, critical
+path, ILP (= path / CP) and estimated runtime at 2 GHz (= CP / clock).
+These helpers keep that arithmetic in one place so tables cannot disagree
+with each other, and render aligned text tables in the style of the
+artifact's ``basicCPResult.txt`` / ``scaledCPResult.txt`` outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def ilp(path_length: int, critical_path: int) -> float:
+    """Instruction-level parallelism (§4.2): path length / critical path."""
+    if critical_path <= 0:
+        return 0.0
+    return path_length / critical_path
+
+
+def runtime_ms(critical_path: int, clock_ghz: float = 2.0) -> float:
+    """Estimated runtime in milliseconds at ``clock_ghz`` (equation 1 with
+    CPI·PathLength = CP)."""
+    return critical_path / (clock_ghz * 1e9) * 1e3
+
+
+def normalize(values: Mapping[str, float], baseline_key: str) -> dict[str, float]:
+    """Normalize a mapping of results to one entry (Figure 1 normalizes every
+    bar to GCC 9.2 targeting Armv8-a)."""
+    baseline = values[baseline_key]
+    if baseline == 0:
+        raise ValueError(f"baseline {baseline_key!r} is zero")
+    return {key: value / baseline for key, value in values.items()}
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table (right-aligned numbers, left-aligned
+    first column)."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            if abs(cell) >= 10:
+                return f"{cell:.1f}"
+            return f"{cell:.4g}"
+        if isinstance(cell, int):
+            return f"{cell:,}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [cells[i].rjust(widths[i]) for i in range(1, len(cells))]
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)

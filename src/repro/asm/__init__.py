@@ -1,0 +1,11 @@
+"""Two-pass assembler shared by both ISAs.
+
+The assembler owns everything ISA-independent — sections, labels, data
+directives, kernel-region markers — and delegates instruction encoding to
+the ISA object (see :class:`repro.isa.base.ISA`).
+"""
+
+from repro.asm.program import Program, Region, Section
+from repro.asm.assembler import Assembler, assemble
+
+__all__ = ["Program", "Region", "Section", "Assembler", "assemble"]

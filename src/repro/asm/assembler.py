@@ -1,0 +1,420 @@
+"""Two-pass assembler.
+
+Pass 1 lays out sections (every instruction's size is exact, including
+pseudo-instruction expansions) and collects labels, equates and kernel
+regions. Pass 2 encodes instructions with all symbols resolved.
+
+Supported directives::
+
+    .text / .data / .bss          switch section (.bss is .data-with-zeros)
+    .global NAME / .globl NAME    mark a symbol global (recorded, not enforced)
+    .align N                      align to 2**N bytes
+    .balign N                     align to N bytes
+    .byte / .half / .word / .dword / .quad   integer data (comma lists)
+    .float / .double              FP data (comma lists)
+    .zero N / .space N / .skip N  N zero bytes
+    .ascii "s" / .asciz "s" / .string "s"
+    .equ NAME, VALUE / .set NAME, VALUE
+    .region NAME ... .endregion   kernel-region markers (paper Figure 1)
+
+Comments start with ``#`` or ``//``; labels are ``name:``. Default load
+addresses: ``.text`` at 0x10000, ``.data`` at 0x200000.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common import AssemblerError, align_up
+from repro.asm.program import Program, Region, Section
+from repro.isa.base import ISA
+
+TEXT_BASE = 0x10000
+DATA_BASE = 0x200000
+
+
+def _strip_comment(line: str) -> str:
+    # '#' introduces a comment only at the start of a line (it is the A64
+    # immediate prefix elsewhere); '//' works anywhere outside strings.
+    if line.lstrip().startswith("#"):
+        return ""
+    in_string = False
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if ch == '"':
+            in_string = not in_string
+        elif not in_string and ch == "/" and line[i : i + 2] == "//":
+            return line[:i]
+        i += 1
+    return line
+
+
+def split_operands(text: str) -> list[str]:
+    """Split an operand list on top-level commas (respecting (), [] and "")."""
+    operands: list[str] = []
+    depth = 0
+    in_string = False
+    current: list[str] = []
+    for ch in text:
+        if ch == '"':
+            in_string = not in_string
+            current.append(ch)
+        elif in_string:
+            current.append(ch)
+        elif ch in "([":
+            depth += 1
+            current.append(ch)
+        elif ch in ")]":
+            depth -= 1
+            if depth < 0:
+                raise AssemblerError(f"unbalanced bracket in {text!r}")
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if in_string:
+        raise AssemblerError(f"unterminated string in {text!r}")
+    if depth != 0:
+        raise AssemblerError(f"unbalanced bracket in {text!r}")
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return operands
+
+
+class _Statement:
+    """One parsed source line: label(s) and/or a directive/instruction."""
+
+    __slots__ = ("line", "labels", "kind", "name", "args")
+
+    def __init__(self, line: int, labels: list[str], kind: str, name: str, args: str):
+        self.line = line
+        self.labels = labels
+        self.kind = kind  # "directive" | "instruction" | "empty"
+        self.name = name
+        self.args = args
+
+
+def _parse_lines(source: str) -> list[_Statement]:
+    statements: list[_Statement] = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        text = _strip_comment(raw).strip()
+        labels: list[str] = []
+        while text:
+            head = text.split(None, 1)[0]
+            if head.endswith(":") and len(head) > 1:
+                label = head[:-1]
+                if not _valid_symbol(label):
+                    raise AssemblerError(f"invalid label {label!r}", number)
+                labels.append(label)
+                text = text[len(head) :].strip()
+            else:
+                break
+        if not text:
+            if labels:
+                statements.append(_Statement(number, labels, "empty", "", ""))
+            continue
+        parts = text.split(None, 1)
+        name = parts[0]
+        args = parts[1].strip() if len(parts) > 1 else ""
+        kind = "directive" if name.startswith(".") else "instruction"
+        statements.append(_Statement(number, labels, kind, name.lower(), args))
+    return statements
+
+
+def _valid_symbol(name: str) -> bool:
+    if name.isdigit():
+        return True  # GNU-style numeric local label (1:, 2:, ...)
+    return bool(name) and (name[0].isalpha() or name[0] in "._$") and all(
+        ch.isalnum() or ch in "._$" for ch in name
+    )
+
+
+_DATA_DIRECTIVES = {
+    ".byte": (1, "int"),
+    ".half": (2, "int"),
+    ".word": (4, "int"),
+    ".dword": (8, "int"),
+    ".quad": (8, "int"),
+    ".float": (4, "float"),
+    ".double": (8, "float"),
+}
+
+
+class _AssemblyContext:
+    """The symbol-resolution view handed to ISA encoders (pass 2)."""
+
+    __slots__ = ("pc", "_symbols", "_equates", "_numeric", "_line")
+
+    def __init__(self, symbols: dict[str, int], equates: dict[str, int],
+                 numeric: dict[int, list[int]]):
+        self.pc = 0
+        self._symbols = symbols
+        self._equates = equates
+        self._numeric = numeric
+        self._line: int | None = None
+
+    def lookup(self, symbol: str) -> int:
+        symbol = symbol.strip()
+        if symbol in self._symbols:
+            return self._symbols[symbol]
+        if symbol in self._equates:
+            return self._equates[symbol]
+        # GNU numeric local labels: "1f" = next definition of "1:" after
+        # this instruction, "1b" = most recent at or before it.
+        if len(symbol) >= 2 and symbol[:-1].isdigit() and symbol[-1] in "fb":
+            addresses = self._numeric.get(int(symbol[:-1]), [])
+            if symbol[-1] == "f":
+                for addr in addresses:
+                    if addr > self.pc:
+                        return addr
+            else:
+                for addr in reversed(addresses):
+                    if addr <= self.pc:
+                        return addr
+            raise AssemblerError(
+                f"no matching numeric label for {symbol!r}", self._line
+            )
+        raise AssemblerError(f"undefined symbol {symbol!r}", self._line)
+
+
+class Assembler:
+    """Two-pass assembler for one ISA. Reusable across programs."""
+
+    def __init__(self, isa: ISA):
+        self.isa = isa
+
+    def assemble(self, source: str, *, text_base: int = TEXT_BASE,
+                 data_base: int = DATA_BASE) -> Program:
+        """Assemble ``source`` into a position-fixed :class:`Program`."""
+        statements = _parse_lines(source)
+        program = Program(isa_name=self.isa.name)
+        equates: dict[str, int] = {}
+
+        # ---- pass 1: layout -------------------------------------------------
+        counters = {".text": text_base, ".data": data_base}
+        section = ".text"
+        region_stack: list[tuple[str, int]] = []
+        regions: list[Region] = []
+        pending_sizes: list[int] = []  # per instruction statement, for pass 2
+
+        numeric_labels: dict[int, list[int]] = {}
+        for stmt in statements:
+            pc = counters[section]
+            for label in stmt.labels:
+                if label.isdigit():
+                    numeric_labels.setdefault(int(label), []).append(pc)
+                    continue
+                if label in program.symbols or label in equates:
+                    raise AssemblerError(f"duplicate symbol {label!r}", stmt.line)
+                program.symbols[label] = pc
+            if stmt.kind == "empty":
+                continue
+            if stmt.kind == "directive":
+                section, consumed = self._pass1_directive(
+                    stmt, section, counters, program, equates, region_stack, regions
+                )
+                counters[section] += consumed
+            else:
+                if section != ".text":
+                    raise AssemblerError("instructions outside .text", stmt.line)
+                operands = split_operands(stmt.args) if stmt.args else []
+                operands = [self._substitute_equates(op, equates) for op in operands]
+                try:
+                    size = self.isa.instruction_size(stmt.name, operands)
+                except AssemblerError as err:
+                    raise AssemblerError(str(err), stmt.line) from None
+                pending_sizes.append(size)
+                counters[section] += size
+        if region_stack:
+            name, _start = region_stack[-1]
+            raise AssemblerError(f"unterminated .region {name!r}")
+
+        # ---- pass 2: encode -------------------------------------------------
+        ctx = _AssemblyContext(program.symbols, equates, numeric_labels)
+        text = bytearray()
+        data = bytearray()
+        counters2 = {".text": text_base, ".data": data_base}
+        section = ".text"
+        inst_index = 0
+
+        for stmt in statements:
+            if stmt.kind == "empty":
+                continue
+            ctx._line = stmt.line
+            if stmt.kind == "directive":
+                section = self._pass2_directive(
+                    stmt, section, counters2, {".text": text, ".data": data},
+                    equates, ctx,
+                )
+                continue
+            operands = split_operands(stmt.args) if stmt.args else []
+            operands = [self._substitute_equates(op, equates) for op in operands]
+            ctx.pc = counters2[".text"]
+            try:
+                words = self.isa.encode_instruction(stmt.name, operands, ctx)
+            except AssemblerError as err:
+                raise AssemblerError(str(err), stmt.line) from None
+            expected = pending_sizes[inst_index]
+            inst_index += 1
+            if len(words) * self.isa.word_size != expected:
+                raise AssemblerError(
+                    f"{stmt.name}: pass-1 size {expected} != pass-2 size "
+                    f"{len(words) * self.isa.word_size}", stmt.line,
+                )
+            for word in words:
+                text += word.to_bytes(self.isa.word_size, "little")
+            counters2[".text"] += expected
+
+        program.sections[".text"] = Section(
+            ".text", text_base, text, executable=True, writable=False
+        )
+        if data:
+            program.sections[".data"] = Section(".data", data_base, data)
+        program.regions = regions
+        entry = program.symbols.get("_start", program.symbols.get("main"))
+        if entry is None:
+            raise AssemblerError("no _start or main symbol to use as entry point")
+        program.entry = entry
+        return program
+
+    # -- directive handling ---------------------------------------------------
+
+    def _pass1_directive(self, stmt, section, counters, program, equates,
+                         region_stack, regions) -> tuple[str, int]:
+        name, args, line = stmt.name, stmt.args, stmt.line
+        pc = counters[section]
+        if name in (".text",):
+            return ".text", 0
+        if name in (".data", ".bss"):
+            return ".data", 0
+        if name in (".global", ".globl"):
+            program.globals.add(args.strip())
+            return section, 0
+        if name == ".align":
+            n = self._int(args, line)
+            return section, align_up(pc, 1 << n) - pc
+        if name == ".balign":
+            n = self._int(args, line)
+            return section, align_up(pc, n) - pc
+        if name in _DATA_DIRECTIVES:
+            width, _kind = _DATA_DIRECTIVES[name]
+            count = len(split_operands(args))
+            if count == 0:
+                raise AssemblerError(f"{name} needs at least one value", line)
+            return section, width * count
+        if name in (".zero", ".space", ".skip"):
+            return section, self._int(args, line)
+        if name in (".ascii", ".asciz", ".string"):
+            value = self._string(args, line)
+            extra = 0 if name == ".ascii" else 1
+            return section, len(value) + extra
+        if name in (".equ", ".set"):
+            parts = split_operands(args)
+            if len(parts) != 2:
+                raise AssemblerError(f"{name} expects NAME, VALUE", line)
+            equates[parts[0]] = self._int(parts[1], line)
+            return section, 0
+        if name == ".region":
+            region_name = args.strip().strip('"')
+            if not region_name:
+                raise AssemblerError(".region needs a name", line)
+            region_stack.append((region_name, pc))
+            return section, 0
+        if name == ".endregion":
+            if not region_stack:
+                raise AssemblerError(".endregion without .region", line)
+            region_name, start = region_stack.pop()
+            regions.append(Region(region_name, start, pc))
+            return section, 0
+        raise AssemblerError(f"unknown directive {name}", line)
+
+    def _pass2_directive(self, stmt, section, counters, buffers, equates, ctx) -> str:
+        name, args, line = stmt.name, stmt.args, stmt.line
+        if name == ".text":
+            return ".text"
+        if name in (".data", ".bss"):
+            return ".data"
+        if name in (".global", ".globl", ".equ", ".set", ".region", ".endregion"):
+            return section
+        buf = buffers[section]
+        pc = counters[section]
+        if name == ".align":
+            pad = align_up(pc, 1 << self._int(args, line)) - pc
+            buf += b"\x00" * pad
+            counters[section] += pad
+            return section
+        if name == ".balign":
+            pad = align_up(pc, self._int(args, line)) - pc
+            buf += b"\x00" * pad
+            counters[section] += pad
+            return section
+        if name in _DATA_DIRECTIVES:
+            width, kind = _DATA_DIRECTIVES[name]
+            for token in split_operands(args):
+                token = self._substitute_equates(token, equates)
+                if kind == "int":
+                    value = self._value_or_symbol(token, ctx, line)
+                    buf += (value & ((1 << (8 * width)) - 1)).to_bytes(width, "little")
+                else:
+                    fmt = "<f" if width == 4 else "<d"
+                    buf += struct.pack(fmt, float(token))
+                counters[section] += width
+            return section
+        if name in (".zero", ".space", ".skip"):
+            n = self._int(args, line)
+            buf += b"\x00" * n
+            counters[section] += n
+            return section
+        if name in (".ascii", ".asciz", ".string"):
+            value = self._string(args, line).encode()
+            if name != ".ascii":
+                value += b"\x00"
+            buf += value
+            counters[section] += len(value)
+            return section
+        raise AssemblerError(f"unknown directive {name}", line)  # pragma: no cover
+
+    # -- small helpers ----------------------------------------------------
+
+    @staticmethod
+    def _substitute_equates(operand: str, equates: dict[str, int]) -> str:
+        if operand in equates:
+            return str(equates[operand])
+        return operand
+
+    @staticmethod
+    def _int(text: str, line: int) -> int:
+        try:
+            return int(text.strip(), 0)
+        except ValueError:
+            raise AssemblerError(f"expected integer, got {text!r}", line) from None
+
+    def _value_or_symbol(self, token: str, ctx, line: int) -> int:
+        token = token.strip()
+        try:
+            return int(token, 0)
+        except ValueError:
+            return ctx.lookup(token)
+
+    @staticmethod
+    def _string(text: str, line: int) -> str:
+        text = text.strip()
+        if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+            raise AssemblerError(f"expected quoted string, got {text!r}", line)
+        body = text[1:-1]
+        return (
+            body.replace("\\n", "\n")
+            .replace("\\t", "\t")
+            .replace("\\0", "\0")
+            .replace('\\"', '"')
+            .replace("\\\\", "\\")
+        )
+
+
+def assemble(source: str, isa: ISA, **kwargs) -> Program:
+    """One-shot convenience wrapper around :class:`Assembler`."""
+    return Assembler(isa).assemble(source, **kwargs)

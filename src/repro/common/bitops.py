@@ -1,0 +1,227 @@
+"""Two's-complement bit manipulation on Python ints.
+
+The simulated machines are 64-bit little-endian. Architectural integer state
+is stored as *unsigned* Python ints in ``[0, 2**64)``; these helpers convert
+between signed/unsigned views, extract and extend fields, and implement the
+handful of bit-level primitives (rotates, CLZ, bit reversal, ...) the ISA
+semantics need.
+
+Everything here is pure and branch-light: these functions sit on the hot
+decode/execute path of the emulation core.
+"""
+
+from __future__ import annotations
+
+import struct
+
+MASK8 = 0xFF
+MASK16 = 0xFFFF
+MASK32 = 0xFFFF_FFFF
+MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+_WIDTH_MASKS = {8: MASK8, 16: MASK16, 32: MASK32, 64: MASK64}
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` of ``value`` (0 or 1)."""
+    return (value >> index) & 1
+
+
+def bits(value: int, hi: int, lo: int) -> int:
+    """Return the inclusive bit-field ``value[hi:lo]`` as an unsigned int.
+
+    Mirrors the ``bits(31, 21)`` notation used in the Arm and RISC-V
+    architecture manuals: ``hi`` and ``lo`` are bit positions, both included.
+    """
+    if hi < lo:
+        raise ValueError(f"invalid bit range [{hi}:{lo}]")
+    return (value >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def sext(value: int, width: int) -> int:
+    """Sign-extend the low ``width`` bits of ``value`` to a Python int.
+
+    The result is a *signed* Python int (may be negative).
+    """
+    value &= (1 << width) - 1
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def zext(value: int, width: int) -> int:
+    """Zero-extend (i.e. truncate to) the low ``width`` bits of ``value``."""
+    return value & ((1 << width) - 1)
+
+
+def to_signed(value: int, width: int = 64) -> int:
+    """Interpret an unsigned ``width``-bit pattern as a signed integer."""
+    return sext(value, width)
+
+
+def to_unsigned(value: int, width: int = 64) -> int:
+    """Reduce a (possibly negative) Python int to its ``width``-bit pattern."""
+    return value & ((1 << width) - 1)
+
+
+def u64(value: int) -> int:
+    """Truncate to an unsigned 64-bit pattern."""
+    return value & MASK64
+
+
+def u32(value: int) -> int:
+    """Truncate to an unsigned 32-bit pattern."""
+    return value & MASK32
+
+
+def s64(value: int) -> int:
+    """Interpret the low 64 bits of ``value`` as signed."""
+    value &= MASK64
+    return value - (1 << 64) if value >> 63 else value
+
+
+def s32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as signed."""
+    value &= MASK32
+    return value - (1 << 32) if value >> 31 else value
+
+
+def rotate_right64(value: int, amount: int) -> int:
+    """Rotate a 64-bit pattern right by ``amount`` (mod 64)."""
+    amount %= 64
+    value &= MASK64
+    if amount == 0:
+        return value
+    return ((value >> amount) | (value << (64 - amount))) & MASK64
+
+
+def rotate_right32(value: int, amount: int) -> int:
+    """Rotate a 32-bit pattern right by ``amount`` (mod 32)."""
+    amount %= 32
+    value &= MASK32
+    if amount == 0:
+        return value
+    return ((value >> amount) | (value << (32 - amount))) & MASK32
+
+
+def count_leading_zeros(value: int, width: int = 64) -> int:
+    """Number of leading zero bits in the ``width``-bit pattern ``value``."""
+    value &= (1 << width) - 1
+    if value == 0:
+        return width
+    return width - value.bit_length()
+
+
+def count_trailing_zeros(value: int, width: int = 64) -> int:
+    """Number of trailing zero bits in the ``width``-bit pattern ``value``."""
+    value &= (1 << width) - 1
+    if value == 0:
+        return width
+    return (value & -value).bit_length() - 1
+
+
+def popcount(value: int, width: int = 64) -> int:
+    """Number of set bits in the ``width``-bit pattern ``value``."""
+    return (value & ((1 << width) - 1)).bit_count()
+
+
+def is_power_of_two(value: int) -> bool:
+    """True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def bit_reverse(value: int, width: int = 64) -> int:
+    """Reverse the bit order of the ``width``-bit pattern ``value``."""
+    value &= (1 << width) - 1
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def byte_reverse(value: int, width: int = 64) -> int:
+    """Reverse the byte order of the ``width``-bit pattern ``value``."""
+    if width % 8:
+        raise ValueError("width must be a multiple of 8")
+    nbytes = width // 8
+    return int.from_bytes(
+        (value & ((1 << width) - 1)).to_bytes(nbytes, "little"), "big"
+    )
+
+
+def replicate(pattern: int, pattern_width: int, total_width: int) -> int:
+    """Tile ``pattern`` (of ``pattern_width`` bits) across ``total_width`` bits.
+
+    Used by the AArch64 logical-immediate decoder, where a 2/4/8/16/32/64-bit
+    element is replicated across the register width.
+    """
+    if total_width % pattern_width:
+        raise ValueError("total_width must be a multiple of pattern_width")
+    pattern &= (1 << pattern_width) - 1
+    result = 0
+    for i in range(total_width // pattern_width):
+        result |= pattern << (i * pattern_width)
+    return result
+
+
+def ones(count: int) -> int:
+    """A pattern of ``count`` consecutive set bits."""
+    return (1 << count) - 1
+
+
+def fits_signed(value: int, width: int) -> bool:
+    """True if ``value`` is representable as a signed ``width``-bit integer."""
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    return lo <= value <= hi
+
+
+def fits_unsigned(value: int, width: int) -> bool:
+    """True if ``value`` is representable as an unsigned ``width``-bit integer."""
+    return 0 <= value <= (1 << width) - 1
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
+    if not is_power_of_two(alignment):
+        raise ValueError("alignment must be a power of two")
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (a power of two)."""
+    if not is_power_of_two(alignment):
+        raise ValueError("alignment must be a power of two")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+# --- float <-> raw-bit conversions -----------------------------------------
+#
+# Floating-point register files store IEEE-754 values as Python floats; the
+# conversions below are used at load/store boundaries and by FMOV/FCVT-style
+# instructions that reinterpret bit patterns.
+
+_PACK_D = struct.Struct("<d")
+_PACK_Q = struct.Struct("<Q")
+_PACK_F = struct.Struct("<f")
+_PACK_I = struct.Struct("<I")
+
+
+def f64_to_bits(value: float) -> int:
+    """Raw 64-bit pattern of an IEEE-754 double."""
+    return _PACK_Q.unpack(_PACK_D.pack(value))[0]
+
+
+def bits_to_f64(pattern: int) -> float:
+    """IEEE-754 double from a raw 64-bit pattern."""
+    return _PACK_D.unpack(_PACK_Q.pack(pattern & MASK64))[0]
+
+
+def f32_to_bits(value: float) -> int:
+    """Raw 32-bit pattern of an IEEE-754 single (rounds the input double)."""
+    return _PACK_I.unpack(_PACK_F.pack(value))[0]
+
+
+def bits_to_f32(pattern: int) -> float:
+    """IEEE-754 single from a raw 32-bit pattern, widened to a double."""
+    return _PACK_F.unpack(_PACK_I.pack(pattern & MASK32))[0]

@@ -1,0 +1,65 @@
+"""Error taxonomy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError`, so callers can
+catch the whole family or a specific layer's failures.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class EncodingError(ReproError):
+    """An instruction or immediate cannot be encoded (assembler side)."""
+
+
+class DecodeError(ReproError):
+    """A machine word does not decode to a known instruction."""
+
+    def __init__(self, word: int, pc: int | None = None, message: str | None = None):
+        self.word = word
+        self.pc = pc
+        text = message or f"cannot decode instruction word {word:#010x}"
+        if pc is not None:
+            text += f" at pc {pc:#x}"
+        super().__init__(text)
+
+
+class AssemblerError(ReproError):
+    """Syntax or semantic error in assembly source."""
+
+    def __init__(self, message: str, line: int | None = None, source: str | None = None):
+        self.line = line
+        self.source = source
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class LoaderError(ReproError):
+    """Malformed ELF image or unsatisfiable load request."""
+
+
+class SimulationError(ReproError):
+    """Runtime fault inside the simulated machine (bad memory access,
+    unimplemented syscall, instruction-budget exhaustion, ...)."""
+
+    def __init__(self, message: str, pc: int | None = None):
+        self.pc = pc
+        if pc is not None:
+            message += f" (pc={pc:#x})"
+        super().__init__(message)
+
+
+class CompilerError(ReproError):
+    """kernelc front-end or back-end failure."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ConfigError(ReproError):
+    """Invalid core-model configuration."""

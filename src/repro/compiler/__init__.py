@@ -1,0 +1,32 @@
+"""kernelc — a small optimizing compiler standing in for GCC 9.2 / 12.2.
+
+The paper's pipeline compiles C benchmarks with two GCC versions for two
+targets. Offline, with no cross-toolchains, we rebuild the relevant part of
+that pipeline: a C-subset language ("kernelc") with
+
+* a front end (lexer → parser → semantic analysis),
+* loop-aware code generation with induction-variable strength reduction,
+  loop-invariant hoisting and (profile-dependent) local CSE,
+* two back ends that embody the ISA-level differences the paper analyses —
+  the AArch64 back end uses register-offset (shifted) loads/stores and
+  compare+conditional-branch sequences; the RV64 back end uses pointer
+  bumping with immediate-offset loads/stores and fused compare-and-branch,
+* two *cost-model profiles*, ``gcc9`` and ``gcc12``, reproducing the
+  specific code-generation deltas the paper documents (§3.3): GCC 9.2's
+  ``sub/subs``-immediate loop-bound idiom on AArch64 versus GCC 12.2's
+  hoisted ``cmp reg,reg``, and weaker subexpression reuse in older GCC.
+
+The public entry point is :func:`repro.compiler.driver.compile_source`.
+"""
+
+from repro.compiler.driver import compile_source, compile_to_asm, CompiledProgram
+from repro.compiler.profiles import Profile, PROFILES, get_profile
+
+__all__ = [
+    "compile_source",
+    "compile_to_asm",
+    "CompiledProgram",
+    "Profile",
+    "PROFILES",
+    "get_profile",
+]

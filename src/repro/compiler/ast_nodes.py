@@ -1,0 +1,192 @@
+"""kernelc abstract syntax tree.
+
+Types are just the strings ``"long"``, ``"double"`` and ``"void"`` —
+enough for a two-type language — attached to expression nodes by the
+semantic pass (:mod:`repro.compiler.sema`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+LONG = "long"
+DOUBLE = "double"
+VOID = "void"
+
+
+# --- expressions --------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int = 0
+    type: str = ""  # filled in by sema
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class ArrayRef(Expr):
+    name: str = ""
+    index: Expr | None = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""          # "-" | "!" | "~"
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""          # arithmetic, comparison, bitwise, shift
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Logical(Expr):
+    op: str = ""          # "&&" | "||"
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Cast(Expr):
+    target: str = ""
+    operand: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# --- statements ---------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    var_type: str = ""
+    name: str = ""
+    init: Expr | None = None
+
+
+@dataclass
+class AssignStmt(Stmt):
+    target: Expr | None = None   # VarRef or ArrayRef
+    value: Expr | None = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr | None = None
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ForStmt(Stmt):
+    """``for (long j = init; j < bound; j = j + step) body``.
+
+    The parser accepts the general C shape (decl-or-assign; cond; assign)
+    but records the canonical induction-variable pattern when it matches,
+    which is what the loop-lowering code generators key on.
+    """
+
+    init: Stmt | None = None
+    cond: Expr | None = None
+    update: Stmt | None = None
+    body: list[Stmt] = field(default_factory=list)
+    # canonical-IV metadata, filled by sema when the loop matches
+    iv_name: str | None = None
+    iv_step: int | None = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None     # calls in statement position
+
+
+@dataclass
+class RegionStmt(Stmt):
+    name: str = ""
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class BlockStmt(Stmt):
+    """A bare ``{ ... }`` block: pure lexical scope (frees its locals)."""
+
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+# --- top level ---------------------------------------------------------------
+
+@dataclass
+class GlobalDecl:
+    line: int
+    var_type: str
+    name: str
+    array_size: int | None = None          # None for scalars
+    init_scalar: float | int | None = None
+    init_list: list[float] | list[int] | None = None
+
+
+@dataclass
+class FuncDecl:
+    line: int
+    return_type: str
+    name: str
+    params: list[tuple[str, str]] = field(default_factory=list)  # (type, name)
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Program:
+    globals: list[GlobalDecl] = field(default_factory=list)
+    functions: list[FuncDecl] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDecl:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)

@@ -1,0 +1,300 @@
+"""kernelc AArch64 (armv8-a+nosimd) back end.
+
+Embodies the Arm side of the paper's comparison: register-offset
+loads/stores with an ``lsl #3`` folded into the address (one instruction
+where RISC-V needs shift+add+load on the generic path), the Listing 1 loop
+shape (``ldr``/``str``/``add``/``cmp``/``b.ne``), NZCV-setting compares
+before every conditional branch, and — under the ``gcc9`` profile — the
+paper's observed ``sub``/``subs`` loop-bound re-materialization pair.
+"""
+
+from __future__ import annotations
+
+from repro.common import CompilerError, EncodingError, is_power_of_two
+from repro.compiler.backend_base import CodeGen, ELEM_SIZE
+from repro.compiler.loops import LoopPlan
+from repro.isa.aarch64.encoding import vfp_encode_imm8
+from repro.isa.aarch64.logical_imm import is_bitmask_immediate
+
+
+class AArch64CodeGen(CodeGen):
+    isa_name = "aarch64"
+
+    INT_TEMPS = ["x9", "x10", "x11", "x12", "x13", "x14", "x15"]
+    FP_TEMPS = ["d16", "d17", "d18", "d19", "d20", "d21", "d22", "d23"]
+    INT_VARS = ["x19", "x20", "x21", "x22", "x23", "x24", "x25", "x26",
+                "x27", "x28"]
+    FP_VARS = ["d8", "d9", "d10", "d11", "d12", "d13", "d14", "d15"]
+    INT_VARS_LEAF_BONUS = ["x2", "x3", "x4", "x5", "x6", "x7", "x16", "x17"]
+    FP_VARS_LEAF_BONUS = ["d24", "d25", "d26", "d27", "d28", "d29", "d30",
+                          "d31", "d2", "d3", "d4", "d5", "d6", "d7"]
+    ARG_REGS = ["x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7"]
+    FP_ARG_REGS = ["d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7"]
+    RET_REG = "x0"
+    FP_RET_REG = "d0"
+
+    _CALLEE_SAVED = set(INT_VARS) | set(FP_VARS)
+
+    # ------------------------------------------------------------- structure
+
+    def gen_startup(self) -> None:
+        self.emit_label("_start")
+        self.emit("bl main")
+        self.emit("mov x8, #93")
+        self.emit("svc #0")
+
+    def emit_prologue_epilogue(self, body: list[str]) -> list[str]:
+        saved = sorted(reg for reg in self.used_var_regs
+                       if reg in self._CALLEE_SAVED)
+        leaf = not any(line.strip().startswith("bl ") for line in body)
+        save_lr = not leaf
+        slot_bytes = self.stack_slots * ELEM_SIZE
+        save_bytes = (len(saved) + (1 if save_lr else 0)) * 8
+        frame = slot_bytes + save_bytes
+        frame = (frame + 15) & ~15
+        out: list[str] = []
+        if frame:
+            out.append(f"    sub sp, sp, #{frame}")
+        offset = slot_bytes
+        restores: list[str] = []
+        # pair adjacent saves with stp/ldp where possible (GCC style)
+        to_save = saved + (["x30"] if save_lr else [])
+        index = 0
+        while index < len(to_save):
+            a = to_save[index]
+            b = to_save[index + 1] if index + 1 < len(to_save) else None
+            if b is not None and a[0] == b[0]:
+                out.append(f"    stp {a}, {b}, [sp, #{offset}]")
+                restores.append(f"    ldp {a}, {b}, [sp, #{offset}]")
+                offset += 16
+                index += 2
+            else:
+                op_s, op_l = ("str", "ldr")
+                out.append(f"    {op_s} {a}, [sp, #{offset}]")
+                restores.append(f"    {op_l} {a}, [sp, #{offset}]")
+                offset += 8
+                index += 1
+        out.extend(body)
+        out.extend(restores)
+        if frame:
+            out.append(f"    add sp, sp, #{frame}")
+        out.append("    ret")
+        return out
+
+    # --------------------------------------------------------------- scalars
+
+    def emit_li(self, reg: str, value: int) -> None:
+        if 0 <= value < 65536:
+            self.emit(f"mov {reg}, #{value}")
+        elif -65536 <= value < 0:
+            self.emit(f"mov {reg}, #{value}")
+        else:
+            self.emit(f"movl {reg}, #{value}")
+
+    def emit_fp_const(self, reg: str, value: float) -> None:
+        if value == 0.0 and not str(value).startswith("-"):
+            # the single NEON instruction the paper notes is unavoidable
+            self.emit(f"movi {reg}, #0")
+            return
+        try:
+            vfp_encode_imm8(value)
+            self.emit(f"fmov {reg}, #{value!r}")
+            return
+        except EncodingError:
+            pass
+        label = self.fp_const_label(value)
+        temp = self.int_temps.acquire(0)
+        self.emit(f"adrl {temp}, {label}")
+        self.emit(f"ldr {reg}, [{temp}]")
+        self.int_temps.release(temp)
+
+    def emit_move(self, dst: str, src: str, is_fp: bool) -> None:
+        if dst == src:
+            return
+        self.emit(f"fmov {dst}, {src}" if is_fp else f"mov {dst}, {src}")
+
+    def emit_global_addr(self, reg: str, symbol: str) -> None:
+        self.emit(f"adrl {reg}, {symbol}")
+
+    def emit_load_global_scalar(self, dst, symbol, is_fp, addr_temp) -> None:
+        self.emit(f"adrl {addr_temp}, {symbol}")
+        self.emit(f"ldr {dst}, [{addr_temp}]")
+
+    def emit_store_global_scalar(self, src, symbol, is_fp, addr_temp) -> None:
+        self.emit(f"adrl {addr_temp}, {symbol}")
+        self.emit(f"str {src}, [{addr_temp}]")
+
+    # ------------------------------------------------------------ arithmetic
+
+    def emit_binop_long(self, op, dst, a, b) -> None:
+        if op == "%":
+            temp = self.int_temps.acquire(0)
+            self.emit(f"sdiv {temp}, {a}, {b}")
+            self.emit(f"msub {dst}, {temp}, {b}, {a}")
+            self.int_temps.release(temp)
+            return
+        name = {"+": "add", "-": "sub", "*": "mul", "/": "sdiv", "&": "and",
+                "|": "orr", "^": "eor", "<<": "lsl", ">>": "asr"}[op]
+        self.emit(f"{name} {dst}, {a}, {b}")
+
+    def emit_binop_long_imm(self, op, dst, a, imm) -> bool:
+        if op in ("+", "-"):
+            value = imm if op == "+" else -imm
+            magnitude = abs(value)
+            name = "add" if value >= 0 else "sub"
+            if magnitude < (1 << 12):
+                self.emit(f"{name} {dst}, {a}, #{magnitude}")
+                return True
+            if magnitude % (1 << 12) == 0 and (magnitude >> 12) < (1 << 12):
+                self.emit(f"{name} {dst}, {a}, #{magnitude >> 12}, lsl #12")
+                return True
+            return False
+        if op in ("&", "|", "^"):
+            if is_bitmask_immediate(imm, 64):
+                name = {"&": "and", "|": "orr", "^": "eor"}[op]
+                self.emit(f"{name} {dst}, {a}, #{imm}")
+                return True
+            return False
+        if op == "<<" and 0 <= imm < 64:
+            self.emit(f"lsl {dst}, {a}, #{imm}")
+            return True
+        if op == ">>" and 0 <= imm < 64:
+            self.emit(f"asr {dst}, {a}, #{imm}")
+            return True
+        if op == "*" and is_power_of_two(imm):
+            self.emit(f"lsl {dst}, {a}, #{imm.bit_length() - 1}")
+            return True
+        return False
+
+    _FP_OPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+
+    def emit_binop_double(self, op, dst, a, b) -> None:
+        self.emit(f"{self._FP_OPS[op]} {dst}, {a}, {b}")
+
+    def emit_neg(self, dst, src, is_fp) -> None:
+        self.emit(f"fneg {dst}, {src}" if is_fp else f"neg {dst}, {src}")
+
+    def emit_not(self, dst, src) -> None:
+        self.emit(f"cmp {src}, #0")
+        self.emit(f"cset {dst}, eq")
+
+    def emit_bitnot(self, dst, src) -> None:
+        self.emit(f"mvn {dst}, {src}")
+
+    # ----------------------------------------------------------- comparisons
+
+    _INT_CONDS = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+                  "==": "eq", "!=": "ne"}
+    _FP_CONDS = {"<": "mi", "<=": "ls", ">": "gt", ">=": "ge",
+                 "==": "eq", "!=": "ne"}
+
+    def emit_compare_value(self, op, dst, a, b, is_fp) -> None:
+        if is_fp:
+            self.emit(f"fcmp {a}, {b}")
+            self.emit(f"cset {dst}, {self._FP_CONDS[op]}")
+        else:
+            self.emit(f"cmp {a}, {b}")
+            self.emit(f"cset {dst}, {self._INT_CONDS[op]}")
+
+    def emit_compare_branch(self, op, a, b, target, is_fp, fp_temp=None) -> None:
+        if is_fp:
+            self.emit(f"fcmp {a}, {b}")
+            self.emit(f"b.{self._FP_CONDS[op]} {target}")
+        else:
+            self.emit(f"cmp {a}, {b}")
+            self.emit(f"b.{self._INT_CONDS[op]} {target}")
+
+    def emit_branch_zero(self, reg, target, if_zero) -> None:
+        self.emit(f"cbz {reg}, {target}" if if_zero else f"cbnz {reg}, {target}")
+
+    def emit_jump(self, target) -> None:
+        self.emit(f"b {target}")
+
+    def emit_call(self, name) -> None:
+        self.emit(f"bl {name}")
+
+    # ------------------------------------------------------------- converts
+
+    def emit_cast_long_to_double(self, dst, src) -> None:
+        self.emit(f"scvtf {dst}, {src}")
+
+    def emit_cast_double_to_long(self, dst, src) -> None:
+        self.emit(f"fcvtzs {dst}, {src}")
+
+    _BUILTIN_OPS = {"sqrt": "fsqrt", "fabs": "fabs",
+                    "fmin": "fminnm", "fmax": "fmaxnm"}
+
+    def emit_builtin(self, name, dst, args) -> None:
+        self.emit(f"{self._BUILTIN_OPS[name]} {dst}, {', '.join(args)}")
+
+    # ---------------------------------------------------------------- memory
+
+    def emit_load_slot(self, dst, offset, is_fp) -> None:
+        self.emit(f"ldr {dst}, [sp, #{offset}]")
+
+    def emit_store_slot(self, src, offset, is_fp) -> None:
+        self.emit(f"str {src}, [sp, #{offset}]")
+
+    def emit_load_indexed(self, dst, base, index, disp, is_fp, temp) -> None:
+        # §3.3: register-offset load with the shift folded in — one instruction
+        if disp:
+            raise CompilerError("internal: displacement on register-offset form")
+        self.emit(f"ldr {dst}, [{base}, {index}, lsl #3]")
+
+    def emit_store_indexed(self, src, base, index, disp, is_fp, temp) -> None:
+        if disp:
+            raise CompilerError("internal: displacement on register-offset form")
+        self.emit(f"str {src}, [{base}, {index}, lsl #3]")
+
+    def emit_load_pointer(self, dst, pointer, disp, is_fp) -> None:
+        # immediate-offset form, used for strided record/AoS streams
+        self.emit(f"ldr {dst}, [{pointer}, #{disp}]")
+
+    def emit_store_pointer(self, src, pointer, disp, is_fp) -> None:
+        self.emit(f"str {src}, [{pointer}, #{disp}]")
+
+    # ------------------------------------------------------------------ loops
+
+    def uses_pointer_bump(self) -> bool:
+        return False
+
+    def _materialize_bound(self, bound_const: int) -> bool:
+        # small bounds: cmp #imm either way; big bounds: gcc12 hoists into a
+        # register, gcc9 re-materializes with sub/subs at the exit test
+        if bound_const < (1 << 12):
+            return False
+        return self.profile.hoist_const_bounds
+
+    def emit_shift_add(self, reg, index_reg, scale: int = 1) -> None:
+        factor = 8 * scale
+        if is_power_of_two(factor):
+            self.emit(f"add {reg}, {reg}, {index_reg}, lsl #{factor.bit_length() - 1}")
+        else:
+            temp = self.int_temps.acquire(0)
+            self.emit(f"mov {temp}, #{factor}")
+            self.emit(f"madd {reg}, {temp}, {index_reg}, {reg}")
+            self.int_temps.release(temp)
+
+    def emit_bump(self, reg, byte_step) -> None:
+        self.emit(f"add {reg}, {reg}, #{byte_step}")
+
+    def loop_exit_test(self, plan: LoopPlan, loop_label: str, strict: bool) -> None:
+        cond = "ne" if (plan.step == 1 and strict) else "lt"
+        if plan.bound_reg is not None:
+            self.emit(f"cmp {plan.iv_reg}, {plan.bound_reg}")
+        elif plan.bound_const is not None and plan.bound_const < (1 << 12):
+            self.emit(f"cmp {plan.iv_reg}, #{plan.bound_const}")
+        else:
+            # the GCC 9.2 idiom the paper reports for STREAM (§3.3):
+            #   sub x1, x0, #hi, lsl #12 ; subs x1, x1, #lo
+            hi = plan.bound_const >> 12
+            lo = plan.bound_const & 0xFFF
+            temp = self.int_temps.acquire(0)
+            if hi >= (1 << 12):
+                raise CompilerError(
+                    f"loop bound {plan.bound_const} too large for sub/subs"
+                )
+            self.emit(f"sub {temp}, {plan.iv_reg}, #{hi}, lsl #12")
+            self.emit(f"subs {temp}, {temp}, #{lo}")
+            self.int_temps.release(temp)
+        self.emit(f"b.{cond} {loop_label}")

@@ -1,0 +1,966 @@
+"""Shared code-generation framework for the kernelc back ends.
+
+One :class:`CodeGen` subclass per ISA. The base class owns everything
+structural — statement walking, expression evaluation with a temp-register
+pool, variable→register binding with stack-slot overflow, canonical-loop
+lowering with loop-invariant hoisting and induction-variable strength
+reduction — and defers to ISA hooks for instruction selection. The two
+hooks that embody the paper's §3.3 comparison are
+
+* :meth:`CodeGen.emit_compare_branch` — RISC-V emits one fused
+  compare-and-branch; AArch64 emits an NZCV-setting compare plus ``b.cond``
+  (and, under the ``gcc9`` profile with a large constant bound, the
+  ``sub``/``subs`` re-materialization pair the paper observed), and
+* the loop addressing style — RISC-V bumps one pointer per array
+  (immediate-offset loads/stores), AArch64 keeps the index register and
+  uses register-offset loads/stores with an ``lsl #3`` (§3.3's "more
+  powerful load and store instructions").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.common import CompilerError
+from repro.compiler import ast_nodes as A
+from repro.compiler.exprcache import (
+    ExprCache,
+    count_repeated_keys,
+    expr_key,
+    is_interesting,
+)
+from repro.compiler.loops import AccessGroup, LoopLoweringMixin, LoopPlan
+from repro.compiler.profiles import Profile
+from repro.compiler.sema import BUILTINS, SymbolTable, contains_call
+
+ELEM_SIZE = 8  # both kernelc types are 8 bytes
+
+
+@dataclass
+class Value:
+    """An evaluated expression: a register plus whether the caller owns it
+    (owned temps must be released; variable home registers must not be)."""
+
+    reg: str
+    is_fp: bool
+    owned: bool
+
+
+@dataclass
+class Binding:
+    """Where a local variable lives."""
+
+    kind: str           # "reg" | "stack"
+    reg: str = ""
+    offset: int = 0     # stack slot offset (for "stack")
+    is_fp: bool = False
+
+
+class TempPool:
+    """A small free-list register pool for expression temporaries."""
+
+    def __init__(self, regs: list[str]):
+        self.all = list(regs)
+        self.free = list(regs)
+
+    def acquire(self, line: int = 0) -> str:
+        if not self.free:
+            raise CompilerError(
+                "expression too deep: temporary register pool exhausted", line
+            )
+        return self.free.pop()
+
+    def release(self, reg: str) -> None:
+        if reg in self.all and reg not in self.free:
+            self.free.append(reg)
+
+
+class CodeGen(LoopLoweringMixin):
+    """Abstract ISA-independent code generator. See module docstring."""
+
+    # subclasses set these class attributes
+    isa_name = ""
+    INT_TEMPS: list[str] = []
+    FP_TEMPS: list[str] = []
+    INT_VARS: list[str] = []
+    FP_VARS: list[str] = []
+    INT_VARS_LEAF_BONUS: list[str] = []
+    FP_VARS_LEAF_BONUS: list[str] = []
+    ARG_REGS: list[str] = []
+    FP_ARG_REGS: list[str] = []
+    RET_REG = ""
+    FP_RET_REG = ""
+
+    def __init__(self, symbols: SymbolTable, profile: Profile):
+        self.symbols = symbols
+        self.profile = profile
+        self.lines: list[str] = []
+        self.label_counter = itertools.count()
+        # per-function state, reset in gen_function
+        self.int_temps = TempPool([])
+        self.fp_temps = TempPool([])
+        self.bindings: dict[str, Binding] = {}
+        self.hoisted_globals: dict[str, Binding] = {}
+        self.var_int_pool: list[str] = []
+        self.var_fp_pool: list[str] = []
+        self.used_var_regs: set[str] = set()
+        self.stack_slots = 0
+        self.loop_stack: list[tuple[str, str]] = []  # (continue, break)
+        self.current_func: A.FuncDecl | None = None
+        self.epilogue_label = ""
+        self._loop_plans: list[LoopPlan] = []
+        self._loop_banned: list[set[str]] = []
+        self.cse = ExprCache(profile.local_cse)
+        self.fp_const_pool: dict[int, tuple[float, str]] = {}
+        # FP literals hoisted into registers by enclosing loops (LICM)
+        self.fp_const_regs: dict[int, str] = {}
+        self._cse_repeat_stack: list[set[tuple]] = []
+        # loop-invariant expressions hoisted by enclosing loops (LICM)
+        self.licm_exprs: dict[tuple, str] = {}
+        # array base addresses hoisted by enclosing loops
+        self.array_base_regs: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ util
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " + text)
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def new_label(self, hint: str = "L") -> str:
+        return f".{hint}{next(self.label_counter)}"
+
+    def acquire_temp(self, is_fp: bool, line: int = 0) -> str:
+        return (self.fp_temps if is_fp else self.int_temps).acquire(line)
+
+    def release(self, value: Value) -> None:
+        if value.owned:
+            (self.fp_temps if value.is_fp else self.int_temps).release(value.reg)
+
+    def alloc_var_reg(self, is_fp: bool) -> str | None:
+        pool = self.var_fp_pool if is_fp else self.var_int_pool
+        if pool:
+            reg = pool.pop()
+            self.used_var_regs.add(reg)
+            return reg
+        return None
+
+    def free_var_reg(self, reg: str, is_fp: bool) -> None:
+        (self.var_fp_pool if is_fp else self.var_int_pool).append(reg)
+
+    def alloc_stack_slot(self) -> int:
+        offset = self.stack_slots * ELEM_SIZE
+        self.stack_slots += 1
+        return offset
+
+    def fp_const_label(self, value: float) -> str:
+        """Label of an FP-literal pool entry (created on first use)."""
+        from repro.common import f64_to_bits
+
+        bits = f64_to_bits(value)
+        entry = self.fp_const_pool.get(bits)
+        if entry is None:
+            label = f".LC{len(self.fp_const_pool)}"
+            self.fp_const_pool[bits] = (value, label)
+            return label
+        return entry[1]
+
+    # -- expression-cache (gcc12 local CSE) plumbing --------------------------
+
+    def cse_barrier(self) -> None:
+        """Control-flow join/label/call: drop the cache, free pinned regs."""
+        for reg in self.cse.clear():
+            self.free_var_reg(reg, False)
+
+    def cse_invalidate(self, name: str) -> None:
+        for reg in self.cse.invalidate_var(name):
+            self.free_var_reg(reg, False)
+
+    # ---------------------------------------------------------- ISA hooks
+
+    def emit_prologue_epilogue(self, body: list[str]) -> list[str]:
+        raise NotImplementedError
+
+    def emit_li(self, reg: str, value: int) -> None:
+        raise NotImplementedError
+
+    def emit_fp_const(self, reg: str, value: float) -> None:
+        raise NotImplementedError
+
+    def emit_move(self, dst: str, src: str, is_fp: bool) -> None:
+        raise NotImplementedError
+
+    def emit_global_addr(self, reg: str, symbol: str) -> None:
+        raise NotImplementedError
+
+    def emit_load_global_scalar(self, dst: str, symbol: str, is_fp: bool,
+                                addr_temp: str) -> None:
+        raise NotImplementedError
+
+    def emit_store_global_scalar(self, src: str, symbol: str, is_fp: bool,
+                                 addr_temp: str) -> None:
+        raise NotImplementedError
+
+    def emit_binop_long(self, op: str, dst: str, a: str, b: str) -> None:
+        raise NotImplementedError
+
+    def emit_binop_long_imm(self, op: str, dst: str, a: str, imm: int) -> bool:
+        """Try an immediate form; return False to force register form."""
+        raise NotImplementedError
+
+    def emit_binop_double(self, op: str, dst: str, a: str, b: str) -> None:
+        raise NotImplementedError
+
+    def emit_neg(self, dst: str, src: str, is_fp: bool) -> None:
+        raise NotImplementedError
+
+    def emit_not(self, dst: str, src: str) -> None:
+        raise NotImplementedError
+
+    def emit_bitnot(self, dst: str, src: str) -> None:
+        raise NotImplementedError
+
+    def emit_compare_value(self, op: str, dst: str, a: str, b: str,
+                           is_fp: bool) -> None:
+        raise NotImplementedError
+
+    def emit_compare_branch(self, op: str, a: str, b: str, target: str,
+                            is_fp: bool, fp_temp: str | None = None) -> None:
+        """Branch to ``target`` when ``a op b`` holds."""
+        raise NotImplementedError
+
+    def emit_branch_zero(self, reg: str, target: str, if_zero: bool) -> None:
+        raise NotImplementedError
+
+    def emit_jump(self, target: str) -> None:
+        raise NotImplementedError
+
+    def emit_call(self, name: str) -> None:
+        raise NotImplementedError
+
+    def emit_cast_long_to_double(self, dst: str, src: str) -> None:
+        raise NotImplementedError
+
+    def emit_cast_double_to_long(self, dst: str, src: str) -> None:
+        raise NotImplementedError
+
+    def emit_builtin(self, name: str, dst: str, args: list[str]) -> None:
+        raise NotImplementedError
+
+    def emit_load_slot(self, dst: str, offset: int, is_fp: bool) -> None:
+        raise NotImplementedError
+
+    def emit_store_slot(self, src: str, offset: int, is_fp: bool) -> None:
+        raise NotImplementedError
+
+    def emit_load_indexed(self, dst: str, base: str, index: str, disp: int,
+                          is_fp: bool, temp: str | None) -> None:
+        """Load element: address = base + index*8 + disp (disp may be 0)."""
+        raise NotImplementedError
+
+    def emit_store_indexed(self, src: str, base: str, index: str, disp: int,
+                           is_fp: bool, temp: str | None) -> None:
+        raise NotImplementedError
+
+    def emit_load_pointer(self, dst: str, pointer: str, disp: int,
+                          is_fp: bool) -> None:
+        raise NotImplementedError
+
+    def emit_store_pointer(self, src: str, pointer: str, disp: int,
+                           is_fp: bool) -> None:
+        raise NotImplementedError
+
+    def loop_exit_test(self, plan: LoopPlan, loop_label: str,
+                       strict: bool) -> None:
+        """Emit the bottom-of-loop exit test (ISA- and profile-specific)."""
+        raise NotImplementedError
+
+    def uses_pointer_bump(self) -> bool:
+        """RISC-V strength-reduces to pointer increments; AArch64 keeps the
+        index and uses register-offset addressing."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------- program level
+
+    def gen_program(self, program: A.Program) -> str:
+        """Generate the full assembly module (text + data + startup)."""
+        self.lines = []
+        self.lines.append("    .text")
+        self.lines.append("    .global _start")
+        self.gen_startup()
+        for func in program.functions:
+            self.gen_function(func)
+        self.gen_data(program)
+        return "\n".join(self.lines) + "\n"
+
+    def gen_startup(self) -> None:
+        raise NotImplementedError
+
+    def gen_data(self, program: A.Program) -> None:
+        self.lines.append("")
+        self.lines.append("    .data")
+        for decl in program.globals:
+            self.lines.append("    .align 3")
+            self.emit_label(decl.name)
+            directive = ".double" if decl.var_type == A.DOUBLE else ".dword"
+            if decl.array_size is None:
+                value = decl.init_scalar if decl.init_scalar is not None else 0
+                self.lines.append(f"    {directive} {value}")
+            elif decl.init_list is not None:
+                values = list(decl.init_list)
+                for start in range(0, len(values), 8):
+                    chunk = ", ".join(repr(v) for v in values[start : start + 8])
+                    self.lines.append(f"    {directive} {chunk}")
+                remaining = decl.array_size - len(values)
+                if remaining:
+                    self.lines.append(f"    .zero {remaining * ELEM_SIZE}")
+            else:
+                self.lines.append(f"    .zero {decl.array_size * ELEM_SIZE}")
+        # FP literal pool (constants that have no immediate encoding)
+        for _bits, (value, label) in sorted(self.fp_const_pool.items()):
+            self.lines.append("    .align 3")
+            self.emit_label(label)
+            self.lines.append(f"    .double {value!r}")
+
+    # ------------------------------------------------------ function level
+
+    def gen_function(self, func: A.FuncDecl) -> None:
+        self.current_func = func
+        self.int_temps = TempPool(self.INT_TEMPS)
+        self.fp_temps = TempPool(self.FP_TEMPS)
+        self.bindings = {}
+        self.used_var_regs = set()
+        self.stack_slots = 0
+        self.loop_stack = []
+        self._loop_plans = []
+        self._loop_banned = []
+        self.cse = ExprCache(self.profile.local_cse)
+        self.fp_const_regs = {}
+        self._cse_repeat_stack = []
+        self.licm_exprs = {}
+        self.array_base_regs = {}
+        leaf = not contains_call(func.body)
+        self.var_int_pool = list(self.INT_VARS) + (
+            list(self.INT_VARS_LEAF_BONUS) if leaf else []
+        )
+        self.var_fp_pool = list(self.FP_VARS) + (
+            list(self.FP_VARS_LEAF_BONUS) if leaf else []
+        )
+        # remove arg registers holding parameters from any leaf bonus
+        self.var_int_pool = [r for r in self.var_int_pool
+                             if r not in self.ARG_REGS[: len(func.params)]]
+        self.var_fp_pool = [r for r in self.var_fp_pool
+                            if r not in self.FP_ARG_REGS[: len(func.params)]]
+        self.epilogue_label = self.new_label("epilogue")
+
+        outer_lines = self.lines
+        self.lines = []
+
+        # parameters: move from ABI registers into home registers/slots
+        int_arg = fp_arg = 0
+        for ptype, pname in func.params:
+            is_fp = ptype == A.DOUBLE
+            if is_fp:
+                src = self.FP_ARG_REGS[fp_arg]
+                fp_arg += 1
+            else:
+                src = self.ARG_REGS[int_arg]
+                int_arg += 1
+            binding = self._bind_var(pname, is_fp, func.line)
+            if binding.kind == "reg":
+                self.emit_move(binding.reg, src, is_fp)
+            else:
+                self.emit_store_slot(src, binding.offset, is_fp)
+
+        self.gen_block(func.body)
+        if func.return_type == A.VOID:
+            pass
+        self.emit_label(self.epilogue_label)
+        body = self.lines
+        self.lines = outer_lines
+
+        self.lines.append("")
+        self.emit_label(func.name)
+        self.lines.extend(self.emit_prologue_epilogue(body))
+        self.current_func = None
+
+    def _bind_var(self, name: str, is_fp: bool, line: int) -> Binding:
+        if name in self.bindings:
+            raise CompilerError(f"internal: rebinding {name!r}", line)
+        reg = self.alloc_var_reg(is_fp)
+        if reg is not None:
+            binding = Binding(kind="reg", reg=reg, is_fp=is_fp)
+        else:
+            binding = Binding(kind="stack", offset=self.alloc_stack_slot(),
+                              is_fp=is_fp)
+        self.bindings[name] = binding
+        return binding
+
+    # -------------------------------------------------------- statements
+
+    def gen_block(self, stmts: list[A.Stmt]) -> None:
+        """Generate a lexical block: locals declared here go out of scope
+        (and their registers return to the pool) at the closing brace."""
+        before = dict(self.bindings)
+        if self.cse.enabled:
+            counts: dict[tuple, int] = {}
+            count_repeated_keys(stmts, counts)
+            repeated = {key for key, n in counts.items() if n >= 2}
+            self._cse_repeat_stack.append(repeated)
+        for stmt in stmts:
+            self.gen_stmt(stmt)
+        if self.cse.enabled:
+            self._cse_repeat_stack.pop()
+        for name in list(self.bindings):
+            if name not in before:
+                binding = self.bindings.pop(name)
+                if binding.kind == "reg":
+                    self.free_var_reg(binding.reg, binding.is_fp)
+                self.cse_invalidate(name)
+
+    def gen_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.DeclStmt):
+            is_fp = stmt.var_type == A.DOUBLE
+            binding = self._bind_var(stmt.name, is_fp, stmt.line)
+            if stmt.init is not None:
+                if binding.kind == "reg" and (
+                    self._emit_literal_into(stmt.init, binding.reg, is_fp)
+                    or self._emit_binary_into(stmt.init, binding.reg, is_fp)
+                    or self._emit_builtin_into(stmt.init, binding.reg, is_fp)
+                    or self._emit_load_into(stmt.init, binding.reg, is_fp)
+                ):
+                    return
+                value = self.gen_expr(stmt.init)
+                self._store_binding(binding, value)
+                self.release(value)
+        elif isinstance(stmt, A.AssignStmt):
+            self.gen_assign(stmt)
+        elif isinstance(stmt, A.IfStmt):
+            self.gen_if(stmt)
+        elif isinstance(stmt, A.WhileStmt):
+            self.gen_while(stmt)
+        elif isinstance(stmt, A.ForStmt):
+            if stmt.iv_name is not None:
+                self.gen_canonical_for(stmt)
+            else:
+                self.gen_generic_for(stmt)
+        elif isinstance(stmt, A.ReturnStmt):
+            if stmt.value is not None:
+                value = self.gen_expr(stmt.value)
+                ret = self.FP_RET_REG if value.is_fp else self.RET_REG
+                if value.reg != ret:
+                    self.emit_move(ret, value.reg, value.is_fp)
+                self.release(value)
+            self.emit_jump(self.epilogue_label)
+        elif isinstance(stmt, A.ExprStmt):
+            value = self.gen_expr(stmt.expr)
+            if value is not None:
+                self.release(value)
+        elif isinstance(stmt, A.RegionStmt):
+            self.lines.append(f'    .region {stmt.name}')
+            self.gen_block(stmt.body)
+            self.lines.append("    .endregion")
+        elif isinstance(stmt, A.BlockStmt):
+            self.gen_block(stmt.body)
+        elif isinstance(stmt, A.BreakStmt):
+            if not self.loop_stack:
+                raise CompilerError("break outside loop", stmt.line)
+            self.emit_jump(self.loop_stack[-1][1])
+        elif isinstance(stmt, A.ContinueStmt):
+            if not self.loop_stack:
+                raise CompilerError("continue outside loop", stmt.line)
+            self.emit_jump(self.loop_stack[-1][0])
+        else:  # pragma: no cover
+            raise CompilerError(f"cannot generate {type(stmt).__name__}", stmt.line)
+
+    def _emit_binary_into(self, expr: A.Expr, reg: str, is_fp: bool) -> bool:
+        """Compute ``var = a OP b`` straight into the variable's register
+        (``fadd.d fa7, fa7, ft0`` instead of compute+move). Reading both
+        operands happens before the destination is written, so aliasing with
+        the target register is fine."""
+        if not isinstance(expr, A.Binary) or expr.op in self._COMPARISONS:
+            return False
+        if (expr.type == A.DOUBLE) != is_fp:
+            return False
+        if self.cse.lookup(expr) is not None:
+            return False  # let the general path reuse the cached register
+        if not is_fp and expr_key(expr) in self.licm_exprs:
+            return False  # likewise for LICM-hoisted values
+        if (
+            not is_fp
+            and isinstance(expr.right, A.IntLit)
+            and expr.op in ("+", "-", "*", "&", "|", "^", "<<", ">>")
+        ):
+            left = self.gen_expr(expr.left)
+            if self.emit_binop_long_imm(expr.op, reg, left.reg, expr.right.value):
+                self.release(left)
+                return True
+            right = self.gen_expr(expr.right)
+        else:
+            left = self.gen_expr(expr.left)
+            right = self.gen_expr(expr.right)
+        if is_fp:
+            self.emit_binop_double(expr.op, reg, left.reg, right.reg)
+        else:
+            self.emit_binop_long(expr.op, reg, left.reg, right.reg)
+        self.release(left)
+        self.release(right)
+        return True
+
+    def _emit_builtin_into(self, expr: A.Expr, reg: str, is_fp: bool) -> bool:
+        """Compute ``var = sqrt(e)`` etc. straight into the home register."""
+        if not (isinstance(expr, A.Call) and expr.name in BUILTINS and is_fp):
+            return False
+        args = [self.gen_expr(arg) for arg in expr.args]
+        self.emit_builtin(expr.name, reg, [a.reg for a in args])
+        for a in args:
+            self.release(a)
+        return True
+
+    def _emit_literal_into(self, expr: A.Expr, reg: str, is_fp: bool) -> bool:
+        """Materialize a literal straight into a home register (avoids the
+        temp+move dance for the very common ``long j = 0`` shape)."""
+        if isinstance(expr, A.IntLit) and not is_fp:
+            self.emit_li(reg, expr.value)
+            return True
+        if isinstance(expr, A.FloatLit) and is_fp:
+            hoisted = self.fp_const_regs.get(_f64_bits(expr.value))
+            if hoisted is not None:
+                self.emit_move(reg, hoisted, True)
+            else:
+                self.emit_fp_const(reg, expr.value)
+            return True
+        return False
+
+    def _store_binding(self, binding: Binding, value: Value) -> None:
+        if binding.kind == "reg":
+            if binding.reg != value.reg:
+                self.emit_move(binding.reg, value.reg, binding.is_fp)
+        else:
+            self.emit_store_slot(value.reg, binding.offset, binding.is_fp)
+
+    def gen_assign(self, stmt: A.AssignStmt) -> None:
+        target = stmt.target
+        if isinstance(target, A.VarRef):
+            binding = self.bindings.get(target.name)
+            if binding is not None:
+                if binding.kind == "reg" and self._emit_literal_into(
+                    stmt.value, binding.reg, binding.is_fp
+                ):
+                    self.cse_invalidate(target.name)
+                    return
+                if binding.kind == "reg" and (
+                    self._emit_binary_into(stmt.value, binding.reg, binding.is_fp)
+                    or self._emit_builtin_into(stmt.value, binding.reg,
+                                               binding.is_fp)
+                    or self._emit_load_into(stmt.value, binding.reg,
+                                            binding.is_fp)
+                ):
+                    self.cse_invalidate(target.name)
+                    return
+                value = self.gen_expr(stmt.value)
+                self._store_binding(binding, value)
+                self.release(value)
+                self.cse_invalidate(target.name)
+                return
+            info = self.symbols.globals.get(target.name)
+            if info is None:
+                raise CompilerError(f"undefined {target.name!r}", stmt.line)
+            value = self.gen_expr(stmt.value)
+            addr_temp = self.int_temps.acquire(stmt.line)
+            self.emit_store_global_scalar(value.reg, target.name,
+                                          value.is_fp, addr_temp)
+            self.int_temps.release(addr_temp)
+            self.release(value)
+            self.cse_invalidate(target.name)
+            return
+        assert isinstance(target, A.ArrayRef)
+        value = self.gen_expr(stmt.value)
+        self.gen_array_store(target, value, stmt.line)
+        self.release(value)
+
+    # -- control flow -------------------------------------------------------
+
+    def gen_if(self, stmt: A.IfStmt) -> None:
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif")
+        target = else_label if stmt.else_body else end_label
+        self.gen_cond_branch(stmt.cond, target, jump_if_true=False)
+        self.cse_barrier()
+        self.gen_block(stmt.then_body)
+        if stmt.else_body:
+            self.emit_jump(end_label)
+            self.emit_label(else_label)
+            self.cse_barrier()
+            self.gen_block(stmt.else_body)
+        self.emit_label(end_label)
+        self.cse_barrier()
+
+    def gen_while(self, stmt: A.WhileStmt) -> None:
+        head = self.new_label("while")
+        exit_label = self.new_label("wend")
+        self.cse_barrier()
+        self.emit_label(head)
+        self.gen_cond_branch(stmt.cond, exit_label, jump_if_true=False)
+        self.loop_stack.append((head, exit_label))
+        self.gen_block(stmt.body)
+        self.loop_stack.pop()
+        self.emit_jump(head)
+        self.emit_label(exit_label)
+        self.cse_barrier()
+
+    def gen_generic_for(self, stmt: A.ForStmt) -> None:
+        head = self.new_label("for")
+        cont = self.new_label("fcont")
+        exit_label = self.new_label("fend")
+        saved = dict(self.bindings)
+        self.gen_stmt(stmt.init)
+        self.cse_barrier()
+        self.emit_label(head)
+        self.gen_cond_branch(stmt.cond, exit_label, jump_if_true=False)
+        self.loop_stack.append((cont, exit_label))
+        self.gen_block(stmt.body)
+        self.loop_stack.pop()
+        self.emit_label(cont)
+        self.cse_barrier()
+        self.gen_stmt(stmt.update)
+        self.emit_jump(head)
+        self.emit_label(exit_label)
+        self.cse_barrier()
+        for name in list(self.bindings):
+            if name not in saved:
+                binding = self.bindings.pop(name)
+                if binding.kind == "reg":
+                    self.free_var_reg(binding.reg, binding.is_fp)
+
+    def _unhoist(self, hoists) -> None:
+        for name, old_binding, reg, is_fp in reversed(hoists):
+            if old_binding is None:
+                del self.bindings[name]
+            else:
+                self.bindings[name] = old_binding
+            self.free_var_reg(reg, is_fp)
+
+    # -- conditions -----------------------------------------------------
+
+    _INVERSE = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=", "!=": "=="}
+
+    def gen_cond_branch(self, cond: A.Expr, target: str, jump_if_true: bool) -> None:
+        """Branch to ``target`` when cond is true (or false)."""
+        if isinstance(cond, A.Logical):
+            if cond.op == "&&":
+                if jump_if_true:
+                    skip = self.new_label("and")
+                    self.gen_cond_branch(cond.left, skip, jump_if_true=False)
+                    self.gen_cond_branch(cond.right, target, jump_if_true=True)
+                    self.emit_label(skip)
+                else:
+                    self.gen_cond_branch(cond.left, target, jump_if_true=False)
+                    self.gen_cond_branch(cond.right, target, jump_if_true=False)
+            else:  # ||
+                if jump_if_true:
+                    self.gen_cond_branch(cond.left, target, jump_if_true=True)
+                    self.gen_cond_branch(cond.right, target, jump_if_true=True)
+                else:
+                    skip = self.new_label("or")
+                    self.gen_cond_branch(cond.left, skip, jump_if_true=True)
+                    self.gen_cond_branch(cond.right, target, jump_if_true=False)
+                    self.emit_label(skip)
+            return
+        if isinstance(cond, A.Unary) and cond.op == "!":
+            self.gen_cond_branch(cond.operand, target, jump_if_true=not jump_if_true)
+            return
+        if isinstance(cond, A.Binary) and cond.op in self._INVERSE:
+            op = cond.op if jump_if_true else self._INVERSE[cond.op]
+            left = self.gen_expr(cond.left)
+            right = self.gen_expr(cond.right)
+            fp_temp = None
+            if left.is_fp:
+                fp_temp = self.int_temps.acquire(cond.line)
+            self.emit_compare_branch(op, left.reg, right.reg, target,
+                                     left.is_fp, fp_temp)
+            if fp_temp is not None:
+                self.int_temps.release(fp_temp)
+            self.release(left)
+            self.release(right)
+            return
+        value = self.gen_expr(cond)
+        self.emit_branch_zero(value.reg, target, if_zero=not jump_if_true)
+        self.release(value)
+
+    # -- expressions -----------------------------------------------------
+
+    def gen_expr(self, expr: A.Expr) -> Value:
+        if isinstance(expr, A.IntLit):
+            reg = self.int_temps.acquire(expr.line)
+            self.emit_li(reg, expr.value)
+            return Value(reg, False, True)
+        if isinstance(expr, A.FloatLit):
+            hoisted = self.fp_const_regs.get(_f64_bits(expr.value))
+            if hoisted is not None:
+                return Value(hoisted, True, False)
+            reg = self.fp_temps.acquire(expr.line)
+            self.emit_fp_const(reg, expr.value)
+            return Value(reg, True, True)
+        if isinstance(expr, A.VarRef):
+            return self.gen_var_read(expr)
+        if isinstance(expr, A.ArrayRef):
+            return self.gen_array_load(expr)
+        if isinstance(expr, A.Unary):
+            return self.gen_unary(expr)
+        if isinstance(expr, A.Binary):
+            return self.gen_binary(expr)
+        if isinstance(expr, A.Logical):
+            return self.gen_logical_value(expr)
+        if isinstance(expr, A.Cast):
+            return self.gen_cast(expr)
+        if isinstance(expr, A.Call):
+            return self.gen_call(expr)
+        raise CompilerError(f"cannot generate {type(expr).__name__}", expr.line)
+
+    def gen_var_read(self, expr: A.VarRef) -> Value:
+        binding = self.bindings.get(expr.name)
+        is_fp = expr.type == A.DOUBLE
+        if binding is not None:
+            if binding.kind == "reg":
+                return Value(binding.reg, binding.is_fp, False)
+            reg = self.acquire_temp(binding.is_fp, expr.line)
+            self.emit_load_slot(reg, binding.offset, binding.is_fp)
+            return Value(reg, binding.is_fp, True)
+        info = self.symbols.globals.get(expr.name)
+        if info is None:
+            raise CompilerError(f"undefined variable {expr.name!r}", expr.line)
+        reg = self.acquire_temp(is_fp, expr.line)
+        addr_temp = self.int_temps.acquire(expr.line) if is_fp else reg
+        self.emit_load_global_scalar(reg, expr.name, is_fp, addr_temp)
+        if is_fp:
+            self.int_temps.release(addr_temp)
+        return Value(reg, is_fp, True)
+
+    def gen_unary(self, expr: A.Unary) -> Value:
+        operand = self.gen_expr(expr.operand)
+        dst = operand.reg if operand.owned else self.acquire_temp(
+            operand.is_fp, expr.line
+        )
+        if expr.op == "-":
+            self.emit_neg(dst, operand.reg, operand.is_fp)
+        elif expr.op == "!":
+            self.emit_not(dst, operand.reg)
+        else:  # ~
+            self.emit_bitnot(dst, operand.reg)
+        if operand.owned:
+            return Value(dst, operand.is_fp, True)
+        return Value(dst, operand.is_fp, True)
+
+    _COMPARISONS = ("<", "<=", ">", ">=", "==", "!=")
+
+    def gen_binary(self, expr: A.Binary) -> Value:
+        # hoisted by an enclosing loop's LICM?
+        if self.licm_exprs and expr.type == A.LONG:
+            licm_reg = self.licm_exprs.get(expr_key(expr))
+            if licm_reg is not None:
+                return Value(licm_reg, False, False)
+        # local-CSE hit? (gcc12 profile; pure long expressions only)
+        cached = self.cse.lookup(expr)
+        if cached is not None:
+            return Value(cached, False, False)
+        # constant-immediate fast path for long ops
+        if (
+            expr.type == A.LONG
+            and isinstance(expr.right, A.IntLit)
+            and expr.op in ("+", "-", "*", "&", "|", "^", "<<", ">>")
+        ):
+            left = self.gen_expr(expr.left)
+            dst = left.reg if left.owned else self.int_temps.acquire(expr.line)
+            if self.emit_binop_long_imm(expr.op, dst, left.reg, expr.right.value):
+                return self._maybe_pin(expr, Value(dst, False, True))
+            if not left.owned:
+                self.int_temps.release(dst)
+        left = self.gen_expr(expr.left)
+        right = self.gen_expr(expr.right)
+        if expr.op in self._COMPARISONS:
+            dst = self.int_temps.acquire(expr.line)
+            self.emit_compare_value(expr.op, dst, left.reg, right.reg, left.is_fp)
+            self.release(left)
+            self.release(right)
+            return Value(dst, False, True)
+        is_fp = expr.type == A.DOUBLE
+        if left.owned:
+            dst = left.reg
+        elif right.owned and expr.op in ("+", "*"):
+            # commutative: reuse the right temp
+            dst = right.reg
+        else:
+            dst = self.acquire_temp(is_fp, expr.line)
+        if is_fp:
+            self.emit_binop_double(expr.op, dst, left.reg, right.reg)
+        else:
+            self.emit_binop_long(expr.op, dst, left.reg, right.reg)
+        if left.owned and dst != left.reg:
+            self.release(left)
+        if right.owned and dst != right.reg:
+            self.release(right)
+        return self._maybe_pin(expr, Value(dst, is_fp, True))
+
+    def _maybe_pin(self, expr: A.Binary, value: Value) -> Value:
+        """Promote a freshly computed index expression into a pinned
+        register for reuse (the gcc12 local-CSE behaviour). Only pinned when
+        the same expression occurs again in the enclosing statement run —
+        pinning a single-use value would just add a move."""
+        if (
+            value.is_fp
+            or not self.cse.enabled
+            or not self.var_int_pool
+            or not is_interesting(expr)
+        ):
+            return value
+        key = expr_key(expr)
+        if key is None or not any(
+            key in repeated for repeated in self._cse_repeat_stack
+        ):
+            return value
+        pinned = self.alloc_var_reg(False)
+        if pinned is None:
+            return value
+        self.emit_move(pinned, value.reg, False)
+        self.release(value)
+        self.cse.insert(expr, pinned)
+        return Value(pinned, False, False)
+
+    def gen_logical_value(self, expr: A.Logical) -> Value:
+        """Materialize a short-circuit && / || as 0/1."""
+        dst = self.int_temps.acquire(expr.line)
+        done = self.new_label("lv")
+        if expr.op == "&&":
+            self.emit_li(dst, 0)
+            false_label = self.new_label("lf")
+            self.gen_cond_branch(expr, false_label, jump_if_true=False)
+            self.emit_li(dst, 1)
+            self.emit_label(false_label)
+        else:
+            self.emit_li(dst, 1)
+            true_label = self.new_label("lt")
+            self.gen_cond_branch(expr, true_label, jump_if_true=True)
+            self.emit_li(dst, 0)
+            self.emit_label(true_label)
+        self.emit_label(done)
+        return Value(dst, False, True)
+
+    def gen_cast(self, expr: A.Cast) -> Value:
+        operand = self.gen_expr(expr.operand)
+        if expr.target == operand_type(operand):
+            return operand
+        if expr.target == A.DOUBLE:
+            dst = self.fp_temps.acquire(expr.line)
+            self.emit_cast_long_to_double(dst, operand.reg)
+            self.release(operand)
+            return Value(dst, True, True)
+        dst = self.int_temps.acquire(expr.line)
+        self.emit_cast_double_to_long(dst, operand.reg)
+        self.release(operand)
+        return Value(dst, False, True)
+
+    def gen_call(self, expr: A.Call) -> Value:
+        if expr.name in BUILTINS:
+            args = [self.gen_expr(arg) for arg in expr.args]
+            dst = self.fp_temps.acquire(expr.line)
+            self.emit_builtin(expr.name, dst, [a.reg for a in args])
+            for a in args:
+                self.release(a)
+            return Value(dst, True, True)
+        func = self.symbols.functions[expr.name]
+        # args are call-free (the driver hoists nested calls), so evaluating
+        # into temps then moving into ABI registers is safe.
+        values = [self.gen_expr(arg) for arg in expr.args]
+        int_arg = fp_arg = 0
+        for value in values:
+            if value.is_fp:
+                self.emit_move(self.FP_ARG_REGS[fp_arg], value.reg, True)
+                fp_arg += 1
+            else:
+                self.emit_move(self.ARG_REGS[int_arg], value.reg, False)
+                int_arg += 1
+            self.release(value)
+        self.emit_call(expr.name)
+        self.cse_barrier()
+        if func.return_type == A.VOID:
+            return Value(self.RET_REG, False, False)
+        is_fp = func.return_type == A.DOUBLE
+        src = self.FP_RET_REG if is_fp else self.RET_REG
+        dst = self.acquire_temp(is_fp, expr.line)
+        self.emit_move(dst, src, is_fp)
+        return Value(dst, is_fp, True)
+
+    # -- array access (generic path) -----------------------------------------
+
+    def gen_array_load(self, expr: A.ArrayRef, into: str | None = None) -> Value:
+        """Load one array element; ``into`` loads straight into a home
+        register (no temp+move)."""
+        reduced = self._reduced_access(expr)
+        is_fp = expr.type == A.DOUBLE
+        if reduced is not None:
+            group, disp = reduced
+            dst = into if into is not None else self.acquire_temp(is_fp, expr.line)
+            if group.style == "ptr":
+                self.emit_load_pointer(dst, group.reg, disp, is_fp)
+            else:
+                plan = self._loop_plans[-1]
+                self.emit_load_indexed(dst, group.reg, plan.iv_reg, disp, is_fp,
+                                       None)
+            return Value(dst, is_fp, into is None)
+        index = self.gen_expr(expr.index)
+        base = self.array_base_regs.get(expr.name)
+        base_temp = None
+        if base is None:
+            base_temp = self.int_temps.acquire(expr.line)
+            self.emit_global_addr(base_temp, expr.name)
+            base = base_temp
+        dst = into if into is not None else self.acquire_temp(is_fp, expr.line)
+        self.emit_load_indexed(dst, base, index.reg, 0, is_fp, base_temp)
+        if base_temp is not None:
+            self.int_temps.release(base_temp)
+        self.release(index)
+        return Value(dst, is_fp, into is None)
+
+    def _emit_load_into(self, expr: A.Expr, reg: str, is_fp: bool) -> bool:
+        """``var = arr[i]`` straight into the home register."""
+        if not isinstance(expr, A.ArrayRef) or (expr.type == A.DOUBLE) != is_fp:
+            return False
+        self.gen_array_load(expr, into=reg)
+        return True
+
+    def gen_array_store(self, target: A.ArrayRef, value: Value, line: int) -> None:
+        reduced = self._reduced_access(target)
+        if reduced is not None:
+            group, disp = reduced
+            if group.style == "ptr":
+                self.emit_store_pointer(value.reg, group.reg, disp, value.is_fp)
+            else:
+                plan = self._loop_plans[-1]
+                self.emit_store_indexed(value.reg, group.reg, plan.iv_reg, disp,
+                                        value.is_fp, None)
+            return
+        index = self.gen_expr(target.index)
+        base = self.array_base_regs.get(target.name)
+        base_temp = None
+        if base is None:
+            base_temp = self.int_temps.acquire(line)
+            self.emit_global_addr(base_temp, target.name)
+            base = base_temp
+        temp = self.int_temps.acquire(line)
+        self.emit_store_indexed(value.reg, base, index.reg, 0, value.is_fp, temp)
+        self.int_temps.release(temp)
+        if base_temp is not None:
+            self.int_temps.release(base_temp)
+        self.release(index)
+
+def operand_type(value: Value) -> str:
+    return A.DOUBLE if value.is_fp else A.LONG
+
+
+def _f64_bits(value: float) -> int:
+    from repro.common import f64_to_bits
+
+    return f64_to_bits(value)

@@ -1,0 +1,313 @@
+"""kernelc RV64G back end.
+
+Embodies the RISC-V side of the paper's comparison: immediate-offset
+loads/stores with per-array pointer bumping, fused compare-and-branch
+(one instruction per conditional branch — no flags register), and the
+Listing 2 loop shape (``fld``/``fsd``/``add``/``add``/``bne``).
+"""
+
+from __future__ import annotations
+
+from repro.common import CompilerError, fits_signed, is_power_of_two
+from repro.compiler.backend_base import CodeGen, ELEM_SIZE
+from repro.compiler.loops import LoopPlan
+
+
+class RiscvCodeGen(CodeGen):
+    isa_name = "rv64"
+
+    INT_TEMPS = ["t0", "t1", "t2", "t3", "t4", "t5", "t6"]
+    FP_TEMPS = ["ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7"]
+    INT_VARS = ["s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
+                "s10", "s11"]
+    FP_VARS = ["fs0", "fs1", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8",
+               "fs9", "fs10", "fs11"]
+    INT_VARS_LEAF_BONUS = ["a2", "a3", "a4", "a5", "a6", "a7"]
+    FP_VARS_LEAF_BONUS = ["ft8", "ft9", "ft10", "ft11", "fa2", "fa3", "fa4",
+                          "fa5", "fa6", "fa7"]
+    ARG_REGS = ["a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7"]
+    FP_ARG_REGS = ["fa0", "fa1", "fa2", "fa3", "fa4", "fa5", "fa6", "fa7"]
+    RET_REG = "a0"
+    FP_RET_REG = "fa0"
+
+    _CALLEE_SAVED = set(INT_VARS) | set(FP_VARS)
+
+    # ------------------------------------------------------------- structure
+
+    def gen_startup(self) -> None:
+        self.emit_label("_start")
+        self.emit("call main")
+        self.emit("li a7, 93")
+        self.emit("ecall")
+
+    def emit_prologue_epilogue(self, body: list[str]) -> list[str]:
+        saved = sorted(reg for reg in self.used_var_regs
+                       if reg in self._CALLEE_SAVED)
+        leaf = not any(" call " in line or line.strip().startswith("call ")
+                       for line in body)
+        save_ra = not leaf
+        slot_bytes = self.stack_slots * ELEM_SIZE
+        save_bytes = (len(saved) + (1 if save_ra else 0)) * 8
+        frame = slot_bytes + save_bytes
+        frame = (frame + 15) & ~15
+        out: list[str] = []
+        if frame:
+            out.append(f"    addi sp, sp, -{frame}")
+        offset = slot_bytes
+        restores: list[str] = []
+        for reg in saved:
+            op_s, op_l = ("fsd", "fld") if reg.startswith("f") else ("sd", "ld")
+            out.append(f"    {op_s} {reg}, {offset}(sp)")
+            restores.append(f"    {op_l} {reg}, {offset}(sp)")
+            offset += 8
+        if save_ra:
+            out.append(f"    sd ra, {offset}(sp)")
+            restores.append(f"    ld ra, {offset}(sp)")
+        out.extend(body)
+        out.extend(restores)
+        if frame:
+            out.append(f"    addi sp, sp, {frame}")
+        out.append("    ret")
+        return out
+
+    # --------------------------------------------------------------- scalars
+
+    def emit_li(self, reg: str, value: int) -> None:
+        self.emit(f"li {reg}, {value}")
+
+    def emit_fp_const(self, reg: str, value: float) -> None:
+        if value == 0.0 and not str(value).startswith("-"):
+            self.emit(f"fmv.d.x {reg}, zero")
+            return
+        label = self.fp_const_label(value)
+        temp = self.int_temps.acquire(0)
+        self.emit(f"la {temp}, {label}")
+        self.emit(f"fld {reg}, 0({temp})")
+        self.int_temps.release(temp)
+
+    def emit_move(self, dst: str, src: str, is_fp: bool) -> None:
+        if dst == src:
+            return
+        self.emit(f"fmv.d {dst}, {src}" if is_fp else f"mv {dst}, {src}")
+
+    def emit_global_addr(self, reg: str, symbol: str) -> None:
+        self.emit(f"la {reg}, {symbol}")
+
+    def emit_load_global_scalar(self, dst, symbol, is_fp, addr_temp) -> None:
+        self.emit(f"la {addr_temp}, {symbol}")
+        self.emit(f"fld {dst}, 0({addr_temp})" if is_fp else f"ld {dst}, 0({addr_temp})")
+
+    def emit_store_global_scalar(self, src, symbol, is_fp, addr_temp) -> None:
+        self.emit(f"la {addr_temp}, {symbol}")
+        self.emit(f"fsd {src}, 0({addr_temp})" if is_fp else f"sd {src}, 0({addr_temp})")
+
+    # ------------------------------------------------------------ arithmetic
+
+    _LONG_OPS = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+                 "&": "and", "|": "or", "^": "xor", "<<": "sll", ">>": "sra"}
+
+    def emit_binop_long(self, op, dst, a, b) -> None:
+        self.emit(f"{self._LONG_OPS[op]} {dst}, {a}, {b}")
+
+    def emit_binop_long_imm(self, op, dst, a, imm) -> bool:
+        if op == "+" and fits_signed(imm, 12):
+            self.emit(f"addi {dst}, {a}, {imm}")
+            return True
+        if op == "-" and fits_signed(-imm, 12):
+            self.emit(f"addi {dst}, {a}, {-imm}")
+            return True
+        if op in ("&", "|", "^") and fits_signed(imm, 12):
+            name = {"&": "andi", "|": "ori", "^": "xori"}[op]
+            self.emit(f"{name} {dst}, {a}, {imm}")
+            return True
+        if op == "<<" and 0 <= imm < 64:
+            self.emit(f"slli {dst}, {a}, {imm}")
+            return True
+        if op == ">>" and 0 <= imm < 64:
+            self.emit(f"srai {dst}, {a}, {imm}")
+            return True
+        if op == "*" and is_power_of_two(imm):
+            self.emit(f"slli {dst}, {a}, {imm.bit_length() - 1}")
+            return True
+        return False
+
+    _FP_OPS = {"+": "fadd.d", "-": "fsub.d", "*": "fmul.d", "/": "fdiv.d"}
+
+    def emit_binop_double(self, op, dst, a, b) -> None:
+        self.emit(f"{self._FP_OPS[op]} {dst}, {a}, {b}")
+
+    def emit_neg(self, dst, src, is_fp) -> None:
+        self.emit(f"fneg.d {dst}, {src}" if is_fp else f"neg {dst}, {src}")
+
+    def emit_not(self, dst, src) -> None:
+        self.emit(f"seqz {dst}, {src}")
+
+    def emit_bitnot(self, dst, src) -> None:
+        self.emit(f"not {dst}, {src}")
+
+    # ----------------------------------------------------------- comparisons
+
+    def emit_compare_value(self, op, dst, a, b, is_fp) -> None:
+        if is_fp:
+            if op == "<":
+                self.emit(f"flt.d {dst}, {a}, {b}")
+            elif op == "<=":
+                self.emit(f"fle.d {dst}, {a}, {b}")
+            elif op == ">":
+                self.emit(f"flt.d {dst}, {b}, {a}")
+            elif op == ">=":
+                self.emit(f"fle.d {dst}, {b}, {a}")
+            elif op == "==":
+                self.emit(f"feq.d {dst}, {a}, {b}")
+            else:
+                self.emit(f"feq.d {dst}, {a}, {b}")
+                self.emit(f"xori {dst}, {dst}, 1")
+            return
+        if op == "<":
+            self.emit(f"slt {dst}, {a}, {b}")
+        elif op == ">":
+            self.emit(f"slt {dst}, {b}, {a}")
+        elif op == "<=":
+            self.emit(f"slt {dst}, {b}, {a}")
+            self.emit(f"xori {dst}, {dst}, 1")
+        elif op == ">=":
+            self.emit(f"slt {dst}, {a}, {b}")
+            self.emit(f"xori {dst}, {dst}, 1")
+        elif op == "==":
+            self.emit(f"xor {dst}, {a}, {b}")
+            self.emit(f"seqz {dst}, {dst}")
+        else:
+            self.emit(f"xor {dst}, {a}, {b}")
+            self.emit(f"snez {dst}, {dst}")
+
+    _BRANCHES = {"<": "blt", ">": "bgt", "<=": "ble", ">=": "bge",
+                 "==": "beq", "!=": "bne"}
+
+    def emit_compare_branch(self, op, a, b, target, is_fp, fp_temp=None) -> None:
+        if is_fp:
+            assert fp_temp is not None
+            if op == "<":
+                self.emit(f"flt.d {fp_temp}, {a}, {b}")
+            elif op == "<=":
+                self.emit(f"fle.d {fp_temp}, {a}, {b}")
+            elif op == ">":
+                self.emit(f"flt.d {fp_temp}, {b}, {a}")
+            elif op == ">=":
+                self.emit(f"fle.d {fp_temp}, {b}, {a}")
+            elif op == "==":
+                self.emit(f"feq.d {fp_temp}, {a}, {b}")
+            else:
+                self.emit(f"feq.d {fp_temp}, {a}, {b}")
+                self.emit(f"beqz {fp_temp}, {target}")
+                return
+            self.emit(f"bnez {fp_temp}, {target}")
+            return
+        self.emit(f"{self._BRANCHES[op]} {a}, {b}, {target}")
+
+    def emit_branch_zero(self, reg, target, if_zero) -> None:
+        self.emit(f"beqz {reg}, {target}" if if_zero else f"bnez {reg}, {target}")
+
+    def emit_jump(self, target) -> None:
+        self.emit(f"j {target}")
+
+    def emit_call(self, name) -> None:
+        self.emit(f"call {name}")
+
+    # ------------------------------------------------------------- converts
+
+    def emit_cast_long_to_double(self, dst, src) -> None:
+        self.emit(f"fcvt.d.l {dst}, {src}")
+
+    def emit_cast_double_to_long(self, dst, src) -> None:
+        self.emit(f"fcvt.l.d {dst}, {src}")
+
+    _BUILTIN_OPS = {"sqrt": "fsqrt.d", "fabs": "fabs.d",
+                    "fmin": "fmin.d", "fmax": "fmax.d"}
+
+    def emit_builtin(self, name, dst, args) -> None:
+        op = self._BUILTIN_OPS[name]
+        self.emit(f"{op} {dst}, {', '.join(args)}")
+
+    # ---------------------------------------------------------------- memory
+
+    def emit_load_slot(self, dst, offset, is_fp) -> None:
+        op = "fld" if is_fp else "ld"
+        self.emit(f"{op} {dst}, {offset}(sp)")
+
+    def emit_store_slot(self, src, offset, is_fp) -> None:
+        op = "fsd" if is_fp else "sd"
+        self.emit(f"{op} {src}, {offset}(sp)")
+
+    def emit_load_indexed(self, dst, base, index, disp, is_fp, temp) -> None:
+        # generic (non-strength-reduced) element access: 3 instructions on
+        # plain rv64g, 2 with Zba's fused shift-add (the gcc12-zba ablation)
+        if is_fp:
+            addr = self.int_temps.acquire(0)
+            if self.profile.rv_zba:
+                self.emit(f"sh3add {addr}, {index}, {base}")
+            else:
+                self.emit(f"slli {addr}, {index}, 3")
+                self.emit(f"add {addr}, {addr}, {base}")
+            self.emit(f"fld {dst}, {disp}({addr})")
+            self.int_temps.release(addr)
+        else:
+            if self.profile.rv_zba:
+                self.emit(f"sh3add {dst}, {index}, {base}")
+            else:
+                self.emit(f"slli {dst}, {index}, 3")
+                self.emit(f"add {dst}, {dst}, {base}")
+            self.emit(f"ld {dst}, {disp}({dst})")
+
+    def emit_store_indexed(self, src, base, index, disp, is_fp, temp) -> None:
+        addr = temp if temp is not None else self.int_temps.acquire(0)
+        if self.profile.rv_zba:
+            self.emit(f"sh3add {addr}, {index}, {base}")
+        else:
+            self.emit(f"slli {addr}, {index}, 3")
+            self.emit(f"add {addr}, {addr}, {base}")
+        self.emit(f"{'fsd' if is_fp else 'sd'} {src}, {disp}({addr})")
+        if temp is None:
+            self.int_temps.release(addr)
+
+    def emit_load_pointer(self, dst, pointer, disp, is_fp) -> None:
+        self.emit(f"{'fld' if is_fp else 'ld'} {dst}, {disp}({pointer})")
+
+    def emit_store_pointer(self, src, pointer, disp, is_fp) -> None:
+        self.emit(f"{'fsd' if is_fp else 'sd'} {src}, {disp}({pointer})")
+
+    # ------------------------------------------------------------------ loops
+
+    def uses_pointer_bump(self) -> bool:
+        return True
+
+    def _materialize_bound(self, bound_const: int) -> bool:
+        return True  # fused branches always read two registers
+
+    def emit_shift_add(self, reg, index_reg, scale: int = 1) -> None:
+        if self.profile.rv_zba and scale == 1:
+            self.emit(f"sh3add {reg}, {index_reg}, {reg}")
+            return
+        temp = self.int_temps.acquire(0)
+        factor = 8 * scale
+        if is_power_of_two(factor):
+            self.emit(f"slli {temp}, {index_reg}, {factor.bit_length() - 1}")
+        else:
+            self.emit(f"li {temp}, {factor}")
+            self.emit(f"mul {temp}, {temp}, {index_reg}")
+        self.emit(f"add {reg}, {reg}, {temp}")
+        self.int_temps.release(temp)
+
+    def emit_bump(self, reg, byte_step) -> None:
+        self.emit(f"addi {reg}, {reg}, {byte_step}")
+
+    def loop_exit_test(self, plan: LoopPlan, loop_label: str, strict: bool) -> None:
+        if plan.end_ptr_reg is not None:
+            # Listing 2 shape: pointer vs end pointer, fused branch
+            self.emit(f"bne {plan.test_group_reg}, {plan.end_ptr_reg}, {loop_label}")
+            return
+        if plan.bound_reg is None:
+            raise CompilerError("internal: RISC-V loop without bound register")
+        if plan.step == 1 and strict:
+            self.emit(f"bne {plan.iv_reg}, {plan.bound_reg}, {loop_label}")
+        else:
+            self.emit(f"blt {plan.iv_reg}, {plan.bound_reg}, {loop_label}")

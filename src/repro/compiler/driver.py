@@ -1,0 +1,84 @@
+"""kernelc compilation driver: source text → assembly → loadable image.
+
+The pipeline mirrors a real toolchain: front end (parse, type-check),
+middle-end preparation (constant folding, call normalization), ISA back end
+(profile-parameterized code generation), assembler, static ELF link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm import Program as AsmProgram, assemble
+from repro.compiler import ast_nodes as A
+from repro.compiler.backend_aarch64 import AArch64CodeGen
+from repro.compiler.backend_riscv import RiscvCodeGen
+from repro.compiler.parser import parse
+from repro.compiler.passes import fold_constants, hoist_calls
+from repro.compiler.profiles import Profile, get_profile
+from repro.compiler.sema import analyze
+from repro.isa import get_isa
+from repro.loader import LoadedImage, build_elf, load_elf
+
+_BACKENDS = {"aarch64": AArch64CodeGen, "rv64": RiscvCodeGen}
+
+
+@dataclass
+class CompiledProgram:
+    """The result of one compilation: every intermediate a test or an
+    analysis might want to look at."""
+
+    source: str
+    isa_name: str
+    profile: Profile
+    asm_text: str
+    program: AsmProgram
+    elf_bytes: bytes
+    image: LoadedImage
+
+
+def compile_to_asm(source: str, isa_name: str, profile: str | Profile = "gcc12") -> str:
+    """Compile kernelc ``source`` to assembly text for ``isa_name``."""
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    backend_cls = _BACKENDS.get(_canonical_isa(isa_name))
+    if backend_cls is None:
+        raise ValueError(f"no back end for ISA {isa_name!r}")
+    ast = parse(source)
+    symbols = analyze(ast)
+    fold_constants(ast)
+    hoist_calls(ast)
+    generator = backend_cls(symbols, profile)
+    return generator.gen_program(ast)
+
+
+def compile_source(
+    source: str, isa_name: str, profile: str | Profile = "gcc12"
+) -> CompiledProgram:
+    """Compile kernelc ``source`` all the way to a loadable static image."""
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    canonical = _canonical_isa(isa_name)
+    asm_text = compile_to_asm(source, canonical, profile)
+    isa = get_isa(canonical)
+    program = assemble(asm_text, isa)
+    elf_bytes = build_elf(program)
+    image = load_elf(elf_bytes)
+    return CompiledProgram(
+        source=source,
+        isa_name=canonical,
+        profile=profile,
+        asm_text=asm_text,
+        program=program,
+        elf_bytes=elf_bytes,
+        image=image,
+    )
+
+
+def _canonical_isa(name: str) -> str:
+    key = name.lower()
+    if key in ("aarch64", "arm", "armv8", "armv8-a"):
+        return "aarch64"
+    if key in ("rv64", "riscv", "rv64g", "riscv64"):
+        return "rv64"
+    raise ValueError(f"unknown ISA {name!r}")

@@ -1,0 +1,157 @@
+"""Block-local value numbering of pure ``long`` expressions.
+
+This is the ``gcc12`` profile's local-CSE machinery (see
+:mod:`repro.compiler.profiles`). The back end consults the cache before
+evaluating a pure integer expression and, when the profile enables it,
+promotes freshly computed "interesting" expressions (index arithmetic —
+anything with a multiply, or two or more additive operators) into pinned
+registers for reuse later in the same straight-line run.
+
+Soundness: only pure expressions (variables, literals, arithmetic — no
+loads or calls) are keyed; an assignment to a variable invalidates every
+entry depending on it; any label (= control-flow join), call, or loop
+boundary clears the cache entirely.
+
+Crucially, this runs *inside* the back end, after loop strength reduction
+has claimed the array-indexing patterns it wants, so caching never defeats
+pointer bumping or register-offset addressing — it only accelerates the
+residual generic address arithmetic (the flattened ``jj*nx + ii`` indexes
+of the grid workloads).
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast_nodes as A
+
+
+def expr_key(expr: A.Expr) -> tuple | None:
+    """Structural key for a pure long expression; None if impure/unkeyable."""
+    if isinstance(expr, A.IntLit):
+        return ("int", expr.value)
+    if isinstance(expr, A.VarRef):
+        return ("var", expr.name)
+    if isinstance(expr, A.Unary):
+        if expr.op not in ("-", "~"):
+            return None
+        sub = expr_key(expr.operand)
+        return None if sub is None else ("un", expr.op, sub)
+    if isinstance(expr, A.Binary) and expr.type == A.LONG:
+        left = expr_key(expr.left)
+        right = expr_key(expr.right)
+        if left is None or right is None:
+            return None
+        if expr.op in ("+", "*", "&", "|", "^"):
+            left, right = sorted((left, right))
+        return ("bin", expr.op, left, right)
+    return None
+
+
+def key_vars(key: tuple) -> frozenset[str]:
+    """Variable names a key depends on."""
+    if key[0] == "var":
+        return frozenset((key[1],))
+    if key[0] == "un":
+        return key_vars(key[2])
+    if key[0] == "bin":
+        return key_vars(key[2]) | key_vars(key[3])
+    return frozenset()
+
+
+def is_interesting(expr: A.Expr) -> bool:
+    """Worth pinning a register for: contains a multiply/divide/shift, or at
+    least two additive operators (i.e. real index arithmetic, not ``j+1``)."""
+    muls = _count_ops(expr, ("*", "/", "%", "<<", ">>"))
+    adds = _count_ops(expr, ("+", "-"))
+    return muls >= 1 or adds >= 2
+
+
+def _count_ops(expr: A.Expr, ops: tuple[str, ...]) -> int:
+    if isinstance(expr, A.Binary):
+        own = 1 if expr.op in ops else 0
+        return own + _count_ops(expr.left, ops) + _count_ops(expr.right, ops)
+    if isinstance(expr, A.Unary):
+        return _count_ops(expr.operand, ops)
+    return 0
+
+
+def count_repeated_keys(stmts, sink: dict[tuple, int]) -> None:
+    """Count pure-long expression keys in one statement run (flat — nested
+    control flow has its own runs). Used to pin only expressions that will
+    actually be reused."""
+    from repro.compiler import ast_nodes as A
+
+    def from_expr(expr) -> None:
+        if expr is None:
+            return
+        key = expr_key(expr)
+        if key is not None and isinstance(expr, A.Binary):
+            sink[key] = sink.get(key, 0) + 1
+        if isinstance(expr, (A.Unary, A.Cast)):
+            from_expr(expr.operand)
+        elif isinstance(expr, (A.Binary, A.Logical)):
+            from_expr(expr.left)
+            from_expr(expr.right)
+        elif isinstance(expr, A.ArrayRef):
+            from_expr(expr.index)
+        elif isinstance(expr, A.Call):
+            for arg in expr.args:
+                from_expr(arg)
+
+    for stmt in stmts:
+        if isinstance(stmt, A.AssignStmt):
+            from_expr(stmt.value)
+            if isinstance(stmt.target, A.ArrayRef):
+                from_expr(stmt.target.index)
+        elif isinstance(stmt, A.DeclStmt):
+            from_expr(stmt.init)
+        elif isinstance(stmt, A.ExprStmt):
+            from_expr(stmt.expr)
+        elif isinstance(stmt, A.ReturnStmt):
+            from_expr(stmt.value)
+        elif isinstance(stmt, A.IfStmt):
+            from_expr(stmt.cond)
+        elif isinstance(stmt, (A.WhileStmt, A.ForStmt)):
+            from_expr(getattr(stmt, "cond", None))
+        # bodies of nested statements are separate runs
+
+
+class ExprCache:
+    """The cache proper: key → (register, dependency variables)."""
+
+    def __init__(self, enabled: bool):
+        self.enabled = enabled
+        self.entries: dict[tuple, tuple[str, frozenset[str]]] = {}
+
+    def lookup(self, expr: A.Expr) -> str | None:
+        if not self.enabled or not self.entries:
+            return None
+        key = expr_key(expr)
+        if key is None:
+            return None
+        entry = self.entries.get(key)
+        return entry[0] if entry else None
+
+    def insert(self, expr: A.Expr, reg: str) -> bool:
+        if not self.enabled:
+            return False
+        key = expr_key(expr)
+        if key is None:
+            return False
+        self.entries[key] = (reg, key_vars(key))
+        return True
+
+    def invalidate_var(self, name: str) -> list[str]:
+        """Drop entries depending on ``name``; returns their registers."""
+        freed = []
+        for key in list(self.entries):
+            reg, deps = self.entries[key]
+            if name in deps:
+                freed.append(reg)
+                del self.entries[key]
+        return freed
+
+    def clear(self) -> list[str]:
+        """Drop everything (control-flow barrier); returns freed registers."""
+        freed = [reg for reg, _deps in self.entries.values()]
+        self.entries.clear()
+        return freed

@@ -1,0 +1,122 @@
+"""kernelc lexer.
+
+Tokens: identifiers/keywords, integer and floating literals, string
+literals (region names), and the C operator/punctuation set the language
+uses. ``//`` and ``/* */`` comments are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import CompilerError
+
+KEYWORDS = {
+    "long", "double", "void", "global", "func", "if", "else", "while",
+    "for", "return", "region", "break", "continue",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # "ident" | "keyword" | "int" | "float" | "string" | "op" | "eof"
+    text: str
+    line: int
+    value: object = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind},{self.text!r},l{self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize kernelc source; raises :class:`CompilerError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompilerError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == '"':
+            end = source.find('"', i + 1)
+            if end < 0 or "\n" in source[i:end]:
+                raise CompilerError("unterminated string literal", line)
+            tokens.append(Token("string", source[i : end + 1], line,
+                                source[i + 1 : end]))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                text = source[i:j]
+                tokens.append(Token("int", text, line, int(text, 16)))
+                i = j
+                continue
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == ".":
+                is_float = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                is_float = True
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            if is_float:
+                tokens.append(Token("float", text, line, float(text)))
+            else:
+                tokens.append(Token("int", text, line, int(text)))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise CompilerError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,422 @@
+"""kernelc recursive-descent parser.
+
+Grammar (informally)::
+
+    program    := (global | func)*
+    global     := "global" type IDENT ("[" INT "]")? ("=" init)? ";"
+    init       := literal | "{" literal ("," literal)* "}"
+    func       := "func" type IDENT "(" params? ")" block
+    params     := type IDENT ("," type IDENT)*
+    block      := "{" stmt* "}"
+    stmt       := decl | assign | if | while | for | return | region
+                | break | continue | call ";"
+    decl       := type IDENT ("=" expr)? ";"
+    assign     := lvalue "=" expr ";"
+    if         := "if" "(" expr ")" block ("else" (block | if))?
+    while      := "while" "(" expr ")" block
+    for        := "for" "(" (decl | assign) expr ";" assign-no-semi ")" block
+    region     := "region" STRING block
+    expr       := ternary-free C expression grammar down to primary
+
+Precedence follows C: ``||`` < ``&&`` < ``|`` < ``^`` < ``&`` <
+equality < relational < shift < additive < multiplicative < unary.
+"""
+
+from __future__ import annotations
+
+from repro.common import CompilerError
+from repro.compiler import ast_nodes as A
+from repro.compiler.lexer import Token, tokenize
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if not self.check(kind, text):
+            want = text or kind
+            raise CompilerError(
+                f"expected {want!r}, got {token.text!r}", token.line
+            )
+        return self.advance()
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self) -> A.Program:
+        program = A.Program()
+        while not self.check("eof"):
+            if self.check("keyword", "global"):
+                program.globals.append(self.parse_global())
+            elif self.check("keyword", "func"):
+                program.functions.append(self.parse_func())
+            else:
+                token = self.peek()
+                raise CompilerError(
+                    f"expected 'global' or 'func', got {token.text!r}", token.line
+                )
+        return program
+
+    def _parse_type(self) -> str:
+        token = self.peek()
+        if token.kind == "keyword" and token.text in ("long", "double", "void"):
+            self.advance()
+            return token.text
+        raise CompilerError(f"expected a type, got {token.text!r}", token.line)
+
+    def _parse_literal(self, value_type: str):
+        negative = bool(self.accept("op", "-"))
+        token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            value = -token.value if negative else token.value
+            return float(value) if value_type == "double" else value
+        if token.kind == "float":
+            self.advance()
+            value = -token.value if negative else token.value
+            if value_type == "long":
+                raise CompilerError("float literal initializing a long", token.line)
+            return value
+        raise CompilerError(f"expected literal, got {token.text!r}", token.line)
+
+    def parse_global(self) -> A.GlobalDecl:
+        start = self.expect("keyword", "global")
+        var_type = self._parse_type()
+        if var_type == "void":
+            raise CompilerError("globals cannot be void", start.line)
+        name = self.expect("ident").text
+        array_size = None
+        if self.accept("op", "["):
+            array_size = self.expect("int").value
+            self.expect("op", "]")
+            if array_size <= 0:
+                raise CompilerError(f"array size must be positive", start.line)
+        decl = A.GlobalDecl(start.line, var_type, name, array_size)
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                values = [self._parse_literal(var_type)]
+                while self.accept("op", ","):
+                    values.append(self._parse_literal(var_type))
+                self.expect("op", "}")
+                if array_size is None:
+                    raise CompilerError("brace initializer on a scalar", start.line)
+                if len(values) > array_size:
+                    raise CompilerError("too many initializer values", start.line)
+                decl.init_list = values
+            else:
+                if array_size is not None:
+                    raise CompilerError("array needs a brace initializer", start.line)
+                decl.init_scalar = self._parse_literal(var_type)
+        self.expect("op", ";")
+        return decl
+
+    def parse_func(self) -> A.FuncDecl:
+        start = self.expect("keyword", "func")
+        return_type = self._parse_type()
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params: list[tuple[str, str]] = []
+        if not self.check("op", ")"):
+            while True:
+                ptype = self._parse_type()
+                if ptype == "void":
+                    raise CompilerError("void parameter", start.line)
+                pname = self.expect("ident").text
+                params.append((ptype, pname))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        body = self.parse_block()
+        return A.FuncDecl(start.line, return_type, name, params, body)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_block(self) -> list[A.Stmt]:
+        self.expect("op", "{")
+        stmts: list[A.Stmt] = []
+        while not self.check("op", "}"):
+            stmts.append(self.parse_stmt())
+        self.expect("op", "}")
+        return stmts
+
+    def parse_stmt(self) -> A.Stmt:
+        token = self.peek()
+        if token.kind == "keyword":
+            if token.text in ("long", "double"):
+                return self._parse_decl()
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "for":
+                return self._parse_for()
+            if token.text == "return":
+                return self._parse_return()
+            if token.text == "region":
+                return self._parse_region()
+            if token.text == "break":
+                self.advance()
+                self.expect("op", ";")
+                return A.BreakStmt(line=token.line)
+            if token.text == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return A.ContinueStmt(line=token.line)
+        if token.kind == "op" and token.text == "{":
+            return A.BlockStmt(line=token.line, body=self.parse_block())
+        # assignment or expression (call) statement
+        stmt = self._parse_assign_or_expr()
+        self.expect("op", ";")
+        return stmt
+
+    def _parse_decl(self) -> A.DeclStmt:
+        token = self.peek()
+        var_type = self._parse_type()
+        name = self.expect("ident").text
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        self.expect("op", ";")
+        return A.DeclStmt(line=token.line, var_type=var_type, name=name, init=init)
+
+    def _parse_assign_or_expr(self) -> A.Stmt:
+        token = self.peek()
+        expr = self.parse_expr()
+        if self.check("op", "="):
+            if not isinstance(expr, (A.VarRef, A.ArrayRef)):
+                raise CompilerError("invalid assignment target", token.line)
+            self.advance()
+            value = self.parse_expr()
+            return A.AssignStmt(line=token.line, target=expr, value=value)
+        for compound in ("+=", "-=", "*=", "/="):
+            if self.check("op", compound):
+                if not isinstance(expr, (A.VarRef, A.ArrayRef)):
+                    raise CompilerError("invalid assignment target", token.line)
+                self.advance()
+                rhs = self.parse_expr()
+                # desugar: x OP= e  ->  x = x OP e (the read uses a fresh
+                # node so later passes that key on node identity stay sound)
+                read = _clone_lvalue(expr)
+                value = A.Binary(line=token.line, op=compound[0],
+                                 left=read, right=rhs)
+                return A.AssignStmt(line=token.line, target=expr, value=value)
+        if not isinstance(expr, A.Call):
+            raise CompilerError("expression statement must be a call", token.line)
+        return A.ExprStmt(line=token.line, expr=expr)
+
+    def _parse_if(self) -> A.IfStmt:
+        token = self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then_body = self.parse_block()
+        else_body: list[A.Stmt] = []
+        if self.accept("keyword", "else"):
+            if self.check("keyword", "if"):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self.parse_block()
+        return A.IfStmt(line=token.line, cond=cond, then_body=then_body,
+                        else_body=else_body)
+
+    def _parse_while(self) -> A.WhileStmt:
+        token = self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_block()
+        return A.WhileStmt(line=token.line, cond=cond, body=body)
+
+    def _parse_for(self) -> A.ForStmt:
+        token = self.expect("keyword", "for")
+        self.expect("op", "(")
+        if self.check("keyword", "long") or self.check("keyword", "double"):
+            init = self._parse_decl()  # consumes the ';'
+        else:
+            init = self._parse_assign_or_expr()
+            self.expect("op", ";")
+        cond = self.parse_expr()
+        self.expect("op", ";")
+        update = self._parse_assign_or_expr()
+        self.expect("op", ")")
+        body = self.parse_block()
+        return A.ForStmt(line=token.line, init=init, cond=cond, update=update,
+                         body=body)
+
+    def _parse_return(self) -> A.ReturnStmt:
+        token = self.expect("keyword", "return")
+        value = None
+        if not self.check("op", ";"):
+            value = self.parse_expr()
+        self.expect("op", ";")
+        return A.ReturnStmt(line=token.line, value=value)
+
+    def _parse_region(self) -> A.RegionStmt:
+        token = self.expect("keyword", "region")
+        name = self.expect("string").value
+        body = self.parse_block()
+        return A.RegionStmt(line=token.line, name=name, body=body)
+
+    # -- expressions -----------------------------------------------------
+
+    def parse_expr(self) -> A.Expr:
+        return self._parse_logical_or()
+
+    def _parse_logical_or(self) -> A.Expr:
+        left = self._parse_logical_and()
+        while self.check("op", "||"):
+            line = self.advance().line
+            right = self._parse_logical_and()
+            left = A.Logical(line=line, op="||", left=left, right=right)
+        return left
+
+    def _parse_logical_and(self) -> A.Expr:
+        left = self._parse_bitor()
+        while self.check("op", "&&"):
+            line = self.advance().line
+            right = self._parse_bitor()
+            left = A.Logical(line=line, op="&&", left=left, right=right)
+        return left
+
+    def _binary_level(self, ops: tuple[str, ...], next_level):
+        left = next_level()
+        while self.peek().kind == "op" and self.peek().text in ops:
+            token = self.advance()
+            right = next_level()
+            left = A.Binary(line=token.line, op=token.text, left=left, right=right)
+        return left
+
+    def _parse_bitor(self) -> A.Expr:
+        return self._binary_level(("|",), self._parse_bitxor)
+
+    def _parse_bitxor(self) -> A.Expr:
+        return self._binary_level(("^",), self._parse_bitand)
+
+    def _parse_bitand(self) -> A.Expr:
+        return self._binary_level(("&",), self._parse_equality)
+
+    def _parse_equality(self) -> A.Expr:
+        return self._binary_level(("==", "!="), self._parse_relational)
+
+    def _parse_relational(self) -> A.Expr:
+        return self._binary_level(("<", ">", "<=", ">="), self._parse_shift)
+
+    def _parse_shift(self) -> A.Expr:
+        return self._binary_level(("<<", ">>"), self._parse_additive)
+
+    def _parse_additive(self) -> A.Expr:
+        return self._binary_level(("+", "-"), self._parse_multiplicative)
+
+    def _parse_multiplicative(self) -> A.Expr:
+        return self._binary_level(("*", "/", "%"), self._parse_unary)
+
+    def _parse_unary(self) -> A.Expr:
+        token = self.peek()
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self.advance()
+            operand = self._parse_unary()
+            return A.Unary(line=token.line, op=token.text, operand=operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> A.Expr:
+        token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            return A.IntLit(line=token.line, value=token.value)
+        if token.kind == "float":
+            self.advance()
+            return A.FloatLit(line=token.line, value=token.value)
+        if token.kind == "op" and token.text == "(":
+            # cast or parenthesized expression
+            nxt = self.tokens[self.pos + 1]
+            if nxt.kind == "keyword" and nxt.text in ("long", "double"):
+                self.advance()
+                target = self._parse_type()
+                self.expect("op", ")")
+                operand = self._parse_unary()
+                return A.Cast(line=token.line, target=target, operand=operand)
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        if token.kind == "ident":
+            self.advance()
+            if self.check("op", "("):
+                self.advance()
+                args: list[A.Expr] = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return A.Call(line=token.line, name=token.text, args=args)
+            if self.check("op", "["):
+                self.advance()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                return A.ArrayRef(line=token.line, name=token.text, index=index)
+            return A.VarRef(line=token.line, name=token.text)
+        raise CompilerError(f"unexpected token {token.text!r}", token.line)
+
+
+def _clone_expr(expr: A.Expr) -> A.Expr:
+    """Deep-copy an expression tree (used by compound-assignment desugaring)."""
+    if isinstance(expr, A.IntLit):
+        return A.IntLit(line=expr.line, value=expr.value)
+    if isinstance(expr, A.FloatLit):
+        return A.FloatLit(line=expr.line, value=expr.value)
+    if isinstance(expr, A.VarRef):
+        return A.VarRef(line=expr.line, name=expr.name)
+    if isinstance(expr, A.ArrayRef):
+        return A.ArrayRef(line=expr.line, name=expr.name,
+                          index=_clone_expr(expr.index))
+    if isinstance(expr, A.Unary):
+        return A.Unary(line=expr.line, op=expr.op,
+                       operand=_clone_expr(expr.operand))
+    if isinstance(expr, A.Binary):
+        return A.Binary(line=expr.line, op=expr.op,
+                        left=_clone_expr(expr.left),
+                        right=_clone_expr(expr.right))
+    if isinstance(expr, A.Logical):
+        return A.Logical(line=expr.line, op=expr.op,
+                         left=_clone_expr(expr.left),
+                         right=_clone_expr(expr.right))
+    if isinstance(expr, A.Cast):
+        return A.Cast(line=expr.line, target=expr.target,
+                      operand=_clone_expr(expr.operand))
+    if isinstance(expr, A.Call):
+        return A.Call(line=expr.line, name=expr.name,
+                      args=[_clone_expr(a) for a in expr.args])
+    raise CompilerError(f"cannot clone {type(expr).__name__}", expr.line)
+
+
+def _clone_lvalue(expr: A.Expr) -> A.Expr:
+    return _clone_expr(expr)
+
+
+def parse(source: str) -> A.Program:
+    """Parse kernelc source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,249 @@
+"""AST-level preparation passes run by the driver.
+
+* :func:`fold_constants` — integer constant folding (so loop bounds written
+  as expressions of literals reach the loop lowering as plain literals).
+* :func:`hoist_calls` — rewrites nested non-builtin calls into preceding
+  synthetic declarations, guaranteeing the back ends only ever see calls at
+  statement root position (their temporaries never live across a call).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.common import CompilerError
+from repro.compiler import ast_nodes as A
+from repro.compiler.sema import BUILTINS
+
+# --------------------------------------------------------- constant folding
+
+_INT_FOLD = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b if 0 <= b < 64 else None,
+    ">>": lambda a, b: a >> b if 0 <= b < 64 else None,
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+}
+
+
+def _fold_expr(expr: A.Expr | None) -> A.Expr | None:
+    if expr is None:
+        return None
+    if isinstance(expr, (A.Unary, A.Cast)):
+        expr.operand = _fold_expr(expr.operand)
+        if isinstance(expr, A.Unary) and isinstance(expr.operand, A.IntLit):
+            value = expr.operand.value
+            if expr.op == "-":
+                return _int_lit(-value, expr)
+            if expr.op == "~":
+                return _int_lit(~value, expr)
+            if expr.op == "!":
+                return _int_lit(int(value == 0), expr)
+        if isinstance(expr, A.Unary) and isinstance(expr.operand, A.FloatLit):
+            if expr.op == "-":
+                lit = A.FloatLit(line=expr.line, value=-expr.operand.value)
+                lit.type = A.DOUBLE
+                return lit
+        if isinstance(expr, A.Cast) and expr.target == A.DOUBLE and isinstance(
+            expr.operand, A.IntLit
+        ):
+            lit = A.FloatLit(line=expr.line, value=float(expr.operand.value))
+            lit.type = A.DOUBLE
+            return lit
+        return expr
+    if isinstance(expr, A.Binary):
+        expr.left = _fold_expr(expr.left)
+        expr.right = _fold_expr(expr.right)
+        if (
+            isinstance(expr.left, A.IntLit)
+            and isinstance(expr.right, A.IntLit)
+            and expr.op in _INT_FOLD
+        ):
+            result = _INT_FOLD[expr.op](expr.left.value, expr.right.value)
+            if result is not None:
+                return _int_lit(result, expr)
+        if (
+            expr.op in ("/", "%")
+            and isinstance(expr.left, A.IntLit)
+            and isinstance(expr.right, A.IntLit)
+            and expr.right.value != 0
+            and expr.type == A.LONG
+        ):
+            a, b = expr.left.value, expr.right.value
+            q = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                q = -q
+            return _int_lit(q if expr.op == "/" else a - q * b, expr)
+        return expr
+    if isinstance(expr, A.Logical):
+        expr.left = _fold_expr(expr.left)
+        expr.right = _fold_expr(expr.right)
+        return expr
+    if isinstance(expr, A.ArrayRef):
+        expr.index = _fold_expr(expr.index)
+        return expr
+    if isinstance(expr, A.Call):
+        expr.args = [_fold_expr(arg) for arg in expr.args]
+        return expr
+    return expr
+
+
+def _int_lit(value: int, template: A.Expr) -> A.IntLit:
+    lit = A.IntLit(line=template.line, value=value)
+    lit.type = A.LONG
+    return lit
+
+
+def _fold_stmts(stmts: list[A.Stmt]) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, A.AssignStmt):
+            stmt.value = _fold_expr(stmt.value)
+            if isinstance(stmt.target, A.ArrayRef):
+                stmt.target.index = _fold_expr(stmt.target.index)
+        elif isinstance(stmt, A.DeclStmt):
+            stmt.init = _fold_expr(stmt.init)
+        elif isinstance(stmt, A.ExprStmt):
+            stmt.expr = _fold_expr(stmt.expr)
+        elif isinstance(stmt, A.ReturnStmt):
+            stmt.value = _fold_expr(stmt.value)
+        elif isinstance(stmt, A.IfStmt):
+            stmt.cond = _fold_expr(stmt.cond)
+            _fold_stmts(stmt.then_body)
+            _fold_stmts(stmt.else_body)
+        elif isinstance(stmt, A.WhileStmt):
+            stmt.cond = _fold_expr(stmt.cond)
+            _fold_stmts(stmt.body)
+        elif isinstance(stmt, A.ForStmt):
+            _fold_stmts([stmt.init])
+            stmt.cond = _fold_expr(stmt.cond)
+            _fold_stmts([stmt.update])
+            _fold_stmts(stmt.body)
+        elif isinstance(stmt, (A.RegionStmt, A.BlockStmt)):
+            _fold_stmts(stmt.body)
+
+
+def fold_constants(program: A.Program) -> None:
+    """Fold integer literal arithmetic throughout ``program`` (in place)."""
+    for func in program.functions:
+        _fold_stmts(func.body)
+
+
+# ------------------------------------------------------------- call hoisting
+
+class _CallHoister:
+    def __init__(self):
+        self.counter = itertools.count()
+
+    def rewrite_block(self, stmts: list[A.Stmt]) -> list[A.Stmt]:
+        out: list[A.Stmt] = []
+        for stmt in stmts:
+            sink: list[A.Stmt] = []
+            self._rewrite_stmt(stmt, sink)
+            out.extend(sink)
+            out.append(stmt)
+        return out
+
+    def _rewrite_stmt(self, stmt: A.Stmt, sink: list[A.Stmt]) -> None:
+        if isinstance(stmt, A.AssignStmt):
+            stmt.value = self._rewrite(stmt.value, sink, allow_root=True)
+            if isinstance(stmt.target, A.ArrayRef):
+                stmt.target.index = self._rewrite(stmt.target.index, sink, False)
+        elif isinstance(stmt, A.DeclStmt):
+            stmt.init = self._rewrite(stmt.init, sink, allow_root=True)
+        elif isinstance(stmt, A.ExprStmt):
+            stmt.expr = self._rewrite(stmt.expr, sink, allow_root=True)
+        elif isinstance(stmt, A.ReturnStmt):
+            stmt.value = self._rewrite(stmt.value, sink, allow_root=True)
+        elif isinstance(stmt, A.IfStmt):
+            stmt.cond = self._rewrite(stmt.cond, sink, allow_root=False)
+            stmt.then_body = self.rewrite_block(stmt.then_body)
+            stmt.else_body = self.rewrite_block(stmt.else_body)
+        elif isinstance(stmt, A.WhileStmt):
+            if _has_call(stmt.cond):
+                raise CompilerError(
+                    "calls in while-conditions are not supported; assign the "
+                    "result to a variable first", stmt.line,
+                )
+            stmt.body = self.rewrite_block(stmt.body)
+        elif isinstance(stmt, A.ForStmt):
+            if _has_call(stmt.cond):
+                raise CompilerError(
+                    "calls in for-conditions are not supported", stmt.line
+                )
+            init_sink: list[A.Stmt] = []
+            self._rewrite_stmt(stmt.init, init_sink)
+            if init_sink:
+                raise CompilerError(
+                    "calls in for-initializers are not supported", stmt.line
+                )
+            stmt.body = self.rewrite_block(stmt.body)
+        elif isinstance(stmt, (A.RegionStmt, A.BlockStmt)):
+            stmt.body = self.rewrite_block(stmt.body)
+
+    def _rewrite(self, expr: A.Expr | None, sink: list[A.Stmt],
+                 allow_root: bool) -> A.Expr | None:
+        if expr is None:
+            return None
+        if isinstance(expr, A.Call) and expr.name not in BUILTINS:
+            expr.args = [self._rewrite(arg, sink, False) for arg in expr.args]
+            if allow_root:
+                return expr
+            name = f"__call{next(self.counter)}"
+            decl = A.DeclStmt(line=expr.line, var_type=expr.type, name=name,
+                              init=expr)
+            sink.append(decl)
+            ref = A.VarRef(line=expr.line, name=name)
+            ref.type = expr.type
+            return ref
+        if isinstance(expr, A.Call):
+            expr.args = [self._rewrite(arg, sink, False) for arg in expr.args]
+            return expr
+        if isinstance(expr, (A.Unary, A.Cast)):
+            expr.operand = self._rewrite(expr.operand, sink, False)
+            return expr
+        if isinstance(expr, (A.Binary, A.Logical)):
+            expr.left = self._rewrite(expr.left, sink, False)
+            expr.right = self._rewrite(expr.right, sink, False)
+            return expr
+        if isinstance(expr, A.ArrayRef):
+            expr.index = self._rewrite(expr.index, sink, False)
+            return expr
+        return expr
+
+
+def _has_call(expr: A.Expr | None) -> bool:
+    if expr is None:
+        return False
+    if isinstance(expr, A.Call) and expr.name not in BUILTINS:
+        return True
+    if isinstance(expr, A.Call):
+        return any(_has_call(a) for a in expr.args)
+    if isinstance(expr, (A.Unary, A.Cast)):
+        return _has_call(expr.operand)
+    if isinstance(expr, (A.Binary, A.Logical)):
+        return _has_call(expr.left) or _has_call(expr.right)
+    if isinstance(expr, A.ArrayRef):
+        return _has_call(expr.index)
+    return False
+
+
+def hoist_calls(program: A.Program) -> None:
+    """Rewrite nested calls into preceding declarations (in place).
+
+    After this pass, non-builtin calls appear only as the root expression of
+    a declaration initializer, assignment value, return value, or expression
+    statement. Synthetic locals keep call results in callee-saved homes so
+    no expression temporary ever lives across a call.
+    """
+    hoister = _CallHoister()
+    for func in program.functions:
+        func.body = hoister.rewrite_block(func.body)

@@ -1,0 +1,410 @@
+"""kernelc semantic analysis.
+
+Annotates every expression with its type (inserting implicit long→double
+promotions as explicit :class:`~repro.compiler.ast_nodes.Cast` nodes),
+builds the symbol tables the back ends consume, validates calls and
+lvalues, and recognizes canonical induction-variable ``for`` loops (the
+pattern the loop-lowering code generators strength-reduce).
+
+Builtins (all over doubles, matching the C math functions the workloads
+use): ``sqrt``, ``fabs``, ``fmin``, ``fmax``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import CompilerError
+from repro.compiler import ast_nodes as A
+
+BUILTINS: dict[str, tuple[str, tuple[str, ...]]] = {
+    "sqrt": (A.DOUBLE, (A.DOUBLE,)),
+    "fabs": (A.DOUBLE, (A.DOUBLE,)),
+    "fmin": (A.DOUBLE, (A.DOUBLE, A.DOUBLE)),
+    "fmax": (A.DOUBLE, (A.DOUBLE, A.DOUBLE)),
+}
+
+
+@dataclass
+class GlobalInfo:
+    type: str
+    is_array: bool
+    size: int  # elements (1 for scalars)
+
+
+@dataclass
+class SymbolTable:
+    globals: dict[str, GlobalInfo] = field(default_factory=dict)
+    functions: dict[str, A.FuncDecl] = field(default_factory=dict)
+
+
+def assigned_names(stmts: list[A.Stmt]) -> set[str]:
+    """Names of variables and arrays assigned anywhere in ``stmts``
+    (recursively). Used for loop-invariance checks."""
+    names: set[str] = set()
+
+    def visit(stmt_list: list[A.Stmt]) -> None:
+        for stmt in stmt_list:
+            if isinstance(stmt, A.AssignStmt):
+                target = stmt.target
+                if isinstance(target, A.VarRef):
+                    names.add(target.name)
+                elif isinstance(target, A.ArrayRef):
+                    names.add(target.name)
+            elif isinstance(stmt, A.DeclStmt):
+                names.add(stmt.name)
+            elif isinstance(stmt, A.IfStmt):
+                visit(stmt.then_body)
+                visit(stmt.else_body)
+            elif isinstance(stmt, A.WhileStmt):
+                visit(stmt.body)
+            elif isinstance(stmt, A.ForStmt):
+                if stmt.init is not None:
+                    visit([stmt.init])
+                if stmt.update is not None:
+                    visit([stmt.update])
+                visit(stmt.body)
+            elif isinstance(stmt, (A.RegionStmt, A.BlockStmt)):
+                visit(stmt.body)
+            elif isinstance(stmt, A.ExprStmt):
+                # calls may assign globals inside the callee; callers that
+                # care check calls_in() separately
+                pass
+
+    visit(stmts)
+    return names
+
+
+def contains_call(stmts: list[A.Stmt]) -> bool:
+    """True if any statement (recursively) performs a function call."""
+    found = False
+
+    def expr_has_call(expr: A.Expr | None) -> bool:
+        if expr is None:
+            return False
+        if isinstance(expr, A.Call):
+            if expr.name not in BUILTINS:
+                return True
+            return any(expr_has_call(a) for a in expr.args)
+        if isinstance(expr, (A.Unary, A.Cast)):
+            return expr_has_call(expr.operand)
+        if isinstance(expr, (A.Binary, A.Logical)):
+            return expr_has_call(expr.left) or expr_has_call(expr.right)
+        if isinstance(expr, A.ArrayRef):
+            return expr_has_call(expr.index)
+        return False
+
+    def visit(stmt_list: list[A.Stmt]) -> bool:
+        for stmt in stmt_list:
+            if isinstance(stmt, A.AssignStmt):
+                if expr_has_call(stmt.value) or (
+                    isinstance(stmt.target, A.ArrayRef)
+                    and expr_has_call(stmt.target.index)
+                ):
+                    return True
+            elif isinstance(stmt, A.DeclStmt) and expr_has_call(stmt.init):
+                return True
+            elif isinstance(stmt, A.ExprStmt):
+                if expr_has_call(stmt.expr):
+                    return True
+            elif isinstance(stmt, A.ReturnStmt) and expr_has_call(stmt.value):
+                return True
+            elif isinstance(stmt, A.IfStmt):
+                if expr_has_call(stmt.cond) or visit(stmt.then_body) or visit(stmt.else_body):
+                    return True
+            elif isinstance(stmt, A.WhileStmt):
+                if expr_has_call(stmt.cond) or visit(stmt.body):
+                    return True
+            elif isinstance(stmt, A.ForStmt):
+                inner = ([stmt.init] if stmt.init else []) + ([stmt.update] if stmt.update else [])
+                if expr_has_call(stmt.cond) or visit(inner) or visit(stmt.body):
+                    return True
+            elif isinstance(stmt, (A.RegionStmt, A.BlockStmt)):
+                if visit(stmt.body):
+                    return True
+        return False
+
+    return visit(stmts)
+
+
+class _Analyzer:
+    def __init__(self, program: A.Program):
+        self.program = program
+        self.symbols = SymbolTable()
+        self.scope: dict[str, str] = {}      # local name -> type
+        self.current: A.FuncDecl | None = None
+        self.loop_depth = 0
+
+    def run(self) -> SymbolTable:
+        for decl in self.program.globals:
+            if decl.name in self.symbols.globals:
+                raise CompilerError(f"duplicate global {decl.name!r}", decl.line)
+            self.symbols.globals[decl.name] = GlobalInfo(
+                decl.var_type, decl.array_size is not None, decl.array_size or 1
+            )
+        for func in self.program.functions:
+            if func.name in self.symbols.functions or func.name in BUILTINS:
+                raise CompilerError(f"duplicate function {func.name!r}", func.line)
+            self.symbols.functions[func.name] = func
+        if "main" not in self.symbols.functions:
+            raise CompilerError("program has no 'main' function")
+        for func in self.program.functions:
+            self._check_function(func)
+        return self.symbols
+
+    # -- functions / statements ----------------------------------------------
+
+    def _check_function(self, func: A.FuncDecl) -> None:
+        self.current = func
+        self.scope = {}
+        for ptype, pname in func.params:
+            if pname in self.scope:
+                raise CompilerError(f"duplicate parameter {pname!r}", func.line)
+            self.scope[pname] = ptype
+        self._check_block(func.body)
+
+    def _check_block(self, stmts: list[A.Stmt]) -> None:
+        """Blocks are lexical scopes: declarations vanish at the brace.
+        Shadowing an outer name is rejected (mirrors the back end's
+        binding rules)."""
+        saved = dict(self.scope)
+        for stmt in stmts:
+            self._check_stmt(stmt)
+        self.scope = saved
+
+    def _check_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.DeclStmt):
+            if stmt.name in self.scope:
+                raise CompilerError(f"redeclaration of {stmt.name!r}", stmt.line)
+            if stmt.var_type == A.VOID:
+                raise CompilerError("void variable", stmt.line)
+            if stmt.init is not None:
+                stmt.init = self._coerce(self._check_expr(stmt.init), stmt.var_type,
+                                         stmt.line)
+            self.scope[stmt.name] = stmt.var_type
+        elif isinstance(stmt, A.AssignStmt):
+            target_type = self._check_lvalue(stmt.target)
+            stmt.value = self._coerce(self._check_expr(stmt.value), target_type,
+                                      stmt.line)
+        elif isinstance(stmt, A.IfStmt):
+            stmt.cond = self._check_cond(stmt.cond)
+            self._check_block(stmt.then_body)
+            self._check_block(stmt.else_body)
+        elif isinstance(stmt, A.WhileStmt):
+            stmt.cond = self._check_cond(stmt.cond)
+            self.loop_depth += 1
+            self._check_block(stmt.body)
+            self.loop_depth -= 1
+        elif isinstance(stmt, A.ForStmt):
+            saved = dict(self.scope)  # the init declaration is loop-scoped
+            self._check_stmt(stmt.init)
+            stmt.cond = self._check_cond(stmt.cond)
+            self._check_stmt(stmt.update)
+            self.loop_depth += 1
+            self._check_block(stmt.body)
+            self.loop_depth -= 1
+            self._detect_canonical_iv(stmt)
+            self.scope = saved
+        elif isinstance(stmt, A.ReturnStmt):
+            assert self.current is not None
+            if self.current.return_type == A.VOID:
+                if stmt.value is not None:
+                    raise CompilerError("void function returns a value", stmt.line)
+            else:
+                if stmt.value is None:
+                    raise CompilerError("non-void function returns nothing", stmt.line)
+                stmt.value = self._coerce(self._check_expr(stmt.value),
+                                          self.current.return_type, stmt.line)
+        elif isinstance(stmt, A.ExprStmt):
+            self._check_expr(stmt.expr)
+        elif isinstance(stmt, (A.RegionStmt, A.BlockStmt)):
+            self._check_block(stmt.body)
+        elif isinstance(stmt, (A.BreakStmt, A.ContinueStmt)):
+            if self.loop_depth == 0:
+                raise CompilerError("break/continue outside a loop", stmt.line)
+        else:  # pragma: no cover
+            raise CompilerError(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    def _detect_canonical_iv(self, stmt: A.ForStmt) -> None:
+        """Record (iv_name, iv_step) when the loop is the canonical
+        ``for (long j = e0; j < e1; j = j + C)`` shape with j unmodified in
+        the body."""
+        init, cond, update = stmt.init, stmt.cond, stmt.update
+        if isinstance(init, A.DeclStmt) and init.var_type == A.LONG:
+            name = init.name
+        elif isinstance(init, A.AssignStmt) and isinstance(init.target, A.VarRef):
+            if init.target.type != A.LONG:
+                return
+            name = init.target.name
+        else:
+            return
+        if not (
+            isinstance(cond, A.Binary)
+            and cond.op in ("<", "<=")
+            and isinstance(cond.left, A.VarRef)
+            and cond.left.name == name
+        ):
+            return
+        if not (
+            isinstance(update, A.AssignStmt)
+            and isinstance(update.target, A.VarRef)
+            and update.target.name == name
+            and isinstance(update.value, A.Binary)
+            and update.value.op == "+"
+        ):
+            return
+        add = update.value
+        if (
+            isinstance(add.left, A.VarRef) and add.left.name == name
+            and isinstance(add.right, A.IntLit)
+        ):
+            step = add.right.value
+        elif (
+            isinstance(add.right, A.VarRef) and add.right.name == name
+            and isinstance(add.left, A.IntLit)
+        ):
+            step = add.left.value
+        else:
+            return
+        if step <= 0:
+            return
+        if name in assigned_names(stmt.body):
+            return
+        stmt.iv_name = name
+        stmt.iv_step = step
+
+    # -- expressions -----------------------------------------------------
+
+    def _check_lvalue(self, expr: A.Expr) -> str:
+        if isinstance(expr, A.VarRef):
+            var_type = self._lookup_var(expr)
+            expr.type = var_type
+            return var_type
+        if isinstance(expr, A.ArrayRef):
+            info = self.symbols.globals.get(expr.name)
+            if info is None or not info.is_array:
+                raise CompilerError(f"{expr.name!r} is not a global array", expr.line)
+            expr.index = self._coerce(self._check_expr(expr.index), A.LONG, expr.line)
+            expr.type = info.type
+            return info.type
+        raise CompilerError("invalid assignment target", expr.line)
+
+    def _lookup_var(self, expr: A.VarRef) -> str:
+        if expr.name in self.scope:
+            return self.scope[expr.name]
+        info = self.symbols.globals.get(expr.name)
+        if info is not None:
+            if info.is_array:
+                raise CompilerError(
+                    f"array {expr.name!r} used without an index", expr.line
+                )
+            return info.type
+        raise CompilerError(f"undefined variable {expr.name!r}", expr.line)
+
+    def _check_cond(self, expr: A.Expr) -> A.Expr:
+        checked = self._check_expr(expr)
+        if checked.type == A.DOUBLE:
+            raise CompilerError(
+                "condition must be integer-valued (compare doubles explicitly)",
+                expr.line,
+            )
+        return checked
+
+    def _coerce(self, expr: A.Expr, target: str, line: int) -> A.Expr:
+        if expr.type == target:
+            return expr
+        if expr.type == A.LONG and target == A.DOUBLE:
+            cast = A.Cast(line=line, target=A.DOUBLE, operand=expr)
+            cast.type = A.DOUBLE
+            return cast
+        raise CompilerError(
+            f"cannot implicitly convert {expr.type} to {target}", line
+        )
+
+    def _check_expr(self, expr: A.Expr) -> A.Expr:
+        if isinstance(expr, A.IntLit):
+            expr.type = A.LONG
+        elif isinstance(expr, A.FloatLit):
+            expr.type = A.DOUBLE
+        elif isinstance(expr, A.VarRef):
+            expr.type = self._lookup_var(expr)
+        elif isinstance(expr, A.ArrayRef):
+            info = self.symbols.globals.get(expr.name)
+            if info is None or not info.is_array:
+                raise CompilerError(f"{expr.name!r} is not a global array", expr.line)
+            expr.index = self._coerce(self._check_expr(expr.index), A.LONG, expr.line)
+            expr.type = info.type
+        elif isinstance(expr, A.Unary):
+            operand = self._check_expr(expr.operand)
+            if expr.op == "-":
+                expr.type = operand.type
+            elif expr.op in ("!", "~"):
+                if operand.type != A.LONG:
+                    raise CompilerError(f"{expr.op} needs a long operand", expr.line)
+                expr.type = A.LONG
+            expr.operand = operand
+        elif isinstance(expr, A.Binary):
+            left = self._check_expr(expr.left)
+            right = self._check_expr(expr.right)
+            if expr.op in ("&", "|", "^", "<<", ">>", "%"):
+                if left.type != A.LONG or right.type != A.LONG:
+                    raise CompilerError(f"{expr.op} needs long operands", expr.line)
+                expr.type = A.LONG
+            elif expr.op in ("<", ">", "<=", ">=", "==", "!="):
+                if left.type != right.type:
+                    left, right = self._promote_pair(left, right, expr.line)
+                expr.type = A.LONG
+            else:  # + - * /
+                if left.type != right.type:
+                    left, right = self._promote_pair(left, right, expr.line)
+                expr.type = left.type
+            expr.left, expr.right = left, right
+        elif isinstance(expr, A.Logical):
+            expr.left = self._check_cond(expr.left)
+            expr.right = self._check_cond(expr.right)
+            expr.type = A.LONG
+        elif isinstance(expr, A.Cast):
+            expr.operand = self._check_expr(expr.operand)
+            if expr.target == A.VOID:
+                raise CompilerError("cannot cast to void", expr.line)
+            expr.type = expr.target
+        elif isinstance(expr, A.Call):
+            if expr.name in BUILTINS:
+                ret, param_types = BUILTINS[expr.name]
+                if len(expr.args) != len(param_types):
+                    raise CompilerError(
+                        f"{expr.name} expects {len(param_types)} args", expr.line
+                    )
+                expr.args = [
+                    self._coerce(self._check_expr(arg), ptype, expr.line)
+                    for arg, ptype in zip(expr.args, param_types)
+                ]
+                expr.type = ret
+            else:
+                func = self.symbols.functions.get(expr.name)
+                if func is None:
+                    raise CompilerError(f"undefined function {expr.name!r}", expr.line)
+                if len(expr.args) != len(func.params):
+                    raise CompilerError(
+                        f"{expr.name} expects {len(func.params)} args", expr.line
+                    )
+                expr.args = [
+                    self._coerce(self._check_expr(arg), ptype, expr.line)
+                    for arg, (ptype, _pname) in zip(expr.args, func.params)
+                ]
+                expr.type = func.return_type
+        else:  # pragma: no cover
+            raise CompilerError(f"unknown expression {type(expr).__name__}", expr.line)
+        return expr
+
+    def _promote_pair(self, left: A.Expr, right: A.Expr, line: int):
+        if left.type == A.LONG and right.type == A.DOUBLE:
+            return self._coerce(left, A.DOUBLE, line), right
+        if left.type == A.DOUBLE and right.type == A.LONG:
+            return left, self._coerce(right, A.DOUBLE, line)
+        raise CompilerError("incompatible operand types", line)
+
+
+def analyze(program: A.Program) -> SymbolTable:
+    """Type-check and annotate ``program``; returns its symbol table."""
+    return _Analyzer(program).run()

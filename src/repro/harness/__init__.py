@@ -1,0 +1,41 @@
+"""Experiment harness: regenerates every table and figure in the paper.
+
+* :func:`repro.harness.experiments.run_suite` — compile and run the full
+  benchmark × compiler × ISA matrix once, with all analysis probes attached
+  (the expensive step; everything below renders from its result).
+* :func:`repro.harness.experiments.run_figure1` — per-kernel path lengths,
+  normalized to GCC 9.2/AArch64 (Figure 1).
+* :func:`repro.harness.experiments.run_table1` — path length, critical
+  path, ILP and 2 GHz runtime (Table 1).
+* :func:`repro.harness.experiments.run_table2` — latency-scaled critical
+  paths under the TX2 models (Table 2).
+* :func:`repro.harness.experiments.run_figure2` — mean ILP per ROB-window
+  size, GCC 12.2 binaries (Figure 2).
+
+``python -m repro.harness.cli`` (or the ``repro-isa-compare`` script)
+drives these from the command line and writes the artifact-style text
+outputs (``kernelCounts.txt``, ``basicCPResult.txt``, ``scaledCPResult.txt``,
+``windowAverages.txt``).
+"""
+
+from repro.harness.experiments import (
+    ConfigResult,
+    SuiteResult,
+    run_suite,
+    run_figure1,
+    run_table1,
+    run_table2,
+    run_figure2,
+    run_future_cores,
+)
+
+__all__ = [
+    "ConfigResult",
+    "SuiteResult",
+    "run_suite",
+    "run_figure1",
+    "run_table1",
+    "run_table2",
+    "run_figure2",
+    "run_future_cores",
+]

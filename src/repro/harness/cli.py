@@ -1,0 +1,109 @@
+"""Command-line driver: reproduce the paper's artifacts.
+
+Usage::
+
+    repro-isa-compare [--scale S] [--workloads stream,lbm,...] [--out DIR]
+                      [--skip-windowed] [--windows 4,16,64,...]
+
+Prints Figure 1, Table 1, Table 2 and Figure 2 renderings, and (with
+``--out``) writes the artifact-style text files the paper's buildAndRun
+script produced: ``kernelCounts.txt``, ``basicCPResult.txt``,
+``scaledCPResult.txt`` and ``windowAverages.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.harness.experiments import (
+    run_figure1,
+    run_figure2,
+    run_suite,
+    run_table1,
+    run_table2,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-isa-compare",
+        description="Reproduce 'An Empirical Comparison of the RISC-V and "
+                    "AArch64 Instruction Sets' (SC-W 2023)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="problem-size scale factor (default 1.0; see "
+                             "DESIGN.md for the size mapping)")
+    parser.add_argument("--workloads", type=str, default=None,
+                        help="comma-separated subset (default: all five)")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="directory for artifact-style text outputs")
+    parser.add_argument("--skip-windowed", action="store_true",
+                        help="skip the §6 windowed analysis (the slowest)")
+    parser.add_argument("--windows", type=str, default=None,
+                        help="comma-separated window sizes (default: paper's)")
+    parser.add_argument("--future-cores", action="store_true",
+                        help="also run the §8 finite-core timing models")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    workloads = tuple(args.workloads.split(",")) if args.workloads else None
+    kwargs = {}
+    if args.windows:
+        kwargs["window_sizes"] = tuple(int(w) for w in args.windows.split(","))
+    suite = run_suite(
+        args.scale,
+        workloads=workloads,
+        windowed=not args.skip_windowed,
+        verbose=not args.quiet,
+        **kwargs,
+    )
+
+    figure1 = run_figure1(suite=suite)
+    table1 = run_table1(suite=suite)
+    table2 = run_table2(suite=suite)
+    figure2 = run_figure2(suite=suite) if not args.skip_windowed else None
+
+    sections = [figure1.render(), table1.render(), table2.render()]
+    if figure2 is not None:
+        sections.append(figure2.render())
+    future = None
+    if args.future_cores:
+        from repro.harness.experiments import run_future_cores
+
+        future = run_future_cores(args.scale, workloads=workloads)
+        sections.append(future.render())
+    output = "\n\n\n".join(sections)
+    print(output)
+
+    if args.out is not None:
+        from repro.plot import figure1_svg, figure2_svg
+
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "kernelCounts.txt").write_text(figure1.render() + "\n")
+        kernels = {name: list(wl.kernels)
+                   for name, wl in suite.workloads.items()}
+        (args.out / "kernelCounts.svg").write_text(
+            figure1_svg(figure1.normalized, kernels)
+        )
+        (args.out / "basicCPResult.txt").write_text(table1.render() + "\n")
+        (args.out / "scaledCPResult.txt").write_text(table2.render() + "\n")
+        if figure2 is not None:
+            (args.out / "windowAverages.txt").write_text(
+                figure2.window_averages_text() + "\n"
+            )
+            (args.out / "meanILP.txt").write_text(figure2.render() + "\n")
+            # the artifact's lineGraph.pdf, as SVG (matplotlib-free)
+            (args.out / "lineGraph.svg").write_text(
+                figure2_svg(figure2.series)
+            )
+        if future is not None:
+            (args.out / "futureCores.txt").write_text(future.render() + "\n")
+        if not args.quiet:
+            print(f"\nartifact outputs written to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,391 @@
+"""The experiment matrix and the four paper artifacts it feeds.
+
+Design: each (workload × ISA × compiler-profile) binary is compiled and
+executed **once**, with every analysis probe attached — path-length,
+plain critical path, scaled critical path (TX2 / TX2-derived models),
+instruction mix, and (on GCC 12.2 binaries, per §6.1) the windowed
+critical path. The figures and tables then render from the cached
+:class:`SuiteResult` without re-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import (
+    CriticalPathProbe,
+    CriticalPathResult,
+    InstructionMixProbe,
+    InstructionMixResult,
+    PathLengthProbe,
+    PathLengthResult,
+    WindowedCPProbe,
+    WindowedCPResult,
+    ilp,
+    runtime_ms,
+)
+from repro.analysis.report import format_table
+from repro.analysis.windowed import PAPER_WINDOW_SIZES
+from repro.sim.config import CoreModel, load_core_model
+from repro.workloads import ALL_WORKLOADS, Workload, get_workload, run_workload
+
+ISAS = ("aarch64", "rv64")
+PROFILES = ("gcc9", "gcc12")
+#: Figure 1 normalizes every bar to this configuration.
+BASELINE = ("aarch64", "gcc9")
+CLOCK_GHZ = 2.0
+
+#: §5.1: the TX2 model for AArch64, the TX2-derived model for RISC-V.
+SCALED_MODELS = {"aarch64": "tx2", "rv64": "tx2-riscv"}
+
+ISA_DISPLAY = {"aarch64": "AArch64", "rv64": "RISC-V"}
+PROFILE_DISPLAY = {"gcc9": "GCC 9.2", "gcc12": "GCC 12.2"}
+
+
+@dataclass
+class ConfigResult:
+    """Everything measured for one workload × ISA × profile binary."""
+
+    workload: str
+    isa: str
+    profile: str
+    path: PathLengthResult
+    cp: CriticalPathResult
+    scaled_cp: CriticalPathResult
+    mix: InstructionMixResult
+    windowed: dict[int, WindowedCPResult] | None = None
+
+    @property
+    def path_length(self) -> int:
+        return self.path.total
+
+    @property
+    def ilp(self) -> float:
+        return ilp(self.path_length, self.cp.critical_path)
+
+    @property
+    def scaled_ilp(self) -> float:
+        return ilp(self.path_length, self.scaled_cp.critical_path)
+
+    def runtime_ms(self, clock_ghz: float = CLOCK_GHZ) -> float:
+        return runtime_ms(self.cp.critical_path, clock_ghz)
+
+    def scaled_runtime_ms(self, clock_ghz: float = CLOCK_GHZ) -> float:
+        return runtime_ms(self.scaled_cp.critical_path, clock_ghz)
+
+
+@dataclass
+class SuiteResult:
+    """All configurations, plus the parameters that produced them."""
+
+    scale: float
+    workloads: dict[str, Workload]
+    configs: dict[tuple[str, str, str], ConfigResult] = field(default_factory=dict)
+    window_sizes: tuple[int, ...] = PAPER_WINDOW_SIZES
+
+    def get(self, workload: str, isa: str, profile: str) -> ConfigResult:
+        return self.configs[(workload, isa, profile)]
+
+
+def run_config(
+    workload: Workload,
+    isa: str,
+    profile: str,
+    *,
+    windowed: bool = False,
+    window_sizes: tuple[int, ...] = PAPER_WINDOW_SIZES,
+    slide_fraction: float = 0.5,
+    models: dict[str, str | CoreModel] | None = None,
+    max_instructions: int = 500_000_000,
+) -> ConfigResult:
+    """Compile, run and analyze one configuration (single execution)."""
+    compiled = workload.compile(isa, profile)
+    path_probe = PathLengthProbe(compiled.image.regions)
+    cp_probe = CriticalPathProbe()
+    model = (models or SCALED_MODELS)[isa]
+    if isinstance(model, str):
+        model = load_core_model(model)
+    scaled_probe = CriticalPathProbe(model)
+    mix_probe = InstructionMixProbe()
+    probes = [path_probe, cp_probe, scaled_probe, mix_probe]
+    window_probe = None
+    if windowed:
+        window_probe = WindowedCPProbe(window_sizes, slide_fraction)
+        probes.append(window_probe)
+    run_workload(
+        workload, isa, profile, probes, compiled=compiled,
+        max_instructions=max_instructions,
+    )
+    return ConfigResult(
+        workload=workload.name,
+        isa=isa,
+        profile=profile,
+        path=path_probe.result(),
+        cp=cp_probe.result(),
+        scaled_cp=scaled_probe.result(),
+        mix=mix_probe.result(),
+        windowed=window_probe.results() if window_probe else None,
+    )
+
+
+def run_suite(
+    scale: float = 1.0,
+    *,
+    workloads: tuple[str, ...] | None = None,
+    windowed: bool = True,
+    window_sizes: tuple[int, ...] = PAPER_WINDOW_SIZES,
+    verbose: bool = False,
+) -> SuiteResult:
+    """Run the full matrix. ``scale`` scales every workload's problem size
+    (1.0 = reduced defaults; see DESIGN.md §5). Windowed analysis runs on
+    GCC 12.2 binaries only, as in §6.1."""
+    names = workloads or tuple(ALL_WORKLOADS)
+    suite = SuiteResult(
+        scale=scale,
+        workloads={name: get_workload(name, scale) for name in names},
+        window_sizes=tuple(window_sizes),
+    )
+    for name, workload in suite.workloads.items():
+        for isa in ISAS:
+            for profile in PROFILES:
+                wants_window = windowed and profile == "gcc12"
+                if verbose:
+                    print(f"running {name}/{isa}/{profile} ...", flush=True)
+                suite.configs[(name, isa, profile)] = run_config(
+                    workload, isa, profile,
+                    windowed=wants_window, window_sizes=window_sizes,
+                )
+    return suite
+
+
+# --------------------------------------------------------------- Figure 1
+
+@dataclass
+class Figure1Result:
+    """Per-kernel path lengths, normalized to GCC 9.2 / AArch64."""
+
+    suite: SuiteResult
+    # workload -> {(isa, profile) -> {kernel -> normalized count}}
+    normalized: dict[str, dict[tuple[str, str], dict[str, float]]]
+    raw: dict[str, dict[tuple[str, str], dict[str, int]]]
+
+    def render(self) -> str:
+        sections = []
+        for name, per_config in self.normalized.items():
+            kernels = list(self.suite.workloads[name].kernels) + ["other"]
+            headers = ["config"] + kernels + ["total"]
+            rows = []
+            for (isa, profile), counts in per_config.items():
+                label = f"{PROFILE_DISPLAY[profile]} {ISA_DISPLAY[isa]}"
+                row = [label] + [round(counts.get(k, 0.0), 4) for k in kernels]
+                row.append(round(sum(counts.values()), 4))
+                rows.append(row)
+            sections.append(format_table(
+                headers, rows,
+                title=f"Figure 1 — {name}: path length by kernel "
+                      f"(normalized to GCC 9.2 AArch64)",
+            ))
+        return "\n\n".join(sections)
+
+
+def run_figure1(scale: float = 1.0, suite: SuiteResult | None = None) -> Figure1Result:
+    if suite is None:
+        suite = run_suite(scale, windowed=False)
+    normalized: dict[str, dict[tuple[str, str], dict[str, float]]] = {}
+    raw: dict[str, dict[tuple[str, str], dict[str, int]]] = {}
+    for name in suite.workloads:
+        base = suite.get(name, *BASELINE)
+        base_total = base.path.total
+        normalized[name] = {}
+        raw[name] = {}
+        for isa in ISAS:
+            for profile in PROFILES:
+                config = suite.get(name, isa, profile)
+                counts = dict(config.path.per_region)
+                raw[name][(isa, profile)] = counts
+                normalized[name][(isa, profile)] = {
+                    kernel: count / base_total
+                    for kernel, count in counts.items()
+                }
+    return Figure1Result(suite=suite, normalized=normalized, raw=raw)
+
+
+# ----------------------------------------------------------- Tables 1 & 2
+
+@dataclass
+class TableResult:
+    """Table 1 (plain CP) or Table 2 (scaled CP) rows."""
+
+    suite: SuiteResult
+    scaled: bool
+
+    def rows_for(self, workload: str) -> list[list[object]]:
+        rows = []
+        for metric in ("Path Length", "CP", "ILP", "2GHz Run time (ms)"):
+            row: list[object] = [metric]
+            for profile in PROFILES:
+                for isa in ISAS:
+                    config = self.suite.get(workload, isa, profile)
+                    cp = config.scaled_cp if self.scaled else config.cp
+                    if metric == "Path Length":
+                        row.append(config.path_length)
+                    elif metric == "CP":
+                        row.append(cp.critical_path)
+                    elif metric == "ILP":
+                        row.append(round(ilp(config.path_length,
+                                             cp.critical_path), 1))
+                    else:
+                        row.append(round(runtime_ms(cp.critical_path,
+                                                    CLOCK_GHZ), 6))
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        which = "Table 2 — Scaled Critical Paths" if self.scaled else (
+            "Table 1 — Critical Paths"
+        )
+        headers = ["metric"] + [
+            f"{PROFILE_DISPLAY[p]} {ISA_DISPLAY[i]}"
+            for p in PROFILES for i in ISAS
+        ]
+        sections = []
+        for name in self.suite.workloads:
+            sections.append(format_table(
+                headers, self.rows_for(name), title=f"{which} — {name}"
+            ))
+        return "\n\n".join(sections)
+
+
+def run_table1(scale: float = 1.0, suite: SuiteResult | None = None) -> TableResult:
+    if suite is None:
+        suite = run_suite(scale, windowed=False)
+    return TableResult(suite=suite, scaled=False)
+
+
+def run_table2(scale: float = 1.0, suite: SuiteResult | None = None) -> TableResult:
+    if suite is None:
+        suite = run_suite(scale, windowed=False)
+    return TableResult(suite=suite, scaled=True)
+
+
+# ---------------------------------------------------- §8 future-work cores
+
+@dataclass
+class FutureCoresResult:
+    """Runtimes on the §8 extension cores (in-order and finite-ROB OoO)."""
+
+    # workload -> isa -> {"inorder": cycles, rob: cycles...}
+    cycles: dict[str, dict[str, dict[object, int]]]
+    rob_sizes: tuple[int, ...]
+    clock_ghz: float = CLOCK_GHZ
+
+    def render(self) -> str:
+        headers = ["workload/ISA", "in-order"] + [
+            f"OoO rob={rob}" for rob in self.rob_sizes
+        ]
+        rows = []
+        for name, per_isa in self.cycles.items():
+            for isa, values in per_isa.items():
+                row: list[object] = [f"{name} {ISA_DISPLAY[isa]}"]
+                row.append(values["inorder"])
+                row.extend(values[rob] for rob in self.rob_sizes)
+                rows.append(row)
+        return format_table(
+            headers, rows,
+            title="Future work (§8) — cycles on finite cores (TX2 latencies)",
+        )
+
+
+def run_future_cores(
+    scale: float = 1.0,
+    *,
+    workloads: tuple[str, ...] | None = None,
+    rob_sizes: tuple[int, ...] = (16, 64, 180, 630),
+    issue_width: int = 4,
+) -> FutureCoresResult:
+    """§8: run every workload on the in-order and OoO timing models.
+
+    Each configuration is a single execution with all core models attached
+    as probes (they are trace-driven, so they share the run).
+    """
+    from repro.sim.inorder import InOrderTimingProbe
+    from repro.sim.ooo import OoOTimingProbe
+    from repro.workloads import get_workload, run_workload
+
+    names = workloads or tuple(ALL_WORKLOADS)
+    cycles: dict[str, dict[str, dict[object, int]]] = {}
+    for name in names:
+        workload = get_workload(name, scale)
+        cycles[name] = {}
+        for isa in ISAS:
+            model = load_core_model(SCALED_MODELS[isa])
+            inorder = InOrderTimingProbe(model)
+            cores = {rob: OoOTimingProbe(model, rob_size=rob,
+                                         issue_width=issue_width)
+                     for rob in rob_sizes}
+            run_workload(workload, isa, "gcc12",
+                         [inorder] + list(cores.values()))
+            cycles[name][isa] = {"inorder": inorder.result().cycles}
+            for rob, probe in cores.items():
+                cycles[name][isa][rob] = probe.result().cycles
+    return FutureCoresResult(cycles=cycles, rob_sizes=tuple(rob_sizes))
+
+
+# --------------------------------------------------------------- Figure 2
+
+@dataclass
+class Figure2Result:
+    """Mean ILP per window size, GCC 12.2 binaries (the Figure 2 series)."""
+
+    suite: SuiteResult
+    # workload -> isa -> [(window, mean ILP)]
+    series: dict[str, dict[str, list[tuple[int, float]]]]
+
+    def render(self) -> str:
+        headers = ["workload/ISA"] + [str(w) for w in self.suite.window_sizes]
+        rows = []
+        for name, per_isa in self.series.items():
+            for isa, points in per_isa.items():
+                label = f"{name} {ISA_DISPLAY[isa]}"
+                rows.append([label] + [round(v, 2) for _w, v in points])
+        return format_table(
+            headers, rows,
+            title="Figure 2 — mean ILP per window size (GCC 12.2)",
+        )
+
+    def window_averages_text(self) -> str:
+        """The artifact's windowAverages.txt: comma-separated mean window CP
+        per benchmark, ascending window size."""
+        lines = []
+        for name, per_isa in self.series.items():
+            for isa, _points in per_isa.items():
+                config = self.suite.get(name, isa, "gcc12")
+                means = [
+                    config.windowed[w].mean_cp for w in self.suite.window_sizes
+                ]
+                values = ", ".join(f"{m:.3f}" for m in means)
+                lines.append(f"{name}-{isa}: {values}")
+        return "\n".join(lines)
+
+
+def run_figure2(
+    scale: float = 1.0,
+    suite: SuiteResult | None = None,
+    window_sizes: tuple[int, ...] = PAPER_WINDOW_SIZES,
+) -> Figure2Result:
+    if suite is None:
+        suite = run_suite(scale, windowed=True, window_sizes=window_sizes)
+    series: dict[str, dict[str, list[tuple[int, float]]]] = {}
+    for name in suite.workloads:
+        series[name] = {}
+        for isa in ISAS:
+            config = suite.get(name, isa, "gcc12")
+            if config.windowed is None:
+                raise ValueError(
+                    "suite was built without windowed analysis; "
+                    "re-run with windowed=True"
+                )
+            series[name][isa] = [
+                (w, config.windowed[w].mean_ilp) for w in suite.window_sizes
+            ]
+    return Figure2Result(suite=suite, series=series)

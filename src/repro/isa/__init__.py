@@ -1,0 +1,47 @@
+"""Instruction-set implementations.
+
+Two ISAs are provided, matching the paper's comparison targets:
+
+* :mod:`repro.isa.aarch64` — the scalar subset of Armv8-a (``+nosimd``),
+  plus the single NEON instruction (``movi dN, #0``) that the paper notes
+  statically linked binaries cannot avoid.
+* :mod:`repro.isa.riscv` — RV64G without the C extension (``rv64g``,
+  i.e. IMAFD + the minimal Zicsr the F/D extensions rely on).
+
+Both expose the same :class:`repro.isa.base.ISA` protocol: binary decode,
+text assembly, and disassembly, producing :class:`repro.isa.base.DecodedInst`
+objects that carry the dependency metadata (source/destination registers,
+memory behaviour, instruction group) used by every analysis in the paper.
+"""
+
+from repro.isa.base import (
+    DecodedInst,
+    InstructionGroup,
+    ISA,
+    DEP_NZCV,
+    DEP_FP_BASE,
+    NUM_DEP_REGS,
+)
+
+__all__ = [
+    "DecodedInst",
+    "InstructionGroup",
+    "ISA",
+    "DEP_NZCV",
+    "DEP_FP_BASE",
+    "NUM_DEP_REGS",
+]
+
+
+def get_isa(name: str) -> ISA:
+    """Look up an ISA implementation by name (``"aarch64"`` or ``"rv64"``)."""
+    key = name.lower()
+    if key in ("aarch64", "arm", "armv8", "armv8-a"):
+        from repro.isa.aarch64 import AArch64
+
+        return AArch64()
+    if key in ("rv64", "riscv", "rv64g", "riscv64"):
+        from repro.isa.riscv import RV64
+
+        return RV64()
+    raise ValueError(f"unknown ISA {name!r}; expected 'aarch64' or 'rv64'")

@@ -1,0 +1,12 @@
+"""Scalar AArch64 (Armv8-a ``+nosimd``) instruction set implementation.
+
+The paper compiles with ``-march=armv8-a+nosimd``, so this package covers
+the A64 scalar integer and scalar floating-point instruction classes, plus
+exactly one NEON instruction — ``movi dN, #0`` — which the paper notes
+cannot be eliminated from statically linked binaries (it is how toolchains
+zero FP registers).
+"""
+
+from repro.isa.aarch64.isa import AArch64
+
+__all__ = ["AArch64"]

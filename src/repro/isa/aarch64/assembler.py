@@ -1,0 +1,814 @@
+"""A64 instruction encoder: one parsed assembly line → machine words.
+
+Accepts standard GNU-style A64 syntax (``ldr d1, [x22, x0, lsl #3]``,
+``b.ne label``, ``cmp x0, x20``, ...) including the common aliases (mov,
+cmp, cmn, tst, neg, mvn, lsl/lsr/asr/ror immediate, cset/cinc/cneg,
+ubfx/sbfx/ubfiz/sbfiz, mul/mneg) and two multi-instruction pseudos of our
+own for the compiler back-end:
+
+* ``movl xd, #imm64`` — materialize an arbitrary 64-bit constant
+  (MOVZ/MOVN + up to three MOVK),
+* ``adrl xd, symbol`` — ADRP + ADD :lo12:, always 8 bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common import AssemblerError, EncodingError, MASK64, fits_signed, u64
+from repro.isa.base import AssemblyContext
+from repro.isa.aarch64 import encoding as enc
+from repro.isa.aarch64.logical_imm import encode_bitmask_immediate
+from repro.isa.aarch64.registers import (
+    SP,
+    ZR,
+    parse_condition,
+    parse_fp_reg,
+    parse_gp_reg,
+)
+
+_SHIFT_TYPES = {"lsl": 0, "lsr": 1, "asr": 2, "ror": 3}
+_EXTEND_OPTIONS = {name: i for i, name in enumerate(enc.EXTEND_NAMES)}
+
+
+def parse_immediate(token: str) -> int:
+    """Parse ``#imm`` or a bare integer literal (decimal/hex, signed)."""
+    text = token.strip()
+    if text.startswith("#"):
+        text = text[1:].strip()
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"invalid immediate {token!r}") from None
+
+
+def _imm_or_label(token: str, ctx: AssemblyContext) -> int:
+    token = token.strip()
+    try:
+        return parse_immediate(token)
+    except AssemblerError:
+        return ctx.lookup(token)
+
+
+def _field(reg: int) -> int:
+    """Map a parsed register (index / SP / ZR) to its 5-bit encoding field."""
+    return 31 if reg in (SP, ZR) else reg
+
+
+class _Shift:
+    __slots__ = ("kind", "amount")
+
+    def __init__(self, kind: int, amount: int):
+        self.kind = kind
+        self.amount = amount
+
+
+class _Extend:
+    __slots__ = ("option", "amount", "explicit_amount")
+
+    def __init__(self, option: int, amount: int, explicit_amount: bool):
+        self.option = option
+        self.amount = amount
+        self.explicit_amount = explicit_amount
+
+
+def _parse_modifier(token: str):
+    """Parse a trailing operand like ``lsl #3`` or ``sxtw`` / ``sxtw #2``."""
+    parts = token.strip().split()
+    name = parts[0].lower()
+    amount = parse_immediate(parts[1]) if len(parts) > 1 else 0
+    if name in _SHIFT_TYPES:
+        if name == "lsl" and len(parts) == 1:
+            # bare "lsl" only appears as an extend alias in memory operands
+            return _Extend(enc.EXT_UXTX, 0, False)
+        return _Shift(_SHIFT_TYPES[name], amount)
+    if name in _EXTEND_OPTIONS:
+        return _Extend(_EXTEND_OPTIONS[name], amount, len(parts) > 1)
+    raise AssemblerError(f"unknown shift/extend {token!r}")
+
+
+class _MemOperand:
+    """A parsed ``[...]`` operand (plus pre/post index information)."""
+
+    __slots__ = ("base", "offset_imm", "offset_reg", "offset_reg_is64",
+                 "extend", "pre_index", "post_index")
+
+    def __init__(self):
+        self.base = 0
+        self.offset_imm: int | None = None
+        self.offset_reg: int | None = None
+        self.offset_reg_is64 = True
+        self.extend: _Extend | None = None
+        self.pre_index = False
+        self.post_index = False
+
+
+def _parse_mem(token: str, post_imm: str | None = None) -> _MemOperand:
+    token = token.strip()
+    mem = _MemOperand()
+    if token.endswith("!"):
+        mem.pre_index = True
+        token = token[:-1].strip()
+    if not (token.startswith("[") and token.endswith("]")):
+        raise AssemblerError(f"expected memory operand, got {token!r}")
+    inner = token[1:-1]
+    parts = [p.strip() for p in inner.split(",")]
+    if not parts or not parts[0]:
+        raise AssemblerError(f"empty memory operand {token!r}")
+    base, base_is64, _sp = parse_gp_reg(parts[0])
+    if not base_is64:
+        raise AssemblerError(f"memory base must be an X register or sp: {token!r}")
+    if base == ZR:
+        raise AssemblerError("xzr cannot be a memory base")
+    mem.base = base
+    if len(parts) == 1:
+        mem.offset_imm = 0
+    elif parts[1].startswith("#") or parts[1].lstrip("+-").isdigit():
+        mem.offset_imm = parse_immediate(parts[1])
+        if len(parts) > 2:
+            raise AssemblerError(f"unexpected extra operand in {token!r}")
+    else:
+        reg, is64, sp_slot = parse_gp_reg(parts[1])
+        if sp_slot and reg == SP:
+            raise AssemblerError("sp cannot be a memory index")
+        mem.offset_reg = reg
+        mem.offset_reg_is64 = is64
+        if len(parts) > 2:
+            modifier = _parse_modifier(parts[2])
+            if isinstance(modifier, _Shift):
+                if modifier.kind != 0:
+                    raise AssemblerError("only lsl is valid in memory operands")
+                modifier = _Extend(enc.EXT_UXTX, modifier.amount, True)
+            mem.extend = modifier
+        else:
+            mem.extend = _Extend(
+                enc.EXT_UXTX if is64 else enc.EXT_UXTW, 0, False
+            )
+    if post_imm is not None:
+        if mem.offset_imm not in (0, None) or mem.offset_reg is not None:
+            raise AssemblerError("post-index base must be plain [Xn]")
+        mem.post_index = True
+        mem.offset_imm = parse_immediate(post_imm)
+    return mem
+
+
+def movl_expansion(value: int) -> list[tuple[int, int]]:
+    """Chunks for materializing ``value``: list of (opc, hw) MOVZ/MOVN/MOVK.
+
+    Returns [(first_opc, hw, imm16), ...] encoded as tuples
+    (opc, hw, imm16); first element is MOVZ (2) or MOVN (0), rest MOVK (3).
+    """
+    value = u64(value)
+    chunks = [(value >> (16 * i)) & 0xFFFF for i in range(4)]
+    zero_count = sum(1 for c in chunks if c == 0)
+    ones_count = sum(1 for c in chunks if c == 0xFFFF)
+    steps: list[tuple[int, int, int]] = []
+    if ones_count > zero_count:
+        # start from MOVN (all-ones value: a single MOVN #0)
+        first = next((i for i, c in enumerate(chunks) if c != 0xFFFF), 0)
+        steps.append((0b00, first, (~chunks[first]) & 0xFFFF))
+        for i in range(4):
+            if i != first and chunks[i] != 0xFFFF:
+                steps.append((0b11, i, chunks[i]))
+    else:
+        first = next((i for i, c in enumerate(chunks) if c != 0), 0)
+        steps.append((0b10, first, chunks[first]))
+        for i in range(4):
+            if i != first and chunks[i] != 0:
+                steps.append((0b11, i, chunks[i]))
+    return steps
+
+
+def instruction_size(mnemonic: str, operands: Sequence[str]) -> int:
+    """Byte size after pseudo expansion (exact; see the RISC-V counterpart)."""
+    name = mnemonic.lower()
+    if name == "movl":
+        if len(operands) != 2:
+            raise AssemblerError("movl expects 2 operands")
+        return 4 * len(movl_expansion(parse_immediate(operands[1])))
+    if name == "adrl":
+        return 8
+    return 4
+
+
+def _try_mov_imm(rd: int, is64: bool, value: int) -> int | None:
+    """Single-instruction mov-immediate if one exists (MOVZ/MOVN/ORR-imm)."""
+    sf = 1 if is64 else 0
+    mask = MASK64 if is64 else 0xFFFF_FFFF
+    value &= mask
+    hw_range = 4 if is64 else 2
+    for hw in range(hw_range):
+        if value == ((value >> (16 * hw)) & 0xFFFF) << (16 * hw):
+            return enc.move_wide(sf, 0b10, _field(rd), (value >> (16 * hw)) & 0xFFFF, hw)
+    inverted = (~value) & mask
+    for hw in range(hw_range):
+        if inverted == ((inverted >> (16 * hw)) & 0xFFFF) << (16 * hw):
+            return enc.move_wide(sf, 0b00, _field(rd), (inverted >> (16 * hw)) & 0xFFFF, hw)
+    try:
+        n, immr, imms = encode_bitmask_immediate(value, 64 if is64 else 32)
+        return enc.logical_imm(sf, 0b01, _field(rd), 31, n, immr, imms)
+    except EncodingError:
+        return None
+
+
+# mnemonic tables ------------------------------------------------------------
+
+_ADDSUB = {"add": (0, 0), "adds": (0, 1), "sub": (1, 0), "subs": (1, 1)}
+_LOGICAL_SHIFTED = {
+    "and": (0b00, 0), "bic": (0b00, 1), "orr": (0b01, 0), "orn": (0b01, 1),
+    "eor": (0b10, 0), "eon": (0b10, 1), "ands": (0b11, 0), "bics": (0b11, 1),
+}
+_LOGICAL_IMM_OPC = {"and": 0b00, "orr": 0b01, "eor": 0b10, "ands": 0b11}
+_CSEL = {"csel": (0, 0), "csinc": (0, 1), "csinv": (1, 0), "csneg": (1, 1)}
+_DP2 = {"udiv": 0b000010, "sdiv": 0b000011, "lslv": 0b001000, "lsrv": 0b001001,
+        "asrv": 0b001010, "rorv": 0b001011}
+_DP1 = {"rbit": 0, "rev16": 1, "clz": 4, "cls": 5}
+_FP2 = {"fmul": 0, "fdiv": 1, "fadd": 2, "fsub": 3, "fmax": 4, "fmin": 5,
+        "fmaxnm": 6, "fminnm": 7, "fnmul": 8}
+_FP1 = {"fmov": 0, "fabs": 1, "fneg": 2, "fsqrt": 3}
+_FP3 = {"fmadd": (0, 0), "fmsub": (0, 1), "fnmadd": (1, 0), "fnmsub": (1, 1)}
+_LDST_INT = {
+    # name -> (size, opc_load) ; stores use opc 0
+    "ldr": (None, 0b01), "str": (None, 0b00),
+    "ldrb": (0, 0b01), "strb": (0, 0b00),
+    "ldrh": (1, 0b01), "strh": (1, 0b00),
+    "ldrsb": (0, 0b10), "ldrsh": (1, 0b10), "ldrsw": (2, 0b10),
+}
+
+
+def encode_instruction(
+    mnemonic: str, operands: Sequence[str], ctx: AssemblyContext
+) -> list[int]:
+    name = mnemonic.lower()
+    ops = [o.strip() for o in operands]
+    pc = ctx.pc
+
+    def expect(n: int) -> None:
+        if len(ops) != n:
+            raise AssemblerError(f"{name} expects {n} operands, got {len(ops)}")
+
+    # ---- pseudos ------------------------------------------------------------
+    if name == "nop":
+        return [enc.NOP]
+    if name == "movl":
+        expect(2)
+        rd, is64, _sp = parse_gp_reg(ops[0])
+        value = parse_immediate(ops[1])
+        words = []
+        for opc, hw, imm16 in movl_expansion(value):
+            words.append(enc.move_wide(1 if is64 else 0, opc, _field(rd), imm16, hw))
+        return words
+    if name == "adrl":
+        expect(2)
+        rd, is64, _sp = parse_gp_reg(ops[0])
+        if not is64:
+            raise AssemblerError("adrl needs an X register")
+        target = ctx.lookup(ops[1])
+        page_delta = (target >> 12) - (pc >> 12)
+        lo12 = target & 0xFFF
+        words = [enc.adr(1, _field(rd), page_delta)]
+        words.append(enc.add_sub_imm(1, 0, 0, _field(rd), _field(rd), lo12, False))
+        return words
+    if name == "mov":
+        expect(2)
+        rd, rd64, rd_sp = parse_gp_reg(ops[0])
+        if ops[1].startswith("#") or ops[1].lstrip("+-").isdigit():
+            value = parse_immediate(ops[1])
+            word = _try_mov_imm(rd, rd64, value)
+            if word is None:
+                raise AssemblerError(
+                    f"mov immediate {value:#x} not encodable; use movl"
+                )
+            return [word]
+        rm, rm64, rm_sp = parse_gp_reg(ops[1])
+        if rd64 != rm64:
+            raise AssemblerError("mov operands must be the same width")
+        sf = 1 if rd64 else 0
+        if (rd_sp and rd == SP) or (rm_sp and rm == SP):
+            # mov to/from sp is an ADD #0 alias
+            return [enc.add_sub_imm(sf, 0, 0, _field(rd), _field(rm), 0, False)]
+        return [enc.logical_shifted(sf, 0b01, 0, _field(rd), 31, _field(rm), 0, 0)]
+    if name == "mvn":
+        expect(2)
+        rd, is64, _ = parse_gp_reg(ops[0])
+        rm, _, _ = parse_gp_reg(ops[1])
+        sf = 1 if is64 else 0
+        return [enc.logical_shifted(sf, 0b01, 1, _field(rd), 31, _field(rm), 0, 0)]
+    if name in ("neg", "negs"):
+        expect(2)
+        rd, is64, _ = parse_gp_reg(ops[0])
+        rm, _, _ = parse_gp_reg(ops[1])
+        sf = 1 if is64 else 0
+        return [enc.add_sub_shifted(sf, 1, 1 if name == "negs" else 0,
+                                    _field(rd), 31, _field(rm), 0, 0)]
+    if name in ("cmp", "cmn"):
+        op = 1 if name == "cmp" else 0
+        rn, is64, rn_sp = parse_gp_reg(ops[0])
+        sf = 1 if is64 else 0
+        if len(ops) == 2 and (ops[1].startswith("#") or ops[1].lstrip("+-").isdigit()):
+            imm = parse_immediate(ops[1])
+            if 0 <= imm < (1 << 12):
+                return [enc.add_sub_imm(sf, op, 1, 31, _field(rn), imm, False)]
+            if imm % (1 << 12) == 0 and 0 <= (imm >> 12) < (1 << 12):
+                return [enc.add_sub_imm(sf, op, 1, 31, _field(rn), imm >> 12, True)]
+            raise AssemblerError(f"cmp immediate {imm} not encodable")
+        rm, _, _ = parse_gp_reg(ops[1])
+        shift = _parse_modifier(ops[2]) if len(ops) == 3 else _Shift(0, 0)
+        if not isinstance(shift, _Shift):
+            raise AssemblerError("cmp only takes a shift modifier")
+        return [enc.add_sub_shifted(sf, op, 1, 31, _field(rn), _field(rm),
+                                    shift.kind, shift.amount)]
+    if name == "tst":
+        rn, is64, _ = parse_gp_reg(ops[0])
+        sf = 1 if is64 else 0
+        if ops[1].startswith("#") or ops[1].lstrip("+-").isdigit():
+            value = parse_immediate(ops[1])
+            n, immr, imms = encode_bitmask_immediate(value, 64 if is64 else 32)
+            return [enc.logical_imm(sf, 0b11, 31, _field(rn), n, immr, imms)]
+        rm, _, _ = parse_gp_reg(ops[1])
+        return [enc.logical_shifted(sf, 0b11, 0, 31, _field(rn), _field(rm), 0, 0)]
+    if name in ("cset", "csetm"):
+        expect(2)
+        rd, is64, _ = parse_gp_reg(ops[0])
+        cond = parse_condition(ops[1]) ^ 1
+        sf = 1 if is64 else 0
+        op, op2 = (0, 1) if name == "cset" else (1, 0)
+        return [enc.cond_select(sf, op, op2, _field(rd), 31, 31, cond)]
+    if name in ("cinc", "cneg", "cinv"):
+        expect(3)
+        rd, is64, _ = parse_gp_reg(ops[0])
+        rn, _, _ = parse_gp_reg(ops[1])
+        cond = parse_condition(ops[2]) ^ 1
+        sf = 1 if is64 else 0
+        op, op2 = {"cinc": (0, 1), "cinv": (1, 0), "cneg": (1, 1)}[name]
+        return [enc.cond_select(sf, op, op2, _field(rd), _field(rn), _field(rn), cond)]
+    if name in ("lsl", "lsr", "asr", "ror") and len(ops) == 3 and (
+        ops[2].startswith("#") or ops[2].lstrip("+-").isdigit()
+    ):
+        rd, is64, _ = parse_gp_reg(ops[0])
+        rn, _, _ = parse_gp_reg(ops[1])
+        sh = parse_immediate(ops[2])
+        sf = 1 if is64 else 0
+        width = 64 if is64 else 32
+        if not 0 <= sh < width:
+            raise AssemblerError(f"shift {sh} out of range")
+        if name == "lsl":
+            immr = (width - sh) % width
+            imms = width - 1 - sh
+            return [enc.bitfield(sf, 0b10, _field(rd), _field(rn), immr, imms)]
+        if name == "lsr":
+            return [enc.bitfield(sf, 0b10, _field(rd), _field(rn), sh, width - 1)]
+        if name == "asr":
+            return [enc.bitfield(sf, 0b00, _field(rd), _field(rn), sh, width - 1)]
+        rn2, _, _ = parse_gp_reg(ops[1])
+        return [enc.extract(sf, _field(rd), _field(rn), _field(rn2), sh)]
+    if name in ("lsl", "lsr", "asr", "ror") and len(ops) == 3:
+        rd, is64, _ = parse_gp_reg(ops[0])
+        rn, _, _ = parse_gp_reg(ops[1])
+        rm, _, _ = parse_gp_reg(ops[2])
+        sf = 1 if is64 else 0
+        opcode = _DP2[name + "v"]
+        return [enc.dp2(sf, opcode, _field(rd), _field(rn), _field(rm))]
+    if name in ("sxtb", "sxth", "sxtw", "uxtb", "uxth"):
+        expect(2)
+        rd, rd64, _ = parse_gp_reg(ops[0])
+        rn, _, _ = parse_gp_reg(ops[1])
+        imms = {"b": 7, "h": 15, "w": 31}[name[-1]]
+        signed = name.startswith("s")
+        sf = 1 if (rd64 and signed) else 0
+        if name == "sxtw" and not rd64:
+            raise AssemblerError("sxtw destination must be an X register")
+        opc = 0b00 if signed else 0b10
+        return [enc.bitfield(sf, opc, _field(rd), _field(rn), 0, imms)]
+    if name in ("ubfx", "sbfx", "ubfiz", "sbfiz", "bfi", "bfxil"):
+        expect(4)
+        rd, is64, _ = parse_gp_reg(ops[0])
+        rn, _, _ = parse_gp_reg(ops[1])
+        lsb = parse_immediate(ops[2])
+        width_f = parse_immediate(ops[3])
+        sf = 1 if is64 else 0
+        regw = 64 if is64 else 32
+        if name in ("ubfx", "sbfx"):
+            immr, imms = lsb, lsb + width_f - 1
+            opc = 0b10 if name == "ubfx" else 0b00
+        elif name in ("ubfiz", "sbfiz"):
+            immr, imms = (regw - lsb) % regw, width_f - 1
+            opc = 0b10 if name == "ubfiz" else 0b00
+        elif name == "bfi":
+            immr, imms = (regw - lsb) % regw, width_f - 1
+            opc = 0b01
+        else:  # bfxil
+            immr, imms = lsb, lsb + width_f - 1
+            opc = 0b01
+        return [enc.bitfield(sf, opc, _field(rd), _field(rn), immr, imms)]
+    if name in ("mul", "mneg"):
+        expect(3)
+        rd, is64, _ = parse_gp_reg(ops[0])
+        rn, _, _ = parse_gp_reg(ops[1])
+        rm, _, _ = parse_gp_reg(ops[2])
+        sf = 1 if is64 else 0
+        o0 = 0 if name == "mul" else 1
+        return [enc.dp3(sf, 0, o0, _field(rd), _field(rn), _field(rm), 31)]
+
+    # ---- real instructions --------------------------------------------------
+    if name in _ADDSUB:
+        op, set_flags = _ADDSUB[name]
+        rd, rd64, rd_sp = parse_gp_reg(ops[0])
+        rn, rn64, rn_sp = parse_gp_reg(ops[1])
+        sf = 1 if rd64 else 0
+        if len(ops) >= 3 and (ops[2].startswith("#") or ops[2].lstrip("+-").isdigit()):
+            imm = parse_immediate(ops[2])
+            shift12 = False
+            if len(ops) == 4:
+                modifier = _parse_modifier(ops[3])
+                if not isinstance(modifier, _Shift) or modifier.kind != 0 or modifier.amount != 12:
+                    raise AssemblerError("only 'lsl #12' allowed on add/sub imm")
+                shift12 = True
+            if imm < 0:
+                op, imm = 1 - op, -imm
+            if imm >= (1 << 12) and not shift12 and imm % (1 << 12) == 0 and (imm >> 12) < (1 << 12):
+                imm >>= 12
+                shift12 = True
+            return [enc.add_sub_imm(sf, op, set_flags, _field(rd), _field(rn),
+                                    imm, shift12)]
+        rm, rm64, _ = parse_gp_reg(ops[2])
+        modifier = _parse_modifier(ops[3]) if len(ops) == 4 else None
+        needs_extended = (
+            isinstance(modifier, _Extend)
+            or (rn_sp and rn == SP) or (rd_sp and rd == SP)
+            or (rd64 and not rm64)
+        )
+        if needs_extended:
+            if isinstance(modifier, _Extend):
+                option, amount = modifier.option, modifier.amount
+            elif modifier is None:
+                option, amount = (3 if rm64 else 2), 0
+            else:
+                if modifier.kind != 0:
+                    raise AssemblerError("extended add/sub only allows lsl")
+                option, amount = 3, modifier.amount
+            return [enc.add_sub_extended(sf, op, set_flags, _field(rd), _field(rn),
+                                         _field(rm), option, amount)]
+        if modifier is None:
+            kind, amount = 0, 0
+        else:
+            kind, amount = modifier.kind, modifier.amount
+        return [enc.add_sub_shifted(sf, op, set_flags, _field(rd), _field(rn),
+                                    _field(rm), kind, amount)]
+
+    if name in _LOGICAL_SHIFTED:
+        opc, neg = _LOGICAL_SHIFTED[name]
+        rd, is64, _ = parse_gp_reg(ops[0])
+        rn, _, _ = parse_gp_reg(ops[1])
+        sf = 1 if is64 else 0
+        if ops[2].startswith("#") or ops[2].lstrip("+-").isdigit():
+            if neg or name not in _LOGICAL_IMM_OPC:
+                raise AssemblerError(f"{name} has no immediate form")
+            value = parse_immediate(ops[2])
+            n, immr, imms = encode_bitmask_immediate(value, 64 if is64 else 32)
+            return [enc.logical_imm(sf, _LOGICAL_IMM_OPC[name], _field(rd),
+                                    _field(rn), n, immr, imms)]
+        rm, _, _ = parse_gp_reg(ops[2])
+        modifier = _parse_modifier(ops[3]) if len(ops) == 4 else _Shift(0, 0)
+        if not isinstance(modifier, _Shift):
+            raise AssemblerError("logical ops only take shift modifiers")
+        return [enc.logical_shifted(sf, opc, neg, _field(rd), _field(rn),
+                                    _field(rm), modifier.kind, modifier.amount)]
+
+    if name in ("movz", "movn", "movk"):
+        rd, is64, _ = parse_gp_reg(ops[0])
+        imm = parse_immediate(ops[1])
+        hw = 0
+        if len(ops) == 3:
+            modifier = _parse_modifier(ops[2])
+            if not isinstance(modifier, _Shift) or modifier.kind != 0 or modifier.amount % 16:
+                raise AssemblerError("move-wide shift must be lsl #0/16/32/48")
+            hw = modifier.amount // 16
+        opc = {"movn": 0b00, "movz": 0b10, "movk": 0b11}[name]
+        return [enc.move_wide(1 if is64 else 0, opc, _field(rd), imm, hw)]
+
+    if name in ("adr", "adrp"):
+        expect(2)
+        rd, _, _ = parse_gp_reg(ops[0])
+        target = _imm_or_label(ops[1], ctx)
+        if name == "adr":
+            return [enc.adr(0, _field(rd), target - pc)]
+        return [enc.adr(1, _field(rd), (target >> 12) - (pc >> 12))]
+
+    if name in ("sbfm", "bfm", "ubfm"):
+        expect(4)
+        rd, is64, _ = parse_gp_reg(ops[0])
+        rn, _, _ = parse_gp_reg(ops[1])
+        opc = {"sbfm": 0b00, "bfm": 0b01, "ubfm": 0b10}[name]
+        return [enc.bitfield(1 if is64 else 0, opc, _field(rd), _field(rn),
+                             parse_immediate(ops[2]), parse_immediate(ops[3]))]
+
+    if name == "extr":
+        expect(4)
+        rd, is64, _ = parse_gp_reg(ops[0])
+        rn, _, _ = parse_gp_reg(ops[1])
+        rm, _, _ = parse_gp_reg(ops[2])
+        return [enc.extract(1 if is64 else 0, _field(rd), _field(rn), _field(rm),
+                            parse_immediate(ops[3]))]
+
+    if name in _CSEL:
+        expect(4)
+        op, op2 = _CSEL[name]
+        rd, is64, _ = parse_gp_reg(ops[0])
+        rn, _, _ = parse_gp_reg(ops[1])
+        rm, _, _ = parse_gp_reg(ops[2])
+        cond = parse_condition(ops[3])
+        return [enc.cond_select(1 if is64 else 0, op, op2, _field(rd), _field(rn),
+                                _field(rm), cond)]
+
+    if name in _DP2:
+        expect(3)
+        rd, is64, _ = parse_gp_reg(ops[0])
+        rn, _, _ = parse_gp_reg(ops[1])
+        rm, _, _ = parse_gp_reg(ops[2])
+        return [enc.dp2(1 if is64 else 0, _DP2[name], _field(rd), _field(rn),
+                        _field(rm))]
+
+    if name in _DP1 or name in ("rev", "rev32"):
+        expect(2)
+        rd, is64, _ = parse_gp_reg(ops[0])
+        rn, _, _ = parse_gp_reg(ops[1])
+        sf = 1 if is64 else 0
+        if name == "rev":
+            opcode = 0b11 if is64 else 0b10
+        elif name == "rev32":
+            if not is64:
+                raise AssemblerError("rev32 needs X registers")
+            opcode = 0b10
+        else:
+            opcode = _DP1[name]
+        return [enc.dp1(sf, opcode, _field(rd), _field(rn))]
+
+    if name in ("madd", "msub"):
+        expect(4)
+        rd, is64, _ = parse_gp_reg(ops[0])
+        rn, _, _ = parse_gp_reg(ops[1])
+        rm, _, _ = parse_gp_reg(ops[2])
+        ra, _, _ = parse_gp_reg(ops[3])
+        o0 = 0 if name == "madd" else 1
+        return [enc.dp3(1 if is64 else 0, 0, o0, _field(rd), _field(rn),
+                        _field(rm), _field(ra))]
+    if name in ("smulh", "umulh"):
+        expect(3)
+        rd, _, _ = parse_gp_reg(ops[0])
+        rn, _, _ = parse_gp_reg(ops[1])
+        rm, _, _ = parse_gp_reg(ops[2])
+        op31 = 0b010 if name == "smulh" else 0b110
+        return [enc.dp3(1, op31, 0, _field(rd), _field(rn), _field(rm), 31)]
+    if name in ("smaddl", "smsubl", "umaddl", "umsubl", "smull", "umull"):
+        rd, _, _ = parse_gp_reg(ops[0])
+        rn, _, _ = parse_gp_reg(ops[1])
+        rm, _, _ = parse_gp_reg(ops[2])
+        if name in ("smull", "umull"):
+            expect(3)
+            ra = 31
+            o0 = 0
+        else:
+            expect(4)
+            ra_reg, _, _ = parse_gp_reg(ops[3])
+            ra = _field(ra_reg)
+            o0 = 0 if name.endswith("addl") else 1
+        op31 = 0b001 if name.startswith("s") else 0b101
+        return [enc.dp3(1, op31, o0, _field(rd), _field(rn), _field(rm), ra)]
+
+    # branches
+    if name == "b" or name == "bl":
+        expect(1)
+        target = _imm_or_label(ops[0], ctx)
+        return [enc.branch_imm(1 if name == "bl" else 0, target - pc)]
+    if name.startswith("b.") and len(name) <= 5:
+        expect(1)
+        cond = parse_condition(name[2:])
+        target = _imm_or_label(ops[0], ctx)
+        return [enc.branch_cond(cond, target - pc)]
+    if name in ("cbz", "cbnz"):
+        expect(2)
+        rt, is64, _ = parse_gp_reg(ops[0])
+        target = _imm_or_label(ops[1], ctx)
+        return [enc.compare_branch(1 if is64 else 0, 1 if name == "cbnz" else 0,
+                                   _field(rt), target - pc)]
+    if name in ("tbz", "tbnz"):
+        expect(3)
+        rt, _, _ = parse_gp_reg(ops[0])
+        bit_pos = parse_immediate(ops[1])
+        target = _imm_or_label(ops[2], ctx)
+        return [enc.test_branch(1 if name == "tbnz" else 0, _field(rt), bit_pos,
+                                target - pc)]
+    if name in ("br", "blr"):
+        expect(1)
+        rn, _, _ = parse_gp_reg(ops[0])
+        return [enc.branch_reg(1 if name == "blr" else 0, _field(rn))]
+    if name == "ret":
+        rn = 30 if not ops else parse_gp_reg(ops[0])[0]
+        return [enc.branch_reg(2, rn)]
+    if name == "svc":
+        expect(1)
+        return [enc.svc(parse_immediate(ops[0]))]
+
+    # loads / stores
+    if name in _LDST_INT or name in ("ldur", "stur", "ldurb", "sturb", "ldurh",
+                                     "sturh", "ldursb", "ldursh", "ldursw"):
+        return _encode_load_store(name, ops, ctx)
+    if name in ("ldp", "stp"):
+        return _encode_pair(name, ops)
+
+    # floating point
+    if name in _FP2:
+        expect(3)
+        rd, d1 = parse_fp_reg(ops[0])
+        rn, d2 = parse_fp_reg(ops[1])
+        rm, d3 = parse_fp_reg(ops[2])
+        if not (d1 == d2 == d3):
+            raise AssemblerError(f"{name}: mixed FP register widths")
+        return [enc.fp_dp2(1 if d1 else 0, _FP2[name], rd, rn, rm)]
+    if name in _FP3:
+        expect(4)
+        o1, o0 = _FP3[name]
+        rd, d1 = parse_fp_reg(ops[0])
+        rn, _ = parse_fp_reg(ops[1])
+        rm, _ = parse_fp_reg(ops[2])
+        ra, _ = parse_fp_reg(ops[3])
+        return [enc.fp_dp3(1 if d1 else 0, o1, o0, rd, rn, rm, ra)]
+    if name in ("fabs", "fneg", "fsqrt"):
+        expect(2)
+        rd, d1 = parse_fp_reg(ops[0])
+        rn, d2 = parse_fp_reg(ops[1])
+        if d1 != d2:
+            raise AssemblerError(f"{name}: mixed FP register widths")
+        return [enc.fp_dp1(1 if d1 else 0, _FP1[name], rd, rn)]
+    if name == "fcvt":
+        expect(2)
+        rd, dst_double = parse_fp_reg(ops[0])
+        rn, src_double = parse_fp_reg(ops[1])
+        if dst_double == src_double:
+            raise AssemblerError("fcvt needs different precisions")
+        opcode = 0b000101 if dst_double else 0b000100
+        return [enc.fp_dp1(1 if src_double else 0, opcode, rd, rn)]
+    if name in ("fcmp", "fcmpe"):
+        rn, double = parse_fp_reg(ops[0])
+        signalling = 0b10000 if name == "fcmpe" else 0
+        if ops[1].startswith("#"):
+            if float(ops[1][1:]) != 0.0:
+                raise AssemblerError("fcmp immediate must be #0.0")
+            return [enc.fp_compare(1 if double else 0, rn, 0, signalling | 0b01000)]
+        rm, _ = parse_fp_reg(ops[1])
+        return [enc.fp_compare(1 if double else 0, rn, rm, signalling)]
+    if name == "fcsel":
+        expect(4)
+        rd, double = parse_fp_reg(ops[0])
+        rn, _ = parse_fp_reg(ops[1])
+        rm, _ = parse_fp_reg(ops[2])
+        cond = parse_condition(ops[3])
+        return [enc.fp_csel(1 if double else 0, rd, rn, rm, cond)]
+    if name in ("fcvtzs", "fcvtzu"):
+        expect(2)
+        rd, is64, _ = parse_gp_reg(ops[0])
+        rn, double = parse_fp_reg(ops[1])
+        opcode = 0b000 if name == "fcvtzs" else 0b001
+        return [enc.fp_int(1 if is64 else 0, 1 if double else 0, 0b11, opcode,
+                           _field(rd), rn)]
+    if name in ("scvtf", "ucvtf"):
+        expect(2)
+        rd, double = parse_fp_reg(ops[0])
+        rn, is64, _ = parse_gp_reg(ops[1])
+        opcode = 0b010 if name == "scvtf" else 0b011
+        return [enc.fp_int(1 if is64 else 0, 1 if double else 0, 0b00, opcode,
+                           rd, _field(rn))]
+    if name == "fmov":
+        expect(2)
+        # four forms: fp<-fp, fp<-gp, gp<-fp, fp<-imm
+        dst_is_fp = ops[0][0].lower() in "ds" and not ops[0].lower().startswith("sp")
+        if dst_is_fp:
+            rd, double = parse_fp_reg(ops[0])
+            if ops[1].startswith("#"):
+                text = ops[1][1:]
+                imm8 = enc.vfp_encode_imm8(float(text))
+                return [enc.fp_imm(1 if double else 0, rd, imm8)]
+            try:
+                rn, src_double = parse_fp_reg(ops[1])
+                if double != src_double:
+                    raise AssemblerError("fmov: mixed FP widths")
+                return [enc.fp_dp1(1 if double else 0, 0, rd, rn)]
+            except AssemblerError:
+                pass
+            rn, is64, _ = parse_gp_reg(ops[1])
+            if is64 != double:
+                raise AssemblerError("fmov gp/fp width mismatch")
+            return [enc.fp_int(1 if is64 else 0, 1 if double else 0, 0b00,
+                               0b111, rd, _field(rn))]
+        rd, is64, _ = parse_gp_reg(ops[0])
+        rn, double = parse_fp_reg(ops[1])
+        if is64 != double:
+            raise AssemblerError("fmov gp/fp width mismatch")
+        return [enc.fp_int(1 if is64 else 0, 1 if double else 0, 0b00, 0b110,
+                           _field(rd), rn)]
+    if name == "movi":
+        expect(2)
+        rd, double = parse_fp_reg(ops[0])
+        if not double or parse_immediate(ops[1]) != 0:
+            raise AssemblerError("only 'movi dN, #0' is supported (+nosimd)")
+        return [enc.movi_d_zero(rd)]
+
+    raise AssemblerError(f"unknown AArch64 instruction {mnemonic!r}")
+
+
+def _ldst_fields(name: str, rt_token: str):
+    """Resolve (size, v, opc, rt_field, scale) for a load/store mnemonic."""
+    base = name.replace("ldur", "ldr").replace("stur", "str")
+    if base in ("ldr", "str"):
+        # width from the register operand
+        try:
+            rt, double = parse_fp_reg(rt_token)
+            size = 3 if double else 2
+            opc = 0b01 if base == "ldr" else 0b00
+            return size, 1, opc, rt, size
+        except AssemblerError:
+            rt, is64, _sp = parse_gp_reg(rt_token)
+            size = 3 if is64 else 2
+            opc = 0b01 if base == "ldr" else 0b00
+            return size, 0, opc, _field(rt), size
+    size, opc = _LDST_INT[base]
+    rt, is64, _sp = parse_gp_reg(rt_token)
+    if opc == 0b10 and not is64:
+        opc = 0b11  # sign-extending load into a W register
+    return size, 0, opc, _field(rt), size
+
+
+def _encode_load_store(name: str, ops: list[str], ctx) -> list[int]:
+    unscaled = "u" in name[:4] and name not in _LDST_INT  # ldur/stur family
+    if len(ops) == 3:
+        # post-index: rt, [base], #imm
+        size, v, opc, rt, scale = _ldst_fields(name, ops[0])
+        mem = _parse_mem(ops[1], post_imm=ops[2])
+        return [enc.load_store_unscaled(size, v, opc, rt, _field(mem.base),
+                                        mem.offset_imm, 0b01)]
+    if len(ops) != 2:
+        raise AssemblerError(f"{name} expects 2 or 3 operands")
+    size, v, opc, rt, scale = _ldst_fields(name, ops[0])
+    mem = _parse_mem(ops[1])
+    base = _field(mem.base)
+    nbytes = 1 << scale
+    if mem.pre_index:
+        return [enc.load_store_unscaled(size, v, opc, rt, base,
+                                        mem.offset_imm, 0b11)]
+    if mem.offset_reg is not None:
+        ext = mem.extend
+        if ext.amount not in (0, scale):
+            raise AssemblerError(
+                f"register-offset shift must be 0 or {scale} for {name}"
+            )
+        s_bit = 1 if (ext.amount == scale and ext.explicit_amount) else 0
+        if ext.amount == scale and scale != 0 and not ext.explicit_amount:
+            s_bit = 1
+        option = ext.option
+        if option not in (2, 3, 6, 7):
+            raise AssemblerError("invalid extend for register offset")
+        return [enc.load_store_reg_offset(size, v, opc, rt, base,
+                                          _field(mem.offset_reg), option, s_bit)]
+    offset = mem.offset_imm or 0
+    if unscaled:
+        return [enc.load_store_unscaled(size, v, opc, rt, base, offset, 0b00)]
+    if offset >= 0 and offset % nbytes == 0 and (offset // nbytes) < (1 << 12):
+        return [enc.load_store_unsigned(size, v, opc, rt, base, offset // nbytes)]
+    if fits_signed(offset, 9):
+        return [enc.load_store_unscaled(size, v, opc, rt, base, offset, 0b00)]
+    raise AssemblerError(f"load/store offset {offset} not encodable")
+
+
+def _encode_pair(name: str, ops: list[str]) -> list[int]:
+    load = 1 if name == "ldp" else 0
+    if len(ops) == 4:
+        # post-index
+        mem = _parse_mem(ops[2], post_imm=ops[3])
+        mode = 0b01
+    elif len(ops) == 3:
+        mem = _parse_mem(ops[2])
+        mode = 0b11 if mem.pre_index else 0b10
+    else:
+        raise AssemblerError(f"{name} expects 3 or 4 operands")
+    try:
+        rt, double = parse_fp_reg(ops[0])
+        rt2, double2 = parse_fp_reg(ops[1])
+        if double != double2:
+            raise AssemblerError("ldp/stp mixed FP widths")
+        v, opc = 1, (0b01 if double else 0b00)
+        nbytes = 8 if double else 4
+        rt_f, rt2_f = rt, rt2
+    except AssemblerError:
+        r1, is64, _ = parse_gp_reg(ops[0])
+        r2, is64b, _ = parse_gp_reg(ops[1])
+        if is64 != is64b:
+            raise AssemblerError("ldp/stp mixed widths") from None
+        v, opc = 0, (0b10 if is64 else 0b00)
+        nbytes = 8 if is64 else 4
+        rt_f, rt2_f = _field(r1), _field(r2)
+    offset = mem.offset_imm or 0
+    if offset % nbytes:
+        raise AssemblerError(f"pair offset {offset} not a multiple of {nbytes}")
+    return [enc.load_store_pair(opc, v, mode, load, rt_f, rt2_f,
+                                _field(mem.base), offset // nbytes)]

@@ -1,0 +1,41 @@
+"""A64 top-level decode dispatch.
+
+Routes a 32-bit word to the per-class decoders by the architecture's
+``op0`` field (bits 28:25):
+
+====================  ============================================
+op0                   class
+====================  ============================================
+100x                  data processing — immediate
+101x                  branches, exception generation, system
+x1x0                  loads and stores
+x101                  data processing — register
+x111                  scalar floating point (and ``movi dN,#0``)
+====================  ============================================
+"""
+
+from __future__ import annotations
+
+from repro.common import DecodeError
+from repro.isa.base import DecodedInst
+from repro.isa.aarch64.decoder_branch import decode_branch
+from repro.isa.aarch64.decoder_dpimm import decode_dp_imm
+from repro.isa.aarch64.decoder_dpreg import decode_dp_reg
+from repro.isa.aarch64.decoder_fp import decode_fp
+from repro.isa.aarch64.decoder_mem import decode_load_store
+
+
+def decode(word: int, pc: int) -> DecodedInst:
+    """Decode one A64 instruction at address ``pc``."""
+    op0 = (word >> 25) & 0xF
+    if op0 in (0b1000, 0b1001):
+        return decode_dp_imm(word, pc)
+    if op0 in (0b1010, 0b1011):
+        return decode_branch(word, pc)
+    if (op0 & 0b0101) == 0b0100:
+        return decode_load_store(word, pc)
+    if (op0 & 0b0111) == 0b0101:
+        return decode_dp_reg(word, pc)
+    if (op0 & 0b0111) == 0b0111:
+        return decode_fp(word, pc)
+    raise DecodeError(word, pc)

@@ -1,0 +1,47 @@
+"""Shared helpers for the A64 decoder modules.
+
+Register-field convention: executors index ``machine.r``, which has 33
+slots — 0–30 are X0–X30, 31 is SP, and 32 is a hardwired-zero slot standing
+in for XZR/WZR (reads of slot 32 yield 0; closures simply skip writes to
+it). The helpers below map a 5-bit register field to the right slot
+depending on whether the instruction treats field 31 as SP or as the zero
+register, and produce the matching dependency ids (SP participates in
+dependence chains; XZR never does, per §4.1).
+"""
+
+from __future__ import annotations
+
+from repro.isa.base import DEP_FP_BASE
+
+#: machine.r slot of the hardwired zero register.
+ZR_SLOT = 32
+SP_SLOT = 31
+
+
+def gp_slot(field: int, sp: bool) -> int:
+    """Map a 5-bit register field to a machine.r slot."""
+    if field == 31:
+        return SP_SLOT if sp else ZR_SLOT
+    return field
+
+
+def gp_deps(*slots: int) -> tuple[int, ...]:
+    """Dep ids for GP slots (drops the zero slot)."""
+    return tuple(s for s in slots if s != ZR_SLOT)
+
+
+def fp_deps(*regs: int) -> tuple[int, ...]:
+    return tuple(DEP_FP_BASE + r for r in regs)
+
+
+def gp_text(slot: int, is64: bool, sp: bool = False) -> str:
+    """Disassembly name for a machine.r slot."""
+    if slot == ZR_SLOT:
+        return "xzr" if is64 else "wzr"
+    if slot == SP_SLOT:
+        return "sp" if is64 else "wsp"
+    return f"{'x' if is64 else 'w'}{slot}"
+
+
+def fp_text(reg: int, is_double: bool) -> str:
+    return f"{'d' if is_double else 's'}{reg}"

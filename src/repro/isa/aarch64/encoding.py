@@ -1,0 +1,376 @@
+"""A64 instruction-word encoders.
+
+Pure functions from operand fields to 32-bit words, used by the assembler.
+The decoder (:mod:`repro.isa.aarch64.decoder`) extracts the same fields back
+out; round-trips are property-tested.
+
+Field layouts follow the Arm ARM (DDI 0487) instruction classes:
+data-processing immediate/register, branches, loads/stores, scalar FP.
+"""
+
+from __future__ import annotations
+
+from repro.common import EncodingError, bits_to_f64, f64_to_bits, fits_signed
+
+# shift types for shifted-register operands
+SHIFT_LSL, SHIFT_LSR, SHIFT_ASR, SHIFT_ROR = 0, 1, 2, 3
+SHIFT_NAMES = ["lsl", "lsr", "asr", "ror"]
+
+# extend options for extended-register operands and register-offset loads
+EXT_UXTB, EXT_UXTH, EXT_UXTW, EXT_UXTX = 0, 1, 2, 3
+EXT_SXTB, EXT_SXTH, EXT_SXTW, EXT_SXTX = 4, 5, 6, 7
+EXTEND_NAMES = ["uxtb", "uxth", "uxtw", "uxtx", "sxtb", "sxth", "sxtw", "sxtx"]
+
+
+def _check_reg(value: int, name: str = "register") -> int:
+    if not 0 <= value <= 31:
+        raise EncodingError(f"{name} field {value} out of range")
+    return value
+
+
+def add_sub_imm(sf: int, op: int, set_flags: int, rd: int, rn: int,
+                imm12: int, shift12: bool) -> int:
+    """ADD/SUB (immediate): optionally LSL #12 shifted 12-bit immediate."""
+    if not 0 <= imm12 < (1 << 12):
+        raise EncodingError(f"add/sub immediate {imm12} out of 12-bit range")
+    return (
+        (sf << 31) | (op << 30) | (set_flags << 29) | (0b100010 << 23)
+        | ((1 if shift12 else 0) << 22) | (imm12 << 10)
+        | (_check_reg(rn) << 5) | _check_reg(rd)
+    )
+
+
+def logical_imm(sf: int, opc: int, rd: int, rn: int, n: int, immr: int, imms: int) -> int:
+    """AND/ORR/EOR/ANDS (immediate) with a pre-encoded bitmask immediate."""
+    return (
+        (sf << 31) | (opc << 29) | (0b100100 << 23) | (n << 22)
+        | (immr << 16) | (imms << 10) | (_check_reg(rn) << 5) | _check_reg(rd)
+    )
+
+
+def move_wide(sf: int, opc: int, rd: int, imm16: int, hw: int) -> int:
+    """MOVN (opc=0) / MOVZ (opc=2) / MOVK (opc=3)."""
+    if not 0 <= imm16 < (1 << 16):
+        raise EncodingError(f"move-wide immediate {imm16} out of 16-bit range")
+    max_hw = 3 if sf else 1
+    if not 0 <= hw <= max_hw:
+        raise EncodingError(f"move-wide shift hw={hw} invalid for sf={sf}")
+    return (
+        (sf << 31) | (opc << 29) | (0b100101 << 23) | (hw << 21)
+        | (imm16 << 5) | _check_reg(rd)
+    )
+
+
+def adr(op: int, rd: int, imm21: int) -> int:
+    """ADR (op=0) / ADRP (op=1) with a signed 21-bit offset."""
+    if not fits_signed(imm21, 21):
+        raise EncodingError(f"adr offset {imm21} out of 21-bit range")
+    imm21 &= (1 << 21) - 1
+    immlo = imm21 & 0x3
+    immhi = imm21 >> 2
+    return (op << 31) | (immlo << 29) | (0b10000 << 24) | (immhi << 5) | _check_reg(rd)
+
+
+def bitfield(sf: int, opc: int, rd: int, rn: int, immr: int, imms: int) -> int:
+    """SBFM (opc=0) / BFM (opc=1) / UBFM (opc=2)."""
+    n = sf
+    return (
+        (sf << 31) | (opc << 29) | (0b100110 << 23) | (n << 22)
+        | (immr << 16) | (imms << 10) | (_check_reg(rn) << 5) | _check_reg(rd)
+    )
+
+
+def extract(sf: int, rd: int, rn: int, rm: int, imms: int) -> int:
+    """EXTR (the ROR-immediate alias uses rn == rm)."""
+    return (
+        (sf << 31) | (0b00100111 << 23) | (sf << 22) | (_check_reg(rm) << 16)
+        | (imms << 10) | (_check_reg(rn) << 5) | _check_reg(rd)
+    )
+
+
+def logical_shifted(sf: int, opc: int, neg: int, rd: int, rn: int, rm: int,
+                    shift_type: int, amount: int) -> int:
+    """AND/ORR/EOR/ANDS (opc 0..3) shifted register; neg selects BIC/ORN/EON."""
+    limit = 64 if sf else 32
+    if not 0 <= amount < limit:
+        raise EncodingError(f"shift amount {amount} out of range")
+    return (
+        (sf << 31) | (opc << 29) | (0b01010 << 24) | (shift_type << 22)
+        | (neg << 21) | (_check_reg(rm) << 16) | (amount << 10)
+        | (_check_reg(rn) << 5) | _check_reg(rd)
+    )
+
+
+def add_sub_shifted(sf: int, op: int, set_flags: int, rd: int, rn: int, rm: int,
+                    shift_type: int, amount: int) -> int:
+    """ADD/SUB(S) (shifted register). ROR shift is not architecturally valid."""
+    if shift_type == SHIFT_ROR:
+        raise EncodingError("ROR shift invalid for add/sub")
+    limit = 64 if sf else 32
+    if not 0 <= amount < limit:
+        raise EncodingError(f"shift amount {amount} out of range")
+    return (
+        (sf << 31) | (op << 30) | (set_flags << 29) | (0b01011 << 24)
+        | (shift_type << 22) | (_check_reg(rm) << 16) | (amount << 10)
+        | (_check_reg(rn) << 5) | _check_reg(rd)
+    )
+
+
+def add_sub_extended(sf: int, op: int, set_flags: int, rd: int, rn: int, rm: int,
+                     option: int, shift: int) -> int:
+    """ADD/SUB(S) (extended register); shift is 0–4."""
+    if not 0 <= shift <= 4:
+        raise EncodingError(f"extended-register shift {shift} out of 0..4")
+    return (
+        (sf << 31) | (op << 30) | (set_flags << 29) | (0b01011001 << 21)
+        | (_check_reg(rm) << 16) | (option << 13) | (shift << 10)
+        | (_check_reg(rn) << 5) | _check_reg(rd)
+    )
+
+
+def cond_select(sf: int, op: int, op2: int, rd: int, rn: int, rm: int, cond: int) -> int:
+    """CSEL (op=0,op2=0) / CSINC (0,1) / CSINV (1,0) / CSNEG (1,1)."""
+    return (
+        (sf << 31) | (op << 30) | (0b11010100 << 21) | (_check_reg(rm) << 16)
+        | (cond << 12) | (op2 << 10) | (_check_reg(rn) << 5) | _check_reg(rd)
+    )
+
+
+def dp3(sf: int, op31: int, o0: int, rd: int, rn: int, rm: int, ra: int) -> int:
+    """Three-source: MADD/MSUB (op31=0), SMULH (2), UMULH (6)."""
+    return (
+        (sf << 31) | (0b0011011 << 24) | (op31 << 21) | (_check_reg(rm) << 16)
+        | (o0 << 15) | (_check_reg(ra) << 10) | (_check_reg(rn) << 5) | _check_reg(rd)
+    )
+
+
+def dp2(sf: int, opcode: int, rd: int, rn: int, rm: int) -> int:
+    """Two-source: UDIV (opcode=2), SDIV (3), LSLV (8), LSRV (9), ASRV (10),
+    RORV (11)."""
+    return (
+        (sf << 31) | (0b0011010110 << 21) | (_check_reg(rm) << 16)
+        | (opcode << 10) | (_check_reg(rn) << 5) | _check_reg(rd)
+    )
+
+
+def dp1(sf: int, opcode: int, rd: int, rn: int) -> int:
+    """One-source: RBIT (0), REV16 (1), REV32 (2), REV (3), CLZ (4), CLS (5)."""
+    return (
+        (sf << 31) | (0b1011010110 << 21) | (opcode << 10)
+        | (_check_reg(rn) << 5) | _check_reg(rd)
+    )
+
+
+def branch_imm(op: int, offset: int) -> int:
+    """B (op=0) / BL (op=1) with byte offset."""
+    if offset % 4:
+        raise EncodingError(f"branch offset {offset} not word aligned")
+    imm26 = offset >> 2
+    if not fits_signed(imm26, 26):
+        raise EncodingError(f"branch offset {offset} out of range")
+    return (op << 31) | (0b00101 << 26) | (imm26 & ((1 << 26) - 1))
+
+
+def branch_cond(cond: int, offset: int) -> int:
+    """B.cond with byte offset."""
+    if offset % 4:
+        raise EncodingError(f"branch offset {offset} not word aligned")
+    imm19 = offset >> 2
+    if not fits_signed(imm19, 19):
+        raise EncodingError(f"conditional branch offset {offset} out of range")
+    return (0b01010100 << 24) | ((imm19 & ((1 << 19) - 1)) << 5) | cond
+
+
+def compare_branch(sf: int, op: int, rt: int, offset: int) -> int:
+    """CBZ (op=0) / CBNZ (op=1)."""
+    if offset % 4:
+        raise EncodingError(f"branch offset {offset} not word aligned")
+    imm19 = offset >> 2
+    if not fits_signed(imm19, 19):
+        raise EncodingError(f"cbz/cbnz offset {offset} out of range")
+    return (
+        (sf << 31) | (0b011010 << 25) | (op << 24)
+        | ((imm19 & ((1 << 19) - 1)) << 5) | _check_reg(rt)
+    )
+
+
+def test_branch(op: int, rt: int, bit_pos: int, offset: int) -> int:
+    """TBZ (op=0) / TBNZ (op=1) testing ``bit_pos`` of rt."""
+    if not 0 <= bit_pos <= 63:
+        raise EncodingError(f"tbz bit position {bit_pos} out of range")
+    if offset % 4:
+        raise EncodingError(f"branch offset {offset} not word aligned")
+    imm14 = offset >> 2
+    if not fits_signed(imm14, 14):
+        raise EncodingError(f"tbz/tbnz offset {offset} out of range")
+    b5 = bit_pos >> 5
+    b40 = bit_pos & 0x1F
+    return (
+        (b5 << 31) | (0b011011 << 25) | (op << 24) | (b40 << 19)
+        | ((imm14 & ((1 << 14) - 1)) << 5) | _check_reg(rt)
+    )
+
+
+def branch_reg(opc: int, rn: int) -> int:
+    """BR (opc=0) / BLR (opc=1) / RET (opc=2)."""
+    return (0b1101011 << 25) | (opc << 21) | (0b11111 << 16) | (_check_reg(rn) << 5)
+
+
+def load_store_unsigned(size: int, v: int, opc: int, rt: int, rn: int, imm12: int) -> int:
+    """LDR/STR (unsigned scaled immediate offset)."""
+    if not 0 <= imm12 < (1 << 12):
+        raise EncodingError(f"scaled offset field {imm12} out of 12-bit range")
+    return (
+        (size << 30) | (0b111 << 27) | (v << 26) | (0b01 << 24) | (opc << 22)
+        | (imm12 << 10) | (_check_reg(rn) << 5) | _check_reg(rt)
+    )
+
+
+def load_store_unscaled(size: int, v: int, opc: int, rt: int, rn: int,
+                        imm9: int, mode: int) -> int:
+    """LDUR/STUR (mode=0), post-index (mode=1), pre-index (mode=3)."""
+    if not fits_signed(imm9, 9):
+        raise EncodingError(f"unscaled offset {imm9} out of 9-bit range")
+    return (
+        (size << 30) | (0b111 << 27) | (v << 26) | (opc << 22)
+        | ((imm9 & 0x1FF) << 12) | (mode << 10) | (_check_reg(rn) << 5)
+        | _check_reg(rt)
+    )
+
+
+def load_store_reg_offset(size: int, v: int, opc: int, rt: int, rn: int, rm: int,
+                          option: int, s: int) -> int:
+    """LDR/STR (register offset with extend/shift)."""
+    if option not in (EXT_UXTW, EXT_UXTX, EXT_SXTW, EXT_SXTX):
+        raise EncodingError(f"invalid register-offset extend option {option}")
+    return (
+        (size << 30) | (0b111 << 27) | (v << 26) | (opc << 22) | (1 << 21)
+        | (_check_reg(rm) << 16) | (option << 13) | (s << 12) | (0b10 << 10)
+        | (_check_reg(rn) << 5) | _check_reg(rt)
+    )
+
+
+def load_store_pair(opc: int, v: int, mode: int, load: int, rt: int, rt2: int,
+                    rn: int, imm7: int) -> int:
+    """LDP/STP. mode: 1=post-index, 2=signed offset, 3=pre-index."""
+    if not fits_signed(imm7, 7):
+        raise EncodingError(f"pair offset field {imm7} out of 7-bit range")
+    return (
+        (opc << 30) | (0b101 << 27) | (v << 26) | (mode << 23) | (load << 22)
+        | ((imm7 & 0x7F) << 15) | (_check_reg(rt2) << 10) | (_check_reg(rn) << 5)
+        | _check_reg(rt)
+    )
+
+
+def fp_dp2(ftype: int, opcode: int, rd: int, rn: int, rm: int) -> int:
+    """Scalar FP two-source: FMUL 0, FDIV 1, FADD 2, FSUB 3, FMAX 4, FMIN 5,
+    FMAXNM 6, FMINNM 7, FNMUL 8. ftype: 0=S, 1=D."""
+    return (
+        (0b00011110 << 24) | (ftype << 22) | (1 << 21) | (_check_reg(rm) << 16)
+        | (opcode << 12) | (0b10 << 10) | (_check_reg(rn) << 5) | _check_reg(rd)
+    )
+
+
+def fp_dp1(ftype: int, opcode: int, rd: int, rn: int) -> int:
+    """Scalar FP one-source: FMOV 0, FABS 1, FNEG 2, FSQRT 3, FCVT (4|dst)."""
+    return (
+        (0b00011110 << 24) | (ftype << 22) | (1 << 21) | (opcode << 15)
+        | (0b10000 << 10) | (_check_reg(rn) << 5) | _check_reg(rd)
+    )
+
+
+def fp_compare(ftype: int, rn: int, rm: int, opcode2: int) -> int:
+    """FCMP/FCMPE; opcode2: 0=FCMP, 8=FCMP #0.0, 16=FCMPE, 24=FCMPE #0.0."""
+    return (
+        (0b00011110 << 24) | (ftype << 22) | (1 << 21) | (_check_reg(rm) << 16)
+        | (0b001000 << 10) | (_check_reg(rn) << 5) | opcode2
+    )
+
+
+def fp_csel(ftype: int, rd: int, rn: int, rm: int, cond: int) -> int:
+    """FCSEL."""
+    return (
+        (0b00011110 << 24) | (ftype << 22) | (1 << 21) | (_check_reg(rm) << 16)
+        | (cond << 12) | (0b11 << 10) | (_check_reg(rn) << 5) | _check_reg(rd)
+    )
+
+
+def fp_imm(ftype: int, rd: int, imm8: int) -> int:
+    """FMOV (scalar, immediate)."""
+    return (
+        (0b00011110 << 24) | (ftype << 22) | (1 << 21) | (imm8 << 13)
+        | (0b100 << 10) | _check_reg(rd)
+    )
+
+
+def fp_int(sf: int, ftype: int, rmode: int, opcode: int, rd: int, rn: int) -> int:
+    """FP<->integer: FCVTZS (rmode=3,opc=0), FCVTZU (3,1), SCVTF (0,2),
+    UCVTF (0,3), FMOV to-gp (0,6), FMOV from-gp (0,7)."""
+    return (
+        (sf << 31) | (0b0011110 << 24) | (ftype << 22) | (1 << 21)
+        | (rmode << 19) | (opcode << 16) | (_check_reg(rn) << 5) | _check_reg(rd)
+    )
+
+
+def fp_dp3(ftype: int, o1: int, o0: int, rd: int, rn: int, rm: int, ra: int) -> int:
+    """FMADD (o1=0,o0=0) / FMSUB (0,1) / FNMADD (1,0) / FNMSUB (1,1)."""
+    return (
+        (0b00011111 << 24) | (ftype << 22) | (o1 << 21) | (_check_reg(rm) << 16)
+        | (o0 << 15) | (_check_reg(ra) << 10) | (_check_reg(rn) << 5) | _check_reg(rd)
+    )
+
+
+#: The single permitted NEON instruction: ``movi dN, #0`` (see package doc).
+MOVI_D_ZERO_BASE = 0x2F00E400
+
+
+def movi_d_zero(rd: int) -> int:
+    return MOVI_D_ZERO_BASE | _check_reg(rd)
+
+
+def svc(imm16: int) -> int:
+    if not 0 <= imm16 < (1 << 16):
+        raise EncodingError(f"svc immediate {imm16} out of range")
+    return 0xD4000001 | (imm16 << 5)
+
+
+NOP = 0xD503201F
+
+
+# --- FMOV immediate expansion -------------------------------------------------
+
+def vfp_expand_imm8(imm8: int) -> float:
+    """Expand an FMOV 8-bit immediate to its double value (VFPExpandImm)."""
+    if not 0 <= imm8 < 256:
+        raise EncodingError(f"imm8 {imm8} out of range")
+    a = (imm8 >> 7) & 1
+    b = (imm8 >> 6) & 1
+    cd = (imm8 >> 4) & 3
+    efgh = imm8 & 0xF
+    exp_field = ((1 - b) << 10) | ((0xFF if b else 0) << 2) | cd
+    frac = efgh << 48
+    pattern = (a << 63) | (exp_field << 52) | frac
+    return bits_to_f64(pattern)
+
+
+def vfp_encode_imm8(value: float) -> int:
+    """Encode a double as an FMOV imm8, or raise if not representable."""
+    pattern = f64_to_bits(value)
+    a = (pattern >> 63) & 1
+    exp_field = (pattern >> 52) & 0x7FF
+    frac = pattern & ((1 << 52) - 1)
+    if frac & ((1 << 48) - 1):
+        raise EncodingError(f"{value!r} not an FMOV immediate (mantissa)")
+    efgh = frac >> 48
+    top = (exp_field >> 10) & 1
+    mid = (exp_field >> 2) & 0xFF
+    cd = exp_field & 3
+    if top == 0 and mid == 0xFF:
+        b = 1
+    elif top == 1 and mid == 0:
+        b = 0
+    else:
+        raise EncodingError(f"{value!r} not an FMOV immediate (exponent)")
+    imm8 = (a << 7) | (b << 6) | (cd << 4) | efgh
+    assert vfp_expand_imm8(imm8) == value
+    return imm8

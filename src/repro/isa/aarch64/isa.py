@@ -1,0 +1,34 @@
+"""The AArch64 ISA facade tying decoder and assembler together."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.isa.base import AssemblyContext, DecodedInst
+from repro.isa.aarch64 import assembler as _asm
+from repro.isa.aarch64 import decoder as _dec
+
+
+class AArch64:
+    """Scalar Armv8-a (``armv8-a+nosimd``), fixed 4-byte instructions."""
+
+    name = "aarch64"
+    word_size = 4
+
+    def decode(self, word: int, pc: int) -> DecodedInst:
+        return _dec.decode(word, pc)
+
+    def encode_instruction(
+        self, mnemonic: str, operands: Sequence[str], ctx: AssemblyContext
+    ) -> list[int]:
+        return _asm.encode_instruction(mnemonic, operands, ctx)
+
+    def instruction_size(self, mnemonic: str, operands: Sequence[str]) -> int:
+        return _asm.instruction_size(mnemonic, operands)
+
+    def disassemble(self, word: int, pc: int = 0) -> str:
+        """Convenience: decode and return the text form."""
+        return self.decode(word, pc).text
+
+    def __repr__(self) -> str:
+        return "<ISA aarch64 (armv8-a+nosimd)>"

@@ -1,0 +1,201 @@
+"""Common ISA abstractions shared by the AArch64 and RV64 implementations.
+
+Dependency-register numbering
+-----------------------------
+
+Every analysis in the paper (critical path, scaled critical path, windowed
+critical path) tracks read-after-write chains through *architectural
+registers* and memory. To let the analyses stay ISA-agnostic, decoded
+instructions report their sources and destinations in a unified numbering:
+
+====================  =========================================
+dep id                meaning
+====================  =========================================
+0–31                  integer registers (AArch64 ``Xn``/``SP``,
+                      RISC-V ``x1``–``x31``)
+32–63                 floating-point registers (``Dn`` / ``fn``)
+64 (:data:`DEP_NZCV`)  the AArch64 NZCV condition flags
+====================  =========================================
+
+The zero registers (AArch64 ``XZR``, RISC-V ``x0``) are *excluded* from the
+source and destination tuples at decode time: reading them yields a constant
+and therefore breaks dependence chains, exactly as §4.1 of the paper
+describes, and writes to them are discarded.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Protocol, Sequence
+
+DEP_FP_BASE = 32
+DEP_NZCV = 64
+NUM_DEP_REGS = 65
+
+
+class InstructionGroup(enum.IntEnum):
+    """Coarse instruction classes, mirroring SimEng's latency groups.
+
+    Core-model configs (see :mod:`repro.sim.config`) assign an execution
+    latency to each group; the scaled-critical-path analysis of §5 weights
+    chain links by these latencies.
+    """
+
+    INT_SIMPLE = 0      # add/sub/logic/shift/move on integer registers
+    INT_MUL = 1         # integer multiply (and multiply-add)
+    INT_DIV = 2         # integer divide / remainder
+    BRANCH = 3          # all control flow (conditional, unconditional, indirect)
+    LOAD = 4            # integer and FP loads
+    STORE = 5           # integer and FP stores
+    FP_SIMPLE = 6       # FP add/sub/neg/abs/min/max/compare/sign-inject
+    FP_MUL = 7          # FP multiply and fused multiply-add
+    FP_DIV_SQRT = 8     # FP divide and square root
+    FP_CVT = 9          # FP<->int and FP<->FP conversions
+    FP_MOVE = 10        # register moves involving FP registers (incl. FMOV)
+    ATOMIC = 11         # LR/SC and AMO instructions
+    SYSCALL = 12        # SVC / ECALL / EBREAK
+    NOP = 13            # NOP, hints, fences treated as no-ops
+
+
+#: Mapping used by config files; kept in one place so yamlite models,
+#: the docs and the enum cannot drift apart.
+GROUP_NAMES: dict[str, InstructionGroup] = {
+    "int_simple": InstructionGroup.INT_SIMPLE,
+    "int_mul": InstructionGroup.INT_MUL,
+    "int_div": InstructionGroup.INT_DIV,
+    "branch": InstructionGroup.BRANCH,
+    "load": InstructionGroup.LOAD,
+    "store": InstructionGroup.STORE,
+    "fp_simple": InstructionGroup.FP_SIMPLE,
+    "fp_mul": InstructionGroup.FP_MUL,
+    "fp_div_sqrt": InstructionGroup.FP_DIV_SQRT,
+    "fp_cvt": InstructionGroup.FP_CVT,
+    "fp_move": InstructionGroup.FP_MOVE,
+    "atomic": InstructionGroup.ATOMIC,
+    "syscall": InstructionGroup.SYSCALL,
+    "nop": InstructionGroup.NOP,
+}
+
+
+class DecodedInst:
+    """A decoded instruction: static metadata plus a bound executor.
+
+    Instances are created once per static program location (the emulation
+    core caches them by PC) and then executed many times, so the executor is
+    a closure with all operand fields pre-extracted — nothing is re-decoded
+    on the hot path.
+
+    Attributes:
+        pc: address this instruction was decoded at.
+        word: the raw 32-bit encoding.
+        mnemonic: lower-case mnemonic (``"add"``, ``"fmadd.d"``, ...).
+        text: full disassembly string (mnemonic + operands).
+        group: the :class:`InstructionGroup` for latency lookup.
+        srcs: dep ids read (unified numbering, zero registers excluded).
+        dsts: dep ids written (unified numbering, zero registers excluded).
+        is_load / is_store: memory behaviour flags.
+        is_branch: True for any control-flow instruction.
+        execute: ``execute(machine)`` advances architectural state. The
+            core sets ``machine.pc`` to the fall-through address *before*
+            calling it; branch executors overwrite ``machine.pc``.
+    """
+
+    __slots__ = (
+        "pc",
+        "word",
+        "mnemonic",
+        "text",
+        "group",
+        "srcs",
+        "dsts",
+        "is_load",
+        "is_store",
+        "is_branch",
+        "execute",
+    )
+
+    def __init__(
+        self,
+        pc: int,
+        word: int,
+        mnemonic: str,
+        text: str,
+        group: InstructionGroup,
+        srcs: tuple[int, ...],
+        dsts: tuple[int, ...],
+        execute: Callable[["MachineState"], None],
+        *,
+        is_load: bool = False,
+        is_store: bool = False,
+        is_branch: bool = False,
+    ):
+        self.pc = pc
+        self.word = word
+        self.mnemonic = mnemonic
+        self.text = text
+        self.group = group
+        self.srcs = srcs
+        self.dsts = dsts
+        self.execute = execute
+        self.is_load = is_load
+        self.is_store = is_store
+        self.is_branch = is_branch
+
+    def __repr__(self) -> str:
+        return f"<DecodedInst {self.pc:#x}: {self.text}>"
+
+
+class MachineState(Protocol):
+    """Structural interface the ISA executors require of the machine.
+
+    Implemented by :class:`repro.sim.machine.Machine`. Integer registers are
+    unsigned 64-bit patterns stored as Python ints; FP registers are Python
+    floats (IEEE-754 doubles).
+    """
+
+    r: list[int]
+    f: list[float]
+    pc: int
+    nzcv: int
+    memory: "MemoryLike"
+
+    def raise_syscall(self) -> None: ...
+
+
+class MemoryLike(Protocol):
+    """Byte-addressed little-endian memory (see :mod:`repro.sim.memory`)."""
+
+    def load(self, addr: int, size: int, signed: bool = False) -> int: ...
+    def store(self, addr: int, size: int, value: int) -> None: ...
+    def load_f64(self, addr: int) -> float: ...
+    def store_f64(self, addr: int, value: float) -> None: ...
+    def load_f32(self, addr: int) -> float: ...
+    def store_f32(self, addr: int, value: float) -> None: ...
+
+
+class AssemblyContext(Protocol):
+    """What an ISA's instruction encoder may ask of the assembler.
+
+    ``lookup(symbol)`` returns the symbol's absolute address; during the
+    sizing pass it returns a plausible placeholder so encodings that only
+    depend on *reachability*, not the value, stay the same width.
+    """
+
+    pc: int
+
+    def lookup(self, symbol: str) -> int: ...
+
+
+class ISA(Protocol):
+    """The full per-ISA surface used by the assembler, loader and core."""
+
+    name: str
+    word_size: int  # bytes per instruction
+
+    def decode(self, word: int, pc: int) -> DecodedInst: ...
+
+    def encode_instruction(
+        self, mnemonic: str, operands: Sequence[str], ctx: AssemblyContext
+    ) -> list[int]: ...
+
+    def instruction_size(self, mnemonic: str, operands: Sequence[str]) -> int: ...

@@ -1,0 +1,9 @@
+"""RV64G (IMAFD + minimal Zicsr) instruction set implementation.
+
+The paper targets ``-march=rv64g`` *without* the compressed (C) extension,
+so every instruction here is a fixed 32-bit word.
+"""
+
+from repro.isa.riscv.isa import RV64
+
+__all__ = ["RV64"]

@@ -1,0 +1,393 @@
+"""RV64G instruction encoder: one parsed assembly line → machine words.
+
+Handles all real RV64G instructions plus the standard pseudo-instructions
+(``li``, ``la``, ``mv``, ``call``, ``ret``, ``beqz``, ``fneg.d``, ...). The
+generic two-pass assembler (:mod:`repro.asm`) owns labels, sections and
+directives; this module only encodes instructions, asking the assembly
+context to resolve symbols.
+
+One deliberate simplification: ``call``/``tail`` always expand to a single
+``jal`` (our statically linked programs fit comfortably within ±1 MiB), where
+GCC+ld may emit an ``auipc``+``jalr`` pair and relax it. Path-length effects
+are identical to the relaxed form.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common import AssemblerError, fits_signed, s64, u64
+from repro.isa.base import AssemblyContext
+from repro.isa.riscv import encoding as enc
+from repro.isa.riscv.registers import parse_fp_reg, parse_int_reg
+
+ZERO, RA = 0, 1
+
+
+def parse_immediate(token: str) -> int:
+    """Parse an integer literal (decimal or 0x hex, optionally signed)."""
+    text = token.strip().lower().replace("_", "")
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"invalid immediate {token!r}") from None
+
+
+def _imm_or_label(token: str, ctx: AssemblyContext) -> int:
+    """Resolve a token that may be a literal or a symbol to an absolute value."""
+    token = token.strip()
+    try:
+        return parse_immediate(token)
+    except AssemblerError:
+        return ctx.lookup(token)
+
+
+def parse_mem_operand(token: str) -> tuple[int, str]:
+    """Split ``imm(reg)`` into (imm, reg-token); bare ``(reg)`` means imm 0."""
+    token = token.strip()
+    if not token.endswith(")"):
+        raise AssemblerError(f"expected mem operand 'imm(reg)', got {token!r}")
+    open_paren = token.index("(")
+    imm_text = token[:open_paren].strip()
+    reg_text = token[open_paren + 1 : -1].strip()
+    imm = parse_immediate(imm_text) if imm_text else 0
+    return imm, reg_text
+
+
+def li_expansion(rd: int, value: int) -> list[tuple]:
+    """Expand ``li rd, value`` into real instructions.
+
+    Returns a list of (mnemonic, args...) tuples in a private mini-format
+    consumed by :func:`_encode_expanded`. Mirrors the standard GNU assembler
+    materialization: addi / lui+addiw for 32-bit values, and a recursive
+    lui/addi/slli ladder for wider constants.
+    """
+    value = s64(u64(value))
+    if fits_signed(value, 12):
+        return [("addi", rd, ZERO, value)]
+    if fits_signed(value, 32):
+        lo12 = s64(u64(value) & 0xFFF) if (value & 0x800) == 0 else (value & 0xFFF) - 0x1000
+        hi20 = (value - lo12) >> 12
+        seq: list[tuple] = [("lui", rd, hi20 & 0xFFFFF)]
+        if lo12:
+            seq.append(("addiw", rd, rd, lo12))
+        return seq
+    lo12 = value & 0xFFF
+    if lo12 & 0x800:
+        lo12 -= 0x1000
+    rest = (value - lo12) >> 12
+    seq = li_expansion(rd, rest)
+    seq.append(("slli", rd, rd, 12))
+    if lo12:
+        seq.append(("addi", rd, rd, lo12))
+    return seq
+
+
+def _encode_expanded(step: tuple) -> int:
+    """Encode one li_expansion step."""
+    name = step[0]
+    if name == "addi" or name == "addiw":
+        op, f3 = enc.I_TYPE[name]
+        return enc.encode_i(op, step[1], f3, step[2], step[3])
+    if name == "lui":
+        imm20 = step[2]
+        if imm20 & 0x80000:
+            imm20 -= 0x100000
+        return enc.encode_u(enc.OP_LUI, step[1], imm20)
+    if name == "slli":
+        op, f3, fh, _bits = enc.SHIFT_IMM["slli"]
+        return enc.encode_i(op, step[1], f3, step[2], (fh << 6) | step[3])
+    raise AssemblerError(f"internal: unknown expansion step {name}")  # pragma: no cover
+
+
+def _split_hi_lo(delta: int) -> tuple[int, int]:
+    """Split a PC-relative delta into (hi20, lo12) for auipc+addi."""
+    lo12 = delta & 0xFFF
+    if lo12 & 0x800:
+        lo12 -= 0x1000
+    hi20 = (delta - lo12) >> 12
+    if not -(1 << 19) <= hi20 < (1 << 20):
+        raise AssemblerError(f"pc-relative delta {delta} out of auipc range")
+    return hi20, lo12
+
+
+_ARITH_PSEUDOS: dict[str, tuple] = {
+    # name -> (real mnemonic, operand template); 'd','s','t' = passthrough
+    "mv": ("addi", ("d", "s", "0")),
+    "not": ("xori", ("d", "s", "-1")),
+    "neg": ("sub", ("d", "zero", "s")),
+    "negw": ("subw", ("d", "zero", "s")),
+    "sext.w": ("addiw", ("d", "s", "0")),
+    "seqz": ("sltiu", ("d", "s", "1")),
+    "snez": ("sltu", ("d", "zero", "s")),
+    "sltz": ("slt", ("d", "s", "zero")),
+    "sgtz": ("slt", ("d", "zero", "s")),
+}
+
+_BRANCH_ZERO_PSEUDOS: dict[str, tuple[str, bool]] = {
+    # name -> (real branch, zero-first?)
+    "beqz": ("beq", False),
+    "bnez": ("bne", False),
+    "blez": ("bge", True),
+    "bgez": ("bge", False),
+    "bltz": ("blt", False),
+    "bgtz": ("blt", True),
+}
+
+_BRANCH_SWAP_PSEUDOS: dict[str, str] = {
+    "bgt": "blt",
+    "ble": "bge",
+    "bgtu": "bltu",
+    "bleu": "bgeu",
+}
+
+_FP_MOVE_PSEUDOS: dict[str, str] = {
+    "fmv.d": "fsgnj.d",
+    "fneg.d": "fsgnjn.d",
+    "fabs.d": "fsgnjx.d",
+    "fmv.s": "fsgnj.s",
+    "fneg.s": "fsgnjn.s",
+    "fabs.s": "fsgnjx.s",
+}
+
+
+def instruction_size(mnemonic: str, operands: Sequence[str]) -> int:
+    """Byte size of ``mnemonic operands`` after pseudo expansion.
+
+    Must be exact (the two-pass assembler lays out addresses from it), so
+    ``li`` computes its expansion from the literal and ``la`` is always
+    8 bytes (auipc+addi).
+    """
+    name = mnemonic.lower()
+    if name == "li":
+        if len(operands) != 2:
+            raise AssemblerError("li expects 2 operands")
+        return 4 * len(li_expansion(0, parse_immediate(operands[1])))
+    if name in ("la", "lla"):
+        return 8
+    return 4
+
+
+def encode_instruction(
+    mnemonic: str, operands: Sequence[str], ctx: AssemblyContext
+) -> list[int]:
+    """Encode one instruction (or pseudo-instruction) to machine words."""
+    name = mnemonic.lower()
+    ops = [o.strip() for o in operands]
+    pc = ctx.pc
+
+    def ireg(i: int) -> int:
+        return parse_int_reg(ops[i])
+
+    def freg(i: int) -> int:
+        return parse_fp_reg(ops[i])
+
+    def expect(n: int) -> None:
+        if len(ops) != n:
+            raise AssemblerError(f"{name} expects {n} operands, got {len(ops)}")
+
+    # --- pseudo-instructions -------------------------------------------------
+    if name == "nop":
+        return [enc.encode_i(enc.OP_IMM, 0, 0, 0, 0)]
+    if name == "li":
+        expect(2)
+        return [_encode_expanded(step) for step in li_expansion(ireg(0), parse_immediate(ops[1]))]
+    if name in ("la", "lla"):
+        expect(2)
+        rd = ireg(0)
+        target = ctx.lookup(ops[1])
+        hi20, lo12 = _split_hi_lo(target - pc)
+        return [
+            enc.encode_u(enc.OP_AUIPC, rd, hi20),
+            enc.encode_i(enc.OP_IMM, rd, 0b000, rd, lo12),
+        ]
+    if name in _ARITH_PSEUDOS:
+        expect(2)
+        real, template = _ARITH_PSEUDOS[name]
+        resolved = []
+        for slot in template:
+            if slot == "d":
+                resolved.append(ops[0])
+            elif slot == "s":
+                resolved.append(ops[1])
+            else:
+                resolved.append(slot)
+        return encode_instruction(real, resolved, ctx)
+    if name in _BRANCH_ZERO_PSEUDOS:
+        expect(2)
+        real, zero_first = _BRANCH_ZERO_PSEUDOS[name]
+        args = ["zero", ops[0], ops[1]] if zero_first else [ops[0], "zero", ops[1]]
+        return encode_instruction(real, args, ctx)
+    if name in _BRANCH_SWAP_PSEUDOS:
+        expect(3)
+        return encode_instruction(_BRANCH_SWAP_PSEUDOS[name], [ops[1], ops[0], ops[2]], ctx)
+    if name in _FP_MOVE_PSEUDOS:
+        expect(2)
+        return encode_instruction(_FP_MOVE_PSEUDOS[name], [ops[0], ops[1], ops[1]], ctx)
+    if name == "j":
+        expect(1)
+        return encode_instruction("jal", ["zero", ops[0]], ctx)
+    if name == "jal" and len(ops) == 1:
+        return encode_instruction("jal", ["ra", ops[0]], ctx)
+    if name == "jr":
+        expect(1)
+        return [enc.encode_i(enc.OP_JALR, 0, 0, ireg(0), 0)]
+    if name == "jalr" and len(ops) == 1:
+        return [enc.encode_i(enc.OP_JALR, RA, 0, ireg(0), 0)]
+    if name == "ret":
+        expect(0)
+        return [enc.encode_i(enc.OP_JALR, 0, 0, RA, 0)]
+    if name == "call":
+        expect(1)
+        target = _imm_or_label(ops[0], ctx)
+        return [enc.encode_j(enc.OP_JAL, RA, target - pc)]
+    if name == "tail":
+        expect(1)
+        target = _imm_or_label(ops[0], ctx)
+        return [enc.encode_j(enc.OP_JAL, ZERO, target - pc)]
+    if name == "csrr":
+        expect(2)
+        return encode_instruction("csrrs", [ops[0], ops[1], "zero"], ctx)
+    if name == "csrw":
+        expect(2)
+        return encode_instruction("csrrw", ["zero", ops[0], ops[1]], ctx)
+
+    # --- real instructions ---------------------------------------------------
+    if name in enc.R_TYPE:
+        expect(3)
+        op, f3, f7 = enc.R_TYPE[name]
+        return [enc.encode_r(op, ireg(0), f3, ireg(1), ireg(2), f7)]
+
+    if name in enc.SHIFT_IMM:
+        expect(3)
+        op, f3, f_high, sh_bits = enc.SHIFT_IMM[name]
+        shamt = parse_immediate(ops[2])
+        if not 0 <= shamt < (1 << sh_bits):
+            raise AssemblerError(f"shift amount {shamt} out of range for {name}")
+        imm = (f_high << sh_bits) | shamt
+        return [enc.encode_i(op, ireg(0), f3, ireg(1), imm)]
+
+    if name in enc.I_TYPE and name != "jalr":
+        expect(3)
+        op, f3 = enc.I_TYPE[name]
+        return [enc.encode_i(op, ireg(0), f3, ireg(1), parse_immediate(ops[2]))]
+
+    if name == "jalr":
+        expect(2)
+        imm, base = parse_mem_operand(ops[1])
+        return [enc.encode_i(enc.OP_JALR, ireg(0), 0, parse_int_reg(base), imm)]
+
+    if name == "jal":
+        expect(2)
+        target = _imm_or_label(ops[1], ctx)
+        return [enc.encode_j(enc.OP_JAL, ireg(0), target - pc)]
+
+    if name in enc.BRANCHES:
+        expect(3)
+        target = _imm_or_label(ops[2], ctx)
+        return [enc.encode_b(enc.OP_BRANCH, enc.BRANCHES[name], ireg(0), ireg(1), target - pc)]
+
+    if name in enc.LOADS:
+        expect(2)
+        f3, _size, _signed, fp = enc.LOADS[name]
+        imm, base = parse_mem_operand(ops[1])
+        rd = freg(0) if fp else ireg(0)
+        opcode = enc.OP_LOAD_FP if fp else enc.OP_LOAD
+        return [enc.encode_i(opcode, rd, f3, parse_int_reg(base), imm)]
+
+    if name in enc.STORES:
+        expect(2)
+        f3, _size, fp = enc.STORES[name]
+        imm, base = parse_mem_operand(ops[1])
+        rs2 = freg(0) if fp else ireg(0)
+        opcode = enc.OP_STORE_FP if fp else enc.OP_STORE
+        return [enc.encode_s(opcode, f3, parse_int_reg(base), rs2, imm)]
+
+    if name == "lui":
+        expect(2)
+        imm = parse_immediate(ops[1])
+        if imm & 0x80000 and imm > 0 and imm < (1 << 20):
+            imm -= 1 << 20  # accept raw 20-bit patterns
+        return [enc.encode_u(enc.OP_LUI, ireg(0), imm)]
+
+    if name == "auipc":
+        expect(2)
+        imm = parse_immediate(ops[1])
+        if imm & 0x80000 and imm > 0 and imm < (1 << 20):
+            imm -= 1 << 20
+        return [enc.encode_u(enc.OP_AUIPC, ireg(0), imm)]
+
+    if name in enc.FP_OPS:
+        expect(3)
+        f7, f3 = enc.FP_OPS[name]
+        if name.startswith(("feq", "flt", "fle")):
+            return [enc.encode_r(enc.OP_FP, ireg(0), f3, freg(1), freg(2), f7)]
+        rm = f3 if f3 is not None else enc.RM_DYN
+        return [enc.encode_r(enc.OP_FP, freg(0), rm, freg(1), freg(2), f7)]
+
+    if name in enc.FP_UNARY:
+        f7, rs2_field = enc.FP_UNARY[name]
+        rm = enc.RM_DYN
+        if len(ops) == 3:
+            rm_token = ops[2].lower()
+            if rm_token not in enc.ROUNDING_MODES:
+                raise AssemblerError(f"unknown rounding mode {ops[2]!r}")
+            rm = enc.ROUNDING_MODES[rm_token]
+        elif len(ops) != 2:
+            raise AssemblerError(f"{name} expects 2 or 3 operands")
+        if name.startswith("fcvt.") and name.split(".")[1] in ("w", "wu", "l", "lu"):
+            if len(ops) == 2:
+                rm = enc.RM_RTZ  # GCC's default for C-style casts
+            return [enc.encode_r(enc.OP_FP, ireg(0), rm, freg(1), rs2_field, f7)]
+        if name.startswith("fclass"):
+            return [enc.encode_r(enc.OP_FP, ireg(0), 0b001, freg(1), rs2_field, f7)]
+        if name in ("fmv.x.d", "fmv.x.w"):
+            return [enc.encode_r(enc.OP_FP, ireg(0), 0b000, freg(1), rs2_field, f7)]
+        if name in ("fmv.d.x", "fmv.w.x"):
+            return [enc.encode_r(enc.OP_FP, freg(0), 0b000, ireg(1), rs2_field, f7)]
+        if name.startswith(("fcvt.s.w", "fcvt.s.l", "fcvt.d.w", "fcvt.d.l")):
+            return [enc.encode_r(enc.OP_FP, freg(0), rm, ireg(1), rs2_field, f7)]
+        # fsqrt / fcvt.s.d / fcvt.d.s
+        if name == "fcvt.d.s":
+            rm = 0b000 if len(ops) == 2 else rm  # widening is exact
+        return [enc.encode_r(enc.OP_FP, freg(0), rm, freg(1), rs2_field, f7)]
+
+    if name in enc.FMA_OPS:
+        expect(4)
+        op, fmt2 = enc.FMA_OPS[name]
+        return [enc.encode_r4(op, freg(0), enc.RM_DYN, freg(1), freg(2), freg(3), fmt2)]
+
+    if name in enc.AMO_OPS:
+        f5, f3 = enc.AMO_OPS[name]
+        if name.startswith("lr"):
+            expect(2)
+            imm, base = (0, ops[1].strip("()")) if "(" in ops[1] else (0, ops[1])
+            return [enc.encode_r(enc.OP_AMO, ireg(0), f3, parse_int_reg(base), 0, f5 << 2)]
+        expect(3)
+        base = ops[2].strip("()")
+        return [enc.encode_r(enc.OP_AMO, ireg(0), f3, parse_int_reg(base), ireg(1), f5 << 2)]
+
+    if name in enc.CSR_OPS:
+        expect(3)
+        f3 = enc.CSR_OPS[name]
+        csr_text = ops[1].lower()
+        csr = enc.CSR_NUMBERS.get(csr_text)
+        if csr is None:
+            csr = parse_immediate(ops[1])
+        if name.endswith("i"):
+            operand = parse_immediate(ops[2]) & 0x1F
+        else:
+            operand = parse_int_reg(ops[2])
+        word = (csr << 20) | (operand << 15) | (f3 << 12) | (ireg(0) << 7) | enc.OP_SYSTEM
+        return [word]
+
+    if name == "ecall":
+        expect(0)
+        return [enc.OP_SYSTEM]
+    if name == "ebreak":
+        expect(0)
+        return [(1 << 20) | enc.OP_SYSTEM]
+    if name == "fence":
+        return [(0b11111111 << 20) | enc.OP_FENCE]
+
+    raise AssemblerError(f"unknown RV64 instruction {mnemonic!r}")

@@ -1,0 +1,372 @@
+"""RV64G instruction formats and opcode tables.
+
+The six base formats (R/I/S/B/U/J) plus the R4 format used by the fused
+multiply-add instructions. Tables below are shared by the assembler
+(name → fields) and the decoder (fields → name), so the two cannot drift.
+"""
+
+from __future__ import annotations
+
+from repro.common import EncodingError, bits, fits_signed
+
+# --- opcodes (bits 6:0) ------------------------------------------------------
+
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_IMM = 0b0010011
+OP_IMM32 = 0b0011011
+OP_REG = 0b0110011
+OP_REG32 = 0b0111011
+OP_FENCE = 0b0001111
+OP_SYSTEM = 0b1110011
+OP_AMO = 0b0101111
+OP_LOAD_FP = 0b0000111
+OP_STORE_FP = 0b0100111
+OP_FP = 0b1010011
+OP_FMADD = 0b1000011
+OP_FMSUB = 0b1000111
+OP_FNMSUB = 0b1001011
+OP_FNMADD = 0b1001111
+
+
+# --- format packers ----------------------------------------------------------
+
+def encode_r(opcode: int, rd: int, funct3: int, rs1: int, rs2: int, funct7: int) -> int:
+    return (
+        (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+    )
+
+
+def encode_r4(opcode: int, rd: int, funct3: int, rs1: int, rs2: int, rs3: int, fmt2: int) -> int:
+    return (
+        (rs3 << 27) | (fmt2 << 25) | (rs2 << 20) | (rs1 << 15)
+        | (funct3 << 12) | (rd << 7) | opcode
+    )
+
+
+def encode_i(opcode: int, rd: int, funct3: int, rs1: int, imm: int) -> int:
+    if not fits_signed(imm, 12):
+        raise EncodingError(f"I-type immediate {imm} does not fit in 12 bits")
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def encode_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    if not fits_signed(imm, 12):
+        raise EncodingError(f"S-type immediate {imm} does not fit in 12 bits")
+    imm &= 0xFFF
+    return (
+        (bits(imm, 11, 5) << 25) | (rs2 << 20) | (rs1 << 15)
+        | (funct3 << 12) | (bits(imm, 4, 0) << 7) | opcode
+    )
+
+
+def encode_b(opcode: int, funct3: int, rs1: int, rs2: int, offset: int) -> int:
+    if offset % 2:
+        raise EncodingError(f"branch offset {offset} is not even")
+    if not fits_signed(offset, 13):
+        raise EncodingError(f"branch offset {offset} does not fit in 13 bits")
+    offset &= 0x1FFF
+    return (
+        (bits(offset, 12, 12) << 31)
+        | (bits(offset, 10, 5) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (bits(offset, 4, 1) << 8)
+        | (bits(offset, 11, 11) << 7)
+        | opcode
+    )
+
+
+def encode_u(opcode: int, rd: int, imm20: int) -> int:
+    if not -(1 << 19) <= imm20 < (1 << 20):
+        raise EncodingError(f"U-type immediate {imm20} does not fit in 20 bits")
+    return ((imm20 & 0xFFFFF) << 12) | (rd << 7) | opcode
+
+
+def encode_j(opcode: int, rd: int, offset: int) -> int:
+    if offset % 2:
+        raise EncodingError(f"jump offset {offset} is not even")
+    if not fits_signed(offset, 21):
+        raise EncodingError(f"jump offset {offset} does not fit in 21 bits")
+    offset &= 0x1FFFFF
+    return (
+        (bits(offset, 20, 20) << 31)
+        | (bits(offset, 10, 1) << 21)
+        | (bits(offset, 11, 11) << 20)
+        | (bits(offset, 19, 12) << 12)
+        | (rd << 7)
+        | opcode
+    )
+
+
+# --- field extractors (decoder side) ----------------------------------------
+
+def decode_imm_i(word: int) -> int:
+    imm = bits(word, 31, 20)
+    return imm - 0x1000 if imm & 0x800 else imm
+
+
+def decode_imm_s(word: int) -> int:
+    imm = (bits(word, 31, 25) << 5) | bits(word, 11, 7)
+    return imm - 0x1000 if imm & 0x800 else imm
+
+
+def decode_imm_b(word: int) -> int:
+    imm = (
+        (bits(word, 31, 31) << 12)
+        | (bits(word, 7, 7) << 11)
+        | (bits(word, 30, 25) << 5)
+        | (bits(word, 11, 8) << 1)
+    )
+    return imm - 0x2000 if imm & 0x1000 else imm
+
+
+def decode_imm_u(word: int) -> int:
+    imm = bits(word, 31, 12)
+    return imm - 0x100000 if imm & 0x80000 else imm
+
+
+def decode_imm_j(word: int) -> int:
+    imm = (
+        (bits(word, 31, 31) << 20)
+        | (bits(word, 19, 12) << 12)
+        | (bits(word, 20, 20) << 11)
+        | (bits(word, 30, 21) << 1)
+    )
+    return imm - 0x200000 if imm & 0x100000 else imm
+
+
+# --- instruction tables ------------------------------------------------------
+# R-type integer ops: name -> (opcode, funct3, funct7)
+
+R_TYPE: dict[str, tuple[int, int, int]] = {
+    "add": (OP_REG, 0b000, 0b0000000),
+    "sub": (OP_REG, 0b000, 0b0100000),
+    "sll": (OP_REG, 0b001, 0b0000000),
+    "slt": (OP_REG, 0b010, 0b0000000),
+    "sltu": (OP_REG, 0b011, 0b0000000),
+    "xor": (OP_REG, 0b100, 0b0000000),
+    "srl": (OP_REG, 0b101, 0b0000000),
+    "sra": (OP_REG, 0b101, 0b0100000),
+    "or": (OP_REG, 0b110, 0b0000000),
+    "and": (OP_REG, 0b111, 0b0000000),
+    # M extension
+    "mul": (OP_REG, 0b000, 0b0000001),
+    "mulh": (OP_REG, 0b001, 0b0000001),
+    "mulhsu": (OP_REG, 0b010, 0b0000001),
+    "mulhu": (OP_REG, 0b011, 0b0000001),
+    "div": (OP_REG, 0b100, 0b0000001),
+    "divu": (OP_REG, 0b101, 0b0000001),
+    "rem": (OP_REG, 0b110, 0b0000001),
+    "remu": (OP_REG, 0b111, 0b0000001),
+    # RV64 W variants
+    "addw": (OP_REG32, 0b000, 0b0000000),
+    "subw": (OP_REG32, 0b000, 0b0100000),
+    "sllw": (OP_REG32, 0b001, 0b0000000),
+    "srlw": (OP_REG32, 0b101, 0b0000000),
+    "sraw": (OP_REG32, 0b101, 0b0100000),
+    "mulw": (OP_REG32, 0b000, 0b0000001),
+    "divw": (OP_REG32, 0b100, 0b0000001),
+    "divuw": (OP_REG32, 0b101, 0b0000001),
+    "remw": (OP_REG32, 0b110, 0b0000001),
+    "remuw": (OP_REG32, 0b111, 0b0000001),
+    # Zba address-generation extension (ratified 2021; used by the
+    # beyond-the-paper gcc12-zba ablation: rd = (rs1 << n) + rs2)
+    "sh1add": (OP_REG, 0b010, 0b0010000),
+    "sh2add": (OP_REG, 0b100, 0b0010000),
+    "sh3add": (OP_REG, 0b110, 0b0010000),
+}
+
+# I-type ALU ops: name -> (opcode, funct3)
+I_TYPE: dict[str, tuple[int, int]] = {
+    "addi": (OP_IMM, 0b000),
+    "slti": (OP_IMM, 0b010),
+    "sltiu": (OP_IMM, 0b011),
+    "xori": (OP_IMM, 0b100),
+    "ori": (OP_IMM, 0b110),
+    "andi": (OP_IMM, 0b111),
+    "addiw": (OP_IMM32, 0b000),
+    "jalr": (OP_JALR, 0b000),
+}
+
+# shift-immediate: name -> (opcode, funct3, funct6/funct7, shamt_bits)
+SHIFT_IMM: dict[str, tuple[int, int, int, int]] = {
+    "slli": (OP_IMM, 0b001, 0b000000, 6),
+    "srli": (OP_IMM, 0b101, 0b000000, 6),
+    "srai": (OP_IMM, 0b101, 0b010000, 6),
+    "slliw": (OP_IMM32, 0b001, 0b0000000, 5),
+    "srliw": (OP_IMM32, 0b101, 0b0000000, 5),
+    "sraiw": (OP_IMM32, 0b101, 0b0100000, 5),
+}
+
+# loads: name -> (funct3, size_bytes, signed, fp)
+LOADS: dict[str, tuple[int, int, bool, bool]] = {
+    "lb": (0b000, 1, True, False),
+    "lh": (0b001, 2, True, False),
+    "lw": (0b010, 4, True, False),
+    "ld": (0b011, 8, True, False),
+    "lbu": (0b100, 1, False, False),
+    "lhu": (0b101, 2, False, False),
+    "lwu": (0b110, 4, False, False),
+    "flw": (0b010, 4, False, True),
+    "fld": (0b011, 8, False, True),
+}
+
+# stores: name -> (funct3, size_bytes, fp)
+STORES: dict[str, tuple[int, int, bool]] = {
+    "sb": (0b000, 1, False),
+    "sh": (0b001, 2, False),
+    "sw": (0b010, 4, False),
+    "sd": (0b011, 8, False),
+    "fsw": (0b010, 4, True),
+    "fsd": (0b011, 8, True),
+}
+
+# branches: name -> funct3
+BRANCHES: dict[str, int] = {
+    "beq": 0b000,
+    "bne": 0b001,
+    "blt": 0b100,
+    "bge": 0b101,
+    "bltu": 0b110,
+    "bgeu": 0b111,
+}
+
+# FP R-type: name -> (funct7, funct3 or None for rm, fmt)
+# fmt: 0 = .s (single), 1 = .d (double)
+FP_OPS: dict[str, tuple[int, int | None]] = {
+    # funct7 includes the fmt field in bits 1:0
+    "fadd.s": (0b0000000, None),
+    "fadd.d": (0b0000001, None),
+    "fsub.s": (0b0000100, None),
+    "fsub.d": (0b0000101, None),
+    "fmul.s": (0b0001000, None),
+    "fmul.d": (0b0001001, None),
+    "fdiv.s": (0b0001100, None),
+    "fdiv.d": (0b0001101, None),
+    "fsgnj.s": (0b0010000, 0b000),
+    "fsgnjn.s": (0b0010000, 0b001),
+    "fsgnjx.s": (0b0010000, 0b010),
+    "fsgnj.d": (0b0010001, 0b000),
+    "fsgnjn.d": (0b0010001, 0b001),
+    "fsgnjx.d": (0b0010001, 0b010),
+    "fmin.s": (0b0010100, 0b000),
+    "fmax.s": (0b0010100, 0b001),
+    "fmin.d": (0b0010101, 0b000),
+    "fmax.d": (0b0010101, 0b001),
+    "feq.s": (0b1010000, 0b010),
+    "flt.s": (0b1010000, 0b001),
+    "fle.s": (0b1010000, 0b000),
+    "feq.d": (0b1010001, 0b010),
+    "flt.d": (0b1010001, 0b001),
+    "fle.d": (0b1010001, 0b000),
+}
+
+# FP unary / conversion ops: name -> (funct7, rs2_field)
+FP_UNARY: dict[str, tuple[int, int]] = {
+    "fsqrt.s": (0b0101100, 0b00000),
+    "fsqrt.d": (0b0101101, 0b00000),
+    "fcvt.s.d": (0b0100000, 0b00001),
+    "fcvt.d.s": (0b0100001, 0b00000),
+    "fcvt.w.s": (0b1100000, 0b00000),
+    "fcvt.wu.s": (0b1100000, 0b00001),
+    "fcvt.l.s": (0b1100000, 0b00010),
+    "fcvt.lu.s": (0b1100000, 0b00011),
+    "fcvt.w.d": (0b1100001, 0b00000),
+    "fcvt.wu.d": (0b1100001, 0b00001),
+    "fcvt.l.d": (0b1100001, 0b00010),
+    "fcvt.lu.d": (0b1100001, 0b00011),
+    "fcvt.s.w": (0b1101000, 0b00000),
+    "fcvt.s.wu": (0b1101000, 0b00001),
+    "fcvt.s.l": (0b1101000, 0b00010),
+    "fcvt.s.lu": (0b1101000, 0b00011),
+    "fcvt.d.w": (0b1101001, 0b00000),
+    "fcvt.d.wu": (0b1101001, 0b00001),
+    "fcvt.d.l": (0b1101001, 0b00010),
+    "fcvt.d.lu": (0b1101001, 0b00011),
+    "fmv.x.w": (0b1110000, 0b00000),
+    "fmv.w.x": (0b1111000, 0b00000),
+    "fmv.x.d": (0b1110001, 0b00000),
+    "fmv.d.x": (0b1111001, 0b00000),
+    "fclass.s": (0b1110000, 0b00000),  # distinguished from fmv.x.w by funct3=001
+    "fclass.d": (0b1110001, 0b00000),
+}
+
+# FMA family: name -> (opcode, fmt2)
+FMA_OPS: dict[str, tuple[int, int]] = {
+    "fmadd.s": (OP_FMADD, 0b00),
+    "fmadd.d": (OP_FMADD, 0b01),
+    "fmsub.s": (OP_FMSUB, 0b00),
+    "fmsub.d": (OP_FMSUB, 0b01),
+    "fnmsub.s": (OP_FNMSUB, 0b00),
+    "fnmsub.d": (OP_FNMSUB, 0b01),
+    "fnmadd.s": (OP_FNMADD, 0b00),
+    "fnmadd.d": (OP_FNMADD, 0b01),
+}
+
+# AMO ops (A extension): name -> (funct5, width_funct3)
+AMO_OPS: dict[str, tuple[int, int]] = {
+    "lr.w": (0b00010, 0b010),
+    "sc.w": (0b00011, 0b010),
+    "amoswap.w": (0b00001, 0b010),
+    "amoadd.w": (0b00000, 0b010),
+    "amoxor.w": (0b00100, 0b010),
+    "amoand.w": (0b01100, 0b010),
+    "amoor.w": (0b01000, 0b010),
+    "amomin.w": (0b10000, 0b010),
+    "amomax.w": (0b10100, 0b010),
+    "amominu.w": (0b11000, 0b010),
+    "amomaxu.w": (0b11100, 0b010),
+    "lr.d": (0b00010, 0b011),
+    "sc.d": (0b00011, 0b011),
+    "amoswap.d": (0b00001, 0b011),
+    "amoadd.d": (0b00000, 0b011),
+    "amoxor.d": (0b00100, 0b011),
+    "amoand.d": (0b01100, 0b011),
+    "amoor.d": (0b01000, 0b011),
+    "amomin.d": (0b10000, 0b011),
+    "amomax.d": (0b10100, 0b011),
+    "amominu.d": (0b11000, 0b011),
+    "amomaxu.d": (0b11100, 0b011),
+}
+
+# CSR ops: name -> funct3
+CSR_OPS: dict[str, int] = {
+    "csrrw": 0b001,
+    "csrrs": 0b010,
+    "csrrc": 0b011,
+    "csrrwi": 0b101,
+    "csrrsi": 0b110,
+    "csrrci": 0b111,
+}
+
+#: Well-known CSR numbers (the subset the simulator supports).
+CSR_NUMBERS: dict[str, int] = {
+    "fflags": 0x001,
+    "frm": 0x002,
+    "fcsr": 0x003,
+    "cycle": 0xC00,
+    "time": 0xC01,
+    "instret": 0xC02,
+}
+
+#: Default rounding-mode field value (RNE) used when the assembler is not
+#: given an explicit rounding mode.
+RM_RNE = 0b000
+RM_RTZ = 0b001
+RM_DYN = 0b111
+
+ROUNDING_MODES: dict[str, int] = {
+    "rne": RM_RNE,
+    "rtz": RM_RTZ,
+    "rdn": 0b010,
+    "rup": 0b011,
+    "rmm": 0b100,
+    "dyn": RM_DYN,
+}

@@ -1,0 +1,65 @@
+"""RISC-V register names and dependency-id mapping.
+
+Integer registers ``x0``–``x31`` (with standard ABI aliases) and FP
+registers ``f0``–``f31``. Dep ids follow :mod:`repro.isa.base`: integer
+register *n* maps to dep id *n* (``x0`` excluded from dependence tracking),
+FP register *n* maps to ``32 + n``.
+"""
+
+from __future__ import annotations
+
+from repro.common import AssemblerError
+
+#: ABI names in register-number order (x0..x31).
+INT_ABI_NAMES = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+]
+
+#: ABI names for f0..f31.
+FP_ABI_NAMES = [
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+]
+
+_INT_LOOKUP: dict[str, int] = {}
+_FP_LOOKUP: dict[str, int] = {}
+
+for _i, _name in enumerate(INT_ABI_NAMES):
+    _INT_LOOKUP[_name] = _i
+    _INT_LOOKUP[f"x{_i}"] = _i
+_INT_LOOKUP["fp"] = 8  # alternative name for s0
+
+for _i, _name in enumerate(FP_ABI_NAMES):
+    _FP_LOOKUP[_name] = _i
+    _FP_LOOKUP[f"f{_i}"] = _i
+
+
+def parse_int_reg(token: str, line: int | None = None) -> int:
+    """Parse an integer register name to its number (0–31)."""
+    reg = _INT_LOOKUP.get(token.strip().lower())
+    if reg is None:
+        raise AssemblerError(f"unknown integer register {token!r}", line)
+    return reg
+
+
+def parse_fp_reg(token: str, line: int | None = None) -> int:
+    """Parse an FP register name to its number (0–31)."""
+    reg = _FP_LOOKUP.get(token.strip().lower())
+    if reg is None:
+        raise AssemblerError(f"unknown FP register {token!r}", line)
+    return reg
+
+
+def int_reg_name(num: int) -> str:
+    """Canonical (ABI) name for integer register ``num``."""
+    return INT_ABI_NAMES[num]
+
+
+def fp_reg_name(num: int) -> str:
+    """Canonical (ABI) name for FP register ``num``."""
+    return FP_ABI_NAMES[num]

@@ -1,0 +1,208 @@
+"""Arithmetic semantics helpers for RV64G.
+
+These are split from the decoder so corner cases (division overflow,
+high-multiply, FP→int conversion rounding and saturation, NaN handling in
+min/max, sign injection) can be unit-tested in isolation.
+
+All integer helpers take and return *unsigned* 64-bit patterns.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common import (
+    MASK32,
+    MASK64,
+    bits_to_f32,
+    bits_to_f64,
+    f32_to_bits,
+    f64_to_bits,
+    s32,
+    s64,
+    u64,
+)
+from repro.isa.riscv.encoding import RM_RTZ
+
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+INT32_MIN = -(1 << 31)
+INT32_MAX = (1 << 31) - 1
+UINT64_MAX = MASK64
+UINT32_MAX = MASK32
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """C-style (truncate-toward-zero) integer division."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def div_signed(a_bits: int, b_bits: int, width: int = 64) -> int:
+    """``div``/``divw``: signed division with RISC-V corner cases.
+
+    Division by zero returns all ones; overflow (INT_MIN / -1) returns
+    INT_MIN. Result is the unsigned ``width``-bit pattern, sign-extended to
+    64 bits for W-form.
+    """
+    to_signed = s64 if width == 64 else s32
+    a, b = to_signed(a_bits), to_signed(b_bits)
+    if b == 0:
+        return MASK64
+    int_min = INT64_MIN if width == 64 else INT32_MIN
+    if a == int_min and b == -1:
+        return u64(int_min)
+    return u64(_trunc_div(a, b))
+
+
+def rem_signed(a_bits: int, b_bits: int, width: int = 64) -> int:
+    """``rem``/``remw``: signed remainder (sign follows the dividend)."""
+    to_signed = s64 if width == 64 else s32
+    a, b = to_signed(a_bits), to_signed(b_bits)
+    if b == 0:
+        return u64(a)
+    int_min = INT64_MIN if width == 64 else INT32_MIN
+    if a == int_min and b == -1:
+        return 0
+    return u64(a - _trunc_div(a, b) * b)
+
+
+def div_unsigned(a_bits: int, b_bits: int, width: int = 64) -> int:
+    """``divu``/``divuw``: unsigned division; /0 returns all ones."""
+    mask = MASK64 if width == 64 else MASK32
+    a, b = a_bits & mask, b_bits & mask
+    if b == 0:
+        return MASK64
+    return u64(s32(a // b)) if width == 32 else (a // b)
+
+
+def rem_unsigned(a_bits: int, b_bits: int, width: int = 64) -> int:
+    """``remu``/``remuw``: unsigned remainder; /0 returns the dividend."""
+    mask = MASK64 if width == 64 else MASK32
+    a, b = a_bits & mask, b_bits & mask
+    if b == 0:
+        return u64(s32(a)) if width == 32 else a
+    return u64(s32(a % b)) if width == 32 else (a % b)
+
+
+def mulh(a_bits: int, b_bits: int) -> int:
+    """High 64 bits of the signed×signed 128-bit product."""
+    return u64((s64(a_bits) * s64(b_bits)) >> 64)
+
+
+def mulhu(a_bits: int, b_bits: int) -> int:
+    """High 64 bits of the unsigned×unsigned 128-bit product."""
+    return ((a_bits & MASK64) * (b_bits & MASK64)) >> 64
+
+
+def mulhsu(a_bits: int, b_bits: int) -> int:
+    """High 64 bits of the signed×unsigned 128-bit product."""
+    return u64((s64(a_bits) * (b_bits & MASK64)) >> 64)
+
+
+def round_f32(value: float) -> float:
+    """Round a double to the nearest representable float32 (kept as double).
+
+    The FP register file stores Python floats; single-precision operations
+    apply this after every arithmetic step so results match a real FPU's
+    float32 results.
+    """
+    return bits_to_f32(f32_to_bits(value))
+
+
+def fp_to_int(value: float, rm: int, lo: int, hi: int) -> int:
+    """FP→integer conversion with RISC-V rounding and saturation.
+
+    NaN and +overflow saturate to ``hi``; -overflow saturates to ``lo``.
+    ``rm`` is the 3-bit rounding-mode field (DYN is treated as RNE, which is
+    the frm reset value).
+    """
+    if math.isnan(value):
+        return hi
+    if math.isinf(value):
+        return hi if value > 0 else lo
+    if rm == RM_RTZ:
+        result = math.trunc(value)
+    elif rm == 0b010:  # RDN
+        result = math.floor(value)
+    elif rm == 0b011:  # RUP
+        result = math.ceil(value)
+    elif rm == 0b100:  # RMM (round half away from zero)
+        result = math.floor(value + 0.5) if value >= 0 else math.ceil(value - 0.5)
+    else:  # RNE or DYN
+        result = round(value)
+    return max(lo, min(hi, result))
+
+
+def fsgnj(a: float, b: float, mode: str, single: bool) -> float:
+    """Sign-injection family: ``fsgnj`` (copy), ``fsgnjn`` (negate),
+    ``fsgnjx`` (xor). Operates on raw sign bits so it is NaN-transparent."""
+    if single:
+        abits, bbits = f32_to_bits(a), f32_to_bits(b)
+        sign_bit = 1 << 31
+        from_bits = bits_to_f32
+        mask = MASK32
+    else:
+        abits, bbits = f64_to_bits(a), f64_to_bits(b)
+        sign_bit = 1 << 63
+        from_bits = bits_to_f64
+        mask = MASK64
+    if mode == "j":
+        sign = bbits & sign_bit
+    elif mode == "jn":
+        sign = (bbits & sign_bit) ^ sign_bit
+    else:  # jx
+        sign = (abits ^ bbits) & sign_bit
+    return from_bits(((abits & ~sign_bit) | sign) & mask)
+
+
+def fmin(a: float, b: float) -> float:
+    """RISC-V fmin: NaN-aware, and -0.0 is smaller than +0.0."""
+    a_nan, b_nan = math.isnan(a), math.isnan(b)
+    if a_nan and b_nan:
+        return math.nan
+    if a_nan:
+        return b
+    if b_nan:
+        return a
+    if a == b == 0.0:
+        return a if math.copysign(1.0, a) < 0 else b
+    return min(a, b)
+
+
+def fmax(a: float, b: float) -> float:
+    """RISC-V fmax: NaN-aware, and +0.0 is larger than -0.0."""
+    a_nan, b_nan = math.isnan(a), math.isnan(b)
+    if a_nan and b_nan:
+        return math.nan
+    if a_nan:
+        return b
+    if b_nan:
+        return a
+    if a == b == 0.0:
+        return a if math.copysign(1.0, a) > 0 else b
+    return max(a, b)
+
+
+def fclass(value: float, single: bool) -> int:
+    """``fclass``: 10-bit classification mask per the RISC-V spec."""
+    if math.isnan(value):
+        # bit 8: signaling NaN, bit 9: quiet NaN. Python floats are quiet.
+        return 1 << 9
+    sign_negative = math.copysign(1.0, value) < 0
+    if math.isinf(value):
+        return (1 << 0) if sign_negative else (1 << 7)
+    if value == 0.0:
+        return (1 << 3) if sign_negative else (1 << 4)
+    # subnormal boundaries
+    min_normal = 1.17549435082228751e-38 if single else 2.2250738585072014e-308
+    if abs(value) < min_normal:
+        return (1 << 2) if sign_negative else (1 << 5)
+    return (1 << 1) if sign_negative else (1 << 6)
+
+
+def fsqrt(value: float) -> float:
+    """Square root; negative inputs produce a quiet NaN (invalid op)."""
+    if value < 0.0:
+        return math.nan
+    return math.sqrt(value)

@@ -1,0 +1,29 @@
+"""Static-ELF64 writer and reader.
+
+SimEng's defining convenience is that it runs *real statically linked
+binaries*; this package preserves that property: assembled programs are
+linked into a small but well-formed ELF64 executable (program headers for
+the loadable segments, a symbol table, and a private note section carrying
+the kernel-region markers), and the loader maps those ELF bytes into
+simulated memory.
+"""
+
+from repro.loader.elf import (
+    EM_AARCH64,
+    EM_RISCV,
+    LoadedImage,
+    build_elf,
+    load_elf,
+    load_program,
+    program_to_image,
+)
+
+__all__ = [
+    "EM_AARCH64",
+    "EM_RISCV",
+    "LoadedImage",
+    "build_elf",
+    "load_elf",
+    "load_program",
+    "program_to_image",
+]

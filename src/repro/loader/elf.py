@@ -1,0 +1,286 @@
+"""Minimal ELF64 executable writer/reader.
+
+Produces a statically linked ``ET_EXEC`` image with:
+
+* one ``PT_LOAD`` program header per section (``.text`` R+X, ``.data`` R+W),
+* ``.symtab``/``.strtab`` with every assembler symbol (``STT_FUNC`` for
+  text-resident symbols, ``STT_OBJECT`` otherwise),
+* a vendor note section ``.note.repro.regions`` that serializes the kernel
+  region markers, so a loaded binary still knows which PC ranges belong to
+  which benchmark kernel.
+
+The reader accepts exactly what the writer produces plus any conforming
+little-endian ELF64 ``ET_EXEC`` with ``PT_LOAD`` segments.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.common import LoaderError
+from repro.asm.program import Program, Region, Section
+
+ELF_MAGIC = b"\x7fELF"
+EM_AARCH64 = 183
+EM_RISCV = 243
+
+_MACHINE_BY_ISA = {"aarch64": EM_AARCH64, "rv64": EM_RISCV}
+_ISA_BY_MACHINE = {v: k for k, v in _MACHINE_BY_ISA.items()}
+
+_EHDR = struct.Struct("<16sHHIQQQIHHHHHH")
+_PHDR = struct.Struct("<IIQQQQQQ")
+_SHDR = struct.Struct("<IIQQQQIIQQ")
+_SYM = struct.Struct("<IBBHQQ")
+
+PT_LOAD = 1
+PT_NOTE = 4
+PF_X, PF_W, PF_R = 1, 2, 4
+SHT_NULL, SHT_PROGBITS, SHT_SYMTAB, SHT_STRTAB, SHT_NOTE = 0, 1, 2, 3, 7
+SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE = 0x2, 0x4, 0x1
+STT_OBJECT, STT_FUNC = 1, 2
+STB_GLOBAL, STB_LOCAL = 1, 0
+
+
+@dataclass
+class LoadedImage:
+    """Everything the simulator needs from a loaded executable."""
+
+    isa_name: str
+    entry: int
+    symbols: dict[str, int]
+    regions: list[Region]
+    segments: list[tuple[int, bytes, int]] = field(default_factory=list)
+    # (vaddr, data, flags) for each PT_LOAD
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise LoaderError(f"no symbol {name!r} in image") from None
+
+
+def _serialize_regions(regions: list[Region]) -> bytes:
+    out = struct.pack("<I", len(regions))
+    for region in regions:
+        name = region.name.encode()
+        out += struct.pack("<QQH", region.start, region.end, len(name)) + name
+    return out
+
+
+def _deserialize_regions(blob: bytes) -> list[Region]:
+    if len(blob) < 4:
+        return []
+    (count,) = struct.unpack_from("<I", blob, 0)
+    offset = 4
+    regions = []
+    for _ in range(count):
+        start, end, namelen = struct.unpack_from("<QQH", blob, offset)
+        offset += 18
+        name = blob[offset : offset + namelen].decode()
+        offset += namelen
+        regions.append(Region(name, start, end))
+    return regions
+
+
+def build_elf(program: Program) -> bytes:
+    """Serialize an assembled :class:`Program` into static-ELF64 bytes."""
+    machine = _MACHINE_BY_ISA.get(program.isa_name)
+    if machine is None:
+        raise LoaderError(f"no ELF machine id for ISA {program.isa_name!r}")
+
+    sections = [program.sections[name] for name in (".text", ".data")
+                if name in program.sections]
+
+    # String tables.
+    strtab = bytearray(b"\x00")
+    sym_name_offsets: dict[str, int] = {}
+    for name in sorted(program.symbols):
+        sym_name_offsets[name] = len(strtab)
+        strtab += name.encode() + b"\x00"
+
+    shstrtab = bytearray(b"\x00")
+    sh_name_offsets: dict[str, int] = {}
+    section_names = [s.name for s in sections] + [
+        ".symtab", ".strtab", ".shstrtab", ".note.repro.regions"
+    ]
+    for name in section_names:
+        sh_name_offsets[name] = len(shstrtab)
+        shstrtab += name.encode() + b"\x00"
+
+    # Symbol table: null symbol first.
+    text = program.sections[".text"]
+    symtab = bytearray(_SYM.pack(0, 0, 0, 0, 0, 0))
+    for name in sorted(program.symbols):
+        addr = program.symbols[name]
+        in_text = text.addr <= addr < text.end
+        stype = STT_FUNC if in_text else STT_OBJECT
+        bind = STB_GLOBAL if name in program.globals else STB_LOCAL
+        shndx = 1 if in_text else (2 if len(sections) > 1 else 1)
+        symtab += _SYM.pack(sym_name_offsets[name], (bind << 4) | stype, 0, shndx, addr, 0)
+
+    regions_blob = _serialize_regions(program.regions)
+
+    # Layout: ehdr | phdrs | section contents... | shdrs
+    num_phdrs = len(sections)
+    offset = _EHDR.size + num_phdrs * _PHDR.size
+
+    file_chunks: list[bytes] = []
+    section_file_offsets: list[int] = []
+
+    def append_chunk(data: bytes, align: int = 8) -> int:
+        nonlocal offset
+        pad = (-offset) % align
+        if pad:
+            file_chunks.append(b"\x00" * pad)
+            offset += pad
+        this_offset = offset
+        file_chunks.append(bytes(data))
+        offset += len(data)
+        return this_offset
+
+    for section in sections:
+        section_file_offsets.append(append_chunk(section.data, align=0x1000))
+    symtab_off = append_chunk(symtab)
+    strtab_off = append_chunk(strtab)
+    regions_off = append_chunk(regions_blob)
+    shstrtab_off = append_chunk(shstrtab)
+
+    pad = (-offset) % 8
+    if pad:
+        file_chunks.append(b"\x00" * pad)
+        offset += pad
+    shoff = offset
+
+    # Section headers: NULL + loadable + symtab + strtab + note + shstrtab
+    shdrs = bytearray(_SHDR.pack(0, SHT_NULL, 0, 0, 0, 0, 0, 0, 0, 0))
+    for i, section in enumerate(sections):
+        flags = SHF_ALLOC | (SHF_EXECINSTR if section.executable else SHF_WRITE)
+        shdrs += _SHDR.pack(
+            sh_name_offsets[section.name], SHT_PROGBITS, flags, section.addr,
+            section_file_offsets[i], section.size, 0, 0, 4, 0,
+        )
+    strtab_index = len(sections) + 2
+    shdrs += _SHDR.pack(
+        sh_name_offsets[".symtab"], SHT_SYMTAB, 0, 0, symtab_off, len(symtab),
+        strtab_index, 1, 8, _SYM.size,
+    )
+    shdrs += _SHDR.pack(
+        sh_name_offsets[".strtab"], SHT_STRTAB, 0, 0, strtab_off, len(strtab),
+        0, 0, 1, 0,
+    )
+    shdrs += _SHDR.pack(
+        sh_name_offsets[".note.repro.regions"], SHT_NOTE, 0, 0, regions_off,
+        len(regions_blob), 0, 0, 4, 0,
+    )
+    shdrs += _SHDR.pack(
+        sh_name_offsets[".shstrtab"], SHT_STRTAB, 0, 0, shstrtab_off,
+        len(shstrtab), 0, 0, 1, 0,
+    )
+    num_shdrs = len(sections) + 5
+    shstrndx = num_shdrs - 1
+
+    ehdr = _EHDR.pack(
+        ELF_MAGIC + bytes([2, 1, 1, 0]) + b"\x00" * 8,  # 64-bit, LE, current
+        2,  # ET_EXEC
+        machine,
+        1,  # EV_CURRENT
+        program.entry,
+        _EHDR.size,  # phoff
+        shoff,
+        0x4 if machine == EM_RISCV else 0,  # riscv: double-float ABI flag
+        _EHDR.size,
+        _PHDR.size,
+        num_phdrs,
+        _SHDR.size,
+        num_shdrs,
+        shstrndx,
+    )
+
+    phdrs = bytearray()
+    for i, section in enumerate(sections):
+        flags = PF_R | (PF_X if section.executable else PF_W)
+        phdrs += _PHDR.pack(
+            PT_LOAD, flags, section_file_offsets[i], section.addr, section.addr,
+            section.size, section.size, 0x1000,
+        )
+
+    return b"".join([ehdr, phdrs] + file_chunks + [shdrs])
+
+
+def load_elf(blob: bytes) -> LoadedImage:
+    """Parse static-ELF64 bytes back into a :class:`LoadedImage`."""
+    if len(blob) < _EHDR.size or blob[:4] != ELF_MAGIC:
+        raise LoaderError("not an ELF file")
+    if blob[4] != 2 or blob[5] != 1:
+        raise LoaderError("only little-endian ELF64 is supported")
+    (
+        _ident, etype, machine, _version, entry, phoff, shoff, _flags,
+        _ehsize, phentsize, phnum, shentsize, shnum, shstrndx,
+    ) = _EHDR.unpack_from(blob, 0)
+    if etype != 2:
+        raise LoaderError(f"not an ET_EXEC image (e_type={etype})")
+    isa_name = _ISA_BY_MACHINE.get(machine)
+    if isa_name is None:
+        raise LoaderError(f"unsupported ELF machine {machine}")
+
+    segments: list[tuple[int, bytes, int]] = []
+    for i in range(phnum):
+        ptype, flags, p_offset, vaddr, _paddr, filesz, memsz, _align = _PHDR.unpack_from(
+            blob, phoff + i * phentsize
+        )
+        if ptype != PT_LOAD:
+            continue
+        data = bytes(blob[p_offset : p_offset + filesz])
+        if memsz > filesz:
+            data += b"\x00" * (memsz - filesz)
+        segments.append((vaddr, data, flags))
+    if not segments:
+        raise LoaderError("no PT_LOAD segments")
+
+    # Recover symbols and regions from section headers (optional but always
+    # present in our own output).
+    symbols: dict[str, int] = {}
+    regions: list[Region] = []
+    if shoff and shnum:
+        shdrs = [
+            _SHDR.unpack_from(blob, shoff + i * shentsize) for i in range(shnum)
+        ]
+        shstr = b""
+        if shstrndx < len(shdrs):
+            _, _, _, _, off, size, _, _, _, _ = shdrs[shstrndx]
+            shstr = blob[off : off + size]
+
+        def sh_name(name_off: int) -> str:
+            end = shstr.find(b"\x00", name_off)
+            return shstr[name_off:end].decode()
+
+        for (name_off, stype, _flags, _addr, off, size, link, _info,
+             _align, entsize) in shdrs:
+            if stype == SHT_SYMTAB and entsize == _SYM.size:
+                _, _, _, _, str_off, str_size, _, _, _, _ = shdrs[link]
+                strtab = blob[str_off : str_off + str_size]
+                for j in range(1, size // _SYM.size):
+                    nm, _info_b, _other, _shndx, value, _sz = _SYM.unpack_from(
+                        blob, off + j * _SYM.size
+                    )
+                    end = strtab.find(b"\x00", nm)
+                    symbols[strtab[nm:end].decode()] = value
+            elif stype == SHT_NOTE and sh_name(name_off) == ".note.repro.regions":
+                regions = _deserialize_regions(blob[off : off + size])
+
+    return LoadedImage(
+        isa_name=isa_name, entry=entry, symbols=symbols,
+        regions=regions, segments=segments,
+    )
+
+
+def program_to_image(program: Program) -> LoadedImage:
+    """Round-trip a Program through ELF bytes (the canonical load path)."""
+    return load_elf(build_elf(program))
+
+
+def load_program(image: LoadedImage, memory) -> None:
+    """Copy a LoadedImage's PT_LOAD segments into simulated memory."""
+    for vaddr, data, _flags in image.segments:
+        memory.write_bytes(vaddr, data)

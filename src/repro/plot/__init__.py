@@ -1,0 +1,25 @@
+"""Dependency-free SVG charts for the paper's two figures.
+
+The original artifact renders ``lineGraph.pdf`` (Figure 2) and a grouped
+stacked bar chart (Figure 1) with matplotlib; matplotlib is unavailable in
+this offline environment, so this package is the plotting substrate —
+hand-built SVG following a validated chart method:
+
+* colors by job: categorical identity only, assigned in a fixed validated
+  order (AArch64 is always blue, RISC-V always aqua; kernels take the
+  fixed 8-slot order), never cycled or generated;
+* marks: 2px lines with ≥8px markers ringed in the surface color, bars
+  ≤24px with 2px surface gaps between touching segments, hairline
+  gridlines, one y-axis per panel;
+* identity never rides on color alone: every multi-series panel has a
+  legend and direct labels, and the CLI writes the text-table artifacts
+  (``meanILP.txt`` etc.) alongside as the table view.
+
+Ten series would breach the categorical ceiling on one set of axes, so
+Figure 2 renders as small multiples — one panel per benchmark, two series
+(the ISAs) each, exactly the comparison the paper's reader makes.
+"""
+
+from repro.plot.charts import figure1_svg, figure2_svg
+
+__all__ = ["figure1_svg", "figure2_svg"]

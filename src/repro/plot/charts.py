@@ -1,0 +1,202 @@
+"""Figure 1 and Figure 2 as SVG (see package docstring for the method)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.plot.svg import SvgDoc
+
+# palette roles (validated; see repro.plot docstring)
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e9e8e4"
+#: entity → color, fixed: the ISAs keep their hues in every chart
+ISA_COLORS = {"aarch64": "#2a78d6", "rv64": "#1baf7a"}
+ISA_LABELS = {"aarch64": "AArch64", "rv64": "RISC-V"}
+#: fixed categorical order for kernel segments (validated 8-slot theme)
+KERNEL_SLOTS = [
+    "#2a78d6", "#1baf7a", "#eda100", "#008300",
+    "#4a3aa7", "#e34948", "#e87ba4", "#eb6834",
+]
+OTHER_GRAY = "#b7b6ad"  # de-emphasis for the "other" (non-kernel) share
+
+
+def _nice_ticks(top: float, count: int = 4) -> list[float]:
+    """Round tick values covering [0, top]."""
+    if top <= 0:
+        return [0.0, 1.0]
+    raw = top / count
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if step * count >= top:
+            break
+    return [step * i for i in range(count + 1)]
+
+
+# --------------------------------------------------------------- Figure 2
+
+def figure2_svg(series: dict[str, dict[str, list[tuple[int, float]]]]) -> str:
+    """Figure 2 — mean ILP per window size, small multiples per benchmark.
+
+    ``series`` is the harness shape: workload → isa → [(window, ILP)].
+    """
+    names = list(series)
+    panel_w, panel_h = 300, 190
+    pad_l, pad_t, pad_between = 52, 88, 34
+    cols = min(3, len(names))
+    rows = (len(names) + cols - 1) // cols
+    width = pad_l + cols * (panel_w + pad_between)
+    height = pad_t + rows * (panel_h + 58) + 12
+    doc = SvgDoc(width, height, background=SURFACE)
+
+    doc.text(pad_l, 26, "Mean ILP per window size (GCC 12.2 binaries)",
+             size=16, weight=600)
+    # legend (two series per panel; identity also direct-labeled per panel)
+    lx = pad_l
+    for isa in ("aarch64", "rv64"):
+        doc.line(lx, 44, lx + 22, 44, stroke=ISA_COLORS[isa], stroke_width=2)
+        doc.circle(lx + 11, 44, 4, fill=ISA_COLORS[isa], stroke=SURFACE,
+                   stroke_width=2)
+        doc.text(lx + 28, 48, ISA_LABELS[isa], size=12, fill=TEXT_SECONDARY)
+        lx += 110
+
+    for index, name in enumerate(names):
+        col, row = index % cols, index // cols
+        x0 = pad_l + col * (panel_w + pad_between)
+        y0 = pad_t + row * (panel_h + 58)
+        _figure2_panel(doc, x0, y0, panel_w, panel_h, name, series[name])
+    return doc.render()
+
+
+def _figure2_panel(doc, x0, y0, w, h, name, per_isa):
+    windows = [wdw for wdw, _v in next(iter(per_isa.values()))]
+    top = max(v for pts in per_isa.values() for _w, v in pts)
+    ticks = _nice_ticks(top * 1.05)
+    y_top = ticks[-1]
+    log_lo, log_hi = math.log(windows[0]), math.log(windows[-1])
+
+    def sx(window):
+        return x0 + (math.log(window) - log_lo) / (log_hi - log_lo) * w
+
+    def sy(value):
+        return y0 + h - value / y_top * h
+
+    doc.text(x0, y0 - 10, name, size=13, weight=600)
+    # hairline grid + y ticks
+    for tick in ticks:
+        doc.line(x0, sy(tick), x0 + w, sy(tick), stroke=GRID, stroke_width=1)
+        doc.text(x0 - 6, sy(tick) + 4, f"{tick:g}", size=10, anchor="end",
+                 fill=TEXT_SECONDARY)
+    # x ticks at the window sizes (log scale)
+    for window in windows:
+        doc.text(sx(window), y0 + h + 14, str(window), size=10,
+                 anchor="middle", fill=TEXT_SECONDARY)
+    doc.text(x0 + w / 2, y0 + h + 30, "window size (log scale)", size=10,
+             anchor="middle", fill=TEXT_SECONDARY)
+
+    for isa in ("aarch64", "rv64"):
+        points = [(sx(wdw), sy(v)) for wdw, v in per_isa[isa]]
+        color = ISA_COLORS[isa]
+        doc.polyline(points, stroke=color, stroke_width=2,
+                     stroke_linejoin="round", stroke_linecap="round")
+        for (px, py), (wdw, value) in zip(points, per_isa[isa]):
+            doc.circle(px, py, 4, fill=color, stroke=SURFACE, stroke_width=2,
+                       title=f"{name} {ISA_LABELS[isa]} — window {wdw}: "
+                             f"ILP {value:.2f}")
+        # direct label at the line end (value in a text token, keyed by a dot)
+        end_w, end_v = per_isa[isa][-1]
+        doc.text(sx(end_w) + 7, sy(end_v) + 4, f"{end_v:.1f}", size=10,
+                 fill=TEXT_SECONDARY)
+
+
+# --------------------------------------------------------------- Figure 1
+
+def figure1_svg(
+    normalized: dict[str, dict[tuple[str, str], dict[str, float]]],
+    kernels_by_workload: dict[str, list[str]],
+) -> str:
+    """Figure 1 — per-kernel path lengths as horizontal stacked bars.
+
+    ``normalized`` is the harness shape: workload → (isa, profile) →
+    kernel → share of the baseline total.
+    """
+    configs = [("aarch64", "gcc9"), ("rv64", "gcc9"),
+               ("aarch64", "gcc12"), ("rv64", "gcc12")]
+    bar_h, bar_gap = 20, 8
+    label_w, plot_w = 150, 560
+    panel_pad = 54
+    header = 58
+    panel_h = len(configs) * (bar_h + bar_gap) + panel_pad
+    names = list(normalized)
+    width = label_w + plot_w + 90
+    height = header + len(names) * panel_h + 40
+    doc = SvgDoc(width, height, background=SURFACE)
+
+    doc.text(24, 26, "Path length by kernel, normalized to GCC 9.2 AArch64",
+             size=16, weight=600)
+
+    max_total = max(
+        sum(counts.values())
+        for per_config in normalized.values()
+        for counts in per_config.values()
+    )
+    scale = plot_w / max(1.0, max_total * 1.02)
+
+    y = header
+    for name in names:
+        doc.text(24, y + 2, name, size=13, weight=600)
+        kernels = list(kernels_by_workload[name]) + ["other"]
+        colors = {
+            kernel: (OTHER_GRAY if kernel == "other"
+                     else KERNEL_SLOTS[i % len(KERNEL_SLOTS)])
+            for i, kernel in enumerate(kernels)
+        }
+        # per-panel kernel legend (identity channel; colors also gapped)
+        lx = 24 + 90
+        for kernel in kernels:
+            doc.rect(lx, y - 8, 10, 10, rx=2, fill=colors[kernel])
+            doc.text(lx + 14, y + 1, kernel, size=10, fill=TEXT_SECONDARY)
+            lx += 14 + 7 * len(kernel) + 18
+
+        by = y + 16
+        for isa, profile in configs:
+            counts = normalized[name].get((isa, profile), {})
+            label = f"{'GCC 9.2' if profile == 'gcc9' else 'GCC 12.2'} " \
+                    f"{ISA_LABELS[isa]}"
+            doc.text(label_w - 8, by + bar_h - 6, label, size=11,
+                     anchor="end", fill=TEXT_PRIMARY)
+            x = float(label_w)
+            total = sum(counts.values())
+            for seg_index, kernel in enumerate(kernels):
+                share = counts.get(kernel, 0.0)
+                if share <= 0:
+                    continue
+                seg_w = share * scale
+                is_last = seg_index == len(kernels) - 1 or all(
+                    counts.get(k, 0.0) <= 0 for k in kernels[seg_index + 1 :]
+                )
+                # 2px surface gap between touching segments; 4px rounded
+                # data-end on the final segment only (square at baseline)
+                draw_w = max(0.5, seg_w - 2.0)
+                doc.rect(
+                    x, by, draw_w, bar_h,
+                    rx=4 if is_last else None,
+                    fill=colors[kernel],
+                    title=f"{name} {label} — {kernel}: {share:.3f}",
+                )
+                if not is_last:
+                    # un-round the leading edge visually by overdrawing a
+                    # square cap is unnecessary: rx only on the final segment
+                    pass
+                x += seg_w
+            doc.text(label_w + total * scale + 6, by + bar_h - 6,
+                     f"{total:.3f}", size=11, fill=TEXT_SECONDARY)
+            by += bar_h + bar_gap
+        # baseline axis
+        doc.line(label_w, y + 16, label_w,
+                 y + 16 + len(configs) * (bar_h + bar_gap) - bar_gap,
+                 stroke=GRID, stroke_width=1)
+        y += panel_h
+    return doc.render()

@@ -1,0 +1,80 @@
+"""Minimal SVG document builder (escaping, grouping, primitives)."""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+
+class SvgDoc:
+    """An SVG document accumulated as text elements."""
+
+    def __init__(self, width: int, height: int, background: str | None = None):
+        self.width = width
+        self.height = height
+        self.parts: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background)
+
+    @staticmethod
+    def _attrs(**kwargs) -> str:
+        parts = []
+        for key, value in kwargs.items():
+            if value is None:
+                continue
+            name = key.rstrip("_").replace("_", "-")
+            parts.append(f'{name}="{escape(str(value))}"')
+        return " ".join(parts)
+
+    def rect(self, x, y, w, h, *, rx=None, title: str | None = None, **style):
+        rx_attr = f' rx="{rx}"' if rx is not None else ""
+        head = (
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" '
+            f'height="{h:.2f}"{rx_attr} {self._attrs(**style)}'
+        )
+        if title:
+            self.parts.append(f"{head}><title>{escape(title)}</title></rect>")
+        else:
+            self.parts.append(f"{head}/>")
+
+    def line(self, x1, y1, x2, y2, **style):
+        self.parts.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f"{self._attrs(**style)}/>"
+        )
+
+    def polyline(self, points, **style):
+        text = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self.parts.append(
+            f'<polyline points="{text}" fill="none" {self._attrs(**style)}/>'
+        )
+
+    def circle(self, cx, cy, r, *, title: str | None = None, **style):
+        body = f"<title>{escape(title)}</title>" if title else ""
+        if body:
+            self.parts.append(
+                f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r}" '
+                f"{self._attrs(**style)}>{body}</circle>"
+            )
+        else:
+            self.parts.append(
+                f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r}" '
+                f"{self._attrs(**style)}/>"
+            )
+
+    def text(self, x, y, content, *, size=12, anchor="start", weight=None,
+             fill="#0b0b0b", family="system-ui, sans-serif"):
+        self.parts.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{fill}" '
+            f'font-family="{escape(family)}"'
+            + (f' font-weight="{weight}"' if weight else "")
+            + f">{escape(str(content))}</text>"
+        )
+
+    def render(self) -> str:
+        body = "\n".join(self.parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n{body}\n</svg>\n'
+        )

@@ -1,0 +1,145 @@
+"""Core-model configuration: per-instruction-group execution latencies.
+
+§5.1 of the paper: SimEng ships YAML models for Marvell's ThunderX2,
+Fujitsu's A64FX and Apple's M1 Firestorm; the authors defined a RISC-V model
+"based off of the TX2 microarchitecture and latencies" and used the TX2
+latencies for the scaled-critical-path experiment. The yamlite files under
+``repro/sim/models/`` mirror that setup:
+
+========================  =====================================================
+``tx2.yaml``              ThunderX2-derived AArch64 model (the paper's choice)
+``tx2-riscv.yaml``        the TX2-derived RISC-V port (§5.1)
+``a64fx.yaml``            A64FX-flavoured latencies (ablation A3)
+``m1-firestorm.yaml``     M1-Firestorm-flavoured latencies (ablation A3)
+``ideal.yaml``            unit latencies (reduces scaled CP to the plain CP)
+========================  =====================================================
+
+Latency values are representative per-group numbers for each
+microarchitecture (e.g. TX2: 6-cycle FP add/mul, 23-cycle FP divide), not
+per-opcode tables; the scaled-CP analysis only consumes group latencies.
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from dataclasses import dataclass, field
+
+from repro import yamlite
+from repro.common import ConfigError
+from repro.isa.base import GROUP_NAMES, InstructionGroup
+
+
+@dataclass(frozen=True)
+class PipelineParams:
+    """Microarchitectural sizes used by the in-order/OoO extension cores."""
+
+    issue_width: int = 2
+    rob_size: int = 64
+    fetch_width: int = 4
+    lsq_size: int = 32
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """A named latency model (plus optional pipeline parameters)."""
+
+    name: str
+    isa: str | None
+    clock_ghz: float
+    latencies: dict[InstructionGroup, int] = field(default_factory=dict)
+    pipeline: PipelineParams = field(default_factory=PipelineParams)
+
+    def latency(self, group: InstructionGroup) -> int:
+        """Execution latency (cycles) for an instruction group."""
+        try:
+            return self.latencies[group]
+        except KeyError:
+            raise ConfigError(
+                f"model {self.name!r} has no latency for group {group.name}"
+            ) from None
+
+    def scaled(self, factor: float) -> "CoreModel":
+        """A copy with every latency scaled by ``factor`` (hypothetical-core
+        exploration; latencies stay >= 1)."""
+        return CoreModel(
+            name=f"{self.name}-x{factor:g}",
+            isa=self.isa,
+            clock_ghz=self.clock_ghz,
+            latencies={
+                group: max(1, round(value * factor))
+                for group, value in self.latencies.items()
+            },
+            pipeline=self.pipeline,
+        )
+
+
+def _parse_model(doc: dict, source: str) -> CoreModel:
+    if not isinstance(doc, dict):
+        raise ConfigError(f"{source}: model file must be a mapping")
+    try:
+        name = doc["name"]
+        raw_latencies = doc["latencies"]
+    except KeyError as err:
+        raise ConfigError(f"{source}: missing required key {err}") from None
+    if not isinstance(raw_latencies, dict):
+        raise ConfigError(f"{source}: 'latencies' must be a mapping")
+
+    latencies: dict[InstructionGroup, int] = {}
+    for key, value in raw_latencies.items():
+        group = GROUP_NAMES.get(str(key))
+        if group is None:
+            raise ConfigError(f"{source}: unknown instruction group {key!r}")
+        if not isinstance(value, int) or value < 1:
+            raise ConfigError(f"{source}: latency for {key} must be an int >= 1")
+        latencies[group] = value
+    missing = [g.name for g in InstructionGroup if g not in latencies]
+    if missing:
+        raise ConfigError(f"{source}: missing latencies for {missing}")
+
+    pipeline_doc = doc.get("pipeline") or {}
+    pipeline = PipelineParams(
+        issue_width=pipeline_doc.get("issue_width", 2),
+        rob_size=pipeline_doc.get("rob_size", 64),
+        fetch_width=pipeline_doc.get("fetch_width", 4),
+        lsq_size=pipeline_doc.get("lsq_size", 32),
+    )
+    return CoreModel(
+        name=name,
+        isa=doc.get("isa"),
+        clock_ghz=float(doc.get("clock_ghz", 2.0)),
+        latencies=latencies,
+        pipeline=pipeline,
+    )
+
+
+def load_core_model(name_or_path: str) -> CoreModel:
+    """Load a core model by bundled name (``"tx2"``) or filesystem path."""
+    text: str | None = None
+    source = name_or_path
+    if name_or_path.endswith((".yaml", ".yml")) and "/" in name_or_path:
+        with open(name_or_path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        resource = importlib.resources.files("repro.sim") / "models" / f"{name_or_path}.yaml"
+        if resource.is_file():
+            text = resource.read_text(encoding="utf-8")
+        else:
+            try:
+                with open(name_or_path, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError:
+                raise ConfigError(
+                    f"no bundled model or file named {name_or_path!r}; "
+                    f"bundled: {available_models()}"
+                ) from None
+    return _parse_model(yamlite.loads(text), source)
+
+
+def available_models() -> list[str]:
+    """Names of the bundled core models."""
+    models_dir = importlib.resources.files("repro.sim") / "models"
+    return sorted(
+        entry.name[: -len(".yaml")]
+        for entry in models_dir.iterdir()
+        if entry.name.endswith(".yaml")
+    )

@@ -1,0 +1,116 @@
+"""Dual-issue in-order pipeline timing model (extension).
+
+The paper compiles with ``-mtune=cortex-a55`` / ``-mtune=sifive-7-series``
+— dual-issue, in-order cores — but its analyses stop at idealized critical
+paths. This model estimates what such a core would actually take: a
+trace-driven timing simulation layered over the (architecturally exact)
+emulation core as a probe.
+
+Model, per retired instruction:
+
+* up to ``issue_width`` instructions issue per cycle, in program order;
+* at most one memory operation and one branch per cycle (typical little
+  cores have a single AGU/branch unit);
+* an instruction stalls until its source registers' results are ready
+  (scoreboarding); results appear ``latency(group)`` cycles after issue;
+* loads take the model's load latency (a cache-hit latency — there is no
+  cache model, matching the paper's methodology);
+* taken branches redirect fetch: the next instruction issues no earlier
+  than the branch's issue cycle + ``branch_redirect`` cycles.
+
+The result is a CPI between the ideal CP-derived bound and reality —
+exactly the §8 "more than just the critical path matters" observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.base import NUM_DEP_REGS, DecodedInst, InstructionGroup
+from repro.sim.config import CoreModel
+
+
+@dataclass
+class InOrderResult:
+    cycles: int
+    instructions: int
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def runtime_ms(self, clock_ghz: float = 2.0) -> float:
+        return self.cycles / (clock_ghz * 1e9) * 1e3
+
+
+class InOrderTimingProbe:
+    """Attachable timing model (see module docstring)."""
+
+    needs_memory = False
+
+    def __init__(self, model: CoreModel, *, issue_width: int | None = None,
+                 branch_redirect: int = 2):
+        self.model = model
+        self.issue_width = issue_width or min(model.pipeline.issue_width, 2)
+        self.branch_redirect = branch_redirect
+        self.latency = [model.latency(g) for g in InstructionGroup]
+        self.ready = [0] * NUM_DEP_REGS
+        self.cycle = 0              # current issue cycle
+        self.slots_used = 0         # instructions issued this cycle
+        self.mem_used = False
+        self.branch_used = False
+        self.instructions = 0
+        self.last_cycle = 0
+        self._pending_redirect = 0  # earliest issue cycle after a taken branch
+
+    def on_retire(self, inst: DecodedInst, reads, writes) -> None:
+        self.instructions += 1
+        earliest = self.cycle
+        if self._pending_redirect > earliest:
+            earliest = self._pending_redirect
+        for src in inst.srcs:
+            ready = self.ready[src]
+            if ready > earliest:
+                earliest = ready
+
+        is_mem = inst.is_load or inst.is_store
+        while True:
+            if earliest > self.cycle:
+                self.cycle = earliest
+                self.slots_used = 0
+                self.mem_used = False
+                self.branch_used = False
+            # structural constraints at this cycle
+            if self.slots_used >= self.issue_width or (
+                is_mem and self.mem_used
+            ) or (inst.is_branch and self.branch_used):
+                earliest = self.cycle + 1
+                continue
+            break
+
+        issue = self.cycle
+        self.slots_used += 1
+        if is_mem:
+            self.mem_used = True
+        if inst.is_branch:
+            self.branch_used = True
+        latency = self.latency[inst.group]
+        done = issue + latency
+        for dst in inst.dsts:
+            self.ready[dst] = done
+        if done > self.last_cycle:
+            self.last_cycle = done
+        # taken branch = PC changed away from fall-through; the emulation
+        # core retires in actual execution order, so detect via a redirect
+        # cost applied to every branch (static not-taken would be unfair to
+        # loop-heavy codes; a small fixed redirect approximates a simple
+        # always-predicted-taken BTB core)
+        if inst.is_branch:
+            self._pending_redirect = issue + self.branch_redirect
+
+    def result(self) -> InOrderResult:
+        return InOrderResult(cycles=self.last_cycle, instructions=self.instructions)

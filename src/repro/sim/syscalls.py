@@ -1,0 +1,70 @@
+"""Linux generic-ABI syscall emulation (the subset static binaries need).
+
+Both AArch64 and RISC-V Linux use the *generic* syscall table, so the
+numbers are identical; only the registers differ:
+
+* AArch64: number in ``x8``, arguments in ``x0``–``x5``, result in ``x0``.
+* RISC-V:  number in ``a7`` (x17), arguments in ``a0``–``a5`` (x10–x15),
+  result in ``a0``.
+
+Our kernelc runtime only issues ``write`` (stdout/stderr capture), ``brk``
+(bump heap) and ``exit``/``exit_group``; anything else raises, which is the
+honest behaviour for a simulator pointed at an unsupported binary.
+"""
+
+from __future__ import annotations
+
+from repro.common import SimulationError
+from repro.sim.machine import Machine
+
+SYS_WRITE = 64
+SYS_EXIT = 93
+SYS_EXIT_GROUP = 94
+SYS_BRK = 214
+
+#: Upper bound for the brk heap; collides with nothing (stack sits above).
+HEAP_LIMIT = 0xE0_0000
+
+
+def _regs(machine: Machine) -> tuple[int, list[int], int]:
+    """Return (syscall number, arg registers values, result register index)."""
+    if machine.isa_name == "aarch64":
+        return machine.r[8], machine.r[0:6], 0
+    return machine.r[17], machine.r[10:16], 10
+
+
+def handle_syscall(machine: Machine) -> None:
+    """Dispatch one syscall against ``machine`` (installed as the handler)."""
+    number, args, result_reg = _regs(machine)
+
+    if number in (SYS_EXIT, SYS_EXIT_GROUP):
+        machine.exit_code = args[0] & 0xFF
+        machine.running = False
+        return
+
+    if number == SYS_WRITE:
+        fd, buf, length = args[0], args[1], args[2]
+        data = machine.memory.read_bytes(buf, length)
+        if fd == 1:
+            machine.stdout += data
+        elif fd == 2:
+            machine.stderr += data
+        else:
+            raise SimulationError(f"write to unsupported fd {fd}", pc=machine.pc)
+        machine.r[result_reg] = length
+        return
+
+    if number == SYS_BRK:
+        requested = args[0]
+        if requested == 0:
+            machine.r[result_reg] = machine.heap_end
+            return
+        if requested > HEAP_LIMIT:
+            # Linux brk reports failure by returning the old break.
+            machine.r[result_reg] = machine.heap_end
+            return
+        machine.heap_end = max(machine.heap_end, requested)
+        machine.r[result_reg] = machine.heap_end
+        return
+
+    raise SimulationError(f"unsupported syscall {number}", pc=machine.pc)

@@ -1,0 +1,200 @@
+"""Compact execution traces: record once, re-analyze offline.
+
+The paper's artifact (§A.5) stores raw SimEng output per run and feeds it
+to separate Python analysis scripts. This module is that separation for
+our stack: a :class:`TraceRecorderProbe` captures the per-retirement
+information every analysis consumes (static decode metadata per PC, plus
+dynamic memory addresses per event) into a compact binary stream, and
+:func:`read_trace`/:meth:`Trace.replay` feed it back into any probes
+without re-simulating.
+
+Format (little-endian):
+
+* magic ``b"RTRC"``, version u16, ISA name (u8 length + bytes);
+* static table: u32 count, then per entry — pc u64, word u32, group u8,
+  flags u8 (load/store/branch bits), srcs (u8 count + u8 each), dsts
+  (likewise), mnemonic (u8 length + bytes);
+* event stream: per retired instruction — u32 table index, u8 read count,
+  u8 write count, then (u64 addr, u8 size) per access;
+* trailer: u32 0xFFFFFFFF sentinel, u64 total event count.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Sequence
+
+from repro.common import SimulationError
+from repro.isa.base import DecodedInst, InstructionGroup
+
+MAGIC = b"RTRC"
+VERSION = 1
+
+_HDR = struct.Struct("<4sH")
+_U8 = struct.Struct("<B")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_STATIC = struct.Struct("<QIBB")
+_ACCESS = struct.Struct("<QB")
+_SENTINEL = 0xFFFFFFFF
+
+_FLAG_LOAD, _FLAG_STORE, _FLAG_BRANCH = 1, 2, 4
+
+
+def _noop_execute(machine) -> None:  # replayed instructions never execute
+    raise SimulationError("replayed trace instructions cannot execute")
+
+
+class TraceRecorderProbe:
+    """Record the retirement stream into a binary buffer or file object."""
+
+    needs_memory = True
+
+    def __init__(self, sink: BinaryIO | None = None):
+        self.sink = sink if sink is not None else io.BytesIO()
+        self._static_index: dict[int, int] = {}
+        self._static_blobs: list[bytes] = []
+        self._events = bytearray()
+        self.count = 0
+        self.isa_name = ""
+        self._closed = False
+
+    def on_retire(self, inst: DecodedInst, reads, writes) -> None:
+        index = self._static_index.get(inst.pc)
+        if index is None:
+            index = len(self._static_blobs)
+            self._static_index[inst.pc] = index
+            flags = (
+                (_FLAG_LOAD if inst.is_load else 0)
+                | (_FLAG_STORE if inst.is_store else 0)
+                | (_FLAG_BRANCH if inst.is_branch else 0)
+            )
+            blob = bytearray(_STATIC.pack(inst.pc, inst.word, inst.group, flags))
+            blob += _U8.pack(len(inst.srcs))
+            blob += bytes(inst.srcs)
+            blob += _U8.pack(len(inst.dsts))
+            blob += bytes(inst.dsts)
+            name = inst.mnemonic.encode()
+            blob += _U8.pack(len(name)) + name
+            self._static_blobs.append(bytes(blob))
+        events = self._events
+        events += _U32.pack(index)
+        events += _U8.pack(len(reads))
+        events += _U8.pack(len(writes))
+        for addr, size in reads:
+            events += _ACCESS.pack(addr, size)
+        for addr, size in writes:
+            events += _ACCESS.pack(addr, size)
+        self.count += 1
+
+    def finish(self, isa_name: str = "") -> bytes | None:
+        """Serialize everything to the sink; returns the bytes for an
+        in-memory sink."""
+        if self._closed:
+            raise SimulationError("trace already finished")
+        self._closed = True
+        sink = self.sink
+        sink.write(_HDR.pack(MAGIC, VERSION))
+        name = (isa_name or self.isa_name).encode()
+        sink.write(_U8.pack(len(name)) + name)
+        sink.write(_U32.pack(len(self._static_blobs)))
+        for blob in self._static_blobs:
+            sink.write(blob)
+        sink.write(self._events)
+        sink.write(_U32.pack(_SENTINEL))
+        sink.write(_U64.pack(self.count))
+        if isinstance(sink, io.BytesIO):
+            return sink.getvalue()
+        return None
+
+
+@dataclass
+class Trace:
+    """A parsed trace, replayable into analysis probes."""
+
+    isa_name: str
+    instructions: list[DecodedInst]          # static table
+    events: list[tuple[int, list, list]]     # (table index, reads, writes)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def replay(self, probes: Sequence) -> None:
+        """Feed every recorded retirement into ``probes`` in order."""
+        table = self.instructions
+        hooks = [p.on_retire for p in probes]
+        for index, reads, writes in self.events:
+            inst = table[index]
+            for hook in hooks:
+                hook(inst, reads, writes)
+
+
+def read_trace(source: bytes | BinaryIO) -> Trace:
+    """Parse trace bytes (or a readable binary file object)."""
+    blob = source if isinstance(source, bytes) else source.read()
+    if len(blob) < _HDR.size or blob[:4] != MAGIC:
+        raise SimulationError("not a repro trace (bad magic)")
+    _magic, version = _HDR.unpack_from(blob, 0)
+    if version != VERSION:
+        raise SimulationError(f"unsupported trace version {version}")
+    offset = _HDR.size
+    (name_len,) = _U8.unpack_from(blob, offset)
+    offset += 1
+    isa_name = blob[offset : offset + name_len].decode()
+    offset += name_len
+
+    (count,) = _U32.unpack_from(blob, offset)
+    offset += 4
+    table: list[DecodedInst] = []
+    for _ in range(count):
+        pc, word, group, flags = _STATIC.unpack_from(blob, offset)
+        offset += _STATIC.size
+        (n_srcs,) = _U8.unpack_from(blob, offset)
+        offset += 1
+        srcs = tuple(blob[offset : offset + n_srcs])
+        offset += n_srcs
+        (n_dsts,) = _U8.unpack_from(blob, offset)
+        offset += 1
+        dsts = tuple(blob[offset : offset + n_dsts])
+        offset += n_dsts
+        (name_len,) = _U8.unpack_from(blob, offset)
+        offset += 1
+        mnemonic = blob[offset : offset + name_len].decode()
+        offset += name_len
+        table.append(DecodedInst(
+            pc, word, mnemonic, mnemonic, InstructionGroup(group),
+            srcs, dsts, _noop_execute,
+            is_load=bool(flags & _FLAG_LOAD),
+            is_store=bool(flags & _FLAG_STORE),
+            is_branch=bool(flags & _FLAG_BRANCH),
+        ))
+
+    events: list[tuple[int, list, list]] = []
+    while True:
+        (index,) = _U32.unpack_from(blob, offset)
+        offset += 4
+        if index == _SENTINEL:
+            break
+        n_reads, n_writes = blob[offset], blob[offset + 1]
+        offset += 2
+        reads = []
+        for _ in range(n_reads):
+            addr, size = _ACCESS.unpack_from(blob, offset)
+            offset += _ACCESS.size
+            reads.append((addr, size))
+        writes = []
+        for _ in range(n_writes):
+            addr, size = _ACCESS.unpack_from(blob, offset)
+            offset += _ACCESS.size
+            writes.append((addr, size))
+        events.append((index, reads, writes))
+
+    (declared,) = _U64.unpack_from(blob, offset)
+    if declared != len(events):
+        raise SimulationError(
+            f"trace truncated: trailer says {declared} events, "
+            f"found {len(events)}"
+        )
+    return Trace(isa_name=isa_name, instructions=table, events=events)

@@ -1,0 +1,11 @@
+"""Binary utilities built on the same substrate as the experiments.
+
+* ``python -m repro.tools.objdump image.elf`` — disassemble a static ELF
+  produced by this toolchain (or write one with
+  :func:`repro.loader.build_elf`), annotated with symbols and kernel
+  regions.
+* ``python -m repro.tools.runelf image.elf`` — load and execute a static
+  ELF on the emulation core, with optional per-kernel path-length and
+  critical-path reports (the paper's whole methodology as a one-shot
+  command against any binary).
+"""

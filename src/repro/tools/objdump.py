@@ -1,0 +1,77 @@
+"""objdump-alike for the repro static-ELF format.
+
+Disassembles every executable segment with the bundled decoders, printing
+symbol labels and ``.region`` kernel markers inline::
+
+    $ python -m repro.tools.objdump program.elf
+    program.elf: aarch64 (entry 0x10000)
+
+    0000000000010000 <_start>:
+       10000:  94000003   bl 0x1000c
+       ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common import DecodeError
+from repro.isa import get_isa
+from repro.loader import load_elf
+
+PF_X = 1
+
+
+def disassemble_image(image, *, show_data: bool = False) -> str:
+    """Render a LoadedImage as objdump-style text."""
+    isa = get_isa(image.isa_name)
+    by_addr = {}
+    for name, addr in image.symbols.items():
+        by_addr.setdefault(addr, []).append(name)
+    region_starts = {r.start: r.name for r in image.regions}
+    region_ends = {r.end: r.name for r in image.regions}
+
+    lines = []
+    for vaddr, data, flags in image.segments:
+        if not flags & PF_X:
+            if show_data:
+                lines.append(f"\nsegment {vaddr:#x} ({len(data)} bytes, data)")
+            continue
+        lines.append("")
+        for offset in range(0, len(data) - len(data) % 4, 4):
+            pc = vaddr + offset
+            for name in sorted(by_addr.get(pc, [])):
+                lines.append(f"{pc:016x} <{name}>:")
+            if pc in region_starts:
+                lines.append(f"        // --- region {region_starts[pc]} ---")
+            if pc in region_ends:
+                lines.append(f"        // --- end region {region_ends[pc]} ---")
+            word = int.from_bytes(data[offset : offset + 4], "little")
+            try:
+                text = isa.decode(word, pc).text
+            except DecodeError:
+                text = f".word {word:#010x}"
+            lines.append(f"   {pc:x}:  {word:08x}   {text}")
+    return "\n".join(lines).lstrip("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-objdump",
+        description="disassemble a repro static-ELF image",
+    )
+    parser.add_argument("elf", help="path to the ELF file")
+    parser.add_argument("--show-data", action="store_true",
+                        help="mention non-executable segments too")
+    args = parser.parse_args(argv)
+
+    with open(args.elf, "rb") as handle:
+        image = load_elf(handle.read())
+    print(f"{args.elf}: {image.isa_name} (entry {image.entry:#x})\n")
+    print(disassemble_image(image, show_data=args.show_data))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""The paper's five benchmarks, reimplemented in kernelc.
+
+Each module provides a :class:`~repro.workloads.base.Workload` subclass:
+kernelc source generated from a parameter set, the kernel-region names used
+by the Figure 1 breakdown, and a NumPy reference implementation used to
+validate every simulated run (the offline substitute for "the binary ran
+correctly on hardware").
+
+Default problem sizes are scaled down from the paper's (§2.1) so a pure
+Python interpreter can retire the dynamic instruction counts involved; see
+DESIGN.md §5 for the mapping and the knobs to raise them.
+"""
+
+from repro.workloads.base import Workload, WorkloadRun, run_workload
+from repro.workloads.stream import Stream, StreamParams
+from repro.workloads.cloverleaf import CloverLeaf, CloverParams
+from repro.workloads.lbm import Lbm, LbmParams
+from repro.workloads.minibude import MiniBude, BudeParams
+from repro.workloads.minisweep import MiniSweep, SweepParams
+
+ALL_WORKLOADS = {
+    "stream": Stream,
+    "cloverleaf": CloverLeaf,
+    "lbm": Lbm,
+    "minibude": MiniBude,
+    "minisweep": MiniSweep,
+}
+
+
+def get_workload(name: str, scale: float = 1.0) -> Workload:
+    """Instantiate a workload by name at a given problem-size scale."""
+    try:
+        cls = ALL_WORKLOADS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; known: {sorted(ALL_WORKLOADS)}"
+        ) from None
+    return cls.at_scale(scale)
+
+
+__all__ = [
+    "Workload",
+    "WorkloadRun",
+    "run_workload",
+    "Stream",
+    "StreamParams",
+    "CloverLeaf",
+    "CloverParams",
+    "Lbm",
+    "LbmParams",
+    "MiniBude",
+    "BudeParams",
+    "MiniSweep",
+    "SweepParams",
+    "ALL_WORKLOADS",
+    "get_workload",
+]

@@ -1,0 +1,114 @@
+"""Workload framework: compile, run, validate against a NumPy reference."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.compiler import CompiledProgram, compile_source
+from repro.isa import get_isa
+from repro.sim import Machine, RunResult, run_image
+from repro.sim.emucore import Probe
+
+
+class Workload:
+    """One benchmark: parameterized kernelc source + reference results.
+
+    Subclasses define ``name``, ``kernels`` (region names, in Figure 1
+    order), ``source()`` and ``expected()``.
+    """
+
+    name: str = ""
+    kernels: Sequence[str] = ()
+
+    def source(self) -> str:
+        """kernelc source text for the current parameters."""
+        raise NotImplementedError
+
+    def expected(self) -> dict[str, float]:
+        """Reference values for the output scalars, keyed by global symbol
+        name. Computed with NumPy, mirroring the kernel arithmetic."""
+        raise NotImplementedError
+
+    @classmethod
+    def at_scale(cls, scale: float) -> "Workload":
+        """Instantiate with problem sizes scaled by ``scale`` (1.0 =
+        default reduced size; larger approaches the paper's sizes)."""
+        raise NotImplementedError
+
+    # -- conveniences ----------------------------------------------------
+
+    def compile(self, isa_name: str, profile: str) -> CompiledProgram:
+        return compile_source(self.source(), isa_name, profile)
+
+    def tolerance(self) -> float:
+        """Relative tolerance for validation (reductions reassociate)."""
+        return 1e-9
+
+
+@dataclass
+class WorkloadRun:
+    """A validated simulation of one workload binary."""
+
+    workload: Workload
+    compiled: CompiledProgram
+    result: RunResult
+    machine: Machine
+    outputs: dict[str, float]
+
+    @property
+    def path_length(self) -> int:
+        return self.result.instructions
+
+
+def read_output_scalars(machine: Machine, compiled: CompiledProgram,
+                        names) -> dict[str, float]:
+    return {
+        name: machine.memory.load_f64(compiled.image.symbol(name))
+        for name in names
+    }
+
+
+def run_workload(
+    workload: Workload,
+    isa_name: str,
+    profile: str,
+    probes: Sequence[Probe] = (),
+    *,
+    compiled: CompiledProgram | None = None,
+    max_instructions: int = 500_000_000,
+    validate: bool = True,
+) -> WorkloadRun:
+    """Compile (or reuse), run, and validate one workload configuration."""
+    if compiled is None:
+        compiled = workload.compile(isa_name, profile)
+    isa = get_isa(compiled.isa_name)
+    result, machine = run_image(
+        compiled.image, isa, probes, max_instructions=max_instructions
+    )
+    expected = workload.expected()
+    outputs = read_output_scalars(machine, compiled, expected.keys())
+    if validate:
+        if result.exit_code != 0:
+            raise AssertionError(
+                f"{workload.name}/{isa_name}/{profile}: exit code "
+                f"{result.exit_code}"
+            )
+        tol = workload.tolerance()
+        for name, want in expected.items():
+            got = outputs[name]
+            if want == 0.0:
+                ok = abs(got) <= tol
+            else:
+                ok = abs(got - want) <= tol * max(abs(want), 1.0)
+            if not ok:
+                raise AssertionError(
+                    f"{workload.name}/{isa_name}/{profile}: output {name} = "
+                    f"{got!r}, reference {want!r}"
+                )
+    return WorkloadRun(
+        workload=workload, compiled=compiled, result=result,
+        machine=machine, outputs=outputs,
+    )

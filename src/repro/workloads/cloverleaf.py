@@ -1,0 +1,345 @@
+"""CloverLeaf (serial) — compressible-Euler hydrodynamics on a 2D grid.
+
+A faithful *miniaturization* of the CloverLeaf serial mini-app: the same
+kernel structure the real code iterates — ideal-gas EoS, artificial
+viscosity (with its branch), face flux calculation, PdV energy/density
+update, upwinded cell advection, and pressure-gradient acceleration — each
+sweeping the whole grid per step, double-buffered between ``*0`` and ``*1``
+fields exactly so the NumPy reference can mirror the arithmetic
+vectorially.
+
+Outputs are the field summary the real code prints: total mass, internal
+energy and pressure, plus a kinetic-energy proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+GAMMA = 1.4
+DT = 0.04
+
+
+@dataclass(frozen=True)
+class CloverParams:
+    nx: int = 24        # paper: default deck (960x960-class grids)
+    ny: int = 24
+    steps: int = 4
+
+
+class CloverLeaf(Workload):
+    name = "cloverleaf"
+    kernels = (
+        "ideal_gas", "calc_dt", "viscosity", "flux_calc", "pdv",
+        "advec_cell", "accelerate",
+    )
+
+    def __init__(self, params: CloverParams = CloverParams()):
+        self.params = params
+
+    @classmethod
+    def at_scale(cls, scale: float) -> "CloverLeaf":
+        base = CloverParams()
+        side = max(8, int(base.nx * scale ** 0.5))
+        return cls(CloverParams(nx=side, ny=side, steps=base.steps))
+
+    def source(self) -> str:
+        p = self.params
+        nx, ny, steps = p.nx, p.ny, p.steps
+        cells = nx * ny
+        return f"""
+// CloverLeaf-mini — 2D compressible Euler kernels (kernelc port)
+global double density0[{cells}];
+global double energy0[{cells}];
+global double density1[{cells}];
+global double energy1[{cells}];
+global double pressure[{cells}];
+global double soundspeed[{cells}];
+global double viscosity[{cells}];
+global double xvel[{cells}];
+global double yvel[{cells}];
+global double volflux_x[{cells}];
+global double volflux_y[{cells}];
+
+global double total_mass;
+global double total_energy;
+global double total_pressure;
+global double total_kinetic;
+global double dt_min;
+
+func void initialise_chunk() {{
+  for (long jj = 0; jj < {ny}; jj = jj + 1) {{
+    for (long ii = 0; ii < {nx}; ii = ii + 1) {{
+      long idx = jj * {nx} + ii;
+      density0[idx] = 0.2;
+      energy0[idx] = 1.0;
+      if (ii < {nx // 2}) {{
+        if (jj < {ny // 2}) {{
+          density0[idx] = 1.0;
+          energy0[idx] = 2.5;
+        }}
+      }}
+      xvel[idx] = 0.0;
+      yvel[idx] = 0.0;
+      viscosity[idx] = 0.0;
+      volflux_x[idx] = 0.0;
+      volflux_y[idx] = 0.0;
+    }}
+  }}
+}}
+
+func void ideal_gas() {{
+  region "ideal_gas" {{
+    for (long jj = 0; jj < {ny}; jj = jj + 1) {{
+      for (long ii = 0; ii < {nx}; ii = ii + 1) {{
+        double v = 1.0 / density0[jj * {nx} + ii];
+        double pres = ({GAMMA} - 1.0) * density0[jj * {nx} + ii] * energy0[jj * {nx} + ii];
+        pressure[jj * {nx} + ii] = pres;
+        double pressurebyenergy = ({GAMMA} - 1.0) * density0[jj * {nx} + ii];
+        double pressurebyvolume = 0.0 - density0[jj * {nx} + ii] * pres;
+        double sound_speed_squared = v * v
+          * (pres * pressurebyenergy - pressurebyvolume);
+        soundspeed[jj * {nx} + ii] = sqrt(sound_speed_squared);
+      }}
+    }}
+  }}
+}}
+
+func void calc_dt() {{
+  // timestep control: CFL-style min-reduction over the grid
+  region "calc_dt" {{
+    double dtmin = 10.0;
+    for (long jj = 0; jj < {ny}; jj = jj + 1) {{
+      for (long ii = 0; ii < {nx}; ii = ii + 1) {{
+        double cc = soundspeed[jj * {nx} + ii];
+        double vmag = fabs(xvel[jj * {nx} + ii])
+          + fabs(yvel[jj * {nx} + ii]) + cc;
+        dtmin = fmin(dtmin, 0.5 / vmag);
+      }}
+    }}
+    dt_min = dtmin;
+  }}
+}}
+
+func void viscosity_kernel() {{
+  region "viscosity" {{
+    for (long jj = 1; jj < {ny - 1}; jj = jj + 1) {{
+      for (long ii = 1; ii < {nx - 1}; ii = ii + 1) {{
+        double ugrad = xvel[jj * {nx} + ii + 1] - xvel[jj * {nx} + ii];
+        double vgrad = yvel[jj * {nx} + ii + {nx}] - yvel[jj * {nx} + ii];
+        double div = ugrad + vgrad;
+        double strain2 = 0.5 * (xvel[jj * {nx} + ii + {nx}]
+          - xvel[jj * {nx} + ii] + yvel[jj * {nx} + ii + 1]
+          - yvel[jj * {nx} + ii]);
+        if (div < 0.0) {{
+          double limiter = ugrad * ugrad + strain2 * strain2;
+          viscosity[jj * {nx} + ii] = 2.0 * density0[jj * {nx} + ii] * limiter;
+        }} else {{
+          viscosity[jj * {nx} + ii] = 0.0;
+        }}
+      }}
+    }}
+  }}
+}}
+
+func void flux_calc() {{
+  region "flux_calc" {{
+    for (long jj = 1; jj < {ny - 1}; jj = jj + 1) {{
+      for (long ii = 1; ii < {nx - 1}; ii = ii + 1) {{
+        volflux_x[jj * {nx} + ii] = 0.25 * {DT}
+          * (xvel[jj * {nx} + ii] + xvel[jj * {nx} + ii + 1]);
+        volflux_y[jj * {nx} + ii] = 0.25 * {DT}
+          * (yvel[jj * {nx} + ii] + yvel[jj * {nx} + ii + {nx}]);
+      }}
+    }}
+  }}
+}}
+
+func void pdv() {{
+  region "pdv" {{
+    for (long jj = 1; jj < {ny - 1}; jj = jj + 1) {{
+      for (long ii = 1; ii < {nx - 1}; ii = ii + 1) {{
+        double total_flux = volflux_x[jj * {nx} + ii + 1]
+          - volflux_x[jj * {nx} + ii] + volflux_y[jj * {nx} + ii + {nx}]
+          - volflux_y[jj * {nx} + ii];
+        double recip_volume = 1.0 / (1.0 + total_flux);
+        double energy_change = (pressure[jj * {nx} + ii]
+          + viscosity[jj * {nx} + ii]) * total_flux
+          / density0[jj * {nx} + ii];
+        energy1[jj * {nx} + ii] = energy0[jj * {nx} + ii] - energy_change;
+        density1[jj * {nx} + ii] = density0[jj * {nx} + ii] * recip_volume;
+      }}
+    }}
+  }}
+}}
+
+func void advec_cell() {{
+  region "advec_cell" {{
+    for (long jj = 1; jj < {ny - 1}; jj = jj + 1) {{
+      for (long ii = 1; ii < {nx - 1}; ii = ii + 1) {{
+        double upwind_d;
+        double upwind_e;
+        if (volflux_x[jj * {nx} + ii] > 0.0) {{
+          upwind_d = density1[jj * {nx} + ii + -1];
+          upwind_e = energy1[jj * {nx} + ii + -1];
+        }} else {{
+          upwind_d = density1[jj * {nx} + ii + 1];
+          upwind_e = energy1[jj * {nx} + ii + 1];
+        }}
+        density0[jj * {nx} + ii] = density1[jj * {nx} + ii]
+          + 0.1 * (upwind_d - density1[jj * {nx} + ii]);
+        energy0[jj * {nx} + ii] = energy1[jj * {nx} + ii]
+          + 0.1 * (upwind_e - energy1[jj * {nx} + ii]);
+      }}
+    }}
+  }}
+}}
+
+func void accelerate() {{
+  region "accelerate" {{
+    for (long jj = 1; jj < {ny - 1}; jj = jj + 1) {{
+      for (long ii = 1; ii < {nx - 1}; ii = ii + 1) {{
+        double stepbymass = {DT}
+          / (density0[jj * {nx} + ii] + density0[jj * {nx} + ii + -1]);
+        xvel[jj * {nx} + ii] = xvel[jj * {nx} + ii]
+          - stepbymass * (pressure[jj * {nx} + ii]
+                          - pressure[jj * {nx} + ii + -1]);
+        double stepbymass_y = {DT}
+          / (density0[jj * {nx} + ii] + density0[jj * {nx} + ii + -{nx}]);
+        yvel[jj * {nx} + ii] = yvel[jj * {nx} + ii]
+          - stepbymass_y * (pressure[jj * {nx} + ii]
+                            - pressure[jj * {nx} + ii + -{nx}]);
+      }}
+    }}
+  }}
+}}
+
+func void field_summary() {{
+  double mass = 0.0;
+  double ie = 0.0;
+  double press = 0.0;
+  double ke = 0.0;
+  for (long jj = 0; jj < {ny}; jj = jj + 1) {{
+    for (long ii = 0; ii < {nx}; ii = ii + 1) {{
+      mass = mass + density0[jj * {nx} + ii];
+      ie = ie + density0[jj * {nx} + ii] * energy0[jj * {nx} + ii];
+      press = press + pressure[jj * {nx} + ii];
+      double vsq = xvel[jj * {nx} + ii] * xvel[jj * {nx} + ii]
+        + yvel[jj * {nx} + ii] * yvel[jj * {nx} + ii];
+      ke = ke + 0.5 * density0[jj * {nx} + ii] * vsq;
+    }}
+  }}
+  total_mass = mass;
+  total_energy = ie;
+  total_pressure = press;
+  total_kinetic = ke;
+}}
+
+func long main() {{
+  initialise_chunk();
+  // copy-initialize the double buffers so advec of step 1 is well-defined
+  for (long idx = 0; idx < {cells}; idx = idx + 1) {{
+    density1[idx] = density0[idx];
+    energy1[idx] = energy0[idx];
+  }}
+  for (long step = 0; step < {steps}; step = step + 1) {{
+    ideal_gas();
+    calc_dt();
+    viscosity_kernel();
+    flux_calc();
+    pdv();
+    advec_cell();
+    accelerate();
+  }}
+  field_summary();
+  return 0;
+}}
+"""
+
+    def expected(self) -> dict[str, float]:
+        p = self.params
+        nx, ny = p.nx, p.ny
+        density0 = np.full((ny, nx), 0.2)
+        energy0 = np.full((ny, nx), 1.0)
+        density0[: ny // 2, : nx // 2] = 1.0
+        energy0[: ny // 2, : nx // 2] = 2.5
+        pressure = np.zeros((ny, nx))
+        soundspeed = np.zeros((ny, nx))
+        viscosity = np.zeros((ny, nx))
+        xvel = np.zeros((ny, nx))
+        yvel = np.zeros((ny, nx))
+        vfx = np.zeros((ny, nx))
+        vfy = np.zeros((ny, nx))
+        density1 = density0.copy()
+        energy1 = energy0.copy()
+        inner = (slice(1, ny - 1), slice(1, nx - 1))
+
+        def sh(a, dy, dx):
+            """a[jj+dy, ii+dx] over the interior window."""
+            return a[1 + dy : ny - 1 + dy, 1 + dx : nx - 1 + dx]
+
+        dt_min = 10.0
+        for _ in range(p.steps):
+            # ideal_gas
+            v = 1.0 / density0
+            pressure = (GAMMA - 1.0) * density0 * energy0
+            pbe = (GAMMA - 1.0) * density0
+            pbv = 0.0 - density0 * pressure
+            soundspeed = np.sqrt(v * v * (pressure * pbe - pbv))
+            # calc_dt (min-reduction; exact because fmin is exact)
+            vmag = np.abs(xvel) + np.abs(yvel) + soundspeed
+            dt_min = min(10.0, float((0.5 / vmag).min()))
+            # viscosity
+            ugrad = sh(xvel, 0, 1) - sh(xvel, 0, 0)
+            vgrad = sh(yvel, 1, 0) - sh(yvel, 0, 0)
+            div = ugrad + vgrad
+            strain2 = 0.5 * (
+                sh(xvel, 1, 0) - sh(xvel, 0, 0) + sh(yvel, 0, 1) - sh(yvel, 0, 0)
+            )
+            limiter = ugrad * ugrad + strain2 * strain2
+            visc_inner = np.where(div < 0.0, 2.0 * sh(density0, 0, 0) * limiter, 0.0)
+            viscosity[inner] = visc_inner
+            # flux_calc
+            vfx[inner] = 0.25 * DT * (sh(xvel, 0, 0) + sh(xvel, 0, 1))
+            vfy[inner] = 0.25 * DT * (sh(yvel, 0, 0) + sh(yvel, 1, 0))
+            # pdv
+            total_flux = sh(vfx, 0, 1) - sh(vfx, 0, 0) + sh(vfy, 1, 0) - sh(vfy, 0, 0)
+            recip_volume = 1.0 / (1.0 + total_flux)
+            energy_change = (
+                (sh(pressure, 0, 0) + sh(viscosity, 0, 0))
+                * total_flux / sh(density0, 0, 0)
+            )
+            energy1[inner] = sh(energy0, 0, 0) - energy_change
+            density1[inner] = sh(density0, 0, 0) * recip_volume
+            # advec_cell
+            cond = sh(vfx, 0, 0) > 0.0
+            upwind_d = np.where(cond, sh(density1, 0, -1), sh(density1, 0, 1))
+            upwind_e = np.where(cond, sh(energy1, 0, -1), sh(energy1, 0, 1))
+            density0[inner] = sh(density1, 0, 0) + 0.1 * (
+                upwind_d - sh(density1, 0, 0)
+            )
+            energy0[inner] = sh(energy1, 0, 0) + 0.1 * (upwind_e - sh(energy1, 0, 0))
+            # accelerate
+            stepbymass = DT / (sh(density0, 0, 0) + sh(density0, 0, -1))
+            xvel[inner] = sh(xvel, 0, 0) - stepbymass * (
+                sh(pressure, 0, 0) - sh(pressure, 0, -1)
+            )
+            stepbymass_y = DT / (sh(density0, 0, 0) + sh(density0, -1, 0))
+            yvel[inner] = sh(yvel, 0, 0) - stepbymass_y * (
+                sh(pressure, 0, 0) - sh(pressure, -1, 0)
+            )
+        vsq = xvel * xvel + yvel * yvel
+        return {
+            "total_mass": float(density0.sum()),
+            "total_energy": float((density0 * energy0).sum()),
+            "total_pressure": float(pressure.sum()),
+            "total_kinetic": float((0.5 * density0 * vsq).sum()),
+            "dt_min": dt_min,
+        }
+
+    def tolerance(self) -> float:
+        return 1e-9

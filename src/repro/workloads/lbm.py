@@ -1,0 +1,350 @@
+"""Lattice Boltzmann (d2q9-bgk) — the University of Bristol serial code.
+
+Structure-of-arrays layout (one array per speed, the serial-optimized
+variant the paper used), double-buffered: ``accelerate_flow`` biases the
+second row from the top, then a fused propagate/rebound/collision timestep
+gathers the nine neighbour speeds, applies BGK collision (or bounce-back on
+obstacle cells) and writes the other buffer. Outputs are the average
+velocity of the final state and the total density (the quantities the real
+code reports / uses as its conservation check).
+
+Direction numbering (as in the original)::
+
+    6 2 5
+    3 0 1
+    7 4 8
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+DENSITY = 0.1
+ACCEL = 0.005
+OMEGA = 1.85
+
+
+@dataclass(frozen=True)
+class LbmParams:
+    nx: int = 24        # paper: 128
+    ny: int = 24        # paper: 128
+    iters: int = 6      # paper: 100 (must be even: buffers swap per step)
+
+    def __post_init__(self):
+        if self.iters % 2:
+            raise ValueError("iters must be even (double buffering)")
+
+
+# gather offsets: tmp_k at (ii,jj) comes from (ii - ex_k, jj - ey_k)
+_EX = [0, 1, 0, -1, 0, 1, -1, -1, 1]
+_EY = [0, 0, 1, 0, -1, 1, 1, -1, -1]
+#: bounce-back pairs: direction k rebounds into _OPP[k]
+_OPP = [0, 3, 4, 1, 2, 7, 8, 5, 6]
+
+
+class Lbm(Workload):
+    name = "lbm"
+    kernels = ("accelerate_flow", "timestep", "av_velocity")
+
+    def __init__(self, params: LbmParams = LbmParams()):
+        self.params = params
+
+    @classmethod
+    def at_scale(cls, scale: float) -> "Lbm":
+        base = LbmParams()
+        side = max(8, int(base.nx * scale ** 0.5))
+        return cls(LbmParams(nx=side, ny=side, iters=base.iters))
+
+    # -- source generation ------------------------------------------------
+
+    def _accelerate_body(self, s: str, nx: int, ny: int) -> str:
+        row = (ny - 2) * nx
+        w1 = DENSITY * ACCEL / 9.0
+        w2 = DENSITY * ACCEL / 36.0
+        return f"""
+    for (long ii = 0; ii < {nx}; ii = ii + 1) {{
+      if (obstacles[{row} + ii] == 0) {{
+        if ({s}3[{row} + ii] - {w1!r} > 0.0) {{
+          if ({s}6[{row} + ii] - {w2!r} > 0.0) {{
+            if ({s}7[{row} + ii] - {w2!r} > 0.0) {{
+              {s}1[{row} + ii] = {s}1[{row} + ii] + {w1!r};
+              {s}5[{row} + ii] = {s}5[{row} + ii] + {w2!r};
+              {s}8[{row} + ii] = {s}8[{row} + ii] + {w2!r};
+              {s}3[{row} + ii] = {s}3[{row} + ii] - {w1!r};
+              {s}6[{row} + ii] = {s}6[{row} + ii] - {w2!r};
+              {s}7[{row} + ii] = {s}7[{row} + ii] - {w2!r};
+            }}
+          }}
+        }}
+      }}
+    }}
+"""
+
+    def _timestep_body(self, src: str, dst: str, nx: int, ny: int) -> str:
+        gathers = []
+        for k in range(9):
+            x = "ii" if _EX[k] == 0 else ("x_w" if _EX[k] == 1 else "x_e")
+            y = "jj" if _EY[k] == 0 else ("y_s" if _EY[k] == 1 else "y_n")
+            gathers.append(
+                f"        double tmp{k} = {src}{k}[{y} * {nx} + {x}];"
+            )
+        gather_text = "\n".join(gathers)
+        rebound = "\n".join(
+            f"          {dst}{k}[jj * {nx} + ii] = tmp{_OPP[k]};"
+            for k in range(1, 9)
+        )
+        w0, w1, w2 = 4.0 / 9.0, 1.0 / 9.0, 1.0 / 36.0
+        # u-projections per direction (standard d2q9); 1/c_sq etc. appear as
+        # the pre-folded constants 3.0, 4.5 and 1.5 exactly as in the
+        # optimized serial source
+        u_exprs = [
+            None,
+            "u_x", "u_y", "0.0 - u_x", "0.0 - u_y",
+            "u_x + u_y", "0.0 - u_x + u_y", "0.0 - u_x - u_y", "u_x - u_y",
+        ]
+        weights = [w0, w1, w1, w1, w1, w2, w2, w2, w2]
+        collide_lines = [
+            f"          {dst}0[jj * {nx} + ii] = tmp0 + {OMEGA!r}"
+            f" * ({w0!r} * local_density * (1.0 - u_sq * 1.5) - tmp0);"
+        ]
+        for k in range(1, 9):
+            collide_lines.append(
+                "          {\n"
+                f"            double u{k} = {u_exprs[k]};\n"
+                f"            {dst}{k}[jj * {nx} + ii] = tmp{k} + {OMEGA!r}"
+                f" * ({weights[k]!r} * local_density * (1.0 + u{k} * 3.0"
+                f" + u{k} * u{k} * 4.5 - u_sq * 1.5) - tmp{k});\n"
+                "          }"
+            )
+        collide_text = "\n".join(collide_lines)
+        return f"""
+    for (long jj = 0; jj < {ny}; jj = jj + 1) {{
+      long y_n = jj + 1;
+      if (y_n == {ny}) {{ y_n = 0; }}
+      long y_s = jj - 1;
+      if (y_s < 0) {{ y_s = {ny - 1}; }}
+      for (long ii = 0; ii < {nx}; ii = ii + 1) {{
+        long x_e = ii + 1;
+        if (x_e == {nx}) {{ x_e = 0; }}
+        long x_w = ii - 1;
+        if (x_w < 0) {{ x_w = {nx - 1}; }}
+{gather_text}
+        if (obstacles[jj * {nx} + ii] != 0) {{
+          {dst}0[jj * {nx} + ii] = tmp0;
+{rebound}
+        }} else {{
+          double local_density = tmp0 + tmp1 + tmp2 + tmp3 + tmp4
+            + tmp5 + tmp6 + tmp7 + tmp8;
+          double u_x = (tmp1 + tmp5 + tmp8 - (tmp3 + tmp6 + tmp7))
+            / local_density;
+          double u_y = (tmp2 + tmp5 + tmp6 - (tmp4 + tmp7 + tmp8))
+            / local_density;
+          double u_sq = u_x * u_x + u_y * u_y;
+{collide_text}
+        }}
+      }}
+    }}
+"""
+
+    def source(self) -> str:
+        p = self.params
+        nx, ny = p.nx, p.ny
+        cells = nx * ny
+        w0 = DENSITY * 4.0 / 9.0
+        w1 = DENSITY / 9.0
+        w2 = DENSITY / 36.0
+        arrays = "\n".join(
+            f"global double s{k}[{cells}];\nglobal double t{k}[{cells}];"
+            for k in range(9)
+        )
+        final_density = " + ".join(
+            f"s{k}[jj * {nx} + ii]" for k in range(9)
+        )
+        return f"""
+// d2q9-bgk Lattice Boltzmann (kernelc port of the UoB serial code)
+{arrays}
+global long obstacles[{cells}];
+global double av_vel;
+global double total_density;
+
+func void initialise() {{
+  for (long jj = 0; jj < {ny}; jj = jj + 1) {{
+    for (long ii = 0; ii < {nx}; ii = ii + 1) {{
+      s0[jj * {nx} + ii] = {w0!r};
+      s1[jj * {nx} + ii] = {w1!r};
+      s2[jj * {nx} + ii] = {w1!r};
+      s3[jj * {nx} + ii] = {w1!r};
+      s4[jj * {nx} + ii] = {w1!r};
+      s5[jj * {nx} + ii] = {w2!r};
+      s6[jj * {nx} + ii] = {w2!r};
+      s7[jj * {nx} + ii] = {w2!r};
+      s8[jj * {nx} + ii] = {w2!r};
+      long obst = 0;
+      if (jj == {ny // 2}) {{
+        if (ii >= {nx // 4}) {{
+          if (ii < {3 * nx // 4}) {{
+            obst = 1;
+          }}
+        }}
+      }}
+      obstacles[jj * {nx} + ii] = obst;
+    }}
+  }}
+}}
+
+func void accelerate_flow_a() {{
+  region "accelerate_flow" {{
+{self._accelerate_body("s", nx, ny)}
+  }}
+}}
+
+func void accelerate_flow_b() {{
+  region "accelerate_flow" {{
+{self._accelerate_body("t", nx, ny)}
+  }}
+}}
+
+func void timestep_ab() {{
+  region "timestep" {{
+{self._timestep_body("s", "t", nx, ny)}
+  }}
+}}
+
+func void timestep_ba() {{
+  region "timestep" {{
+{self._timestep_body("t", "s", nx, ny)}
+  }}
+}}
+
+func void av_velocity_kernel() {{
+  region "av_velocity" {{
+    double tot_u = 0.0;
+    double tot_density = 0.0;
+    long tot_cells = 0;
+    for (long jj = 0; jj < {ny}; jj = jj + 1) {{
+      for (long ii = 0; ii < {nx}; ii = ii + 1) {{
+        double local_density = {final_density};
+        tot_density = tot_density + local_density;
+        if (obstacles[jj * {nx} + ii] == 0) {{
+          double u_x = (s1[jj * {nx} + ii] + s5[jj * {nx} + ii]
+            + s8[jj * {nx} + ii] - (s3[jj * {nx} + ii]
+            + s6[jj * {nx} + ii] + s7[jj * {nx} + ii])) / local_density;
+          double u_y = (s2[jj * {nx} + ii] + s5[jj * {nx} + ii]
+            + s6[jj * {nx} + ii] - (s4[jj * {nx} + ii]
+            + s7[jj * {nx} + ii] + s8[jj * {nx} + ii])) / local_density;
+          tot_u = tot_u + sqrt(u_x * u_x + u_y * u_y);
+          tot_cells = tot_cells + 1;
+        }}
+      }}
+    }}
+    av_vel = tot_u / (double)(tot_cells);
+    total_density = tot_density;
+  }}
+}}
+
+func long main() {{
+  initialise();
+  for (long it = 0; it < {p.iters // 2}; it = it + 1) {{
+    accelerate_flow_a();
+    timestep_ab();
+    accelerate_flow_b();
+    timestep_ba();
+  }}
+  av_velocity_kernel();
+  return 0;
+}}
+"""
+
+    # -- reference -----------------------------------------------------------
+
+    def expected(self) -> dict[str, float]:
+        p = self.params
+        nx, ny = p.nx, p.ny
+        w0 = DENSITY * 4.0 / 9.0
+        w1 = DENSITY / 9.0
+        w2 = DENSITY / 36.0
+        speeds = np.empty((9, ny, nx))
+        for k, weight in enumerate([w0, w1, w1, w1, w1, w2, w2, w2, w2]):
+            speeds[k, :, :] = weight
+        obstacles = np.zeros((ny, nx), dtype=bool)
+        obstacles[ny // 2, nx // 4 : 3 * nx // 4] = True
+
+        aw1 = DENSITY * ACCEL / 9.0
+        aw2 = DENSITY * ACCEL / 36.0
+        dir_weights = [4.0 / 9.0] + [1.0 / 9.0] * 4 + [1.0 / 36.0] * 4
+
+        for _ in range(p.iters):
+            # accelerate_flow on row ny-2
+            jj = ny - 2
+            for ii in range(nx):
+                if (
+                    not obstacles[jj, ii]
+                    and speeds[3, jj, ii] - aw1 > 0.0
+                    and speeds[6, jj, ii] - aw2 > 0.0
+                    and speeds[7, jj, ii] - aw2 > 0.0
+                ):
+                    speeds[1, jj, ii] += aw1
+                    speeds[5, jj, ii] += aw2
+                    speeds[8, jj, ii] += aw2
+                    speeds[3, jj, ii] -= aw1
+                    speeds[6, jj, ii] -= aw2
+                    speeds[7, jj, ii] -= aw2
+            # fused propagate + rebound/collide (vectorized gather)
+            gathered = np.empty_like(speeds)
+            for k in range(9):
+                gathered[k] = np.roll(
+                    np.roll(speeds[k], _EY[k], axis=0), _EX[k], axis=1
+                )
+            new = np.empty_like(speeds)
+            local_density = gathered.sum(axis=0)
+            u_x = (
+                gathered[1] + gathered[5] + gathered[8]
+                - (gathered[3] + gathered[6] + gathered[7])
+            ) / local_density
+            u_y = (
+                gathered[2] + gathered[5] + gathered[6]
+                - (gathered[4] + gathered[7] + gathered[8])
+            ) / local_density
+            u_sq = u_x * u_x + u_y * u_y
+            u_proj = [
+                None, u_x, u_y, 0.0 - u_x, 0.0 - u_y,
+                u_x + u_y, 0.0 - u_x + u_y, 0.0 - u_x - u_y, u_x - u_y,
+            ]
+            new[0] = gathered[0] + OMEGA * (
+                dir_weights[0] * local_density * (1.0 - u_sq * 1.5)
+                - gathered[0]
+            )
+            for k in range(1, 9):
+                d_equ = dir_weights[k] * local_density * (
+                    1.0 + u_proj[k] * 3.0
+                    + u_proj[k] * u_proj[k] * 4.5
+                    - u_sq * 1.5
+                )
+                new[k] = gathered[k] + OMEGA * (d_equ - gathered[k])
+            # rebound on obstacle cells
+            for k in range(9):
+                new[k][obstacles] = gathered[_OPP[k]][obstacles]
+            speeds = new
+
+        local_density = speeds.sum(axis=0)
+        u_x = (
+            speeds[1] + speeds[5] + speeds[8]
+            - (speeds[3] + speeds[6] + speeds[7])
+        ) / local_density
+        u_y = (
+            speeds[2] + speeds[5] + speeds[6]
+            - (speeds[4] + speeds[7] + speeds[8])
+        ) / local_density
+        speed = np.sqrt(u_x * u_x + u_y * u_y)
+        free = ~obstacles
+        return {
+            "av_vel": float(speed[free].sum() / free.sum()),
+            "total_density": float(local_density.sum()),
+        }
+
+    def tolerance(self) -> float:
+        return 1e-8

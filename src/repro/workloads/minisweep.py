@@ -1,0 +1,178 @@
+"""Minisweep — Denovo Sn radiation-transport sweep.
+
+A KBA-style wavefront sweep over a 3D grid: each cell combines its source
+with the upwind face values in x, y and z, solves per angle, writes the
+angular flux, and updates the three faces for the downwind neighbours. The
+per-direction face recurrences are the only dependence chains; work is
+independent across angles — which is why the paper measures minisweep's
+ILP in the thousands.
+
+Angle weights and denominators stand in for Denovo's moments/quadrature
+data (precomputed, as in the real mini-app).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class SweepParams:
+    ncx: int = 4         # paper: -ncell_x 8
+    ncy: int = 4         # paper: -ncell_y 16
+    ncz: int = 6         # paper: -ncell_z 32
+    na: int = 8          # paper: -na 32
+    nsweeps: int = 2     # octant pairs swept (paper: 8 octants)
+
+
+class MiniSweep(Workload):
+    name = "minisweep"
+    kernels = ("sweep", "reduce")
+
+    def __init__(self, params: SweepParams = SweepParams()):
+        self.params = params
+
+    @classmethod
+    def at_scale(cls, scale: float) -> "MiniSweep":
+        base = SweepParams()
+        factor = max(1e-3, scale) ** (1.0 / 3.0)
+        return cls(SweepParams(
+            ncx=max(2, int(base.ncx * factor)),
+            ncy=max(2, int(base.ncy * factor)),
+            ncz=max(2, int(base.ncz * factor)),
+            na=base.na,
+            nsweeps=base.nsweeps,
+        ))
+
+    def source(self) -> str:
+        p = self.params
+        ncx, ncy, ncz, na = p.ncx, p.ncy, p.ncz, p.na
+        ncells = ncx * ncy * ncz
+        return f"""
+// Minisweep — KBA wavefront sweep (kernelc port)
+global double vi[{ncells}];
+global double vo[{ncells * na}];
+global double facex[{ncy * ncz * na}];
+global double facey[{ncx * ncz * na}];
+global double facez[{ncx * ncy * na}];
+global double wt[{na}];
+global double denom_r[{na}];
+global double vs_sum[{ncells}];
+global double total_flux;
+global double total_moment;
+
+func void init_state() {{
+  for (long c = 0; c < {ncells}; c = c + 1) {{
+    vi[c] = (double)(c % 7) * 0.1 + 0.5;
+    vs_sum[c] = 0.0;
+  }}
+  for (long a = 0; a < {na}; a = a + 1) {{
+    wt[a] = 1.0 / (double)({na});
+    denom_r[a] = 1.0 / (1.0 + 0.3 * (double)(a) + 0.05);
+  }}
+}}
+
+func void init_faces() {{
+  for (long i = 0; i < {ncy * ncz * na}; i = i + 1) {{
+    facex[i] = 0.1;
+  }}
+  for (long i = 0; i < {ncx * ncz * na}; i = i + 1) {{
+    facey[i] = 0.1;
+  }}
+  for (long i = 0; i < {ncx * ncy * na}; i = i + 1) {{
+    facez[i] = 0.1;
+  }}
+}}
+
+func void sweep() {{
+  region "sweep" {{
+    for (long iz = 0; iz < {ncz}; iz = iz + 1) {{
+      for (long iy = 0; iy < {ncy}; iy = iy + 1) {{
+        for (long ix = 0; ix < {ncx}; ix = ix + 1) {{
+          long cell = ix + {ncx} * (iy + {ncy} * iz);
+          double src = vi[cell];
+          double vsum = vs_sum[cell];
+          for (long a = 0; a < {na}; a = a + 1) {{
+            double poin = facex[(iy + {ncy} * iz) * {na} + a]
+              + facey[(ix + {ncx} * iz) * {na} + a]
+              + facez[(ix + {ncx} * iy) * {na} + a];
+            double result = (src + poin) * denom_r[a];
+            vo[cell * {na} + a] = result;
+            double outgoing = result * 0.5;
+            facex[(iy + {ncy} * iz) * {na} + a] = outgoing;
+            facey[(ix + {ncx} * iz) * {na} + a] = outgoing;
+            facez[(ix + {ncx} * iy) * {na} + a] = outgoing;
+            vsum = vsum + result * wt[a];
+          }}
+          vs_sum[cell] = vsum;
+        }}
+      }}
+    }}
+  }}
+}}
+
+func void reduce() {{
+  region "reduce" {{
+    double flux = 0.0;
+    for (long i = 0; i < {ncells * na}; i = i + 1) {{
+      flux = flux + vo[i];
+    }}
+    double moment = 0.0;
+    for (long c = 0; c < {ncells}; c = c + 1) {{
+      moment = moment + vs_sum[c];
+    }}
+    total_flux = flux;
+    total_moment = moment;
+  }}
+}}
+
+func long main() {{
+  init_state();
+  init_faces();
+  for (long s = 0; s < {p.nsweeps}; s = s + 1) {{
+    sweep();
+  }}
+  reduce();
+  return 0;
+}}
+"""
+
+    def expected(self) -> dict[str, float]:
+        p = self.params
+        ncx, ncy, ncz, na = p.ncx, p.ncy, p.ncz, p.na
+        ncells = ncx * ncy * ncz
+        vi = [((c % 7) * 0.1) + 0.5 for c in range(ncells)]
+        # note: (double)(c % 7) * 0.1 + 0.5 in source; same value
+        vs_sum = [0.0] * ncells
+        vo = [0.0] * (ncells * na)
+        wt = [1.0 / na] * na
+        denom_r = [1.0 / (1.0 + 0.3 * a + 0.05) for a in range(na)]
+        facex = [0.1] * (ncy * ncz * na)
+        facey = [0.1] * (ncx * ncz * na)
+        facez = [0.1] * (ncx * ncy * na)
+        for _ in range(p.nsweeps):
+            for iz in range(ncz):
+                for iy in range(ncy):
+                    for ix in range(ncx):
+                        cell = ix + ncx * (iy + ncy * iz)
+                        src = vi[cell]
+                        vsum = vs_sum[cell]
+                        for a in range(na):
+                            fx = (iy + ncy * iz) * na + a
+                            fy = (ix + ncx * iz) * na + a
+                            fz = (ix + ncx * iy) * na + a
+                            poin = facex[fx] + facey[fy] + facez[fz]
+                            result = (src + poin) * denom_r[a]
+                            vo[cell * na + a] = result
+                            outgoing = result * 0.5
+                            facex[fx] = outgoing
+                            facey[fy] = outgoing
+                            facez[fz] = outgoing
+                            vsum = vsum + result * wt[a]
+                        vs_sum[cell] = vsum
+        return {
+            "total_flux": float(sum(vo)),
+            "total_moment": float(sum(vs_sum)),
+        }

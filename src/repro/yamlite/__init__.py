@@ -1,0 +1,21 @@
+"""yamlite — a small YAML-subset parser and dumper.
+
+SimEng describes its core models (latency groups, port layouts, ...) in YAML
+files. PyYAML is not available in this offline environment, so this package
+implements the subset of YAML those configs need:
+
+* block mappings nested by indentation,
+* block sequences (``- item``) and flow sequences (``[a, b, c]``),
+* scalars: integers (decimal/hex), floats, booleans, null, bare and quoted
+  strings,
+* ``#`` comments and blank lines,
+* a deterministic dumper for round-tripping configs.
+
+It intentionally does **not** implement anchors, tags, multi-line scalars,
+or flow mappings.
+"""
+
+from repro.yamlite.parser import loads, load_file, YamlError
+from repro.yamlite.dumper import dumps
+
+__all__ = ["loads", "load_file", "dumps", "YamlError"]

@@ -1,0 +1,99 @@
+"""Deterministic dumper for the yamlite YAML subset."""
+
+from __future__ import annotations
+
+from typing import Any
+
+_BARE_SAFE = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-./+")
+
+
+def _format_scalar(value: Any) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        if not value:
+            return '""'
+        needs_quotes = (
+            any(ch not in _BARE_SAFE for ch in value)
+            or value[0] in "-?:#&*!|>%@`\"'"
+            or value in ("null", "true", "false", "~")
+            or _looks_numeric(value)
+        )
+        if needs_quotes:
+            escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        return value
+    raise TypeError(f"cannot dump scalar of type {type(value).__name__}")
+
+
+def _looks_numeric(value: str) -> bool:
+    try:
+        float(value)
+        return True
+    except ValueError:
+        pass
+    try:
+        int(value, 0)
+        return True
+    except ValueError:
+        return False
+
+
+def _dump(value: Any, indent: int, out: list[str]) -> None:
+    pad = " " * indent
+    if isinstance(value, dict):
+        if not value:
+            raise TypeError("yamlite cannot dump an empty mapping in block form")
+        for key, item in value.items():
+            key_text = _format_scalar(str(key))
+            if isinstance(item, dict) and item:
+                out.append(f"{pad}{key_text}:")
+                _dump(item, indent + 2, out)
+            elif isinstance(item, list) and item and any(
+                isinstance(elem, (dict, list)) for elem in item
+            ):
+                out.append(f"{pad}{key_text}:")
+                _dump(item, indent + 2, out)
+            elif isinstance(item, list):
+                inline = ", ".join(_format_scalar(elem) for elem in item)
+                out.append(f"{pad}{key_text}: [{inline}]")
+            else:
+                out.append(f"{pad}{key_text}: {_format_scalar(item)}")
+    elif isinstance(value, list):
+        for item in value:
+            if isinstance(item, dict) and item:
+                keys = list(item.items())
+                first_key, first_value = keys[0]
+                if isinstance(first_value, (dict, list)):
+                    out.append(f"{pad}- {_format_scalar(str(first_key))}:")
+                    _dump(first_value, indent + 4, out)
+                else:
+                    out.append(
+                        f"{pad}- {_format_scalar(str(first_key))}: "
+                        f"{_format_scalar(first_value)}"
+                    )
+                rest = dict(keys[1:])
+                if rest:
+                    _dump(rest, indent + 2, out)
+            elif isinstance(item, list):
+                inline = ", ".join(_format_scalar(elem) for elem in item)
+                out.append(f"{pad}- [{inline}]")
+            else:
+                out.append(f"{pad}- {_format_scalar(item)}")
+    else:
+        out.append(f"{pad}{_format_scalar(value)}")
+
+
+def dumps(value: Any) -> str:
+    """Serialize ``value`` (dicts/lists/scalars) to yamlite text."""
+    out: list[str] = []
+    _dump(value, 0, out)
+    return "\n".join(out) + "\n"

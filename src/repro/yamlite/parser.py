@@ -1,0 +1,258 @@
+"""Recursive-descent parser for the yamlite YAML subset."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class YamlError(ValueError):
+    """Raised on malformed yamlite input."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class _Line:
+    __slots__ = ("number", "indent", "text")
+
+    def __init__(self, number: int, indent: int, text: str):
+        self.number = number
+        self.indent = indent
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_Line({self.number}, indent={self.indent}, {self.text!r})"
+
+
+def _strip_comment(raw: str) -> str:
+    """Remove a trailing ``#`` comment, respecting quoted strings."""
+    in_single = in_double = False
+    for i, ch in enumerate(raw):
+        if ch == "'" and not in_double:
+            in_single = not in_single
+        elif ch == '"' and not in_single:
+            in_double = not in_double
+        elif ch == "#" and not in_single and not in_double:
+            # A comment hash must be at start or preceded by whitespace.
+            if i == 0 or raw[i - 1] in " \t":
+                return raw[:i]
+    return raw
+
+
+def _logical_lines(text: str) -> list[_Line]:
+    lines: list[_Line] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise YamlError("tabs are not allowed in indentation", number)
+        stripped = _strip_comment(raw).rstrip()
+        if not stripped.strip():
+            continue
+        indent = len(stripped) - len(stripped.lstrip(" "))
+        lines.append(_Line(number, indent, stripped.strip()))
+    return lines
+
+
+_BOOL_WORDS = {"true": True, "True": True, "false": False, "False": False}
+_NULL_WORDS = {"null", "Null", "~", ""}
+
+
+def parse_scalar(token: str, line: int | None = None) -> Any:
+    """Parse a single scalar token into a Python value."""
+    token = token.strip()
+    if token in _NULL_WORDS:
+        return None
+    if token in _BOOL_WORDS:
+        return _BOOL_WORDS[token]
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in "'\"":
+        return token[1:-1]
+    try:
+        if token.lower().startswith(("0x", "-0x", "+0x")):
+            return int(token, 16)
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def _split_flow_sequence(body: str, line: int) -> list[str]:
+    """Split ``a, b, c`` respecting quotes and nested brackets."""
+    items: list[str] = []
+    depth = 0
+    in_single = in_double = False
+    current: list[str] = []
+    for ch in body:
+        if ch == "'" and not in_double:
+            in_single = not in_single
+        elif ch == '"' and not in_single:
+            in_double = not in_double
+        elif not in_single and not in_double:
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+                if depth < 0:
+                    raise YamlError("unbalanced ']' in flow sequence", line)
+            elif ch == "," and depth == 0:
+                items.append("".join(current))
+                current = []
+                continue
+        current.append(ch)
+    if in_single or in_double:
+        raise YamlError("unterminated quote in flow sequence", line)
+    if depth != 0:
+        raise YamlError("unbalanced '[' in flow sequence", line)
+    tail = "".join(current).strip()
+    if tail or items:
+        items.append(tail)
+    return items
+
+
+def _parse_value_token(token: str, line: int) -> Any:
+    token = token.strip()
+    if token.startswith("[") :
+        if not token.endswith("]"):
+            raise YamlError("unterminated flow sequence", line)
+        body = token[1:-1].strip()
+        if not body:
+            return []
+        return [_parse_value_token(item, line) for item in _split_flow_sequence(body, line)]
+    return parse_scalar(token, line)
+
+
+def _split_key_value(text: str, line: int) -> tuple[str, str] | None:
+    """Split ``key: value`` at the first unquoted colon followed by space/EOL."""
+    in_single = in_double = False
+    for i, ch in enumerate(text):
+        if ch == "'" and not in_double:
+            in_single = not in_single
+        elif ch == '"' and not in_single:
+            in_double = not in_double
+        elif ch == ":" and not in_single and not in_double:
+            if i + 1 == len(text) or text[i + 1] in " \t":
+                return text[:i].strip(), text[i + 1 :].strip()
+    return None
+
+
+class _Parser:
+    def __init__(self, lines: list[_Line]):
+        self.lines = lines
+        self.pos = 0
+
+    def peek(self) -> _Line | None:
+        return self.lines[self.pos] if self.pos < len(self.lines) else None
+
+    def parse_block(self, indent: int) -> Any:
+        line = self.peek()
+        if line is None:
+            return None
+        if line.text.startswith("- ") or line.text == "-":
+            return self.parse_sequence(line.indent)
+        return self.parse_mapping(line.indent)
+
+    def parse_sequence(self, indent: int) -> list[Any]:
+        items: list[Any] = []
+        while True:
+            line = self.peek()
+            if line is None or line.indent < indent:
+                return items
+            if line.indent > indent:
+                raise YamlError("unexpected indentation", line.number)
+            if not (line.text.startswith("- ") or line.text == "-"):
+                return items
+            body = line.text[1:].strip()
+            self.pos += 1
+            if not body:
+                nxt = self.peek()
+                if nxt is not None and nxt.indent > indent:
+                    items.append(self.parse_block(nxt.indent))
+                else:
+                    items.append(None)
+                continue
+            kv = _split_key_value(body, line.number)
+            if kv is not None:
+                # "- key: value" starts an inline mapping item. Treat the
+                # item body as a mapping whose keys are indented at the body
+                # column.
+                item_indent = indent + 2
+                mapping: dict[str, Any] = {}
+                key, value_text = kv
+                if value_text:
+                    mapping[_parse_key(key)] = _parse_value_token(value_text, line.number)
+                else:
+                    nxt = self.peek()
+                    if nxt is not None and nxt.indent > item_indent:
+                        mapping[_parse_key(key)] = self.parse_block(nxt.indent)
+                    else:
+                        mapping[_parse_key(key)] = None
+                while True:
+                    nxt = self.peek()
+                    if nxt is None or nxt.indent < item_indent:
+                        break
+                    if nxt.text.startswith("- ") and nxt.indent == indent:
+                        break
+                    mapping.update(self.parse_mapping(nxt.indent))
+                    break
+                items.append(mapping)
+            else:
+                items.append(_parse_value_token(body, line.number))
+
+    def parse_mapping(self, indent: int) -> dict[str, Any]:
+        mapping: dict[str, Any] = {}
+        while True:
+            line = self.peek()
+            if line is None or line.indent < indent:
+                return mapping
+            if line.indent > indent:
+                raise YamlError("unexpected indentation", line.number)
+            if line.text.startswith("- "):
+                return mapping
+            kv = _split_key_value(line.text, line.number)
+            if kv is None:
+                raise YamlError(f"expected 'key: value', got {line.text!r}", line.number)
+            key, value_text = kv
+            key_parsed = _parse_key(key)
+            if key_parsed in mapping:
+                raise YamlError(f"duplicate key {key!r}", line.number)
+            self.pos += 1
+            if value_text:
+                mapping[key_parsed] = _parse_value_token(value_text, line.number)
+            else:
+                nxt = self.peek()
+                if nxt is not None and nxt.indent > indent:
+                    mapping[key_parsed] = self.parse_block(nxt.indent)
+                else:
+                    mapping[key_parsed] = None
+
+
+def _parse_key(key: str) -> str:
+    if len(key) >= 2 and key[0] == key[-1] and key[0] in "'\"":
+        return key[1:-1]
+    return key
+
+
+def loads(text: str) -> Any:
+    """Parse yamlite ``text`` into Python dicts/lists/scalars."""
+    lines = _logical_lines(text)
+    if not lines:
+        return None
+    parser = _Parser(lines)
+    result = parser.parse_block(lines[0].indent)
+    leftover = parser.peek()
+    if leftover is not None:
+        raise YamlError(
+            f"unexpected content {leftover.text!r} (bad indentation?)", leftover.number
+        )
+    return result
+
+
+def load_file(path) -> Any:
+    """Parse a yamlite file from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

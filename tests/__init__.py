@@ -1,0 +1,1 @@
+"""Test package (importable so helpers in tests.conftest can be shared)."""

@@ -1,0 +1,70 @@
+"""Shared fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import assemble
+from repro.isa import get_isa
+from repro.loader import program_to_image
+from repro.sim import run_image
+
+
+@pytest.fixture(scope="session")
+def rv64():
+    return get_isa("rv64")
+
+
+@pytest.fixture(scope="session")
+def aarch64():
+    return get_isa("aarch64")
+
+
+def run_asm(source: str, isa, max_instructions: int = 2_000_000):
+    """Assemble, link, load and run; returns (RunResult, Machine, image)."""
+    program = assemble(source, isa)
+    image = program_to_image(program)
+    result, machine = run_image(image, isa, max_instructions=max_instructions)
+    return result, machine, image
+
+
+# exit stubs deliberately leave the result registers (a0/x0) untouched so
+# tests can inspect them after the run; the exit code is whatever they hold
+RV_EXIT = """
+    li a7, 93
+    ecall
+"""
+
+A64_EXIT = """
+    mov x8, #93
+    svc #0
+"""
+
+
+def run_rv(body: str, isa, data: str = "") -> tuple:
+    """Run a RISC-V fragment: body + exit(0) (+ optional data section)."""
+    source = "    .text\n_start:\n" + body + RV_EXIT
+    if data:
+        source += "\n    .data\n" + data
+    return run_asm(source, isa)
+
+
+def run_a64(body: str, isa, data: str = "") -> tuple:
+    """Run an AArch64 fragment: body + exit(0) (+ optional data section)."""
+    source = "    .text\n_start:\n" + body + A64_EXIT
+    if data:
+        source += "\n    .data\n" + data
+    return run_asm(source, isa)
+
+
+def compile_and_run(source: str, isa_name: str, profile: str = "gcc12",
+                    max_instructions: int = 5_000_000):
+    """Compile kernelc source, run it, return (result, machine, compiled)."""
+    from repro.compiler import compile_source
+
+    compiled = compile_source(source, isa_name, profile)
+    isa = get_isa(compiled.isa_name)
+    result, machine = run_image(
+        compiled.image, isa, max_instructions=max_instructions
+    )
+    return result, machine, compiled

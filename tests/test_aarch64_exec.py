@@ -1,0 +1,607 @@
+"""Execution tests for scalar AArch64: assembler → ELF → decoder → executor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import MASK64, u64
+from tests.conftest import run_a64
+
+
+def a64_regs(body: str, isa, data: str = ""):
+    _result, machine, _image = run_a64(body, isa, data)
+    return machine
+
+
+class TestMovesAndImmediates:
+    def test_mov_imm_forms(self, aarch64):
+        m = a64_regs("""
+    mov x0, #42
+    mov x1, #0xffff
+    mov w2, #7
+    mov x3, #-1
+    mov x4, #-17
+""", aarch64)
+        assert m.r[0] == 42
+        assert m.r[1] == 0xFFFF
+        assert m.r[2] == 7
+        assert m.r[3] == MASK64
+        assert m.r[4] == u64(-17)
+
+    def test_movz_movk_compose(self, aarch64):
+        m = a64_regs("""
+    movz x0, #0x1234, lsl #16
+    movk x0, #0x5678
+""", aarch64)
+        assert m.r[0] == 0x12345678
+
+    def test_movn(self, aarch64):
+        m = a64_regs("    movn x0, #0\n    movn w1, #5\n", aarch64)
+        assert m.r[0] == MASK64
+        assert m.r[1] == u64(~5) & 0xFFFFFFFF
+
+    @pytest.mark.parametrize("value", [
+        0, 1, -1, 0xFFFF, 0x10000, 0x12345678, -(1 << 31),
+        0xDEADBEEFCAFEBABE, (1 << 63) - 1, -(1 << 63),
+    ])
+    def test_movl_pseudo(self, aarch64, value):
+        m = a64_regs(f"    movl x0, #{value}\n", aarch64)
+        assert m.r[0] == u64(value)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_movl_random(self, aarch64, value):
+        m = a64_regs(f"    movl x0, #{value}\n", aarch64)
+        assert m.r[0] == u64(value)
+
+    def test_mov_reg_and_sp(self, aarch64):
+        m = a64_regs("""
+    mov x0, #64
+    mov x1, x0
+    mov x2, sp
+""", aarch64)
+        assert m.r[1] == 64
+        assert m.r[2] == m.stack_top
+
+
+class TestArithmetic:
+    def test_add_sub_imm(self, aarch64):
+        m = a64_regs("""
+    mov x0, #100
+    add x1, x0, #23
+    sub x2, x0, #1
+    add x3, x0, #1, lsl #12
+""", aarch64)
+        assert m.r[1] == 123
+        assert m.r[2] == 99
+        assert m.r[3] == 100 + 4096
+
+    def test_add_shifted_register(self, aarch64):
+        m = a64_regs("""
+    mov x0, #3
+    mov x1, #16
+    add x2, x1, x0, lsl #2
+    sub x3, x1, x0, lsl #1
+""", aarch64)
+        assert m.r[2] == 16 + 12
+        assert m.r[3] == 16 - 6
+
+    def test_add_extended_register(self, aarch64):
+        m = a64_regs("""
+    movl x0, #0x1ffffffff
+    mov x1, #0
+    add x2, x1, w0, uxtw
+    add x3, x1, w0, sxtw #2
+""", aarch64)
+        assert m.r[2] == 0xFFFFFFFF
+        assert m.r[3] == u64(-4)  # sxtw(0xFFFFFFFF) = -1, << 2
+
+    def test_32bit_ops_zero_upper(self, aarch64):
+        m = a64_regs("""
+    movl x0, #0xffffffffffffffff
+    add w1, w0, #1
+""", aarch64)
+        assert m.r[1] == 0
+
+    def test_madd_msub_mul(self, aarch64):
+        m = a64_regs("""
+    mov x0, #6
+    mov x1, #7
+    mov x2, #100
+    madd x3, x0, x1, x2
+    msub x4, x0, x1, x2
+    mul x5, x0, x1
+    mneg x6, x0, x1
+""", aarch64)
+        assert m.r[3] == 142
+        assert m.r[4] == 58
+        assert m.r[5] == 42
+        assert m.r[6] == u64(-42)
+
+    def test_division(self, aarch64):
+        m = a64_regs("""
+    mov x0, #-7
+    mov x1, #2
+    sdiv x2, x0, x1
+    udiv x3, x1, x0
+    mov x4, #0
+    sdiv x5, x1, x4
+""", aarch64)
+        assert m.r[2] == u64(-3)   # truncate toward zero
+        assert m.r[3] == 0
+        assert m.r[5] == 0         # divide by zero yields 0 on AArch64
+
+    def test_smulh_umulh(self, aarch64):
+        m = a64_regs("""
+    mov x0, #-1
+    mov x1, #-1
+    smulh x2, x0, x1
+    umulh x3, x0, x1
+""", aarch64)
+        assert m.r[2] == 0
+        assert m.r[3] == MASK64 - 1
+
+    def test_negative_imm_flips_op(self, aarch64):
+        m = a64_regs("    mov x0, #10\n    add x1, x0, #-3\n", aarch64)
+        assert m.r[1] == 7
+
+
+class TestLogicalAndShifts:
+    def test_logical_reg(self, aarch64):
+        m = a64_regs("""
+    mov x0, #0xff00
+    mov x1, #0x0ff0
+    and x2, x0, x1
+    orr x3, x0, x1
+    eor x4, x0, x1
+    bic x5, x0, x1
+    orn x6, x0, x1
+    mvn x7, x0
+""", aarch64)
+        assert m.r[2] == 0x0F00
+        assert m.r[3] == 0xFFF0
+        assert m.r[4] == 0xF0F0
+        assert m.r[5] == 0xF000
+        assert m.r[6] == u64(~0x0FF0) | 0xFF00
+        assert m.r[7] == u64(~0xFF00)
+
+    def test_logical_imm(self, aarch64):
+        m = a64_regs("""
+    movl x0, #0x123456789abcdef0
+    and x1, x0, #0xff
+    orr x2, x0, #0xf
+    eor x3, x0, #0xff00
+""", aarch64)
+        assert m.r[1] == 0xF0
+        assert m.r[2] == 0x123456789ABCDEFF
+        assert m.r[3] == 0x123456789ABC21F0
+
+    def test_shift_aliases(self, aarch64):
+        m = a64_regs("""
+    mov x0, #-16
+    lsl x1, x0, #2
+    lsr x2, x0, #60
+    asr x3, x0, #2
+    mov x4, #3
+    lsl x5, x0, x4
+    asr x6, x0, x4
+""", aarch64)
+        assert m.r[1] == u64(-64)
+        assert m.r[2] == 0xF
+        assert m.r[3] == u64(-4)
+        assert m.r[5] == u64(-128)
+        assert m.r[6] == u64(-2)
+
+    def test_bitfield_extracts(self, aarch64):
+        m = a64_regs("""
+    movl x0, #0x123456789abcdef0
+    ubfx x1, x0, #8, #16
+    sbfx x2, x0, #4, #4
+    uxtb w3, w0
+    uxth w4, w0
+    sxtb x5, w0
+    sxtw x6, w0
+""", aarch64)
+        assert m.r[1] == 0xBCDE
+        assert m.r[2] == u64(-1)   # field 0xF sign-extended
+        assert m.r[3] == 0xF0
+        assert m.r[4] == 0xDEF0
+        assert m.r[5] == u64(-16)  # 0xF0 as signed byte
+        assert m.r[6] == u64(0x9ABCDEF0 - (1 << 32))
+
+    def test_clz_rbit_rev(self, aarch64):
+        m = a64_regs("""
+    mov x0, #0x10
+    clz x1, x0
+    rbit x2, x0
+    movl x0, #0x0102030405060708
+    rev x3, x0
+""", aarch64)
+        assert m.r[1] == 59
+        assert m.r[2] == 0x10 << 56 >> 1  # bit 4 reversed to bit 59
+        assert m.r[3] == 0x0807060504030201
+
+
+class TestFlagsAndConditions:
+    def test_cmp_sets_flags_for_beq(self, aarch64):
+        m = a64_regs("""
+    mov x0, #5
+    cmp x0, #5
+    mov x1, #0
+    b.eq 1f
+    mov x1, #99
+1:
+""", aarch64)
+        assert m.r[1] == 0
+
+    @pytest.mark.parametrize("a,b,cond,taken", [
+        (5, 5, "eq", True), (5, 6, "eq", False),
+        (5, 6, "ne", True),
+        (-1, 1, "lt", True), (1, -1, "lt", False),
+        (1, -1, "gt", True), (-1, -1, "gt", False),
+        (-1, -1, "ge", True), (-2, -1, "le", True),
+        (1, -1, "lo", True),    # unsigned: 1 < 0xFF..FF
+        (-1, 1, "hi", True),    # unsigned: 0xFF..FF > 1
+        (-1, 1, "hs", True),
+    ])
+    def test_all_conditions(self, aarch64, a, b, cond, taken):
+        m = a64_regs(f"""
+    movl x0, #{a}
+    movl x1, #{b}
+    cmp x0, x1
+    mov x2, #0
+    b.{cond} 1f
+    mov x2, #99
+1:
+""", aarch64)
+        assert m.r[2] == (0 if taken else 99)
+
+    def test_subs_overflow_flag(self, aarch64):
+        # INT64_MIN - 1 overflows: N=0 V=1 -> lt holds
+        m = a64_regs("""
+    mov x0, #-9223372036854775808
+    subs x1, x0, #1
+    cset x2, vs
+    cset x3, lt
+""", aarch64)
+        assert m.r[2] == 1
+        assert m.r[3] == 1
+
+    def test_adds_carry(self, aarch64):
+        m = a64_regs("""
+    mov x0, #-1
+    adds x1, x0, #1
+    cset x2, cs
+    cset x3, eq
+""", aarch64)
+        assert m.r[1] == 0
+        assert m.r[2] == 1
+        assert m.r[3] == 1
+
+    def test_tst_and_ands(self, aarch64):
+        m = a64_regs("""
+    mov x0, #6
+    tst x0, #1
+    cset x1, eq
+    ands x2, x0, #2
+    cset x3, ne
+""", aarch64)
+        assert m.r[1] == 1
+        assert m.r[2] == 2
+        assert m.r[3] == 1
+
+    def test_csel_family(self, aarch64):
+        m = a64_regs("""
+    mov x0, #1
+    mov x1, #10
+    mov x2, #20
+    cmp x0, #1
+    csel x3, x1, x2, eq
+    csel x4, x1, x2, ne
+    csinc x5, x1, x2, ne
+    csinv x6, x1, x2, ne
+    csneg x7, x1, x2, ne
+    cset w9, eq
+    cinc x10, x1, eq
+""", aarch64)
+        assert m.r[3] == 10
+        assert m.r[4] == 20
+        assert m.r[5] == 21
+        assert m.r[6] == u64(~20)
+        assert m.r[7] == u64(-20)
+        assert m.r[9] == 1
+        assert m.r[10] == 11
+
+    def test_cbz_cbnz_tbz(self, aarch64):
+        m = a64_regs("""
+    mov x0, #0
+    mov x1, #0
+    cbz x0, 1f
+    mov x1, #99
+1:
+    mov x2, #8
+    mov x3, #0
+    tbnz x2, #3, 2f
+    mov x3, #99
+2:
+    tbz x2, #0, 3f
+    mov x3, #98
+3:
+""", aarch64)
+        assert m.r[1] == 0
+        assert m.r[3] == 0
+
+
+class TestLoadsStores:
+    def test_unsigned_offset(self, aarch64):
+        m = a64_regs("""
+    adrl x0, buf
+    mov x1, #-2
+    str x1, [x0, #8]
+    ldr x2, [x0, #8]
+    ldrb w3, [x0, #8]
+    ldrh w4, [x0, #8]
+    ldrsb x5, [x0, #8]
+    ldrsw x6, [x0, #8]
+""", aarch64, data="buf:\n    .zero 32\n")
+        assert m.r[2] == u64(-2)
+        assert m.r[3] == 0xFE
+        assert m.r[4] == 0xFFFE
+        assert m.r[5] == u64(-2)
+        assert m.r[6] == u64(-2)
+
+    def test_register_offset_scaled(self, aarch64):
+        m = a64_regs("""
+    adrl x0, buf
+    mov x1, #2
+    mov x2, #777
+    str x2, [x0, x1, lsl #3]
+    ldr x3, [x0, x1, lsl #3]
+""", aarch64, data="buf:\n    .zero 64\n")
+        assert m.r[3] == 777
+        assert m.memory.load(m.r[0] + 16, 8) == 777
+
+    def test_register_offset_sxtw(self, aarch64):
+        m = a64_regs("""
+    adrl x0, buf
+    add x0, x0, #32
+    movl x1, #0xffffffff
+    mov x2, #55
+    str x2, [x0, w1, sxtw #3]
+    ldr x3, [x0, #-8]
+""", aarch64, data="buf:\n    .zero 64\n")
+        assert m.r[3] == 55
+
+    def test_pre_post_index(self, aarch64):
+        m = a64_regs("""
+    adrl x0, buf
+    mov x1, #11
+    str x1, [x0], #8
+    mov x2, #22
+    str x2, [x0, #8]!
+    adrl x3, buf
+    ldr x4, [x3]
+    ldr x5, [x3, #16]
+""", aarch64, data="buf:\n    .zero 64\n")
+        assert m.r[4] == 11
+        assert m.r[5] == 22
+        # writeback: x0 advanced by 8 then by another 8
+        assert m.r[0] == m.r[3] + 16
+
+    def test_ldp_stp(self, aarch64):
+        m = a64_regs("""
+    adrl x0, buf
+    mov x1, #1
+    mov x2, #2
+    stp x1, x2, [x0, #16]
+    ldp x3, x4, [x0, #16]
+""", aarch64, data="buf:\n    .zero 64\n")
+        assert m.r[3] == 1
+        assert m.r[4] == 2
+
+    def test_ldp_stp_writeback(self, aarch64):
+        m = a64_regs("""
+    adrl x0, buf
+    mov x1, #5
+    mov x2, #6
+    stp x1, x2, [x0, #-16]!
+    mov x9, x0
+    ldp x3, x4, [x0], #16
+""", aarch64, data="    .zero 64\nbuf:\n    .zero 64\n")
+        assert m.r[3] == 5 and m.r[4] == 6
+        assert m.r[0] == m.r[9] + 16
+
+    def test_ldur_stur(self, aarch64):
+        m = a64_regs("""
+    adrl x0, buf
+    add x0, x0, #16
+    mov x1, #9
+    stur x1, [x0, #-8]
+    ldur x2, [x0, #-8]
+""", aarch64, data="buf:\n    .zero 32\n")
+        assert m.r[2] == 9
+
+
+class TestFloatingPoint:
+    def test_arith(self, aarch64):
+        m = a64_regs("""
+    adrl x0, vals
+    ldr d0, [x0]
+    ldr d1, [x0, #8]
+    fadd d2, d0, d1
+    fsub d3, d0, d1
+    fmul d4, d0, d1
+    fdiv d5, d0, d1
+    fneg d6, d0
+    fabs d7, d6
+    fsqrt d8, d4
+""", aarch64, data="vals:\n    .double 6.0, 1.5\n")
+        assert m.f[2] == 7.5
+        assert m.f[3] == 4.5
+        assert m.f[4] == 9.0
+        assert m.f[5] == 4.0
+        assert m.f[6] == -6.0
+        assert m.f[7] == 6.0
+        assert m.f[8] == 3.0
+
+    def test_fma_family(self, aarch64):
+        m = a64_regs("""
+    adrl x0, vals
+    ldr d0, [x0]
+    ldr d1, [x0, #8]
+    ldr d2, [x0, #16]
+    fmadd d3, d0, d1, d2
+    fmsub d4, d0, d1, d2
+    fnmadd d5, d0, d1, d2
+    fnmsub d6, d0, d1, d2
+""", aarch64, data="vals:\n    .double 2.0, 3.0, 10.0\n")
+        assert m.f[3] == 16.0
+        assert m.f[4] == 4.0      # c - a*b = 10 - 6
+        assert m.f[5] == -16.0
+        assert m.f[6] == -4.0
+
+    def test_fcmp_branches(self, aarch64):
+        m = a64_regs("""
+    adrl x0, vals
+    ldr d0, [x0]
+    ldr d1, [x0, #8]
+    fcmp d0, d1
+    mov x1, #0
+    b.mi 1f
+    mov x1, #99
+1:
+    fcmp d1, #0.0
+    cset x2, gt
+""", aarch64, data="vals:\n    .double 1.0, 2.0\n")
+        assert m.r[1] == 0
+        assert m.r[2] == 1
+
+    def test_fcsel(self, aarch64):
+        m = a64_regs("""
+    adrl x0, vals
+    ldr d0, [x0]
+    ldr d1, [x0, #8]
+    fcmp d0, d1
+    fcsel d2, d0, d1, mi
+    fcsel d3, d0, d1, gt
+""", aarch64, data="vals:\n    .double 1.0, 2.0\n")
+        assert m.f[2] == 1.0
+        assert m.f[3] == 2.0
+
+    def test_conversions(self, aarch64):
+        m = a64_regs("""
+    mov x0, #-3
+    scvtf d0, x0
+    mov x1, #7
+    ucvtf d1, x1
+    adrl x2, vals
+    ldr d2, [x2]
+    fcvtzs x3, d2
+    fcvtzu x4, d2
+""", aarch64, data="vals:\n    .double 2.75\n")
+        assert m.f[0] == -3.0
+        assert m.f[1] == 7.0
+        assert m.r[3] == 2
+        assert m.r[4] == 2
+
+    def test_fmov_forms(self, aarch64):
+        m = a64_regs("""
+    fmov d0, #2.0
+    fmov d1, d0
+    fmov x0, d0
+    movl x1, #0x3ff0000000000000
+    fmov d2, x1
+""", aarch64)
+        assert m.f[0] == 2.0
+        assert m.f[1] == 2.0
+        assert m.r[0] == 0x4000000000000000
+        assert m.f[2] == 1.0
+
+    def test_movi_zeroes(self, aarch64):
+        m = a64_regs("""
+    fmov d3, #1.0
+    movi d3, #0
+""", aarch64)
+        assert m.f[3] == 0.0
+
+    def test_fminnm_fmaxnm(self, aarch64):
+        m = a64_regs("""
+    adrl x0, vals
+    ldr d0, [x0]
+    ldr d1, [x0, #8]
+    fminnm d2, d0, d1
+    fmaxnm d3, d0, d1
+""", aarch64, data="vals:\n    .double -1.0, 3.0\n")
+        assert m.f[2] == -1.0
+        assert m.f[3] == 3.0
+
+    def test_fp_register_offset_load(self, aarch64):
+        m = a64_regs("""
+    adrl x0, vals
+    mov x1, #1
+    ldr d0, [x0, x1, lsl #3]
+    str d0, [x0, x1, lsl #3]
+""", aarch64, data="vals:\n    .double 1.0, 42.5\n")
+        assert m.f[0] == 42.5
+
+    def test_fcvt_precisions(self, aarch64):
+        m = a64_regs("""
+    adrl x0, vals
+    ldr d0, [x0]
+    fcvt s1, d0
+    fcvt d2, s1
+    ldr s3, [x0, #8]
+""", aarch64, data="vals:\n    .double 0.5\n    .float 0.25\n")
+        assert m.f[1] == 0.5
+        assert m.f[2] == 0.5
+        assert m.f[3] == 0.25
+
+
+class TestControlFlow:
+    def test_bl_ret(self, aarch64):
+        m = a64_regs("""
+    bl func
+    b done
+func:
+    mov x1, #123
+    ret
+done:
+""", aarch64)
+        assert m.r[1] == 123
+
+    def test_br_indirect(self, aarch64):
+        m = a64_regs("""
+    adrl x0, target
+    br x0
+    mov x1, #99
+target:
+    mov x2, #7
+""", aarch64)
+        assert m.r.__getitem__(2) == 7
+        assert m.r[1] == 0
+
+    def test_countdown_loop(self, aarch64):
+        m = a64_regs("""
+    mov x0, #0
+    mov x1, #10
+loop:
+    add x0, x0, #3
+    subs x1, x1, #1
+    b.ne loop
+""", aarch64)
+        assert m.r[0] == 30
+
+    def test_stream_gcc9_idiom(self, aarch64):
+        """The paper's §3.3 GCC 9.2 loop-bound idiom executes correctly."""
+        m = a64_regs("""
+    mov x0, #0
+    mov x2, #0
+loop:
+    add x2, x2, #2
+    add x0, x0, #1
+    sub x1, x0, #2, lsl #12
+    subs x1, x1, #152
+    b.ne loop
+""", aarch64)
+        # bound = 2*4096 + 152 = 8344
+        assert m.r[0] == 8344
+        assert m.r[2] == 2 * 8344

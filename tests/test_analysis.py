@@ -1,0 +1,353 @@
+"""Tests for the path-length / critical-path / windowed / mix analyses.
+
+These drive the probes two ways: with hand-constructed dependence traces
+(where the critical path is known by inspection) and with real simulated
+programs (where CP invariants must hold against the measured path length).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    CriticalPathProbe,
+    InstructionMixProbe,
+    PathLengthProbe,
+    WindowedCPProbe,
+    window_critical_path,
+)
+from repro.analysis.critpath import mem_cells
+from repro.asm.program import Region
+from repro.isa.base import DecodedInst, InstructionGroup
+from repro.sim.config import load_core_model
+from tests.conftest import run_asm
+
+
+def fake_inst(srcs=(), dsts=(), group=InstructionGroup.INT_SIMPLE, pc=0,
+              is_load=False, is_store=False, is_branch=False,
+              mnemonic="fake"):
+    return DecodedInst(
+        pc, 0, mnemonic, mnemonic, group, tuple(srcs), tuple(dsts),
+        lambda m: None, is_load=is_load, is_store=is_store,
+        is_branch=is_branch,
+    )
+
+
+class TestCriticalPathHandBuilt:
+    def test_serial_chain(self):
+        probe = CriticalPathProbe()
+        # r1 = ...; r1 = r1 + ...; r1 = r1 + ... -> chain of 3
+        for _ in range(3):
+            probe.on_retire(fake_inst(srcs=(1,), dsts=(1,)), (), ())
+        assert probe.result().critical_path == 3
+
+    def test_independent_instructions(self):
+        probe = CriticalPathProbe()
+        for reg in range(1, 6):
+            probe.on_retire(fake_inst(srcs=(), dsts=(reg,)), (), ())
+        result = probe.result()
+        assert result.critical_path == 1
+        assert result.ilp == 5.0
+
+    def test_diamond(self):
+        probe = CriticalPathProbe()
+        probe.on_retire(fake_inst(dsts=(1,)), (), ())          # a
+        probe.on_retire(fake_inst(srcs=(1,), dsts=(2,)), (), ())  # b = f(a)
+        probe.on_retire(fake_inst(srcs=(1,), dsts=(3,)), (), ())  # c = g(a)
+        probe.on_retire(fake_inst(srcs=(2, 3), dsts=(4,)), (), ())  # d = b+c
+        assert probe.result().critical_path == 3
+
+    def test_zero_register_breaks_chain(self):
+        """§4.1: sources that are the zero register break the CP — decoders
+        express this by omitting them, so an instruction with no sources
+        starts a fresh chain."""
+        probe = CriticalPathProbe()
+        for _ in range(10):
+            probe.on_retire(fake_inst(srcs=(1,), dsts=(1,)), (), ())
+        probe.on_retire(fake_inst(srcs=(), dsts=(1,)), (), ())  # li r1, 0
+        probe.on_retire(fake_inst(srcs=(1,), dsts=(1,)), (), ())
+        assert probe.result().critical_path == 10
+
+    def test_memory_carried_chain(self):
+        probe = CriticalPathProbe()
+        store = fake_inst(srcs=(1,), is_store=True)
+        load = fake_inst(dsts=(1,), is_load=True)
+        probe.on_retire(fake_inst(dsts=(1,)), (), ())       # depth 1
+        probe.on_retire(store, (), [(0x100, 8)])            # depth 2 via mem
+        probe.on_retire(fake_inst(dsts=(1,)), (), ())       # r1 reset, depth 1
+        probe.on_retire(load, [(0x100, 8)], ())             # depth 3
+        probe.on_retire(fake_inst(srcs=(1,), dsts=(2,)), (), ())  # depth 4
+        assert probe.result().critical_path == 4
+
+    def test_unaligned_access_merges_cells(self):
+        probe = CriticalPathProbe()
+        probe.on_retire(fake_inst(dsts=(1,)), (), ())
+        probe.on_retire(fake_inst(srcs=(1,), is_store=True), (), [(0x104, 8)])
+        # load overlapping the second cell
+        probe.on_retire(fake_inst(dsts=(2,), is_load=True), [(0x108, 8)], ())
+        assert probe.result().critical_path == 3
+
+    def test_mem_cells(self):
+        assert len(mem_cells(0x100, 8)) == 1
+        assert len(mem_cells(0x104, 8)) == 2
+        assert len(mem_cells(0x100, 1)) == 1
+
+
+class TestScaledCriticalPath:
+    def test_latency_weighting(self):
+        model = load_core_model("tx2")
+        probe = CriticalPathProbe(model)
+        # chain of 3 FP multiplies at TX2 latency 6 -> 18
+        for _ in range(3):
+            probe.on_retire(
+                fake_inst(srcs=(33,), dsts=(33,), group=InstructionGroup.FP_MUL),
+                (), (),
+            )
+        assert probe.result().critical_path == 18
+
+    def test_loads_stores_not_scaled(self):
+        """§5.1: 'We do not scale for loads or stores'."""
+        model = load_core_model("tx2")
+        probe = CriticalPathProbe(model)
+        probe.on_retire(
+            fake_inst(dsts=(1,), group=InstructionGroup.LOAD, is_load=True),
+            [(0x100, 8)], (),
+        )
+        probe.on_retire(
+            fake_inst(srcs=(1,), group=InstructionGroup.STORE, is_store=True),
+            (), [(0x108, 8)],
+        )
+        assert probe.result().critical_path == 2
+
+    def test_ideal_model_equals_plain_cp(self, rv64):
+        src = """
+    .text
+_start:
+    li t0, 0
+    li t1, 40
+1:
+    addi t0, t0, 1
+    blt t0, t1, 1b
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+        from repro.asm import assemble
+        from repro.loader import program_to_image
+        from repro.sim import run_image
+
+        plain = CriticalPathProbe()
+        ideal = CriticalPathProbe(load_core_model("ideal"))
+        image = program_to_image(assemble(src, rv64))
+        run_image(image, rv64, [plain, ideal])
+        assert plain.result().critical_path == ideal.result().critical_path
+
+    def test_scaled_never_below_plain(self, rv64):
+        from repro.workloads.stream import Stream, StreamParams
+        from repro.workloads.base import run_workload
+
+        plain = CriticalPathProbe()
+        scaled = CriticalPathProbe(load_core_model("tx2-riscv"))
+        run_workload(Stream(StreamParams(n=64, ntimes=1)), "rv64", "gcc12",
+                     [plain, scaled])
+        assert scaled.result().critical_path >= plain.result().critical_path
+
+
+class TestCriticalPathInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.tuples(
+            st.lists(st.integers(min_value=1, max_value=8), max_size=2),
+            st.lists(st.integers(min_value=1, max_value=8), min_size=1,
+                     max_size=2),
+        ),
+        min_size=1, max_size=40,
+    ))
+    def test_cp_bounds(self, trace):
+        probe = CriticalPathProbe()
+        for srcs, dsts in trace:
+            probe.on_retire(fake_inst(srcs=srcs, dsts=dsts), (), ())
+        result = probe.result()
+        assert 1 <= result.critical_path <= len(trace)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(
+            st.lists(st.integers(min_value=1, max_value=6), max_size=2),
+            st.lists(st.integers(min_value=1, max_value=6), min_size=1,
+                     max_size=1),
+        ),
+        min_size=2, max_size=30,
+    ))
+    def test_prefix_monotone(self, trace):
+        """CP of a longer prefix can never be shorter."""
+        probe = CriticalPathProbe()
+        previous = 0
+        for srcs, dsts in trace:
+            probe.on_retire(fake_inst(srcs=srcs, dsts=dsts), (), ())
+            current = probe.result().critical_path
+            assert current >= previous
+            previous = current
+
+
+class TestWindowCriticalPath:
+    def test_window_function_matches_probe(self):
+        items = [((1,), (1,), InstructionGroup.INT_SIMPLE)] * 5
+        assert window_critical_path(items) == 5
+
+    def test_independent_items(self):
+        items = [((), (i,), InstructionGroup.INT_SIMPLE) for i in range(1, 9)]
+        assert window_critical_path(items) == 1
+
+    def test_windowed_probe_statistics(self):
+        probe = WindowedCPProbe(window_sizes=(4,), slide_fraction=0.5)
+        chain = fake_inst(srcs=(1,), dsts=(1,))
+        for _ in range(8):
+            probe.on_retire(chain, (), ())
+        results = probe.results()[4]
+        # windows: [0:4], [2:6], [4:8] (CP 4 each) + the final partial
+        # buffer [6:8] (CP 2)
+        assert results.count == 4
+        assert results.mean_cp == 3.5
+        assert results.mean_ilp == pytest.approx(4 / 3.5)
+        assert results.max_cp == 4 and results.min_cp == 2
+
+    def test_window_smaller_than_trace_tail(self):
+        probe = WindowedCPProbe(window_sizes=(4,))
+        for _ in range(5):
+            probe.on_retire(fake_inst(srcs=(1,), dsts=(1,)), (), ())
+        results = probe.results()[4]
+        # [0:4] emitted at fill, then the remaining buffer [2:5] at finish
+        assert results.count == 2
+
+    def test_mean_ilp_nondecreasing_with_window_for_parallel_code(self):
+        probe = WindowedCPProbe(window_sizes=(4, 16, 64))
+        # fully parallel trace: every window's CP is 1
+        for i in range(200):
+            probe.on_retire(fake_inst(srcs=(), dsts=(1 + i % 8,)), (), ())
+        results = probe.results()
+        assert results[4].mean_ilp <= results[16].mean_ilp <= results[64].mean_ilp
+
+    def test_window_cp_bounded_by_full_cp(self, rv64):
+        src = """
+    .text
+_start:
+    li t0, 0
+    li t1, 30
+1:
+    addi t0, t0, 1
+    blt t0, t1, 1b
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+        from repro.asm import assemble
+        from repro.loader import program_to_image
+        from repro.sim import run_image
+
+        full = CriticalPathProbe()
+        windowed = WindowedCPProbe(window_sizes=(8,), keep_cps=True)
+        image = program_to_image(assemble(src, rv64))
+        run_image(image, rv64, [full, windowed])
+        full_cp = full.result().critical_path
+        for cp in windowed.results()[8].cps:
+            assert cp <= min(8, full_cp)
+
+    def test_bad_slide_fraction(self):
+        with pytest.raises(ValueError):
+            WindowedCPProbe(slide_fraction=0.0)
+        with pytest.raises(ValueError):
+            WindowedCPProbe(slide_fraction=1.5)
+
+
+class TestPathLength:
+    def test_region_attribution(self):
+        regions = [Region("kern", 0x100, 0x110)]
+        probe = PathLengthProbe(regions)
+        probe.on_retire(fake_inst(pc=0x0FC), (), ())
+        probe.on_retire(fake_inst(pc=0x100), (), ())
+        probe.on_retire(fake_inst(pc=0x10C), (), ())
+        probe.on_retire(fake_inst(pc=0x110), (), ())
+        result = probe.result()
+        assert result.total == 4
+        assert result.per_region == {"other": 2, "kern": 2}
+        assert result.fraction("kern") == 0.5
+
+    def test_real_program_regions(self, rv64):
+        result, _machine, image = run_asm("""
+    .text
+_start:
+    li t0, 0
+    li t1, 8
+    .region loop
+1:
+    addi t0, t0, 1
+    blt t0, t1, 1b
+    .endregion
+    li a7, 93
+    li a0, 0
+    ecall
+""", rv64)
+        from repro.loader import program_to_image
+        from repro.sim import run_image
+        probe = PathLengthProbe(image.regions)
+        run_image(image, rv64, [probe])
+        counts = probe.result()
+        assert counts.per_region["loop"] == 16
+        assert counts.total == 16 + 5
+
+
+class TestInstructionMix:
+    def test_branch_accounting(self, rv64):
+        from repro.asm import assemble
+        from repro.loader import program_to_image
+        from repro.sim import run_image
+
+        probe = InstructionMixProbe()
+        image = program_to_image(assemble("""
+    .text
+_start:
+    li t0, 0
+    li t1, 10
+1:
+    addi t0, t0, 1
+    blt t0, t1, 1b
+    li a7, 93
+    li a0, 0
+    ecall
+""", rv64))
+        run_image(image, rv64, [probe])
+        mix = probe.result()
+        assert mix.total == 2 + 20 + 3
+        assert mix.branches == 10
+        assert mix.conditional_branches == 10
+        assert mix.flag_setters == 0         # no NZCV on RISC-V
+        assert mix.by_mnemonic["blt"] == 10
+        assert mix.top_mnemonics(1)[0][0] in ("addi", "blt")
+
+    def test_aarch64_flag_setters(self, aarch64):
+        from repro.asm import assemble
+        from repro.loader import program_to_image
+        from repro.sim import run_image
+
+        probe = InstructionMixProbe()
+        image = program_to_image(assemble("""
+    .text
+_start:
+    mov x0, #0
+    mov x1, #10
+1:
+    add x0, x0, #1
+    cmp x0, x1
+    b.ne 1b
+    mov x8, #93
+    mov x0, #0
+    svc #0
+""", aarch64))
+        run_image(image, aarch64, [probe])
+        mix = probe.result()
+        assert mix.flag_setters == 10        # the cmp per iteration
+        assert mix.conditional_branches == 10
+        # the paper's §3.3 argument: flag-setter fraction ~ branch fraction
+        assert mix.flag_setter_fraction == pytest.approx(
+            mix.conditional_branch_fraction
+        )

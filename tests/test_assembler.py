@@ -1,0 +1,269 @@
+"""Tests for the generic two-pass assembler (directives, labels, layout)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.asm.assembler import split_operands
+from repro.common import AssemblerError
+
+
+def asm(src, isa, **kw):
+    return assemble("    .text\n_start:\n    nop\n" + src, isa, **kw)
+
+
+class TestSplitOperands:
+    def test_simple(self):
+        assert split_operands("a0, a1, 42") == ["a0", "a1", "42"]
+
+    def test_brackets_protect_commas(self):
+        assert split_operands("d1, [x22, x0, lsl #3]") == [
+            "d1", "[x22, x0, lsl #3]"
+        ]
+        assert split_operands("a0, 0(a1)") == ["a0", "0(a1)"]
+
+    def test_strings_protected(self):
+        assert split_operands('"a, b", c') == ['"a, b"', "c"]
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(AssemblerError):
+            split_operands("a, [x0, b")
+
+
+class TestLabelsAndSymbols:
+    def test_labels_get_addresses(self, rv64):
+        prog = assemble("""
+    .text
+_start:
+    nop
+second:
+    nop
+""", rv64)
+        assert prog.symbols["second"] == prog.symbols["_start"] + 4
+        assert prog.entry == prog.symbols["_start"]
+
+    def test_duplicate_label_rejected(self, rv64):
+        with pytest.raises(AssemblerError):
+            assemble("    .text\n_start:\nx:\nx:\n    nop\n", rv64)
+
+    def test_label_on_same_line(self, rv64):
+        prog = assemble("    .text\n_start: nop\nfoo: nop\n", rv64)
+        assert prog.symbols["foo"] == prog.symbols["_start"] + 4
+
+    def test_missing_entry_rejected(self, rv64):
+        with pytest.raises(AssemblerError):
+            assemble("    .text\nfoo:\n    nop\n", rv64)
+
+    def test_main_accepted_as_entry(self, rv64):
+        prog = assemble("    .text\nmain:\n    nop\n", rv64)
+        assert prog.entry == prog.symbols["main"]
+
+    def test_numeric_labels_repeat(self, rv64):
+        prog = assemble("""
+    .text
+_start:
+1:
+    j 1f
+    nop
+1:
+    j 1b
+""", rv64)
+        assert prog is not None  # both references resolved
+
+
+class TestDataDirectives:
+    def test_dword_word_half_byte(self, rv64):
+        prog = assemble("""
+    .text
+_start:
+    nop
+    .data
+vals:
+    .byte 1, 2
+    .half 0x1234
+    .word 0xdeadbeef
+    .dword 0x1122334455667788
+""", rv64)
+        data = prog.sections[".data"].data
+        assert data[0] == 1 and data[1] == 2
+        assert data[2:4] == (0x1234).to_bytes(2, "little")
+        assert data[4:8] == (0xDEADBEEF).to_bytes(4, "little")
+        assert data[8:16] == (0x1122334455667788).to_bytes(8, "little")
+
+    def test_double_float(self, rv64):
+        import struct
+        prog = assemble("""
+    .text
+_start:
+    nop
+    .data
+vals:
+    .double 1.5
+    .float 0.25
+""", rv64)
+        data = prog.sections[".data"].data
+        assert struct.unpack_from("<d", data, 0)[0] == 1.5
+        assert struct.unpack_from("<f", data, 8)[0] == 0.25
+
+    def test_zero_and_align(self, rv64):
+        prog = assemble("""
+    .text
+_start:
+    nop
+    .data
+a:
+    .byte 1
+    .align 3
+b:
+    .dword 2
+c:
+    .zero 24
+d:
+    .byte 3
+""", rv64)
+        assert prog.symbols["b"] - prog.symbols["a"] == 8
+        assert prog.symbols["d"] - prog.symbols["c"] == 24
+
+    def test_strings(self, rv64):
+        prog = assemble("""
+    .text
+_start:
+    nop
+    .data
+s:
+    .asciz "hi\\n"
+""", rv64)
+        assert bytes(prog.sections[".data"].data[:4]) == b"hi\n\x00"
+
+    def test_negative_values_wrap(self, rv64):
+        prog = assemble("""
+    .text
+_start:
+    nop
+    .data
+v:
+    .dword -1
+""", rv64)
+        assert prog.sections[".data"].data[:8] == b"\xff" * 8
+
+    def test_symbol_as_data_value(self, rv64):
+        prog = assemble("""
+    .text
+_start:
+    nop
+    .data
+v:
+    .dword v
+""", rv64)
+        addr = prog.symbols["v"]
+        assert prog.sections[".data"].data[:8] == addr.to_bytes(8, "little")
+
+
+class TestRegions:
+    def test_region_ranges(self, rv64):
+        prog = assemble("""
+    .text
+_start:
+    nop
+    .region alpha
+    nop
+    nop
+    .endregion
+    nop
+""", rv64)
+        assert len(prog.regions) == 1
+        region = prog.regions[0]
+        assert region.name == "alpha"
+        assert region.end - region.start == 8
+        assert region.contains(region.start)
+        assert not region.contains(region.end)
+
+    def test_nested_regions(self, rv64):
+        prog = assemble("""
+    .text
+_start:
+    .region outer
+    nop
+    .region inner
+    nop
+    .endregion
+    nop
+    .endregion
+""", rv64)
+        names = {r.name for r in prog.regions}
+        assert names == {"outer", "inner"}
+
+    def test_unterminated_region(self, rv64):
+        with pytest.raises(AssemblerError):
+            assemble("    .text\n_start:\n    .region x\n    nop\n", rv64)
+
+    def test_endregion_without_region(self, rv64):
+        with pytest.raises(AssemblerError):
+            assemble("    .text\n_start:\n    .endregion\n", rv64)
+
+
+class TestEquates:
+    def test_equ_substitution(self, rv64):
+        prog = assemble("""
+    .text
+    .equ N, 64
+_start:
+    li a0, N
+""", rv64)
+        assert prog is not None
+
+    def test_equ_in_data(self, rv64):
+        prog = assemble("""
+    .text
+    .equ MAGIC, 99
+_start:
+    nop
+    .data
+v:
+    .dword MAGIC
+""", rv64)
+        assert prog.sections[".data"].data[:8] == (99).to_bytes(8, "little")
+
+
+class TestErrors:
+    def test_unknown_directive(self, rv64):
+        with pytest.raises(AssemblerError):
+            assemble("    .text\n_start:\n    .bogus 1\n", rv64)
+
+    def test_unknown_instruction(self, rv64):
+        with pytest.raises(AssemblerError) as err:
+            assemble("    .text\n_start:\n    frobnicate a0\n", rv64)
+        assert "frobnicate" in str(err.value)
+
+    def test_undefined_symbol(self, rv64):
+        with pytest.raises(AssemblerError) as err:
+            assemble("    .text\n_start:\n    j nowhere\n", rv64)
+        assert "nowhere" in str(err.value)
+
+    def test_instructions_in_data_section(self, rv64):
+        with pytest.raises(AssemblerError):
+            assemble("    .text\n_start:\n    nop\n    .data\n    nop\n", rv64)
+
+    def test_error_carries_line_number(self, rv64):
+        with pytest.raises(AssemblerError) as err:
+            assemble("    .text\n_start:\n    nop\n    badinsn\n", rv64)
+        assert "line 4" in str(err.value)
+
+
+class TestLayout:
+    def test_custom_bases(self, rv64):
+        prog = assemble(
+            "    .text\n_start:\n    nop\n    .data\nv:\n    .dword 1\n",
+            rv64, text_base=0x20000, data_base=0x300000,
+        )
+        assert prog.symbols["_start"] == 0x20000
+        assert prog.symbols["v"] == 0x300000
+
+    def test_comments_stripped(self, rv64):
+        prog = assemble("""
+    .text
+# full-line hash comment
+_start:
+    nop          // inline slash comment
+    nop
+""", rv64)
+        assert len(prog.sections[".text"].data) == 8

@@ -1,0 +1,176 @@
+"""Unit and property tests for repro.common.bitops."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import bitops as B
+
+u64s = st.integers(min_value=0, max_value=(1 << 64) - 1)
+s64s = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+
+
+class TestFieldExtraction:
+    def test_bit(self):
+        assert B.bit(0b1010, 1) == 1
+        assert B.bit(0b1010, 0) == 0
+        assert B.bit(1 << 63, 63) == 1
+
+    def test_bits_inclusive_range(self):
+        assert B.bits(0xDEADBEEF, 31, 16) == 0xDEAD
+        assert B.bits(0xDEADBEEF, 15, 0) == 0xBEEF
+        assert B.bits(0xFF, 3, 3) == 1
+
+    def test_bits_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            B.bits(0, 3, 5)
+
+
+class TestSignExtension:
+    def test_sext_negative(self):
+        assert B.sext(0xFFF, 12) == -1
+        assert B.sext(0x800, 12) == -2048
+
+    def test_sext_positive(self):
+        assert B.sext(0x7FF, 12) == 2047
+        assert B.sext(0x001, 12) == 1
+
+    def test_zext_truncates(self):
+        assert B.zext(0x1FF, 8) == 0xFF
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_sext_roundtrips_through_unsigned(self, value):
+        assert B.sext(B.to_unsigned(value, 32), 32) == value
+
+    @given(u64s)
+    def test_s64_u64_roundtrip(self, pattern):
+        assert B.u64(B.s64(pattern)) == pattern
+
+    @given(u64s)
+    def test_s32_matches_sext(self, pattern):
+        assert B.s32(pattern) == B.sext(pattern, 32)
+
+
+class TestRotates:
+    def test_rotate_right64_basic(self):
+        assert B.rotate_right64(1, 1) == 1 << 63
+        assert B.rotate_right64(0b11, 1) == (1 << 63) | 1
+
+    def test_rotate_right32_wraps(self):
+        assert B.rotate_right32(1, 32) == 1
+        assert B.rotate_right32(0x80000000, 31) == 1
+
+    @given(u64s, st.integers(min_value=0, max_value=200))
+    def test_rotate64_composition(self, value, amount):
+        # rotating by amount then by 64-amount is the identity
+        once = B.rotate_right64(value, amount)
+        assert B.rotate_right64(once, (64 - amount) % 64) == value
+
+
+class TestCounting:
+    def test_clz(self):
+        assert B.count_leading_zeros(0, 64) == 64
+        assert B.count_leading_zeros(1, 64) == 63
+        assert B.count_leading_zeros(1 << 63, 64) == 0
+        assert B.count_leading_zeros(0xFF, 8) == 0
+
+    def test_ctz(self):
+        assert B.count_trailing_zeros(0, 64) == 64
+        assert B.count_trailing_zeros(8, 64) == 3
+        assert B.count_trailing_zeros(1, 64) == 0
+
+    def test_popcount(self):
+        assert B.popcount(0xFF) == 8
+        assert B.popcount(0) == 0
+
+    @given(u64s)
+    def test_clz_consistent_with_bit_length(self, value):
+        assert B.count_leading_zeros(value, 64) == 64 - value.bit_length()
+
+
+class TestReversal:
+    def test_bit_reverse_known(self):
+        assert B.bit_reverse(0b1, 8) == 0b1000_0000
+        assert B.bit_reverse(0b1011, 4) == 0b1101
+
+    @given(u64s)
+    def test_bit_reverse_involution(self, value):
+        assert B.bit_reverse(B.bit_reverse(value, 64), 64) == value
+
+    def test_byte_reverse(self):
+        assert B.byte_reverse(0x0102030405060708, 64) == 0x0807060504030201
+        assert B.byte_reverse(0x1234, 16) == 0x3412
+
+    @given(u64s)
+    def test_byte_reverse_involution(self, value):
+        assert B.byte_reverse(B.byte_reverse(value, 64), 64) == value
+
+    def test_byte_reverse_rejects_odd_width(self):
+        with pytest.raises(ValueError):
+            B.byte_reverse(1, 12)
+
+
+class TestReplicate:
+    def test_replicate_pattern(self):
+        assert B.replicate(0b01, 2, 8) == 0b01010101
+        assert B.replicate(0xF0, 8, 32) == 0xF0F0F0F0
+
+    def test_replicate_rejects_mismatched_width(self):
+        with pytest.raises(ValueError):
+            B.replicate(1, 3, 64)
+
+
+class TestRangePredicates:
+    def test_fits_signed(self):
+        assert B.fits_signed(2047, 12)
+        assert B.fits_signed(-2048, 12)
+        assert not B.fits_signed(2048, 12)
+        assert not B.fits_signed(-2049, 12)
+
+    def test_fits_unsigned(self):
+        assert B.fits_unsigned(4095, 12)
+        assert not B.fits_unsigned(4096, 12)
+        assert not B.fits_unsigned(-1, 12)
+
+
+class TestAlignment:
+    def test_align_down_up(self):
+        assert B.align_down(0x1234, 16) == 0x1230
+        assert B.align_up(0x1234, 16) == 0x1240
+        assert B.align_up(0x1230, 16) == 0x1230
+
+    def test_align_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            B.align_up(10, 12)
+
+    @given(st.integers(min_value=0, max_value=1 << 48),
+           st.sampled_from([1, 2, 4, 8, 16, 4096]))
+    def test_align_bounds(self, value, alignment):
+        down, up = B.align_down(value, alignment), B.align_up(value, alignment)
+        assert down <= value <= up
+        assert down % alignment == 0 and up % alignment == 0
+        assert up - down in (0, alignment)
+
+
+class TestFloatBits:
+    def test_f64_roundtrip_specials(self):
+        for value in (0.0, -0.0, 1.0, -1.5, math.inf, -math.inf):
+            assert B.bits_to_f64(B.f64_to_bits(value)) == value
+            # -0.0 must preserve its sign bit
+        assert B.f64_to_bits(-0.0) == 1 << 63
+
+    def test_f64_nan_pattern(self):
+        assert math.isnan(B.bits_to_f64(B.f64_to_bits(math.nan)))
+
+    @given(st.floats(allow_nan=False))
+    def test_f64_bits_roundtrip(self, value):
+        assert B.bits_to_f64(B.f64_to_bits(value)) == value
+
+    @given(st.floats(allow_nan=False, width=32))
+    def test_f32_bits_roundtrip(self, value):
+        assert B.bits_to_f32(B.f32_to_bits(value)) == value
+
+    def test_known_patterns(self):
+        assert B.f64_to_bits(1.0) == 0x3FF0000000000000
+        assert B.f32_to_bits(1.0) == 0x3F800000

@@ -1,0 +1,288 @@
+"""Code-generation shape tests: the ISA/profile idioms the paper analyses.
+
+These assert on the *assembly text*, checking that the compiled kernels
+match the structures §3.3 of the paper documents (Listings 1 and 2, the
+GCC 9.2 ``sub``/``subs`` bound idiom, register-offset vs pointer-bump
+addressing, fused vs two-instruction conditional branches).
+"""
+
+import re
+
+import pytest
+
+from repro.compiler import compile_to_asm
+
+COPY_SRC = """
+global double a[6000];
+global double c[6000];
+func void copy() {
+  region "copy" {
+    for (long j = 0; j < 6000; j = j + 1) {
+      c[j] = a[j];
+    }
+  }
+}
+func long main() { copy(); return 0; }
+"""
+
+
+def kernel_lines(asm_text: str, label_prefix: str = ".loop") -> list[str]:
+    """Instructions between the innermost loop label and its backward branch."""
+    lines = asm_text.splitlines()
+    starts = [i for i, l in enumerate(lines)
+              if re.fullmatch(r"\.loop\d+:", l.strip())]
+    assert starts, "no loop label found"
+    start = starts[-1]
+    body = []
+    for line in lines[start + 1:]:
+        stripped = line.strip()
+        if stripped.startswith(".loopend"):
+            break
+        if stripped and not stripped.endswith(":") and not stripped.startswith("."):
+            body.append(stripped)
+    return body
+
+
+class TestStreamCopyShapes:
+    def test_riscv_matches_listing2(self):
+        """Listing 2: fld / fsd / add / add / bne — five instructions."""
+        body = kernel_lines(compile_to_asm(COPY_SRC, "rv64", "gcc12"))
+        mnemonics = [l.split()[0] for l in body]
+        assert mnemonics == ["fld", "fsd", "addi", "addi", "bne"]
+
+    def test_aarch64_gcc12_matches_listing1(self):
+        """Listing 1: ldr / str / add / cmp / b.ne — five instructions."""
+        body = kernel_lines(compile_to_asm(COPY_SRC, "aarch64", "gcc12"))
+        mnemonics = [l.split()[0] for l in body]
+        assert mnemonics == ["ldr", "str", "add", "cmp", "b.ne"]
+        assert "lsl #3" in body[0] and "lsl #3" in body[1]
+
+    def test_aarch64_gcc9_sub_subs_idiom(self):
+        """§3.3: GCC 9.2 re-materializes a large constant bound with a
+        sub/subs immediate pair — one extra instruction per iteration."""
+        body = kernel_lines(compile_to_asm(COPY_SRC, "aarch64", "gcc9"))
+        mnemonics = [l.split()[0] for l in body]
+        assert mnemonics == ["ldr", "str", "add", "sub", "subs", "b.ne"]
+        assert "lsl #12" in body[3]
+
+    def test_riscv_profiles_identical_kernels(self):
+        """'the main kernels remain the same for both RISC-V binaries'."""
+        gcc9 = kernel_lines(compile_to_asm(COPY_SRC, "rv64", "gcc9"))
+        gcc12 = kernel_lines(compile_to_asm(COPY_SRC, "rv64", "gcc12"))
+        assert gcc9 == gcc12
+
+    def test_small_bound_uses_cmp_imm_in_both_profiles(self):
+        src = COPY_SRC.replace("6000", "100")
+        for profile in ("gcc9", "gcc12"):
+            body = kernel_lines(compile_to_asm(src, "aarch64", profile))
+            assert any(l.startswith("cmp") and "#100" in l for l in body)
+
+
+class TestAddressingStyles:
+    AOS_SRC = """
+global double rec[600];
+global double out;
+func long main() {
+  double total = 0.0;
+  for (long i = 0; i < 100; i = i + 1) {
+    total = total + rec[i * 6 + 0] * rec[i * 6 + 5];
+  }
+  out = total;
+  return 0;
+}
+"""
+
+    def test_riscv_pointer_bump_for_records(self):
+        body = kernel_lines(compile_to_asm(self.AOS_SRC, "rv64", "gcc12"))
+        # one pointer bumped by the record stride (6*8 = 48 bytes)
+        assert any(re.match(r"addi \S+, \S+, 48", l) for l in body)
+        assert any(l.startswith("fld") and "40(" in l for l in body)
+
+    def test_aarch64_pointer_bump_for_records(self):
+        """Strided records use immediate-offset + bump on AArch64 too (the
+        register-offset form cannot fold the field displacement)."""
+        body = kernel_lines(compile_to_asm(self.AOS_SRC, "aarch64", "gcc12"))
+        assert any(re.match(r"add \S+, \S+, #48", l) for l in body)
+        assert any(l.startswith("ldr") and "#40]" in l for l in body)
+
+    def test_unit_stride_differs_by_isa(self):
+        rv_body = kernel_lines(compile_to_asm(COPY_SRC, "rv64", "gcc12"))
+        arm_body = kernel_lines(compile_to_asm(COPY_SRC, "aarch64", "gcc12"))
+        # RISC-V: two pointer bumps; AArch64: one index increment
+        assert sum(1 for l in rv_body if l.startswith("addi")) == 2
+        assert sum(1 for l in arm_body if l.startswith("add ")) == 1
+
+
+class TestBranchLowering:
+    BRANCHY = """
+global long flags[100];
+global long out;
+func long main() {
+  long hits = 0;
+  for (long j = 0; j < 100; j = j + 1) {
+    if (flags[j] == 3) { hits = hits + 1; }
+  }
+  out = hits;
+  return 0;
+}
+"""
+
+    def test_riscv_fused_compare_branch(self):
+        body = kernel_lines(compile_to_asm(self.BRANCHY, "rv64", "gcc12"))
+        text = "\n".join(body)
+        assert "cmp" not in text            # no flags register on RISC-V
+        assert any(l.startswith(("bne", "beq")) for l in body)
+
+    def test_aarch64_needs_nzcv_setter(self):
+        body = kernel_lines(compile_to_asm(self.BRANCHY, "aarch64", "gcc12"))
+        cmps = [l for l in body if l.startswith("cmp")]
+        conds = [l for l in body if l.startswith("b.")]
+        # one cmp for the if, one for the loop exit; matching b.cond count
+        assert len(cmps) == 2
+        assert len(conds) == 2
+
+    def test_riscv_body_shorter_for_branchy_code(self):
+        rv = kernel_lines(compile_to_asm(self.BRANCHY, "rv64", "gcc12"))
+        arm = kernel_lines(compile_to_asm(self.BRANCHY, "aarch64", "gcc12"))
+        assert len(rv) < len(arm)
+
+
+class TestPointerExitElimination:
+    def test_iv_eliminated_when_unused(self):
+        """Listing 2 has no induction counter at all: the exit test runs on
+        a pointer against a precomputed end pointer."""
+        asm = compile_to_asm(COPY_SRC, "rv64", "gcc12")
+        body = kernel_lines(asm)
+        # exactly 2 addis (two array pointers), none adding 1 (a counter)
+        addis = [l for l in body if l.startswith("addi")]
+        assert all(l.rstrip().endswith("8") for l in addis)
+
+    def test_iv_kept_when_used_in_body(self):
+        src = """
+global double a[100];
+func long main() {
+  for (long j = 0; j < 100; j = j + 1) {
+    a[j] = (double)(j);
+  }
+  return 0;
+}
+"""
+        body = kernel_lines(compile_to_asm(src, "rv64", "gcc12"))
+        assert any(re.match(r"addi (\S+), \1, 1$", l) for l in body)
+
+
+class TestLoopInvariantHoisting:
+    def test_global_scalar_hoisted(self):
+        src = """
+global double scalar = 3.0;
+global double b[100];
+global double c[100];
+func long main() {
+  for (long j = 0; j < 100; j = j + 1) {
+    b[j] = scalar * c[j];
+  }
+  return 0;
+}
+"""
+        body = kernel_lines(compile_to_asm(src, "rv64", "gcc12"))
+        # the scalar load must not be inside the loop
+        assert not any("scalar" in l for l in body)
+        # fld, fmul, fsd, two pointer bumps, fused exit branch
+        assert len(body) == 6
+        assert not any(l.startswith("ld") for l in body)
+
+    def test_fp_constant_hoisted(self):
+        src = """
+global double b[100];
+func long main() {
+  for (long j = 0; j < 100; j = j + 1) {
+    b[j] = b[j] * 1.2345;
+  }
+  return 0;
+}
+"""
+        body = kernel_lines(compile_to_asm(src, "rv64", "gcc12"))
+        assert not any(".LC" in l for l in body)
+
+    def test_invariant_index_arith_hoisted(self):
+        src = """
+global double g[100];
+global long row = 3;
+global double out;
+func long main() {
+  double total = 0.0;
+  for (long j = 0; j < 10; j = j + 1) {
+    total = total + g[row * 10 + j];
+  }
+  out = total;
+  return 0;
+}
+"""
+        body = kernel_lines(compile_to_asm(src, "rv64", "gcc12"))
+        assert not any(l.startswith("mul") for l in body)
+
+
+class TestLocalCse:
+    CSE_SRC = """
+global double s0[100];
+global double s1[100];
+global double s2[100];
+global long idxs[100];
+global double out;
+func long main() {
+  double total = 0.0;
+  for (long j = 0; j < 10; j = j + 1) {
+    long k = idxs[j];
+    total = total + s0[k * 7 + 1] + s1[k * 7 + 1] + s2[k * 7 + 1];
+  }
+  out = total;
+  return 0;
+}
+"""
+
+    def count_index_muls(self, isa, profile):
+        body = kernel_lines(compile_to_asm(self.CSE_SRC, isa, profile))
+        return sum(1 for l in body if l.split()[0] in ("mul", "madd"))
+
+    @pytest.mark.parametrize("isa", ["rv64", "aarch64"])
+    def test_gcc12_shares_index_computation(self, isa):
+        assert self.count_index_muls(isa, "gcc12") < self.count_index_muls(isa, "gcc9")
+
+    def test_results_identical_between_profiles(self):
+        from tests.conftest import compile_and_run
+        values = set()
+        for isa in ("rv64", "aarch64"):
+            for profile in ("gcc9", "gcc12"):
+                _r, machine, compiled = compile_and_run(self.CSE_SRC, isa, profile)
+                values.add(machine.memory.load_f64(compiled.image.symbol("out")))
+        assert len(values) == 1
+
+
+class TestRegisterPressure:
+    def test_many_locals_spill_correctly(self):
+        """More locals than registers: results must still be exact."""
+        decls = "\n".join(f"  long v{i} = {i + 1};" for i in range(40))
+        total = " + ".join(f"v{i}" for i in range(40))
+        src = f"""
+global long out;
+func long main() {{
+{decls}
+  out = {total};
+  return 0;
+}}
+"""
+        from tests.conftest import compile_and_run
+        for isa in ("rv64", "aarch64"):
+            _r, machine, compiled = compile_and_run(src, isa, "gcc12")
+            got = machine.memory.load(compiled.image.symbol("out"), 8)
+            assert got == sum(range(1, 41))
+
+    def test_deep_expression(self):
+        expr = "1"
+        for i in range(2, 9):
+            expr = f"({expr} + {i})"
+        src = f"global long out; func long main() {{ out = {expr}; return 0; }}"
+        from tests.conftest import compile_and_run
+        for isa in ("rv64", "aarch64"):
+            _r, machine, compiled = compile_and_run(src, isa, "gcc9")
+            assert machine.memory.load(compiled.image.symbol("out"), 8) == 36

@@ -1,0 +1,150 @@
+"""Compiler robustness: error paths and degraded-but-correct code generation."""
+
+import pytest
+
+from repro.common import CompilerError
+from repro.compiler import compile_source, compile_to_asm, get_profile
+from repro.compiler.profiles import PROFILES, Profile
+from tests.conftest import compile_and_run
+
+
+class TestProfiles:
+    def test_lookup(self):
+        assert get_profile("gcc9").name == "gcc9"
+        assert get_profile("GCC12").name == "gcc12"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_profile("gcc4")
+
+    def test_profile_fields(self):
+        gcc9, gcc12 = PROFILES["gcc9"], PROFILES["gcc12"]
+        assert not gcc9.local_cse and gcc12.local_cse
+        assert not gcc9.hoist_const_bounds and gcc12.hoist_const_bounds
+        assert gcc9.max_streams is not None and gcc12.max_streams is None
+
+    def test_custom_profile_object_accepted(self):
+        custom = Profile(name="custom", local_cse=True,
+                         hoist_const_bounds=False, max_streams=3)
+        src = "global long out; func long main() { out = 1; return 0; }"
+        compiled = compile_source(src, "rv64", custom)
+        assert compiled.profile.name == "custom"
+
+
+class TestDriverErrors:
+    def test_unknown_isa(self):
+        with pytest.raises(ValueError):
+            compile_to_asm("func long main() { return 0; }", "x86_64")
+
+    def test_frontend_errors_carry_lines(self):
+        with pytest.raises(CompilerError) as err:
+            compile_to_asm("func long main() {\n  return nope;\n}", "rv64")
+        assert "line 2" in str(err.value)
+
+
+class TestRegisterPressureDegradation:
+    """When register pools run dry, code must degrade, not break."""
+
+    def test_many_arrays_in_one_loop(self):
+        n = 16
+        decls = "\n".join(f"global double a{i}[8];" for i in range(n))
+        writes = "\n".join(f"    a{i}[j] = (double)(j + {i});"
+                           for i in range(n))
+        src = f"""
+{decls}
+global double out;
+func long main() {{
+  for (long j = 0; j < 8; j = j + 1) {{
+{writes}
+  }}
+  double total = 0.0;
+  for (long j = 0; j < 8; j = j + 1) {{
+    total = total + a0[j] + a{n - 1}[j];
+  }}
+  out = total;
+  return 0;
+}}
+"""
+        expected = sum(float(j) + float(j + n - 1) for j in range(8))
+        for isa in ("rv64", "aarch64"):
+            for profile in ("gcc9", "gcc12"):
+                _r, machine, compiled = compile_and_run(src, isa, profile)
+                got = machine.memory.load_f64(compiled.image.symbol("out"))
+                assert got == expected, (isa, profile)
+
+    def test_deeply_nested_loops(self):
+        src = """
+global long out;
+func long main() {
+  long total = 0;
+  for (long a = 0; a < 3; a = a + 1) {
+    for (long b = 0; b < 3; b = b + 1) {
+      for (long c = 0; c < 3; c = c + 1) {
+        for (long d = 0; d < 3; d = d + 1) {
+          for (long e = 0; e < 3; e = e + 1) {
+            total = total + a + b + c + d + e;
+          }
+        }
+      }
+    }
+  }
+  out = total;
+  return 0;
+}
+"""
+        expected = sum(a + b + c + d + e
+                       for a in range(3) for b in range(3) for c in range(3)
+                       for d in range(3) for e in range(3))
+        for isa in ("rv64", "aarch64"):
+            _r, machine, compiled = compile_and_run(src, isa, "gcc12")
+            assert machine.memory.load(compiled.image.symbol("out"), 8) == expected
+
+    def test_many_fp_locals_with_calls(self):
+        """Non-leaf function: locals must survive the calls (callee-saved
+        homes or stack slots)."""
+        decls = "\n".join(f"  double v{i} = {i}.5;" for i in range(20))
+        uses = " + ".join(f"v{i}" for i in range(20))
+        src = f"""
+global double out;
+func double bump(double x) {{ return x + 1.0; }}
+func long main() {{
+{decls}
+  double extra = bump(bump(bump(0.0)));
+  out = {uses} + extra;
+  return 0;
+}}
+"""
+        expected = sum(i + 0.5 for i in range(20)) + 3.0
+        for isa in ("rv64", "aarch64"):
+            _r, machine, compiled = compile_and_run(src, isa, "gcc9")
+            got = machine.memory.load_f64(compiled.image.symbol("out"))
+            assert got == expected
+
+
+class TestGcc9StreamBudget:
+    def test_max_streams_demotes_not_breaks(self):
+        """gcc9's 5-stream budget: a 8-array loop still computes correctly
+        and its asm contains generic (recomputed-address) accesses."""
+        n = 8
+        decls = "\n".join(f"global double b{i}[16];" for i in range(n))
+        body = "\n".join(f"    b{i}[j] = b{i}[j] + 1.0;" for i in range(n))
+        src = f"""
+{decls}
+global double out;
+func long main() {{
+  for (long j = 0; j < 16; j = j + 1) {{
+{body}
+  }}
+  out = b7[3];
+  return 0;
+}}
+"""
+        asm9 = compile_to_asm(src, "rv64", "gcc9")
+        asm12 = compile_to_asm(src, "rv64", "gcc12")
+        # gcc9 emits strictly more address arithmetic in the loop
+        count9 = asm9.count("slli")
+        count12 = asm12.count("slli")
+        assert count9 > count12
+        for profile in ("gcc9", "gcc12"):
+            _r, machine, compiled = compile_and_run(src, "rv64", profile)
+            assert machine.memory.load_f64(compiled.image.symbol("out")) == 1.0

@@ -1,0 +1,261 @@
+"""kernelc front-end tests: lexer, parser, semantic analysis, passes."""
+
+import pytest
+
+from repro.common import CompilerError
+from repro.compiler import ast_nodes as A
+from repro.compiler.lexer import tokenize
+from repro.compiler.parser import parse
+from repro.compiler.passes import fold_constants, hoist_calls
+from repro.compiler.sema import analyze
+
+
+def parsed(src):
+    program = parse(src)
+    analyze(program)
+    return program
+
+
+class TestLexer:
+    def test_numbers(self):
+        tokens = tokenize("42 0x1F 2.5 1e-3 .5")
+        kinds = [(t.kind, t.value) for t in tokens[:-1]]
+        assert kinds == [
+            ("int", 42), ("int", 31), ("float", 2.5), ("float", 1e-3),
+            ("float", 0.5),
+        ]
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("for fortress long longing")
+        assert [t.kind for t in tokens[:-1]] == [
+            "keyword", "ident", "keyword", "ident"
+        ]
+
+    def test_operators_maximal_munch(self):
+        tokens = tokenize("a<<b <= c < d == e")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["<<", "<=", "<", "=="]
+
+    def test_comments(self):
+        tokens = tokenize("a // comment\nb /* block\nspans */ c")
+        assert [t.text for t in tokens[:-1]] == ["a", "b", "c"]
+
+    def test_string_literal(self):
+        tokens = tokenize('region "my kernel"')
+        assert tokens[1].kind == "string"
+        assert tokens[1].value == "my kernel"
+
+    def test_errors(self):
+        with pytest.raises(CompilerError):
+            tokenize('"unterminated')
+        with pytest.raises(CompilerError):
+            tokenize("/* unterminated")
+        with pytest.raises(CompilerError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_precedence(self):
+        program = parse("func long main() { return 2 + 3 * 4; }")
+        ret = program.function("main").body[0]
+        assert isinstance(ret.value, A.Binary) and ret.value.op == "+"
+        assert isinstance(ret.value.right, A.Binary) and ret.value.right.op == "*"
+
+    def test_parentheses(self):
+        program = parse("func long main() { return (2 + 3) * 4; }")
+        ret = program.function("main").body[0]
+        assert ret.value.op == "*"
+
+    def test_cast_vs_paren(self):
+        program = parse(
+            "func long main() { double d = (double)(3); return (3); }"
+        )
+        decl = program.function("main").body[0]
+        assert isinstance(decl.init, A.Cast)
+
+    def test_globals_with_initializers(self):
+        program = parse("""
+global double arr[4] = { 1.0, 2.0 };
+global long n = 7;
+global double s;
+func long main() { return 0; }
+""")
+        arr, n, s = program.globals
+        assert arr.array_size == 4 and arr.init_list == [1.0, 2.0]
+        assert n.init_scalar == 7
+        assert s.init_scalar is None
+
+    def test_region_statement(self):
+        program = parse(
+            'func void f() { region "k" { long x = 1; } } func long main() { return 0; }'
+        )
+        region = program.function("f").body[0]
+        assert isinstance(region, A.RegionStmt) and region.name == "k"
+
+    def test_bare_block(self):
+        program = parse("func long main() { { long x = 1; } return 0; }")
+        assert isinstance(program.function("main").body[0], A.BlockStmt)
+
+    def test_else_if_chain(self):
+        program = parse("""
+func long main() {
+  long x = 1;
+  if (x < 0) { x = 0; } else if (x > 10) { x = 10; } else { x = 5; }
+  return x;
+}
+""")
+        stmt = program.function("main").body[1]
+        assert isinstance(stmt.else_body[0], A.IfStmt)
+
+    def test_syntax_errors(self):
+        with pytest.raises(CompilerError):
+            parse("func long main() { return 0 }")  # missing ;
+        with pytest.raises(CompilerError):
+            parse("func long main( { }")
+        with pytest.raises(CompilerError):
+            parse("global long a[0]; func long main() { return 0; }")
+
+
+class TestSema:
+    def test_undefined_variable(self):
+        with pytest.raises(CompilerError):
+            parsed("func long main() { return nope; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompilerError):
+            parsed("func long main() { return f(); }")
+
+    def test_type_mismatch_assignment(self):
+        with pytest.raises(CompilerError):
+            parsed("func long main() { long x = 1.5; return x; }")
+
+    def test_implicit_long_to_double(self):
+        program = parsed("func long main() { double d = 3; return 0; }")
+        decl = program.function("main").body[0]
+        assert isinstance(decl.init, A.Cast)
+        assert decl.init.type == A.DOUBLE
+
+    def test_mixed_arithmetic_promotes(self):
+        program = parsed(
+            "func double f(double d) { return d + 1; } func long main() { return 0; }"
+        )
+        ret = program.function("f").body[0]
+        assert ret.value.right.type == A.DOUBLE
+
+    def test_double_condition_rejected(self):
+        with pytest.raises(CompilerError):
+            parsed("func long main() { double d = 1.0; if (d) { } return 0; }")
+
+    def test_modulo_needs_longs(self):
+        with pytest.raises(CompilerError):
+            parsed("func long main() { double d = 1.0; return (long)(d % 2.0); }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompilerError):
+            parsed("func long main() { break; return 0; }")
+
+    def test_block_scoping_allows_sibling_redecl(self):
+        parsed("""
+func long main() {
+  for (long j = 0; j < 2; j = j + 1) { }
+  for (long j = 0; j < 2; j = j + 1) { }
+  return 0;
+}
+""")
+
+    def test_shadowing_rejected(self):
+        with pytest.raises(CompilerError):
+            parsed("func long main() { long x = 1; { long x = 2; } return x; }")
+
+    def test_arg_count_checked(self):
+        with pytest.raises(CompilerError):
+            parsed("""
+func long f(long a, long b) { return a; }
+func long main() { return f(1); }
+""")
+
+    def test_array_used_without_index(self):
+        with pytest.raises(CompilerError):
+            parsed("global double a[4]; func long main() { return (long)(a); }")
+
+    def test_missing_main(self):
+        with pytest.raises(CompilerError):
+            parsed("func long f() { return 0; }")
+
+
+class TestCanonicalIvDetection:
+    def get_loop(self, src):
+        program = parsed(src)
+        return program.function("main").body[0]
+
+    def test_simple_for_detected(self):
+        loop = self.get_loop(
+            "func long main() { for (long j = 0; j < 10; j = j + 1) { } return 0; }"
+        )
+        assert loop.iv_name == "j" and loop.iv_step == 1
+
+    def test_step_detected(self):
+        loop = self.get_loop(
+            "func long main() { for (long j = 0; j < 10; j = j + 3) { } return 0; }"
+        )
+        assert loop.iv_step == 3
+
+    def test_iv_modified_in_body_rejected(self):
+        loop = self.get_loop("""
+func long main() {
+  for (long j = 0; j < 10; j = j + 1) { j = j + 1; }
+  return 0;
+}
+""")
+        assert loop.iv_name is None
+
+    def test_non_additive_update_rejected(self):
+        loop = self.get_loop(
+            "func long main() { for (long j = 1; j < 99; j = j * 2) { } return 0; }"
+        )
+        assert loop.iv_name is None
+
+    def test_le_condition_accepted(self):
+        loop = self.get_loop(
+            "func long main() { for (long j = 0; j <= 9; j = j + 1) { } return 0; }"
+        )
+        assert loop.iv_name == "j"
+
+
+class TestPasses:
+    def test_constant_folding(self):
+        program = parsed("func long main() { return 2 * 3 + (8 >> 1); }")
+        fold_constants(program)
+        ret = program.function("main").body[0]
+        assert isinstance(ret.value, A.IntLit) and ret.value.value == 10
+
+    def test_fold_unary_and_cast(self):
+        program = parsed("func double f() { return (double)(6); } func long main() { return -(-5); }")
+        fold_constants(program)
+        assert program.function("main").body[0].value.value == 5
+        assert isinstance(program.function("f").body[0].value, A.FloatLit)
+
+    def test_fold_division_truncates(self):
+        program = parsed("func long main() { return -7 / 2; }")
+        fold_constants(program)
+        assert program.function("main").body[0].value.value == -3
+
+    def test_call_hoisting(self):
+        program = parsed("""
+func long f(long x) { return x + 1; }
+func long main() { return f(1) + f(2); }
+""")
+        hoist_calls(program)
+        body = program.function("main").body
+        # two synthetic decls precede the return
+        assert isinstance(body[0], A.DeclStmt) and body[0].name.startswith("__call")
+        assert isinstance(body[1], A.DeclStmt)
+        assert isinstance(body[2], A.ReturnStmt)
+
+    def test_call_in_while_cond_rejected(self):
+        program = parsed("""
+func long f() { return 0; }
+func long main() { while (f() < 1) { } return 0; }
+""")
+        with pytest.raises(CompilerError):
+            hoist_calls(program)

@@ -1,0 +1,213 @@
+"""Property-based compiler correctness: random programs vs Python semantics.
+
+Hypothesis generates random integer expression trees; the same expression is
+evaluated by Python (with C-style semantics for division and shifts) and by
+the compiled binary on both ISAs under both profiles. Any divergence —
+parser, code generation, register allocation, ISA semantics, simulator —
+fails the property.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common import u64, s64
+from tests.conftest import compile_and_run
+
+# variables available to generated expressions, with fixed values
+VARS = {"va": 13, "vb": -7, "vc": 1000003, "vd": -2}
+
+
+class Node:
+    """Expression tree that can render to kernelc and evaluate in Python."""
+
+    def __init__(self, op, left=None, right=None, value=None):
+        self.op = op
+        self.left = left
+        self.right = right
+        self.value = value
+
+    def render(self) -> str:
+        if self.op == "lit":
+            return str(self.value)
+        if self.op == "var":
+            return self.value
+        if self.op == "neg":
+            return f"(-{self.left.render()})"
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+    def evaluate(self) -> int:
+        if self.op == "lit":
+            return self.value
+        if self.op == "var":
+            return VARS[self.value]
+        if self.op == "neg":
+            return s64(u64(-self.left.evaluate()))
+        a = self.left.evaluate()
+        b = self.right.evaluate()
+        if self.op == "+":
+            return s64(u64(a + b))
+        if self.op == "-":
+            return s64(u64(a - b))
+        if self.op == "*":
+            return s64(u64(a * b))
+        if self.op == "&":
+            return s64(u64(a) & u64(b))
+        if self.op == "|":
+            return s64(u64(a) | u64(b))
+        if self.op == "^":
+            return s64(u64(a) ^ u64(b))
+        if self.op == "<<":
+            return s64(u64(a << (b & 7)))
+        if self.op == ">>":
+            return a >> (b & 7)  # arithmetic shift on signed a
+        if self.op == "/":
+            if b == 0:
+                return 0  # avoided by construction
+            q = abs(a) // abs(b)
+            return -q if (a < 0) != (b < 0) else q
+        if self.op == "%":
+            if b == 0:
+                return 0
+            q = abs(a) // abs(b)
+            q = -q if (a < 0) != (b < 0) else q
+            return s64(u64(a - q * b))
+        raise AssertionError(self.op)
+
+
+def _shift_safe(node: Node) -> Node:
+    """Mask shift amounts to 0..7 so Python and hardware agree."""
+    masked = Node("&", node, Node("lit", value=7))
+    return masked
+
+
+_leaf = st.one_of(
+    st.integers(min_value=-1000, max_value=1000).map(lambda v: Node("lit", value=v)),
+    st.sampled_from(sorted(VARS)).map(lambda n: Node("var", value=n)),
+)
+
+
+def _combine(children):
+    safe_ops = st.sampled_from(["+", "-", "*", "&", "|", "^"])
+    shift_ops = st.sampled_from(["<<", ">>"])
+    div_ops = st.sampled_from(["/", "%"])
+    return st.one_of(
+        st.tuples(safe_ops, children, children).map(
+            lambda t: Node(t[0], t[1], t[2])
+        ),
+        st.tuples(shift_ops, children, children).map(
+            lambda t: Node(t[0], t[1], _shift_safe(t[2]))
+        ),
+        # divisor made non-zero: (d | 1) after masking to a small range
+        st.tuples(div_ops, children, children).map(
+            lambda t: Node(
+                t[0], t[1],
+                Node("|", Node("&", t[2], Node("lit", value=255)),
+                     Node("lit", value=1)),
+            )
+        ),
+        children.map(lambda c: Node("neg", c)),
+    )
+
+
+_exprs = st.recursive(_leaf, _combine, max_leaves=12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_exprs)
+def test_random_integer_expressions(expr):
+    decls = "\n".join(f"  long {name} = {value};" for name, value in VARS.items())
+    src = f"""
+global long out;
+func long main() {{
+{decls}
+  out = {expr.render()};
+  return 0;
+}}
+"""
+    expected = expr.evaluate()
+    for isa in ("rv64", "aarch64"):
+        for profile in ("gcc9", "gcc12"):
+            _r, machine, compiled = compile_and_run(src, isa, profile)
+            got = machine.memory.load(compiled.image.symbol("out"), 8, signed=True)
+            assert got == expected, (
+                f"{isa}/{profile}: {expr.render()} = {got}, expected {expected}"
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=12),
+    st.integers(min_value=1, max_value=3),
+)
+def test_random_array_reduction(values, step):
+    """Sum every `step`-th element of a random array, both ISAs."""
+    literals = ", ".join(str(v) for v in values)
+    n = len(values)
+    src = f"""
+global long data[{n}] = {{ {literals} }};
+global long out;
+func long main() {{
+  long total = 0;
+  for (long j = 0; j < {n}; j = j + {step}) {{
+    total = total + data[j];
+  }}
+  out = total;
+  return 0;
+}}
+"""
+    expected = sum(values[::step])
+    for isa in ("rv64", "aarch64"):
+        _r, machine, compiled = compile_and_run(src, isa, "gcc12")
+        got = machine.memory.load(compiled.image.symbol("out"), 8, signed=True)
+        assert got == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=10))
+def test_random_double_reduction_exact(values):
+    """FP serial sums must match Python's exactly (same IEEE-754 ops)."""
+    literals = ", ".join(repr(v) for v in values)
+    n = len(values)
+    src = f"""
+global double data[{n}] = {{ {literals} }};
+global double out;
+func long main() {{
+  double total = 0.0;
+  for (long j = 0; j < {n}; j = j + 1) {{
+    total = total + data[j];
+  }}
+  out = total;
+  return 0;
+}}
+"""
+    expected = 0.0
+    for v in values:
+        expected = expected + v
+    for isa in ("rv64", "aarch64"):
+        _r, machine, compiled = compile_and_run(src, isa, "gcc9")
+        got = machine.memory.load_f64(compiled.image.symbol("out"))
+        assert got == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=60),
+       st.integers(min_value=1, max_value=60))
+def test_loop_trip_counts(start, extent):
+    """Loop bounds: every (start, bound) combination iterates exactly
+    max(0, bound-start) times on both ISAs and both profiles."""
+    bound = start + extent - 30  # sometimes negative extent -> zero trips
+    src = f"""
+global long out;
+func long main() {{
+  long n = 0;
+  for (long j = {start}; j < {bound}; j = j + 1) {{ n = n + 1; }}
+  out = n;
+  return 0;
+}}
+"""
+    expected = max(0, bound - start)
+    for isa in ("rv64", "aarch64"):
+        for profile in ("gcc9", "gcc12"):
+            _r, machine, compiled = compile_and_run(src, isa, profile)
+            got = machine.memory.load(compiled.image.symbol("out"), 8)
+            assert got == expected

@@ -1,0 +1,114 @@
+"""Tests for the explicit dependence DAG, cross-validating the CP probe."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import CriticalPathProbe
+from repro.analysis.dag import DependenceDAGProbe
+from repro.sim.config import load_core_model
+from repro.workloads import run_workload
+from repro.workloads.stream import Stream, StreamParams
+from tests.test_analysis import fake_inst
+
+
+class TestHandBuilt:
+    def test_serial_chain(self):
+        probe = DependenceDAGProbe()
+        for _ in range(4):
+            probe.on_retire(fake_inst(srcs=(1,), dsts=(1,)), (), ())
+        assert probe.critical_path_length() == 4
+        assert probe.critical_path_nodes() == [0, 1, 2, 3]
+
+    def test_diamond(self):
+        probe = DependenceDAGProbe()
+        probe.on_retire(fake_inst(dsts=(1,)), (), ())
+        probe.on_retire(fake_inst(srcs=(1,), dsts=(2,)), (), ())
+        probe.on_retire(fake_inst(srcs=(1,), dsts=(3,)), (), ())
+        probe.on_retire(fake_inst(srcs=(2, 3), dsts=(4,)), (), ())
+        assert probe.critical_path_length() == 3
+        graph = probe.to_networkx()
+        assert graph.number_of_edges() == 4
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_memory_edges(self):
+        probe = DependenceDAGProbe()
+        probe.on_retire(fake_inst(dsts=(1,)), (), ())
+        probe.on_retire(fake_inst(srcs=(1,), is_store=True), (), [(64, 8)])
+        probe.on_retire(fake_inst(dsts=(2,), is_load=True), [(64, 8)], ())
+        assert probe.to_networkx().has_edge(1, 2)
+        assert probe.critical_path_length() == 3
+
+    def test_limit_stops_recording(self):
+        probe = DependenceDAGProbe(limit=5)
+        for _ in range(20):
+            probe.on_retire(fake_inst(srcs=(1,), dsts=(1,)), (), ())
+        assert probe.count == 5
+        assert probe.critical_path_length() == 5
+
+    def test_stats(self):
+        probe = DependenceDAGProbe()
+        for reg in (1, 2, 3):
+            probe.on_retire(fake_inst(dsts=(reg,)), (), ())
+        probe.on_retire(fake_inst(srcs=(1, 2, 3), dsts=(4,)), (), ())
+        stats = probe.stats()
+        assert stats.nodes == 4
+        assert stats.critical_path == 2
+        assert stats.width_histogram == {1: 3, 2: 1}
+        assert stats.ilp == 2.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(
+        st.lists(st.integers(min_value=1, max_value=6), max_size=3),
+        st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=2),
+    ),
+    min_size=1, max_size=60,
+))
+def test_dag_matches_streaming_probe(trace):
+    """The DAG's longest path must equal the streaming CP on any trace."""
+    dag = DependenceDAGProbe()
+    streaming = CriticalPathProbe()
+    for srcs, dsts in trace:
+        inst = fake_inst(srcs=srcs, dsts=dsts)
+        dag.on_retire(inst, (), ())
+        streaming.on_retire(inst, (), ())
+    assert dag.critical_path_length() == streaming.result().critical_path
+
+
+class TestOnRealProgram:
+    def test_cross_validation_stream(self):
+        dag = DependenceDAGProbe(limit=100_000)
+        streaming = CriticalPathProbe()
+        run_workload(Stream(StreamParams(n=64, ntimes=1)), "rv64", "gcc12",
+                     [dag, streaming])
+        assert dag.count == streaming.instructions
+        assert dag.critical_path_length() == streaming.result().critical_path
+
+    def test_weighted_cross_validation(self):
+        model = load_core_model("tx2-riscv")
+        dag = DependenceDAGProbe(limit=100_000, model=model)
+        streaming = CriticalPathProbe(model)
+        run_workload(Stream(StreamParams(n=64, ntimes=1)), "rv64", "gcc12",
+                     [dag, streaming])
+        assert dag.critical_path_length() == streaming.result().critical_path
+
+    def test_critical_nodes_form_a_chain(self):
+        dag = DependenceDAGProbe(limit=100_000)
+        run_workload(Stream(StreamParams(n=32, ntimes=1)), "aarch64", "gcc12",
+                     [dag])
+        chain = dag.critical_path_nodes()
+        graph = dag.to_networkx()
+        weights = sum(graph.nodes[n]["weight"] for n in chain)
+        assert weights == dag.critical_path_length()
+        for a, b in zip(chain, chain[1:]):
+            assert graph.has_edge(a, b)
+
+    def test_dag_is_acyclic_and_forward(self):
+        dag = DependenceDAGProbe(limit=100_000)
+        run_workload(Stream(StreamParams(n=16, ntimes=1)), "rv64", "gcc9",
+                     [dag])
+        graph = dag.to_networkx()
+        assert nx.is_directed_acyclic_graph(graph)
+        assert all(a < b for a, b in graph.edges)

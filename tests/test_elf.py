@@ -1,0 +1,121 @@
+"""Tests for the static-ELF64 writer/reader round trip."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.common import LoaderError
+from repro.loader import (
+    EM_AARCH64,
+    EM_RISCV,
+    build_elf,
+    load_elf,
+    program_to_image,
+)
+
+SRC = """
+    .text
+    .global _start
+_start:
+    nop
+    .region kern
+    nop
+    .endregion
+    .data
+value:
+    .dword 0x1122334455667788
+"""
+
+
+@pytest.fixture(scope="module")
+def rv_prog(rv64=None):
+    from repro.isa import get_isa
+    return assemble(SRC, get_isa("rv64"))
+
+
+class TestWriter:
+    def test_magic_and_class(self, rv_prog):
+        blob = build_elf(rv_prog)
+        assert blob[:4] == b"\x7fELF"
+        assert blob[4] == 2       # ELFCLASS64
+        assert blob[5] == 1       # little-endian
+
+    def test_machine_ids(self, rv64, aarch64):
+        rv = assemble(SRC, rv64)
+        assert load_elf(build_elf(rv)).isa_name == "rv64"
+        arm_src = SRC.replace("nop", "nop")
+        arm = assemble(arm_src, aarch64)
+        assert load_elf(build_elf(arm)).isa_name == "aarch64"
+
+    def test_machine_field_values(self, rv_prog):
+        import struct
+        blob = build_elf(rv_prog)
+        machine = struct.unpack_from("<H", blob, 18)[0]
+        assert machine == EM_RISCV
+        assert EM_AARCH64 == 183
+
+
+class TestRoundTrip:
+    def test_entry_preserved(self, rv_prog):
+        image = load_elf(build_elf(rv_prog))
+        assert image.entry == rv_prog.entry
+
+    def test_symbols_preserved(self, rv_prog):
+        image = load_elf(build_elf(rv_prog))
+        for name, addr in rv_prog.symbols.items():
+            assert image.symbols[name] == addr
+
+    def test_regions_preserved(self, rv_prog):
+        image = load_elf(build_elf(rv_prog))
+        assert len(image.regions) == 1
+        assert image.regions[0].name == "kern"
+        assert image.regions[0] == rv_prog.regions[0]
+
+    def test_segment_contents(self, rv_prog):
+        image = load_elf(build_elf(rv_prog))
+        segs = {vaddr: data for vaddr, data, _fl in image.segments}
+        text = rv_prog.sections[".text"]
+        data = rv_prog.sections[".data"]
+        assert segs[text.addr] == bytes(text.data)
+        assert segs[data.addr] == bytes(data.data)
+
+    def test_loads_into_memory(self, rv_prog):
+        from repro.loader import load_program
+        from repro.sim import Memory
+        image = program_to_image(rv_prog)
+        memory = Memory()
+        load_program(image, memory)
+        assert memory.load(image.symbol("value"), 8) == 0x1122334455667788
+
+    def test_double_roundtrip_stable(self, rv_prog):
+        blob = build_elf(rv_prog)
+        image1 = load_elf(blob)
+        image2 = load_elf(blob)
+        assert image1.symbols == image2.symbols
+        assert image1.segments == image2.segments
+
+
+class TestReaderErrors:
+    def test_not_elf(self):
+        with pytest.raises(LoaderError):
+            load_elf(b"not an elf at all, nope")
+
+    def test_truncated(self, rv_prog):
+        with pytest.raises(LoaderError):
+            load_elf(build_elf(rv_prog)[:10])
+
+    def test_wrong_endianness_rejected(self, rv_prog):
+        blob = bytearray(build_elf(rv_prog))
+        blob[5] = 2  # big-endian
+        with pytest.raises(LoaderError):
+            load_elf(bytes(blob))
+
+    def test_unknown_machine_rejected(self, rv_prog):
+        blob = bytearray(build_elf(rv_prog))
+        blob[18] = 0x03  # EM_386
+        with pytest.raises(LoaderError):
+            load_elf(bytes(blob))
+
+    def test_missing_symbol_lookup(self, rv_prog):
+        image = load_elf(build_elf(rv_prog))
+        with pytest.raises(LoaderError):
+            image.symbol("does_not_exist")

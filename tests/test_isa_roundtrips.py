@@ -1,0 +1,188 @@
+"""Encode/decode round-trip properties for both ISAs' codecs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import DecodeError, EncodingError
+from repro.isa.riscv import encoding as rve
+from repro.isa.aarch64 import encoding as a64e
+
+
+class TestRiscvImmediateCodecs:
+    @given(st.integers(min_value=-(1 << 11), max_value=(1 << 11) - 1))
+    def test_i_type(self, imm):
+        word = rve.encode_i(rve.OP_IMM, 1, 0, 2, imm)
+        assert rve.decode_imm_i(word) == imm
+
+    @given(st.integers(min_value=-(1 << 11), max_value=(1 << 11) - 1))
+    def test_s_type(self, imm):
+        word = rve.encode_s(rve.OP_STORE, 3, 4, 5, imm)
+        assert rve.decode_imm_s(word) == imm
+
+    @given(st.integers(min_value=-(1 << 11), max_value=(1 << 11) - 1))
+    def test_b_type(self, half):
+        offset = half * 2
+        word = rve.encode_b(rve.OP_BRANCH, 0, 1, 2, offset)
+        assert rve.decode_imm_b(word) == offset
+
+    @given(st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1))
+    def test_u_type(self, imm20):
+        word = rve.encode_u(rve.OP_LUI, 7, imm20)
+        assert rve.decode_imm_u(word) == imm20
+
+    @given(st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1))
+    def test_j_type(self, half):
+        offset = half * 2
+        word = rve.encode_j(rve.OP_JAL, 1, offset)
+        assert rve.decode_imm_j(word) == offset
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(EncodingError):
+            rve.encode_i(rve.OP_IMM, 1, 0, 2, 2048)
+        with pytest.raises(EncodingError):
+            rve.encode_b(rve.OP_BRANCH, 0, 1, 2, 3)  # odd offset
+        with pytest.raises(EncodingError):
+            rve.encode_j(rve.OP_JAL, 1, 1 << 21)
+
+
+class TestRiscvFullDecode:
+    """Every entry in the encoding tables decodes back to its mnemonic."""
+
+    @pytest.mark.parametrize("name", sorted(rve.R_TYPE))
+    def test_r_type_decodes(self, rv64, name):
+        op, f3, f7 = rve.R_TYPE[name]
+        word = rve.encode_r(op, 10, f3, 11, 12, f7)
+        assert rv64.decode(word, 0).mnemonic == name
+
+    @pytest.mark.parametrize("name", sorted(rve.LOADS))
+    def test_loads_decode(self, rv64, name):
+        f3, _size, _signed, fp = rve.LOADS[name]
+        opcode = rve.OP_LOAD_FP if fp else rve.OP_LOAD
+        word = rve.encode_i(opcode, 5, f3, 6, 16)
+        inst = rv64.decode(word, 0)
+        assert inst.mnemonic == name
+        assert inst.is_load
+
+    @pytest.mark.parametrize("name", sorted(rve.STORES))
+    def test_stores_decode(self, rv64, name):
+        f3, _size, fp = rve.STORES[name]
+        opcode = rve.OP_STORE_FP if fp else rve.OP_STORE
+        word = rve.encode_s(opcode, f3, 6, 7, -8)
+        inst = rv64.decode(word, 0)
+        assert inst.mnemonic == name
+        assert inst.is_store
+
+    @pytest.mark.parametrize("name", sorted(rve.BRANCHES))
+    def test_branches_decode(self, rv64, name):
+        word = rve.encode_b(rve.OP_BRANCH, rve.BRANCHES[name], 1, 2, 64)
+        inst = rv64.decode(word, 0x1000)
+        assert inst.mnemonic == name
+        assert inst.is_branch
+
+    @pytest.mark.parametrize("name", sorted(rve.FP_OPS))
+    def test_fp_ops_decode(self, rv64, name):
+        f7, f3 = rve.FP_OPS[name]
+        rm = f3 if f3 is not None else rve.RM_DYN
+        word = rve.encode_r(rve.OP_FP, 1, rm, 2, 3, f7)
+        assert rv64.decode(word, 0).mnemonic == name
+
+    @pytest.mark.parametrize("name", sorted(rve.AMO_OPS))
+    def test_amos_decode(self, rv64, name):
+        f5, f3 = rve.AMO_OPS[name]
+        word = rve.encode_r(rve.OP_AMO, 10, f3, 11, 0 if "lr" in name else 12,
+                            f5 << 2)
+        assert rv64.decode(word, 0).mnemonic == name
+
+    def test_garbage_raises(self, rv64):
+        for word in (0x00000000, 0xFFFFFFFF, 0x0000007F):
+            with pytest.raises(DecodeError):
+                rv64.decode(word, 0)
+
+
+class TestAArch64Codecs:
+    @given(st.integers(min_value=0, max_value=255))
+    def test_vfp_imm8_roundtrip(self, imm8):
+        value = a64e.vfp_expand_imm8(imm8)
+        assert a64e.vfp_encode_imm8(value) == imm8
+
+    @pytest.mark.parametrize("value", [2.0, 1.0, 0.5, -1.0, 0.25, 31.0, -0.125])
+    def test_vfp_common_constants(self, value):
+        imm8 = a64e.vfp_encode_imm8(value)
+        assert a64e.vfp_expand_imm8(imm8) == value
+
+    @pytest.mark.parametrize("value", [0.0, 0.1, 1e10, 3.14159])
+    def test_vfp_unencodable(self, value):
+        with pytest.raises(EncodingError):
+            a64e.vfp_encode_imm8(value)
+
+    @given(st.integers(min_value=-(1 << 20), max_value=(1 << 20) - 1))
+    def test_adr_offset_roundtrip(self, aarch64, imm21):
+        word = a64e.adr(0, 3, imm21)
+        inst = aarch64.decode(word, 0x100000)
+        # adr computes pc + imm; recover the offset
+        # (decoded value is absolute, baked into the executor text)
+        assert f"{(0x100000 + imm21) & ((1 << 64) - 1):#x}" in inst.text
+
+    @given(st.integers(min_value=-(1 << 25), max_value=(1 << 25) - 1))
+    def test_branch_offset_roundtrip(self, aarch64, word_offset):
+        offset = word_offset * 4
+        word = a64e.branch_imm(0, offset)
+        inst = aarch64.decode(word, 0x40000000)
+        assert inst.is_branch
+        assert f"{(0x40000000 + offset) & ((1 << 64) - 1):#x}" in inst.text
+
+    def test_range_checks(self):
+        with pytest.raises(EncodingError):
+            a64e.add_sub_imm(1, 0, 0, 0, 1, 4096, False)
+        with pytest.raises(EncodingError):
+            a64e.branch_imm(0, 2)  # unaligned
+        with pytest.raises(EncodingError):
+            a64e.move_wide(0, 2, 1, 0xFFFF, 2)  # hw=2 invalid for 32-bit
+        with pytest.raises(EncodingError):
+            a64e.test_branch(0, 1, 64, 4)  # bit position out of range
+
+    def test_reserved_encodings_raise(self, aarch64):
+        with pytest.raises(DecodeError):
+            aarch64.decode(0x00000000, 0)
+        with pytest.raises(DecodeError):
+            aarch64.decode(0xFFFFFFFF, 0)
+
+
+class TestAArch64TextRoundtrip:
+    """assemble(text) then disassemble gives back equivalent text."""
+
+    @pytest.mark.parametrize("text,expect", [
+        ("add x0, x1, x2", "add x0,x1,x2"),
+        ("add x0, x1, #42", "add x0,x1,#42"),
+        ("sub w3, w4, w5", "sub w3,w4,w5"),
+        ("madd x0, x1, x2, x3", "madd x0,x1,x2,x3"),
+        ("sdiv x0, x1, x2", "sdiv x0,x1,x2"),
+        ("and x0, x1, x2, lsl #3", "and x0,x1,x2,lsl #3"),
+        ("cmp x0, x20", "cmp x0,x20"),
+        ("csel x0, x1, x2, eq", "csel x0,x1,x2,eq"),
+        ("ldr d1, [x22, x0, lsl #3]", "ldr d1,[x22,x0,lsl #3]"),
+        ("str x1, [sp, #16]", "str x1,[sp,#16]"),
+        ("ldp x19, x20, [sp, #32]", "ldp x19,x20,[sp,#32]"),
+        ("fadd d0, d1, d2", "fadd d0,d1,d2"),
+        ("fmadd d0, d1, d2, d3", "fmadd d0,d1,d2,d3"),
+        ("fcvtzs x0, d1", "fcvtzs x0,d1"),
+        ("scvtf d0, x1", "scvtf d0,x1"),
+        ("fcmp d0, d1", "fcmp d0,d1"),
+        ("movi d3, #0", "movi d3,#0"),
+        ("clz x0, x1", "clz x0,x1"),
+        ("ret", "ret"),
+        ("nop", "nop"),
+    ])
+    def test_roundtrip(self, aarch64, text, expect):
+        class Ctx:
+            pc = 0x1000
+
+            def lookup(self, sym):
+                return 0x1000
+
+        mnemonic, _, rest = text.partition(" ")
+        from repro.asm.assembler import split_operands
+        operands = split_operands(rest) if rest else []
+        words = aarch64.encode_instruction(mnemonic, operands, Ctx())
+        assert len(words) == 1
+        assert aarch64.disassemble(words[0], 0x1000) == expect

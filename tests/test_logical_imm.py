@@ -1,0 +1,137 @@
+"""Tests for the AArch64 bitmask-immediate encoder/decoder."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import EncodingError
+from repro.isa.aarch64.logical_imm import (
+    decode_bitmask_immediate,
+    encode_bitmask_immediate,
+    is_bitmask_immediate,
+)
+
+
+class TestKnownEncodings:
+    def test_single_bit(self):
+        n, immr, imms = encode_bitmask_immediate(1, 64)
+        assert decode_bitmask_immediate(n, immr, imms, 64) == 1
+
+    def test_ff(self):
+        assert is_bitmask_immediate(0xFF, 64)
+        n, immr, imms = encode_bitmask_immediate(0xFF, 64)
+        assert decode_bitmask_immediate(n, immr, imms, 64) == 0xFF
+
+    def test_alternating(self):
+        assert is_bitmask_immediate(0x5555555555555555, 64)
+        assert is_bitmask_immediate(0xAAAAAAAAAAAAAAAA, 64)
+
+    def test_rotated_run(self):
+        # 0xF00000000000000F is a rotated 8-bit run
+        assert is_bitmask_immediate(0xF00000000000000F, 64)
+
+    def test_page_mask(self):
+        assert is_bitmask_immediate(0xFFFFFFFFFFFFF000, 64)
+        assert is_bitmask_immediate(0xFFF, 64)
+
+    def test_32bit(self):
+        assert is_bitmask_immediate(0xFFFF0000, 32)
+        n, immr, imms = encode_bitmask_immediate(0xFFFF0000, 32)
+        assert n == 0
+        assert decode_bitmask_immediate(n, immr, imms, 32) == 0xFFFF0000
+
+
+class TestRejections:
+    def test_zero_and_all_ones(self):
+        assert not is_bitmask_immediate(0, 64)
+        assert not is_bitmask_immediate((1 << 64) - 1, 64)
+        assert not is_bitmask_immediate(0, 32)
+        assert not is_bitmask_immediate((1 << 32) - 1, 32)
+
+    def test_non_run_pattern(self):
+        assert not is_bitmask_immediate(0b101, 64)          # two runs
+        assert not is_bitmask_immediate(0xDEADBEEF, 64)
+
+    def test_encode_raises(self):
+        with pytest.raises(EncodingError):
+            encode_bitmask_immediate(0, 64)
+        with pytest.raises(EncodingError):
+            encode_bitmask_immediate(0b101, 64)
+
+    def test_decode_reserved(self):
+        with pytest.raises(EncodingError):
+            decode_bitmask_immediate(1, 0, 0x3F, 64)  # all-ones element
+        with pytest.raises(EncodingError):
+            decode_bitmask_immediate(1, 0, 0, 32)     # N=1 invalid for 32-bit
+
+    def test_bad_width(self):
+        with pytest.raises(EncodingError):
+            encode_bitmask_immediate(0xFF, 16)
+
+
+@given(
+    esize_log=st.integers(min_value=1, max_value=6),
+    run_len_frac=st.floats(min_value=0.01, max_value=0.99),
+    rotation=st.integers(min_value=0, max_value=63),
+)
+def test_all_constructible_patterns_roundtrip(esize_log, run_len_frac, rotation):
+    """Any replicated rotated run must encode and decode back to itself."""
+    esize = 1 << esize_log
+    ones = max(1, min(esize - 1, int(esize * run_len_frac)))
+    element = (1 << ones) - 1
+    rotation %= esize
+    rotated = ((element >> rotation) | (element << (esize - rotation))) & (
+        (1 << esize) - 1
+    )
+    value = 0
+    for i in range(64 // esize):
+        value |= rotated << (i * esize)
+    n, immr, imms = encode_bitmask_immediate(value, 64)
+    assert decode_bitmask_immediate(n, immr, imms, 64) == value
+
+
+@given(st.integers(min_value=1, max_value=(1 << 64) - 2))
+def test_encoder_never_lies(value):
+    """If the encoder accepts a value, decode must return it exactly."""
+    try:
+        n, immr, imms = encode_bitmask_immediate(value, 64)
+    except EncodingError:
+        return
+    assert decode_bitmask_immediate(n, immr, imms, 64) == value
+
+
+def test_exhaustive_8bit_patterns():
+    """For all 8-bit-element patterns, encoder acceptance matches the
+    ground-truth 'replicated rotated run' definition."""
+    def is_rotated_run(element: int) -> bool:
+        ones = bin(element).count("1")
+        if ones in (0, 8):
+            return False
+        for rot in range(8):
+            r = ((element << rot) | (element >> (8 - rot))) & 0xFF
+            if r == (1 << ones) - 1:
+                return True
+        return False
+
+    for element in range(256):
+        value = int.from_bytes(bytes([element]) * 8, "little")
+        expected = is_rotated_run(element)
+        # NB: patterns that also replicate at a smaller element size are
+        # still encodable; is_rotated_run covers those too (a run at size 8
+        # implies encodability, and sub-period patterns are checked at
+        # their own size by the encoder).
+        got = is_bitmask_immediate(value, 64)
+        if expected:
+            assert got, f"pattern {element:#04x} should encode"
+        elif not got:
+            pass  # consistent rejection
+        else:
+            # encoder accepted: must be a sub-period run (e.g. 0x55)
+            sub_ok = False
+            for esize in (1, 2, 4):
+                period = element & ((1 << esize) - 1)
+                if all(
+                    ((element >> (i * esize)) & ((1 << esize) - 1)) == period
+                    for i in range(8 // esize)
+                ):
+                    sub_ok = True
+            assert sub_ok, f"pattern {element:#04x} wrongly accepted"

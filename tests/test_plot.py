@@ -1,0 +1,150 @@
+"""Tests for the SVG figure rendering (geometry, palette, identity rules)."""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.plot import figure1_svg, figure2_svg
+from repro.plot.charts import ISA_COLORS, KERNEL_SLOTS, OTHER_GRAY, SURFACE
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture(scope="module")
+def figure_data():
+    """Small synthetic harness-shaped data (no simulation needed)."""
+    windows = (4, 16, 64, 200)
+    series = {
+        name: {
+            "aarch64": [(w, base + i) for i, w in enumerate(windows)],
+            "rv64": [(w, base + 0.3 + i) for i, w in enumerate(windows)],
+        }
+        for base, name in ((1.5, "stream"), (2.0, "lbm"))
+    }
+    normalized = {
+        "stream": {
+            ("aarch64", "gcc9"): {"copy": 0.4, "scale": 0.4, "other": 0.2},
+            ("rv64", "gcc9"): {"copy": 0.35, "scale": 0.45, "other": 0.1},
+            ("aarch64", "gcc12"): {"copy": 0.35, "scale": 0.35, "other": 0.2},
+            ("rv64", "gcc12"): {"copy": 0.35, "scale": 0.45, "other": 0.1},
+        },
+    }
+    kernels = {"stream": ["copy", "scale"]}
+    return series, normalized, kernels
+
+
+def parse(svg_text):
+    root = ET.fromstring(svg_text)
+    assert root.tag == f"{SVG_NS}svg"
+    return root
+
+
+class TestFigure2Svg:
+    def test_well_formed_and_bounded(self, figure_data):
+        series, _n, _k = figure_data
+        root = parse(figure2_svg(series))
+        width = float(root.get("width"))
+        height = float(root.get("height"))
+        for elem in root.iter():
+            for attr in ("x", "x1", "x2", "cx"):
+                value = elem.get(attr)
+                if value is not None:
+                    assert -1 <= float(value) <= width + 1
+            for attr in ("y", "y1", "y2", "cy"):
+                value = elem.get(attr)
+                if value is not None:
+                    assert -1 <= float(value) <= height + 1
+
+    def test_two_series_per_panel_fixed_colors(self, figure_data):
+        series, _n, _k = figure_data
+        text = figure2_svg(series)
+        # entity->color is fixed: both panels use the same two hues
+        assert text.count(f'stroke="{ISA_COLORS["aarch64"]}"') >= 2
+        assert text.count(f'stroke="{ISA_COLORS["rv64"]}"') >= 2
+        # no generated hues: every fill/stroke is from the role set
+        allowed = set(ISA_COLORS.values()) | {
+            SURFACE, "#0b0b0b", "#52514e", "#e9e8e4", "none",
+        }
+        for color in re.findall(r'(?:fill|stroke)="(#[0-9a-f]{6})"', text):
+            assert color in allowed, color
+
+    def test_legend_present(self, figure_data):
+        series, _n, _k = figure_data
+        text = figure2_svg(series)
+        assert "AArch64" in text and "RISC-V" in text
+
+    def test_markers_have_surface_ring(self, figure_data):
+        series, _n, _k = figure_data
+        root = parse(figure2_svg(series))
+        circles = [e for e in root.iter(f"{SVG_NS}circle")]
+        data_dots = [c for c in circles if float(c.get("r")) >= 4]
+        assert data_dots, "markers missing"
+        for dot in data_dots:
+            assert dot.get("stroke") == SURFACE
+            assert float(dot.get("stroke-width")) >= 2
+
+    def test_hover_titles_on_markers(self, figure_data):
+        series, _n, _k = figure_data
+        root = parse(figure2_svg(series))
+        titles = [t.text for t in root.iter(f"{SVG_NS}title")]
+        assert any("window 64" in t for t in titles)
+        assert any("ILP" in t for t in titles)
+
+    def test_one_panel_per_workload(self, figure_data):
+        series, _n, _k = figure_data
+        root = parse(figure2_svg(series))
+        texts = [t.text for t in root.iter(f"{SVG_NS}text")]
+        for name in series:
+            assert name in texts
+
+
+class TestFigure1Svg:
+    def test_segments_sum_to_total_width(self, figure_data):
+        _s, normalized, kernels = figure_data
+        root = parse(figure1_svg(normalized, kernels))
+        rects = [e for e in root.iter(f"{SVG_NS}rect")
+                 if e.get("fill") in set(KERNEL_SLOTS) | {OTHER_GRAY}]
+        # 4 configs x 3 segments, minus the per-panel legend swatches (3)
+        bars = [r for r in rects if float(r.get("height")) > 12]
+        assert len(bars) == 12
+        # baseline bar (gcc9 aarch64, total 1.0) spans close to the scale
+        widths = sorted(float(r.get("width")) for r in bars)
+        assert widths[0] > 0
+
+    def test_segment_gaps(self, figure_data):
+        _s, normalized, kernels = figure_data
+        root = parse(figure1_svg(normalized, kernels))
+        bars = [e for e in root.iter(f"{SVG_NS}rect")
+                if float(e.get("height", 0)) > 12 and e.get("fill") != SURFACE]
+        # group by row (y); within a row, segments must not touch
+        rows = {}
+        for bar in bars:
+            rows.setdefault(bar.get("y"), []).append(bar)
+        for row in rows.values():
+            row.sort(key=lambda r: float(r.get("x")))
+            for a, b in zip(row, row[1:]):
+                a_end = float(a.get("x")) + float(a.get("width"))
+                assert float(b.get("x")) - a_end >= 1.5  # the 2px surface gap
+
+    def test_config_labels_present(self, figure_data):
+        _s, normalized, kernels = figure_data
+        text = figure1_svg(normalized, kernels)
+        for label in ("GCC 9.2 AArch64", "GCC 12.2 RISC-V"):
+            assert label in text
+
+    def test_other_segment_is_deemphasized(self, figure_data):
+        _s, normalized, kernels = figure_data
+        text = figure1_svg(normalized, kernels)
+        assert f'fill="{OTHER_GRAY}"' in text
+
+    def test_real_harness_shapes_render(self):
+        """End-to-end: a (tiny) real suite renders both figures."""
+        from repro.harness import run_figure1, run_figure2, run_suite
+        suite = run_suite(scale=0.02, workloads=("minisweep",),
+                          windowed=True, window_sizes=(4, 16))
+        f1 = run_figure1(suite=suite)
+        f2 = run_figure2(suite=suite)
+        kernels = {n: list(w.kernels) for n, w in suite.workloads.items()}
+        parse(figure1_svg(f1.normalized, kernels))
+        parse(figure2_svg(f2.series))

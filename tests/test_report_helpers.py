@@ -1,0 +1,67 @@
+"""Tests for the reporting arithmetic and table renderer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.report import format_table, ilp, normalize, runtime_ms
+
+
+class TestArithmetic:
+    def test_ilp(self):
+        assert ilp(1000, 100) == 10.0
+        assert ilp(100, 0) == 0.0
+
+    def test_runtime_matches_paper_units(self):
+        # Table 1: CP 10,000,234 at 2 GHz -> 5.00 ms
+        assert runtime_ms(10_000_234, 2.0) == pytest.approx(5.0, abs=0.01)
+        # Table 2: scaled CP 60,000,545 -> 30.0 ms
+        assert runtime_ms(60_000_545, 2.0) == pytest.approx(30.0, abs=0.01)
+
+    @given(st.integers(min_value=1, max_value=10**12),
+           st.floats(min_value=0.5, max_value=5.0))
+    def test_runtime_scales_inversely_with_clock(self, cp, clock):
+        assert runtime_ms(cp, clock) == pytest.approx(
+            runtime_ms(cp, 1.0) / clock
+        )
+
+    def test_normalize(self):
+        values = {"a": 10.0, "b": 5.0, "c": 20.0}
+        out = normalize(values, "a")
+        assert out == {"a": 1.0, "b": 0.5, "c": 2.0}
+
+    def test_normalize_zero_baseline(self):
+        with pytest.raises(ValueError):
+            normalize({"a": 0.0, "b": 1.0}, "a")
+
+
+class TestFormatTable:
+    def test_alignment_and_commas(self):
+        text = format_table(
+            ["name", "count", "ratio"],
+            [["alpha", 1234567, 0.51234], ["b", 7, 12.0]],
+        )
+        lines = text.splitlines()
+        assert "1,234,567" in text
+        assert "0.5123" in text
+        # columns align: every row the same width
+        assert len(set(len(line) for line in lines[:2])) == 1
+
+    def test_title(self):
+        text = format_table(["a"], [["x"]], title="My Table")
+        assert text.startswith("My Table\n========")
+
+    def test_left_aligns_first_column(self):
+        text = format_table(["name", "v"], [["a", 1], ["longer", 2]])
+        rows = text.splitlines()[2:]
+        assert rows[0].startswith("a ")
+        assert rows[1].startswith("longer")
+
+    @given(st.lists(
+        st.tuples(st.text(alphabet="abcdef", min_size=1, max_size=8),
+                  st.integers(min_value=0, max_value=10**9),
+                  st.floats(min_value=0, max_value=1e6, allow_nan=False)),
+        min_size=1, max_size=10,
+    ))
+    def test_never_crashes(self, rows):
+        text = format_table(["s", "i", "f"], [list(r) for r in rows])
+        assert len(text.splitlines()) == len(rows) + 2

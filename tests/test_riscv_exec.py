@@ -1,0 +1,509 @@
+"""Execution tests for RV64G: assemble real encodings, run, check state.
+
+Each test goes through the full pipeline — assembler → ELF → loader →
+decoder → executor — so it covers encodings and semantics together.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import MASK64, u64
+from tests.conftest import run_rv
+
+u64s = st.integers(min_value=0, max_value=MASK64)
+
+
+def rv_regs(body: str, isa, data: str = ""):
+    _result, machine, _image = run_rv(body, isa, data)
+    return machine
+
+
+class TestIntegerArithmetic:
+    def test_add_sub(self, rv64):
+        m = rv_regs("""
+    li t0, 100
+    li t1, 42
+    add a0, t0, t1
+    sub a1, t0, t1
+""", rv64)
+        assert m.r[10] == 142
+        assert m.r[11] == 58
+
+    def test_addi_negative(self, rv64):
+        m = rv_regs("    li t0, 5\n    addi a0, t0, -10\n", rv64)
+        assert m.r[10] == u64(-5)
+
+    def test_overflow_wraps(self, rv64):
+        m = rv_regs("""
+    li t0, 0x7fffffffffffffff
+    addi a0, t0, 1
+""", rv64)
+        assert m.r[10] == 1 << 63
+
+    def test_logic_ops(self, rv64):
+        m = rv_regs("""
+    li t0, 0xff00
+    li t1, 0x0ff0
+    and a0, t0, t1
+    or  a1, t0, t1
+    xor a2, t0, t1
+    andi a3, t0, 0xf0
+""", rv64)
+        assert m.r[10] == 0x0f00
+        assert m.r[11] == 0xfff0
+        assert m.r[12] == 0xf0f0
+        assert m.r[13] == 0x00
+
+    def test_shifts(self, rv64):
+        m = rv_regs("""
+    li t0, -8
+    srai a0, t0, 1
+    srli a1, t0, 60
+    slli a2, t0, 1
+    li t1, 3
+    sra a3, t0, t1
+""", rv64)
+        assert m.r[10] == u64(-4)
+        assert m.r[11] == 0xF
+        assert m.r[12] == u64(-16)
+        assert m.r[13] == u64(-1)
+
+    def test_slt_family(self, rv64):
+        m = rv_regs("""
+    li t0, -1
+    li t1, 1
+    slt a0, t0, t1
+    sltu a1, t0, t1
+    slti a2, t0, 0
+    sltiu a3, t0, 1
+""", rv64)
+        assert m.r[10] == 1      # -1 < 1 signed
+        assert m.r[11] == 0      # 0xFF..FF > 1 unsigned
+        assert m.r[12] == 1
+        assert m.r[13] == 0
+
+    def test_w_forms_sign_extend(self, rv64):
+        m = rv_regs("""
+    li t0, 0x7fffffff
+    addiw a0, t0, 1
+    li t1, 1
+    addw a1, t0, t1
+    li t2, 0xffffffff
+    sext.w a2, t2
+""", rv64)
+        assert m.r[10] == u64(-(1 << 31))
+        assert m.r[11] == u64(-(1 << 31))
+        assert m.r[12] == u64(-1)
+
+    def test_mul_div(self, rv64):
+        m = rv_regs("""
+    li t0, -6
+    li t1, 4
+    mul a0, t0, t1
+    div a1, t0, t1
+    rem a2, t0, t1
+    divu a3, t1, t0
+""", rv64)
+        assert m.r[10] == u64(-24)
+        assert m.r[11] == u64(-1)   # trunc(-1.5)
+        assert m.r[12] == u64(-2)
+        assert m.r[13] == 0         # 4 / huge unsigned
+
+    def test_mulh(self, rv64):
+        m = rv_regs("""
+    li t0, -1
+    li t1, -1
+    mulh a0, t0, t1
+    mulhu a1, t0, t1
+""", rv64)
+        assert m.r[10] == 0
+        assert m.r[11] == MASK64 - 1
+
+    def test_lui_auipc(self, rv64):
+        m = rv_regs("    lui a0, 0x12345\n", rv64)
+        assert m.r[10] == 0x12345000
+
+    def test_zero_register_writes_discarded(self, rv64):
+        m = rv_regs("""
+    li t0, 7
+    add zero, t0, t0
+    mv a0, zero
+""", rv64)
+        assert m.r[10] == 0
+        assert m.r[0] == 0
+
+
+class TestLiExpansion:
+    @pytest.mark.parametrize("value", [
+        0, 1, -1, 2047, -2048, 2048, 65536, 0x7FFFFFFF, -(1 << 31),
+        0x123456789ABCDEF0, -(1 << 63), (1 << 63) - 1, 0xDEADBEEFCAFEBABE,
+    ])
+    def test_li_exact(self, rv64, value):
+        m = rv_regs(f"    li a0, {value}\n", rv64)
+        assert m.r[10] == u64(value)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_li_random(self, rv64, value):
+        m = rv_regs(f"    li a0, {value}\n", rv64)
+        assert m.r[10] == u64(value)
+
+
+class TestBranches:
+    @pytest.mark.parametrize("insn,a,b,taken", [
+        ("beq", 5, 5, True), ("beq", 5, 6, False),
+        ("bne", 5, 6, True), ("bne", 5, 5, False),
+        ("blt", -1, 1, True), ("blt", 1, -1, False),
+        ("bge", 1, -1, True), ("bge", -2, -1, False),
+        ("bltu", 1, -1, True),   # unsigned: 1 < 0xFF..FF
+        ("bgeu", -1, 1, True),
+    ])
+    def test_conditional(self, rv64, insn, a, b, taken):
+        m = rv_regs(f"""
+    li t0, {a}
+    li t1, {b}
+    li a0, 0
+    {insn} t0, t1, 1f
+    li a0, 99
+1:
+""", rv64)
+        assert m.r[10] == (0 if taken else 99)
+
+    def test_jal_links(self, rv64):
+        m = rv_regs("""
+    jal ra, target
+back:
+    j done
+target:
+    li a1, 55
+    ret
+done:
+""", rv64)
+        assert m.r[11] == 55
+
+    def test_jalr_indirect(self, rv64):
+        m = rv_regs("""
+    la t0, target
+    jalr ra, 0(t0)
+    j done
+target:
+    li a1, 77
+    ret
+done:
+""", rv64)
+        assert m.r[11] == 77
+
+    def test_loop_counts(self, rv64):
+        m = rv_regs("""
+    li a0, 0
+    li t0, 0
+    li t1, 10
+loop:
+    addi a0, a0, 2
+    addi t0, t0, 1
+    blt t0, t1, loop
+""", rv64)
+        assert m.r[10] == 20
+
+
+class TestMemory:
+    def test_load_store_widths(self, rv64):
+        m = rv_regs("""
+    la t0, buf
+    li t1, -2
+    sd t1, 0(t0)
+    lb a0, 0(t0)
+    lbu a1, 0(t0)
+    lh a2, 0(t0)
+    lhu a3, 0(t0)
+    lw a4, 0(t0)
+    lwu a5, 0(t0)
+    ld a6, 0(t0)
+""", rv64, data="buf:\n    .dword 0\n")
+        assert m.r[10] == u64(-2)
+        assert m.r[11] == 0xFE
+        assert m.r[12] == u64(-2)
+        assert m.r[13] == 0xFFFE
+        assert m.r[14] == u64(-2)
+        assert m.r[15] == 0xFFFFFFFE
+        assert m.r[16] == u64(-2)
+
+    def test_byte_halfword_stores(self, rv64):
+        m = rv_regs("""
+    la t0, buf
+    li t1, 0x1122334455667788
+    sd t1, 0(t0)
+    li t2, 0xAB
+    sb t2, 2(t0)
+    ld a0, 0(t0)
+""", rv64, data="buf:\n    .dword 0\n")
+        assert m.r[10] == 0x11223344_55AB7788
+
+    def test_negative_offsets(self, rv64):
+        m = rv_regs("""
+    la t0, buf
+    addi t0, t0, 16
+    li t1, 42
+    sd t1, -8(t0)
+    ld a0, -8(t0)
+""", rv64, data="buf:\n    .zero 32\n")
+        assert m.r[10] == 42
+
+
+class TestFloatingPoint:
+    def test_arith(self, rv64):
+        m = rv_regs("""
+    la t0, vals
+    fld fa0, 0(t0)
+    fld fa1, 8(t0)
+    fadd.d fa2, fa0, fa1
+    fsub.d fa3, fa0, fa1
+    fmul.d fa4, fa0, fa1
+    fdiv.d fa5, fa0, fa1
+""", rv64, data="vals:\n    .double 6.0, 1.5\n")
+        assert m.f[12] == 7.5
+        assert m.f[13] == 4.5
+        assert m.f[14] == 9.0
+        assert m.f[15] == 4.0
+
+    def test_fma_family(self, rv64):
+        m = rv_regs("""
+    la t0, vals
+    fld fa0, 0(t0)
+    fld fa1, 8(t0)
+    fld fa2, 16(t0)
+    fmadd.d  ft0, fa0, fa1, fa2
+    fmsub.d  ft1, fa0, fa1, fa2
+    fnmsub.d ft2, fa0, fa1, fa2
+    fnmadd.d ft3, fa0, fa1, fa2
+""", rv64, data="vals:\n    .double 2.0, 3.0, 10.0\n")
+        assert m.f[0] == 16.0    # 2*3 + 10
+        assert m.f[1] == -4.0    # 2*3 - 10
+        assert m.f[2] == 4.0     # -(2*3) + 10
+        assert m.f[3] == -16.0   # -(2*3) - 10
+
+    def test_compares(self, rv64):
+        m = rv_regs("""
+    la t0, vals
+    fld fa0, 0(t0)
+    fld fa1, 8(t0)
+    feq.d a0, fa0, fa1
+    flt.d a1, fa0, fa1
+    fle.d a2, fa0, fa0
+""", rv64, data="vals:\n    .double 1.0, 2.0\n")
+        assert m.r[10] == 0
+        assert m.r[11] == 1
+        assert m.r[12] == 1
+
+    def test_conversions(self, rv64):
+        m = rv_regs("""
+    li t0, -3
+    fcvt.d.l fa0, t0
+    la t1, vals
+    fld fa1, 0(t1)
+    fcvt.l.d a0, fa1
+    fcvt.l.d a1, fa1, rtz
+""", rv64, data="vals:\n    .double 2.75\n")
+        assert m.f[10] == -3.0
+        assert m.r[10] == 2     # default rtz
+        assert m.r[11] == 2
+
+    def test_fmv_bit_patterns(self, rv64):
+        m = rv_regs("""
+    la t0, vals
+    fld fa0, 0(t0)
+    fmv.x.d a0, fa0
+    li t1, 0x4000000000000000
+    fmv.d.x fa1, t1
+""", rv64, data="vals:\n    .double 1.0\n")
+        assert m.r[10] == 0x3FF0000000000000
+        assert m.f[11] == 2.0
+
+    def test_fsqrt_fabs_fneg(self, rv64):
+        m = rv_regs("""
+    la t0, vals
+    fld fa0, 0(t0)
+    fsqrt.d fa1, fa0
+    fneg.d fa2, fa0
+    fabs.d fa3, fa2
+""", rv64, data="vals:\n    .double 9.0\n")
+        assert m.f[11] == 3.0
+        assert m.f[12] == -9.0
+        assert m.f[13] == 9.0
+
+    def test_single_precision(self, rv64):
+        m = rv_regs("""
+    la t0, vals
+    flw fa0, 0(t0)
+    flw fa1, 4(t0)
+    fadd.s fa2, fa0, fa1
+    fcvt.d.s fa3, fa2
+""", rv64, data="vals:\n    .float 0.5, 0.25\n")
+        assert m.f[12] == 0.75
+        assert m.f[13] == 0.75
+
+    def test_fmin_fmax(self, rv64):
+        m = rv_regs("""
+    la t0, vals
+    fld fa0, 0(t0)
+    fld fa1, 8(t0)
+    fmin.d fa2, fa0, fa1
+    fmax.d fa3, fa0, fa1
+""", rv64, data="vals:\n    .double -1.0, 3.0\n")
+        assert m.f[12] == -1.0
+        assert m.f[13] == 3.0
+
+
+class TestAtomics:
+    def test_lr_sc_success(self, rv64):
+        m = rv_regs("""
+    la t0, buf
+    li t1, 10
+    sd t1, 0(t0)
+    lr.d a0, (t0)
+    li t2, 20
+    sc.d a1, t2, (t0)
+    ld a2, 0(t0)
+""", rv64, data="buf:\n    .dword 0\n")
+        assert m.r[10] == 10
+        assert m.r[11] == 0      # success
+        assert m.r[12] == 20
+
+    def test_amoadd(self, rv64):
+        m = rv_regs("""
+    la t0, buf
+    li t1, 100
+    sd t1, 0(t0)
+    li t2, 5
+    amoadd.d a0, t2, (t0)
+    ld a1, 0(t0)
+""", rv64, data="buf:\n    .dword 0\n")
+        assert m.r[10] == 100    # old value
+        assert m.r[11] == 105
+
+    def test_amoswap_w_sign_extends(self, rv64):
+        m = rv_regs("""
+    la t0, buf
+    li t1, 0xffffffff
+    sw t1, 0(t0)
+    li t2, 1
+    amoswap.w a0, t2, (t0)
+    lw a1, 0(t0)
+""", rv64, data="buf:\n    .dword 0\n")
+        assert m.r[10] == u64(-1)
+        assert m.r[11] == 1
+
+
+class TestCsr:
+    def test_fcsr_rw(self, rv64):
+        m = rv_regs("""
+    li t0, 0x45
+    csrrw a0, fcsr, t0
+    csrr a1, fcsr
+    csrr a2, fflags
+    csrr a3, frm
+""", rv64)
+        assert m.r[10] == 0      # old fcsr
+        assert m.r[11] == 0x45
+        assert m.r[12] == 0x5    # low 5 bits
+        assert m.r[13] == 0x2    # bits 7:5
+
+    def test_instret_counts(self, rv64):
+        m = rv_regs("""
+    csrr a0, instret
+""", rv64)
+        # instret is only committed at run end; reads mid-run see the
+        # previous run's total (0 for a fresh machine)
+        assert m.r[10] == 0
+
+
+class TestPseudoInstructions:
+    def test_not_neg_seqz_snez(self, rv64):
+        m = rv_regs("""
+    li t0, 0
+    seqz a0, t0
+    snez a1, t0
+    li t1, 5
+    neg a2, t1
+    not a3, t0
+""", rv64)
+        assert m.r[10] == 1
+        assert m.r[11] == 0
+        assert m.r[12] == u64(-5)
+        assert m.r[13] == MASK64
+
+    def test_beqz_bnez(self, rv64):
+        m = rv_regs("""
+    li a0, 1
+    li t0, 0
+    beqz t0, 1f
+    li a0, 99
+1:
+""", rv64)
+        assert m.r[10] == 1
+
+    def test_bgt_ble_swap(self, rv64):
+        m = rv_regs("""
+    li t0, 5
+    li t1, 3
+    li a0, 0
+    bgt t0, t1, 1f
+    li a0, 99
+1:
+    li a1, 0
+    ble t1, t0, 2f
+    li a1, 99
+2:
+""", rv64)
+        assert m.r[10] == 0
+        assert m.r[11] == 0
+
+
+class TestDisassembly:
+    @pytest.mark.parametrize("text", [
+        "add a0,a1,a2",
+        "addi a0,a1,-5",
+        "fld fa5,0(a5)",
+        "fsd fa5,8(a4)",
+        "fmadd.d fa0,fa1,fa2,fa3",
+        "lui a0,0x12345",
+        "div a0,a1,a2",
+    ])
+    def test_roundtrip_through_assembler(self, rv64, text):
+        """assemble(disassemble(assemble(x))) is a fixed point."""
+
+        class Ctx:
+            pc = 0x1000
+
+            def lookup(self, sym):
+                return 0x1000
+
+        mnemonic, operands = text.split(" ", 1)
+        words = rv64.encode_instruction(mnemonic, operands.split(","), Ctx())
+        assert len(words) == 1
+        assert rv64.disassemble(words[0], 0x1000) == text
+
+
+class TestZba:
+    def test_shadd_semantics(self, rv64):
+        m = rv_regs("""
+    li t0, 5
+    li t1, 1000
+    sh1add a0, t0, t1
+    sh2add a1, t0, t1
+    sh3add a2, t0, t1
+""", rv64)
+        assert m.r[10] == 1000 + 10
+        assert m.r[11] == 1000 + 20
+        assert m.r[12] == 1000 + 40
+
+    def test_sh3add_wraps(self, rv64):
+        from repro.common import u64
+        m = rv_regs("""
+    li t0, -1
+    li t1, 8
+    sh3add a0, t0, t1
+""", rv64)
+        assert m.r[10] == 0  # (-1 << 3) + 8 wraps to zero

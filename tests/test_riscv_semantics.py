@@ -1,0 +1,155 @@
+"""Unit tests for RV64 arithmetic corner cases (repro.isa.riscv.semantics)."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.common import MASK64, u64
+from repro.isa.riscv import semantics as sem
+from repro.isa.riscv.encoding import RM_RNE, RM_RTZ
+
+u64s = st.integers(min_value=0, max_value=MASK64)
+INT64_MIN_BITS = 1 << 63
+
+
+class TestDivision:
+    def test_div_by_zero_returns_all_ones(self):
+        assert sem.div_signed(42, 0) == MASK64
+        assert sem.div_unsigned(42, 0) == MASK64
+        assert sem.div_signed(42, 0, width=32) == MASK64
+
+    def test_div_overflow(self):
+        assert sem.div_signed(INT64_MIN_BITS, u64(-1)) == INT64_MIN_BITS
+        assert sem.rem_signed(INT64_MIN_BITS, u64(-1)) == 0
+
+    def test_div_truncates_toward_zero(self):
+        assert sem.div_signed(u64(-7), 2) == u64(-3)
+        assert sem.div_signed(7, u64(-2)) == u64(-3)
+        assert sem.rem_signed(u64(-7), 2) == u64(-1)   # sign follows dividend
+        assert sem.rem_signed(7, u64(-2)) == 1
+
+    def test_rem_by_zero_returns_dividend(self):
+        assert sem.rem_signed(u64(-5), 0) == u64(-5)
+        assert sem.rem_unsigned(5, 0) == 5
+
+    def test_w_forms_sign_extend(self):
+        # -8 / 2 in 32-bit, result sign-extended to 64
+        assert sem.div_signed(u64(-8) & 0xFFFFFFFF, 2, width=32) == u64(-4)
+
+    @given(u64s, u64s)
+    def test_div_rem_identity(self, a, b):
+        if b == 0:
+            return
+        from repro.common import s64
+        q = s64(sem.div_signed(a, b))
+        r = s64(sem.rem_signed(a, b))
+        if not (s64(a) == -(1 << 63) and s64(b) == -1):
+            assert q * s64(b) + r == s64(a)
+
+
+class TestHighMultiply:
+    def test_mulhu_known(self):
+        assert sem.mulhu(MASK64, MASK64) == MASK64 - 1
+
+    def test_mulh_known(self):
+        assert sem.mulh(u64(-1), u64(-1)) == 0          # (-1)*(-1) = 1, high 0
+        assert sem.mulh(INT64_MIN_BITS, INT64_MIN_BITS) == 1 << 62
+
+    @given(u64s, u64s)
+    def test_mulh_matches_wide_product(self, a, b):
+        from repro.common import s64
+        wide = s64(a) * s64(b)
+        assert sem.mulh(a, b) == u64(wide >> 64)
+
+    @given(u64s, u64s)
+    def test_mulhu_matches_wide_product(self, a, b):
+        assert sem.mulhu(a, b) == (a * b) >> 64
+
+    @given(u64s, u64s)
+    def test_mulhsu_matches_wide_product(self, a, b):
+        from repro.common import s64
+        assert sem.mulhsu(a, b) == u64((s64(a) * b) >> 64)
+
+
+class TestFpToInt:
+    def test_rtz_truncates(self):
+        assert sem.fp_to_int(2.9, RM_RTZ, -100, 100) == 2
+        assert sem.fp_to_int(-2.9, RM_RTZ, -100, 100) == -2
+
+    def test_rne_rounds_half_even(self):
+        assert sem.fp_to_int(2.5, RM_RNE, -100, 100) == 2
+        assert sem.fp_to_int(3.5, RM_RNE, -100, 100) == 4
+
+    def test_saturation(self):
+        assert sem.fp_to_int(1e30, RM_RTZ, -(1 << 31), (1 << 31) - 1) == (1 << 31) - 1
+        assert sem.fp_to_int(-1e30, RM_RTZ, -(1 << 31), (1 << 31) - 1) == -(1 << 31)
+
+    def test_nan_converts_to_max(self):
+        assert sem.fp_to_int(math.nan, RM_RTZ, -100, 100) == 100
+
+    def test_infinities(self):
+        assert sem.fp_to_int(math.inf, RM_RTZ, -100, 100) == 100
+        assert sem.fp_to_int(-math.inf, RM_RTZ, -100, 100) == -100
+
+
+class TestSignInjection:
+    def test_fsgnj_copies_sign(self):
+        assert sem.fsgnj(1.5, -2.0, "j", False) == -1.5
+        assert sem.fsgnj(-1.5, 2.0, "j", False) == 1.5
+
+    def test_fsgnjn_negates_sign(self):
+        assert sem.fsgnj(1.5, -2.0, "jn", False) == 1.5
+        assert sem.fsgnj(1.5, 2.0, "jn", False) == -1.5
+
+    def test_fsgnjx_xors_sign(self):
+        assert sem.fsgnj(-1.5, -2.0, "jx", False) == 1.5
+        assert sem.fsgnj(-1.5, 2.0, "jx", False) == -1.5
+
+    def test_fsgnj_preserves_zero_sign(self):
+        assert math.copysign(1.0, sem.fsgnj(0.0, -1.0, "j", False)) == -1.0
+
+
+class TestMinMax:
+    def test_fmin_nan_aware(self):
+        assert sem.fmin(math.nan, 2.0) == 2.0
+        assert sem.fmin(2.0, math.nan) == 2.0
+        assert math.isnan(sem.fmin(math.nan, math.nan))
+
+    def test_fmin_negative_zero(self):
+        assert math.copysign(1.0, sem.fmin(0.0, -0.0)) == -1.0
+        assert math.copysign(1.0, sem.fmax(0.0, -0.0)) == 1.0
+
+    @given(st.floats(allow_nan=False), st.floats(allow_nan=False))
+    def test_fmin_fmax_ordering(self, a, b):
+        assert sem.fmin(a, b) <= sem.fmax(a, b)
+
+
+class TestFclass:
+    def test_classes(self):
+        assert sem.fclass(-math.inf, False) == 1 << 0
+        assert sem.fclass(-1.0, False) == 1 << 1
+        assert sem.fclass(-0.0, False) == 1 << 3
+        assert sem.fclass(0.0, False) == 1 << 4
+        assert sem.fclass(1.0, False) == 1 << 6
+        assert sem.fclass(math.inf, False) == 1 << 7
+        assert sem.fclass(math.nan, False) == 1 << 9
+
+    def test_subnormal(self):
+        assert sem.fclass(1e-310, False) == 1 << 5
+        assert sem.fclass(-1e-310, False) == 1 << 2
+
+
+class TestRoundF32:
+    def test_rounds_to_single(self):
+        # 1 + 2^-30 is not representable in float32 and rounds to 1.0
+        assert sem.round_f32(1.0 + 2.0 ** -30) == 1.0
+        assert sem.round_f32(0.1) != 0.1  # 0.1 rounds to float32 0.1
+
+
+class TestFsqrt:
+    def test_negative_is_nan(self):
+        assert math.isnan(sem.fsqrt(-1.0))
+
+    def test_exact(self):
+        assert sem.fsqrt(16.0) == 4.0
+        assert sem.fsqrt(0.0) == 0.0

@@ -1,0 +1,73 @@
+"""Tests for the objdump / runelf binary utilities."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.loader import build_elf
+from repro.tools.objdump import disassemble_image, main as objdump_main
+from repro.tools.runelf import main as runelf_main
+
+SRC = """
+global double a[50];
+global double out;
+func long main() {
+  region "fill" {
+    for (long j = 0; j < 50; j = j + 1) { a[j] = (double)(j); }
+  }
+  double s = 0.0;
+  for (long j = 0; j < 50; j = j + 1) { s = s + a[j]; }
+  out = s;
+  return 3;
+}
+"""
+
+
+@pytest.fixture(scope="module", params=["rv64", "aarch64"])
+def elf_path(request, tmp_path_factory):
+    compiled = compile_source(SRC, request.param, "gcc12")
+    path = tmp_path_factory.mktemp("elfs") / f"prog-{request.param}.elf"
+    path.write_bytes(compiled.elf_bytes)
+    return path
+
+
+class TestObjdump:
+    def test_disassembles_whole_text(self, elf_path):
+        from repro.loader import load_elf
+        image = load_elf(elf_path.read_bytes())
+        text = disassemble_image(image)
+        # symbol labels present
+        assert "<main>:" in text and "<_start>:" in text
+        # region markers present
+        assert "region fill" in text
+        # every executable word decoded (no .word fallbacks in our output)
+        assert ".word" not in text
+
+    def test_cli(self, elf_path, capsys):
+        assert objdump_main([str(elf_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entry" in out
+        assert "<main>:" in out
+
+    def test_data_segments_mentioned(self, elf_path, capsys):
+        objdump_main([str(elf_path), "--show-data"])
+        out = capsys.readouterr().out
+        assert "data" in out
+
+
+class TestRunElf:
+    def test_exit_code_propagates(self, elf_path):
+        assert runelf_main([str(elf_path)]) == 3
+
+    def test_analyze_report(self, elf_path, capsys):
+        runelf_main([str(elf_path), "--analyze", "--model", "tx2"])
+        out = capsys.readouterr().out
+        assert "path length by region" in out
+        assert "fill" in out
+        assert "critical path:" in out
+        assert "scaled CP (tx2):" in out
+        assert "branches:" in out
+
+    def test_instruction_cap(self, elf_path):
+        from repro.common import SimulationError
+        with pytest.raises(SimulationError):
+            runelf_main([str(elf_path), "--max-instructions", "10"])

@@ -1,0 +1,50 @@
+"""§6.2's distributional observation, verified.
+
+"Due to the regular nature of STREAM, many of the windows produced CP
+lengths of the same size, with no CP lengths ≤ 1 instruction. All other
+benchmarks had much smoother distributions of CP lengths."
+"""
+
+from collections import Counter
+
+from repro.analysis import WindowedCPProbe
+from repro.workloads import run_workload
+from repro.workloads.lbm import Lbm, LbmParams
+from repro.workloads.stream import Stream, StreamParams
+
+
+def window_cps(workload, isa="rv64", window=64):
+    probe = WindowedCPProbe(window_sizes=(window,), keep_cps=True)
+    run_workload(workload, isa, "gcc12", [probe])
+    return probe.results()[window].cps
+
+
+def concentration(cps, k=5):
+    counts = Counter(cps)
+    return sum(n for _v, n in counts.most_common(k)) / len(cps)
+
+
+def test_stream_windows_are_regular():
+    cps = window_cps(Stream(StreamParams(n=600, ntimes=1)))
+    # "many of the windows produced CP lengths of the same size": the
+    # handful of per-kernel modal values covers the bulk of all windows
+    assert concentration(cps, k=5) > 0.6
+    # few distinct CP values relative to the number of windows
+    assert len(set(cps)) < 0.05 * len(cps)
+    # "no CP lengths <= 1 instruction"
+    assert min(cps) > 1
+
+
+def test_lbm_distribution_is_smoother():
+    stream_cps = window_cps(Stream(StreamParams(n=600, ntimes=1)))
+    lbm_cps = window_cps(Lbm(LbmParams(nx=12, ny=12, iters=2)))
+    # LBM's top window-CP values cover a smaller share: smoother distribution
+    assert concentration(lbm_cps, k=5) < concentration(stream_cps, k=5)
+
+
+def test_no_window_cp_below_one_anywhere():
+    for workload in (Stream(StreamParams(n=200, ntimes=1)),
+                     Lbm(LbmParams(nx=8, ny=8, iters=2))):
+        for isa in ("rv64", "aarch64"):
+            cps = window_cps(workload, isa=isa, window=16)
+            assert min(cps) >= 1

@@ -1,0 +1,142 @@
+"""Workload tests: every benchmark validates against its NumPy reference on
+both ISAs and both compiler profiles, and carries the metadata the harness
+needs (kernel regions, scaling knobs)."""
+
+import pytest
+
+from repro.workloads import ALL_WORKLOADS, get_workload, run_workload
+from repro.workloads.cloverleaf import CloverLeaf, CloverParams
+from repro.workloads.lbm import Lbm, LbmParams
+from repro.workloads.minibude import MiniBude, BudeParams
+from repro.workloads.minisweep import MiniSweep, SweepParams
+from repro.workloads.stream import Stream, StreamParams
+
+TINY = {
+    "stream": Stream(StreamParams(n=64, ntimes=2)),
+    "cloverleaf": CloverLeaf(CloverParams(nx=8, ny=8, steps=2)),
+    "lbm": Lbm(LbmParams(nx=8, ny=8, iters=2)),
+    "minibude": MiniBude(BudeParams(nposes=2, natlig=3, natpro=8)),
+    "minisweep": MiniSweep(SweepParams(ncx=2, ncy=2, ncz=2, na=3, nsweeps=1)),
+}
+
+CONFIGS = [
+    ("rv64", "gcc9"), ("rv64", "gcc12"),
+    ("aarch64", "gcc9"), ("aarch64", "gcc12"),
+]
+
+
+@pytest.mark.parametrize("name", sorted(TINY))
+@pytest.mark.parametrize("isa,profile", CONFIGS,
+                         ids=[f"{i}-{p}" for i, p in CONFIGS])
+class TestValidation:
+    def test_outputs_match_reference(self, name, isa, profile):
+        run = run_workload(TINY[name], isa, profile)  # raises on mismatch
+        assert run.result.exit_code == 0
+        assert run.path_length > 0
+
+
+@pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+class TestMetadata:
+    def test_kernel_regions_present_in_binary(self, name):
+        workload = TINY[name]
+        compiled = workload.compile("rv64", "gcc12")
+        region_names = {r.name for r in compiled.image.regions}
+        for kernel in workload.kernels:
+            assert kernel in region_names
+
+    def test_at_scale_produces_runnable_workload(self, name):
+        workload = ALL_WORKLOADS[name].at_scale(0.1)
+        assert workload.source()
+        assert workload.expected()
+
+    def test_expected_keys_are_globals(self, name):
+        workload = TINY[name]
+        compiled = workload.compile("rv64", "gcc12")
+        for key in workload.expected():
+            assert key in compiled.image.symbols
+
+
+class TestWorkloadRegistry:
+    def test_get_workload_by_name(self):
+        workload = get_workload("stream", scale=0.05)
+        assert workload.name == "stream"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_workload("spec2017")
+
+    def test_all_five_registered(self):
+        assert sorted(ALL_WORKLOADS) == [
+            "cloverleaf", "lbm", "minibude", "minisweep", "stream",
+        ]
+
+
+class TestPaperShapes:
+    """The qualitative shapes from Table 1 / §3.3, at small scale."""
+
+    def test_minibude_riscv_shorter(self):
+        """The branch-heavy pair loop favors fused compare-and-branch."""
+        wl = MiniBude(BudeParams(nposes=2, natlig=4, natpro=32))
+        rv = run_workload(wl, "rv64", "gcc12").path_length
+        arm = run_workload(wl, "aarch64", "gcc12").path_length
+        assert rv < arm
+
+    def test_lbm_aarch64_shorter(self):
+        """Generic gather addressing favors register-offset loads."""
+        wl = Lbm(LbmParams(nx=10, ny=10, iters=2))
+        rv = run_workload(wl, "rv64", "gcc12").path_length
+        arm = run_workload(wl, "aarch64", "gcc12").path_length
+        assert arm < rv
+
+    def test_stream_gcc12_improves_aarch64_only(self):
+        """§3.3: the sub/subs → cmp fix (large constant bounds only)."""
+        wl = Stream(StreamParams(n=5000, ntimes=1))
+        arm9 = run_workload(wl, "aarch64", "gcc9").path_length
+        arm12 = run_workload(wl, "aarch64", "gcc12").path_length
+        rv9 = run_workload(wl, "rv64", "gcc9").path_length
+        rv12 = run_workload(wl, "rv64", "gcc12").path_length
+        assert arm12 < arm9
+        assert rv12 == rv9
+
+    def test_stream_branch_fraction(self):
+        """§3.3: RISC-V STREAM executes roughly 15% branches."""
+        from repro.analysis import InstructionMixProbe
+        probe = InstructionMixProbe()
+        wl = Stream(StreamParams(n=512, ntimes=2))
+        run_workload(wl, "rv64", "gcc12", [probe])
+        fraction = probe.result().branch_fraction
+        assert 0.10 < fraction < 0.25
+
+    def test_critical_paths_close_between_isas(self):
+        """Table 1: STREAM CPs nearly identical across ISAs."""
+        from repro.analysis import CriticalPathProbe
+        wl = Stream(StreamParams(n=256, ntimes=1))
+        cps = {}
+        for isa in ("rv64", "aarch64"):
+            probe = CriticalPathProbe()
+            run_workload(wl, isa, "gcc12", [probe])
+            cps[isa] = probe.result().critical_path
+        ratio = cps["rv64"] / cps["aarch64"]
+        assert 0.9 < ratio < 1.1
+
+    def test_stream_cp_tracks_array_length(self):
+        """Table 1: STREAM's CP is ~N (the serial validation reduction)."""
+        from repro.analysis import CriticalPathProbe
+        n = 300
+        probe = CriticalPathProbe()
+        run_workload(Stream(StreamParams(n=n, ntimes=1)), "rv64", "gcc12",
+                     [probe])
+        cp = probe.result().critical_path
+        assert n <= cp <= n + 200
+
+    def test_stream_scaled_cp_rides_fp_chain(self):
+        """§5.2: STREAM's scaled CP is ~6x the plain CP (TX2 FP-add latency
+        carries the validation reduction chain)."""
+        from repro.analysis import CriticalPathProbe
+        from repro.sim.config import load_core_model
+        plain = CriticalPathProbe()
+        scaled = CriticalPathProbe(load_core_model("tx2-riscv"))
+        run_workload(Stream(StreamParams(n=300, ntimes=1)), "rv64", "gcc12",
+                     [plain, scaled])
+        ratio = scaled.result().critical_path / plain.result().critical_path
+        assert 4.5 < ratio < 6.5

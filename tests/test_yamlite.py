@@ -1,0 +1,132 @@
+"""Tests for the yamlite YAML-subset parser and dumper."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import yamlite
+from repro.yamlite import YamlError
+
+
+class TestScalars:
+    def test_integers(self):
+        assert yamlite.loads("a: 42") == {"a": 42}
+        assert yamlite.loads("a: -7") == {"a": -7}
+        assert yamlite.loads("a: 0x1F") == {"a": 31}
+
+    def test_floats(self):
+        assert yamlite.loads("a: 2.5") == {"a": 2.5}
+        assert yamlite.loads("a: 1e-3") == {"a": 1e-3}
+
+    def test_booleans_and_null(self):
+        assert yamlite.loads("a: true\nb: false\nc: null\nd: ~") == {
+            "a": True, "b": False, "c": None, "d": None,
+        }
+
+    def test_strings(self):
+        assert yamlite.loads('a: hello') == {"a": "hello"}
+        assert yamlite.loads('a: "quoted: str"') == {"a": "quoted: str"}
+        assert yamlite.loads("a: 'single'") == {"a": "single"}
+
+    def test_empty_value_is_null(self):
+        assert yamlite.loads("a:") == {"a": None}
+
+
+class TestStructure:
+    def test_nested_mapping(self):
+        doc = yamlite.loads(
+            "core:\n  name: tx2\n  latencies:\n    fp_mul: 6\n    load: 4\n"
+        )
+        assert doc == {"core": {"name": "tx2",
+                                "latencies": {"fp_mul": 6, "load": 4}}}
+
+    def test_block_sequence(self):
+        assert yamlite.loads("- 1\n- 2\n- three\n") == [1, 2, "three"]
+
+    def test_sequence_under_key(self):
+        assert yamlite.loads("sizes:\n  - 4\n  - 16\n") == {"sizes": [4, 16]}
+
+    def test_flow_sequence(self):
+        assert yamlite.loads("sizes: [4, 16, 64]") == {"sizes": [4, 16, 64]}
+        assert yamlite.loads("empty: []") == {"empty": []}
+
+    def test_nested_flow_sequence(self):
+        assert yamlite.loads("m: [[1, 2], [3, 4]]") == {"m": [[1, 2], [3, 4]]}
+
+    def test_sequence_of_mappings(self):
+        doc = yamlite.loads("- name: a\n  value: 1\n- name: b\n  value: 2\n")
+        assert doc == [{"name": "a", "value": 1}, {"name": "b", "value": 2}]
+
+    def test_comments_ignored(self):
+        doc = yamlite.loads("# header\na: 1  # trailing\nb: 2\n")
+        assert doc == {"a": 1, "b": 2}
+
+    def test_hash_inside_quotes_kept(self):
+        assert yamlite.loads('a: "x # y"') == {"a": "x # y"}
+
+
+class TestErrors:
+    def test_duplicate_key(self):
+        with pytest.raises(YamlError):
+            yamlite.loads("a: 1\na: 2")
+
+    def test_tab_indentation(self):
+        with pytest.raises(YamlError):
+            yamlite.loads("a:\n\tb: 1")
+
+    def test_bad_line(self):
+        with pytest.raises(YamlError):
+            yamlite.loads("a: 1\njust words with spaces no colon\n")
+
+    def test_unbalanced_flow(self):
+        with pytest.raises(YamlError):
+            yamlite.loads("a: [1, 2")
+
+    def test_empty_document(self):
+        assert yamlite.loads("") is None
+        assert yamlite.loads("# only a comment\n") is None
+
+
+# strategy for round-trippable documents
+_scalars = st.one_of(
+    st.integers(min_value=-(10 ** 12), max_value=10 ** 12),
+    st.booleans(),
+    st.none(),
+    st.text(
+        alphabet=st.sampled_from("abcdefghijklmnop qz_-."), min_size=1, max_size=12
+    ).map(str.strip).filter(bool),
+)
+_keys = st.text(alphabet=st.sampled_from("abcdefgh_"), min_size=1, max_size=8)
+_documents = st.recursive(
+    st.dictionaries(_keys, _scalars, min_size=1, max_size=4),
+    lambda children: st.one_of(
+        st.dictionaries(_keys, children, min_size=1, max_size=3),
+        st.dictionaries(_keys, st.lists(_scalars, min_size=1, max_size=4),
+                        min_size=1, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+
+class TestDumper:
+    def test_dump_simple(self):
+        text = yamlite.dumps({"a": 1, "b": [1, 2], "c": {"d": True}})
+        assert yamlite.loads(text) == {"a": 1, "b": [1, 2], "c": {"d": True}}
+
+    def test_dump_quotes_tricky_strings(self):
+        doc = {"a": "true", "b": "123", "c": "has: colon"}
+        assert yamlite.loads(yamlite.dumps(doc)) == doc
+
+    @given(_documents)
+    def test_roundtrip(self, doc):
+        assert yamlite.loads(yamlite.dumps(doc)) == doc
+
+
+class TestBundledModels:
+    def test_parse_every_bundled_model_file(self):
+        from repro.sim.config import available_models, load_core_model
+
+        names = available_models()
+        assert {"tx2", "tx2-riscv", "a64fx", "m1-firestorm", "ideal"} <= set(names)
+        for name in names:
+            model = load_core_model(name)
+            assert model.clock_ghz > 0
