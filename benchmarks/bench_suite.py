@@ -1,0 +1,96 @@
+"""Timing script for the experiment engine: serial vs parallel vs cached.
+
+Runs the suite three ways — in-process serial, process-parallel
+(``--jobs``), and a second cached pass — and writes ``BENCH_suite.json``
+next to this file (or to ``--out``) so future PRs have a performance
+trajectory to compare against::
+
+    PYTHONPATH=src python benchmarks/bench_suite.py --scale 0.05 --jobs 4
+
+Not a pytest file: run it directly. The cache passes use a throwaway
+directory, so they never touch (or benefit from) the user's real cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import __version__  # noqa: E402
+from repro.harness import Executor, ResultCache, plan_suite  # noqa: E402
+
+
+def _timed_run(plans, *, jobs: int, cache=None) -> float:
+    started = time.perf_counter()
+    Executor(jobs=jobs, cache=cache).run(plans)
+    return time.perf_counter() - started
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="problem-size scale (default 0.05: quick)")
+    parser.add_argument("--workloads", type=str, default="stream,minisweep",
+                        help="comma-separated workloads (default: the two "
+                             "fastest)")
+    parser.add_argument("--jobs", type=int, default=max(2, os.cpu_count() or 2),
+                        help="worker processes for the parallel pass")
+    parser.add_argument("--windows", type=str, default="4,16,64",
+                        help="window sizes for the §6 probes")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path(__file__).parent
+                        / "BENCH_suite.json")
+    args = parser.parse_args(argv)
+
+    workloads = tuple(args.workloads.split(","))
+    windows = tuple(int(w) for w in args.windows.split(","))
+    plans = plan_suite(args.scale, workloads=workloads, windowed=True,
+                       window_sizes=windows)
+    print(f"benchmarking {len(plans)} configs "
+          f"(scale={args.scale:g}, jobs={args.jobs}) ...", flush=True)
+
+    serial_s = _timed_run(plans, jobs=1)
+    print(f"  serial           : {serial_s:8.2f}s", flush=True)
+
+    parallel_s = _timed_run(plans, jobs=args.jobs)
+    print(f"  parallel (j={args.jobs}) : {parallel_s:8.2f}s", flush=True)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_s = _timed_run(plans, jobs=1, cache=ResultCache(tmp))
+        warm_s = _timed_run(plans, jobs=1, cache=ResultCache(tmp))
+    print(f"  cache cold       : {cold_s:8.2f}s", flush=True)
+    print(f"  cache warm (hits): {warm_s:8.2f}s", flush=True)
+
+    doc = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "scale": args.scale,
+        "workloads": list(workloads),
+        "windows": list(windows),
+        "configs": len(plans),
+        "jobs": args.jobs,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "cache_cold_seconds": round(cold_s, 3),
+        "cache_warm_seconds": round(warm_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 3)
+        if parallel_s else None,
+        "cache_hit_speedup": round(cold_s / warm_s, 3) if warm_s else None,
+    }
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,10 @@ from dataclasses import dataclass, field
 from repro.isa.base import DEP_NZCV, DecodedInst, InstructionGroup
 
 
+#: Bump when the serialized shape of :class:`InstructionMixResult` changes.
+MIX_SCHEMA = 1
+
+
 @dataclass
 class InstructionMixResult:
     """Histograms plus branch/flag accounting for one run."""
@@ -32,6 +36,40 @@ class InstructionMixResult:
     flag_setters: int = 0
     loads: int = 0
     stores: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict; inverse of :meth:`from_dict`. Instruction
+        groups are stored by name."""
+        return {
+            "v": MIX_SCHEMA,
+            "total": self.total,
+            "by_mnemonic": dict(self.by_mnemonic),
+            "by_group": {group.name: count
+                         for group, count in self.by_group.items()},
+            "branches": self.branches,
+            "conditional_branches": self.conditional_branches,
+            "flag_setters": self.flag_setters,
+            "loads": self.loads,
+            "stores": self.stores,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "InstructionMixResult":
+        if doc.get("v") != MIX_SCHEMA:
+            raise ValueError(f"InstructionMixResult schema {doc.get('v')!r} "
+                             f"!= {MIX_SCHEMA}")
+        return cls(
+            total=int(doc["total"]),
+            by_mnemonic={str(k): int(n)
+                         for k, n in doc["by_mnemonic"].items()},
+            by_group={InstructionGroup[name]: int(n)
+                      for name, n in doc["by_group"].items()},
+            branches=int(doc["branches"]),
+            conditional_branches=int(doc["conditional_branches"]),
+            flag_setters=int(doc["flag_setters"]),
+            loads=int(doc["loads"]),
+            stores=int(doc["stores"]),
+        )
 
     @property
     def branch_fraction(self) -> float:

@@ -16,6 +16,10 @@ from repro.asm.program import Region
 from repro.isa.base import DecodedInst
 
 
+#: Bump when the serialized shape of :class:`PathLengthResult` changes.
+PATHLENGTH_SCHEMA = 1
+
+
 @dataclass
 class PathLengthResult:
     """Total and per-kernel dynamic instruction counts."""
@@ -28,6 +32,20 @@ class PathLengthResult:
         if self.total == 0:
             return 0.0
         return self.per_region.get(region, 0) / self.total
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict; inverse of :meth:`from_dict`."""
+        return {"v": PATHLENGTH_SCHEMA, "total": self.total,
+                "per_region": dict(self.per_region)}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "PathLengthResult":
+        if doc.get("v") != PATHLENGTH_SCHEMA:
+            raise ValueError(f"PathLengthResult schema {doc.get('v')!r} != "
+                             f"{PATHLENGTH_SCHEMA}")
+        return cls(total=int(doc["total"]),
+                   per_region={str(k): int(n)
+                               for k, n in doc["per_region"].items()})
 
 
 class PathLengthProbe:

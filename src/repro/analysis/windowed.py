@@ -25,6 +25,10 @@ from repro.isa.base import DecodedInst
 PAPER_WINDOW_SIZES = (4, 16, 64, 200, 500, 1000, 2000)
 
 
+#: Bump when the serialized shape of :class:`WindowedCPResult` changes.
+WINDOWED_SCHEMA = 1
+
+
 @dataclass
 class WindowedCPResult:
     """Per-window-size critical-path statistics."""
@@ -35,6 +39,23 @@ class WindowedCPResult:
     max_cp: int = 0
     min_cp: int = 0
     cps: list[int] = field(default_factory=list, repr=False)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict; inverse of :meth:`from_dict`."""
+        return {"v": WINDOWED_SCHEMA, "window_size": self.window_size,
+                "count": self.count, "total_cp": self.total_cp,
+                "max_cp": self.max_cp, "min_cp": self.min_cp,
+                "cps": list(self.cps)}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "WindowedCPResult":
+        if doc.get("v") != WINDOWED_SCHEMA:
+            raise ValueError(f"WindowedCPResult schema {doc.get('v')!r} != "
+                             f"{WINDOWED_SCHEMA}")
+        return cls(window_size=int(doc["window_size"]),
+                   count=int(doc["count"]), total_cp=int(doc["total_cp"]),
+                   max_cp=int(doc["max_cp"]), min_cp=int(doc["min_cp"]),
+                   cps=[int(cp) for cp in doc["cps"]])
 
     @property
     def mean_cp(self) -> float:

@@ -63,3 +63,15 @@ class CompilerError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid core-model configuration."""
+
+
+class ExperimentError(ReproError):
+    """User-facing experiment-harness failure.
+
+    Raised for problems in how an experiment was *requested* — a suite
+    built without windowed analysis handed to the Figure 2 renderer, a
+    ``report`` invocation whose results are not in the cache, a plan that
+    exhausted its retry budget — as opposed to defects inside the
+    simulator itself (:class:`SimulationError` and friends). Callers can
+    catch this to distinguish "fix your invocation" from "file a bug".
+    """

@@ -1,5 +1,20 @@
 """Experiment harness: regenerates every table and figure in the paper.
 
+The engine is an explicit plan/execute API:
+
+* :class:`repro.harness.plan.ExperimentPlan` — the frozen, hashable
+  description of one workload × ISA × profile configuration;
+  :func:`repro.harness.plan.plan_suite` builds the paper's full matrix.
+* :class:`repro.harness.executor.Executor` — runs a batch of plans
+  in-process or across a ``multiprocessing`` pool, with per-plan
+  timeout, one retry on transient failure, and structured telemetry
+  (:mod:`repro.harness.events`).
+* :class:`repro.harness.cache.ResultCache` — the content-addressed
+  on-disk result cache (``~/.cache/repro-isa`` by default); a cache hit
+  skips simulation entirely.
+
+On top of it, the historical entry points:
+
 * :func:`repro.harness.experiments.run_suite` — compile and run the full
   benchmark × compiler × ISA matrix once, with all analysis probes attached
   (the expensive step; everything below renders from its result).
@@ -13,14 +28,18 @@
   size, GCC 12.2 binaries (Figure 2).
 
 ``python -m repro.harness.cli`` (or the ``repro-isa-compare`` script)
-drives these from the command line and writes the artifact-style text
-outputs (``kernelCounts.txt``, ``basicCPResult.txt``, ``scaledCPResult.txt``,
-``windowAverages.txt``).
+drives these through ``run``/``report``/``cache`` subcommands and writes
+the artifact-style text outputs (``kernelCounts.txt``,
+``basicCPResult.txt``, ``scaledCPResult.txt``, ``windowAverages.txt``).
 """
 
+from repro.harness.cache import ResultCache, default_cache_dir
+from repro.harness.events import ConsoleReporter, EventBus, TimingCollector
+from repro.harness.executor import Executor, execute_plan
 from repro.harness.experiments import (
     ConfigResult,
     SuiteResult,
+    clear_suite_memo,
     run_suite,
     run_figure1,
     run_table1,
@@ -28,10 +47,21 @@ from repro.harness.experiments import (
     run_figure2,
     run_future_cores,
 )
+from repro.harness.plan import ExperimentPlan, plan_suite
 
 __all__ = [
     "ConfigResult",
     "SuiteResult",
+    "ExperimentPlan",
+    "plan_suite",
+    "Executor",
+    "execute_plan",
+    "ResultCache",
+    "default_cache_dir",
+    "EventBus",
+    "ConsoleReporter",
+    "TimingCollector",
+    "clear_suite_memo",
     "run_suite",
     "run_figure1",
     "run_table1",

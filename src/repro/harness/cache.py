@@ -1,0 +1,197 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Layout (under ``~/.cache/repro-isa`` by default, overridable with
+``--cache-dir`` or ``$REPRO_ISA_CACHE_DIR``)::
+
+    <root>/<k0k1>/<key>.json
+
+where ``key = plan.fingerprint()`` — a sha256 over the canonical plan,
+the *content* of the core model it references, and the schema versions of
+every serialized result type (see :meth:`ExperimentPlan.fingerprint`).
+Invalidation is therefore automatic for anything the key covers: a
+different scale, window list, model latency or result schema is simply a
+different key. Changes the key cannot see (edits to the simulator or the
+workload generators themselves) require an explicit
+``repro-isa-compare cache clear``.
+
+Each entry is a single JSON document carrying the plan that produced it,
+a creation timestamp and wall-clock, and the versioned
+``ConfigResult.to_dict()`` payload. Writes are atomic (tmp file +
+``os.replace``), so a killed run never leaves a truncated entry; corrupt
+or unreadable entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.common.errors import ExperimentError
+from repro.harness.plan import ExperimentPlan
+
+if TYPE_CHECKING:
+    from repro.harness.experiments import ConfigResult
+
+#: Bump to orphan every existing cache entry (layout/envelope changes).
+CACHE_FORMAT = 1
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_ISA_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-isa``, else
+    ``~/.cache/repro-isa``."""
+    env = os.environ.get("REPRO_ISA_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro-isa"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    errors: int = 0  # corrupt/unreadable entries encountered (count as misses)
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts, "errors": self.errors}
+
+
+@dataclass
+class CacheEntry:
+    """Metadata for one on-disk entry (``cache ls``)."""
+
+    key: str
+    path: pathlib.Path
+    plan: ExperimentPlan | None
+    created: float
+    seconds: float
+    bytes: int
+
+
+class ResultCache:
+    """Get/put :class:`ConfigResult` objects keyed by plan fingerprint."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = pathlib.Path(root) if root else default_cache_dir()
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- read ------------------------------------------------------------
+
+    def get(self, plan: ExperimentPlan) -> "ConfigResult | None":
+        """The cached result for ``plan``, or None on a miss. Corrupt
+        entries count as misses (and bump ``stats.errors``)."""
+        from repro.harness.experiments import ConfigResult
+
+        path = self.path_for(plan.fingerprint())
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+            if doc.get("format") != CACHE_FORMAT:
+                raise ValueError(f"cache format {doc.get('format')!r}")
+            result = ConfigResult.from_dict(doc["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            self.stats.errors += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def __contains__(self, plan: ExperimentPlan) -> bool:
+        return self.path_for(plan.fingerprint()).is_file()
+
+    # -- write -----------------------------------------------------------
+
+    def put(self, plan: ExperimentPlan, result: "ConfigResult",
+            seconds: float = 0.0) -> pathlib.Path:
+        """Store ``result`` under ``plan``'s fingerprint (atomic)."""
+        key = plan.fingerprint()
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "created": time.time(),
+            "seconds": seconds,
+            "plan": plan.to_dict(),
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, separators=(",", ":"))
+        os.replace(tmp, path)
+        self.stats.puts += 1
+        return path
+
+    # -- maintenance -----------------------------------------------------
+
+    def _files(self) -> Iterator[pathlib.Path]:
+        if not self.root.is_dir():
+            return
+        for sub in sorted(self.root.iterdir()):
+            if sub.is_dir() and len(sub.name) == 2:
+                yield from sorted(sub.glob("*.json"))
+
+    def entries(self) -> list[CacheEntry]:
+        """Metadata for every readable entry (unreadable ones skipped)."""
+        found = []
+        for path in self._files():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    doc = json.load(handle)
+                plan = ExperimentPlan.from_dict(doc["plan"])
+            except (OSError, ValueError, KeyError, TypeError,
+                    ExperimentError):
+                plan = None
+                doc = {}
+            found.append(CacheEntry(
+                key=path.stem,
+                path=path,
+                plan=plan,
+                created=float(doc.get("created", 0.0)),
+                seconds=float(doc.get("seconds", 0.0)),
+                bytes=path.stat().st_size,
+            ))
+        return found
+
+    def disk_stats(self) -> dict:
+        """Entry count and total size on disk."""
+        count = 0
+        total = 0
+        for path in self._files():
+            count += 1
+            total += path.stat().st_size
+        return {"entries": count, "bytes": total, "root": str(self.root)}
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self._files()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        # drop now-empty shard directories (best effort)
+        if self.root.is_dir():
+            for sub in self.root.iterdir():
+                if sub.is_dir() and len(sub.name) == 2:
+                    try:
+                        sub.rmdir()
+                    except OSError:
+                        pass
+        return removed

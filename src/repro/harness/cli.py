@@ -1,14 +1,27 @@
 """Command-line driver: reproduce the paper's artifacts.
 
-Usage::
+Subcommands::
 
-    repro-isa-compare [--scale S] [--workloads stream,lbm,...] [--out DIR]
-                      [--skip-windowed] [--windows 4,16,64,...]
+    repro-isa-compare run    [--scale S] [--workloads stream,lbm,...]
+                             [--jobs N] [--timeout SEC]
+                             [--cache-dir DIR] [--no-cache]
+                             [--skip-windowed] [--windows 4,16,...]
+                             [--out DIR] [--future-cores] [--quiet]
+    repro-isa-compare report [--scale S] [--workloads ...] [--out DIR] ...
+    repro-isa-compare cache  {ls,stats,clear} [--cache-dir DIR]
 
-Prints Figure 1, Table 1, Table 2 and Figure 2 renderings, and (with
-``--out``) writes the artifact-style text files the paper's buildAndRun
-script produced: ``kernelCounts.txt``, ``basicCPResult.txt``,
+``run`` simulates the experiment matrix (fanning out across ``--jobs``
+worker processes) and prints Figure 1, Table 1, Table 2 and Figure 2
+renderings; results are stored in a content-addressed on-disk cache, so
+a second identical invocation performs zero simulations. ``report``
+renders the same artifacts purely from the cache — it never simulates —
+and ``cache`` inspects or empties the store. With ``--out`` both ``run``
+and ``report`` write the artifact-style text files the paper's
+buildAndRun script produced: ``kernelCounts.txt``, ``basicCPResult.txt``,
 ``scaledCPResult.txt`` and ``windowAverages.txt``.
+
+The pre-subcommand invocation (``repro-isa-compare --scale ...``) still
+works as an implicit ``run`` but prints a deprecation note.
 """
 
 from __future__ import annotations
@@ -16,66 +29,114 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import time
 
+from repro.common.errors import ExperimentError
+from repro.harness.cache import ResultCache, default_cache_dir
+from repro.harness.events import ConsoleReporter, EventBus, TimingCollector
 from repro.harness.experiments import (
+    SuiteResult,
     run_figure1,
     run_figure2,
     run_suite,
     run_table1,
     run_table2,
 )
+from repro.harness.plan import ExperimentPlan, plan_suite
+
+_SUBCOMMANDS = ("run", "report", "cache")
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-isa-compare",
-        description="Reproduce 'An Empirical Comparison of the RISC-V and "
-                    "AArch64 Instruction Sets' (SC-W 2023)",
-    )
+def _add_selection_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=1.0,
                         help="problem-size scale factor (default 1.0; see "
                              "DESIGN.md for the size mapping)")
     parser.add_argument("--workloads", type=str, default=None,
                         help="comma-separated subset (default: all five)")
-    parser.add_argument("--out", type=pathlib.Path, default=None,
-                        help="directory for artifact-style text outputs")
     parser.add_argument("--skip-windowed", action="store_true",
                         help="skip the §6 windowed analysis (the slowest)")
     parser.add_argument("--windows", type=str, default=None,
                         help="comma-separated window sizes (default: paper's)")
-    parser.add_argument("--future-cores", action="store_true",
-                        help="also run the §8 finite-core timing models")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="directory for artifact-style text outputs")
     parser.add_argument("--quiet", action="store_true")
-    args = parser.parse_args(argv)
 
-    workloads = tuple(args.workloads.split(",")) if args.workloads else None
-    kwargs = {}
-    if args.windows:
-        kwargs["window_sizes"] = tuple(int(w) for w in args.windows.split(","))
-    suite = run_suite(
-        args.scale,
-        workloads=workloads,
-        windowed=not args.skip_windowed,
-        verbose=not args.quiet,
-        **kwargs,
+
+def _add_cache_dir_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                        help=f"result cache directory (default "
+                             f"{default_cache_dir()})")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-isa-compare",
+        description="Reproduce 'An Empirical Comparison of the RISC-V and "
+                    "AArch64 Instruction Sets' (SC-W 2023)",
     )
+    sub = parser.add_subparsers(dest="command")
 
+    run_p = sub.add_parser(
+        "run", help="simulate the experiment matrix and render artifacts")
+    _add_selection_args(run_p)
+    _add_cache_dir_arg(run_p)
+    run_p.add_argument("--jobs", "-j", type=int, default=1,
+                       help="worker processes for the matrix (default 1 = "
+                            "in-process serial)")
+    run_p.add_argument("--timeout", type=float, default=None,
+                       help="per-config wall-clock limit in seconds "
+                            "(runs each config in a killable worker)")
+    run_p.add_argument("--no-cache", action="store_true",
+                       help="neither read nor write the result cache")
+    run_p.add_argument("--future-cores", action="store_true",
+                       help="also run the §8 finite-core timing models")
+
+    report_p = sub.add_parser(
+        "report", help="render artifacts from cached results (no simulation)")
+    _add_selection_args(report_p)
+    _add_cache_dir_arg(report_p)
+
+    cache_p = sub.add_parser("cache", help="inspect or empty the result cache")
+    cache_p.add_argument("action", choices=("ls", "stats", "clear"))
+    _add_cache_dir_arg(cache_p)
+    cache_p.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def _parse_selection(args) -> dict:
+    workloads = None
+    if args.workloads:
+        workloads = tuple(w.strip() for w in args.workloads.split(",")
+                          if w.strip())
+    windows = None
+    if args.windows:
+        try:
+            windows = tuple(int(w) for w in args.windows.split(","))
+        except ValueError:
+            raise ExperimentError(
+                f"--windows must be a comma-separated list of integers, "
+                f"got {args.windows!r}"
+            ) from None
+        if any(w < 1 for w in windows):
+            raise ExperimentError(
+                f"--windows sizes must be >= 1, got {args.windows!r}"
+            )
+    return {"workloads": workloads, "window_sizes": windows}
+
+
+def _render_and_write(suite: SuiteResult, args, *,
+                      windowed: bool, future=None) -> None:
     figure1 = run_figure1(suite=suite)
     table1 = run_table1(suite=suite)
     table2 = run_table2(suite=suite)
-    figure2 = run_figure2(suite=suite) if not args.skip_windowed else None
+    figure2 = run_figure2(suite=suite) if windowed else None
 
     sections = [figure1.render(), table1.render(), table2.render()]
     if figure2 is not None:
         sections.append(figure2.render())
-    future = None
-    if args.future_cores:
-        from repro.harness.experiments import run_future_cores
-
-        future = run_future_cores(args.scale, workloads=workloads)
+    if future is not None:
         sections.append(future.render())
-    output = "\n\n\n".join(sections)
-    print(output)
+    print("\n\n\n".join(sections))
 
     if args.out is not None:
         from repro.plot import figure1_svg, figure2_svg
@@ -102,7 +163,171 @@ def main(argv: list[str] | None = None) -> int:
             (args.out / "futureCores.txt").write_text(future.render() + "\n")
         if not args.quiet:
             print(f"\nartifact outputs written to {args.out}", file=sys.stderr)
+
+
+# ------------------------------------------------------------------- run
+
+def _cmd_run(args) -> int:
+    selection = _parse_selection(args)
+    windowed = not args.skip_windowed
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    bus = EventBus()
+    timing = TimingCollector()
+    bus.subscribe(timing)
+    if not args.quiet:
+        bus.subscribe(ConsoleReporter(sys.stderr))
+
+    kwargs = {}
+    if selection["window_sizes"]:
+        kwargs["window_sizes"] = selection["window_sizes"]
+    suite = run_suite(
+        args.scale,
+        workloads=selection["workloads"],
+        windowed=windowed,
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        events=bus,
+        **kwargs,
+    )
+
+    future = None
+    if args.future_cores:
+        from repro.harness.experiments import run_future_cores
+
+        future = run_future_cores(args.scale,
+                                  workloads=selection["workloads"])
+    _render_and_write(suite, args, windowed=windowed, future=future)
+
+    if not args.quiet:
+        summary = timing.summary()
+        line = (f"engine: {summary['executed']} simulated, "
+                f"{summary['cache_hits']} cache hits, "
+                f"{summary['retries']} retries "
+                f"in {summary['suite_seconds']:.2f}s")
+        if cache is not None:
+            line += f" (cache: {cache.root})"
+        print(line, file=sys.stderr)
     return 0
+
+
+# ---------------------------------------------------------------- report
+
+def _suite_from_cache(cache: ResultCache, plans: list[ExperimentPlan],
+                      scale: float,
+                      window_sizes: tuple[int, ...]) -> SuiteResult:
+    from repro.workloads import get_workload
+
+    results = {}
+    missing = []
+    for plan in plans:
+        result = cache.get(plan)
+        if result is None:
+            missing.append(plan.describe())
+        else:
+            results[plan] = result
+    if missing:
+        raise ExperimentError(
+            f"{len(missing)} of {len(plans)} configs are not in the cache "
+            f"({cache.root}): {', '.join(missing)}; "
+            f"run 'repro-isa-compare run' with the same parameters first"
+        )
+    names = tuple(dict.fromkeys(plan.workload for plan in plans))
+    suite = SuiteResult(
+        scale=scale,
+        workloads={name: get_workload(name, scale) for name in names},
+        window_sizes=window_sizes,
+    )
+    for plan, result in results.items():
+        suite.configs[plan.config_key] = result
+    return suite
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.windowed import PAPER_WINDOW_SIZES
+
+    selection = _parse_selection(args)
+    windowed = not args.skip_windowed
+    sizes = selection["window_sizes"] or PAPER_WINDOW_SIZES
+    cache = ResultCache(args.cache_dir)
+    plans = plan_suite(
+        args.scale,
+        workloads=selection["workloads"],
+        windowed=windowed,
+        window_sizes=sizes,
+    )
+    suite = _suite_from_cache(cache, plans, args.scale, sizes)
+    _render_and_write(suite, args, windowed=windowed)
+    if not args.quiet:
+        print(f"report: {len(plans)} configs rendered from cache "
+              f"({cache.root}), zero simulations", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------- cache
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        if not args.quiet:
+            print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    if args.action == "stats":
+        stats = cache.disk_stats()
+        print(f"cache root : {stats['root']}")
+        print(f"entries    : {stats['entries']}")
+        print(f"total size : {stats['bytes']} bytes")
+        return 0
+    # ls
+    entries = cache.entries()
+    if not entries:
+        print(f"(cache at {cache.root} is empty)")
+        return 0
+    for entry in entries:
+        if entry.plan is not None:
+            desc = (f"{entry.plan.describe():32s} scale={entry.plan.scale:g}"
+                    f"{' windowed' if entry.plan.windowed else ''}")
+        else:
+            desc = "(unreadable entry)"
+        age = time.time() - entry.created if entry.created else 0.0
+        print(f"{entry.key[:12]}  {desc:48s} {entry.bytes:8d} B  "
+              f"{entry.seconds:7.2f}s sim  {age / 3600.0:6.1f}h old")
+    return 0
+
+
+# ------------------------------------------------------------------ main
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    implicit_run = bool(argv) and argv[0] not in _SUBCOMMANDS and \
+        argv[0] not in ("-h", "--help")
+    if not argv:
+        implicit_run = True
+    if implicit_run:
+        if "--quiet" not in argv:
+            print("note: flag-only invocation is deprecated; use "
+                  "'repro-isa-compare run [flags]' (implicit 'run' assumed)",
+                  file=sys.stderr)
+        argv = ["run"] + argv
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
+    except ExperimentError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    parser.print_help()
+    return 2
 
 
 if __name__ == "__main__":

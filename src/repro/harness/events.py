@@ -1,0 +1,181 @@
+"""Structured progress/timing telemetry for the experiment engine.
+
+The executor emits typed events instead of printing: callers subscribe a
+callback on an :class:`EventBus` and decide what to do with them — the
+bundled :class:`ConsoleReporter` reproduces (and improves on) the old
+``run_suite(verbose=True)`` progress lines, :class:`TimingCollector`
+accumulates the per-plan wall-clock and cache hit/miss statistics the CLI
+and the benchmark script report, and tests can capture the raw stream.
+
+Subscriber exceptions are swallowed: telemetry must never fail a run.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TextIO
+
+from repro.harness.plan import ExperimentPlan
+
+__all__ = [
+    "Event",
+    "SuiteStarted",
+    "PlanStarted",
+    "PlanFinished",
+    "PlanCacheHit",
+    "PlanFailed",
+    "SuiteFinished",
+    "EventBus",
+    "ConsoleReporter",
+    "TimingCollector",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class; ``when`` is a ``time.monotonic()`` stamp."""
+
+    when: float = field(init=False, compare=False,
+                        default_factory=time.monotonic)
+
+
+@dataclass(frozen=True)
+class SuiteStarted(Event):
+    total: int = 0
+    jobs: int = 1
+    cached: int = 0  # plans already satisfied from the cache
+
+
+@dataclass(frozen=True)
+class PlanStarted(Event):
+    plan: ExperimentPlan = None
+    index: int = 0       # 1-based position in the batch
+    total: int = 0
+    attempt: int = 1     # 1 on the first try, 2 on the retry
+
+
+@dataclass(frozen=True)
+class PlanFinished(Event):
+    plan: ExperimentPlan = None
+    index: int = 0
+    total: int = 0
+    seconds: float = 0.0
+    attempt: int = 1
+
+
+@dataclass(frozen=True)
+class PlanCacheHit(Event):
+    plan: ExperimentPlan = None
+    index: int = 0
+    total: int = 0
+    key: str = ""
+
+
+@dataclass(frozen=True)
+class PlanFailed(Event):
+    plan: ExperimentPlan = None
+    error: str = ""
+    attempt: int = 1
+    will_retry: bool = False
+
+
+@dataclass(frozen=True)
+class SuiteFinished(Event):
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    seconds: float = 0.0
+
+
+class EventBus:
+    """Minimal fan-out: subscribe callables, emit events to all of them."""
+
+    def __init__(self):
+        self._subscribers: list[Callable[[Event], None]] = []
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[Event], None]) -> None:
+        self._subscribers.remove(callback)
+
+    def emit(self, event: Event) -> None:
+        for callback in self._subscribers:
+            try:
+                callback(event)
+            except Exception:  # noqa: BLE001 — telemetry must not fail a run
+                pass
+
+
+class ConsoleReporter:
+    """Human-readable progress lines, one per plan event."""
+
+    def __init__(self, stream: TextIO | None = None):
+        self.stream = stream if stream is not None else sys.stdout
+
+    def __call__(self, event: Event) -> None:
+        text = None
+        if isinstance(event, SuiteStarted):
+            live = event.total - event.cached
+            text = (f"suite: {event.total} configs "
+                    f"({event.cached} cached, {live} to run, "
+                    f"jobs={event.jobs})")
+        elif isinstance(event, PlanStarted):
+            retry = f" (retry {event.attempt - 1})" if event.attempt > 1 else ""
+            text = (f"[{event.index}/{event.total}] running "
+                    f"{event.plan.describe()}{retry} ...")
+        elif isinstance(event, PlanFinished):
+            text = (f"[{event.index}/{event.total}] finished "
+                    f"{event.plan.describe()} in {event.seconds:.2f}s")
+        elif isinstance(event, PlanCacheHit):
+            text = (f"[{event.index}/{event.total}] cached   "
+                    f"{event.plan.describe()} ({event.key[:12]})")
+        elif isinstance(event, PlanFailed):
+            action = "retrying" if event.will_retry else "giving up"
+            text = (f"FAILED {event.plan.describe()} "
+                    f"(attempt {event.attempt}): {event.error} — {action}")
+        elif isinstance(event, SuiteFinished):
+            text = (f"suite: done in {event.seconds:.2f}s "
+                    f"({event.executed} simulated, {event.cached} cache hits"
+                    + (f", {event.failed} failed" if event.failed else "")
+                    + ")")
+        if text is not None:
+            print(text, file=self.stream, flush=True)
+
+
+class TimingCollector:
+    """Accumulates the statistics a run summary needs."""
+
+    def __init__(self):
+        self.executed = 0
+        self.cache_hits = 0
+        self.failures = 0
+        self.retries = 0
+        self.suite_seconds = 0.0
+        self.plan_seconds: dict[ExperimentPlan, float] = {}
+
+    def __call__(self, event: Event) -> None:
+        if isinstance(event, PlanFinished):
+            self.executed += 1
+            self.plan_seconds[event.plan] = event.seconds
+        elif isinstance(event, PlanCacheHit):
+            self.cache_hits += 1
+        elif isinstance(event, PlanFailed):
+            if event.will_retry:
+                self.retries += 1
+            else:
+                self.failures += 1
+        elif isinstance(event, SuiteFinished):
+            self.suite_seconds = event.seconds
+
+    def summary(self) -> dict:
+        return {
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "failures": self.failures,
+            "retries": self.retries,
+            "suite_seconds": self.suite_seconds,
+        }

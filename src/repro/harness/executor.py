@@ -1,0 +1,349 @@
+"""Plan execution: serial or process-parallel, cached, with retry.
+
+The :class:`Executor` turns a batch of :class:`ExperimentPlan` values
+into :class:`ConfigResult` values. For each plan it
+
+1. consults the optional on-disk :class:`ResultCache` (a hit skips
+   simulation entirely);
+2. otherwise simulates — in-process when ``jobs == 1`` and no timeout is
+   requested, else in a worker process (``multiprocessing``, fork start
+   method where available) so the matrix fans out across cores and a
+   wedged simulation can be killed on timeout;
+3. retries once (configurable) on *transient* failures — a worker killed
+   by a signal, a timeout, an OS-level error — and raises
+   :class:`ExperimentError` for anything that remains failed;
+4. emits structured telemetry (:mod:`repro.harness.events`) throughout.
+
+Results computed in worker processes travel back through the same
+versioned ``to_dict``/``from_dict`` round-trip the cache uses, so the
+parallel path is bit-identical to the serial one by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Sequence
+
+from repro.common.errors import ExperimentError, ReproError
+from repro.harness.cache import ResultCache
+from repro.harness.events import (
+    EventBus,
+    PlanCacheHit,
+    PlanFailed,
+    PlanFinished,
+    PlanStarted,
+    SuiteFinished,
+    SuiteStarted,
+)
+from repro.harness.plan import ExperimentPlan, plan_suite
+
+if TYPE_CHECKING:
+    from repro.harness.experiments import ConfigResult, SuiteResult
+
+#: Failure classes worth one more attempt; everything else is
+#: deterministic and retrying would only double the wall-clock.
+_TRANSIENT = (OSError, EOFError, MemoryError, TimeoutError)
+
+#: Polling interval for the process scheduler, seconds.
+_POLL_S = 0.02
+
+
+def execute_plan(plan: ExperimentPlan) -> "ConfigResult":
+    """Simulate one plan in this process (no cache, no retry)."""
+    from repro.harness.experiments import run_config
+    from repro.workloads import get_workload
+
+    workload = get_workload(plan.workload, plan.scale)
+    return run_config(
+        workload,
+        plan.isa,
+        plan.profile,
+        windowed=plan.windowed,
+        window_sizes=plan.window_sizes,
+        slide_fraction=plan.slide_fraction,
+        models={plan.isa: plan.model},
+        max_instructions=plan.max_instructions,
+    )
+
+
+def _child_main(conn, plan_doc: dict) -> None:
+    """Worker-process entry point: simulate and ship the result dict."""
+    try:
+        plan = ExperimentPlan.from_dict(plan_doc)
+        started = time.monotonic()
+        result = execute_plan(plan)
+        conn.send({"ok": True, "result": result.to_dict(),
+                   "seconds": time.monotonic() - started})
+    except BaseException as err:  # noqa: BLE001 — must report, not crash
+        try:
+            conn.send({"ok": False,
+                       "error": f"{type(err).__name__}: {err}",
+                       "transient": isinstance(err, _TRANSIENT)})
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+
+
+class Executor:
+    """Runs batches of plans with caching, parallelism and retry.
+
+    Args:
+        jobs: worker processes; 1 (the default) runs in-process.
+        cache: optional :class:`ResultCache`; hits skip simulation and
+            fresh results are written back.
+        events: optional :class:`EventBus` for progress telemetry.
+        timeout: per-plan wall-clock limit in seconds. Enforced by
+            running plans in killable worker processes, so setting it
+            forces the process path even with ``jobs=1``.
+        retries: extra attempts after a transient failure (default 1).
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        events: EventBus | None = None,
+        timeout: float | None = None,
+        retries: int = 1,
+    ):
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ExperimentError(f"timeout must be positive, got {timeout}")
+        self.jobs = jobs
+        self.cache = cache
+        self.events = events or EventBus()
+        self.timeout = timeout
+        self.retries = retries
+
+    # -- public API ------------------------------------------------------
+
+    def run(self, plans: Sequence[ExperimentPlan],
+            ) -> dict[ExperimentPlan, "ConfigResult"]:
+        """Execute a batch; returns ``{plan: result}`` in input order."""
+        plans = list(plans)
+        started = time.monotonic()
+        results: dict[ExperimentPlan, "ConfigResult"] = {}
+        indices = {plan: i + 1 for i, plan in enumerate(plans)}
+        total = len(plans)
+
+        todo: list[ExperimentPlan] = []
+        for plan in plans:
+            cached = self.cache.get(plan) if self.cache is not None else None
+            if cached is not None:
+                results[plan] = cached
+                self.events.emit(PlanCacheHit(
+                    plan=plan, index=indices[plan], total=total,
+                    key=plan.fingerprint()))
+            else:
+                todo.append(plan)
+        self.events.emit(SuiteStarted(
+            total=total, jobs=self.jobs, cached=len(results)))
+
+        failures: dict[ExperimentPlan, str] = {}
+        if todo:
+            if self.jobs == 1 and self.timeout is None:
+                fresh = self._run_serial(todo, indices, total, failures)
+            else:
+                fresh = self._run_pool(todo, indices, total, failures)
+            results.update(fresh)
+
+        self.events.emit(SuiteFinished(
+            total=total,
+            executed=len(todo) - len(failures),
+            cached=total - len(todo),
+            failed=len(failures),
+            seconds=time.monotonic() - started,
+        ))
+        if failures:
+            detail = "; ".join(f"{plan.describe()}: {err}"
+                               for plan, err in failures.items())
+            raise ExperimentError(
+                f"{len(failures)} of {total} plans failed: {detail}"
+            )
+        return {plan: results[plan] for plan in plans}
+
+    def run_suite(
+        self,
+        scale: float = 1.0,
+        *,
+        workloads: tuple[str, ...] | None = None,
+        windowed: bool = True,
+        window_sizes: tuple[int, ...] | None = None,
+        slide_fraction: float = 0.5,
+        models: dict[str, str] | None = None,
+        max_instructions: int = 500_000_000,
+    ) -> "SuiteResult":
+        """Plan and execute the paper matrix; assemble a SuiteResult."""
+        from repro.analysis.windowed import PAPER_WINDOW_SIZES
+        from repro.harness.experiments import SuiteResult
+        from repro.workloads import get_workload
+
+        sizes = tuple(window_sizes) if window_sizes else PAPER_WINDOW_SIZES
+        plans = plan_suite(
+            scale,
+            workloads=workloads,
+            windowed=windowed,
+            window_sizes=sizes,
+            slide_fraction=slide_fraction,
+            models=models,
+            max_instructions=max_instructions,
+        )
+        results = self.run(plans)
+        names = tuple(workloads) if workloads else tuple(
+            dict.fromkeys(plan.workload for plan in plans))
+        suite = SuiteResult(
+            scale=scale,
+            workloads={name: get_workload(name, scale) for name in names},
+            window_sizes=sizes,
+        )
+        for plan, result in results.items():
+            suite.configs[plan.config_key] = result
+        return suite
+
+    # -- serial path -----------------------------------------------------
+
+    def _run_serial(self, todo, indices, total, failures):
+        results = {}
+        for plan in todo:
+            attempt = 1
+            while True:
+                self.events.emit(PlanStarted(
+                    plan=plan, index=indices[plan], total=total,
+                    attempt=attempt))
+                plan_started = time.monotonic()
+                try:
+                    result = execute_plan(plan)
+                except _TRANSIENT as err:
+                    message = f"{type(err).__name__}: {err}"
+                    retry = attempt <= self.retries
+                    self.events.emit(PlanFailed(
+                        plan=plan, error=message, attempt=attempt,
+                        will_retry=retry))
+                    if not retry:
+                        failures[plan] = message
+                        break
+                    attempt += 1
+                    continue
+                except (ReproError, AssertionError) as err:
+                    # deterministic: simulator/config bugs surface as-is
+                    self.events.emit(PlanFailed(
+                        plan=plan, error=f"{type(err).__name__}: {err}",
+                        attempt=attempt, will_retry=False))
+                    raise
+                seconds = time.monotonic() - plan_started
+                self.events.emit(PlanFinished(
+                    plan=plan, index=indices[plan], total=total,
+                    seconds=seconds, attempt=attempt))
+                results[plan] = result
+                if self.cache is not None:
+                    self.cache.put(plan, result, seconds=seconds)
+                break
+        return results
+
+    # -- process pool ----------------------------------------------------
+
+    def _run_pool(self, todo, indices, total, failures):
+        from repro.harness.experiments import ConfigResult
+
+        ctx = _mp_context()
+        pending = deque((plan, 1) for plan in todo)
+        active = {}  # Process -> (plan, attempt, conn, started)
+        results = {}
+
+        def finish(proc, plan, attempt, message=None, transient=False,
+                   payload=None):
+            if payload is not None:
+                seconds = payload.get("seconds", 0.0)
+                result = ConfigResult.from_dict(payload["result"])
+                results[plan] = result
+                self.events.emit(PlanFinished(
+                    plan=plan, index=indices[plan], total=total,
+                    seconds=seconds, attempt=attempt))
+                if self.cache is not None:
+                    self.cache.put(plan, result, seconds=seconds)
+                return
+            retry = transient and attempt <= self.retries
+            self.events.emit(PlanFailed(
+                plan=plan, error=message, attempt=attempt, will_retry=retry))
+            if retry:
+                pending.append((plan, attempt + 1))
+            else:
+                failures[plan] = message
+
+        try:
+            while pending or active:
+                while pending and len(active) < self.jobs:
+                    plan, attempt = pending.popleft()
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_child_main,
+                        args=(child_conn, plan.to_dict()),
+                        daemon=True,
+                    )
+                    self.events.emit(PlanStarted(
+                        plan=plan, index=indices[plan], total=total,
+                        attempt=attempt))
+                    proc.start()
+                    child_conn.close()
+                    active[proc] = (plan, attempt, parent_conn,
+                                    time.monotonic())
+
+                time.sleep(_POLL_S)
+                for proc in list(active):
+                    plan, attempt, conn, started = active[proc]
+                    if conn.poll():
+                        try:
+                            msg = conn.recv()
+                        except (EOFError, OSError):
+                            msg = None
+                        proc.join()
+                        del active[proc]
+                        conn.close()
+                        if msg is None:
+                            finish(proc, plan, attempt,
+                                   message="worker pipe closed unexpectedly",
+                                   transient=True)
+                        elif msg.get("ok"):
+                            finish(proc, plan, attempt, payload=msg)
+                        else:
+                            finish(proc, plan, attempt,
+                                   message=msg.get("error", "unknown error"),
+                                   transient=bool(msg.get("transient")))
+                    elif not proc.is_alive():
+                        proc.join()
+                        del active[proc]
+                        conn.close()
+                        finish(proc, plan, attempt,
+                               message=f"worker died (exit code "
+                                       f"{proc.exitcode})",
+                               transient=True)
+                    elif (self.timeout is not None
+                          and time.monotonic() - started > self.timeout):
+                        proc.terminate()
+                        proc.join()
+                        del active[proc]
+                        conn.close()
+                        finish(proc, plan, attempt,
+                               message=f"timed out after {self.timeout:g}s",
+                               transient=True)
+        finally:
+            for proc, (_plan, _attempt, conn, _started) in active.items():
+                proc.terminate()
+                proc.join()
+                conn.close()
+        return results

@@ -6,6 +6,21 @@ plain critical path, scaled critical path (TX2 / TX2-derived models),
 instruction mix, and (on GCC 12.2 binaries, per §6.1) the windowed
 critical path. The figures and tables then render from the cached
 :class:`SuiteResult` without re-simulating.
+
+This module is now a thin layer over the plan/execute engine:
+
+* :mod:`repro.harness.plan` — :class:`ExperimentPlan` (the frozen,
+  hashable description of one config) and :func:`plan_suite`;
+* :mod:`repro.harness.executor` — :class:`Executor` (serial or
+  process-parallel execution with per-plan timeout, retry, and caching);
+* :mod:`repro.harness.cache` — the content-addressed on-disk result
+  cache;
+* :mod:`repro.harness.events` — structured progress/timing telemetry.
+
+:func:`run_suite` keeps its historical signature (plus ``jobs``,
+``cache`` and ``events``), and the ``run_figure*``/``run_table*`` entry
+points share one memoized suite per parameter set instead of silently
+re-simulating the whole matrix each.
 """
 
 from __future__ import annotations
@@ -26,20 +41,21 @@ from repro.analysis import (
 )
 from repro.analysis.report import format_table
 from repro.analysis.windowed import PAPER_WINDOW_SIZES
+from repro.common.errors import ExperimentError
+from repro.harness.plan import (  # noqa: F401 — compat re-exports
+    BASELINE,
+    CLOCK_GHZ,
+    ISA_DISPLAY,
+    ISAS,
+    PROFILE_DISPLAY,
+    PROFILES,
+    SCALED_MODELS,
+)
 from repro.sim.config import CoreModel, load_core_model
 from repro.workloads import ALL_WORKLOADS, Workload, get_workload, run_workload
 
-ISAS = ("aarch64", "rv64")
-PROFILES = ("gcc9", "gcc12")
-#: Figure 1 normalizes every bar to this configuration.
-BASELINE = ("aarch64", "gcc9")
-CLOCK_GHZ = 2.0
-
-#: §5.1: the TX2 model for AArch64, the TX2-derived model for RISC-V.
-SCALED_MODELS = {"aarch64": "tx2", "rv64": "tx2-riscv"}
-
-ISA_DISPLAY = {"aarch64": "AArch64", "rv64": "RISC-V"}
-PROFILE_DISPLAY = {"gcc9": "GCC 9.2", "gcc12": "GCC 12.2"}
+#: Bump when the serialized shape of :class:`ConfigResult` changes.
+CONFIG_RESULT_SCHEMA = 1
 
 
 @dataclass
@@ -72,6 +88,46 @@ class ConfigResult:
 
     def scaled_runtime_ms(self, clock_ghz: float = CLOCK_GHZ) -> float:
         return runtime_ms(self.scaled_cp.critical_path, clock_ghz)
+
+    def to_dict(self) -> dict:
+        """Versioned JSON-safe dict; exact inverse of :meth:`from_dict`
+        (all leaf values are ints/strings, so the round-trip — and the
+        on-disk cache built on it — is lossless)."""
+        return {
+            "v": CONFIG_RESULT_SCHEMA,
+            "workload": self.workload,
+            "isa": self.isa,
+            "profile": self.profile,
+            "path": self.path.to_dict(),
+            "cp": self.cp.to_dict(),
+            "scaled_cp": self.scaled_cp.to_dict(),
+            "mix": self.mix.to_dict(),
+            "windowed": (
+                None if self.windowed is None
+                else {str(w): r.to_dict() for w, r in self.windowed.items()}
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ConfigResult":
+        if doc.get("v") != CONFIG_RESULT_SCHEMA:
+            raise ValueError(f"ConfigResult schema {doc.get('v')!r} != "
+                             f"{CONFIG_RESULT_SCHEMA}")
+        windowed = doc["windowed"]
+        return cls(
+            workload=doc["workload"],
+            isa=doc["isa"],
+            profile=doc["profile"],
+            path=PathLengthResult.from_dict(doc["path"]),
+            cp=CriticalPathResult.from_dict(doc["cp"]),
+            scaled_cp=CriticalPathResult.from_dict(doc["scaled_cp"]),
+            mix=InstructionMixResult.from_dict(doc["mix"]),
+            windowed=(
+                None if windowed is None
+                else {int(w): WindowedCPResult.from_dict(r)
+                      for w, r in windowed.items()}
+            ),
+        )
 
 
 @dataclass
@@ -135,27 +191,68 @@ def run_suite(
     windowed: bool = True,
     window_sizes: tuple[int, ...] = PAPER_WINDOW_SIZES,
     verbose: bool = False,
+    jobs: int = 1,
+    cache=None,
+    timeout: float | None = None,
+    events=None,
 ) -> SuiteResult:
     """Run the full matrix. ``scale`` scales every workload's problem size
     (1.0 = reduced defaults; see DESIGN.md §5). Windowed analysis runs on
-    GCC 12.2 binaries only, as in §6.1."""
-    names = workloads or tuple(ALL_WORKLOADS)
-    suite = SuiteResult(
-        scale=scale,
-        workloads={name: get_workload(name, scale) for name in names},
+    GCC 12.2 binaries only, as in §6.1.
+
+    Compatibility wrapper over :class:`repro.harness.executor.Executor`:
+    ``jobs`` fans the matrix out across worker processes, ``cache`` (a
+    :class:`repro.harness.cache.ResultCache`) skips already-computed
+    configs, ``timeout`` bounds each config's wall-clock, and ``events``
+    (an :class:`repro.harness.events.EventBus`) receives structured
+    progress telemetry; ``verbose`` attaches a console reporter to it.
+    """
+    from repro.harness.events import ConsoleReporter, EventBus
+    from repro.harness.executor import Executor
+
+    bus = events if events is not None else EventBus()
+    if verbose:
+        bus.subscribe(ConsoleReporter())
+    executor = Executor(jobs=jobs, cache=cache, events=bus, timeout=timeout)
+    return executor.run_suite(
+        scale,
+        workloads=workloads,
+        windowed=windowed,
         window_sizes=tuple(window_sizes),
     )
-    for name, workload in suite.workloads.items():
-        for isa in ISAS:
-            for profile in PROFILES:
-                wants_window = windowed and profile == "gcc12"
-                if verbose:
-                    print(f"running {name}/{isa}/{profile} ...", flush=True)
-                suite.configs[(name, isa, profile)] = run_config(
-                    workload, isa, profile,
-                    windowed=wants_window, window_sizes=window_sizes,
-                )
-    return suite
+
+
+# ------------------------------------------------------- shared-suite memo
+
+#: Suites already simulated this process, keyed by the parameters that
+#: produced them. ``run_figure*``/``run_table*`` called without a suite
+#: share these instead of each re-simulating the full matrix.
+_SUITE_MEMO: dict[tuple, SuiteResult] = {}
+
+
+def clear_suite_memo() -> None:
+    """Drop the in-process suite memo (mainly for tests)."""
+    _SUITE_MEMO.clear()
+
+
+def _shared_suite(
+    scale: float,
+    *,
+    windowed: bool,
+    window_sizes: tuple[int, ...] = PAPER_WINDOW_SIZES,
+) -> SuiteResult:
+    """Fetch-or-run the full-matrix suite for these parameters. A
+    windowed suite satisfies non-windowed requests (it is a superset)."""
+    sizes = tuple(window_sizes)
+    windowed_key = (scale, sizes, True)
+    if windowed_key in _SUITE_MEMO:
+        return _SUITE_MEMO[windowed_key]
+    key = (scale, sizes, windowed)
+    if key not in _SUITE_MEMO:
+        _SUITE_MEMO[key] = run_suite(
+            scale, windowed=windowed, window_sizes=sizes
+        )
+    return _SUITE_MEMO[key]
 
 
 # --------------------------------------------------------------- Figure 1
@@ -190,7 +287,7 @@ class Figure1Result:
 
 def run_figure1(scale: float = 1.0, suite: SuiteResult | None = None) -> Figure1Result:
     if suite is None:
-        suite = run_suite(scale, windowed=False)
+        suite = _shared_suite(scale, windowed=False)
     normalized: dict[str, dict[tuple[str, str], dict[str, float]]] = {}
     raw: dict[str, dict[tuple[str, str], dict[str, int]]] = {}
     for name in suite.workloads:
@@ -258,13 +355,13 @@ class TableResult:
 
 def run_table1(scale: float = 1.0, suite: SuiteResult | None = None) -> TableResult:
     if suite is None:
-        suite = run_suite(scale, windowed=False)
+        suite = _shared_suite(scale, windowed=False)
     return TableResult(suite=suite, scaled=False)
 
 
 def run_table2(scale: float = 1.0, suite: SuiteResult | None = None) -> TableResult:
     if suite is None:
-        suite = run_suite(scale, windowed=False)
+        suite = _shared_suite(scale, windowed=False)
     return TableResult(suite=suite, scaled=True)
 
 
@@ -374,14 +471,15 @@ def run_figure2(
     window_sizes: tuple[int, ...] = PAPER_WINDOW_SIZES,
 ) -> Figure2Result:
     if suite is None:
-        suite = run_suite(scale, windowed=True, window_sizes=window_sizes)
+        suite = _shared_suite(scale, windowed=True,
+                              window_sizes=window_sizes)
     series: dict[str, dict[str, list[tuple[int, float]]]] = {}
     for name in suite.workloads:
         series[name] = {}
         for isa in ISAS:
             config = suite.get(name, isa, "gcc12")
             if config.windowed is None:
-                raise ValueError(
+                raise ExperimentError(
                     "suite was built without windowed analysis; "
                     "re-run with windowed=True"
                 )

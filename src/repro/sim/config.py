@@ -21,7 +21,9 @@ per-opcode tables; the scaled-CP analysis only consumes group latencies.
 
 from __future__ import annotations
 
+import hashlib
 import importlib.resources
+import json
 from dataclasses import dataclass, field
 
 from repro import yamlite
@@ -57,6 +59,27 @@ class CoreModel:
             raise ConfigError(
                 f"model {self.name!r} has no latency for group {group.name}"
             ) from None
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the model (name, ISA, clock, every group
+        latency and pipeline parameter). Experiment cache keys embed this,
+        so editing a model YAML invalidates every cached result computed
+        under it."""
+        doc = {
+            "name": self.name,
+            "isa": self.isa,
+            "clock_ghz": self.clock_ghz,
+            "latencies": {g.name: self.latencies[g]
+                          for g in sorted(self.latencies, key=lambda g: g.name)},
+            "pipeline": {
+                "issue_width": self.pipeline.issue_width,
+                "rob_size": self.pipeline.rob_size,
+                "fetch_width": self.pipeline.fetch_width,
+                "lsq_size": self.pipeline.lsq_size,
+            },
+        }
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def scaled(self, factor: float) -> "CoreModel":
         """A copy with every latency scaled by ``factor`` (hypothetical-core

@@ -10,6 +10,22 @@ from repro.loader import program_to_image
 from repro.sim import run_image
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the experiment result cache at a per-session temp dir so tests
+    neither read stale entries from nor pollute the user's real cache."""
+    import os
+
+    root = tmp_path_factory.mktemp("repro-isa-cache")
+    old = os.environ.get("REPRO_ISA_CACHE_DIR")
+    os.environ["REPRO_ISA_CACHE_DIR"] = str(root)
+    yield root
+    if old is None:
+        os.environ.pop("REPRO_ISA_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_ISA_CACHE_DIR"] = old
+
+
 @pytest.fixture(scope="session")
 def rv64():
     return get_isa("rv64")
