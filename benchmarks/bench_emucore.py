@@ -1,0 +1,120 @@
+"""Microbenchmark for the emulation core's analysis paths.
+
+Times one workload binary three ways and writes ``BENCH_emucore.json``
+(instructions/second for each) next to this file::
+
+    PYTHONPATH=src python benchmarks/bench_emucore.py --scale 0.02
+
+* ``probe_free`` — plain emulation, no analysis attached: the core's
+  ceiling.
+* ``legacy_probes`` — the five per-retire probe callbacks (path length,
+  plain CP, scaled CP, mix, windowed CP): the pre-fused analysis cost.
+* ``fused`` — the batched single-pass :class:`FusedAnalysisEngine`: the
+  default analysis path.
+
+Not a pytest file: run it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import __version__  # noqa: E402
+from repro.analysis import (  # noqa: E402
+    CriticalPathProbe,
+    FusedAnalysisEngine,
+    InstructionMixProbe,
+    PathLengthProbe,
+    WindowedCPProbe,
+)
+from repro.isa import get_isa  # noqa: E402
+from repro.sim import run_image  # noqa: E402
+from repro.sim.config import load_core_model  # noqa: E402
+from repro.workloads import get_workload  # noqa: E402
+
+
+def _time_mode(compiled, isa, mode, model, windows):
+    started = time.perf_counter()
+    if mode == "probe_free":
+        result, _ = run_image(compiled.image, isa)
+    elif mode == "legacy_probes":
+        probes = [
+            PathLengthProbe(compiled.image.regions),
+            CriticalPathProbe(),
+            CriticalPathProbe(model),
+            InstructionMixProbe(),
+            WindowedCPProbe(windows, 0.5),
+        ]
+        result, _ = run_image(compiled.image, isa, probes)
+    elif mode == "fused":
+        engine = FusedAnalysisEngine(
+            regions=compiled.image.regions, model=model,
+            windowed=True, window_sizes=windows,
+        )
+        result, _ = run_image(compiled.image, isa, batch_sinks=[engine])
+        engine.results()
+    else:
+        raise ValueError(mode)
+    seconds = time.perf_counter() - started
+    return result.instructions, seconds
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="stream")
+    parser.add_argument("--isa", default="rv64")
+    parser.add_argument("--profile", default="gcc12")
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--windows", type=str, default="4,16")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path(__file__).parent
+                        / "BENCH_emucore.json")
+    args = parser.parse_args(argv)
+
+    windows = tuple(int(w) for w in args.windows.split(","))
+    workload = get_workload(args.workload, args.scale)
+    compiled = workload.compile(args.isa, args.profile)
+    isa = get_isa(compiled.isa_name)
+
+    modes = {}
+    for mode in ("probe_free", "legacy_probes", "fused"):
+        instructions, seconds = _time_mode(
+            compiled, isa, mode, load_core_model(
+                "tx2" if args.isa == "aarch64" else "tx2-riscv"), windows)
+        ips = instructions / seconds if seconds else 0.0
+        modes[mode] = {
+            "instructions": instructions,
+            "seconds": round(seconds, 4),
+            "instructions_per_second": round(ips),
+        }
+        print(f"  {mode:14s}: {seconds:7.3f}s  "
+              f"({ips / 1e6:6.2f} M inst/s)", flush=True)
+
+    doc = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "workload": args.workload,
+        "isa": args.isa,
+        "profile": args.profile,
+        "scale": args.scale,
+        "windows": list(windows),
+        "modes": modes,
+        "fused_vs_legacy_speedup": round(
+            modes["legacy_probes"]["seconds"] / modes["fused"]["seconds"], 3)
+        if modes["fused"]["seconds"] else None,
+    }
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

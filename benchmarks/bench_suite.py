@@ -1,7 +1,9 @@
 """Timing script for the experiment engine: serial vs parallel vs cached.
 
-Runs the suite three ways — in-process serial, process-parallel
-(``--jobs``), and a second cached pass — and writes ``BENCH_suite.json``
+Runs the suite four ways — in-process serial, process-parallel
+(``--jobs``), a second cached pass, and a trace-replay pass (changed
+window sizes against the same cache, so analyses replay recorded
+retirement streams instead of re-simulating) — and writes ``BENCH_suite.json``
 next to this file (or to ``--out``) so future PRs have a performance
 trajectory to compare against::
 
@@ -67,8 +69,15 @@ def main(argv=None) -> int:
     with tempfile.TemporaryDirectory() as tmp:
         cold_s = _timed_run(plans, jobs=1, cache=ResultCache(tmp))
         warm_s = _timed_run(plans, jobs=1, cache=ResultCache(tmp))
+        # same simulations, different window sizes: result-level misses,
+        # trace-level hits — analyses replay the recorded streams
+        replay_plans = plan_suite(
+            args.scale, workloads=workloads, windowed=True,
+            window_sizes=tuple(2 * w for w in windows))
+        replay_s = _timed_run(replay_plans, jobs=1, cache=ResultCache(tmp))
     print(f"  cache cold       : {cold_s:8.2f}s", flush=True)
     print(f"  cache warm (hits): {warm_s:8.2f}s", flush=True)
+    print(f"  trace replay     : {replay_s:8.2f}s", flush=True)
 
     doc = {
         "version": __version__,
@@ -83,9 +92,12 @@ def main(argv=None) -> int:
         "parallel_seconds": round(parallel_s, 3),
         "cache_cold_seconds": round(cold_s, 3),
         "cache_warm_seconds": round(warm_s, 3),
+        "trace_replay_seconds": round(replay_s, 3),
         "parallel_speedup": round(serial_s / parallel_s, 3)
         if parallel_s else None,
         "cache_hit_speedup": round(cold_s / warm_s, 3) if warm_s else None,
+        "trace_replay_speedup": round(serial_s / replay_s, 3)
+        if replay_s else None,
     }
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -17,8 +17,15 @@ SimEng's emulation core:
 
 All probes can be attached to a single run of a binary; the harness does
 exactly that to avoid re-executing programs per experiment.
+
+:class:`repro.analysis.engine.FusedAnalysisEngine` computes all of the
+above in one pass over *batched* retirement streams
+(:meth:`repro.sim.emucore.EmulationCore.run_batched`) — the default,
+much faster path; the per-retire probes remain as the differential
+oracle and for custom analyses.
 """
 
+from repro.analysis.engine import FusedAnalysisEngine, FusedResults
 from repro.analysis.pathlength import PathLengthProbe, PathLengthResult
 from repro.analysis.critpath import (
     CriticalPathProbe,
@@ -31,6 +38,8 @@ from repro.analysis.dag import DagStats, DependenceDAGProbe
 from repro.analysis.report import ilp, runtime_ms, normalize
 
 __all__ = [
+    "FusedAnalysisEngine",
+    "FusedResults",
     "PathLengthProbe",
     "PathLengthResult",
     "CriticalPathProbe",

@@ -134,11 +134,21 @@ class WindowedCPProbe:
         srcs = inst.srcs
         dsts = inst.dsts
         if reads:
-            for addr, size in reads:
+            if len(reads) == 1:
+                addr, size = reads[0]
                 srcs = srcs + mem_cells(addr, size)
+            else:
+                srcs = srcs + tuple(
+                    c for addr, size in reads for c in mem_cells(addr, size)
+                )
         if writes:
-            for addr, size in writes:
+            if len(writes) == 1:
+                addr, size = writes[0]
                 dsts = dsts + mem_cells(addr, size)
+            else:
+                dsts = dsts + tuple(
+                    c for addr, size in writes for c in mem_cells(addr, size)
+                )
         item = (srcs, dsts, inst.group)
         for state in self.states:
             state.push(item)

@@ -19,6 +19,15 @@ a creation timestamp and wall-clock, and the versioned
 ``ConfigResult.to_dict()`` payload. Writes are atomic (tmp file +
 ``os.replace``), so a killed run never leaves a truncated entry; corrupt
 or unreadable entries are treated as misses.
+
+The cache is two-level. Below the result entries a :class:`TraceStore`
+keeps compressed retirement traces under ``<root>/traces/<k0k1>/
+<key>.rtrc.z``, keyed by :meth:`ExperimentPlan.trace_fingerprint` — the
+*simulation* identity only (workload, scale, ISA, profile, budget).
+Changing analysis parameters (window sizes, slide fraction, core model)
+misses at the result level but hits at the trace level, so the executor
+replays the recorded stream through the fused analysis engine instead of
+re-simulating.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ import json
 import os
 import pathlib
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
@@ -77,12 +87,84 @@ class CacheEntry:
     bytes: int
 
 
+class TraceStore:
+    """Get/put compressed retirement-trace blobs keyed by trace
+    fingerprint (the second cache level; see the module docstring)."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.rtrc.z"
+
+    def get(self, key: str) -> bytes | None:
+        """The stored trace bytes (decompressed), or None on a miss."""
+        try:
+            blob = self.path_for(key).read_bytes()
+            blob = zlib.decompress(blob)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, zlib.error):
+            self.stats.misses += 1
+            self.stats.errors += 1
+            return None
+        self.stats.hits += 1
+        return blob
+
+    def put(self, key: str, blob: bytes) -> pathlib.Path:
+        """Store ``blob`` compressed (atomic tmp + replace)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".z.tmp")
+        tmp.write_bytes(zlib.compress(blob, 1))
+        os.replace(tmp, path)
+        self.stats.puts += 1
+        return path
+
+    def _files(self) -> Iterator[pathlib.Path]:
+        if not self.root.is_dir():
+            return
+        for sub in sorted(self.root.iterdir()):
+            if sub.is_dir() and len(sub.name) == 2:
+                yield from sorted(sub.glob("*.rtrc.z"))
+
+    def disk_stats(self) -> dict:
+        count = 0
+        total = 0
+        for path in self._files():
+            count += 1
+            total += path.stat().st_size
+        return {"entries": count, "bytes": total, "root": str(self.root)}
+
+    def clear(self) -> int:
+        removed = 0
+        for path in list(self._files()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if self.root.is_dir():
+            for sub in self.root.iterdir():
+                if sub.is_dir() and len(sub.name) == 2:
+                    try:
+                        sub.rmdir()
+                    except OSError:
+                        pass
+        return removed
+
+
 class ResultCache:
     """Get/put :class:`ConfigResult` objects keyed by plan fingerprint."""
 
     def __init__(self, root: str | os.PathLike | None = None):
         self.root = pathlib.Path(root) if root else default_cache_dir()
         self.stats = CacheStats()
+        # second level: retirement traces ("traces" is not a 2-char shard
+        # dir, so result-entry iteration never descends into it)
+        self.traces = TraceStore(self.root / "traces")
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
@@ -169,17 +251,21 @@ class ResultCache:
         return found
 
     def disk_stats(self) -> dict:
-        """Entry count and total size on disk."""
+        """Entry count and total size on disk (both cache levels)."""
         count = 0
         total = 0
         for path in self._files():
             count += 1
             total += path.stat().st_size
-        return {"entries": count, "bytes": total, "root": str(self.root)}
+        traces = self.traces.disk_stats()
+        return {"entries": count, "bytes": total, "root": str(self.root),
+                "trace_entries": traces["entries"],
+                "trace_bytes": traces["bytes"]}
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
-        removed = 0
+        """Delete every entry (results and traces); returns the number
+        removed."""
+        removed = self.traces.clear()
         for path in list(self._files()):
             try:
                 path.unlink()

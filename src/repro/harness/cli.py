@@ -80,9 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="simulate the experiment matrix and render artifacts")
     _add_selection_args(run_p)
     _add_cache_dir_arg(run_p)
-    run_p.add_argument("--jobs", "-j", type=int, default=1,
-                       help="worker processes for the matrix (default 1 = "
-                            "in-process serial)")
+    run_p.add_argument("--jobs", "-j", type=int, default=None,
+                       help="worker processes for the matrix (default: one "
+                            "per CPU, capped at the number of configs to "
+                            "simulate; 1 = in-process serial)")
     run_p.add_argument("--timeout", type=float, default=None,
                        help="per-config wall-clock limit in seconds "
                             "(runs each config in a killable worker)")
@@ -202,7 +203,8 @@ def _cmd_run(args) -> int:
 
     if not args.quiet:
         summary = timing.summary()
-        line = (f"engine: {summary['executed']} simulated, "
+        line = (f"engine: {summary['executed'] - summary['trace_hits']} "
+                f"simulated, {summary['trace_hits']} trace replays, "
                 f"{summary['cache_hits']} cache hits, "
                 f"{summary['retries']} retries "
                 f"in {summary['suite_seconds']:.2f}s")
@@ -279,6 +281,8 @@ def _cmd_cache(args) -> int:
         print(f"cache root : {stats['root']}")
         print(f"entries    : {stats['entries']}")
         print(f"total size : {stats['bytes']} bytes")
+        print(f"traces     : {stats['trace_entries']} "
+              f"({stats['trace_bytes']} bytes)")
         return 0
     # ls
     entries = cache.entries()

@@ -25,6 +25,7 @@ __all__ = [
     "PlanStarted",
     "PlanFinished",
     "PlanCacheHit",
+    "PlanTraceHit",
     "PlanFailed",
     "SuiteFinished",
     "EventBus",
@@ -71,6 +72,18 @@ class PlanCacheHit(Event):
     index: int = 0
     total: int = 0
     key: str = ""
+
+
+@dataclass(frozen=True)
+class PlanTraceHit(Event):
+    """The plan's result was rebuilt by replaying a cached retirement
+    trace through the fused analysis engine (no simulation ran). A
+    :class:`PlanFinished` for the same plan follows."""
+
+    plan: ExperimentPlan = None
+    index: int = 0
+    total: int = 0
+    key: str = ""  # plan.trace_fingerprint()
 
 
 @dataclass(frozen=True)
@@ -133,6 +146,9 @@ class ConsoleReporter:
         elif isinstance(event, PlanCacheHit):
             text = (f"[{event.index}/{event.total}] cached   "
                     f"{event.plan.describe()} ({event.key[:12]})")
+        elif isinstance(event, PlanTraceHit):
+            text = (f"[{event.index}/{event.total}] replayed "
+                    f"{event.plan.describe()} from trace ({event.key[:12]})")
         elif isinstance(event, PlanFailed):
             action = "retrying" if event.will_retry else "giving up"
             text = (f"FAILED {event.plan.describe()} "
@@ -152,6 +168,7 @@ class TimingCollector:
     def __init__(self):
         self.executed = 0
         self.cache_hits = 0
+        self.trace_hits = 0
         self.failures = 0
         self.retries = 0
         self.suite_seconds = 0.0
@@ -163,6 +180,8 @@ class TimingCollector:
             self.plan_seconds[event.plan] = event.seconds
         elif isinstance(event, PlanCacheHit):
             self.cache_hits += 1
+        elif isinstance(event, PlanTraceHit):
+            self.trace_hits += 1
         elif isinstance(event, PlanFailed):
             if event.will_retry:
                 self.retries += 1
@@ -175,6 +194,7 @@ class TimingCollector:
         return {
             "executed": self.executed,
             "cache_hits": self.cache_hits,
+            "trace_hits": self.trace_hits,
             "failures": self.failures,
             "retries": self.retries,
             "suite_seconds": self.suite_seconds,

@@ -4,11 +4,15 @@ The :class:`Executor` turns a batch of :class:`ExperimentPlan` values
 into :class:`ConfigResult` values. For each plan it
 
 1. consults the optional on-disk :class:`ResultCache` (a hit skips
-   simulation entirely);
-2. otherwise simulates — in-process when ``jobs == 1`` and no timeout is
+   simulation entirely); on a result-level miss, the cache's trace level
+   can still satisfy the plan by replaying a recorded retirement stream
+   through the fused analysis engine (:func:`execute_plan`);
+2. otherwise simulates — in-process when only one worker would be used
+   (``jobs == 1`` or a single outstanding plan) and no timeout is
    requested, else in a worker process (``multiprocessing``, fork start
    method where available) so the matrix fans out across cores and a
-   wedged simulation can be killed on timeout;
+   wedged simulation can be killed on timeout. ``jobs=None`` defaults to
+   one worker per CPU, capped at the number of plans to simulate;
 3. retries once (configurable) on *transient* failures — a worker killed
    by a signal, a timeout, an OS-level error — and raises
    :class:`ExperimentError` for anything that remains failed;
@@ -22,18 +26,20 @@ parallel path is bit-identical to the serial one by construction.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from collections import deque
 from typing import TYPE_CHECKING, Sequence
 
 from repro.common.errors import ExperimentError, ReproError
-from repro.harness.cache import ResultCache
+from repro.harness.cache import ResultCache, TraceStore
 from repro.harness.events import (
     EventBus,
     PlanCacheHit,
     PlanFailed,
     PlanFinished,
     PlanStarted,
+    PlanTraceHit,
     SuiteFinished,
     SuiteStarted,
 )
@@ -50,13 +56,31 @@ _TRANSIENT = (OSError, EOFError, MemoryError, TimeoutError)
 _POLL_S = 0.02
 
 
-def execute_plan(plan: ExperimentPlan) -> "ConfigResult":
-    """Simulate one plan in this process (no cache, no retry)."""
+def execute_plan(plan: ExperimentPlan,
+                 trace_store: "TraceStore | None" = None) -> "ConfigResult":
+    """Simulate one plan in this process (no result cache, no retry).
+
+    With a ``trace_store``, the second cache level kicks in: a recorded
+    retirement trace for this plan's *simulation* identity is replayed
+    through the fused analysis engine (zero simulations), and a fresh
+    simulation records its trace for future analysis-parameter changes.
+    """
     from repro.harness.experiments import run_config
     from repro.workloads import get_workload
 
+    trace_writer = None
+    if trace_store is not None:
+        from repro.harness.experiments import replay_config
+        from repro.sim.trace import TraceWriter, read_trace
+
+        key = plan.trace_fingerprint()
+        blob = trace_store.get(key)
+        if blob is not None:
+            return replay_config(read_trace(blob), plan)
+        trace_writer = TraceWriter()
+
     workload = get_workload(plan.workload, plan.scale)
-    return run_config(
+    result = run_config(
         workload,
         plan.isa,
         plan.profile,
@@ -65,17 +89,24 @@ def execute_plan(plan: ExperimentPlan) -> "ConfigResult":
         slide_fraction=plan.slide_fraction,
         models={plan.isa: plan.model},
         max_instructions=plan.max_instructions,
+        trace_writer=trace_writer,
     )
+    if trace_store is not None and trace_writer is not None:
+        trace_store.put(plan.trace_fingerprint(), trace_writer.finish())
+    return result
 
 
-def _child_main(conn, plan_doc: dict) -> None:
+def _child_main(conn, plan_doc: dict, trace_root: str | None = None) -> None:
     """Worker-process entry point: simulate and ship the result dict."""
     try:
         plan = ExperimentPlan.from_dict(plan_doc)
+        store = TraceStore(trace_root) if trace_root else None
         started = time.monotonic()
-        result = execute_plan(plan)
+        result = (execute_plan(plan, store) if store is not None
+                  else execute_plan(plan))
         conn.send({"ok": True, "result": result.to_dict(),
-                   "seconds": time.monotonic() - started})
+                   "seconds": time.monotonic() - started,
+                   "trace_hit": bool(store and store.stats.hits)})
     except BaseException as err:  # noqa: BLE001 — must report, not crash
         try:
             conn.send({"ok": False,
@@ -101,9 +132,13 @@ class Executor:
     """Runs batches of plans with caching, parallelism and retry.
 
     Args:
-        jobs: worker processes; 1 (the default) runs in-process.
+        jobs: worker processes; None (the default) picks one per CPU,
+            capped at the number of plans actually needing simulation.
+            1 runs in-process.
         cache: optional :class:`ResultCache`; hits skip simulation and
-            fresh results are written back.
+            fresh results are written back. Its trace level replays
+            recorded retirement streams for plans that differ only in
+            analysis parameters.
         events: optional :class:`EventBus` for progress telemetry.
         timeout: per-plan wall-clock limit in seconds. Enforced by
             running plans in killable worker processes, so setting it
@@ -114,13 +149,13 @@ class Executor:
     def __init__(
         self,
         *,
-        jobs: int = 1,
+        jobs: int | None = None,
         cache: ResultCache | None = None,
         events: EventBus | None = None,
         timeout: float | None = None,
         retries: int = 1,
     ):
-        if jobs < 1:
+        if jobs is not None and jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
         if timeout is not None and timeout <= 0:
             raise ExperimentError(f"timeout must be positive, got {timeout}")
@@ -151,15 +186,17 @@ class Executor:
                     key=plan.fingerprint()))
             else:
                 todo.append(plan)
+        # one worker per CPU by default, never more than there is work
+        jobs = self.jobs or min(os.cpu_count() or 1, max(1, len(todo)))
         self.events.emit(SuiteStarted(
-            total=total, jobs=self.jobs, cached=len(results)))
+            total=total, jobs=jobs, cached=len(results)))
 
         failures: dict[ExperimentPlan, str] = {}
         if todo:
-            if self.jobs == 1 and self.timeout is None:
+            if (jobs == 1 or len(todo) == 1) and self.timeout is None:
                 fresh = self._run_serial(todo, indices, total, failures)
             else:
-                fresh = self._run_pool(todo, indices, total, failures)
+                fresh = self._run_pool(todo, indices, total, failures, jobs)
             results.update(fresh)
 
         self.events.emit(SuiteFinished(
@@ -219,6 +256,7 @@ class Executor:
 
     def _run_serial(self, todo, indices, total, failures):
         results = {}
+        traces = self.cache.traces if self.cache is not None else None
         for plan in todo:
             attempt = 1
             while True:
@@ -226,8 +264,12 @@ class Executor:
                     plan=plan, index=indices[plan], total=total,
                     attempt=attempt))
                 plan_started = time.monotonic()
+                trace_hits = traces.stats.hits if traces is not None else 0
                 try:
-                    result = execute_plan(plan)
+                    if traces is None:
+                        result = execute_plan(plan)
+                    else:
+                        result = execute_plan(plan, traces)
                 except _TRANSIENT as err:
                     message = f"{type(err).__name__}: {err}"
                     retry = attempt <= self.retries
@@ -246,6 +288,10 @@ class Executor:
                         attempt=attempt, will_retry=False))
                     raise
                 seconds = time.monotonic() - plan_started
+                if traces is not None and traces.stats.hits > trace_hits:
+                    self.events.emit(PlanTraceHit(
+                        plan=plan, index=indices[plan], total=total,
+                        key=plan.trace_fingerprint()))
                 self.events.emit(PlanFinished(
                     plan=plan, index=indices[plan], total=total,
                     seconds=seconds, attempt=attempt))
@@ -257,13 +303,15 @@ class Executor:
 
     # -- process pool ----------------------------------------------------
 
-    def _run_pool(self, todo, indices, total, failures):
+    def _run_pool(self, todo, indices, total, failures, jobs):
         from repro.harness.experiments import ConfigResult
 
         ctx = _mp_context()
         pending = deque((plan, 1) for plan in todo)
         active = {}  # Process -> (plan, attempt, conn, started)
         results = {}
+        trace_root = (str(self.cache.traces.root)
+                      if self.cache is not None else None)
 
         def finish(proc, plan, attempt, message=None, transient=False,
                    payload=None):
@@ -271,6 +319,10 @@ class Executor:
                 seconds = payload.get("seconds", 0.0)
                 result = ConfigResult.from_dict(payload["result"])
                 results[plan] = result
+                if payload.get("trace_hit"):
+                    self.events.emit(PlanTraceHit(
+                        plan=plan, index=indices[plan], total=total,
+                        key=plan.trace_fingerprint()))
                 self.events.emit(PlanFinished(
                     plan=plan, index=indices[plan], total=total,
                     seconds=seconds, attempt=attempt))
@@ -287,12 +339,12 @@ class Executor:
 
         try:
             while pending or active:
-                while pending and len(active) < self.jobs:
+                while pending and len(active) < jobs:
                     plan, attempt = pending.popleft()
                     parent_conn, child_conn = ctx.Pipe(duplex=False)
                     proc = ctx.Process(
                         target=_child_main,
-                        args=(child_conn, plan.to_dict()),
+                        args=(child_conn, plan.to_dict(), trace_root),
                         daemon=True,
                     )
                     self.events.emit(PlanStarted(

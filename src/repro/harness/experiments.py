@@ -153,14 +153,62 @@ def run_config(
     slide_fraction: float = 0.5,
     models: dict[str, str | CoreModel] | None = None,
     max_instructions: int = 500_000_000,
+    engine: str = "fused",
+    trace_writer=None,
 ) -> ConfigResult:
-    """Compile, run and analyze one configuration (single execution)."""
+    """Compile, run and analyze one configuration (single execution).
+
+    ``engine`` selects the analysis implementation: ``"fused"`` (default)
+    runs the batched single-pass :class:`FusedAnalysisEngine`;
+    ``"probes"`` runs the five legacy per-retire probes (the differential
+    oracle, and the path custom probes use). ``trace_writer`` (fused
+    only) records the retirement stream alongside the analysis — the
+    trace level of the two-level result cache.
+    """
     compiled = workload.compile(isa, profile)
-    path_probe = PathLengthProbe(compiled.image.regions)
-    cp_probe = CriticalPathProbe()
     model = (models or SCALED_MODELS)[isa]
     if isinstance(model, str):
         model = load_core_model(model)
+
+    if engine == "fused":
+        from repro.analysis.engine import FusedAnalysisEngine
+
+        fused = FusedAnalysisEngine(
+            regions=compiled.image.regions, model=model,
+            windowed=windowed, window_sizes=window_sizes,
+            slide_fraction=slide_fraction,
+        )
+        sinks = [fused]
+        if trace_writer is not None:
+            trace_writer.isa_name = compiled.isa_name
+            trace_writer.regions = list(compiled.image.regions)
+            sinks.append(trace_writer)
+        run_workload(
+            workload, isa, profile, compiled=compiled,
+            max_instructions=max_instructions, batch_sinks=sinks,
+        )
+        results = fused.results()
+        return ConfigResult(
+            workload=workload.name,
+            isa=isa,
+            profile=profile,
+            path=results.path,
+            cp=results.cp,
+            scaled_cp=results.scaled_cp,
+            mix=results.mix,
+            windowed=results.windowed,
+        )
+
+    if engine != "probes":
+        raise ExperimentError(
+            f"unknown analysis engine {engine!r}; known: fused, probes"
+        )
+    if trace_writer is not None:
+        raise ExperimentError(
+            "trace recording requires the fused (batched) engine"
+        )
+    path_probe = PathLengthProbe(compiled.image.regions)
+    cp_probe = CriticalPathProbe()
     scaled_probe = CriticalPathProbe(model)
     mix_probe = InstructionMixProbe()
     probes = [path_probe, cp_probe, scaled_probe, mix_probe]
@@ -184,6 +232,39 @@ def run_config(
     )
 
 
+def replay_config(trace, plan) -> ConfigResult:
+    """Analyze a recorded retirement trace under ``plan``'s analysis
+    parameters — no compilation, no simulation.
+
+    This is the trace-level cache hit: the stream only depends on the
+    simulation identity (:meth:`ExperimentPlan.trace_fingerprint`), so
+    plans that differ only in analysis parameters (window sizes, slide
+    fraction, core model) replay one recording through a fresh
+    :class:`FusedAnalysisEngine`.
+    """
+    from repro.analysis.engine import FusedAnalysisEngine
+
+    model = load_core_model(plan.model)
+    engine = FusedAnalysisEngine(
+        regions=trace.regions, model=model,
+        windowed=plan.windowed, window_sizes=plan.window_sizes,
+        slide_fraction=plan.slide_fraction,
+    )
+    for batch in trace.iter_batches():
+        engine.on_batch(*batch)
+    results = engine.results()
+    return ConfigResult(
+        workload=plan.workload,
+        isa=plan.isa,
+        profile=plan.profile,
+        path=results.path,
+        cp=results.cp,
+        scaled_cp=results.scaled_cp,
+        mix=results.mix,
+        windowed=results.windowed,
+    )
+
+
 def run_suite(
     scale: float = 1.0,
     *,
@@ -191,7 +272,7 @@ def run_suite(
     windowed: bool = True,
     window_sizes: tuple[int, ...] = PAPER_WINDOW_SIZES,
     verbose: bool = False,
-    jobs: int = 1,
+    jobs: int | None = None,
     cache=None,
     timeout: float | None = None,
     events=None,

@@ -127,6 +127,26 @@ class ExperimentPlan:
         blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
+    def trace_fingerprint(self) -> str:
+        """Key for the trace level of the cache: a sha256 over only what
+        determines the *simulated retirement stream* — workload, scale,
+        ISA, profile, budget, and the trace format version. Analysis
+        parameters (window sizes, slide fraction, core model) are
+        deliberately excluded: plans differing only in those share one
+        recorded trace and replay it instead of re-simulating."""
+        from repro.sim.trace import VERSION as TRACE_VERSION
+
+        doc = {
+            "workload": self.workload,
+            "scale": self.scale,
+            "isa": self.isa,
+            "profile": self.profile,
+            "max_instructions": self.max_instructions,
+            "trace_version": TRACE_VERSION,
+        }
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
     def with_overrides(self, **changes) -> "ExperimentPlan":
         """A copy with the given fields replaced (frozen-safe)."""
         return replace(self, **changes)

@@ -76,9 +76,12 @@ def _figure2_panel(doc, x0, y0, w, h, name, per_isa):
     ticks = _nice_ticks(top * 1.05)
     y_top = ticks[-1]
     log_lo, log_hi = math.log(windows[0]), math.log(windows[-1])
+    log_span = log_hi - log_lo
 
     def sx(window):
-        return x0 + (math.log(window) - log_lo) / (log_hi - log_lo) * w
+        if log_span == 0:  # single window size: center the lone point
+            return x0 + w / 2
+        return x0 + (math.log(window) - log_lo) / log_span * w
 
     def sy(value):
         return y0 + h - value / y_top * h

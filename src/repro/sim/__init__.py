@@ -17,11 +17,18 @@ This package mirrors the parts of SimEng the paper relies on:
 
 from repro.sim.memory import Memory
 from repro.sim.machine import Machine
-from repro.sim.emucore import EmulationCore, Probe, RunResult, run_image
+from repro.sim.emucore import (
+    DEFAULT_BATCH_SIZE,
+    BatchSink,
+    EmulationCore,
+    Probe,
+    RunResult,
+    run_image,
+)
 from repro.sim.config import CoreModel, load_core_model, available_models
 from repro.sim.inorder import InOrderResult, InOrderTimingProbe
 from repro.sim.ooo import OoOResult, OoOTimingProbe
-from repro.sim.trace import Trace, TraceRecorderProbe, read_trace
+from repro.sim.trace import Trace, TraceRecorderProbe, TraceWriter, read_trace
 from repro.sim.simulate import PIPELINES, SimulationOutcome, simulate
 
 __all__ = [
@@ -32,6 +39,8 @@ __all__ = [
     "Machine",
     "EmulationCore",
     "Probe",
+    "BatchSink",
+    "DEFAULT_BATCH_SIZE",
     "RunResult",
     "run_image",
     "CoreModel",
@@ -43,5 +52,6 @@ __all__ = [
     "OoOTimingProbe",
     "Trace",
     "TraceRecorderProbe",
+    "TraceWriter",
     "read_trace",
 ]

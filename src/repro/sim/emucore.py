@@ -44,6 +44,26 @@ class Probe(Protocol):
     ) -> None: ...
 
 
+class BatchSink(Protocol):
+    """Consumer of batched retirement streams (``run_batched``).
+
+    ``on_batch`` receives the core's append-only static table (one
+    :class:`DecodedInst` per distinct PC, in first-retirement order) plus
+    structure-of-arrays batch data: ``indices[i]`` is the static-table
+    index of the i-th retirement, ``read_ends[i]``/``write_ends[i]`` are
+    cumulative access counts (so retirement i's reads are
+    ``reads[read_ends[i-1]:read_ends[i]]``), and ``reads``/``writes`` are
+    flat ``(addr, size)`` lists for the whole batch. All batch buffers
+    are reused after the call returns; the table is shared and only ever
+    appended to.
+    """
+
+    needs_memory: bool
+
+    def on_batch(self, table, count, indices, read_ends, write_ends,
+                 reads, writes) -> None: ...
+
+
 @dataclass
 class RunResult:
     """Outcome of an emulation run."""
@@ -61,6 +81,15 @@ class RunResult:
 
 _EMPTY: tuple = ()
 
+#: Default retirement-batch size for ``run_batched``. Large enough that
+#: per-batch numpy/flush overhead amortizes, small enough that the batch
+#: buffers stay cache-resident.
+DEFAULT_BATCH_SIZE = 4096
+
+#: Probe-free budget accounting granularity: the inner loop runs up to
+#: this many instructions with the budget check hoisted out of it.
+_BUDGET_CHUNK = 1 << 16
+
 
 class EmulationCore:
     """Atomic, one-instruction-per-cycle execution of a loaded image."""
@@ -74,6 +103,10 @@ class EmulationCore:
         self.machine = machine
         self.probes = list(probes)
         self.decode_cache: dict[int, DecodedInst] = {}
+        #: Distinct decoded instructions in first-retirement order; the
+        #: batched path hands indices into this table to its sinks.
+        self.static_table: list[DecodedInst] = []
+        self._batch_cache: dict[int, tuple] = {}  # pc -> (execute, index)
         machine.syscall_handler = handle_syscall
 
     def run(self, max_instructions: int = 500_000_000) -> RunResult:
@@ -81,7 +114,6 @@ class EmulationCore:
         machine = self.machine
         memory = machine.memory
         cache = self.decode_cache
-        decode = self.isa.decode
         probes = self.probes
         needs_memory = any(p.needs_memory for p in probes)
         if needs_memory:
@@ -126,18 +158,31 @@ class EmulationCore:
                             pc=pc,
                         )
             else:
+                # probe-free: hoist the budget check out of the hot loop —
+                # run bounded chunks and only account between them
+                remaining = max_instructions
+                pc = machine.pc
                 while machine.running:
-                    pc = machine.pc
-                    try:
-                        inst = cache[pc]
-                    except KeyError:
-                        inst = self._decode_at(pc)
-                    machine.pc = pc + 4
-                    inst.execute(machine)
-                    retired += 1
-                    if retired >= max_instructions:
+                    chunk = (_BUDGET_CHUNK if remaining > _BUDGET_CHUNK
+                             else remaining)
+                    executed = chunk
+                    for n in range(chunk):
+                        pc = machine.pc
+                        try:
+                            inst = cache[pc]
+                        except KeyError:
+                            inst = self._decode_at(pc)
+                        machine.pc = pc + 4
+                        inst.execute(machine)
+                        if not machine.running:
+                            executed = n + 1
+                            break
+                    retired += executed
+                    remaining -= executed
+                    if remaining == 0:
                         raise SimulationError(
-                            f"instruction budget ({max_instructions}) exhausted",
+                            f"instruction budget ({max_instructions}) "
+                            f"exhausted",
                             pc=pc,
                         )
         finally:
@@ -151,6 +196,97 @@ class EmulationCore:
             stdout=bytes(machine.stdout),
             stderr=bytes(machine.stderr),
         )
+
+    def run_batched(
+        self,
+        sinks: Sequence[BatchSink],
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        max_instructions: int = 500_000_000,
+    ) -> RunResult:
+        """Run with retirements accumulated into structure-of-arrays
+        buffers and flushed to ``sinks`` in batches of ``batch_size``.
+
+        This is the fast path behind the fused analysis engine: the hot
+        loop does three list appends per retirement instead of one Python
+        callback per probe, and sinks amortize their work over whole
+        batches (vectorizing where possible). ``self.probes`` is ignored.
+        """
+        machine = self.machine
+        memory = machine.memory
+        sinks = list(sinks)
+        needs_memory = any(s.needs_memory for s in sinks)
+        if needs_memory:
+            memory.start_recording()
+        reads = memory.reads
+        writes = memory.writes
+        table = self.static_table
+        cache = self._batch_cache
+        indices: list[int] = []
+        read_ends: list[int] = []
+        write_ends: list[int] = []
+        iappend = indices.append
+        rappend = read_ends.append
+        wappend = write_ends.append
+        retired = 0
+        remaining = max_instructions
+        pc = machine.pc
+        try:
+            while machine.running:
+                room = batch_size if remaining > batch_size else remaining
+                executed = room
+                for n in range(room):
+                    pc = machine.pc
+                    try:
+                        entry = cache[pc]
+                    except KeyError:
+                        entry = self._batch_entry(pc)
+                    machine.pc = pc + 4
+                    entry[0](machine)
+                    iappend(entry[1])
+                    rappend(len(reads))
+                    wappend(len(writes))
+                    if not machine.running:
+                        executed = n + 1
+                        break
+                retired += executed
+                remaining -= executed
+                count = len(indices)
+                if count:
+                    for sink in sinks:
+                        sink.on_batch(table, count, indices, read_ends,
+                                      write_ends, reads, writes)
+                    del indices[:]
+                    del read_ends[:]
+                    del write_ends[:]
+                    del reads[:]
+                    del writes[:]
+                if remaining == 0:
+                    raise SimulationError(
+                        f"instruction budget ({max_instructions}) exhausted",
+                        pc=pc,
+                    )
+        finally:
+            machine.instret += retired
+            if needs_memory:
+                memory.stop_recording()
+
+        return RunResult(
+            instructions=retired,
+            exit_code=machine.exit_code if machine.exit_code is not None else -1,
+            stdout=bytes(machine.stdout),
+            stderr=bytes(machine.stderr),
+        )
+
+    def _batch_entry(self, pc: int) -> tuple:
+        inst = self.decode_cache.get(pc)
+        if inst is None:
+            inst = self._decode_at(pc)
+        index = len(self.static_table)
+        self.static_table.append(inst)
+        entry = (inst.execute, index)
+        self._batch_cache[pc] = entry
+        return entry
 
     def _decode_at(self, pc: int) -> DecodedInst:
         try:
@@ -172,17 +308,26 @@ def run_image(
     *,
     memory_size: int = 1 << 24,
     max_instructions: int = 500_000_000,
+    batch_sinks: Sequence[BatchSink] | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> tuple[RunResult, Machine]:
     """Load ``image`` into a fresh machine and run it to completion.
 
     This is the standard entry point used by the harness: it wires the
     memory, machine, syscalls and probes together and returns both the run
     statistics and the final machine (whose memory holds the program's
-    results, for validation against reference implementations).
+    results, for validation against reference implementations). With
+    ``batch_sinks`` the run uses the batched retirement path
+    (:meth:`EmulationCore.run_batched`) instead of per-instruction probes.
     """
     if image.isa_name != isa.name:
         raise SimulationError(
             f"image is for {image.isa_name!r}, ISA is {isa.name!r}"
+        )
+    if batch_sinks is not None and probes:
+        raise SimulationError(
+            "probes and batch_sinks are mutually exclusive; attach analyses "
+            "to one path or the other"
         )
     memory = Memory(memory_size)
     load_program(image, memory)
@@ -190,5 +335,11 @@ def run_image(
     machine.reset_stack()
     machine.pc = image.entry
     core = EmulationCore(isa, machine, probes)
-    result = core.run(max_instructions=max_instructions)
+    if batch_sinks is not None:
+        result = core.run_batched(
+            batch_sinks, batch_size=batch_size,
+            max_instructions=max_instructions,
+        )
+    else:
+        result = core.run(max_instructions=max_instructions)
     return result, machine

@@ -80,13 +80,19 @@ def run_workload(
     compiled: CompiledProgram | None = None,
     max_instructions: int = 500_000_000,
     validate: bool = True,
+    batch_sinks=None,
 ) -> WorkloadRun:
-    """Compile (or reuse), run, and validate one workload configuration."""
+    """Compile (or reuse), run, and validate one workload configuration.
+
+    ``batch_sinks`` selects the batched retirement path (for the fused
+    analysis engine and trace recording) instead of per-retire probes.
+    """
     if compiled is None:
         compiled = workload.compile(isa_name, profile)
     isa = get_isa(compiled.isa_name)
     result, machine = run_image(
-        compiled.image, isa, probes, max_instructions=max_instructions
+        compiled.image, isa, probes, max_instructions=max_instructions,
+        batch_sinks=batch_sinks,
     )
     expected = workload.expected()
     outputs = read_output_scalars(machine, compiled, expected.keys())

@@ -173,7 +173,7 @@ class TestExecutor:
     def test_cache_hit_skips_simulation(self, tmp_path, monkeypatch):
         calls = []
 
-        def fake_execute(plan):
+        def fake_execute(plan, trace_store=None):
             calls.append(plan)
             return make_result(plan)
 
@@ -301,9 +301,9 @@ class TestCliSubcommands:
         calls = []
         real = executor_mod.execute_plan
 
-        def counting(plan):
+        def counting(plan, trace_store=None):
             calls.append(plan)
-            return real(plan)
+            return real(plan, trace_store)
 
         monkeypatch.setattr(executor_mod, "execute_plan", counting)
         cache_dir = tmp_path / "cache"
@@ -359,7 +359,7 @@ class TestCliSubcommands:
 
     def test_implicit_run_deprecation(self, tmp_path, capsys, monkeypatch):
         monkeypatch.setattr(executor_mod, "execute_plan",
-                            lambda plan: make_result(plan))
+                            lambda plan, trace_store=None: make_result(plan))
         rc, out, err = self._run(
             ["--scale", "0.02", "--workloads", "stream", "--skip-windowed",
              "--cache-dir", str(tmp_path / "c")], capsys)

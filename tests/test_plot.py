@@ -56,6 +56,13 @@ class TestFigure2Svg:
                 if value is not None:
                     assert -1 <= float(value) <= height + 1
 
+    def test_single_window_size_renders(self):
+        # a one-point series has a zero-width log axis; the lone point is
+        # centered instead of dividing by zero
+        series = {"stream": {"aarch64": [(4, 1.5)], "rv64": [(4, 1.8)]}}
+        root = parse(figure2_svg(series))
+        assert root.get("width")
+
     def test_two_series_per_panel_fixed_colors(self, figure_data):
         series, _n, _k = figure_data
         text = figure2_svg(series)
