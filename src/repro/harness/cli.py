@@ -89,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(runs each config in a killable worker)")
     run_p.add_argument("--no-cache", action="store_true",
                        help="neither read nor write the result cache")
+    run_p.add_argument("--no-translate", action="store_true",
+                       help="force the per-instruction interpreter instead "
+                            "of the basic-block translation fast path "
+                            "(identical results, slower; the differential "
+                            "oracle)")
     run_p.add_argument("--future-cores", action="store_true",
                        help="also run the §8 finite-core timing models")
 
@@ -190,6 +195,7 @@ def _cmd_run(args) -> int:
         cache=cache,
         timeout=args.timeout,
         events=bus,
+        translate=not args.no_translate,
         **kwargs,
     )
 
@@ -211,6 +217,16 @@ def _cmd_run(args) -> int:
         if cache is not None:
             line += f" (cache: {cache.root})"
         print(line, file=sys.stderr)
+        translation = summary["translation"]
+        if translation:
+            total = translation.get("block_instructions", 0)
+            inlined = translation.get("inlined_instructions", 0)
+            pct = 100.0 * inlined / total if total else 0.0
+            print(f"translation: {translation.get('blocks', 0)} blocks "
+                  f"({translation.get('looping_blocks', 0)} looping) across "
+                  f"{summary['translated_plans']} simulations, "
+                  f"{pct:.1f}% of block instructions inlined",
+                  file=sys.stderr)
     return 0
 
 

@@ -26,6 +26,7 @@ __all__ = [
     "PlanFinished",
     "PlanCacheHit",
     "PlanTraceHit",
+    "PlanTranslationStats",
     "PlanFailed",
     "SuiteFinished",
     "EventBus",
@@ -84,6 +85,19 @@ class PlanTraceHit(Event):
     index: int = 0
     total: int = 0
     key: str = ""  # plan.trace_fingerprint()
+
+
+@dataclass(frozen=True)
+class PlanTranslationStats(Event):
+    """Block-translation statistics of a fresh simulation
+    (:meth:`EmulationCore.translation_stats`). Emitted just before the
+    plan's :class:`PlanFinished`; never emitted for cache hits, trace
+    replays, or interpreter (``translate=False``) runs."""
+
+    plan: ExperimentPlan = None
+    index: int = 0
+    total: int = 0
+    stats: dict = None
 
 
 @dataclass(frozen=True)
@@ -173,6 +187,10 @@ class TimingCollector:
         self.retries = 0
         self.suite_seconds = 0.0
         self.plan_seconds: dict[ExperimentPlan, float] = {}
+        #: Summed block-translation counters across fresh translated
+        #: simulations (``max_block`` is a maximum, not a sum).
+        self.translation: dict[str, int] = {}
+        self.translated_plans = 0
 
     def __call__(self, event: Event) -> None:
         if isinstance(event, PlanFinished):
@@ -182,6 +200,15 @@ class TimingCollector:
             self.cache_hits += 1
         elif isinstance(event, PlanTraceHit):
             self.trace_hits += 1
+        elif isinstance(event, PlanTranslationStats):
+            self.translated_plans += 1
+            for key, value in (event.stats or {}).items():
+                if key == "max_block":
+                    self.translation[key] = max(
+                        self.translation.get(key, 0), value)
+                else:
+                    self.translation[key] = (
+                        self.translation.get(key, 0) + value)
         elif isinstance(event, PlanFailed):
             if event.will_retry:
                 self.retries += 1
@@ -198,4 +225,6 @@ class TimingCollector:
             "failures": self.failures,
             "retries": self.retries,
             "suite_seconds": self.suite_seconds,
+            "translated_plans": self.translated_plans,
+            "translation": dict(self.translation),
         }

@@ -40,6 +40,7 @@ from repro.harness.events import (
     PlanFinished,
     PlanStarted,
     PlanTraceHit,
+    PlanTranslationStats,
     SuiteFinished,
     SuiteStarted,
 )
@@ -90,6 +91,7 @@ def execute_plan(plan: ExperimentPlan,
         models={plan.isa: plan.model},
         max_instructions=plan.max_instructions,
         trace_writer=trace_writer,
+        translate=plan.translate,
     )
     if trace_store is not None and trace_writer is not None:
         trace_store.put(plan.trace_fingerprint(), trace_writer.finish())
@@ -106,7 +108,8 @@ def _child_main(conn, plan_doc: dict, trace_root: str | None = None) -> None:
                   else execute_plan(plan))
         conn.send({"ok": True, "result": result.to_dict(),
                    "seconds": time.monotonic() - started,
-                   "trace_hit": bool(store and store.stats.hits)})
+                   "trace_hit": bool(store and store.stats.hits),
+                   "translation": result.translation})
     except BaseException as err:  # noqa: BLE001 — must report, not crash
         try:
             conn.send({"ok": False,
@@ -224,6 +227,7 @@ class Executor:
         slide_fraction: float = 0.5,
         models: dict[str, str] | None = None,
         max_instructions: int = 500_000_000,
+        translate: bool = True,
     ) -> "SuiteResult":
         """Plan and execute the paper matrix; assemble a SuiteResult."""
         from repro.analysis.windowed import PAPER_WINDOW_SIZES
@@ -239,6 +243,7 @@ class Executor:
             slide_fraction=slide_fraction,
             models=models,
             max_instructions=max_instructions,
+            translate=translate,
         )
         results = self.run(plans)
         names = tuple(workloads) if workloads else tuple(
@@ -292,6 +297,10 @@ class Executor:
                     self.events.emit(PlanTraceHit(
                         plan=plan, index=indices[plan], total=total,
                         key=plan.trace_fingerprint()))
+                if result.translation is not None:
+                    self.events.emit(PlanTranslationStats(
+                        plan=plan, index=indices[plan], total=total,
+                        stats=result.translation))
                 self.events.emit(PlanFinished(
                     plan=plan, index=indices[plan], total=total,
                     seconds=seconds, attempt=attempt))
@@ -318,11 +327,16 @@ class Executor:
             if payload is not None:
                 seconds = payload.get("seconds", 0.0)
                 result = ConfigResult.from_dict(payload["result"])
+                result.translation = payload.get("translation")
                 results[plan] = result
                 if payload.get("trace_hit"):
                     self.events.emit(PlanTraceHit(
                         plan=plan, index=indices[plan], total=total,
                         key=plan.trace_fingerprint()))
+                if result.translation is not None:
+                    self.events.emit(PlanTranslationStats(
+                        plan=plan, index=indices[plan], total=total,
+                        stats=result.translation))
                 self.events.emit(PlanFinished(
                     plan=plan, index=indices[plan], total=total,
                     seconds=seconds, attempt=attempt))

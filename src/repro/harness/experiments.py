@@ -70,6 +70,11 @@ class ConfigResult:
     scaled_cp: CriticalPathResult
     mix: InstructionMixResult
     windowed: dict[int, WindowedCPResult] | None = None
+    #: Block-translation statistics of the producing simulation
+    #: (:meth:`EmulationCore.translation_stats`). Telemetry only — not
+    #: part of the result identity, so deliberately excluded from
+    #: ``to_dict``/``from_dict``: cache hits and trace replays carry None.
+    translation: dict | None = field(default=None, compare=False)
 
     @property
     def path_length(self) -> int:
@@ -155,6 +160,7 @@ def run_config(
     max_instructions: int = 500_000_000,
     engine: str = "fused",
     trace_writer=None,
+    translate: bool = True,
 ) -> ConfigResult:
     """Compile, run and analyze one configuration (single execution).
 
@@ -163,7 +169,9 @@ def run_config(
     ``"probes"`` runs the five legacy per-retire probes (the differential
     oracle, and the path custom probes use). ``trace_writer`` (fused
     only) records the retirement stream alongside the analysis — the
-    trace level of the two-level result cache.
+    trace level of the two-level result cache. ``translate=False``
+    forces per-instruction interpretation (identical results; the
+    translated path's differential oracle).
     """
     compiled = workload.compile(isa, profile)
     model = (models or SCALED_MODELS)[isa]
@@ -183,9 +191,10 @@ def run_config(
             trace_writer.isa_name = compiled.isa_name
             trace_writer.regions = list(compiled.image.regions)
             sinks.append(trace_writer)
-        run_workload(
+        run = run_workload(
             workload, isa, profile, compiled=compiled,
             max_instructions=max_instructions, batch_sinks=sinks,
+            translate=translate,
         )
         results = fused.results()
         return ConfigResult(
@@ -197,6 +206,7 @@ def run_config(
             scaled_cp=results.scaled_cp,
             mix=results.mix,
             windowed=results.windowed,
+            translation=run.result.translation,
         )
 
     if engine != "probes":
@@ -216,9 +226,9 @@ def run_config(
     if windowed:
         window_probe = WindowedCPProbe(window_sizes, slide_fraction)
         probes.append(window_probe)
-    run_workload(
+    run = run_workload(
         workload, isa, profile, probes, compiled=compiled,
-        max_instructions=max_instructions,
+        max_instructions=max_instructions, translate=translate,
     )
     return ConfigResult(
         workload=workload.name,
@@ -229,6 +239,7 @@ def run_config(
         scaled_cp=scaled_probe.result(),
         mix=mix_probe.result(),
         windowed=window_probe.results() if window_probe else None,
+        translation=run.result.translation,
     )
 
 
@@ -276,6 +287,7 @@ def run_suite(
     cache=None,
     timeout: float | None = None,
     events=None,
+    translate: bool = True,
 ) -> SuiteResult:
     """Run the full matrix. ``scale`` scales every workload's problem size
     (1.0 = reduced defaults; see DESIGN.md §5). Windowed analysis runs on
@@ -300,6 +312,7 @@ def run_suite(
         workloads=workloads,
         windowed=windowed,
         window_sizes=tuple(window_sizes),
+        translate=translate,
     )
 
 

@@ -36,7 +36,7 @@ ISA_DISPLAY = {"aarch64": "AArch64", "rv64": "RISC-V"}
 PROFILE_DISPLAY = {"gcc9": "GCC 9.2", "gcc12": "GCC 12.2"}
 
 #: Bump when the serialized shape of :class:`ExperimentPlan` changes.
-PLAN_SCHEMA = 1
+PLAN_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -54,6 +54,10 @@ class ExperimentPlan:
     #: Core model for the §5 scaled critical path; defaults per ISA.
     model: str = ""
     max_instructions: int = 500_000_000
+    #: Use the basic-block translation fast path (:mod:`repro.sim.blocks`).
+    #: Results are identical either way (the interpreter is the
+    #: differential oracle); False forces per-instruction interpretation.
+    translate: bool = True
 
     def __post_init__(self):
         if self.workload not in ALL_WORKLOADS:
@@ -94,6 +98,7 @@ class ExperimentPlan:
             "slide_fraction": self.slide_fraction,
             "model": self.model,
             "max_instructions": self.max_instructions,
+            "translate": self.translate,
         }
 
     @classmethod
@@ -112,6 +117,7 @@ class ExperimentPlan:
             slide_fraction=float(doc["slide_fraction"]),
             model=doc["model"],
             max_instructions=int(doc["max_instructions"]),
+            translate=bool(doc["translate"]),
         )
 
     def fingerprint(self) -> str:
@@ -122,6 +128,10 @@ class ExperimentPlan:
         from repro.sim.config import load_core_model
 
         doc = self.to_dict()
+        # translate selects an execution strategy, not a result: the
+        # translated and interpreted paths are differentially asserted
+        # identical, so both share one cache entry
+        doc.pop("translate", None)
         doc["model_fingerprint"] = load_core_model(self.model).fingerprint()
         doc["result_schema"] = _result_schema_versions()
         blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
@@ -179,6 +189,7 @@ def plan_suite(
     slide_fraction: float = 0.5,
     models: dict[str, str] | None = None,
     max_instructions: int = 500_000_000,
+    translate: bool = True,
 ) -> list[ExperimentPlan]:
     """The paper's full matrix as a list of plans, in deterministic order
     (workload-major, then ISA, then profile). Windowed analysis is
@@ -199,5 +210,6 @@ def plan_suite(
                     slide_fraction=slide_fraction,
                     model=(models or SCALED_MODELS)[isa],
                     max_instructions=max_instructions,
+                    translate=translate,
                 ))
     return plans

@@ -230,14 +230,36 @@ def _make_shift_imm(name: str, rd: int, rs1: int, shamt: int):
     return execute
 
 
-_BRANCH_CONDS = {
-    "beq": lambda a, b: a == b,
-    "bne": lambda a, b: a != b,
-    "blt": lambda a, b: s64(a) < s64(b),
-    "bge": lambda a, b: s64(a) >= s64(b),
-    "bltu": lambda a, b: a < b,
-    "bgeu": lambda a, b: a >= b,
-}
+def _branch_execute(name: str, rs1: int, rs2: int, target: int):
+    """Build a conditional-branch executor with the comparison written
+    out per condition: each condition gets its own code object, so the
+    block inliner reduces the test to a plain operator instead of a
+    closure call through a shared dispatcher."""
+    if name == "beq":
+        def execute(m, rs1=rs1, rs2=rs2, target=target):
+            if m.r[rs1] == m.r[rs2]:
+                m.pc = target
+    elif name == "bne":
+        def execute(m, rs1=rs1, rs2=rs2, target=target):
+            if m.r[rs1] != m.r[rs2]:
+                m.pc = target
+    elif name == "blt":
+        def execute(m, rs1=rs1, rs2=rs2, target=target):
+            if s64(m.r[rs1]) < s64(m.r[rs2]):
+                m.pc = target
+    elif name == "bge":
+        def execute(m, rs1=rs1, rs2=rs2, target=target):
+            if s64(m.r[rs1]) >= s64(m.r[rs2]):
+                m.pc = target
+    elif name == "bltu":
+        def execute(m, rs1=rs1, rs2=rs2, target=target):
+            if m.r[rs1] < m.r[rs2]:
+                m.pc = target
+    else:  # bgeu
+        def execute(m, rs1=rs1, rs2=rs2, target=target):
+            if m.r[rs1] >= m.r[rs2]:
+                m.pc = target
+    return execute
 
 
 def _fp_binary_execute(name: str, rd: int, rs1: int, rs2: int):
@@ -607,10 +629,7 @@ def decode(word: int, pc: int) -> DecodedInst:
             raise DecodeError(word, pc)
         offset = decode_imm_b(word)
         target = u64(pc + offset)
-        cond = _BRANCH_CONDS[name]
-        def execute(m, rs1=rs1, rs2=rs2, cond=cond, target=target):
-            if cond(m.r[rs1], m.r[rs2]):
-                m.pc = target
+        execute = _branch_execute(name, rs1, rs2, target)
         return DecodedInst(
             pc, word, name, f"{name} {_x(rs1)},{_x(rs2)},{target:#x}",
             _G.BRANCH, _ideps(rs1, rs2), (), execute, is_branch=True,

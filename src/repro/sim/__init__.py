@@ -9,6 +9,10 @@ This package mirrors the parts of SimEng the paper relies on:
 * :mod:`repro.sim.emucore` — the atomic emulation core (one instruction per
   cycle, executed to completion) with the probe hooks the paper's modified
   core used for its path-length and critical-path experiments,
+* :mod:`repro.sim.blocks` — the basic-block translation layer: decode-once
+  superblocks compiled to straight-line Python executors (a QEMU-TCG-style
+  fast path over the emulation core; the interpreter stays as its
+  differential oracle),
 * :mod:`repro.sim.config` — latency core models (ThunderX2 and the
   TX2-derived RISC-V model of §5.1) parsed from yamlite files,
 * :mod:`repro.sim.inorder` / :mod:`repro.sim.ooo` — pipeline models beyond
@@ -17,6 +21,7 @@ This package mirrors the parts of SimEng the paper relies on:
 
 from repro.sim.memory import Memory
 from repro.sim.machine import Machine
+from repro.sim.blocks import MAX_BLOCK, BatchTranslator, BlockTranslator
 from repro.sim.emucore import (
     DEFAULT_BATCH_SIZE,
     BatchSink,
@@ -37,6 +42,9 @@ __all__ = [
     "simulate",
     "Memory",
     "Machine",
+    "MAX_BLOCK",
+    "BlockTranslator",
+    "BatchTranslator",
     "EmulationCore",
     "Probe",
     "BatchSink",

@@ -72,6 +72,9 @@ class RunResult:
     exit_code: int
     stdout: bytes
     stderr: bytes
+    #: Block-translation statistics (:meth:`EmulationCore.translation_stats`)
+    #: when the run used the translated fast path; None on interpreter runs.
+    translation: dict | None = None
 
     @property
     def cycles(self) -> int:
@@ -83,8 +86,10 @@ _EMPTY: tuple = ()
 
 #: Default retirement-batch size for ``run_batched``. Large enough that
 #: per-batch numpy/flush overhead amortizes, small enough that the batch
-#: buffers stay cache-resident.
-DEFAULT_BATCH_SIZE = 4096
+#: buffers stay cache-resident and that steady loops repeat whole batches
+#: often (the fused engine's batch-level window memo keys on exact batch
+#: repetition, so shorter batches repeat sooner and hit more).
+DEFAULT_BATCH_SIZE = 1024
 
 #: Probe-free budget accounting granularity: the inner loop runs up to
 #: this many instructions with the budget check hoisted out of it.
@@ -94,7 +99,8 @@ _BUDGET_CHUNK = 1 << 16
 class EmulationCore:
     """Atomic, one-instruction-per-cycle execution of a loaded image."""
 
-    def __init__(self, isa: ISA, machine: Machine, probes: Sequence[Probe] = ()):
+    def __init__(self, isa: ISA, machine: Machine, probes: Sequence[Probe] = (),
+                 *, translate: bool = True):
         if isa.name != machine.isa_name:
             raise SimulationError(
                 f"ISA {isa.name!r} does not match machine {machine.isa_name!r}"
@@ -102,15 +108,49 @@ class EmulationCore:
         self.isa = isa
         self.machine = machine
         self.probes = list(probes)
+        #: Use the basic-block translation fast path (:mod:`repro.sim.blocks`)
+        #: where possible. Per-retire probes force the interpreter — they
+        #: need control between every instruction — so ``run`` with probes
+        #: attached interprets regardless of this flag.
+        self.translate = translate
         self.decode_cache: dict[int, DecodedInst] = {}
         #: Distinct decoded instructions in first-retirement order; the
         #: batched path hands indices into this table to its sinks.
         self.static_table: list[DecodedInst] = []
         self._batch_cache: dict[int, tuple] = {}  # pc -> (execute, index)
+        self._translator = None          # lazy BlockTranslator
+        self._batch_translators: dict[bool, object] = {}  # needs_memory -> BT
         machine.syscall_handler = handle_syscall
+
+    def translation_stats(self) -> dict | None:
+        """Aggregated block-translation statistics across this core's
+        translators (probe-free and batched), or None if the core never
+        translated anything."""
+        translators = []
+        if self._translator is not None:
+            translators.append(self._translator)
+        translators.extend(self._batch_translators.values())
+        if not translators:
+            return None
+        merged = None
+        for translator in translators:
+            stats = translator.stats()
+            if merged is None:
+                merged = dict(stats)
+            else:
+                for key, value in stats.items():
+                    if key == "max_block":
+                        merged[key] = max(merged[key], value)
+                    else:
+                        merged[key] += value
+        return merged
 
     def run(self, max_instructions: int = 500_000_000) -> RunResult:
         """Run until the program exits; raises on budget exhaustion."""
+        if self.translate and not self.probes:
+            from repro.sim.blocks import run_translated
+
+            return run_translated(self, max_instructions)
         machine = self.machine
         memory = machine.memory
         cache = self.decode_cache
@@ -152,7 +192,9 @@ class EmulationCore:
                             for hook in on_retire:
                                 hook(inst, _EMPTY, _EMPTY)
                     retired += 1
-                    if retired >= max_instructions:
+                    if retired >= max_instructions and machine.running:
+                        # a clean exit on exactly the last budgeted
+                        # instruction is a normal completion
                         raise SimulationError(
                             f"instruction budget ({max_instructions}) exhausted",
                             pc=pc,
@@ -179,7 +221,7 @@ class EmulationCore:
                             break
                     retired += executed
                     remaining -= executed
-                    if remaining == 0:
+                    if remaining == 0 and machine.running:
                         raise SimulationError(
                             f"instruction budget ({max_instructions}) "
                             f"exhausted",
@@ -212,6 +254,13 @@ class EmulationCore:
         callback per probe, and sinks amortize their work over whole
         batches (vectorizing where possible). ``self.probes`` is ignored.
         """
+        if self.translate:
+            from repro.sim.blocks import run_batched_translated
+
+            return run_batched_translated(
+                self, sinks, batch_size=batch_size,
+                max_instructions=max_instructions,
+            )
         machine = self.machine
         memory = machine.memory
         sinks = list(sinks)
@@ -261,7 +310,7 @@ class EmulationCore:
                     del write_ends[:]
                     del reads[:]
                     del writes[:]
-                if remaining == 0:
+                if remaining == 0 and machine.running:
                     raise SimulationError(
                         f"instruction budget ({max_instructions}) exhausted",
                         pc=pc,
@@ -290,7 +339,12 @@ class EmulationCore:
 
     def _decode_at(self, pc: int) -> DecodedInst:
         try:
-            word = self.machine.memory.load(pc, 4)
+            # read_bytes, not load: a fetch is not a data access, so it
+            # must never appear in the recorded access log (the block
+            # translator decodes whole blocks ahead of execution, which
+            # would otherwise attribute fetches to arbitrary instructions)
+            word = int.from_bytes(
+                self.machine.memory.read_bytes(pc, 4), "little")
         except SimulationError:
             raise SimulationError("instruction fetch out of bounds", pc=pc) from None
         try:
@@ -310,6 +364,7 @@ def run_image(
     max_instructions: int = 500_000_000,
     batch_sinks: Sequence[BatchSink] | None = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    translate: bool = True,
 ) -> tuple[RunResult, Machine]:
     """Load ``image`` into a fresh machine and run it to completion.
 
@@ -319,6 +374,8 @@ def run_image(
     results, for validation against reference implementations). With
     ``batch_sinks`` the run uses the batched retirement path
     (:meth:`EmulationCore.run_batched`) instead of per-instruction probes.
+    ``translate=False`` forces the per-instruction interpreter (the
+    differential oracle for the basic-block translation fast path).
     """
     if image.isa_name != isa.name:
         raise SimulationError(
@@ -334,7 +391,7 @@ def run_image(
     machine = Machine(isa.name, memory)
     machine.reset_stack()
     machine.pc = image.entry
-    core = EmulationCore(isa, machine, probes)
+    core = EmulationCore(isa, machine, probes, translate=translate)
     if batch_sinks is not None:
         result = core.run_batched(
             batch_sinks, batch_size=batch_size,

@@ -42,7 +42,10 @@ from repro.common import SimulationError
 from repro.isa.base import DecodedInst, InstructionGroup
 
 MAGIC = b"RTRC"
-VERSION = 2
+# v3: instruction fetches no longer appear in the recorded access
+# stream (they were decode-time artifacts, attributed differently by
+# the interpreter and the block translator)
+VERSION = 3
 
 _HDR = struct.Struct("<4sH")
 _U8 = struct.Struct("<B")

@@ -81,18 +81,21 @@ def run_workload(
     max_instructions: int = 500_000_000,
     validate: bool = True,
     batch_sinks=None,
+    translate: bool = True,
 ) -> WorkloadRun:
     """Compile (or reuse), run, and validate one workload configuration.
 
     ``batch_sinks`` selects the batched retirement path (for the fused
     analysis engine and trace recording) instead of per-retire probes.
+    ``translate=False`` forces the per-instruction interpreter instead
+    of the basic-block translation fast path (identical results).
     """
     if compiled is None:
         compiled = workload.compile(isa_name, profile)
     isa = get_isa(compiled.isa_name)
     result, machine = run_image(
         compiled.image, isa, probes, max_instructions=max_instructions,
-        batch_sinks=batch_sinks,
+        batch_sinks=batch_sinks, translate=translate,
     )
     expected = workload.expected()
     outputs = read_output_scalars(machine, compiled, expected.keys())

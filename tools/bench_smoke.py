@@ -1,0 +1,70 @@
+"""CI smoke guard for the basic-block translation fast path.
+
+Runs the STREAM workload once through the per-instruction interpreter
+and once through the block translator and exits non-zero if translation
+is not faster. This is deliberately a coarse guard — on a noisy shared
+box the exact speedup varies, but translation dropping *below* the
+interpreter means the fast path has regressed into dead weight and the
+build should fail::
+
+    PYTHONPATH=src python tools/bench_smoke.py
+
+Full numbers live in ``benchmarks/BENCH_emucore.json``; regenerate them
+with ``benchmarks/bench_emucore.py`` when the core changes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.isa import get_isa  # noqa: E402
+from repro.sim import run_image  # noqa: E402
+from repro.workloads import get_workload  # noqa: E402
+
+SCALE = 0.02
+REPEATS = 3
+
+
+def _best(image, isa, translate: bool) -> tuple[float, int]:
+    best = None
+    instructions = 0
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        result, _machine = run_image(image, isa, translate=translate)
+        seconds = time.perf_counter() - started
+        instructions = result.instructions
+        if best is None or seconds < best:
+            best = seconds
+    return best, instructions
+
+
+def main() -> int:
+    workload = get_workload("stream", SCALE)
+    compiled = workload.compile("rv64", "gcc12")
+    isa = get_isa(compiled.isa_name)
+
+    interp_s, instructions = _best(compiled.image, isa, translate=False)
+    trans_s, _ = _best(compiled.image, isa, translate=True)
+
+    interp_ips = instructions / interp_s
+    trans_ips = instructions / trans_s
+    print(f"interpreter: {interp_ips / 1e6:6.2f} M inst/s "
+          f"({interp_s:.3f}s for {instructions} instructions)")
+    print(f"translated : {trans_ips / 1e6:6.2f} M inst/s "
+          f"({trans_s:.3f}s, {interp_s / trans_s:.2f}x)")
+
+    if trans_ips < interp_ips:
+        print("FAIL: translated path is slower than the interpreter",
+              file=sys.stderr)
+        return 1
+    print("OK: translated path is faster than the interpreter")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
