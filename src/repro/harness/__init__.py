@@ -11,7 +11,12 @@ The engine is an explicit plan/execute API:
   (:mod:`repro.harness.events`).
 * :class:`repro.harness.cache.ResultCache` — the content-addressed
   on-disk result cache (``~/.cache/repro-isa`` by default); a cache hit
-  skips simulation entirely.
+  skips simulation entirely. Entries carry integrity envelopes; corrupt
+  ones are quarantined, never re-parsed (see docs/robustness.md).
+* :class:`repro.harness.faults.FaultPlan` — seeded, serializable fault
+  injection for deterministic robustness testing.
+* :class:`repro.harness.checkpoint.RunJournal` — per-run completion
+  journal backing ``repro-isa-compare run --resume``.
 
 On top of it, the historical entry points:
 
@@ -33,9 +38,16 @@ the artifact-style text outputs (``kernelCounts.txt``,
 ``basicCPResult.txt``, ``scaledCPResult.txt``, ``windowAverages.txt``).
 """
 
-from repro.harness.cache import ResultCache, default_cache_dir
+from repro.harness.cache import ResultCache, TraceStore, default_cache_dir
+from repro.harness.checkpoint import RunJournal, unfinished_runs
 from repro.harness.events import ConsoleReporter, EventBus, TimingCollector
-from repro.harness.executor import Executor, execute_plan
+from repro.harness.executor import (
+    Executor,
+    PlanFailureReport,
+    SuiteExecutionError,
+    execute_plan,
+)
+from repro.harness.faults import FaultPlan, FaultSpec
 from repro.harness.experiments import (
     ConfigResult,
     SuiteResult,
@@ -56,7 +68,14 @@ __all__ = [
     "plan_suite",
     "Executor",
     "execute_plan",
+    "PlanFailureReport",
+    "SuiteExecutionError",
+    "FaultPlan",
+    "FaultSpec",
+    "RunJournal",
+    "unfinished_runs",
     "ResultCache",
+    "TraceStore",
     "default_cache_dir",
     "EventBus",
     "ConsoleReporter",

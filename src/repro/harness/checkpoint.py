@@ -1,0 +1,179 @@
+"""Suite checkpoint/resume: a journal of completed plan fingerprints.
+
+Every ``repro-isa-compare run`` (with a cache) appends to a JSONL
+journal under ``<cache_root>/runs/``: a header line capturing the suite
+parameters, one line per completed plan (its content-addressed
+fingerprint), and a ``finished`` marker when the suite completes. A
+suite killed mid-run leaves a journal without the marker; ``repro
+run --resume <run-id>`` restores the original parameters from the
+header and re-executes only the plans whose fingerprints are missing —
+completed work is satisfied from the result cache, so the final
+artifacts are byte-identical to an uninterrupted run.
+
+The journal is *advisory*: the source of truth for "done" is the
+content-addressed cache itself (a fingerprint in the journal *is* a
+cache key). The journal adds what the cache cannot: which parameter set
+the interrupted suite was running (so ``--resume`` needs no flags) and
+crashed-run detection on startup. Appends are fsync'd line-by-line, and
+loading tolerates a torn final line (the crash can interrupt a write).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.common.errors import ExperimentError
+from repro.harness.events import Event, PlanCacheHit, PlanFinished
+
+__all__ = ["RunJournal", "journal_dir", "unfinished_runs"]
+
+#: Bump when the journal line shapes change.
+JOURNAL_SCHEMA = 1
+
+
+def journal_dir(cache_root) -> Path:
+    return Path(cache_root) / "runs"
+
+
+def _new_run_id() -> str:
+    return time.strftime("%Y%m%d-%H%M%S") + f"-{os.getpid()}"
+
+
+class RunJournal:
+    """One suite run's append-only completion journal.
+
+    Use :meth:`create` for a fresh run or :meth:`load` to resume one;
+    subscribe :meth:`subscriber` on the run's :class:`EventBus` so every
+    completed plan (fresh simulation, trace replay, or cache hit) is
+    recorded, then call :meth:`finish` after artifacts are rendered.
+    """
+
+    def __init__(self, path: Path, *, run_id: str, params: dict,
+                 total: int):
+        self.path = path
+        self.run_id = run_id
+        self.params = params
+        self.total = total
+        self.done: set[str] = set()
+        self.finished = False
+        self._fh = None
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def create(cls, cache_root, params: dict, total: int,
+               run_id: str | None = None) -> "RunJournal":
+        """Start a fresh journal; writes (and fsyncs) the header line."""
+        run_id = run_id or _new_run_id()
+        root = journal_dir(cache_root)
+        root.mkdir(parents=True, exist_ok=True)
+        journal = cls(root / f"{run_id}.jsonl", run_id=run_id,
+                      params=dict(params), total=total)
+        journal._append({
+            "v": JOURNAL_SCHEMA,
+            "run": run_id,
+            "created": time.time(),
+            "params": journal.params,
+            "total": total,
+        })
+        return journal
+
+    @classmethod
+    def load(cls, cache_root, run_id: str) -> "RunJournal":
+        """Load an existing journal (tolerating a torn final line)."""
+        path = journal_dir(cache_root) / f"{run_id}.jsonl"
+        if not path.is_file():
+            known = unfinished_runs(cache_root)
+            hint = f"; unfinished runs: {', '.join(known)}" if known else ""
+            raise ExperimentError(f"no run journal {run_id!r} under "
+                                  f"{journal_dir(cache_root)}{hint}")
+        header = None
+        done: set[str] = set()
+        finished = False
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue  # torn final line from a mid-write crash
+                if header is None:
+                    if doc.get("v") != JOURNAL_SCHEMA or "run" not in doc:
+                        raise ExperimentError(
+                            f"{path} does not start with a valid run-journal "
+                            f"header")
+                    header = doc
+                elif "done" in doc:
+                    done.add(doc["done"])
+                elif "finished" in doc:
+                    finished = True
+        if header is None:
+            raise ExperimentError(f"run journal {path} is empty")
+        journal = cls(path, run_id=header["run"],
+                      params=dict(header.get("params", {})),
+                      total=int(header.get("total", 0)))
+        journal.done = done
+        journal.finished = finished
+        return journal
+
+    # -- appending -------------------------------------------------------
+
+    def _append(self, doc: dict) -> None:
+        if self._fh is None:
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record_done(self, fingerprint: str, *, plan: str = "",
+                    seconds: float = 0.0) -> None:
+        """Journal one completed plan (idempotent per fingerprint)."""
+        if fingerprint in self.done:
+            return
+        self.done.add(fingerprint)
+        self._append({"done": fingerprint, "plan": plan,
+                      "seconds": seconds})
+
+    def subscriber(self, event: Event) -> None:
+        """EventBus callback: every completed plan lands in the journal
+        (cache hits included — on resume they re-confirm prior work)."""
+        if isinstance(event, PlanFinished):
+            self.record_done(event.plan.fingerprint(),
+                             plan=event.plan.describe(),
+                             seconds=event.seconds)
+        elif isinstance(event, PlanCacheHit):
+            self.record_done(event.key, plan=event.plan.describe())
+
+    def finish(self) -> None:
+        """Mark the run complete and close the journal."""
+        if not self.finished:
+            self._append({"finished": time.time()})
+            self.finished = True
+        self.close()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def unfinished_runs(cache_root) -> list[str]:
+    """Run ids whose journals lack the ``finished`` marker (crashed or
+    still-running suites), oldest first."""
+    root = journal_dir(cache_root)
+    if not root.is_dir():
+        return []
+    pending = []
+    for path in sorted(root.glob("*.jsonl")):
+        try:
+            journal = RunJournal.load(cache_root, path.stem)
+        except ExperimentError:
+            continue
+        if not journal.finished:
+            pending.append(journal.run_id)
+    return pending

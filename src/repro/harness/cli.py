@@ -3,12 +3,13 @@
 Subcommands::
 
     repro-isa-compare run    [--scale S] [--workloads stream,lbm,...]
-                             [--jobs N] [--timeout SEC]
+                             [--jobs N] [--timeout SEC] [--heartbeat SEC]
+                             [--retries N] [--resume RUN_ID]
                              [--cache-dir DIR] [--no-cache]
                              [--skip-windowed] [--windows 4,16,...]
                              [--out DIR] [--future-cores] [--quiet]
     repro-isa-compare report [--scale S] [--workloads ...] [--out DIR] ...
-    repro-isa-compare cache  {ls,stats,clear} [--cache-dir DIR]
+    repro-isa-compare cache  {ls,stats,verify,clear} [--cache-dir DIR]
 
 ``run`` simulates the experiment matrix (fanning out across ``--jobs``
 worker processes) and prints Figure 1, Table 1, Table 2 and Figure 2
@@ -19,6 +20,15 @@ and ``cache`` inspects or empties the store. With ``--out`` both ``run``
 and ``report`` write the artifact-style text files the paper's
 buildAndRun script produced: ``kernelCounts.txt``, ``basicCPResult.txt``,
 ``scaledCPResult.txt`` and ``windowAverages.txt``.
+
+With a cache, every ``run`` journals completed plans under
+``<cache>/runs/<run-id>.jsonl`` (see :mod:`repro.harness.checkpoint`);
+a suite killed mid-run is detected on the next start and can be
+continued with ``--resume RUN_ID``, which restores the original
+parameters and re-executes only unfinished plans. ``--fault-plan FILE``
+installs a serialized :class:`repro.harness.faults.FaultPlan` — the
+deterministic fault-injection harness used by the robustness tests
+(see docs/robustness.md).
 
 The pre-subcommand invocation (``repro-isa-compare --scale ...``) still
 works as an implicit ``run`` but prints a deprecation note.
@@ -34,6 +44,7 @@ import time
 from repro.common.errors import ExperimentError
 from repro.harness.cache import ResultCache, default_cache_dir
 from repro.harness.events import ConsoleReporter, EventBus, TimingCollector
+from repro.harness.executor import validate_limits
 from repro.harness.experiments import (
     SuiteResult,
     run_figure1,
@@ -87,6 +98,22 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--timeout", type=float, default=None,
                        help="per-config wall-clock limit in seconds "
                             "(runs each config in a killable worker)")
+    run_p.add_argument("--heartbeat", type=float, default=None,
+                       help="hang-detection deadline in seconds: a worker "
+                            "silent for longer is killed and retried "
+                            "(distinct from --timeout, which bounds "
+                            "legitimate work)")
+    run_p.add_argument("--retries", type=int, default=1,
+                       help="extra attempts after a transient failure "
+                            "(default 1)")
+    run_p.add_argument("--resume", type=str, default=None, metavar="RUN_ID",
+                       help="continue an interrupted suite: restore its "
+                            "parameters from the run journal and re-execute "
+                            "only unfinished configs (requires the cache)")
+    run_p.add_argument("--fault-plan", type=pathlib.Path, default=None,
+                       metavar="FILE",
+                       help="install a serialized FaultPlan (JSON) for "
+                            "deterministic fault injection — testing only")
     run_p.add_argument("--no-cache", action="store_true",
                        help="neither read nor write the result cache")
     run_p.add_argument("--no-translate", action="store_true",
@@ -103,7 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_dir_arg(report_p)
 
     cache_p = sub.add_parser("cache", help="inspect or empty the result cache")
-    cache_p.add_argument("action", choices=("ls", "stats", "clear"))
+    cache_p.add_argument("action", choices=("ls", "stats", "verify", "clear"))
     _add_cache_dir_arg(cache_p)
     cache_p.add_argument("--quiet", action="store_true")
     return parser
@@ -174,38 +201,100 @@ def _render_and_write(suite: SuiteResult, args, *,
 # ------------------------------------------------------------------- run
 
 def _cmd_run(args) -> int:
+    from repro.analysis.windowed import PAPER_WINDOW_SIZES
+    from repro.harness import faults
+    from repro.harness.checkpoint import RunJournal, unfinished_runs
+    from repro.harness.plan import suite_from_params, suite_params_doc
+
     selection = _parse_selection(args)
+    # Reject bad supervision knobs before a journal is created for a run
+    # that will never start.
+    validate_limits(jobs=args.jobs, timeout=args.timeout,
+                    heartbeat=args.heartbeat, retries=args.retries)
     windowed = not args.skip_windowed
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    journal = None
+    if args.resume is not None:
+        if cache is None:
+            raise ExperimentError("--resume requires the result cache "
+                                  "(drop --no-cache)")
+        journal = RunJournal.load(cache.root, args.resume)
+        if journal.finished:
+            raise ExperimentError(
+                f"run {journal.run_id} already finished; nothing to resume")
+        params = journal.params
+        if not args.quiet:
+            print(f"resuming run {journal.run_id}: "
+                  f"{len(journal.done)}/{journal.total} configs already "
+                  f"journaled", file=sys.stderr)
+    else:
+        params = suite_params_doc(
+            args.scale,
+            workloads=selection["workloads"],
+            windowed=windowed,
+            window_sizes=selection["window_sizes"] or PAPER_WINDOW_SIZES,
+            translate=not args.no_translate,
+        )
+        if cache is not None:
+            crashed = unfinished_runs(cache.root)
+            if crashed and not args.quiet:
+                print(f"note: {len(crashed)} unfinished run(s) in "
+                      f"{cache.root}: {', '.join(crashed)} — continue one "
+                      f"with --resume RUN_ID", file=sys.stderr)
+            journal = RunJournal.create(
+                cache.root, params, total=len(suite_from_params(params)))
+            if not args.quiet:
+                print(f"run id: {journal.run_id} (continue an interrupted "
+                      f"suite with --resume {journal.run_id})",
+                      file=sys.stderr)
 
     bus = EventBus()
     timing = TimingCollector()
     bus.subscribe(timing)
+    if journal is not None:
+        bus.subscribe(journal.subscriber)
     if not args.quiet:
         bus.subscribe(ConsoleReporter(sys.stderr))
 
-    kwargs = {}
-    if selection["window_sizes"]:
-        kwargs["window_sizes"] = selection["window_sizes"]
-    suite = run_suite(
-        args.scale,
-        workloads=selection["workloads"],
-        windowed=windowed,
-        jobs=args.jobs,
-        cache=cache,
-        timeout=args.timeout,
-        events=bus,
-        translate=not args.no_translate,
-        **kwargs,
-    )
+    fault_plan = None
+    if args.fault_plan is not None:
+        fault_plan = faults.FaultPlan.loads(
+            args.fault_plan.read_text(encoding="utf-8"))
+        faults.install(fault_plan)
+    try:
+        suite = run_suite(
+            float(params["scale"]),
+            workloads=(tuple(params["workloads"])
+                       if params.get("workloads") else None),
+            windowed=bool(params["windowed"]),
+            window_sizes=tuple(params["window_sizes"]),
+            jobs=args.jobs,
+            cache=cache,
+            timeout=args.timeout,
+            heartbeat=args.heartbeat,
+            retries=args.retries,
+            events=bus,
+            translate=bool(params.get("translate", True)),
+        )
+    finally:
+        if fault_plan is not None:
+            faults.uninstall()
+        if journal is not None:
+            journal.close()  # keep appended lines; no finished marker yet
+    windowed = bool(params["windowed"])
 
     future = None
     if args.future_cores:
         from repro.harness.experiments import run_future_cores
 
-        future = run_future_cores(args.scale,
-                                  workloads=selection["workloads"])
+        future = run_future_cores(float(params["scale"]),
+                                  workloads=(tuple(params["workloads"])
+                                             if params.get("workloads")
+                                             else None))
     _render_and_write(suite, args, windowed=windowed, future=future)
+    if journal is not None:
+        journal.finish()
 
     if not args.quiet:
         summary = timing.summary()
@@ -292,6 +381,22 @@ def _cmd_cache(args) -> int:
         if not args.quiet:
             print(f"removed {removed} cached results from {cache.root}")
         return 0
+    if args.action == "verify":
+        report = cache.verify()
+        results = report["results"]
+        traces = report["traces"]
+        print(f"cache root : {cache.root}")
+        print(f"results    : {results['checked']} checked, "
+              f"{results['ok']} ok, {results['quarantined']} quarantined")
+        print(f"traces     : {traces['checked']} checked, "
+              f"{traces['ok']} ok, {traces['quarantined']} quarantined")
+        print(f"tmp files  : {report['tmp_removed']} stragglers removed")
+        bad = results["quarantined"] + traces["quarantined"]
+        if bad:
+            print(f"{bad} corrupt entr{'y' if bad == 1 else 'ies'} moved to "
+                  f"{cache.root / 'quarantine'}; they will be re-simulated "
+                  f"on the next run")
+        return 1 if bad else 0
     if args.action == "stats":
         stats = cache.disk_stats()
         print(f"cache root : {stats['root']}")

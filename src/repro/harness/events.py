@@ -28,6 +28,8 @@ __all__ = [
     "PlanTraceHit",
     "PlanTranslationStats",
     "PlanFailed",
+    "CacheCorruption",
+    "ExecutorDegraded",
     "SuiteFinished",
     "EventBus",
     "ConsoleReporter",
@@ -106,6 +108,31 @@ class PlanFailed(Event):
     error: str = ""
     attempt: int = 1
     will_retry: bool = False
+    #: Error messages of the *previous* attempts, oldest first — the
+    #: per-plan attempt history of the structured failure report.
+    history: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CacheCorruption(Event):
+    """A cache entry failed integrity verification and was moved to the
+    quarantine directory (it will never be re-parsed)."""
+
+    level: str = ""       # "result" or "trace"
+    key: str = ""         # entry stem (fingerprint)
+    path: str = ""        # where the corrupt file now lives
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class ExecutorDegraded(Event):
+    """The process pool failed repeatedly at the infrastructure level
+    (dead workers, broken pipes); remaining plans run serially
+    in-process."""
+
+    failures: int = 0
+    remaining: int = 0
+    reason: str = ""
 
 
 @dataclass(frozen=True)
@@ -167,6 +194,13 @@ class ConsoleReporter:
             action = "retrying" if event.will_retry else "giving up"
             text = (f"FAILED {event.plan.describe()} "
                     f"(attempt {event.attempt}): {event.error} — {action}")
+        elif isinstance(event, CacheCorruption):
+            text = (f"cache: quarantined corrupt {event.level} entry "
+                    f"{event.key[:12]} ({event.reason})")
+        elif isinstance(event, ExecutorDegraded):
+            text = (f"executor: {event.failures} pool-level failures — "
+                    f"degrading to serial for {event.remaining} remaining "
+                    f"plans ({event.reason})")
         elif isinstance(event, SuiteFinished):
             text = (f"suite: done in {event.seconds:.2f}s "
                     f"({event.executed} simulated, {event.cached} cache hits"
@@ -185,6 +219,8 @@ class TimingCollector:
         self.trace_hits = 0
         self.failures = 0
         self.retries = 0
+        self.corruptions = 0
+        self.degraded = 0
         self.suite_seconds = 0.0
         self.plan_seconds: dict[ExperimentPlan, float] = {}
         #: Summed block-translation counters across fresh translated
@@ -214,6 +250,10 @@ class TimingCollector:
                 self.retries += 1
             else:
                 self.failures += 1
+        elif isinstance(event, CacheCorruption):
+            self.corruptions += 1
+        elif isinstance(event, ExecutorDegraded):
+            self.degraded += 1
         elif isinstance(event, SuiteFinished):
             self.suite_seconds = event.seconds
 
@@ -224,6 +264,8 @@ class TimingCollector:
             "trace_hits": self.trace_hits,
             "failures": self.failures,
             "retries": self.retries,
+            "corruptions": self.corruptions,
+            "degraded": self.degraded,
             "suite_seconds": self.suite_seconds,
             "translated_plans": self.translated_plans,
             "translation": dict(self.translation),

@@ -1,4 +1,4 @@
-"""Plan execution: serial or process-parallel, cached, with retry.
+"""Plan execution: serial or process-parallel, cached, with supervision.
 
 The :class:`Executor` turns a batch of :class:`ExperimentPlan` values
 into :class:`ConfigResult` values. For each plan it
@@ -8,15 +8,31 @@ into :class:`ConfigResult` values. For each plan it
    can still satisfy the plan by replaying a recorded retirement stream
    through the fused analysis engine (:func:`execute_plan`);
 2. otherwise simulates — in-process when only one worker would be used
-   (``jobs == 1`` or a single outstanding plan) and no timeout is
-   requested, else in a worker process (``multiprocessing``, fork start
-   method where available) so the matrix fans out across cores and a
-   wedged simulation can be killed on timeout. ``jobs=None`` defaults to
-   one worker per CPU, capped at the number of plans to simulate;
-3. retries once (configurable) on *transient* failures — a worker killed
-   by a signal, a timeout, an OS-level error — and raises
-   :class:`ExperimentError` for anything that remains failed;
-4. emits structured telemetry (:mod:`repro.harness.events`) throughout.
+   (``jobs == 1`` or a single outstanding plan) and no timeout/heartbeat
+   supervision is requested, else in a worker process
+   (``multiprocessing``, fork start method where available) so the
+   matrix fans out across cores and a wedged simulation can be killed.
+   ``jobs=None`` defaults to one worker per CPU, capped at the number of
+   plans to simulate;
+3. supervises workers two ways: a per-plan wall-clock ``timeout`` (the
+   budget for *legitimate* work) and a ``heartbeat`` deadline (a worker
+   that stops beating is wedged — deadlocked, swapped out, or stuck in
+   an uninterruptible syscall — long before its timeout would fire);
+4. retries *transient* failures — a worker killed by a signal, a
+   timeout, a lost heartbeat, an OS-level error — up to ``retries``
+   times with exponential backoff plus seeded jitter, and raises a
+   structured :class:`SuiteExecutionError` (per-plan attempt histories,
+   not a bare message) for anything that remains failed;
+5. degrades gracefully: repeated *pool-level* failures (workers dying
+   without reporting, broken result pipes) trip the pool breaker and the
+   remaining plans run serially in-process
+   (:class:`~repro.harness.events.ExecutorDegraded`);
+6. emits structured telemetry (:mod:`repro.harness.events`) throughout.
+
+Fault injection (:mod:`repro.harness.faults`) threads through every one
+of these paths — ``execute_plan`` and ``_child_main`` check their sites,
+and the active plan ships to workers as a serialized argument — at zero
+cost when no plan is installed.
 
 Results computed in worker processes travel back through the same
 versioned ``to_dict``/``from_dict`` round-trip the cache uses, so the
@@ -27,14 +43,18 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import random
+import threading
 import time
-from collections import deque
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro.common.errors import ExperimentError, ReproError
+from repro.harness import faults
 from repro.harness.cache import ResultCache, TraceStore
 from repro.harness.events import (
     EventBus,
+    ExecutorDegraded,
     PlanCacheHit,
     PlanFailed,
     PlanFinished,
@@ -49,12 +69,51 @@ from repro.harness.plan import ExperimentPlan, plan_suite
 if TYPE_CHECKING:
     from repro.harness.experiments import ConfigResult, SuiteResult
 
-#: Failure classes worth one more attempt; everything else is
-#: deterministic and retrying would only double the wall-clock.
+#: Failure classes worth more attempts; everything else is deterministic
+#: and retrying would only multiply the wall-clock.
 _TRANSIENT = (OSError, EOFError, MemoryError, TimeoutError)
 
 #: Polling interval for the process scheduler, seconds.
 _POLL_S = 0.02
+
+#: Consecutive pool-level failures (dead workers, broken pipes) that
+#: trip the breaker and degrade the pool to serial execution.
+POOL_FAILURE_LIMIT = 3
+
+
+@dataclass
+class AttemptRecord:
+    """One failed attempt of one plan."""
+
+    attempt: int
+    error: str
+    transient: bool
+    seconds: float = 0.0
+
+
+@dataclass
+class PlanFailureReport:
+    """Structured failure report for one plan: every attempt, in order."""
+
+    plan: ExperimentPlan
+    attempts: list[AttemptRecord] = field(default_factory=list)
+
+    def describe(self) -> str:
+        tries = "; ".join(f"attempt {a.attempt}: {a.error}"
+                          for a in self.attempts)
+        return f"{self.plan.describe()} [{tries}]"
+
+
+class SuiteExecutionError(ExperimentError):
+    """One or more plans exhausted their attempts. ``reports`` holds a
+    :class:`PlanFailureReport` per failed plan — the structured
+    replacement for the old flat message."""
+
+    def __init__(self, reports: list[PlanFailureReport], total: int):
+        self.reports = reports
+        detail = "; ".join(r.describe() for r in reports)
+        super().__init__(
+            f"{len(reports)} of {total} plans failed: {detail}")
 
 
 def execute_plan(plan: ExperimentPlan,
@@ -65,9 +124,14 @@ def execute_plan(plan: ExperimentPlan,
     retirement trace for this plan's *simulation* identity is replayed
     through the fused analysis engine (zero simulations), and a fresh
     simulation records its trace for future analysis-parameter changes.
+
+    Fault-injection site ``execute`` fires here (transient/error/hang),
+    covering both the serial path and worker processes.
     """
     from repro.harness.experiments import run_config
     from repro.workloads import get_workload
+
+    faults.check("execute")
 
     trace_writer = None
     if trace_store is not None:
@@ -98,26 +162,75 @@ def execute_plan(plan: ExperimentPlan,
     return result
 
 
-def _child_main(conn, plan_doc: dict, trace_root: str | None = None) -> None:
-    """Worker-process entry point: simulate and ship the result dict."""
+def _heartbeat_loop(conn, lock, interval, stop) -> None:
+    """Worker-side heartbeat: periodic beats on the result pipe until
+    stopped (or the pipe dies)."""
+    while not stop.wait(interval):
+        with lock:
+            try:
+                conn.send({"hb": True})
+            except Exception:
+                return
+
+
+def _child_main(conn, plan_doc: dict, trace_root: str | None = None,
+                fault_doc: dict | None = None,
+                heartbeat: float | None = None, attempt: int = 1) -> None:
+    """Worker-process entry point: simulate and ship the result dict.
+
+    Installs the serialized fault plan (if any) and checks the ``worker``
+    site *before* the heartbeat thread starts — an injected ``hang``
+    therefore models a truly wedged worker (no beats at all), and an
+    injected ``crash`` dies without a report, exactly like the real
+    failures they stand in for.
+    """
+    send_lock = threading.Lock()
+    stop = threading.Event()
     try:
         plan = ExperimentPlan.from_dict(plan_doc)
+        if fault_doc:
+            faults.install(faults.FaultPlan.from_dict(fault_doc))
+            faults.set_context(plan=plan.describe(), attempt=attempt,
+                               in_worker=True)
+            faults.check("worker")
+        if heartbeat:
+            threading.Thread(
+                target=_heartbeat_loop,
+                args=(conn, send_lock, min(1.0, heartbeat / 4.0), stop),
+                daemon=True,
+            ).start()
         store = TraceStore(trace_root) if trace_root else None
         started = time.monotonic()
         result = (execute_plan(plan, store) if store is not None
                   else execute_plan(plan))
-        conn.send({"ok": True, "result": result.to_dict(),
-                   "seconds": time.monotonic() - started,
-                   "trace_hit": bool(store and store.stats.hits),
-                   "translation": result.translation})
-    except BaseException as err:  # noqa: BLE001 — must report, not crash
+        stop.set()
+        with send_lock:
+            conn.send({"ok": True, "result": result.to_dict(),
+                       "seconds": time.monotonic() - started,
+                       "trace_hit": bool(store and store.stats.hits),
+                       "translation": result.translation})
+    except (KeyboardInterrupt, SystemExit):
+        # report, then RE-RAISE: Ctrl-C/SIGTERM must tear the worker
+        # down promptly, not masquerade as a plan failure
+        stop.set()
         try:
-            conn.send({"ok": False,
-                       "error": f"{type(err).__name__}: {err}",
-                       "transient": isinstance(err, _TRANSIENT)})
+            with send_lock:
+                conn.send({"ok": False, "error": "worker interrupted",
+                           "transient": False})
+        except Exception:
+            pass
+        raise
+    except Exception as err:
+        stop.set()
+        try:
+            with send_lock:
+                conn.send({"ok": False,
+                           "error": f"{type(err).__name__}: {err}",
+                           "transient": isinstance(err, _TRANSIENT)})
         except Exception:
             pass
     finally:
+        stop.set()
         try:
             conn.close()
         except Exception:
@@ -131,8 +244,22 @@ def _mp_context():
     )
 
 
+def validate_limits(*, jobs: int | None = None, timeout: float | None = None,
+                    heartbeat: float | None = None, retries: int = 0) -> None:
+    """Reject invalid supervision knobs before any work (or journal) starts."""
+    if jobs is not None and jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    if timeout is not None and timeout <= 0:
+        raise ExperimentError(f"timeout must be positive, got {timeout}")
+    if heartbeat is not None and heartbeat <= 0:
+        raise ExperimentError(
+            f"heartbeat must be positive, got {heartbeat}")
+    if retries < 0:
+        raise ExperimentError(f"retries must be >= 0, got {retries}")
+
+
 class Executor:
-    """Runs batches of plans with caching, parallelism and retry.
+    """Runs batches of plans with caching, parallelism and supervision.
 
     Args:
         jobs: worker processes; None (the default) picks one per CPU,
@@ -146,7 +273,17 @@ class Executor:
         timeout: per-plan wall-clock limit in seconds. Enforced by
             running plans in killable worker processes, so setting it
             forces the process path even with ``jobs=1``.
+        heartbeat: hang-detection deadline in seconds, distinct from the
+            timeout: workers beat every ``heartbeat/4`` (capped at 1s),
+            and a worker silent for longer than ``heartbeat`` is killed
+            and its plan retried as a transient failure. Setting it
+            forces the process path (a wedged in-process plan cannot be
+            supervised).
         retries: extra attempts after a transient failure (default 1).
+        backoff: base delay before a retry; attempt ``n`` waits
+            ``backoff * 2**(n-1)`` (capped at ``backoff_cap``) scaled by
+            seeded jitter in [0.5, 1.0]. 0 disables the wait.
+        backoff_cap: upper bound on the exponential delay.
     """
 
     def __init__(
@@ -156,17 +293,23 @@ class Executor:
         cache: ResultCache | None = None,
         events: EventBus | None = None,
         timeout: float | None = None,
+        heartbeat: float | None = None,
         retries: int = 1,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
     ):
-        if jobs is not None and jobs < 1:
-            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
-        if timeout is not None and timeout <= 0:
-            raise ExperimentError(f"timeout must be positive, got {timeout}")
+        validate_limits(jobs=jobs, timeout=timeout, heartbeat=heartbeat,
+                        retries=retries)
         self.jobs = jobs
         self.cache = cache
         self.events = events or EventBus()
         self.timeout = timeout
+        self.heartbeat = heartbeat
         self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        #: Seeded jitter: deterministic per Executor instance.
+        self._rng = random.Random(0x5EED)
 
     # -- public API ------------------------------------------------------
 
@@ -178,6 +321,8 @@ class Executor:
         results: dict[ExperimentPlan, "ConfigResult"] = {}
         indices = {plan: i + 1 for i, plan in enumerate(plans)}
         total = len(plans)
+        if self.cache is not None and self.cache.events is None:
+            self.cache.attach_events(self.events)
 
         todo: list[ExperimentPlan] = []
         for plan in plans:
@@ -194,12 +339,17 @@ class Executor:
         self.events.emit(SuiteStarted(
             total=total, jobs=jobs, cached=len(results)))
 
+        reports: dict[ExperimentPlan, PlanFailureReport] = {}
         failures: dict[ExperimentPlan, str] = {}
         if todo:
-            if (jobs == 1 or len(todo) == 1) and self.timeout is None:
-                fresh = self._run_serial(todo, indices, total, failures)
+            supervised = (self.timeout is not None
+                          or self.heartbeat is not None)
+            if (jobs == 1 or len(todo) == 1) and not supervised:
+                fresh = self._run_serial(todo, indices, total, failures,
+                                         reports)
             else:
-                fresh = self._run_pool(todo, indices, total, failures, jobs)
+                fresh = self._run_pool(todo, indices, total, failures,
+                                       reports, jobs)
             results.update(fresh)
 
         self.events.emit(SuiteFinished(
@@ -210,11 +360,8 @@ class Executor:
             seconds=time.monotonic() - started,
         ))
         if failures:
-            detail = "; ".join(f"{plan.describe()}: {err}"
-                               for plan, err in failures.items())
-            raise ExperimentError(
-                f"{len(failures)} of {total} plans failed: {detail}"
-            )
+            raise SuiteExecutionError(
+                [reports[plan] for plan in failures], total)
         return {plan: results[plan] for plan in plans}
 
     def run_suite(
@@ -257,11 +404,35 @@ class Executor:
             suite.configs[plan.config_key] = result
         return suite
 
+    # -- retry policy ----------------------------------------------------
+
+    def _backoff_delay(self, failed_attempt: int) -> float:
+        """Exponential backoff with seeded jitter: the wait before the
+        attempt after ``failed_attempt``."""
+        if self.backoff <= 0:
+            return 0.0
+        delay = min(self.backoff * (2 ** (failed_attempt - 1)),
+                    self.backoff_cap)
+        return delay * (0.5 + 0.5 * self._rng.random())
+
+    def _record_failure(self, reports, plan, attempt, message, transient,
+                        seconds=0.0) -> tuple[bool, tuple[str, ...]]:
+        """Append an attempt record; returns (will_retry, prior_errors)."""
+        report = reports.get(plan)
+        if report is None:
+            report = reports[plan] = PlanFailureReport(plan=plan)
+        history = tuple(a.error for a in report.attempts)
+        report.attempts.append(AttemptRecord(
+            attempt=attempt, error=message, transient=transient,
+            seconds=seconds))
+        return (transient and attempt <= self.retries), history
+
     # -- serial path -----------------------------------------------------
 
-    def _run_serial(self, todo, indices, total, failures):
+    def _run_serial(self, todo, indices, total, failures, reports):
         results = {}
         traces = self.cache.traces if self.cache is not None else None
+        injecting = faults.active() is not None
         for plan in todo:
             attempt = 1
             while True:
@@ -270,6 +441,9 @@ class Executor:
                     attempt=attempt))
                 plan_started = time.monotonic()
                 trace_hits = traces.stats.hits if traces is not None else 0
+                if injecting:
+                    faults.set_context(plan=plan.describe(), attempt=attempt,
+                                       in_worker=False)
                 try:
                     if traces is None:
                         result = execute_plan(plan)
@@ -277,20 +451,29 @@ class Executor:
                         result = execute_plan(plan, traces)
                 except _TRANSIENT as err:
                     message = f"{type(err).__name__}: {err}"
-                    retry = attempt <= self.retries
+                    seconds = time.monotonic() - plan_started
+                    retry, history = self._record_failure(
+                        reports, plan, attempt, message, True, seconds)
                     self.events.emit(PlanFailed(
                         plan=plan, error=message, attempt=attempt,
-                        will_retry=retry))
+                        will_retry=retry, history=history))
                     if not retry:
                         failures[plan] = message
                         break
+                    delay = self._backoff_delay(attempt)
+                    if delay:
+                        time.sleep(delay)
                     attempt += 1
                     continue
                 except (ReproError, AssertionError) as err:
                     # deterministic: simulator/config bugs surface as-is
+                    message = f"{type(err).__name__}: {err}"
+                    _retry, history = self._record_failure(
+                        reports, plan, attempt, message, False,
+                        time.monotonic() - plan_started)
                     self.events.emit(PlanFailed(
-                        plan=plan, error=f"{type(err).__name__}: {err}",
-                        attempt=attempt, will_retry=False))
+                        plan=plan, error=message,
+                        attempt=attempt, will_retry=False, history=history))
                     raise
                 seconds = time.monotonic() - plan_started
                 if traces is not None and traces.stats.hits > trace_hits:
@@ -306,25 +489,36 @@ class Executor:
                     seconds=seconds, attempt=attempt))
                 results[plan] = result
                 if self.cache is not None:
+                    if injecting:
+                        faults.set_context(plan=plan.describe(),
+                                           attempt=attempt, in_worker=False)
                     self.cache.put(plan, result, seconds=seconds)
                 break
         return results
 
     # -- process pool ----------------------------------------------------
 
-    def _run_pool(self, todo, indices, total, failures, jobs):
+    def _run_pool(self, todo, indices, total, failures, reports, jobs):
         from repro.harness.experiments import ConfigResult
 
         ctx = _mp_context()
-        pending = deque((plan, 1) for plan in todo)
-        active = {}  # Process -> (plan, attempt, conn, started)
+        # (plan, attempt, ready_at): backoff delays schedule retries
+        pending: list[tuple[ExperimentPlan, int, float]] = [
+            (plan, 1, 0.0) for plan in todo]
+        active = {}  # Process -> [plan, attempt, conn, started, last_beat]
         results = {}
         trace_root = (str(self.cache.traces.root)
                       if self.cache is not None else None)
+        fault_doc = faults.export()
+        injecting = fault_doc is not None
+        strikes = 0       # consecutive pool-level failures
+        degraded = False
 
-        def finish(proc, plan, attempt, message=None, transient=False,
+        def finish(plan, attempt, started, message=None, transient=False,
                    payload=None):
+            nonlocal strikes
             if payload is not None:
+                strikes = 0
                 seconds = payload.get("seconds", 0.0)
                 result = ConfigResult.from_dict(payload["result"])
                 result.translation = payload.get("translation")
@@ -341,24 +535,47 @@ class Executor:
                     plan=plan, index=indices[plan], total=total,
                     seconds=seconds, attempt=attempt))
                 if self.cache is not None:
+                    if injecting:
+                        faults.set_context(plan=plan.describe(),
+                                           attempt=attempt, in_worker=False)
                     self.cache.put(plan, result, seconds=seconds)
                 return
-            retry = transient and attempt <= self.retries
+            retry, history = self._record_failure(
+                reports, plan, attempt, message, transient,
+                time.monotonic() - started)
             self.events.emit(PlanFailed(
-                plan=plan, error=message, attempt=attempt, will_retry=retry))
+                plan=plan, error=message, attempt=attempt,
+                will_retry=retry, history=history))
             if retry:
-                pending.append((plan, attempt + 1))
+                pending.append((plan, attempt + 1,
+                                time.monotonic() + self._backoff_delay(attempt)))
             else:
                 failures[plan] = message
+
+        def reap(proc, conn):
+            proc.join()
+            del active[proc]
+            conn.close()
+
+        def pop_ready():
+            now = time.monotonic()
+            for i, item in enumerate(pending):
+                if item[2] <= now:
+                    return pending.pop(i)
+            return None
 
         try:
             while pending or active:
                 while pending and len(active) < jobs:
-                    plan, attempt = pending.popleft()
+                    item = pop_ready()
+                    if item is None:
+                        break  # retries still backing off
+                    plan, attempt, _ready = item
                     parent_conn, child_conn = ctx.Pipe(duplex=False)
                     proc = ctx.Process(
                         target=_child_main,
-                        args=(child_conn, plan.to_dict(), trace_root),
+                        args=(child_conn, plan.to_dict(), trace_root,
+                              fault_doc, self.heartbeat, attempt),
                         daemon=True,
                     )
                     self.events.emit(PlanStarted(
@@ -366,50 +583,82 @@ class Executor:
                         attempt=attempt))
                     proc.start()
                     child_conn.close()
-                    active[proc] = (plan, attempt, parent_conn,
-                                    time.monotonic())
+                    now = time.monotonic()
+                    active[proc] = [plan, attempt, parent_conn, now, now]
 
                 time.sleep(_POLL_S)
                 for proc in list(active):
-                    plan, attempt, conn, started = active[proc]
-                    if conn.poll():
+                    plan, attempt, conn, started, last_beat = active[proc]
+                    final = False
+                    msg = None
+                    while conn.poll():
                         try:
-                            msg = conn.recv()
+                            received = conn.recv()
                         except (EOFError, OSError):
+                            final = True
                             msg = None
-                        proc.join()
-                        del active[proc]
-                        conn.close()
+                            break
+                        if isinstance(received, dict) and "hb" in received:
+                            active[proc][4] = time.monotonic()
+                            continue
+                        final = True
+                        msg = received
+                        break
+                    if final:
+                        reap(proc, conn)
                         if msg is None:
-                            finish(proc, plan, attempt,
+                            strikes += 1
+                            finish(plan, attempt, started,
                                    message="worker pipe closed unexpectedly",
                                    transient=True)
                         elif msg.get("ok"):
-                            finish(proc, plan, attempt, payload=msg)
+                            finish(plan, attempt, started, payload=msg)
                         else:
-                            finish(proc, plan, attempt,
+                            finish(plan, attempt, started,
                                    message=msg.get("error", "unknown error"),
                                    transient=bool(msg.get("transient")))
                     elif not proc.is_alive():
-                        proc.join()
-                        del active[proc]
-                        conn.close()
-                        finish(proc, plan, attempt,
-                               message=f"worker died (exit code "
-                                       f"{proc.exitcode})",
+                        exitcode = proc.exitcode
+                        reap(proc, conn)
+                        strikes += 1
+                        finish(plan, attempt, started,
+                               message=f"worker died (exit code {exitcode})",
                                transient=True)
                     elif (self.timeout is not None
                           and time.monotonic() - started > self.timeout):
                         proc.terminate()
-                        proc.join()
-                        del active[proc]
-                        conn.close()
-                        finish(proc, plan, attempt,
+                        reap(proc, conn)
+                        finish(plan, attempt, started,
                                message=f"timed out after {self.timeout:g}s",
                                transient=True)
+                    elif (self.heartbeat is not None
+                          and time.monotonic() - last_beat > self.heartbeat):
+                        proc.terminate()
+                        reap(proc, conn)
+                        finish(plan, attempt, started,
+                               message=f"worker heartbeat lost (silent for "
+                                       f"> {self.heartbeat:g}s)",
+                               transient=True)
+                if strikes >= POOL_FAILURE_LIMIT:
+                    degraded = True
+                    break
         finally:
-            for proc, (_plan, _attempt, conn, _started) in active.items():
+            for proc, (_plan, _attempt, conn, _started, _beat) in \
+                    active.items():
                 proc.terminate()
                 proc.join()
                 conn.close()
+
+        if degraded:
+            # the pool itself is failing (not individual plans): run the
+            # remainder in-process, where there is no pipe to break and
+            # no fork to die. Plans restart their attempt counters.
+            leftover = [plan for plan, _a, _r in pending]
+            leftover.extend(state[0] for state in active.values())
+            active.clear()
+            self.events.emit(ExecutorDegraded(
+                failures=strikes, remaining=len(leftover),
+                reason="consecutive worker deaths/pipe failures"))
+            results.update(self._run_serial(
+                leftover, indices, total, failures, reports))
         return results

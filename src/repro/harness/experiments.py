@@ -286,6 +286,8 @@ def run_suite(
     jobs: int | None = None,
     cache=None,
     timeout: float | None = None,
+    heartbeat: float | None = None,
+    retries: int = 1,
     events=None,
     translate: bool = True,
 ) -> SuiteResult:
@@ -296,9 +298,12 @@ def run_suite(
     Compatibility wrapper over :class:`repro.harness.executor.Executor`:
     ``jobs`` fans the matrix out across worker processes, ``cache`` (a
     :class:`repro.harness.cache.ResultCache`) skips already-computed
-    configs, ``timeout`` bounds each config's wall-clock, and ``events``
-    (an :class:`repro.harness.events.EventBus`) receives structured
-    progress telemetry; ``verbose`` attaches a console reporter to it.
+    configs, ``timeout`` bounds each config's wall-clock, ``heartbeat``
+    kills workers that stop beating (hang detection distinct from the
+    timeout), ``retries`` bounds re-attempts after transient failures,
+    and ``events`` (an :class:`repro.harness.events.EventBus`) receives
+    structured progress telemetry; ``verbose`` attaches a console
+    reporter to it.
     """
     from repro.harness.events import ConsoleReporter, EventBus
     from repro.harness.executor import Executor
@@ -306,7 +311,8 @@ def run_suite(
     bus = events if events is not None else EventBus()
     if verbose:
         bus.subscribe(ConsoleReporter())
-    executor = Executor(jobs=jobs, cache=cache, events=bus, timeout=timeout)
+    executor = Executor(jobs=jobs, cache=cache, events=bus, timeout=timeout,
+                        heartbeat=heartbeat, retries=retries)
     return executor.run_suite(
         scale,
         workloads=workloads,

@@ -1,0 +1,295 @@
+"""Deterministic fault injection for the resilient execution layer.
+
+A :class:`FaultPlan` is a seeded, serializable description of *which*
+failures to inject *where*: each :class:`FaultSpec` names an injection
+site, a fault kind, and filters (plan substring, attempt numbers,
+per-process occurrence indices) that make the injection exactly
+reproducible. The harness threads the active plan through every layer it
+hardens:
+
+===================== =====================================================
+site                  checked by
+===================== =====================================================
+``worker``            :func:`repro.harness.executor._child_main`, before
+                      the heartbeat thread starts (kinds: ``crash``,
+                      ``hang``, ``transient``, ``error``)
+``execute``           :func:`repro.harness.executor.execute_plan`, both
+                      serial and worker paths (``transient``, ``error``,
+                      ``hang``)
+``cache-result-write``  :meth:`ResultCache.put` — mangles the JSON entry
+                      bytes (``truncate``, ``garble``, ``empty``)
+``cache-trace-write``   :meth:`TraceStore.put` — mangles the compressed
+                      trace envelope (``truncate``, ``garble``, ``empty``)
+``cache-tmp-leftover``  :meth:`ResultCache.put`/:meth:`TraceStore.put` —
+                      leaves a stray ``*.tmp`` file (``leftover``)
+``translate-compile``   block compilation in :mod:`repro.sim.blocks`
+                      (``error``; exercises per-block demotion)
+===================== =====================================================
+
+Zero overhead when no plan is installed: every site guard is one module
+global read (``_ACTIVE is None`` / ``_FAULT_HOOK is None``). Workers
+receive the plan as a serialized dict argument, so injection is
+deterministic under both ``fork`` and ``spawn`` start methods, and the
+``attempts`` filter lets a fault fire on attempt 1 and *not* on the
+retry — the harness proves recovery, not just failure.
+
+Fault kinds:
+
+* ``crash`` — ``os._exit(exit_code)``; only fires inside a worker
+  process (the parent must survive to observe the death).
+* ``hang`` — sleep ``seconds``; in a worker this happens *before* the
+  heartbeat thread starts, so it models a truly wedged process.
+* ``transient`` — raise :class:`InjectedTransientError` (an ``OSError``,
+  so the executor's transient-retry policy applies).
+* ``error`` — raise :class:`InjectedFaultError` (an
+  :class:`ExperimentError`: deterministic, never retried).
+* ``truncate`` / ``garble`` / ``empty`` — corrupt bytes being written
+  (``garble`` XORs seeded-random positions, so corruption is
+  reproducible per :attr:`FaultPlan.seed`).
+* ``leftover`` — leave a stray tmp file beside the entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from repro.common.errors import ExperimentError
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFaultError",
+    "InjectedTransientError",
+    "install",
+    "uninstall",
+    "active",
+    "export",
+    "set_context",
+    "check",
+    "fire",
+    "corrupt",
+]
+
+#: Sites whose kinds are *actions* (performed by :func:`check`).
+ACTION_KINDS = ("crash", "hang", "transient", "error")
+#: Kinds that mangle bytes (applied by :func:`corrupt`).
+DATA_KINDS = ("truncate", "garble", "empty")
+
+
+class InjectedFaultError(ExperimentError):
+    """A deterministic injected failure (kind ``error``)."""
+
+
+class InjectedTransientError(OSError):
+    """An injected failure the executor treats as transient."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection: where, what, and exactly when."""
+
+    site: str
+    kind: str
+    #: Substring of ``plan.describe()``; "" matches any plan.
+    plan: str = ""
+    #: Attempt numbers to fire on; () fires on any attempt.
+    attempts: tuple[int, ...] = ()
+    #: 1-based occurrence indices of this site (per process, counted
+    #: over occurrences that pass the plan/attempt filters); () fires on
+    #: every occurrence.
+    at: tuple[int, ...] = ()
+    #: ``hang`` duration.
+    seconds: float = 30.0
+    #: ``crash`` exit status.
+    exit_code: int = 86
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "plan": self.plan,
+            "attempts": list(self.attempts),
+            "at": list(self.at),
+            "seconds": self.seconds,
+            "exit_code": self.exit_code,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultSpec":
+        return cls(
+            site=doc["site"],
+            kind=doc["kind"],
+            plan=doc.get("plan", ""),
+            attempts=tuple(int(a) for a in doc.get("attempts", ())),
+            at=tuple(int(a) for a in doc.get("at", ())),
+            seconds=float(doc.get("seconds", 30.0)),
+            exit_code=int(doc.get("exit_code", 86)),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A seeded set of :class:`FaultSpec` values plus firing state.
+
+    Occurrence counters are per-process (a worker starts fresh), so the
+    ``attempts`` filter is the cross-process knob: the parent passes the
+    attempt number into each worker.
+    """
+
+    specs: list[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self):
+        self.specs = [spec if isinstance(spec, FaultSpec)
+                      else FaultSpec.from_dict(spec) for spec in self.specs]
+        self._counts: dict[int, int] = {}
+
+    # -- firing ----------------------------------------------------------
+
+    def fire(self, site: str, *, plan: str = "", attempt: int = 0,
+             in_worker: bool = False) -> FaultSpec | None:
+        """The first spec firing at this occurrence of ``site``, or None.
+
+        Increments each matching spec's occurrence counter (filters
+        first, so a spec scoped to one plan counts only that plan's
+        occurrences).
+        """
+        for i, spec in enumerate(self.specs):
+            if spec.site != site:
+                continue
+            if spec.plan and spec.plan not in plan:
+                continue
+            if spec.attempts and attempt not in spec.attempts:
+                continue
+            if spec.kind == "crash" and not in_worker:
+                continue
+            count = self._counts.get(i, 0) + 1
+            self._counts[i] = count
+            if spec.at and count not in spec.at:
+                continue
+            return spec
+        return None
+
+    def rng_for(self, spec: FaultSpec) -> random.Random:
+        """Deterministic RNG for this spec's data corruption (``hash()``
+        is salted per process, so key on a stable CRC instead)."""
+        tag = zlib.crc32(f"{spec.site}/{spec.kind}".encode())
+        return random.Random((self.seed << 32) ^ tag)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"v": 1, "seed": self.seed,
+                "specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultPlan":
+        if doc.get("v") != 1:
+            raise ExperimentError(f"FaultPlan schema {doc.get('v')!r} != 1")
+        return cls(specs=[FaultSpec.from_dict(s) for s in doc["specs"]],
+                   seed=int(doc.get("seed", 0)))
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+# -- global installation ------------------------------------------------
+
+_ACTIVE: FaultPlan | None = None
+_CONTEXT = {"plan": "", "attempt": 0, "in_worker": False}
+
+
+def _sync_hooks() -> None:
+    """Point the sim layer's injected hook at us (or clear it). The sim
+    package must not import the harness, so the dependency is inverted:
+    installation pokes a module global into :mod:`repro.sim.blocks`."""
+    from repro.sim import blocks
+
+    blocks._FAULT_HOOK = check if _ACTIVE is not None else None
+
+
+def install(plan: FaultPlan) -> None:
+    """Activate ``plan`` process-wide (replacing any previous plan)."""
+    global _ACTIVE
+    _ACTIVE = plan
+    _sync_hooks()
+
+
+def uninstall() -> None:
+    """Deactivate fault injection and reset the context."""
+    global _ACTIVE
+    _ACTIVE = None
+    _CONTEXT.update(plan="", attempt=0, in_worker=False)
+    _sync_hooks()
+
+
+def active() -> FaultPlan | None:
+    return _ACTIVE
+
+
+def export() -> dict | None:
+    """The active plan as a dict to ship to a worker process, or None."""
+    return _ACTIVE.to_dict() if _ACTIVE is not None else None
+
+
+def set_context(*, plan: str = "", attempt: int = 0,
+                in_worker: bool = False) -> None:
+    """Record what is being executed, for spec filters."""
+    _CONTEXT.update(plan=plan, attempt=attempt, in_worker=in_worker)
+
+
+def fire(site: str) -> FaultSpec | None:
+    """Fire ``site`` under the current context; None when inactive."""
+    if _ACTIVE is None:
+        return None
+    return _ACTIVE.fire(site, **_CONTEXT)
+
+
+def check(site: str) -> None:
+    """Fire ``site`` and *perform* an action fault (crash/hang/raise)."""
+    spec = fire(site)
+    if spec is None:
+        return
+    if spec.kind == "crash":
+        os._exit(spec.exit_code)
+    if spec.kind == "hang":
+        time.sleep(spec.seconds)
+        return
+    if spec.kind == "transient":
+        raise InjectedTransientError(
+            f"injected transient fault at {site!r}")
+    if spec.kind == "error":
+        raise InjectedFaultError(f"injected fault at {site!r}")
+    raise ExperimentError(
+        f"fault kind {spec.kind!r} is not an action (site {site!r})")
+
+
+def corrupt(site: str, data: bytes) -> bytes:
+    """Fire ``site`` and mangle ``data`` per the spec (identity when the
+    site does not fire)."""
+    spec = fire(site)
+    if spec is None:
+        return data
+    if spec.kind == "truncate":
+        return data[:len(data) // 2]
+    if spec.kind == "empty":
+        return b""
+    if spec.kind == "garble":
+        rng = _ACTIVE.rng_for(spec)
+        blob = bytearray(data)
+        for _ in range(max(4, len(blob) // 64)):
+            if not blob:
+                break
+            blob[rng.randrange(len(blob))] ^= 1 + rng.randrange(255)
+        return bytes(blob)
+    raise ExperimentError(
+        f"fault kind {spec.kind!r} does not corrupt data (site {site!r})")

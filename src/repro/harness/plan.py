@@ -180,6 +180,47 @@ def _result_schema_versions() -> dict[str, int]:
     }
 
 
+def suite_params_doc(
+    scale: float = 1.0,
+    *,
+    workloads: tuple[str, ...] | None = None,
+    windowed: bool = True,
+    window_sizes: tuple[int, ...] = PAPER_WINDOW_SIZES,
+    slide_fraction: float = 0.5,
+    models: dict[str, str] | None = None,
+    max_instructions: int = 500_000_000,
+    translate: bool = True,
+) -> dict:
+    """The :func:`plan_suite` parameters as a JSON-safe dict — what a
+    run journal stores so ``--resume`` can reconstruct the exact plan
+    set without re-supplying flags; inverse of :func:`suite_from_params`.
+    """
+    return {
+        "scale": scale,
+        "workloads": list(workloads) if workloads else None,
+        "windowed": windowed,
+        "window_sizes": list(window_sizes),
+        "slide_fraction": slide_fraction,
+        "models": dict(models) if models else None,
+        "max_instructions": max_instructions,
+        "translate": translate,
+    }
+
+
+def suite_from_params(doc: dict) -> list[ExperimentPlan]:
+    """Reconstruct the plan set from a :func:`suite_params_doc` dict."""
+    return plan_suite(
+        float(doc["scale"]),
+        workloads=tuple(doc["workloads"]) if doc.get("workloads") else None,
+        windowed=bool(doc["windowed"]),
+        window_sizes=tuple(int(w) for w in doc["window_sizes"]),
+        slide_fraction=float(doc.get("slide_fraction", 0.5)),
+        models=doc.get("models") or None,
+        max_instructions=int(doc["max_instructions"]),
+        translate=bool(doc.get("translate", True)),
+    )
+
+
 def plan_suite(
     scale: float = 1.0,
     *,

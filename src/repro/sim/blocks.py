@@ -70,6 +70,13 @@ __all__ = [
 #: size of generated functions.
 MAX_BLOCK = 64
 
+#: Fault-injection hook, poked by :mod:`repro.harness.faults` (the sim
+#: layer must not import the harness). When set, block compilation calls
+#: it with the site name ``"translate-compile"`` and any exception it
+#: raises exercises the per-block demotion path. None in normal runs:
+#: the guard is a single module-global read.
+_FAULT_HOOK = None
+
 _SYSCALL = InstructionGroup.SYSCALL
 _ATOMIC = InstructionGroup.ATOMIC
 
@@ -224,6 +231,7 @@ class _TranslatorBase:
         self.executions = 0
         self.chained = 0
         self.interp_instructions = 0
+        self.demoted_blocks = 0
         self._temp_counter = 0
 
     def _fresh(self):
@@ -309,6 +317,8 @@ class _TranslatorBase:
         """Compile a block function whose body is ``body_lines``; every
         referenced binding is passed as a default argument (LOAD_FAST in
         the hot path), the rest resolve through the exec namespace."""
+        if _FAULT_HOOK is not None:
+            _FAULT_HOOK("translate-compile")
         namespace = dict(self.ctx.bindings)
         namespace.update(local_bindings)
         # fold the zero-immediate address form ``A + (0) & M`` to
@@ -328,6 +338,15 @@ class _TranslatorBase:
             "    " + line for line in body_lines)
         return _compile_fn(source, namespace)
 
+    def _demoted_plain_fn(self, insts):
+        """Interpreter-path block function: per-instruction dispatch with
+        the standard PC bump, bit-identical to the interpreter loop."""
+        def _blk(m):
+            for inst in insts:
+                m.pc = inst.pc + 4
+                inst.execute(m)
+        return _blk
+
     def stats(self):
         return {
             "blocks": self.blocks,
@@ -338,6 +357,7 @@ class _TranslatorBase:
             "executions": self.executions,
             "chained": self.chained,
             "interp_instructions": self.interp_instructions,
+            "demoted_blocks": self.demoted_blocks,
         }
 
 
@@ -352,26 +372,34 @@ class BlockTranslator(_TranslatorBase):
     def entry_for(self, pc):
         insts, chain_pc = _scan_block(self.core, pc)
         length = len(insts)
-        bindings = {}
-        body = []
-        for i, inst in enumerate(insts):
-            if i == length - 1:
-                # one hoisted PC store per block: the fall-through of the
-                # final instruction (branch executors overwrite it; a
-                # conditional's not-taken path and a syscall's error
-                # reporting rely on it)
-                body.append(f"m.pc = {inst.pc + 4}")
-            body.extend(self._inst_lines(i, inst, bindings))
-        looping = (chain_pc is None
-                   and _cond_taken_target(insts[-1]) == pc)
-        if looping:
-            # the block is its own taken-successor (a hot loop): iterate
-            # inside the generated function, re-dispatching only on loop
-            # exit or when the next iteration could overshoot the cap
-            body = self._loop_wrap(body, length, pc)
-            fn = self._assemble(body, bindings, params="m, _cap")
-        else:
-            fn = self._assemble(body, bindings)
+        try:
+            bindings = {}
+            body = []
+            for i, inst in enumerate(insts):
+                if i == length - 1:
+                    # one hoisted PC store per block: the fall-through of
+                    # the final instruction (branch executors overwrite
+                    # it; a conditional's not-taken path and a syscall's
+                    # error reporting rely on it)
+                    body.append(f"m.pc = {inst.pc + 4}")
+                body.extend(self._inst_lines(i, inst, bindings))
+            looping = (chain_pc is None
+                       and _cond_taken_target(insts[-1]) == pc)
+            if looping:
+                # the block is its own taken-successor (a hot loop):
+                # iterate inside the generated function, re-dispatching
+                # only on loop exit or when the next iteration could
+                # overshoot the cap
+                body = self._loop_wrap(body, length, pc)
+                fn = self._assemble(body, bindings, params="m, _cap")
+            else:
+                fn = self._assemble(body, bindings)
+        except Exception:
+            # compilation failed: demote this block to the interpreter
+            # path permanently rather than failing the run
+            fn = self._demoted_plain_fn(insts)
+            looping = False
+            self.demoted_blocks += 1
         entry = [fn, length, None, chain_pc, insts, pc, looping]
         self.cache[pc] = entry
         self._note_block(length)
@@ -445,7 +473,34 @@ class BatchTranslator(_TranslatorBase):
             wappend(w)
             roffs.append(r - rbase)
             woffs.append(w - wbase)
-        entry[0] = self._compile_block(entry, roffs, woffs)
+        try:
+            entry[0] = self._compile_block(entry, roffs, woffs)
+        except Exception:
+            # compilation failed: demote this block to a per-instruction
+            # bookkeeping loop permanently rather than failing the run
+            entry[0] = self._demoted_batch_fn(entry)
+            entry[6] = False
+            self.demoted_blocks += 1
+
+    def _demoted_batch_fn(self, entry):
+        """Interpreter-path block function with per-retirement
+        bookkeeping, matching :meth:`interp_tail` semantics."""
+        memory = self.core.machine.memory
+        reads = memory.reads
+        writes = memory.writes
+        iappend = self.indices.append
+        rappend = self.read_ends.append
+        wappend = self.write_ends.append
+        pairs = list(zip(entry[4], entry[7]))
+
+        def _blk(m):
+            for inst, idx in pairs:
+                m.pc = inst.pc + 4
+                inst.execute(m)
+                iappend(idx)
+                rappend(len(reads))
+                wappend(len(writes))
+        return _blk
 
     def _compile_block(self, entry, roffs, woffs):
         insts = entry[4]

@@ -1,0 +1,621 @@
+"""Fault-injection harness tests: every fault class in FaultPlan either
+completes with results identical to a fault-free run (crash, hang,
+transient, corrupt-cache, translation faults) or produces a structured
+failure report — plus checkpoint/resume with byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.critpath import CriticalPathResult
+from repro.analysis.mix import InstructionMixResult
+from repro.analysis.pathlength import PathLengthResult
+from repro.analysis.windowed import WindowedCPResult
+from repro.common.errors import ExperimentError
+from repro.isa.base import InstructionGroup
+from repro.harness import executor as executor_mod
+from repro.harness import faults
+from repro.harness.cache import ResultCache, TraceStore
+from repro.harness.checkpoint import RunJournal, unfinished_runs
+from repro.harness.events import (
+    CacheCorruption,
+    EventBus,
+    ExecutorDegraded,
+    PlanFailed,
+)
+from repro.harness.executor import Executor, SuiteExecutionError, execute_plan
+from repro.harness.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    InjectedTransientError,
+)
+from repro.harness.plan import ExperimentPlan, plan_suite, suite_params_doc
+
+
+def make_plan(**overrides) -> ExperimentPlan:
+    base = dict(workload="stream", isa="rv64", profile="gcc12", scale=0.02,
+                windowed=True, window_sizes=(4, 16))
+    base.update(overrides)
+    return ExperimentPlan(**base)
+
+
+def make_result(plan: ExperimentPlan, seed: int = 7):
+    """A synthetic but structurally complete ConfigResult."""
+    from repro.harness.experiments import ConfigResult
+
+    windowed = None
+    if plan.windowed:
+        windowed = {w: WindowedCPResult(window_size=w, count=3,
+                                        total_cp=6 * seed, max_cp=3 * seed,
+                                        min_cp=seed, cps=[seed, 2 * seed])
+                    for w in plan.window_sizes}
+    return ConfigResult(
+        workload=plan.workload,
+        isa=plan.isa,
+        profile=plan.profile,
+        path=PathLengthResult(total=100 * seed,
+                              per_region={"copy": 60 * seed,
+                                          "other": 40 * seed}),
+        cp=CriticalPathResult(critical_path=10 * seed,
+                              instructions=100 * seed),
+        scaled_cp=CriticalPathResult(critical_path=60 * seed,
+                                     instructions=100 * seed),
+        mix=InstructionMixResult(
+            total=100 * seed,
+            by_mnemonic={"add": 50 * seed, "beq": 10 * seed},
+            by_group={InstructionGroup.INT_SIMPLE: 90 * seed,
+                      InstructionGroup.BRANCH: 10 * seed},
+            branches=10 * seed, conditional_branches=9 * seed,
+            flag_setters=0, loads=20 * seed, stores=10 * seed),
+        windowed=windowed,
+    )
+
+
+#: The small real matrix the integration tests run: 4 configs, no
+#: windowed analysis (fast), deterministic results.
+SUITE_KW = dict(workloads=("stream",), windowed=False)
+PLANS = plan_suite(0.02, **SUITE_KW)
+
+
+def docs(results) -> dict:
+    """Canonical JSON per plan — byte-level result identity."""
+    return {plan.describe(): json.dumps(result.to_dict(), sort_keys=True)
+            for plan, result in results.items()}
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Fault-free serial results of the real 4-config matrix."""
+    return docs(Executor(jobs=1).run(PLANS))
+
+
+def capture_bus():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    return bus, seen
+
+
+# ---------------------------------------------------------- FaultPlan unit
+
+class TestFaultPlan:
+    def test_roundtrip(self):
+        plan = FaultPlan([FaultSpec(site="worker", kind="crash",
+                                    plan="stream", attempts=(1, 2),
+                                    at=(3,), seconds=1.5, exit_code=9)],
+                         seed=42)
+        again = FaultPlan.loads(plan.dumps())
+        assert again.to_dict() == plan.to_dict()
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ExperimentError):
+            FaultPlan.from_dict({"v": 99, "specs": []})
+
+    def test_site_and_plan_filters(self):
+        plan = FaultPlan([FaultSpec(site="execute", kind="error",
+                                    plan="rv64/gcc12")])
+        assert plan.fire("worker", plan="stream/rv64/gcc12") is None
+        assert plan.fire("execute", plan="stream/aarch64/gcc12") is None
+        assert plan.fire("execute", plan="stream/rv64/gcc12") is not None
+
+    def test_attempt_filter(self):
+        plan = FaultPlan([FaultSpec(site="execute", kind="error",
+                                    attempts=(1,))])
+        assert plan.fire("execute", attempt=1) is not None
+        assert plan.fire("execute", attempt=2) is None
+
+    def test_occurrence_filter_counts_matching_only(self):
+        plan = FaultPlan([FaultSpec(site="execute", kind="error",
+                                    plan="rv64", at=(2,))])
+        # non-matching plans do not advance the occurrence counter
+        assert plan.fire("execute", plan="a/aarch64/x") is None
+        assert plan.fire("execute", plan="a/rv64/x") is None       # occ 1
+        assert plan.fire("execute", plan="b/rv64/x") is not None   # occ 2
+        assert plan.fire("execute", plan="c/rv64/x") is None       # occ 3
+
+    def test_crash_requires_worker_context(self):
+        plan = FaultPlan([FaultSpec(site="worker", kind="crash")])
+        assert plan.fire("worker", in_worker=False) is None
+        assert plan.fire("worker", in_worker=True) is not None
+
+    def test_check_raises_typed_errors(self):
+        faults.install(FaultPlan([
+            FaultSpec(site="a", kind="transient"),
+            FaultSpec(site="b", kind="error"),
+        ]))
+        with pytest.raises(InjectedTransientError):
+            faults.check("a")
+        with pytest.raises(InjectedFaultError):
+            faults.check("b")
+        faults.check("unconfigured-site")  # no-op
+
+    def test_garble_is_deterministic_per_seed(self):
+        data = bytes(range(256)) * 4
+        mangled = []
+        for _ in range(2):
+            faults.install(FaultPlan(
+                [FaultSpec(site="cache-result-write", kind="garble")],
+                seed=7))
+            mangled.append(faults.corrupt("cache-result-write", data))
+            faults.uninstall()
+        assert mangled[0] == mangled[1]
+        assert mangled[0] != data
+        faults.install(FaultPlan(
+            [FaultSpec(site="cache-result-write", kind="garble")], seed=8))
+        assert faults.corrupt("cache-result-write", data) != mangled[0]
+
+    def test_inactive_is_identity(self):
+        assert faults.active() is None
+        assert faults.fire("execute") is None
+        assert faults.corrupt("cache-result-write", b"abc") == b"abc"
+
+
+# ------------------------------------------------- executor supervision
+
+class TestWorkerSupervision:
+    def test_worker_crash_retried_and_byte_identical(self, baseline):
+        faults.install(FaultPlan([FaultSpec(
+            site="worker", kind="crash", plan="stream/rv64/gcc12",
+            attempts=(1,))]))
+        bus, seen = capture_bus()
+        results = Executor(jobs=2, retries=1, backoff=0.01,
+                           events=bus).run(PLANS)
+        assert docs(results) == baseline
+        failed = [e for e in seen if isinstance(e, PlanFailed)]
+        assert failed and all(e.will_retry for e in failed)
+        assert all("rv64/gcc12" in e.plan.describe() for e in failed)
+
+    def test_hang_detected_by_heartbeat_not_timeout(self, monkeypatch):
+        monkeypatch.setattr(
+            executor_mod, "execute_plan",
+            lambda plan, trace_store=None: make_result(plan))
+        faults.install(FaultPlan([FaultSpec(
+            site="worker", kind="hang", plan="stream/rv64/gcc9",
+            attempts=(1,), seconds=30.0)]))
+        bus, seen = capture_bus()
+        results = Executor(jobs=2, heartbeat=0.5, retries=1, backoff=0.01,
+                           events=bus).run(PLANS)
+        assert len(results) == 4
+        failed = [e for e in seen if isinstance(e, PlanFailed)]
+        assert len(failed) == 1
+        assert "heartbeat" in failed[0].error
+        assert failed[0].will_retry
+
+    def test_transient_retry_records_attempt_history(self):
+        faults.install(FaultPlan([FaultSpec(
+            site="execute", kind="transient", plan="stream/rv64/gcc9",
+            attempts=(1, 2))]))
+        bus, seen = capture_bus()
+        results = Executor(jobs=1, retries=2, backoff=0.0,
+                           events=bus).run([PLANS[2]])
+        assert len(results) == 1
+        failed = [e for e in seen if isinstance(e, PlanFailed)]
+        assert [e.attempt for e in failed] == [1, 2]
+        assert failed[0].history == ()
+        assert failed[1].history == (failed[0].error,)
+
+    def test_exhausted_retries_raise_structured_report(self):
+        faults.install(FaultPlan([FaultSpec(
+            site="execute", kind="transient", plan="stream/rv64/gcc9")]))
+        with pytest.raises(SuiteExecutionError) as exc:
+            Executor(jobs=1, retries=1, backoff=0.0).run([PLANS[2]])
+        (report,) = exc.value.reports
+        assert report.plan.describe() == "stream/rv64/gcc9"
+        assert len(report.attempts) == 2
+        assert all(a.transient for a in report.attempts)
+        assert "attempt 1" in str(exc.value)
+
+    def test_deterministic_error_not_retried_serial(self):
+        faults.install(FaultPlan([FaultSpec(
+            site="execute", kind="error", plan="stream/rv64/gcc9")]))
+        bus, seen = capture_bus()
+        with pytest.raises(InjectedFaultError):
+            Executor(jobs=1, events=bus).run([PLANS[2]])
+        failed = [e for e in seen if isinstance(e, PlanFailed)]
+        assert len(failed) == 1 and not failed[0].will_retry
+
+    def test_deterministic_error_not_retried_pool(self, monkeypatch):
+        def fake(plan, trace_store=None):
+            faults.check("execute")  # the real execute_plan's fault site
+            return make_result(plan)
+
+        monkeypatch.setattr(executor_mod, "execute_plan", fake)
+        faults.install(FaultPlan([FaultSpec(
+            site="execute", kind="error", plan="stream/rv64/gcc9")]))
+        with pytest.raises(SuiteExecutionError) as exc:
+            Executor(jobs=2, retries=3, backoff=0.0).run(PLANS)
+        (report,) = exc.value.reports
+        assert len(report.attempts) == 1  # deterministic: no retry
+        assert not report.attempts[0].transient
+
+    def test_repeated_pool_failures_degrade_to_serial(self, monkeypatch):
+        monkeypatch.setattr(
+            executor_mod, "execute_plan",
+            lambda plan, trace_store=None: make_result(plan))
+        # every worker process crashes; the in-process fallback does not
+        # (crash specs require worker context)
+        faults.install(FaultPlan([FaultSpec(site="worker", kind="crash")]))
+        bus, seen = capture_bus()
+        results = Executor(jobs=2, retries=10, backoff=0.0,
+                           events=bus).run(PLANS)
+        assert len(results) == 4
+        degraded = [e for e in seen if isinstance(e, ExecutorDegraded)]
+        assert len(degraded) == 1
+        assert degraded[0].failures >= executor_mod.POOL_FAILURE_LIMIT
+
+    def test_worker_interrupt_reraises(self):
+        # satellite: KeyboardInterrupt must escape _child_main (after
+        # reporting), not be swallowed as a plan failure
+        class Conn:
+            def __init__(self):
+                self.sent = []
+
+            def send(self, msg):
+                self.sent.append(msg)
+
+            def close(self):
+                pass
+
+        conn = Conn()
+        plan_doc = make_plan().to_dict()
+
+        def interrupt(plan, trace_store=None):
+            raise KeyboardInterrupt
+
+        real = executor_mod.execute_plan
+        executor_mod.execute_plan = interrupt
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                executor_mod._child_main(conn, plan_doc)
+        finally:
+            executor_mod.execute_plan = real
+        assert conn.sent and conn.sent[-1]["ok"] is False
+
+
+# ---------------------------------------------------- cache corruption
+
+class TestCacheCorruption:
+    def _put_one(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = make_plan()
+        path = cache.put(plan, make_result(plan))
+        return cache, plan, path
+
+    def _assert_quarantined(self, cache, plan, path):
+        bus, seen = capture_bus()
+        cache.attach_events(bus)
+        assert cache.get(plan) is None
+        assert cache.stats.errors == 1
+        assert cache.stats.quarantined == 1
+        assert not path.exists()
+        assert list((cache.root / "quarantine").iterdir())
+        corruption = [e for e in seen if isinstance(e, CacheCorruption)]
+        assert len(corruption) == 1 and corruption[0].level == "result"
+        # quarantined entries are never re-parsed: plain miss afterwards
+        assert cache.get(plan) is None
+        assert cache.stats.errors == 1
+        assert cache.stats.quarantined == 1
+
+    def test_truncated_json_quarantined(self, tmp_path):
+        cache, plan, path = self._put_one(tmp_path)
+        path.write_text("{ truncated")
+        self._assert_quarantined(cache, plan, path)
+
+    def test_wrong_format_field_quarantined(self, tmp_path):
+        cache, plan, path = self._put_one(tmp_path)
+        doc = json.loads(path.read_text())
+        doc["format"] = 999
+        path.write_text(json.dumps(doc))
+        self._assert_quarantined(cache, plan, path)
+
+    def test_mutated_value_fails_checksum(self, tmp_path):
+        cache, plan, path = self._put_one(tmp_path)
+        doc = json.loads(path.read_text())
+        doc["result"]["path"]["total"] += 1  # silent bit-rot
+        path.write_text(json.dumps(doc))
+        self._assert_quarantined(cache, plan, path)
+
+    def test_garbled_trace_quarantined(self, tmp_path):
+        store = TraceStore(tmp_path)
+        key = "ab" * 32
+        blob = bytes(range(256)) * 64
+        path = store.put(key, blob)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        bus, seen = capture_bus()
+        store.events = bus
+        assert store.get(key) is None
+        assert store.stats.errors == 1 and store.stats.quarantined == 1
+        assert list((tmp_path / "quarantine").iterdir())
+        corruption = [e for e in seen if isinstance(e, CacheCorruption)]
+        assert len(corruption) == 1 and corruption[0].level == "trace"
+        assert store.get(key) is None  # plain miss, no re-parse
+        assert store.stats.quarantined == 1
+
+    def test_injected_corrupt_writes_resimulated(self, tmp_path, monkeypatch):
+        calls = []
+
+        def fake(plan, trace_store=None):
+            calls.append(plan)
+            return make_result(plan)
+
+        monkeypatch.setattr(executor_mod, "execute_plan", fake)
+        plans = plan_suite(0.02, **SUITE_KW)
+        faults.install(FaultPlan([FaultSpec(site="cache-result-write",
+                                            kind="truncate")]))
+        first = Executor(jobs=1, cache=ResultCache(tmp_path)).run(plans)
+        faults.uninstall()
+        assert len(calls) == 4
+
+        bus, seen = capture_bus()
+        cache = ResultCache(tmp_path)
+        second = Executor(jobs=1, cache=cache, events=bus).run(plans)
+        assert len(calls) == 8  # every corrupt entry was a miss
+        assert cache.stats.quarantined == 4
+        assert len([e for e in seen if isinstance(e, CacheCorruption)]) == 4
+        assert docs(second) == docs(first)
+
+        # the re-written (uncorrupted) entries now hit
+        third = Executor(jobs=1, cache=ResultCache(tmp_path)).run(plans)
+        assert len(calls) == 8
+        assert docs(third) == docs(first)
+
+    def test_empty_write_fault_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = make_plan()
+        faults.install(FaultPlan([FaultSpec(site="cache-result-write",
+                                            kind="empty")]))
+        path = cache.put(plan, make_result(plan))
+        faults.uninstall()
+        assert path.read_bytes() == b""
+        assert cache.get(plan) is None
+        assert cache.stats.quarantined == 1
+
+    def test_tmp_leftover_swept_by_verify(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan = make_plan()
+        faults.install(FaultPlan([FaultSpec(site="cache-tmp-leftover",
+                                            kind="leftover")]))
+        cache.put(plan, make_result(plan))
+        cache.traces.put("cd" * 32, b"trace bytes")
+        faults.uninstall()
+        strays = list(cache.root.rglob("*.tmp"))
+        assert len(strays) == 2
+        report = cache.verify()
+        assert report["tmp_removed"] == 2
+        assert report["results"] == {"checked": 1, "ok": 1, "quarantined": 0}
+        assert report["traces"] == {"checked": 1, "ok": 1, "quarantined": 0}
+        assert not list(cache.root.rglob("*.tmp"))
+
+    def test_verify_quarantines_bad_entries(self, tmp_path):
+        cache, plan, path = self._put_one(tmp_path)
+        path.write_text("not json at all")
+        report = cache.verify()
+        assert report["results"]["quarantined"] == 1
+        assert not path.exists()
+
+    def test_unique_tmp_names_differ(self, tmp_path):
+        from repro.harness.cache import _unique_tmp
+
+        target = tmp_path / "ab" / "entry.json"
+        names = {_unique_tmp(target).name for _ in range(10)}
+        assert len(names) == 10
+        assert all(n.endswith(".tmp") for n in names)
+
+
+# ------------------------------------------------- translation demotion
+
+class TestTranslationDemotion:
+    def test_compile_fault_demotes_block_same_results(self):
+        plan = PLANS[3]  # stream/rv64/gcc12, translate=True
+        faults.install(FaultPlan([FaultSpec(site="translate-compile",
+                                            kind="error", at=(1, 3))]))
+        translated = execute_plan(plan)
+        faults.uninstall()
+        assert translated.translation["demoted_blocks"] >= 1
+        interpreted = execute_plan(plan.with_overrides(translate=False))
+        assert (json.dumps(translated.to_dict(), sort_keys=True)
+                == json.dumps(interpreted.to_dict(), sort_keys=True))
+
+    def test_no_demotions_without_faults(self):
+        result = execute_plan(PLANS[3])
+        assert result.translation["demoted_blocks"] == 0
+
+
+# -------------------------------------------------- checkpoint journal
+
+class TestRunJournal:
+    PARAMS = suite_params_doc(0.02, workloads=("stream",), windowed=False,
+                              window_sizes=(4,))
+
+    def test_create_record_load_finish(self, tmp_path):
+        journal = RunJournal.create(tmp_path, self.PARAMS, total=4)
+        journal.record_done("f" * 64, plan="stream/rv64/gcc9", seconds=1.0)
+        journal.record_done("f" * 64)  # idempotent
+        journal.record_done("e" * 64)
+        journal.close()
+
+        assert unfinished_runs(tmp_path) == [journal.run_id]
+        loaded = RunJournal.load(tmp_path, journal.run_id)
+        assert loaded.params == self.PARAMS
+        assert loaded.total == 4
+        assert loaded.done == {"f" * 64, "e" * 64}
+        assert not loaded.finished
+
+        loaded.finish()
+        assert unfinished_runs(tmp_path) == []
+        assert RunJournal.load(tmp_path, journal.run_id).finished
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        journal = RunJournal.create(tmp_path, self.PARAMS, total=4)
+        journal.record_done("a" * 64)
+        journal.close()
+        with journal.path.open("a") as fh:
+            fh.write('{"done": "bbbb')  # crash mid-append
+        loaded = RunJournal.load(tmp_path, journal.run_id)
+        assert loaded.done == {"a" * 64}
+        assert not loaded.finished
+
+    def test_load_unknown_run_errors(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            RunJournal.load(tmp_path, "20990101-000000-1")
+
+    def test_subscriber_records_finished_and_cache_hits(self, tmp_path):
+        from repro.harness.events import PlanCacheHit, PlanFinished
+
+        journal = RunJournal.create(tmp_path, self.PARAMS, total=2)
+        plan = make_plan()
+        journal.subscriber(PlanFinished(plan=plan, index=1, total=2,
+                                        seconds=0.5))
+        journal.subscriber(PlanCacheHit(plan=plan, index=2, total=2,
+                                        key="c" * 64))
+        journal.close()
+        loaded = RunJournal.load(tmp_path, journal.run_id)
+        assert loaded.done == {plan.fingerprint(), "c" * 64}
+
+
+# ------------------------------------------------------ CLI kill/resume
+
+class TestResumeCli:
+    def _run(self, argv, capsys):
+        from repro.harness.cli import main
+
+        rc = main(argv)
+        captured = capsys.readouterr()
+        return rc, captured.out, captured.err
+
+    def test_kill_mid_run_then_resume_byte_identical(self, tmp_path, capsys,
+                                                     monkeypatch):
+        cache_dir = tmp_path / "cache"
+        out_resumed = tmp_path / "out-resumed"
+        fault_file = tmp_path / "faults.json"
+        # the third plan in serial order (stream/rv64/gcc9) dies with a
+        # deterministic error: the suite aborts mid-run with two plans
+        # journaled, simulating a killed session
+        fault_file.write_text(FaultPlan([FaultSpec(
+            site="execute", kind="error", plan="stream/rv64/gcc9")]).dumps())
+        common = ["--scale", "0.02", "--workloads", "stream",
+                  "--skip-windowed", "--cache-dir", str(cache_dir),
+                  "--jobs", "1", "--quiet"]
+        rc, _out, err = self._run(
+            ["run", *common, "--fault-plan", str(fault_file)], capsys)
+        assert rc == 2
+        assert "injected fault" in err
+        assert faults.active() is None  # uninstalled on the way out
+
+        crashed = unfinished_runs(cache_dir)
+        assert len(crashed) == 1
+        journal = RunJournal.load(cache_dir, crashed[0])
+        assert len(journal.done) == 2  # two plans completed before the kill
+
+        calls = []
+        real = executor_mod.execute_plan
+
+        def counting(plan, trace_store=None):
+            calls.append(plan.describe())
+            return real(plan, trace_store)
+
+        monkeypatch.setattr(executor_mod, "execute_plan", counting)
+        rc, _out, err = self._run(
+            ["run", "--resume", crashed[0], "--cache-dir", str(cache_dir),
+             "--jobs", "1", "--out", str(out_resumed)], capsys)
+        assert rc == 0
+        assert f"resuming run {crashed[0]}" in err
+        # only the two unfinished plans re-executed; the rest were hits
+        assert sorted(calls) == ["stream/rv64/gcc12", "stream/rv64/gcc9"]
+        assert unfinished_runs(cache_dir) == []
+        monkeypatch.setattr(executor_mod, "execute_plan", real)
+
+        # a fresh fault-free run in a separate cache must produce
+        # byte-identical artifacts
+        out_fresh = tmp_path / "out-fresh"
+        rc, _out, _err = self._run(
+            ["run", "--scale", "0.02", "--workloads", "stream",
+             "--skip-windowed", "--cache-dir", str(tmp_path / "cache2"),
+             "--jobs", "1", "--quiet", "--out", str(out_fresh)], capsys)
+        assert rc == 0
+        resumed_files = sorted(p.name for p in out_resumed.iterdir())
+        fresh_files = sorted(p.name for p in out_fresh.iterdir())
+        assert resumed_files == fresh_files and resumed_files
+        for name in resumed_files:
+            assert ((out_resumed / name).read_bytes()
+                    == (out_fresh / name).read_bytes()), name
+
+    def test_crashed_run_detected_on_startup(self, tmp_path, capsys,
+                                             monkeypatch):
+        from repro.harness import cli as cli_mod
+
+        cache_dir = tmp_path / "cache"
+        stale = RunJournal.create(
+            cache_dir, suite_params_doc(0.02, workloads=("stream",),
+                                        windowed=False, window_sizes=(4,)),
+            total=4)
+        stale.close()  # never finished: a crashed suite
+
+        monkeypatch.setattr(cli_mod, "run_suite",
+                            lambda *args, **kwargs: object())
+        monkeypatch.setattr(cli_mod, "_render_and_write",
+                            lambda *args, **kwargs: None)
+        rc, _out, err = self._run(
+            ["run", "--scale", "0.02", "--workloads", "stream",
+             "--skip-windowed", "--cache-dir", str(cache_dir),
+             "--jobs", "1"], capsys)
+        assert rc == 0
+        assert "unfinished run(s)" in err and stale.run_id in err
+        assert "run id:" in err  # the new run advertises its own id
+
+    def test_resume_requires_cache(self, tmp_path, capsys):
+        rc, _out, err = self._run(
+            ["run", "--resume", "some-run", "--no-cache", "--quiet"], capsys)
+        assert rc == 2
+        assert "--resume requires the result cache" in err
+
+    def test_cache_verify_subcommand(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        plan = make_plan()
+        good_path = cache.put(plan, make_result(plan))
+        bad_plan = make_plan(scale=0.03)
+        bad_path = cache.put(bad_plan, make_result(bad_plan))
+        bad_path.write_text("{ truncated")
+        (good_path.parent / "stray.json.123.456.tmp").write_text("x")
+
+        rc, out, _err = self._run(
+            ["cache", "verify", "--cache-dir", str(tmp_path)], capsys)
+        assert rc == 1  # corruption found
+        assert "1 quarantined" in out
+        assert "1 stragglers removed" in out
+
+        rc, out, _err = self._run(
+            ["cache", "verify", "--cache-dir", str(tmp_path)], capsys)
+        assert rc == 0  # quarantined entries are gone, not re-flagged

@@ -1,4 +1,4 @@
-"""CI smoke guard for the basic-block translation fast path.
+"""CI smoke guard for the translation fast path and the fault harness.
 
 Runs the STREAM workload once through the per-instruction interpreter
 and once through the block translator and exits non-zero if translation
@@ -8,6 +8,10 @@ interpreter means the fast path has regressed into dead weight and the
 build should fail::
 
     PYTHONPATH=src python tools/bench_smoke.py
+
+It then runs a fault-injection smoke: the 4-config STREAM matrix across
+a 2-worker pool with one injected worker crash — the resilient executor
+must retry the killed plan and complete the suite (docs/robustness.md).
 
 Full numbers live in ``benchmarks/BENCH_emucore.json``; regenerate them
 with ``benchmarks/bench_emucore.py`` when the core changes.
@@ -43,6 +47,28 @@ def _best(image, isa, translate: bool) -> tuple[float, int]:
     return best, instructions
 
 
+def _fault_smoke() -> int:
+    """One injected worker crash must not fail the suite."""
+    from repro.harness import Executor, FaultPlan, FaultSpec, plan_suite
+    from repro.harness import faults
+
+    plans = plan_suite(SCALE, workloads=("stream",), windowed=False)
+    faults.install(FaultPlan([FaultSpec(
+        site="worker", kind="crash", plan="stream/rv64/gcc12",
+        attempts=(1,))]))
+    try:
+        results = Executor(jobs=2, retries=1, backoff=0.01).run(plans)
+    finally:
+        faults.uninstall()
+    if len(results) != len(plans):
+        print(f"FAIL: fault smoke returned {len(results)} of "
+              f"{len(plans)} results", file=sys.stderr)
+        return 1
+    print(f"OK: suite of {len(plans)} configs survived an injected "
+          f"worker crash")
+    return 0
+
+
 def main() -> int:
     workload = get_workload("stream", SCALE)
     compiled = workload.compile("rv64", "gcc12")
@@ -63,7 +89,7 @@ def main() -> int:
               file=sys.stderr)
         return 1
     print("OK: translated path is faster than the interpreter")
-    return 0
+    return _fault_smoke()
 
 
 if __name__ == "__main__":
