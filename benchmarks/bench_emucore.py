@@ -14,6 +14,10 @@ Times one workload binary four ways and writes ``BENCH_emucore.json``
   Probes force interpretation, so translation does not apply.
 * ``fused`` — the batched single-pass :class:`FusedAnalysisEngine` over
   the translated batched path: the default analysis path.
+* ``checked`` — per-instruction interpretation under the
+  :class:`~repro.sim.invariants.InvariantChecker` probe: what the
+  differential fuzzer's invariant oracle costs over ``probe_free``
+  (recorded as ``invariant_check_overhead``).
 
 Each mode is timed ``--repeats`` times and the best run is recorded
 (the paths are deterministic; the minimum discards scheduler noise).
@@ -48,13 +52,16 @@ from repro.sim import run_image  # noqa: E402
 from repro.sim.config import load_core_model  # noqa: E402
 from repro.workloads import get_workload  # noqa: E402
 
-MODES = ("probe_free", "translated", "legacy_probes", "fused")
+MODES = ("probe_free", "translated", "legacy_probes", "fused", "checked")
 
 
 def _run_mode(compiled, isa, mode, model, windows):
     started = time.perf_counter()
     if mode == "probe_free":
         result, _ = run_image(compiled.image, isa, translate=False)
+    elif mode == "checked":
+        result, _ = run_image(compiled.image, isa, translate=False,
+                              check_invariants=True)
     elif mode == "translated":
         result, _ = run_image(compiled.image, isa, translate=True)
     elif mode == "legacy_probes":
@@ -142,6 +149,9 @@ def main(argv=None) -> int:
         "translated_vs_interpreter_speedup": round(
             modes["probe_free"]["seconds"] / modes["translated"]["seconds"], 3)
         if modes["translated"]["seconds"] else None,
+        "invariant_check_overhead": round(
+            modes["checked"]["seconds"] / modes["probe_free"]["seconds"], 3)
+        if modes["probe_free"]["seconds"] else None,
     }
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -42,10 +42,21 @@ class LoaderError(ReproError):
 
 class SimulationError(ReproError):
     """Runtime fault inside the simulated machine (bad memory access,
-    unimplemented syscall, instruction-budget exhaustion, ...)."""
+    unimplemented syscall, instruction-budget exhaustion, ...).
 
-    def __init__(self, message: str, pc: int | None = None):
+    ``addr``/``size`` localize memory faults (the offending access);
+    ``pc`` localizes the faulting instruction. Layers that know more
+    than the raiser fill these in after the fact (the emulation core
+    back-fills ``pc`` from its loop state, and the post-mortem capture
+    in :mod:`repro.sim.postmortem` turns them into a hexdump and a
+    disassembly window).
+    """
+
+    def __init__(self, message: str, pc: int | None = None,
+                 addr: int | None = None, size: int | None = None):
         self.pc = pc
+        self.addr = addr
+        self.size = size
         if pc is not None:
             message += f" (pc={pc:#x})"
         super().__init__(message)

@@ -778,6 +778,9 @@ class CodeGen(LoopLoweringMixin):
                 return self._maybe_pin(expr, Value(dst, False, True))
             if not left.owned:
                 self.int_temps.release(dst)
+            # unencodable immediate: give back the operand temp before the
+            # general path re-evaluates it, or it leaks until the pool is dry
+            self.release(left)
         left = self.gen_expr(expr.left)
         right = self.gen_expr(expr.right)
         if expr.op in self._COMPARISONS:

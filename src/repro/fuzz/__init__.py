@@ -1,0 +1,44 @@
+"""Cross-ISA differential fuzzing.
+
+Seeded random kernelc programs (:mod:`repro.fuzz.generator`) are
+compiled for both ISAs and executed under every oracle the simulator
+has — interpreter vs block-translated within an ISA, RV64 vs AArch64
+across them, and per-retirement architectural invariants
+(:mod:`repro.fuzz.differential`). Failing cases are shrunk to 1-minimal
+reproducers by delta debugging (:mod:`repro.fuzz.minimize`); past
+findings live as ``.kc`` files in :mod:`repro.fuzz.corpus` and are
+replayed in tier-1.
+
+CLI: ``repro fuzz run | replay | corpus``.
+"""
+
+from repro.fuzz.generator import PROFILES, GenProgram, case_source
+from repro.fuzz.differential import (
+    ISAS,
+    Finding,
+    Observation,
+    diff_source,
+    run_case,
+    run_campaign,
+    replay_source,
+)
+from repro.fuzz.minimize import ddmin, shrink_program
+from repro.fuzz.corpus import corpus_dir, corpus_files, replay_corpus
+
+__all__ = [
+    "PROFILES",
+    "ISAS",
+    "GenProgram",
+    "case_source",
+    "Finding",
+    "Observation",
+    "diff_source",
+    "run_case",
+    "run_campaign",
+    "replay_source",
+    "ddmin",
+    "shrink_program",
+    "corpus_dir",
+    "corpus_files",
+    "replay_corpus",
+]

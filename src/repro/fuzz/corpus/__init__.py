@@ -1,0 +1,40 @@
+"""The checked-in regression corpus.
+
+Every ``.kc`` file here is a generated program that once found a bug
+(or exercises a construct that did) — kept so tier-1 replays them
+through the full differential stack on every run. A corpus file must
+stay *clean*: the bug it found is fixed, and replaying it asserts the
+fix holds.
+
+Add to the corpus with ``repro fuzz run --out <dir>`` (copy the
+minimized ``.kc`` in once the underlying bug is fixed) or by saving
+``repro.fuzz.case_source(seed, profile)`` for an interesting seed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["corpus_dir", "corpus_files", "replay_corpus"]
+
+
+def corpus_dir() -> Path:
+    return Path(__file__).resolve().parent
+
+
+def corpus_files() -> list[Path]:
+    return sorted(corpus_dir().glob("*.kc"))
+
+
+def replay_corpus(*, max_instructions: int | None = None) -> dict:
+    """Replay every corpus file; returns ``{name: [Finding, ...]}``
+    (all lists empty on a healthy tree)."""
+    from repro.fuzz import differential
+
+    budget = (max_instructions if max_instructions is not None
+              else differential.DEFAULT_MAX_INSTRUCTIONS)
+    results: dict[str, list] = {}
+    for path in corpus_files():
+        results[path.name] = differential.replay_source(
+            path.read_text(), max_instructions=budget)
+    return results

@@ -1,0 +1,334 @@
+"""Cross-ISA differential execution: the fuzzer's oracle stack.
+
+One generated program is judged four ways, cheapest first:
+
+1. **Compile** for both ISAs — a :class:`~repro.common.errors.CompilerError`
+   on a generator-legal program is itself a finding (the generator once
+   flushed out a temp-register leak in the back end this way).
+2. **Within-ISA**: the decode-once interpreter and the block-translation
+   fast path must produce *identical* observable state — exit code,
+   stdout, every global's bit pattern, and the exact retirement count
+   (blocks retire the same instruction stream they translate).
+3. **Cross-ISA**: RV64 and AArch64 executions of the same source must
+   agree on exit code, stdout and global bit patterns. Retirement counts
+   legitimately differ (that delta is the paper's whole subject).
+4. **Invariants**: an interpreter run under
+   :class:`~repro.sim.invariants.InvariantChecker` must retire cleanly.
+
+Doubles are compared as raw 64-bit patterns: the back ends never
+contract multiply-add (no FMA), and the generator avoids NaN/inf, so
+bit-exact equality across ISAs is the correct expectation.
+
+Any guest fault surfaces as a :class:`Finding` carrying the structured
+:class:`~repro.sim.postmortem.GuestFaultReport`; a silent value
+divergence captures the translated core's state post-hoc (reason-tagged,
+with block history) so even "wrong answer, no crash" cases come with a
+register file and disassembly to stare at.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.common.errors import CompilerError
+from repro.compiler import compile_source
+from repro.isa import get_isa
+from repro.loader import load_program
+from repro.sim import postmortem
+from repro.sim.emucore import EmulationCore
+from repro.sim.invariants import InvariantChecker
+from repro.sim.machine import Machine
+from repro.sim.memory import Memory
+from repro.fuzz.generator import GenProgram, PROFILES
+
+__all__ = [
+    "ISAS",
+    "Finding",
+    "Observation",
+    "observe",
+    "diff_source",
+    "run_case",
+    "run_campaign",
+]
+
+ISAS = ("rv64", "aarch64")
+
+#: Instruction budget per run: generated programs retire well under this.
+DEFAULT_MAX_INSTRUCTIONS = 3_000_000
+
+#: Retired-history depth kept on translated runs for post-mortems.
+HISTORY_DEPTH = 64
+
+
+@dataclass
+class Observation:
+    """Everything observable about one finished execution."""
+
+    exit_code: int
+    instructions: int
+    stdout: bytes
+    #: symbol → raw little-endian bit pattern(s), one int per element.
+    globals: dict[str, list[int]]
+
+    def state(self) -> tuple:
+        """Observable state *excluding* the retirement count (the
+        cross-ISA comparison key)."""
+        return (self.exit_code, self.stdout,
+                tuple(sorted((k, tuple(v)) for k, v in self.globals.items())))
+
+    def to_dict(self) -> dict:
+        return {
+            "exit_code": self.exit_code,
+            "instructions": self.instructions,
+            "stdout": self.stdout.decode("utf-8", "replace"),
+            "globals": {k: [hex(x) for x in v]
+                        for k, v in sorted(self.globals.items())},
+        }
+
+
+@dataclass
+class Finding:
+    """One divergence/fault/compile failure discovered by the fuzzer."""
+
+    kind: str          # compile-error | guest-fault | within-isa |
+    #                  # cross-isa | invariant
+    detail: str
+    isa: str = ""      # "" for cross-ISA findings
+    source: str = ""
+    seed: int | None = None
+    profile: str = ""
+    #: Serialized :class:`GuestFaultReport` when one was captured.
+    fault: dict | None = None
+    observations: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "isa": self.isa,
+            "seed": self.seed,
+            "profile": self.profile,
+            "fault": self.fault,
+            "observations": self.observations,
+        }
+
+
+def observe(compiled, *, translate: bool, max_instructions: int,
+            history: int = 0, check_invariants: bool = False):
+    """Run ``compiled`` and return ``(Observation, core)``.
+
+    Mirrors :func:`repro.sim.run_image` but keeps the core so a caller
+    who later discovers a silent divergence can still capture its state
+    (:func:`repro.sim.postmortem.capture` with a ``reason``). Guest
+    faults propagate with their post-mortem report attached.
+    """
+    isa = get_isa(compiled.isa_name)
+    memory = Memory(1 << 24)
+    load_program(compiled.image, memory)
+    machine = Machine(isa.name, memory)
+    machine.reset_stack()
+    machine.pc = compiled.image.entry
+    probes = ()
+    if check_invariants:
+        probes = (InvariantChecker.for_image(compiled.image, machine),)
+    core = EmulationCore(isa, machine, probes, translate=translate)
+    if history:
+        core.enable_history(history)
+    result = core.run(max_instructions=max_instructions)
+    obs = Observation(
+        exit_code=result.exit_code,
+        instructions=result.instructions,
+        stdout=result.stdout,
+        globals=_read_globals(compiled.image, memory),
+    )
+    return obs, core
+
+
+def _read_globals(image, memory) -> dict[str, list[int]]:
+    """Raw bit patterns of every fuzz-pool global present in the image."""
+    out: dict[str, list[int]] = {}
+    for name, _kind, count in GenProgram.standard_observables():
+        addr = image.symbols.get(name)
+        if addr is None:
+            continue
+        out[name] = [memory.load(addr + 8 * i, 8) for i in range(count)]
+    return out
+
+
+def _fault_finding(kind: str, err: Exception, *, isa: str, source: str,
+                   seed=None, profile="") -> Finding:
+    report = getattr(err, "fault_report", None)
+    return Finding(
+        kind=kind, detail=str(err), isa=isa, source=source, seed=seed,
+        profile=profile,
+        fault=report.to_dict() if report is not None else None,
+    )
+
+
+def diff_source(source: str, *, seed: int | None = None, profile: str = "",
+                max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                ) -> list[Finding]:
+    """All findings for one program source (empty list = clean)."""
+    findings: list[Finding] = []
+    interp: dict[str, Observation] = {}
+
+    for isa_name in ISAS:
+        try:
+            compiled = compile_source(source, isa_name, "gcc12")
+        except CompilerError as err:
+            findings.append(Finding(
+                kind="compile-error", detail=str(err), isa=isa_name,
+                source=source, seed=seed, profile=profile))
+            continue
+
+        try:
+            ref, _core = observe(
+                compiled, translate=False,
+                max_instructions=max_instructions)
+        except postmortem.GUEST_FAULTS as err:
+            findings.append(_fault_finding(
+                "guest-fault", err, isa=isa_name, source=source,
+                seed=seed, profile=profile))
+            continue
+        interp[isa_name] = ref
+
+        try:
+            fast, core = observe(
+                compiled, translate=True, history=HISTORY_DEPTH,
+                max_instructions=max_instructions)
+        except postmortem.GUEST_FAULTS as err:
+            findings.append(_fault_finding(
+                "guest-fault", err, isa=isa_name, source=source,
+                seed=seed, profile=profile))
+            continue
+
+        if (fast.state() != ref.state()
+                or fast.instructions != ref.instructions):
+            delta = _describe_delta(ref, fast)
+            report = postmortem.capture(
+                core, reason=f"within-ISA divergence ({delta})")
+            findings.append(Finding(
+                kind="within-isa",
+                detail=f"{isa_name}: translated run diverges from "
+                       f"interpreter ({delta})",
+                isa=isa_name, source=source, seed=seed, profile=profile,
+                fault=report.to_dict(),
+                observations={"interpreter": ref.to_dict(),
+                              "translated": fast.to_dict()}))
+
+        try:
+            observe(compiled, translate=False, check_invariants=True,
+                    max_instructions=max_instructions)
+        except postmortem.GUEST_FAULTS as err:
+            findings.append(_fault_finding(
+                "invariant", err, isa=isa_name, source=source,
+                seed=seed, profile=profile))
+
+    if len(interp) == len(ISAS):
+        a, b = (interp[name] for name in ISAS)
+        if a.state() != b.state():
+            findings.append(Finding(
+                kind="cross-isa",
+                detail="ISAs disagree on observable state: "
+                       + _describe_delta(a, b),
+                source=source, seed=seed, profile=profile,
+                observations={ISAS[0]: a.to_dict(), ISAS[1]: b.to_dict()}))
+    return findings
+
+
+def _describe_delta(a: Observation, b: Observation) -> str:
+    """First observable that differs, human-readably."""
+    if a.exit_code != b.exit_code:
+        return f"exit {a.exit_code} != {b.exit_code}"
+    if a.stdout != b.stdout:
+        return f"stdout {a.stdout!r} != {b.stdout!r}"
+    for name in sorted(set(a.globals) | set(b.globals)):
+        va, vb = a.globals.get(name), b.globals.get(name)
+        if va != vb:
+            for i, (xa, xb) in enumerate(zip(va or (), vb or ())):
+                if xa != xb:
+                    return f"{name}[{i}] {xa:#x} != {xb:#x}"
+            return f"{name} {va} != {vb}"
+    if a.instructions != b.instructions:
+        return f"instret {a.instructions} != {b.instructions}"
+    return "states equal"  # caller compared something stricter
+
+
+def run_case(seed: int, profile: str, *,
+             max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+             ) -> list[Finding]:
+    """Generate and differentially execute one ``(seed, profile)`` case."""
+    prog = GenProgram(seed, profile)
+    return diff_source(prog.render(), seed=seed, profile=profile,
+                       max_instructions=max_instructions)
+
+
+def run_campaign(seed: int, count: int, *, profiles=PROFILES,
+                 out_dir=None, time_budget: float | None = None,
+                 max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                 minimize: bool = True, progress=None) -> dict:
+    """Run ``count`` cases per profile starting at ``seed``.
+
+    Returns a summary dict; when ``out_dir`` is given, each finding's
+    (minimized) reproducer is written as ``case-<seed>-<profile>.kc``
+    plus a ``.json`` sidecar with the finding details.
+    """
+    from repro.fuzz.minimize import shrink_program
+
+    t0 = time.monotonic()
+    cases = 0
+    findings: list[Finding] = []
+    stopped = ""
+    for index in range(count):
+        for profile in profiles:
+            if (time_budget is not None
+                    and time.monotonic() - t0 >= time_budget):
+                stopped = "time budget exhausted"
+                break
+            case_seed = seed + index
+            found = run_case(case_seed, profile,
+                             max_instructions=max_instructions)
+            cases += 1
+            if progress is not None and not found:
+                progress(case_seed, profile, None)
+            for finding in found:
+                prog = GenProgram(case_seed, profile)
+                if minimize:
+                    kept = shrink_program(
+                        prog, finding.kind,
+                        max_instructions=max_instructions)
+                    finding.source = prog.render(keep=kept)
+                findings.append(finding)
+                if progress is not None:
+                    progress(case_seed, profile, finding)
+                if out_dir is not None:
+                    _write_reproducer(out_dir, finding)
+        if stopped:
+            break
+    return {
+        "cases": cases,
+        "findings": [f.to_dict() for f in findings],
+        "finding_objects": findings,
+        "elapsed": time.monotonic() - t0,
+        "stopped": stopped or "completed",
+    }
+
+
+def _write_reproducer(out_dir, finding: Finding) -> None:
+    from pathlib import Path
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    stem = f"case-{finding.seed}-{finding.profile or 'replay'}"
+    (out / f"{stem}.kc").write_text(finding.source)
+    (out / f"{stem}.json").write_text(
+        json.dumps(finding.to_dict(), indent=2, sort_keys=True) + "\n")
+
+
+def replay_source(source: str, *,
+                  max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                  ) -> list[Finding]:
+    """Differentially execute a stored ``.kc`` reproducer/corpus file."""
+    return diff_source(source, max_instructions=max_instructions)

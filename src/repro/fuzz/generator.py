@@ -1,0 +1,313 @@
+"""Seeded random kernelc program generation for differential fuzzing.
+
+Grows the expression-tree ideas of ``tests/test_compiler_props.py`` into
+whole-program generation: a :class:`GenProgram` is a deterministic
+function of ``(seed, profile)`` producing a legal, terminating kernelc
+program whose entire observable state lives in a fixed set of globals.
+
+Design rules that make the programs useful as differential-fuzz cases:
+
+* **Globals-only state.** Every top-level statement reads and writes
+  only the fixed global pool (plus its own loop-local counters), so any
+  *subset* of the statements still compiles — the delta-debugging
+  shrinker in :mod:`repro.fuzz.minimize` can drop statements freely.
+* **Termination by construction.** All loops have literal trip counts;
+  ``while`` loops iterate on their own fresh counter.
+* **No ISA-defined divergence.** Integer division by zero is
+  legitimately different between RV64 and AArch64 (see docs/kernelc.md),
+  so divisors are forced odd-nonzero with the ``(x & 255) | 1`` pattern;
+  shift amounts are masked to 0..63; float expressions avoid NaN/inf
+  (no float division, bounded magnitudes) because ``fmin``/``fmax``
+  NaN-propagation rules differ between the ISAs.
+* **Profiles** steer the statement mix: ``arith`` (scalar expression
+  trees), ``memory`` (array traffic with masked wraparound indices),
+  ``control`` (loops, branches, calls, regions), ``mixed``.
+
+Observable state after a run: the process exit code plus the byte
+contents of every global (read back by ELF symbol), enumerated by
+:attr:`GenProgram.observables`.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["PROFILES", "GenProgram", "case_source"]
+
+PROFILES = ("arith", "memory", "control", "mixed")
+
+#: Global integer scalars, double scalars, and arrays (power-of-two
+#: sizes so generated indices can be masked into range).
+_SCALARS = tuple(f"g{i}" for i in range(6))
+_DOUBLES = ("d0", "d1", "d2")
+_ARRAYS = {"arrA": 16, "arrB": 32}
+_FARRAYS = {"fa": 16}
+
+_INT_OPS = ("+", "-", "*", "&", "|", "^")
+_CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+#: Statement-kind weights per profile.
+_WEIGHTS = {
+    "arith":   {"scalar": 6, "double": 3, "store": 1, "load": 1,
+                "call": 1, "if": 1, "for": 1, "while": 0, "region": 0},
+    "memory":  {"scalar": 1, "double": 1, "store": 5, "load": 4,
+                "call": 1, "if": 1, "for": 3, "while": 1, "region": 0},
+    "control": {"scalar": 1, "double": 1, "store": 1, "load": 1,
+                "call": 2, "if": 4, "for": 3, "while": 2, "region": 1},
+    "mixed":   {"scalar": 2, "double": 2, "store": 2, "load": 2,
+                "call": 1, "if": 2, "for": 2, "while": 1, "region": 1},
+}
+
+_HELPERS = """\
+func long mix(long a, long b) {
+  return ((a ^ (b << 3)) + (a & b)) ^ (a >> 7);
+}
+
+func double blend(double x, double y) {
+  return fmin(fabs(x), fabs(y)) + fmax(x, y) * 0.5;
+}
+"""
+
+
+class GenProgram:
+    """One deterministically generated kernelc program.
+
+    ``render(keep=...)`` emits the program with only the selected
+    top-level statements — the shrinker's handle.
+    """
+
+    def __init__(self, seed: int, profile: str = "mixed",
+                 size: int | None = None):
+        if profile not in PROFILES:
+            raise ValueError(
+                f"unknown fuzz profile {profile!r}; expected one of "
+                f"{PROFILES}")
+        self.seed = seed
+        self.profile = profile
+        rng = random.Random((seed << 3) ^ hashless(profile))
+        self._uid = 0
+        self.int_inits = {n: rng.randint(-1000, 1000) for n in _SCALARS}
+        self.f_inits = {n: round(rng.uniform(-100.0, 100.0), 3)
+                        for n in _DOUBLES}
+        self.arr_inits = {
+            name: [rng.randint(-500, 500) for _ in range(n)]
+            for name, n in _ARRAYS.items()
+        }
+        count = size if size is not None else rng.randint(8, 24)
+        weights = _WEIGHTS[profile]
+        kinds = [k for k, w in weights.items() for _ in range(w)]
+        self.stmts = [self._stmt(rng, rng.choice(kinds), depth=2)
+                      for _ in range(count)]
+
+    # -- expressions -----------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self._uid += 1
+        return f"{prefix}{self._uid}"
+
+    def _iexpr(self, rng, depth: int, loop_var: str | None = None) -> str:
+        if depth <= 0 or rng.random() < 0.35:
+            roll = rng.random()
+            if loop_var is not None and roll < 0.3:
+                return loop_var
+            if roll < 0.6:
+                return str(rng.randint(-1000, 1000))
+            return rng.choice(_SCALARS)
+        a = self._iexpr(rng, depth - 1, loop_var)
+        roll = rng.random()
+        if roll < 0.66:
+            b = self._iexpr(rng, depth - 1, loop_var)
+            return f"({a} {rng.choice(_INT_OPS)} {b})"
+        # shift amounts and divisors stay leaf-shaped: the compiler's
+        # temporary-register pool is finite, and the masking sugar below
+        # already adds two tree levels
+        leaf = self._iexpr(rng, 0, loop_var)
+        if roll < 0.78:
+            # shift amounts masked so both ISAs agree
+            return f"({a} {rng.choice(('<<', '>>'))} ({leaf} & 63))"
+        if roll < 0.9:
+            # non-zero divisor by construction: ISA-defined x/0 differs
+            return f"({a} {rng.choice(('/', '%'))} ((({leaf}) & 255) | 1))"
+        return f"(-({a}))"
+
+    def _simple(self, rng, depth: int, loop_var: str | None = None) -> str:
+        """Sugar-free integer expression (single-op nodes only): used
+        where several values are live at once — array indices, store
+        values, comparison operands — so the compiler's 7-register
+        temporary pool can never be exhausted."""
+        if depth <= 0 or rng.random() < 0.4:
+            roll = rng.random()
+            if loop_var is not None and roll < 0.35:
+                return loop_var
+            if roll < 0.65:
+                return str(rng.randint(-1000, 1000))
+            return rng.choice(_SCALARS)
+        a = self._simple(rng, depth - 1, loop_var)
+        b = self._simple(rng, depth - 1, loop_var)
+        return f"({a} {rng.choice(_INT_OPS)} {b})"
+
+    def _index(self, rng, name: str, loop_var: str | None = None) -> str:
+        mask = _ARRAYS.get(name, _FARRAYS.get(name)) - 1
+        return f"({self._simple(rng, 1, loop_var)}) & {mask}"
+
+    def _fexpr(self, rng, depth: int) -> str:
+        if depth <= 0 or rng.random() < 0.4:
+            roll = rng.random()
+            if roll < 0.4:
+                return f"{round(rng.uniform(-50.0, 50.0), 3)!r}"
+            if roll < 0.8:
+                return rng.choice(_DOUBLES)
+            return f"(double)({rng.choice(_SCALARS)} & 4095)"
+        a = self._fexpr(rng, depth - 1)
+        b = self._fexpr(rng, depth - 1)
+        roll = rng.random()
+        if roll < 0.45:
+            return f"({a} {rng.choice(('+', '-'))} {b})"
+        if roll < 0.6:
+            return f"({a} * {b})"
+        if roll < 0.75:
+            return f"{rng.choice(('fmin', 'fmax'))}({a}, {b})"
+        if roll < 0.9:
+            return f"fabs({a})"
+        return f"sqrt(fabs({a}))"
+
+    def _cond(self, rng, loop_var: str | None = None) -> str:
+        a = self._simple(rng, 1, loop_var)
+        b = self._simple(rng, 1, loop_var)
+        return f"({a}) {rng.choice(_CMP_OPS)} ({b})"
+
+    # -- statements ------------------------------------------------------
+
+    def _stmt(self, rng, kind: str, depth: int,
+              loop_var: str | None = None, in_loop: bool = False) -> str:
+        if kind == "scalar":
+            return (f"{rng.choice(_SCALARS)} = "
+                    f"{self._iexpr(rng, 2, loop_var)};")
+        if kind == "double":
+            return f"{rng.choice(_DOUBLES)} = {self._fexpr(rng, 3)};"
+        if kind == "store":
+            if rng.random() < 0.25:
+                name = rng.choice(sorted(_FARRAYS))
+                return (f"{name}[{self._index(rng, name, loop_var)}] = "
+                        f"{self._fexpr(rng, 2)};")
+            name = rng.choice(sorted(_ARRAYS))
+            return (f"{name}[{self._index(rng, name, loop_var)}] = "
+                    f"{self._simple(rng, 2, loop_var)};")
+        if kind == "load":
+            name = rng.choice(sorted(_ARRAYS))
+            dst = rng.choice(_SCALARS)
+            return (f"{dst} = {dst} + "
+                    f"{name}[{self._index(rng, name, loop_var)}];")
+        if kind == "call":
+            if rng.random() < 0.3:
+                dst = rng.choice(_DOUBLES)
+                return (f"{dst} = blend({self._fexpr(rng, 1)}, "
+                        f"{self._fexpr(rng, 1)});")
+            dst = rng.choice(_SCALARS)
+            return (f"{dst} = mix({self._iexpr(rng, 1, loop_var)}, "
+                    f"{self._iexpr(rng, 1, loop_var)});")
+        if kind == "if" and depth > 0:
+            then = self._body(rng, depth - 1, loop_var, in_loop)
+            if rng.random() < 0.5:
+                other = self._body(rng, depth - 1, loop_var, in_loop)
+                return (f"if ({self._cond(rng, loop_var)}) {{\n{then}\n}} "
+                        f"else {{\n{other}\n}}")
+            return f"if ({self._cond(rng, loop_var)}) {{\n{then}\n}}"
+        if kind == "for" and depth > 0:
+            var = self._fresh("i")
+            trips = rng.randint(1, 24)
+            body = self._body(rng, depth - 1, var, in_loop=True)
+            return (f"for (long {var} = 0; {var} < {trips}; "
+                    f"{var} = {var} + 1) {{\n{body}\n}}")
+        if kind == "while" and depth > 0:
+            var = self._fresh("t")
+            trips = rng.randint(1, 16)
+            body = self._body(rng, depth - 1, var, in_loop=True)
+            # increment *first* so a generated ``continue`` cannot skip
+            # it and loop forever; the counter runs 1..trips in the body
+            return ("{\n"
+                    f"long {var} = 0;\n"
+                    f"while ({var} < {trips}) {{\n"
+                    f"{var} = {var} + 1;\n"
+                    f"{body}\n"
+                    "}\n"
+                    "}")
+        if kind == "region" and depth == 2:
+            # top-level only: keeps regions out of loops/branches, where
+            # break/continue interplay is not worth fuzzing here
+            name = self._fresh("r")
+            body = self._body(rng, depth - 1, loop_var, in_loop)
+            return f'region "{name}" {{\n{body}\n}}'
+        # depth exhausted for a structured kind: fall back to a leaf
+        return (f"{rng.choice(_SCALARS)} = "
+                f"{self._iexpr(rng, 2, loop_var)};")
+
+    def _body(self, rng, depth: int, loop_var: str | None,
+              in_loop: bool) -> str:
+        weights = _WEIGHTS[self.profile]
+        kinds = [k for k, w in weights.items() for _ in range(w)]
+        lines = []
+        for _ in range(rng.randint(1, 3)):
+            lines.append(self._stmt(rng, rng.choice(kinds), depth,
+                                    loop_var, in_loop))
+        if in_loop and loop_var is not None and rng.random() < 0.15:
+            # guarded break/continue: the guard keeps most trips alive
+            word = rng.choice(("break", "continue"))
+            lines.append(
+                f"if ({loop_var} == {rng.randint(2, 30)}) {{ {word}; }}")
+        return "\n".join(lines)
+
+    # -- rendering -------------------------------------------------------
+
+    @staticmethod
+    def standard_observables() -> list[tuple[str, str, int]]:
+        """``(symbol, kind, element_count)`` for every global in the
+        fixed fuzz pool (the same for every generated program, so stored
+        ``.kc`` reproducers replay without regenerating)."""
+        out = [(n, "long", 1) for n in _SCALARS]
+        out += [(n, "double", 1) for n in _DOUBLES]
+        out += [(n, "long", c) for n, c in sorted(_ARRAYS.items())]
+        out += [(n, "double", c) for n, c in sorted(_FARRAYS.items())]
+        return out
+
+    @property
+    def observables(self) -> list[tuple[str, str, int]]:
+        """``(symbol, kind, element_count)`` for every global."""
+        return self.standard_observables()
+
+    def render(self, keep: list[int] | None = None) -> str:
+        """The program text, optionally restricted to the top-level
+        statements whose indices appear in ``keep``."""
+        stmts = (self.stmts if keep is None
+                 else [self.stmts[i] for i in keep])
+        lines = [f"// fuzz seed={self.seed} profile={self.profile}"]
+        for name in _SCALARS:
+            lines.append(f"global long {name} = {self.int_inits[name]};")
+        for name in _DOUBLES:
+            lines.append(f"global double {name} = {self.f_inits[name]!r};")
+        for name, count in sorted(_ARRAYS.items()):
+            inits = ", ".join(str(v) for v in self.arr_inits[name])
+            lines.append(f"global long {name}[{count}] = {{ {inits} }};")
+        for name, count in sorted(_FARRAYS.items()):
+            lines.append(f"global double {name}[{count}];")
+        lines.append("")
+        lines.append(_HELPERS)
+        lines.append("func long main() {")
+        for stmt in stmts:
+            lines.append(stmt)
+        lines.append("return (g0 ^ g1) & 127;")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def hashless(text: str) -> int:
+    """Stable small hash (``hash()`` is salted per process)."""
+    value = 0
+    for ch in text:
+        value = (value * 131 + ord(ch)) & 0xFFFFFFFF
+    return value
+
+
+def case_source(seed: int, profile: str = "mixed") -> str:
+    """Convenience: the rendered program for ``(seed, profile)``."""
+    return GenProgram(seed, profile).render()

@@ -1,0 +1,78 @@
+"""Delta-debugging reproducer minimization.
+
+Generated programs keep all cross-statement state in globals, so *any
+subset* of the top-level statements is still a legal program
+(:meth:`GenProgram.render` takes a ``keep`` list of statement indices).
+That makes classic ddmin over statement indices sound: no dataflow or
+scoping repair is ever needed.
+
+The shrinking predicate is "the reduced program still produces a finding
+of the same kind" — judged by re-running the full differential stack on
+the subset. A reduction that introduces a *different* failure (e.g. a
+``CompilerError`` appearing while shrinking a value divergence) is
+rejected, so the reproducer that comes out demonstrates the original
+bug, not a new one.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.generator import GenProgram
+
+__all__ = ["ddmin", "shrink_program"]
+
+
+def ddmin(indices: list[int], failing) -> list[int]:
+    """Classic ddmin: a 1-minimal sublist of ``indices`` on which
+    ``failing(subset)`` is still True.
+
+    ``failing(indices)`` must be True on entry; ``failing`` must be
+    deterministic. Returns a subset where removing any single element
+    makes the predicate False.
+    """
+    keep = list(indices)
+    chunks = 2
+    while len(keep) >= 2:
+        size = max(1, len(keep) // chunks)
+        reduced = False
+        start = 0
+        while start < len(keep):
+            candidate = keep[:start] + keep[start + size:]
+            if candidate and failing(candidate):
+                keep = candidate
+                chunks = max(chunks - 1, 2)
+                reduced = True
+                # restart the scan on the reduced list
+                start = 0
+                continue
+            start += size
+        if not reduced:
+            if chunks >= len(keep):
+                break
+            chunks = min(len(keep), chunks * 2)
+    return keep
+
+
+def shrink_program(prog: GenProgram, kind: str, *,
+                   max_instructions: int | None = None) -> list[int]:
+    """Statement indices of a 1-minimal reproducer for ``prog``.
+
+    ``kind`` is the :class:`~repro.fuzz.differential.Finding` kind being
+    preserved. Falls back to the full program when the failure is not
+    reproducible in-process (it should be — every oracle here is
+    deterministic).
+    """
+    from repro.fuzz import differential
+
+    budget = (max_instructions if max_instructions is not None
+              else differential.DEFAULT_MAX_INSTRUCTIONS)
+
+    def failing(keep: list[int]) -> bool:
+        found = differential.diff_source(
+            prog.render(keep=keep), seed=prog.seed, profile=prog.profile,
+            max_instructions=budget)
+        return any(f.kind == kind for f in found)
+
+    everything = list(range(len(prog.stmts)))
+    if not failing(everything):
+        return everything
+    return ddmin(everything, failing)

@@ -10,6 +10,8 @@ Subcommands::
                              [--out DIR] [--future-cores] [--quiet]
     repro-isa-compare report [--scale S] [--workloads ...] [--out DIR] ...
     repro-isa-compare cache  {ls,stats,verify,clear} [--cache-dir DIR]
+    repro-isa-compare fuzz   {run,replay,corpus} [--seed N] [--count N]
+                             [--profiles p,q] [--out DIR] [--time-budget SEC]
 
 ``run`` simulates the experiment matrix (fanning out across ``--jobs``
 worker processes) and prints Figure 1, Table 1, Table 2 and Figure 2
@@ -42,6 +44,7 @@ import sys
 import time
 
 from repro.common.errors import ExperimentError
+from repro.harness.executor import SuiteExecutionError
 from repro.harness.cache import ResultCache, default_cache_dir
 from repro.harness.events import ConsoleReporter, EventBus, TimingCollector
 from repro.harness.executor import validate_limits
@@ -55,7 +58,7 @@ from repro.harness.experiments import (
 )
 from repro.harness.plan import ExperimentPlan, plan_suite
 
-_SUBCOMMANDS = ("run", "report", "cache")
+_SUBCOMMANDS = ("run", "report", "cache", "fuzz")
 
 
 def _add_selection_args(parser: argparse.ArgumentParser) -> None:
@@ -133,6 +136,47 @@ def build_parser() -> argparse.ArgumentParser:
     cache_p.add_argument("action", choices=("ls", "stats", "verify", "clear"))
     _add_cache_dir_arg(cache_p)
     cache_p.add_argument("--quiet", action="store_true")
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="cross-ISA differential fuzzing of the compiler and "
+                     "simulator (see docs/robustness.md)")
+    fuzz_sub = fuzz_p.add_subparsers(dest="fuzz_command")
+
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="generate and differentially execute random programs")
+    fuzz_run.add_argument("--seed", type=int, default=0,
+                          help="first case seed (default 0)")
+    fuzz_run.add_argument("--count", type=int, default=50,
+                          help="cases per profile (default 50)")
+    fuzz_run.add_argument("--profiles", type=str, default=None,
+                          help="comma-separated profile subset "
+                               "(default: all four)")
+    fuzz_run.add_argument("--out", type=pathlib.Path, default=None,
+                          help="directory for minimized reproducers")
+    fuzz_run.add_argument("--time-budget", type=float, default=None,
+                          metavar="SEC",
+                          help="stop starting new cases after SEC seconds")
+    fuzz_run.add_argument("--max-instructions", type=int, default=None,
+                          help="per-run retirement budget")
+    fuzz_run.add_argument("--no-minimize", action="store_true",
+                          help="report findings without shrinking them")
+    fuzz_run.add_argument("--fault-plan", type=pathlib.Path, default=None,
+                          metavar="FILE",
+                          help="install a serialized FaultPlan while "
+                               "fuzzing (e.g. a semantics/skew spec, to "
+                               "demonstrate the oracle catches it)")
+    fuzz_run.add_argument("--quiet", action="store_true")
+
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="re-judge stored .kc reproducer files")
+    fuzz_replay.add_argument("files", type=pathlib.Path, nargs="+")
+    fuzz_replay.add_argument("--max-instructions", type=int, default=None)
+    fuzz_replay.add_argument("--quiet", action="store_true")
+
+    fuzz_corpus = fuzz_sub.add_parser(
+        "corpus", help="replay the checked-in regression corpus")
+    fuzz_corpus.add_argument("--max-instructions", type=int, default=None)
+    fuzz_corpus.add_argument("--quiet", action="store_true")
     return parser
 
 
@@ -422,6 +466,118 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+# ------------------------------------------------------------------ fuzz
+
+def _print_finding(finding, *, quiet: bool) -> None:
+    from repro.sim.postmortem import GuestFaultReport
+
+    where = finding.isa or "cross-ISA"
+    print(f"FINDING [{finding.kind}] {where}: {finding.detail}",
+          file=sys.stderr)
+    if finding.fault and not quiet:
+        report = GuestFaultReport.from_dict(finding.fault)
+        print(report.render(), file=sys.stderr)
+
+
+def _cmd_fuzz(args) -> int:
+    from repro import fuzz
+    from repro.harness import faults
+
+    if args.fuzz_command == "run":
+        profiles = fuzz.PROFILES
+        if args.profiles:
+            profiles = tuple(p.strip() for p in args.profiles.split(",")
+                             if p.strip())
+            unknown = [p for p in profiles if p not in fuzz.PROFILES]
+            if unknown:
+                raise ExperimentError(
+                    f"unknown fuzz profile(s) {', '.join(unknown)}; "
+                    f"expected a subset of {', '.join(fuzz.PROFILES)}")
+        budget = args.max_instructions or fuzz.differential.\
+            DEFAULT_MAX_INSTRUCTIONS
+
+        def progress(seed, profile, finding):
+            if finding is not None:
+                _print_finding(finding, quiet=args.quiet)
+
+        fault_plan = None
+        if args.fault_plan is not None:
+            fault_plan = faults.FaultPlan.loads(
+                args.fault_plan.read_text(encoding="utf-8"))
+            faults.install(fault_plan)
+        try:
+            summary = fuzz.run_campaign(
+                args.seed, args.count, profiles=profiles,
+                out_dir=args.out, time_budget=args.time_budget,
+                max_instructions=budget,
+                minimize=not args.no_minimize,
+                progress=progress if not args.quiet else None)
+        finally:
+            if fault_plan is not None:
+                faults.uninstall()
+        findings = summary["finding_objects"]
+        if not args.quiet:
+            print(f"fuzz: {summary['cases']} cases "
+                  f"({', '.join(profiles)}), {len(findings)} finding(s) "
+                  f"in {summary['elapsed']:.1f}s ({summary['stopped']})",
+                  file=sys.stderr)
+            if args.out is not None and findings:
+                print(f"reproducers written to {args.out}", file=sys.stderr)
+        return 1 if findings else 0
+
+    if args.fuzz_command == "replay":
+        bad = 0
+        for path in args.files:
+            found = fuzz.replay_source(
+                path.read_text(encoding="utf-8"),
+                max_instructions=args.max_instructions
+                or fuzz.differential.DEFAULT_MAX_INSTRUCTIONS)
+            status = "clean" if not found else \
+                f"{len(found)} finding(s)"
+            if not args.quiet or found:
+                print(f"{path}: {status}", file=sys.stderr)
+            for finding in found:
+                bad += 1
+                _print_finding(finding, quiet=args.quiet)
+        return 1 if bad else 0
+
+    if args.fuzz_command == "corpus":
+        results = fuzz.replay_corpus(
+            max_instructions=args.max_instructions)
+        bad = 0
+        for name, found in sorted(results.items()):
+            if not args.quiet or found:
+                print(f"{name}: "
+                      f"{'clean' if not found else f'{len(found)} finding(s)'}",
+                      file=sys.stderr)
+            for finding in found:
+                bad += 1
+                _print_finding(finding, quiet=args.quiet)
+        if not args.quiet:
+            print(f"corpus: {len(results)} file(s), {bad} finding(s)",
+                  file=sys.stderr)
+        return 1 if bad else 0
+
+    raise ExperimentError(
+        "usage: repro-isa-compare fuzz {run,replay,corpus} ...")
+
+
+def _render_guest_faults(err: SuiteExecutionError) -> bool:
+    """Render every attempt's guest-fault post-mortem; True if any."""
+    from repro.sim.postmortem import GuestFaultReport
+
+    rendered = False
+    for report in err.reports:
+        for attempt in report.attempts:
+            if attempt.fault:
+                rendered = True
+                print(f"\npost-mortem for {report.plan.describe()} "
+                      f"(attempt {attempt.attempt}):", file=sys.stderr)
+                print(GuestFaultReport.from_dict(attempt.fault).render(),
+                      file=sys.stderr)
+    return rendered
+
+
 # ------------------------------------------------------------------ main
 
 def main(argv: list[str] | None = None) -> int:
@@ -448,6 +604,11 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_report(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
+    except SuiteExecutionError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 3 if _render_guest_faults(err) else 2
     except ExperimentError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2

@@ -89,6 +89,9 @@ class AttemptRecord:
     error: str
     transient: bool
     seconds: float = 0.0
+    #: Serialized :class:`~repro.sim.postmortem.GuestFaultReport` when
+    #: the attempt died on a guest fault (survives the worker pipe).
+    fault: dict | None = None
 
 
 @dataclass
@@ -222,11 +225,14 @@ def _child_main(conn, plan_doc: dict, trace_root: str | None = None,
         raise
     except Exception as err:
         stop.set()
+        report = getattr(err, "fault_report", None)
         try:
             with send_lock:
                 conn.send({"ok": False,
                            "error": f"{type(err).__name__}: {err}",
-                           "transient": isinstance(err, _TRANSIENT)})
+                           "transient": isinstance(err, _TRANSIENT),
+                           "fault": (report.to_dict()
+                                     if report is not None else None)})
         except Exception:
             pass
     finally:
@@ -416,7 +422,8 @@ class Executor:
         return delay * (0.5 + 0.5 * self._rng.random())
 
     def _record_failure(self, reports, plan, attempt, message, transient,
-                        seconds=0.0) -> tuple[bool, tuple[str, ...]]:
+                        seconds=0.0, fault=None,
+                        ) -> tuple[bool, tuple[str, ...]]:
         """Append an attempt record; returns (will_retry, prior_errors)."""
         report = reports.get(plan)
         if report is None:
@@ -424,7 +431,7 @@ class Executor:
         history = tuple(a.error for a in report.attempts)
         report.attempts.append(AttemptRecord(
             attempt=attempt, error=message, transient=transient,
-            seconds=seconds))
+            seconds=seconds, fault=fault))
         return (transient and attempt <= self.retries), history
 
     # -- serial path -----------------------------------------------------
@@ -468,9 +475,11 @@ class Executor:
                 except (ReproError, AssertionError) as err:
                     # deterministic: simulator/config bugs surface as-is
                     message = f"{type(err).__name__}: {err}"
+                    fault = getattr(err, "fault_report", None)
                     _retry, history = self._record_failure(
                         reports, plan, attempt, message, False,
-                        time.monotonic() - plan_started)
+                        time.monotonic() - plan_started,
+                        fault=fault.to_dict() if fault is not None else None)
                     self.events.emit(PlanFailed(
                         plan=plan, error=message,
                         attempt=attempt, will_retry=False, history=history))
@@ -515,7 +524,7 @@ class Executor:
         degraded = False
 
         def finish(plan, attempt, started, message=None, transient=False,
-                   payload=None):
+                   payload=None, fault=None):
             nonlocal strikes
             if payload is not None:
                 strikes = 0
@@ -542,7 +551,7 @@ class Executor:
                 return
             retry, history = self._record_failure(
                 reports, plan, attempt, message, transient,
-                time.monotonic() - started)
+                time.monotonic() - started, fault=fault)
             self.events.emit(PlanFailed(
                 plan=plan, error=message, attempt=attempt,
                 will_retry=retry, history=history))
@@ -616,7 +625,8 @@ class Executor:
                         else:
                             finish(plan, attempt, started,
                                    message=msg.get("error", "unknown error"),
-                                   transient=bool(msg.get("transient")))
+                                   transient=bool(msg.get("transient")),
+                                   fault=msg.get("fault"))
                     elif not proc.is_alive():
                         exitcode = proc.exitcode
                         reap(proc, conn)

@@ -24,6 +24,10 @@ site                  checked by
                       leaves a stray ``*.tmp`` file (``leftover``)
 ``translate-compile``   block compilation in :mod:`repro.sim.blocks`
                       (``error``; exercises per-block demotion)
+``semantics``           compiled-block wrapping in :mod:`repro.sim.blocks`
+                      (``skew``; flips a destination-register bit after
+                      each execution of an affected block — a silent
+                      wrong-result bug only differential testing catches)
 ===================== =====================================================
 
 Zero overhead when no plan is installed: every site guard is one module
@@ -73,12 +77,16 @@ __all__ = [
     "check",
     "fire",
     "corrupt",
+    "mutate_block",
 ]
 
 #: Sites whose kinds are *actions* (performed by :func:`check`).
 ACTION_KINDS = ("crash", "hang", "transient", "error")
 #: Kinds that mangle bytes (applied by :func:`corrupt`).
 DATA_KINDS = ("truncate", "garble", "empty")
+#: Kinds that mutate compiled-block semantics (applied by
+#: :func:`mutate_block` at the ``semantics`` site).
+SEMANTIC_KINDS = ("skew",)
 
 
 class InjectedFaultError(ExperimentError):
@@ -209,12 +217,16 @@ _CONTEXT = {"plan": "", "attempt": 0, "in_worker": False}
 
 
 def _sync_hooks() -> None:
-    """Point the sim layer's injected hook at us (or clear it). The sim
-    package must not import the harness, so the dependency is inverted:
-    installation pokes a module global into :mod:`repro.sim.blocks`."""
+    """Point the sim layer's injected hooks at us (or clear them). The
+    sim package must not import the harness, so the dependency is
+    inverted: installation pokes module globals into
+    :mod:`repro.sim.blocks`."""
     from repro.sim import blocks
 
     blocks._FAULT_HOOK = check if _ACTIVE is not None else None
+    sem_active = _ACTIVE is not None and any(
+        spec.site == "semantics" for spec in _ACTIVE.specs)
+    blocks._SEM_HOOK = mutate_block if sem_active else None
 
 
 def install(plan: FaultPlan) -> None:
@@ -271,6 +283,36 @@ def check(site: str) -> None:
         raise InjectedFaultError(f"injected fault at {site!r}")
     raise ExperimentError(
         f"fault kind {spec.kind!r} is not an action (site {site!r})")
+
+
+def mutate_block(fn, insts):
+    """Fire the ``semantics`` site for a freshly compiled block function.
+
+    When a ``skew`` spec fires, the block function is wrapped so every
+    execution additionally XORs bit 0 of one integer register the block
+    writes — a deliberately *silent* wrong-result bug (no crash, no
+    hang) that only a differential oracle can catch. The victim register
+    is chosen deterministically from the plan seed among the block's
+    integer destinations (falling back to a seeded pick in x1..x30 for
+    blocks with none). Demoted blocks are never passed through here, so
+    the interpreter stays a trustworthy oracle.
+    """
+    spec = fire("semantics")
+    if spec is None:
+        return fn
+    if spec.kind != "skew":
+        raise ExperimentError(
+            f"fault kind {spec.kind!r} is not a semantics mutation")
+    rng = _ACTIVE.rng_for(spec)
+    dsts = sorted({d for inst in insts for d in inst.dsts if 1 <= d <= 30})
+    reg = rng.choice(dsts) if dsts else rng.randint(1, 30)
+
+    def _skewed(machine, *rest):
+        out = fn(machine, *rest)
+        machine.r[reg] ^= 1
+        return out
+
+    return _skewed
 
 
 def corrupt(site: str, data: bytes) -> bytes:

@@ -72,6 +72,9 @@ def _deserialize_regions(blob: bytes) -> list[Region]:
     if len(blob) < 4:
         return []
     (count,) = struct.unpack_from("<I", blob, 0)
+    if count * 18 > len(blob):
+        raise LoaderError(
+            f"region note claims {count} regions in {len(blob)} bytes")
     offset = 4
     regions = []
     for _ in range(count):
@@ -208,8 +211,29 @@ def build_elf(program: Program) -> bytes:
     return b"".join([ehdr, phdrs] + file_chunks + [shdrs])
 
 
+#: Refuse BSS expansions past this: a crafted ``p_memsz`` must not make
+#: the *loader* allocate gigabytes before the simulator ever sees it.
+_MAX_BSS = 1 << 28
+
+
 def load_elf(blob: bytes) -> LoadedImage:
-    """Parse static-ELF64 bytes back into a :class:`LoadedImage`."""
+    """Parse static-ELF64 bytes back into a :class:`LoadedImage`.
+
+    Total: any malformed input — truncated, bit-flipped, or actively
+    crafted — raises :class:`LoaderError`; no other exception type
+    escapes (``tests/test_elf.py`` sweeps truncations and seeded
+    mutations to hold this line).
+    """
+    try:
+        return _parse_elf(blob)
+    except LoaderError:
+        raise
+    except (struct.error, IndexError, ValueError, UnicodeDecodeError,
+            OverflowError, MemoryError) as err:
+        raise LoaderError(f"malformed ELF: {err}") from None
+
+
+def _parse_elf(blob: bytes) -> LoadedImage:
     if len(blob) < _EHDR.size or blob[:4] != ELF_MAGIC:
         raise LoaderError("not an ELF file")
     if blob[4] != 2 or blob[5] != 1:
@@ -223,6 +247,12 @@ def load_elf(blob: bytes) -> LoadedImage:
     isa_name = _ISA_BY_MACHINE.get(machine)
     if isa_name is None:
         raise LoaderError(f"unsupported ELF machine {machine}")
+    if phnum:
+        if phentsize < _PHDR.size:
+            raise LoaderError(f"program header entries too small "
+                              f"({phentsize} < {_PHDR.size})")
+        if phoff + phnum * phentsize > len(blob):
+            raise LoaderError("program header table out of bounds")
 
     segments: list[tuple[int, bytes, int]] = []
     for i in range(phnum):
@@ -231,6 +261,15 @@ def load_elf(blob: bytes) -> LoadedImage:
         )
         if ptype != PT_LOAD:
             continue
+        if p_offset + filesz > len(blob):
+            raise LoaderError(
+                f"PT_LOAD segment {i} file range "
+                f"[{p_offset:#x}, {p_offset + filesz:#x}) exceeds "
+                f"file size {len(blob)}")
+        if memsz > filesz + _MAX_BSS:
+            raise LoaderError(
+                f"PT_LOAD segment {i} p_memsz {memsz:#x} is implausibly "
+                f"large (limit {filesz + _MAX_BSS:#x})")
         data = bytes(blob[p_offset : p_offset + filesz])
         if memsz > filesz:
             data += b"\x00" * (memsz - filesz)
@@ -243,6 +282,11 @@ def load_elf(blob: bytes) -> LoadedImage:
     symbols: dict[str, int] = {}
     regions: list[Region] = []
     if shoff and shnum:
+        if shentsize < _SHDR.size:
+            raise LoaderError(f"section header entries too small "
+                              f"({shentsize} < {_SHDR.size})")
+        if shoff + shnum * shentsize > len(blob):
+            raise LoaderError("section header table out of bounds")
         shdrs = [
             _SHDR.unpack_from(blob, shoff + i * shentsize) for i in range(shnum)
         ]
@@ -258,6 +302,9 @@ def load_elf(blob: bytes) -> LoadedImage:
         for (name_off, stype, _flags, _addr, off, size, link, _info,
              _align, entsize) in shdrs:
             if stype == SHT_SYMTAB and entsize == _SYM.size:
+                if link >= len(shdrs):
+                    raise LoaderError(
+                        f"symtab links to section {link} of {len(shdrs)}")
                 _, _, _, _, str_off, str_size, _, _, _, _ = shdrs[link]
                 strtab = blob[str_off : str_off + str_size]
                 for j in range(1, size // _SYM.size):

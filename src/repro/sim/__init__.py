@@ -13,6 +13,10 @@ This package mirrors the parts of SimEng the paper relies on:
   superblocks compiled to straight-line Python executors (a QEMU-TCG-style
   fast path over the emulation core; the interpreter stays as its
   differential oracle),
+* :mod:`repro.sim.postmortem` / :mod:`repro.sim.invariants` — guest-fault
+  diagnostics (structured post-mortem reports attached to exceptions) and
+  per-retirement architectural invariant checking (the differential
+  fuzzer's oracle),
 * :mod:`repro.sim.config` — latency core models (ThunderX2 and the
   TX2-derived RISC-V model of §5.1) parsed from yamlite files,
 * :mod:`repro.sim.inorder` / :mod:`repro.sim.ooo` — pipeline models beyond
@@ -31,6 +35,8 @@ from repro.sim.emucore import (
     run_image,
 )
 from repro.sim.config import CoreModel, load_core_model, available_models
+from repro.sim.invariants import InvariantChecker, InvariantViolation
+from repro.sim.postmortem import GUEST_FAULTS, GuestFaultReport, capture, attach
 from repro.sim.inorder import InOrderResult, InOrderTimingProbe
 from repro.sim.ooo import OoOResult, OoOTimingProbe
 from repro.sim.trace import Trace, TraceRecorderProbe, TraceWriter, read_trace
@@ -51,6 +57,12 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "RunResult",
     "run_image",
+    "GUEST_FAULTS",
+    "GuestFaultReport",
+    "capture",
+    "attach",
+    "InvariantChecker",
+    "InvariantViolation",
     "CoreModel",
     "load_core_model",
     "available_models",

@@ -77,6 +77,15 @@ MAX_BLOCK = 64
 #: the guard is a single module-global read.
 _FAULT_HOOK = None
 
+#: Semantics-mutation hook, also poked by :mod:`repro.harness.faults`
+#: (site ``"semantics"``). When set, every *successfully compiled* block
+#: function is passed through it — ``_SEM_HOOK(fn, insts)`` returns a
+#: possibly-wrapped function — letting the fault layer inject subtle
+#: wrong-result bugs that only differential testing can catch. Demoted
+#: (interpreter-path) block functions are never wrapped: they are the
+#: oracle. None in normal runs.
+_SEM_HOOK = None
+
 _SYSCALL = InstructionGroup.SYSCALL
 _ATOMIC = InstructionGroup.ATOMIC
 
@@ -394,6 +403,8 @@ class BlockTranslator(_TranslatorBase):
                 fn = self._assemble(body, bindings, params="m, _cap")
             else:
                 fn = self._assemble(body, bindings)
+            if _SEM_HOOK is not None:
+                fn = _SEM_HOOK(fn, insts)
         except Exception:
             # compilation failed: demote this block to the interpreter
             # path permanently rather than failing the run
@@ -474,7 +485,10 @@ class BatchTranslator(_TranslatorBase):
             roffs.append(r - rbase)
             woffs.append(w - wbase)
         try:
-            entry[0] = self._compile_block(entry, roffs, woffs)
+            fn = self._compile_block(entry, roffs, woffs)
+            if _SEM_HOOK is not None:
+                fn = _SEM_HOOK(fn, entry[4])
+            entry[0] = fn
         except Exception:
             # compilation failed: demote this block to a per-instruction
             # bookkeeping loop permanently rather than failing the run
@@ -630,9 +644,12 @@ def run_translated(core, max_instructions=500_000_000):
         translator = core._translator = BlockTranslator(core)
     cache_get = translator.cache.get
     new_entry = translator.entry_for
+    history = core.history
+    happend = history.append if history is not None else None
     remaining = max_instructions
     retired = 0
     execs = 0
+    entry = None
     try:
         while machine.running:
             entry = cache_get(machine.pc)
@@ -654,6 +671,8 @@ def run_translated(core, max_instructions=500_000_000):
                             pc=machine.pc,
                         )
                     break
+                if happend is not None:
+                    happend(entry)
                 if entry[6]:
                     # self-loop block: iterates internally, returns the
                     # retirement count (never overshooting the cap)
@@ -681,6 +700,12 @@ def run_translated(core, max_instructions=500_000_000):
                     entry[2] = nxt
                     translator.chained += 1
                 entry = nxt
+    except (SimulationError, DecodeError) as err:
+        # the faulting instruction's PC is not tracked on this path;
+        # localize to the executing block's entry for the post-mortem
+        if entry is not None and getattr(err, "block_pc", None) is None:
+            err.block_pc = entry[5]
+        raise
     finally:
         machine.instret += retired
         translator.executions += execs
@@ -726,9 +751,12 @@ def run_batched_translated(core, sinks, *, batch_size,
     cache_get = translator.cache.get
     new_entry = translator.entry_for
     observe = translator.observe
+    history = core.history
+    happend = history.append if history is not None else None
     remaining = max_instructions
     retired = 0
     execs = 0
+    entry = None
 
     def flush():
         count = len(indices)
@@ -761,6 +789,8 @@ def run_batched_translated(core, sinks, *, batch_size,
                             pc=machine.pc,
                         )
                     break
+                if happend is not None:
+                    happend(entry)
                 fn = entry[0]
                 if fn is None:
                     observe(entry)  # first execution: interpret + compile
@@ -797,6 +827,10 @@ def run_batched_translated(core, sinks, *, batch_size,
                     translator.chained += 1
                 entry = nxt
         flush()
+    except (SimulationError, DecodeError) as err:
+        if entry is not None and getattr(err, "block_pc", None) is None:
+            err.block_pc = entry[5]
+        raise
     finally:
         machine.instret += retired
         translator.executions += execs

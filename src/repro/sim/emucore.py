@@ -14,6 +14,7 @@ per-step is attribute-light local-variable access.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
@@ -120,7 +121,17 @@ class EmulationCore:
         self._batch_cache: dict[int, tuple] = {}  # pc -> (execute, index)
         self._translator = None          # lazy BlockTranslator
         self._batch_translators: dict[bool, object] = {}  # needs_memory -> BT
+        #: Retirement-history ring for post-mortem diagnostics; None (the
+        #: default) keeps the hot loops free of any history bookkeeping.
+        #: Holds DecodedInsts on the interpreter paths and block entries
+        #: on the translated paths (:func:`postmortem.capture` flattens).
+        self.history: deque | None = None
         machine.syscall_handler = handle_syscall
+
+    def enable_history(self, n: int = 64) -> None:
+        """Keep the last ``n`` retired instructions (interpreter) or
+        dispatched blocks (translated path) for post-mortem reports."""
+        self.history = deque(maxlen=n)
 
     def translation_stats(self) -> dict | None:
         """Aggregated block-translation statistics across this core's
@@ -146,7 +157,21 @@ class EmulationCore:
         return merged
 
     def run(self, max_instructions: int = 500_000_000) -> RunResult:
-        """Run until the program exits; raises on budget exhaustion."""
+        """Run until the program exits; raises on budget exhaustion.
+
+        Guest faults (:data:`repro.sim.postmortem.GUEST_FAULTS`) leave
+        here with a :class:`~repro.sim.postmortem.GuestFaultReport`
+        attached as ``err.fault_report``.
+        """
+        try:
+            return self._run(max_instructions)
+        except (SimulationError, DecodeError) as err:
+            from repro.sim import postmortem
+
+            postmortem.attach(self, err)
+            raise
+
+    def _run(self, max_instructions: int) -> RunResult:
         if self.translate and not self.probes:
             from repro.sim.blocks import run_translated
 
@@ -160,8 +185,11 @@ class EmulationCore:
             memory.start_recording()
         reads = memory.reads
         writes = memory.writes
+        history = self.history
+        happend = history.append if history is not None else None
 
         retired = 0
+        pc = machine.pc
         try:
             # hot loops: direct dict indexing (hits are the common case by
             # orders of magnitude) and locals for everything touched per step
@@ -175,6 +203,8 @@ class EmulationCore:
                     except KeyError:
                         inst = self._decode_at(pc)
                     machine.pc = pc + 4
+                    if happend is not None:
+                        happend(inst)
                     if needs_memory:
                         del reads[:]
                         del writes[:]
@@ -208,17 +238,34 @@ class EmulationCore:
                     chunk = (_BUDGET_CHUNK if remaining > _BUDGET_CHUNK
                              else remaining)
                     executed = chunk
-                    for n in range(chunk):
-                        pc = machine.pc
-                        try:
-                            inst = cache[pc]
-                        except KeyError:
-                            inst = self._decode_at(pc)
-                        machine.pc = pc + 4
-                        inst.execute(machine)
-                        if not machine.running:
-                            executed = n + 1
-                            break
+                    if happend is not None:
+                        # history variant: identical but for the ring
+                        # append (kept separate so the common path pays
+                        # nothing for the diagnostics feature)
+                        for n in range(chunk):
+                            pc = machine.pc
+                            try:
+                                inst = cache[pc]
+                            except KeyError:
+                                inst = self._decode_at(pc)
+                            machine.pc = pc + 4
+                            happend(inst)
+                            inst.execute(machine)
+                            if not machine.running:
+                                executed = n + 1
+                                break
+                    else:
+                        for n in range(chunk):
+                            pc = machine.pc
+                            try:
+                                inst = cache[pc]
+                            except KeyError:
+                                inst = self._decode_at(pc)
+                            machine.pc = pc + 4
+                            inst.execute(machine)
+                            if not machine.running:
+                                executed = n + 1
+                                break
                     retired += executed
                     remaining -= executed
                     if remaining == 0 and machine.running:
@@ -227,6 +274,11 @@ class EmulationCore:
                             f"exhausted",
                             pc=pc,
                         )
+        except (SimulationError, DecodeError) as err:
+            from repro.sim.postmortem import annotate_pc
+
+            annotate_pc(err, pc)  # memory faults raise without PC context
+            raise
         finally:
             machine.instret += retired
             if needs_memory:
@@ -254,6 +306,24 @@ class EmulationCore:
         callback per probe, and sinks amortize their work over whole
         batches (vectorizing where possible). ``self.probes`` is ignored.
         """
+        try:
+            return self._run_batched(
+                sinks, batch_size=batch_size,
+                max_instructions=max_instructions,
+            )
+        except (SimulationError, DecodeError) as err:
+            from repro.sim import postmortem
+
+            postmortem.attach(self, err)
+            raise
+
+    def _run_batched(
+        self,
+        sinks: Sequence[BatchSink],
+        *,
+        batch_size: int,
+        max_instructions: int,
+    ) -> RunResult:
         if self.translate:
             from repro.sim.blocks import run_batched_translated
 
@@ -315,6 +385,11 @@ class EmulationCore:
                         f"instruction budget ({max_instructions}) exhausted",
                         pc=pc,
                     )
+        except (SimulationError, DecodeError) as err:
+            from repro.sim.postmortem import annotate_pc
+
+            annotate_pc(err, pc)  # memory faults raise without PC context
+            raise
         finally:
             machine.instret += retired
             if needs_memory:
@@ -365,6 +440,8 @@ def run_image(
     batch_sinks: Sequence[BatchSink] | None = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
     translate: bool = True,
+    history: int = 0,
+    check_invariants: bool = False,
 ) -> tuple[RunResult, Machine]:
     """Load ``image`` into a fresh machine and run it to completion.
 
@@ -376,6 +453,10 @@ def run_image(
     (:meth:`EmulationCore.run_batched`) instead of per-instruction probes.
     ``translate=False`` forces the per-instruction interpreter (the
     differential oracle for the basic-block translation fast path).
+    ``history`` keeps that many retired instructions/blocks for
+    post-mortem reports; ``check_invariants`` attaches an
+    :class:`~repro.sim.invariants.InvariantChecker` probe (which forces
+    the interpreter, like any probe).
     """
     if image.isa_name != isa.name:
         raise SimulationError(
@@ -386,12 +467,23 @@ def run_image(
             "probes and batch_sinks are mutually exclusive; attach analyses "
             "to one path or the other"
         )
+    if check_invariants and batch_sinks is not None:
+        raise SimulationError(
+            "check_invariants uses the probe path; it cannot combine "
+            "with batch_sinks"
+        )
     memory = Memory(memory_size)
     load_program(image, memory)
     machine = Machine(isa.name, memory)
     machine.reset_stack()
     machine.pc = image.entry
+    if check_invariants:
+        from repro.sim.invariants import InvariantChecker
+
+        probes = list(probes) + [InvariantChecker.for_image(image, machine)]
     core = EmulationCore(isa, machine, probes, translate=translate)
+    if history:
+        core.enable_history(history)
     if batch_sinks is not None:
         result = core.run_batched(
             batch_sinks, batch_size=batch_size,

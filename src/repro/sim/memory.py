@@ -41,7 +41,8 @@ class Memory:
         """Bulk write (used by the loader; not recorded)."""
         if addr < 0 or addr + len(blob) > self.size:
             raise SimulationError(
-                f"segment [{addr:#x}, {addr + len(blob):#x}) outside memory"
+                f"segment [{addr:#x}, {addr + len(blob):#x}) outside memory",
+                addr=addr, size=len(blob),
             )
         self.data[addr : addr + len(blob)] = blob
 
@@ -62,7 +63,18 @@ class Memory:
         self._check(addr, size)
         if self.recording:
             self.writes.append((addr, size))
-        self.data[addr : addr + size] = value.to_bytes(size, "little")
+        try:
+            self.data[addr : addr + size] = value.to_bytes(size, "little")
+        except OverflowError:
+            # out-of-range/negative value: a semantics bug (executors mask
+            # to the access width). Report it as a guest fault the
+            # post-mortem/fuzzing layers can localize, not a raw
+            # OverflowError that crashes the harness.
+            raise SimulationError(
+                f"store of out-of-range value {value:#x} "
+                f"({size}-byte store at {addr:#x})",
+                addr=addr, size=size,
+            ) from None
 
     def load_f64(self, addr: int) -> float:
         self._check(addr, 8)
@@ -111,4 +123,7 @@ class Memory:
 
     def _check(self, addr: int, size: int) -> None:
         if addr < 0 or addr + size > self.size:
-            raise SimulationError(f"memory access [{addr:#x}, +{size}) out of bounds")
+            raise SimulationError(
+                f"memory access [{addr:#x}, +{size}) out of bounds",
+                addr=addr, size=size,
+            )

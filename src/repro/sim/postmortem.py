@@ -1,0 +1,274 @@
+"""Guest-fault post-mortem capture.
+
+A guest fault — any :class:`SimulationError` or :class:`DecodeError`
+raised while the emulation core is executing — used to surface as a bare
+one-line exception. This module captures the machine state at the fault
+into a structured :class:`GuestFaultReport` and attaches it to the
+exception as ``err.fault_report``, so every layer above (the CLI, the
+harness's :class:`~repro.harness.executor.PlanFailureReport`, the fuzz
+campaign's reproducer files) can render or serialize full diagnostics:
+
+* the faulting PC (back-filled from the core's loop state when the
+  raiser did not know it) and, on the translated path, the entry PC of
+  the block that was executing (``err.block_pc``);
+* the full architectural register file, NZCV and ``instret``;
+* the last N retired instructions — exact retirement order on the
+  interpreter paths, block granularity on the translated fast path
+  (enable with :meth:`EmulationCore.enable_history`; off by default, it
+  costs one append per retirement / per block dispatch);
+* a disassembly window around the faulting PC (via
+  :mod:`repro.tools.objdump`) and, for memory faults, the offending
+  access with a surrounding hexdump;
+* block-translation statistics (blocks compiled, demotions, ...).
+
+Reports serialize to plain dicts (``to_dict``/``from_dict``) so they
+survive the harness's worker pipes and the result cache unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import DecodeError, SimulationError
+
+#: The exception family that counts as a *guest* fault (a defect in the
+#: simulated program or in the simulator's semantics), as opposed to a
+#: harness/configuration problem.
+GUEST_FAULTS = (SimulationError, DecodeError)
+
+#: Serialization format version (bump on incompatible dict changes).
+VERSION = 1
+
+#: Hexdump context bytes shown on each side of a faulting access.
+_HEX_CONTEXT = 32
+
+
+def annotate_pc(err, pc):
+    """Back-fill ``err.pc`` (and the message) from loop state.
+
+    The memory layer raises without PC context — it does not know which
+    instruction asked. The core's run loops hold the PC of the
+    instruction being executed; they call this in their fault handlers
+    so the exception always localizes the fault. No-op when the raiser
+    already knew its PC.
+    """
+    if getattr(err, "pc", None) is None and pc is not None:
+        err.pc = pc
+        if err.args:
+            err.args = (f"{err.args[0]} (pc={pc:#x})",) + err.args[1:]
+
+
+def capture(core, err=None, *, reason=None, pc_hint=None):
+    """Snapshot ``core``'s machine state into a :class:`GuestFaultReport`.
+
+    Works both for exceptions (pass ``err``) and for non-exception
+    snapshots such as a fuzzing divergence (pass ``reason``).
+    """
+    machine = core.machine
+    pc = pc_hint
+    block_pc = None
+    access = None
+    if err is not None:
+        pc = getattr(err, "pc", None) if pc is None else pc
+        block_pc = getattr(err, "block_pc", None)
+        addr = getattr(err, "addr", None)
+        if addr is not None:
+            access = {"addr": addr, "size": getattr(err, "size", None)}
+    if pc is None and err is None:
+        pc = machine.pc
+
+    history, history_kind = _drain_history(core)
+    disasm_pc = pc if pc is not None else block_pc
+    hexdump = []
+    if access is not None:
+        hexdump = _hexdump(machine.memory, access["addr"],
+                           access["size"] or 1)
+
+    return GuestFaultReport(
+        error_type=type(err).__name__ if err is not None else "divergence",
+        error=str(err) if err is not None else str(reason or ""),
+        isa=machine.isa_name,
+        pc=pc,
+        block_pc=block_pc,
+        instret=machine.instret,
+        regs=list(machine.r),
+        fregs=list(machine.f),
+        nzcv=machine.nzcv,
+        history=history,
+        history_kind=history_kind,
+        disassembly=_disassemble(core, disasm_pc),
+        access=access,
+        hexdump=hexdump,
+        translation=core.translation_stats(),
+    )
+
+
+def attach(core, err, *, pc_hint=None):
+    """Attach a fresh :class:`GuestFaultReport` to ``err`` (idempotent:
+    the innermost capture — closest to the fault — wins)."""
+    if getattr(err, "fault_report", None) is None:
+        err.fault_report = capture(core, err, pc_hint=pc_hint)
+    return err
+
+
+def _drain_history(core):
+    """Flatten the core's retirement history (DecodedInst on interpreter
+    paths, block entries on translated paths) into dict records."""
+    history = getattr(core, "history", None)
+    if not history:
+        return [], "none"
+    records = []
+    kind = "instruction"
+    for item in history:
+        if isinstance(item, list):  # a block entry: [4] holds its insts
+            kind = "block"
+            for inst in item[4]:
+                records.append(
+                    {"pc": inst.pc, "word": inst.word, "text": inst.text})
+        else:
+            records.append(
+                {"pc": item.pc, "word": item.word, "text": item.text})
+    limit = history.maxlen or 64
+    return records[-limit:], kind
+
+
+def _disassemble(core, pc):
+    from repro.tools.objdump import disassemble_window
+
+    if pc is None:
+        return []
+    try:
+        return disassemble_window(core.isa, core.machine.memory, pc)
+    except Exception:
+        return []  # never let diagnostics capture raise over the fault
+
+
+def _hexdump(memory, addr, size):
+    """16-byte-per-row hexdump lines around ``[addr, addr+size)``,
+    clamped to memory bounds."""
+    start = max(0, (addr - _HEX_CONTEXT) & ~0xF)
+    end = min(memory.size, (addr + size + _HEX_CONTEXT + 15) & ~0xF)
+    lines = []
+    for row in range(start, end, 16):
+        chunk = memory.data[row:min(row + 16, memory.size)]
+        hexed = " ".join(f"{b:02x}" for b in chunk)
+        marker = " <--" if row <= addr < row + 16 else ""
+        lines.append(f"{row:#010x}: {hexed}{marker}")
+    return lines
+
+
+@dataclass
+class GuestFaultReport:
+    """Structured diagnostics for one guest fault. Plain-data throughout
+    so it serializes losslessly over worker pipes and into caches."""
+
+    error_type: str
+    error: str
+    isa: str
+    pc: int | None
+    block_pc: int | None
+    instret: int
+    regs: list[int]
+    fregs: list[float]
+    nzcv: int
+    history: list[dict] = field(default_factory=list)
+    history_kind: str = "none"
+    disassembly: list[dict] = field(default_factory=list)
+    access: dict | None = None
+    hexdump: list[str] = field(default_factory=list)
+    translation: dict | None = None
+    version: int = VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "error_type": self.error_type,
+            "error": self.error,
+            "isa": self.isa,
+            "pc": self.pc,
+            "block_pc": self.block_pc,
+            "instret": self.instret,
+            "regs": list(self.regs),
+            "fregs": list(self.fregs),
+            "nzcv": self.nzcv,
+            "history": list(self.history),
+            "history_kind": self.history_kind,
+            "disassembly": list(self.disassembly),
+            "access": self.access,
+            "hexdump": list(self.hexdump),
+            "translation": self.translation,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "GuestFaultReport":
+        return cls(
+            error_type=doc.get("error_type", "?"),
+            error=doc.get("error", ""),
+            isa=doc.get("isa", "?"),
+            pc=doc.get("pc"),
+            block_pc=doc.get("block_pc"),
+            instret=doc.get("instret", 0),
+            regs=list(doc.get("regs", [])),
+            fregs=list(doc.get("fregs", [])),
+            nzcv=doc.get("nzcv", 0),
+            history=list(doc.get("history", [])),
+            history_kind=doc.get("history_kind", "none"),
+            disassembly=list(doc.get("disassembly", [])),
+            access=doc.get("access"),
+            hexdump=list(doc.get("hexdump", [])),
+            translation=doc.get("translation"),
+            version=doc.get("version", VERSION),
+        )
+
+    def render(self) -> str:
+        """Human-readable multi-line rendering (what the CLI prints)."""
+        fmt_pc = (f"{self.pc:#x}" if self.pc is not None else "unknown")
+        lines = [
+            f"guest fault: {self.error_type}: {self.error}",
+            f"  isa: {self.isa}   pc: {fmt_pc}   instret: {self.instret}",
+        ]
+        if self.block_pc is not None:
+            lines.append(f"  translated block entry: {self.block_pc:#x}")
+        if self.access is not None:
+            size = self.access.get("size")
+            lines.append(
+                f"  faulting access: addr={self.access['addr']:#x}"
+                + (f" size={size}" if size is not None else ""))
+        lines.append("  registers:")
+        for i in range(0, min(len(self.regs), 32), 4):
+            row = "  ".join(
+                f"r{j:<2}= {self.regs[j]:#018x}"
+                for j in range(i, min(i + 4, len(self.regs))))
+            lines.append(f"    {row}")
+        if len(self.regs) > 32:
+            lines.append(f"    zr = {self.regs[32]:#018x}")
+        lines.append(f"    nzcv = {self.nzcv:04b}")
+        nonzero_f = [(i, v) for i, v in enumerate(self.fregs) if v != 0.0]
+        if nonzero_f:
+            lines.append("  fp registers (nonzero):")
+            for i, v in nonzero_f[:16]:
+                lines.append(f"    f{i:<2}= {v!r}")
+        if self.history:
+            label = ("retired instructions"
+                     if self.history_kind == "instruction"
+                     else "retired blocks (flattened)")
+            lines.append(f"  last {label}:")
+            for rec in self.history:
+                lines.append(
+                    f"    {rec['pc']:x}:  {rec['word']:08x}   {rec['text']}")
+        if self.disassembly:
+            lines.append("  code around fault:")
+            for rec in self.disassembly:
+                marker = " <--" if rec["pc"] == self.pc else ""
+                lines.append(
+                    f"    {rec['pc']:x}:  {rec['word']:08x}   "
+                    f"{rec['text']}{marker}")
+        if self.hexdump:
+            lines.append("  memory around access:")
+            for row in self.hexdump:
+                lines.append(f"    {row}")
+        if self.translation:
+            stats = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.translation.items()))
+            lines.append(f"  translation: {stats}")
+        return "\n".join(lines)

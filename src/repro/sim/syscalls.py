@@ -44,7 +44,14 @@ def handle_syscall(machine: Machine) -> None:
 
     if number == SYS_WRITE:
         fd, buf, length = args[0], args[1], args[2]
-        data = machine.memory.read_bytes(buf, length)
+        try:
+            data = machine.memory.read_bytes(buf, length)
+        except SimulationError as err:
+            # memory raises without pc context; localize the fault here
+            raise SimulationError(
+                f"write syscall buffer fault: {err}", pc=machine.pc,
+                addr=err.addr, size=err.size,
+            ) from None
         if fd == 1:
             machine.stdout += data
         elif fd == 2:

@@ -23,6 +23,37 @@ from repro.loader import load_elf
 PF_X = 1
 
 
+def disassemble_word(isa, word: int, pc: int) -> str:
+    """One instruction's disassembly text; ``.word`` for undecodable."""
+    try:
+        return isa.decode(word, pc).text
+    except DecodeError:
+        return f".word {word:#010x}"
+
+
+def disassemble_window(isa, memory, pc: int, *, before: int = 8,
+                       after: int = 4) -> list[dict]:
+    """Disassemble the instructions around ``pc`` straight out of
+    simulated memory (the post-mortem path: no image needed, works on
+    whatever the guest was actually executing).
+
+    Returns one ``{"pc", "word", "text"}`` record per decodable
+    location, clamped to the memory bounds; an empty list when ``pc``
+    itself is outside memory.
+    """
+    if pc is None or pc < 0 or pc + 4 > memory.size or pc % 4:
+        return []
+    start = max(0, pc - 4 * before)
+    end = min(memory.size - 4, pc + 4 * after)
+    records = []
+    for addr in range(start, end + 1, 4):
+        word = int.from_bytes(memory.read_bytes(addr, 4), "little")
+        records.append(
+            {"pc": addr, "word": word, "text": disassemble_word(isa, word, addr)}
+        )
+    return records
+
+
 def disassemble_image(image, *, show_data: bool = False) -> str:
     """Render a LoadedImage as objdump-style text."""
     isa = get_isa(image.isa_name)

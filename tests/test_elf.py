@@ -119,3 +119,59 @@ class TestReaderErrors:
         image = load_elf(build_elf(rv_prog))
         with pytest.raises(LoaderError):
             image.symbol("does_not_exist")
+
+
+class TestReaderHardening:
+    """Malformed input must always surface as LoaderError: the reader is
+    fed fuzzer reproducers and cache artifacts, so no struct.error,
+    IndexError, or UnicodeDecodeError may escape, and no crafted header
+    may trigger a huge allocation."""
+
+    def test_every_truncation_is_loader_error(self, rv_prog):
+        blob = build_elf(rv_prog)
+        for cut in range(len(blob)):
+            try:
+                load_elf(blob[:cut])
+            except LoaderError:
+                pass
+
+    def test_seeded_mutations_never_leak_exceptions(self, rv_prog):
+        import random
+
+        blob = build_elf(rv_prog)
+        rng = random.Random(1234)
+        for _ in range(400):
+            mutant = bytearray(blob)
+            for _ in range(rng.randint(1, 8)):
+                mutant[rng.randrange(len(mutant))] ^= 1 << rng.randrange(8)
+            try:
+                load_elf(bytes(mutant))
+            except LoaderError:
+                pass
+
+    def test_huge_memsz_rejected_without_allocating(self, rv_prog):
+        import struct as _struct
+
+        blob = bytearray(build_elf(rv_prog))
+        # patch p_memsz of the first program header to 1 TiB
+        phoff = 64
+        memsz_off = phoff + 4 + 4 + 8 + 8 + 8 + 8
+        _struct.pack_into("<Q", blob, memsz_off, 1 << 40)
+        with pytest.raises(LoaderError, match="implausibly large"):
+            load_elf(bytes(blob))
+
+    def test_out_of_range_symtab_link_rejected(self, rv_prog):
+        import struct as _struct
+
+        blob = bytearray(build_elf(rv_prog))
+        (shoff,) = _struct.unpack_from("<Q", blob, 40)
+        (shnum,) = _struct.unpack_from("<H", blob, 60)
+        shentsize = 64
+        for i in range(shnum):
+            base = shoff + i * shentsize
+            (stype,) = _struct.unpack_from("<I", blob, base + 4)
+            if stype == 2:  # SHT_SYMTAB
+                _struct.pack_into("<I", blob, base + 40, 0xFFFF)  # sh_link
+                break
+        with pytest.raises(LoaderError):
+            load_elf(bytes(blob))

@@ -1,0 +1,165 @@
+"""Tests for guest-fault post-mortem capture (repro.sim.postmortem)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.common import SimulationError
+from repro.loader import program_to_image
+from repro.sim import run_image
+from repro.sim.postmortem import GuestFaultReport, annotate_pc, capture
+
+from tests.conftest import RV_EXIT
+
+# Faults with a memory access: loads from far outside the 16 MiB memory.
+RV_BAD_LOAD = """
+    .text
+    .global _start
+_start:
+    li t0, 0x40000000
+    ld a0, 0(t0)
+""" + RV_EXIT
+
+# Runs a few instructions, then walks off the text into zeroed memory
+# (word 0 does not decode).
+RV_WALK_OFF = """
+    .text
+    .global _start
+_start:
+    li a0, 1
+    li a1, 2
+    add a2, a0, a1
+    j 0x20000
+""" + RV_EXIT
+
+
+def _fault_from(source, isa, **kwargs):
+    program = assemble(source, isa)
+    image = program_to_image(program)
+    with pytest.raises(Exception) as excinfo:
+        run_image(image, isa, max_instructions=1000, **kwargs)
+    return excinfo.value
+
+
+class TestAttachment:
+    def test_memory_fault_report_attached(self, rv64):
+        err = _fault_from(RV_BAD_LOAD, rv64)
+        report = err.fault_report
+        assert isinstance(report, GuestFaultReport)
+        assert report.isa == "rv64"
+        assert report.error_type == "SimulationError"
+
+    def test_pc_backfilled_into_message_and_report(self, rv64):
+        # the interpreter path knows the exact faulting pc
+        err = _fault_from(RV_BAD_LOAD, rv64, translate=False)
+        assert err.pc is not None
+        assert f"pc={err.pc:#x}" in str(err)
+        assert err.fault_report.pc == err.pc
+
+    def test_access_and_hexdump_on_memory_fault(self, rv64):
+        report = _fault_from(RV_BAD_LOAD, rv64).fault_report
+        assert report.access is not None
+        assert report.access["addr"] == 0x40000000
+        # access is beyond memory, so the hexdump clamps to nothing
+        assert isinstance(report.hexdump, list)
+
+    def test_translated_path_records_block_pc(self, rv64):
+        err = _fault_from(RV_BAD_LOAD, rv64, translate=True)
+        assert getattr(err, "block_pc", None) is not None
+        assert err.fault_report.block_pc == err.block_pc
+
+    def test_register_file_snapshot(self, rv64):
+        report = _fault_from(RV_BAD_LOAD, rv64).fault_report
+        assert len(report.regs) >= 32
+        assert 0x40000000 in report.regs  # t0 at the fault
+
+    def test_attach_is_idempotent(self, rv64):
+        from repro.loader import load_program
+        from repro.sim import postmortem
+        from repro.sim.emucore import EmulationCore
+        from repro.sim.machine import Machine
+        from repro.sim.memory import Memory
+
+        err = _fault_from(RV_BAD_LOAD, rv64)
+        first = err.fault_report
+        # attaching again (e.g. an outer wrapper re-raising) keeps the
+        # innermost report
+        machine = Machine("rv64", Memory(1 << 20))
+        core = EmulationCore(rv64, machine, translate=False)
+        postmortem.attach(core, err)
+        assert err.fault_report is first
+
+
+class TestHistory:
+    def test_interpreter_history_captures_retirements(self, rv64):
+        err = _fault_from(RV_WALK_OFF, rv64, history=16,
+                          translate=False)
+        report = err.fault_report
+        assert report.history_kind == "instruction"
+        texts = [rec["text"] for rec in report.history]
+        assert any("add" in t for t in texts)
+
+    def test_translated_history_flattens_blocks(self, rv64):
+        err = _fault_from(RV_WALK_OFF, rv64, translate=True, history=16)
+        report = err.fault_report
+        assert report.history_kind in ("block", "instruction")
+        assert report.history  # something was retired before the fault
+
+    def test_history_off_by_default(self, rv64):
+        err = _fault_from(RV_WALK_OFF, rv64)
+        assert err.fault_report.history == []
+        assert err.fault_report.history_kind == "none"
+
+
+class TestSerialization:
+    def test_round_trip(self, rv64):
+        report = _fault_from(RV_BAD_LOAD, rv64, history=8).fault_report
+        clone = GuestFaultReport.from_dict(report.to_dict())
+        assert clone.to_dict() == report.to_dict()
+
+    def test_dict_is_json_safe(self, rv64):
+        import json
+
+        report = _fault_from(RV_BAD_LOAD, rv64).fault_report
+        json.dumps(report.to_dict())
+
+
+class TestRender:
+    def test_render_mentions_pc_registers_and_error(self, rv64):
+        report = _fault_from(RV_BAD_LOAD, rv64, history=8,
+                             translate=False).fault_report
+        text = report.render()
+        assert "guest fault" in text
+        assert f"pc: {report.pc:#x}" in text
+        assert "registers:" in text
+        assert "r0 " in text or "r0=" in text.replace(" ", "")
+
+    def test_render_includes_disassembly_window(self, rv64):
+        report = _fault_from(RV_WALK_OFF, rv64).fault_report
+        if report.disassembly:
+            assert "code around fault" in report.render()
+
+
+class TestCaptureAPI:
+    def test_capture_without_error_snapshots_reason(self, rv64):
+        from repro.sim.emucore import EmulationCore
+        from repro.sim.machine import Machine
+        from repro.sim.memory import Memory
+        from repro.loader import load_program
+
+        program = assemble(RV_WALK_OFF, rv64)
+        image = program_to_image(program)
+        memory = Memory(1 << 20)
+        machine = Machine("rv64", memory)
+        machine.reset_stack()
+        machine.pc = image.entry
+        core = EmulationCore(rv64, machine, translate=False)
+        report = capture(core, reason="value divergence in g0")
+        assert report.error_type == "divergence"
+        assert "divergence" in report.error
+        assert report.pc == machine.pc
+
+    def test_annotate_pc_noop_when_known(self):
+        err = SimulationError("boom", pc=0x10)
+        annotate_pc(err, 0x20)
+        assert err.pc == 0x10
+        assert "pc=0x20" not in str(err)
