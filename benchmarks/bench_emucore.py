@@ -12,8 +12,12 @@ Times one workload binary four ways and writes ``BENCH_emucore.json``
 * ``legacy_probes`` — the five per-retire probe callbacks (path length,
   plain CP, scaled CP, mix, windowed CP): the pre-fused analysis cost.
   Probes force interpretation, so translation does not apply.
-* ``fused`` — the batched single-pass :class:`FusedAnalysisEngine` over
-  the translated batched path: the default analysis path.
+* ``fused`` — the batched single-pass :class:`FusedAnalysisEngine` fed
+  per-retirement SoA batches (the PR-3 path, pinned by disabling the
+  engine's event intake): the pre-block-summary analysis cost.
+* ``analyzed`` — the same engine fed translate-time *block-summary
+  events* (pre-aggregated per-block deltas, cross-block stitching only
+  at runtime): the default analysis path.
 * ``checked`` — per-instruction interpretation under the
   :class:`~repro.sim.invariants.InvariantChecker` probe: what the
   differential fuzzer's invariant oracle costs over ``probe_free``
@@ -52,7 +56,8 @@ from repro.sim import run_image  # noqa: E402
 from repro.sim.config import load_core_model  # noqa: E402
 from repro.workloads import get_workload  # noqa: E402
 
-MODES = ("probe_free", "translated", "legacy_probes", "fused", "checked")
+MODES = ("probe_free", "translated", "legacy_probes", "fused", "analyzed",
+         "checked")
 
 
 def _run_mode(compiled, isa, mode, model, windows):
@@ -73,11 +78,15 @@ def _run_mode(compiled, isa, mode, model, windows):
             WindowedCPProbe(windows, 0.5),
         ]
         result, _ = run_image(compiled.image, isa, probes)
-    elif mode == "fused":
+    elif mode in ("fused", "analyzed"):
         engine = FusedAnalysisEngine(
             regions=compiled.image.regions, model=model,
             windowed=True, window_sizes=windows,
         )
+        if mode == "fused":
+            # pin the per-retirement SoA batch path: with event intake
+            # off, the core falls back to exactly the PR-3 behavior
+            engine.accepts_events = False
         result, _ = run_image(compiled.image, isa, batch_sinks=[engine])
         engine.results()
     else:
@@ -146,6 +155,12 @@ def main(argv=None) -> int:
         "fused_vs_legacy_speedup": round(
             modes["legacy_probes"]["seconds"] / modes["fused"]["seconds"], 3)
         if modes["fused"]["seconds"] else None,
+        "analyzed_vs_fused_speedup": round(
+            modes["fused"]["seconds"] / modes["analyzed"]["seconds"], 3)
+        if modes["analyzed"]["seconds"] else None,
+        "analyzed_vs_translated_overhead": round(
+            modes["analyzed"]["seconds"] / modes["translated"]["seconds"], 3)
+        if modes["translated"]["seconds"] else None,
         "translated_vs_interpreter_speedup": round(
             modes["probe_free"]["seconds"] / modes["translated"]["seconds"], 3)
         if modes["translated"]["seconds"] else None,

@@ -25,7 +25,14 @@ much faster path; the per-retire probes remain as the differential
 oracle and for custom analyses.
 """
 
-from repro.analysis.engine import FusedAnalysisEngine, FusedResults
+from repro.analysis.blocksummary import BlockSummary, build_summary
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import (
+    AnalysisResult,
+    AnalysisState,
+    FusedAnalysisEngine,
+    FusedResults,
+)
 from repro.analysis.pathlength import PathLengthProbe, PathLengthResult
 from repro.analysis.critpath import (
     CriticalPathProbe,
@@ -38,6 +45,11 @@ from repro.analysis.dag import DagStats, DependenceDAGProbe
 from repro.analysis.report import ilp, runtime_ms, normalize
 
 __all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "AnalysisState",
+    "BlockSummary",
+    "build_summary",
     "FusedAnalysisEngine",
     "FusedResults",
     "PathLengthProbe",

@@ -74,15 +74,62 @@ _CNT_MASK = 0xFFF
 _MEMO_MAX_ITEMS = 4_000_000
 
 
+#: Bump when the serialized shape of :class:`AnalysisResult` changes.
+ANALYSIS_SCHEMA = 1
+
+
 @dataclass
-class FusedResults:
-    """Everything one fused pass produces, in legacy result types."""
+class AnalysisResult:
+    """Everything one analysis pass produces, whichever engine ran it.
+
+    This is the single result surface: the fused engine, the legacy
+    probes, and trace replays all assemble one of these, and
+    ``to_dict``/``from_dict`` give it one versioned serialization so
+    report/cache/fuzz code never has to care which engine produced a
+    result.
+    """
 
     path: PathLengthResult
     cp: CriticalPathResult
     scaled_cp: CriticalPathResult
     mix: InstructionMixResult
     windowed: dict[int, WindowedCPResult] | None
+
+    def to_dict(self) -> dict:
+        """Versioned JSON-safe dict; exact inverse of :meth:`from_dict`."""
+        return {
+            "v": ANALYSIS_SCHEMA,
+            "path": self.path.to_dict(),
+            "cp": self.cp.to_dict(),
+            "scaled_cp": self.scaled_cp.to_dict(),
+            "mix": self.mix.to_dict(),
+            "windowed": (
+                None if self.windowed is None
+                else {str(w): r.to_dict() for w, r in self.windowed.items()}
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "AnalysisResult":
+        if doc.get("v") != ANALYSIS_SCHEMA:
+            raise ValueError(f"AnalysisResult schema {doc.get('v')!r} != "
+                             f"{ANALYSIS_SCHEMA}")
+        windowed = doc["windowed"]
+        return cls(
+            path=PathLengthResult.from_dict(doc["path"]),
+            cp=CriticalPathResult.from_dict(doc["cp"]),
+            scaled_cp=CriticalPathResult.from_dict(doc["scaled_cp"]),
+            mix=InstructionMixResult.from_dict(doc["mix"]),
+            windowed=(
+                None if windowed is None
+                else {int(w): WindowedCPResult.from_dict(r)
+                      for w, r in windowed.items()}
+            ),
+        )
+
+
+#: Pre-redesign name, kept for one release.
+FusedResults = AnalysisResult
 
 
 class _WState:
@@ -94,6 +141,139 @@ class _WState:
         self.next_start = 0
         self.result = WindowedCPResult(window_size=size, min_cp=0)
         self.keep_cps = keep_cps
+
+    def copy(self) -> "_WState":
+        new = _WState.__new__(_WState)
+        new.size = self.size
+        new.slide = self.slide
+        new.next_start = self.next_start
+        new.keep_cps = self.keep_cps
+        r = self.result
+        new.result = WindowedCPResult(
+            window_size=r.window_size, count=r.count, total_cp=r.total_cp,
+            max_cp=r.max_cp, min_cp=r.min_cp, cps=list(r.cps))
+        return new
+
+
+def _events_to_soa(summaries, events, indices, read_ends, write_ends):
+    """Expand a block-summary event flush to the equivalent per-item
+    structure-of-arrays triple (static indices, absolute read ends,
+    absolute write ends). The access streams are shared, so the result
+    plugs straight into ``on_batch``."""
+    ti: list = []
+    re_: list = []
+    we_: list = []
+    tx = ti.extend
+    racc = 0
+    wacc = 0
+    si = 0
+    for i in range(0, len(events), 2):
+        bid = events[i]
+        k = events[i + 1]
+        if bid >= 0:
+            s = summaries[bid]
+            tx(s.idxs * k)
+            R = s.n_reads
+            W = s.n_writes
+            L = s.length
+            if R:
+                rex = re_.extend
+                srel = s.rends_rel
+                b = racc
+                for _ in range(k):
+                    rex([b + e for e in srel])
+                    b += R
+            else:
+                re_.extend([racc] * (k * L))
+            if W:
+                wex = we_.extend
+                srel = s.wends_rel
+                b = wacc
+                for _ in range(k):
+                    wex([b + e for e in srel])
+                    b += W
+            else:
+                we_.extend([wacc] * (k * L))
+            racc += k * R
+            wacc += k * W
+        else:
+            sj = si + k
+            tx(indices[si:sj])
+            re_.extend(read_ends[si:sj])
+            we_.extend(write_ends[si:sj])
+            si = sj
+            racc = read_ends[sj - 1]
+            wacc = write_ends[sj - 1]
+    return ti, re_, we_
+
+
+# ------------------------------------------------ max-plus chain values
+#
+# A *relative* engine does not know the chain depths at its start, so it
+# tracks each dependence head as a max-plus function of the unseen
+# predecessor environment: ``(const, {dep: offset})`` means
+# ``max(const, max_dep(env[dep] + offset))``. These functions are closed
+# under the two CP operations (max of sources, plus the instruction
+# weight), and composing them is associative — which is exactly what
+# makes ``AnalysisState.merge`` associative. Values are immutable by
+# convention: every operation builds fresh dicts, so clones may share.
+
+def _rel_depth(vals, wt):
+    """max over max-plus values, then + ``wt``."""
+    const = 0
+    terms: dict = {}
+    for c, t in vals:
+        if c > const:
+            const = c
+        for s, o in t.items():
+            cur = terms.get(s)
+            if cur is None or o > cur:
+                terms[s] = o
+    return (const + wt, {s: o + wt for s, o in terms.items()})
+
+
+def _rel_max2(a, b):
+    """max of two max-plus values."""
+    const = a[0] if a[0] >= b[0] else b[0]
+    terms = dict(a[1])
+    for s, o in b[1].items():
+        cur = terms.get(s)
+        if cur is None or o > cur:
+            terms[s] = o
+    return (const, terms)
+
+
+def _eval_abs(value, regs, mem):
+    """Evaluate a max-plus value in an absolute environment."""
+    best = value[0]
+    get = mem.get
+    for s, o in value[1].items():
+        e = regs[s] if s < NUM_DEP_REGS else get(s, 0)
+        if e + o > best:
+            best = e + o
+    return best
+
+
+def _rel_compose(value, regs, mem):
+    """Compose a max-plus value over another relative environment."""
+    const = value[0]
+    terms: dict = {}
+    get = mem.get
+    for s, o in value[1].items():
+        base = regs[s] if s < NUM_DEP_REGS else get(s)
+        if base is None:
+            cur = terms.get(s)
+            if cur is None or o > cur:
+                terms[s] = o
+        else:
+            bc, bt = base
+            if bc + o > const:
+                const = bc + o
+            for s2, o2 in bt.items():
+                cur = terms.get(s2)
+                if cur is None or o2 + o > cur:
+                    terms[s2] = o2 + o
+    return (const, terms)
 
 
 class FusedAnalysisEngine:
@@ -110,9 +290,19 @@ class FusedAnalysisEngine:
             :class:`repro.analysis.critpath.CriticalPathProbe` (applies
             to both CP variants; the windowed analysis, like the legacy
             probe, always breaks).
+        relative: start from an *unknown* chain environment instead of
+            the empty one. A relative engine tracks critical-path depths
+            symbolically (max-plus functions of the unseen predecessor
+            state) and buffers window items without consuming them, so
+            its :class:`AnalysisState` can be merged onto any prefix
+            state (``AnalysisState.merge``) — the associative shard
+            merge. ``results()`` requires an absolute engine.
     """
 
     needs_memory = True
+    #: Understands the block-summary event stream (``on_events``), so the
+    #: batched translated run can use :func:`run_summary_translated`.
+    accepts_events = True
 
     def __init__(
         self,
@@ -124,12 +314,14 @@ class FusedAnalysisEngine:
         slide_fraction: float = 0.5,
         keep_cps: bool = False,
         break_on_zero: bool = True,
+        relative: bool = False,
     ):
         if not 0 < slide_fraction <= 1:
             raise ValueError("slide_fraction must be in (0, 1]")
         self.regions = list(regions)
         self.model = model
         self.break_on_zero = break_on_zero
+        self._relative = relative
 
         # static-side metadata, grown in lockstep with the core's table
         self._table: list = []
@@ -146,21 +338,41 @@ class FusedAnalysisEngine:
                 1 if g in (load, store, atomic) else model.latency(g)
                 for g in InstructionGroup
             ]
+        self._gw_key = tuple(self._group_weights)
         self._counts = np.zeros(0, dtype=np.int64)
         self._total = 0
+        #: Block-summary execution counts (summary id -> executions),
+        #: folded into ``_counts`` lazily by :meth:`_flatten_counts`.
+        self._block_exec: dict[int, int] = {}
+        self._summaries: list | None = None
+        self.event_batches = 0
 
-        # fused plain + scaled critical-path state
-        self._reg_p = [0] * NUM_DEP_REGS
-        self._reg_s = [0] * NUM_DEP_REGS
-        self._mem_p: dict[int, int] = {}
-        self._mem_s: dict[int, int] = {}
-        self._best_p = 0
-        self._best_s = 0
+        # fused plain + scaled critical-path state. Absolute engines
+        # hold int depths; relative engines hold max-plus values
+        # ``(const, {dep: offset})`` over the unseen predecessor state
+        # (None in the register files / a missing cell = the identity).
+        if relative:
+            self._reg_p: list = [None] * NUM_DEP_REGS
+            self._reg_s: list = [None] * NUM_DEP_REGS
+            self._best_p = (0, {})
+            self._best_s = (0, {})
+        else:
+            self._reg_p = [0] * NUM_DEP_REGS
+            self._reg_s = [0] * NUM_DEP_REGS
+            self._best_p = 0
+            self._best_s = 0
+        self._mem_p: dict[int, object] = {}
+        self._mem_s: dict[int, object] = {}
 
         # windowed state: rolling item/cell buffers with global offsets
         self._wstates = [
             _WState(size, slide_fraction, keep_cps) for size in window_sizes
         ] if windowed else []
+        #: Flush granularity hint for ``run_image(batch_size=None)``.
+        #: Windowed runs want small flushes (the window memo keys on
+        #: whole flush segments, and large segments kill its hit rate);
+        #: without windows, bigger flushes just amortize per-flush cost.
+        self.preferred_batch_size = 1024 if windowed else 4096
         self._keys: list[int] = []
         self._key_base = 0
         self._rcells: list[int] = []
@@ -205,10 +417,18 @@ class FusedAnalysisEngine:
             self._counts = grown
         self._counts[:n] += counts
         self._total += count
-        self._cp_batch(indices, read_ends, write_ends, reads, writes)
+        if self._relative:
+            self._cp_batch_relative(indices, read_ends, write_ends,
+                                    reads, writes)
+        else:
+            self._cp_batch(indices, read_ends, write_ends, reads, writes)
         if self._wstates:
-            self._window_batch(ti, count, read_ends, write_ends,
-                               reads, writes)
+            if self._relative:
+                self._window_extend_relative(ti, count, read_ends,
+                                             write_ends, reads, writes)
+            else:
+                self._window_batch(ti, count, read_ends, write_ends,
+                                   reads, writes)
 
     def _ensure_meta(self, table) -> None:
         srcs_t = self._srcs
@@ -224,9 +444,110 @@ class FusedAnalysisEngine:
                 dsts_t.append(inst.dsts)
                 meta.append((inst.srcs, inst.dsts, gw[inst.group]))
 
+    # -- block-summary event ingestion -----------------------------------
+
+    def on_events(self, table, summaries, events, count, indices,
+                  read_ends, write_ends, reads, writes) -> None:
+        """Consume one block-summary event flush (the stream produced by
+        ``repro.sim.blocks.run_summary_translated``). Exactly equivalent
+        to ``on_batch`` over the expanded per-retirement stream; the
+        differential tests enforce it."""
+        if count == 0:
+            return
+        self.event_batches += 1
+        if self._relative:
+            # symbolic chain values need per-item treatment anyway, so
+            # expand to the (exact) structure-of-arrays form
+            ti, re_, we_ = _events_to_soa(summaries, events, indices,
+                                          read_ends, write_ends)
+            self.on_batch(table, count, ti, re_, we_, reads, writes)
+            return
+        self._ensure_meta(table)
+        self._summaries = summaries
+        # mix / path length: block items via execution counters (folded
+        # into the count vector lazily), SoA items via one bincount
+        nsoa = len(indices)
+        if nsoa:
+            counts = np.bincount(np.fromiter(indices, np.int64, nsoa),
+                                 minlength=len(self._srcs))
+            n = len(counts)
+            if len(self._counts) < n:
+                grown = np.zeros(n, dtype=np.int64)
+                grown[: len(self._counts)] = self._counts
+                self._counts = grown
+            self._counts[:n] += counts
+        self._total += count
+
+        # chain stitching: one walk over the events; block executions go
+        # through their compiled stitch functions, SoA segments through
+        # the generic batch scan with flush-absolute access cursors
+        be = self._block_exec
+        wts = self._gw_key
+        bz = self.break_on_zero
+        reg_p = self._reg_p
+        reg_s = self._reg_s
+        mem_p = self._mem_p
+        mem_s = self._mem_s
+        windowed = bool(self._wstates)
+        spanning = False
+        r = 0
+        w = 0
+        si = 0
+        for i in range(0, len(events), 2):
+            bid = events[i]
+            k = events[i + 1]
+            if bid >= 0:
+                be[bid] = be.get(bid, 0) + k
+                s = summaries[bid]
+                fn = s.cp_fn(wts, bz)
+                bp, bs, sp = fn(k, reads, writes, r, w, reg_p, reg_s,
+                                mem_p, mem_s, self._best_p, self._best_s)
+                self._best_p = bp
+                self._best_s = bs
+                if sp:
+                    spanning = True
+                r += k * s.n_reads
+                w += k * s.n_writes
+            else:
+                sj = si + k
+                r1 = read_ends[sj - 1]
+                w1 = write_ends[sj - 1]
+                self._cp_batch(indices[si:sj], read_ends[si:sj],
+                               write_ends[si:sj], reads, writes,
+                               r0=r, w0=w)
+                if windowed and not spanning:
+                    if (any((a & 7) + z > 8 for a, z in reads[r:r1])
+                            or any((a & 7) + z > 8
+                                   for a, z in writes[w:w1])):
+                        spanning = True
+                r = r1
+                w = w1
+                si = sj
+        if windowed:
+            self._window_events(summaries, events, indices, read_ends,
+                                write_ends, reads, writes, count, spanning)
+
+    def _flatten_counts(self) -> None:
+        """Fold pending block execution counters into the count vector."""
+        be = self._block_exec
+        if not be:
+            return
+        summaries = self._summaries
+        counts = self._counts
+        n = len(self._srcs)
+        if len(counts) < n:
+            grown = np.zeros(n, dtype=np.int64)
+            grown[: len(counts)] = counts
+            self._counts = counts = grown
+        for bid, k in be.items():
+            for idx in summaries[bid].idxs:
+                counts[idx] += k
+        be.clear()
+
     # -- fused plain + scaled critical path ------------------------------
 
-    def _cp_batch(self, indices, read_ends, write_ends, reads, writes) -> None:
+    def _cp_batch(self, indices, read_ends, write_ends, reads, writes,
+                  r0=0, w0=0) -> None:
         meta = self._meta
         reg_p = self._reg_p
         reg_s = self._reg_s
@@ -237,8 +558,6 @@ class FusedAnalysisEngine:
         best_p = self._best_p
         best_s = self._best_s
         bz = self.break_on_zero
-        r0 = 0
-        w0 = 0
         for idx, r1, w1 in zip(indices, read_ends, write_ends):
             srcs, dd, wt = meta[idx]
             dp = 0
@@ -295,6 +614,68 @@ class FusedAnalysisEngine:
                 best_p = dp
             if ds > best_s:
                 best_s = ds
+        self._best_p = best_p
+        self._best_s = best_s
+
+    def _cp_batch_relative(self, indices, read_ends, write_ends, reads,
+                           writes, r0=0, w0=0) -> None:
+        """Symbolic twin of :meth:`_cp_batch`: depths are max-plus values
+        over the unseen predecessor environment (see ``_rel_depth``).
+        Values are never mutated in place — clones share them."""
+        meta = self._meta
+        reg_p = self._reg_p
+        reg_s = self._reg_s
+        mem_p = self._mem_p
+        mem_s = self._mem_s
+        getp = mem_p.get
+        gets = mem_s.get
+        bz = self.break_on_zero
+        best_p = self._best_p
+        best_s = self._best_s
+        for idx, r1, w1 in zip(indices, read_ends, write_ends):
+            srcs, dd, wt = meta[idx]
+            vals_p = []
+            vals_s = []
+            for s in srcs:
+                v = reg_p[s]
+                vals_p.append(v if v is not None else (0, {s: 0}))
+                v = reg_s[s]
+                vals_s.append(v if v is not None else (0, {s: 0}))
+            while r0 < r1:
+                addr, size = reads[r0]
+                r0 += 1
+                if (addr & 7) + size > 8:
+                    cells = mem_cells(addr, size)
+                else:
+                    cells = (_MEM_BASE + (addr >> 3),)
+                for cell in cells:
+                    v = getp(cell)
+                    vals_p.append(v if v is not None else (0, {cell: 0}))
+                    v = gets(cell)
+                    vals_s.append(v if v is not None else (0, {cell: 0}))
+            if not bz:
+                for t in dd:
+                    v = reg_p[t]
+                    vals_p.append(v if v is not None else (0, {t: 0}))
+                    v = reg_s[t]
+                    vals_s.append(v if v is not None else (0, {t: 0}))
+            dp = _rel_depth(vals_p, 1)
+            ds = _rel_depth(vals_s, wt)
+            for t in dd:
+                reg_p[t] = dp
+                reg_s[t] = ds
+            while w0 < w1:
+                addr, size = writes[w0]
+                w0 += 1
+                if (addr & 7) + size > 8:
+                    cells = mem_cells(addr, size)
+                else:
+                    cells = (_MEM_BASE + (addr >> 3),)
+                for cell in cells:
+                    mem_p[cell] = dp
+                    mem_s[cell] = ds
+            best_p = _rel_max2(best_p, dp)
+            best_s = _rel_max2(best_s, ds)
         self._best_p = best_p
         self._best_s = best_s
 
@@ -401,19 +782,7 @@ class FusedAnalysisEngine:
         replay = self._batch_memo.get(sig)
         if replay is not None:
             self.batch_memo_hits += 1
-            for st, (cps, total, mx, mn) in zip(self._wstates, replay):
-                n = len(cps)
-                if n:
-                    res = st.result
-                    res.count += n
-                    res.total_cp += total
-                    if mx > res.max_cp:
-                        res.max_cp = mx
-                    if res.min_cp == 0 or mn < res.min_cp:
-                        res.min_cp = mn
-                    if st.keep_cps:
-                        res.cps.extend(cps)
-                    st.next_start += n * st.slide
+            self._apply_replay(replay)
             min_next = min(st.next_start for st in self._wstates)
             skip = min_next - item_base
             if skip >= 0:
@@ -463,6 +832,254 @@ class FusedAnalysisEngine:
         self._batch_memo[sig] = recorded
         self._trim()
 
+    def _apply_replay(self, replay) -> None:
+        """Apply a batch-memo replay record to every window state."""
+        for st, (cps, total, mx, mn) in zip(self._wstates, replay):
+            n = len(cps)
+            if n:
+                res = st.result
+                res.count += n
+                res.total_cp += total
+                if mx > res.max_cp:
+                    res.max_cp = mx
+                if res.min_cp == 0 or mn < res.min_cp:
+                    res.min_cp = mn
+                if st.keep_cps:
+                    res.cps.extend(cps)
+                st.next_start += n * st.slide
+
+    def _window_events(self, summaries, events, indices, read_ends,
+                       write_ends, reads, writes, count, spanning) -> None:
+        """Event-stream twin of :meth:`_window_batch`: advance the window
+        states over one block-summary flush. Per-item keys and cell ends
+        come from the summaries' precomputed templates, so a memo hit
+        never materializes per-retirement items at all, and a miss emits
+        them wholesale (``_emit_items``) instead of item by item."""
+        if spanning:
+            # cell counts differ from access counts, so the summary key
+            # templates are invalid: expand to SoA and take the exact
+            # numpy spanning path
+            ti, re_, we_ = _events_to_soa(summaries, events, indices,
+                                          read_ends, write_ends)
+            self._window_batch_spanning(tuple(ti), count, re_, we_,
+                                        reads, writes)
+            return
+        rcells = [a >> 3 for a, _ in reads]
+        wcells = [a >> 3 for a, _ in writes]
+        rdelta = self._cell_deltas(rcells, self._prev_rcell)
+        wdelta = self._cell_deltas(wcells, self._prev_wcell)
+
+        start_min = min(st.next_start for st in self._wstates)
+        ka = start_min - self._key_base
+        crlo = (self._rends[ka - 1] if ka else self._rc_base) - self._rc_base
+        cwlo = (self._wends[ka - 1] if ka else self._wc_base) - self._wc_base
+        ncr = len(self._rcells) - crlo
+        ncw = len(self._wcells) - cwlo
+        if ncr:
+            first_r = self._rcells[crlo]
+        elif rcells:
+            first_r = rcells[0]
+        else:
+            first_r = None
+        if ncw:
+            first_w = self._wcells[cwlo]
+        elif wcells:
+            first_w = wcells[0]
+        else:
+            first_w = None
+        cross = (first_w - first_r
+                 if first_r is not None and first_w is not None else None)
+        # same translation-invariance argument as the batch signature;
+        # the event list replaces the per-item index/end tuples for the
+        # block-run portion of the flush (11 components vs the batch
+        # path's 10, so the two families can never collide in the memo)
+        sig = (
+            tuple(self._keys[ka:]),
+            tuple(st.next_start - start_min for st in self._wstates),
+            tuple(self._rdeltas[crlo + 1:]),
+            tuple(self._wdeltas[cwlo + 1:]),
+            tuple(events),
+            tuple(indices),
+            tuple(read_ends),
+            tuple(write_ends),
+            tuple(rdelta if ncr else rdelta[1:]),
+            tuple(wdelta if ncw else wdelta[1:]),
+            cross,
+        )
+
+        item_base = self._key_base + len(self._keys)
+        rtot = self._rc_base + len(self._rcells)
+        wtot = self._wc_base + len(self._wcells)
+        replay = self._batch_memo.get(sig)
+        if replay is not None:
+            self.batch_memo_hits += 1
+            self._apply_replay(replay)
+            min_next = min(st.next_start for st in self._wstates)
+            skip = min_next - item_base
+            if skip >= 0:
+                keys, rends, wends, pr, pw = self._emit_items(
+                    summaries, events, indices, read_ends, write_ends,
+                    skip, rtot, wtot)
+                self._keys = keys
+                self._rends = rends
+                self._wends = wends
+                self._rcells = rcells[pr:]
+                self._rdeltas = rdelta[pr:]
+                self._wcells = wcells[pw:]
+                self._wdeltas = wdelta[pw:]
+                self._key_base = min_next
+                self._rc_base = rtot + pr
+                self._wc_base = wtot + pw
+                if rcells:
+                    self._prev_rcell = rcells[-1]
+                if wcells:
+                    self._prev_wcell = wcells[-1]
+                return
+            self._extend_from_events(summaries, events, indices,
+                                     read_ends, write_ends, rcells,
+                                     wcells, rdelta, wdelta, rtot, wtot)
+            self._trim()
+            return
+
+        self.batch_memo_misses += 1
+        self._extend_from_events(summaries, events, indices, read_ends,
+                                 write_ends, rcells, wcells, rdelta,
+                                 wdelta, rtot, wtot)
+        recorded = self._consume_windows()
+        if len(self._batch_memo) >= 256:
+            self._batch_memo.clear()
+        self._batch_memo[sig] = recorded
+        self._trim()
+
+    def _emit_items(self, summaries, events, indices, read_ends,
+                    write_ends, skip, rtot, wtot):
+        """Composite keys and global cell ends for flush items
+        ``[skip, count)``; returns ``(keys, rends, wends, pr, pw)`` where
+        ``pr``/``pw`` are the flush-local access counts at item ``skip``.
+        Valid only for non-spanning flushes (cell count == access
+        count). Block runs emit whole key templates per execution; the
+        end lists use one vectorized outer add per long run."""
+        keys: list = []
+        rends: list = []
+        wends: list = []
+        pos = 0
+        racc = 0
+        wacc = 0
+        si = 0
+        pr = pw = None
+        for i in range(0, len(events), 2):
+            bid = events[i]
+            k = events[i + 1]
+            if bid >= 0:
+                s = summaries[bid]
+                L = s.length
+                R = s.n_reads
+                W = s.n_writes
+                items = k * L
+                if pos + items <= skip:
+                    pos += items
+                    racc += k * R
+                    wacc += k * W
+                    continue
+                q, rem = divmod(skip - pos if skip > pos else 0, L)
+                if pr is None:
+                    pr = racc + q * R + (s.rends_rel[rem - 1] if rem else 0)
+                    pw = wacc + q * W + (s.wends_rel[rem - 1] if rem else 0)
+                if rem:
+                    # straddled execution: emit its tail item by item
+                    keys.extend(s.keys[rem:])
+                    br = rtot + racc + q * R
+                    bw = wtot + wacc + q * W
+                    rends.extend([br + e for e in s.rends_rel[rem:]])
+                    wends.extend([bw + e for e in s.wends_rel[rem:]])
+                    q += 1
+                nk = k - q
+                if nk:
+                    keys.extend(s.keys * nk)
+                    if R == 0:
+                        rends.extend([rtot + racc] * (nk * L))
+                    elif nk * L >= 64:
+                        offs = (rtot + racc
+                                + np.arange(q, k, dtype=np.int64) * R)
+                        rends.extend(
+                            (offs[:, None] + s.rends_np).ravel().tolist())
+                    else:
+                        rex = rends.extend
+                        srel = s.rends_rel
+                        b = rtot + racc + q * R
+                        for _ in range(nk):
+                            rex([b + e for e in srel])
+                            b += R
+                    if W == 0:
+                        wends.extend([wtot + wacc] * (nk * L))
+                    elif nk * L >= 64:
+                        offs = (wtot + wacc
+                                + np.arange(q, k, dtype=np.int64) * W)
+                        wends.extend(
+                            (offs[:, None] + s.wends_np).ravel().tolist())
+                    else:
+                        wex = wends.extend
+                        srel = s.wends_rel
+                        b = wtot + wacc + q * W
+                        for _ in range(nk):
+                            wex([b + e for e in srel])
+                            b += W
+                pos += items
+                racc += k * R
+                wacc += k * W
+            else:
+                sj = si + k
+                if pos + k <= skip:
+                    si = sj
+                    pos += k
+                    racc = read_ends[sj - 1]
+                    wacc = write_ends[sj - 1]
+                    continue
+                lo = si + (skip - pos if skip > pos else 0)
+                r0 = read_ends[lo - 1] if lo > si else racc
+                w0 = write_ends[lo - 1] if lo > si else wacc
+                if pr is None:
+                    pr = r0
+                    pw = w0
+                kap = keys.append
+                rap = rends.append
+                wap = wends.append
+                for p in range(lo, sj):
+                    r1 = read_ends[p]
+                    w1 = write_ends[p]
+                    kap((indices[p] << _IDX_SHIFT)
+                        | ((r1 - r0) << _RC_SHIFT) | (w1 - w0))
+                    rap(rtot + r1)
+                    wap(wtot + w1)
+                    r0 = r1
+                    w0 = w1
+                si = sj
+                pos += k
+                racc = read_ends[sj - 1]
+                wacc = write_ends[sj - 1]
+        if pr is None:
+            pr = racc
+            pw = wacc
+        return keys, rends, wends, pr, pw
+
+    def _extend_from_events(self, summaries, events, indices, read_ends,
+                            write_ends, rcells, wcells, rdelta, wdelta,
+                            rtot, wtot) -> None:
+        keys, rends, wends, _pr, _pw = self._emit_items(
+            summaries, events, indices, read_ends, write_ends, 0,
+            rtot, wtot)
+        self._keys.extend(keys)
+        self._rends.extend(rends)
+        self._wends.extend(wends)
+        if rcells:
+            self._prev_rcell = rcells[-1]
+            self._rcells.extend(rcells)
+            self._rdeltas.extend(rdelta)
+        if wcells:
+            self._prev_wcell = wcells[-1]
+            self._wcells.extend(wcells)
+            self._wdeltas.extend(wdelta)
+
     def _window_batch_spanning(self, ti, count, read_ends, write_ends,
                                reads, writes) -> None:
         """Rare path: some access in the batch spans an 8-byte-cell
@@ -470,6 +1087,30 @@ class FusedAnalysisEngine:
         access counts and the raw-array signature no longer determines
         the composite keys. Expand via numpy and consume windows
         directly, bypassing the batch memo."""
+        self._extend_spanning(ti, count, read_ends, write_ends,
+                              reads, writes)
+        self._consume_windows()
+        self._trim()
+
+    def _window_extend_relative(self, ti, count, read_ends, write_ends,
+                                reads, writes) -> None:
+        """Relative engines only buffer window items — windows are
+        consumed after the state is merged onto an absolute prefix, when
+        the items reaching back across the boundary are known."""
+        if (any((a & 7) + z > 8 for a, z in reads)
+                or any((a & 7) + z > 8 for a, z in writes)):
+            self._extend_spanning(ti, count, read_ends, write_ends,
+                                  reads, writes)
+            return
+        rcells = [a >> 3 for a, _ in reads]
+        wcells = [a >> 3 for a, _ in writes]
+        rdelta = self._cell_deltas(rcells, self._prev_rcell)
+        wdelta = self._cell_deltas(wcells, self._prev_wcell)
+        self._extend_buffers(ti, count, read_ends, write_ends,
+                             rcells, wcells, rdelta, wdelta)
+
+    def _extend_spanning(self, ti, count, read_ends, write_ends,
+                         reads, writes) -> None:
         rend = np.fromiter(read_ends, np.int64, count)
         wend = np.fromiter(write_ends, np.int64, count)
         rc_a, rends_items = self._expand_cells(reads, read_ends[count - 1],
@@ -497,8 +1138,6 @@ class FusedAnalysisEngine:
             self._prev_wcell = wcells[-1]
             self._wcells.extend(wcells)
             self._wdeltas.extend(wdelta)
-        self._consume_windows()
-        self._trim()
 
     def _extend_buffers(self, ti, count, read_ends, write_ends,
                         rcells, wcells, rdelta, wdelta) -> None:
@@ -643,9 +1282,14 @@ class FusedAnalysisEngine:
 
     # -- result assembly -------------------------------------------------
 
-    def results(self) -> FusedResults:
-        """Finalize (emit partial tail windows) and assemble the legacy
-        result objects. Safe to call more than once."""
+    def results(self) -> AnalysisResult:
+        """Finalize (emit partial tail windows) and assemble the result
+        objects. Safe to call more than once."""
+        if self._relative:
+            raise RuntimeError(
+                "a relative engine has no absolute results; merge its "
+                "AnalysisState onto an absolute prefix state first")
+        self._flatten_counts()
         windowed = None
         if self._wstates:
             windowed = {}
@@ -707,7 +1351,7 @@ class FusedAnalysisEngine:
                 stores += n
 
         total = self._total
-        return FusedResults(
+        return AnalysisResult(
             path=PathLengthResult(total=total, per_region=per_region),
             cp=CriticalPathResult(critical_path=self._best_p,
                                   instructions=total),
@@ -720,3 +1364,180 @@ class FusedAnalysisEngine:
             ),
             windowed=windowed,
         )
+
+    # -- mergeable state -------------------------------------------------
+
+    def state(self) -> "AnalysisState":
+        """This engine's mergeable state handle."""
+        return AnalysisState(self)
+
+    def clone(self) -> "FusedAnalysisEngine":
+        """Independent copy of this engine's accumulated state. Pure
+        caches (the window-CP and batch memos, the bincount cache, the
+        summaries' stitch functions) are shared by reference — they are
+        deterministic functions of their keys, so sharing is safe."""
+        new = FusedAnalysisEngine.__new__(FusedAnalysisEngine)
+        new.__dict__.update(self.__dict__)
+        new.regions = list(self.regions)
+        new._counts = self._counts.copy()
+        new._block_exec = dict(self._block_exec)
+        new._reg_p = list(self._reg_p)
+        new._reg_s = list(self._reg_s)
+        new._mem_p = dict(self._mem_p)
+        new._mem_s = dict(self._mem_s)
+        new._srcs = list(self._srcs)
+        new._dsts = list(self._dsts)
+        new._meta = list(self._meta)
+        new._wstates = [st.copy() for st in self._wstates]
+        new._keys = list(self._keys)
+        new._rcells = list(self._rcells)
+        new._rdeltas = list(self._rdeltas)
+        new._wcells = list(self._wcells)
+        new._wdeltas = list(self._wdeltas)
+        new._rends = list(self._rends)
+        new._wends = list(self._wends)
+        return new
+
+    def absorb(self, other: "FusedAnalysisEngine") -> None:
+        """Merge a *relative* engine's state onto this one in place.
+
+        ``other`` must be a relative engine that consumed the stream
+        suffix immediately following this engine's prefix (same static
+        table, same analysis parameters); it is left intact. Counting
+        state adds, chain heads compose through the max-plus values
+        evaluated against this engine's pre-merge environment, and the
+        window buffers concatenate (the relative side never consumes a
+        window). Because max-plus composition is associative and the
+        counting parts are commutative monoids, the induced
+        :meth:`AnalysisState.merge` is associative.
+        """
+        if not other._relative:
+            raise ValueError("can only absorb a relative engine state")
+        if other.break_on_zero != self.break_on_zero:
+            raise ValueError("break_on_zero mismatch")
+        if other._gw_key != self._gw_key:
+            raise ValueError("latency model mismatch")
+        if ([(st.size, st.slide) for st in self._wstates]
+                != [(st.size, st.slide) for st in other._wstates]):
+            raise ValueError("window configuration mismatch")
+        for st in other._wstates:
+            if st.next_start or st.result.count:
+                raise ValueError("suffix window state already consumed")
+
+        self._ensure_meta(other._table)
+        self._flatten_counts()
+        other._flatten_counts()
+        oc = other._counts
+        n = len(oc)
+        if len(self._counts) < n:
+            grown = np.zeros(n, dtype=np.int64)
+            grown[: len(self._counts)] = self._counts
+            self._counts = grown
+        if n:
+            self._counts[:n] += oc
+        self._total += other._total
+
+        # chains: evaluate every value of `other` against this engine's
+        # pre-merge environment first, then install the results
+        rel = self._relative
+        reg_p = self._reg_p
+        reg_s = self._reg_s
+        mem_p = self._mem_p
+        mem_s = self._mem_s
+        if rel:
+            def evp(v):
+                return _rel_compose(v, reg_p, mem_p)
+
+            def evs(v):
+                return _rel_compose(v, reg_s, mem_s)
+        else:
+            def evp(v):
+                return _eval_abs(v, reg_p, mem_p)
+
+            def evs(v):
+                return _eval_abs(v, reg_s, mem_s)
+        new_rp = {}
+        new_rs = {}
+        for s in range(NUM_DEP_REGS):
+            v = other._reg_p[s]
+            if v is not None:
+                new_rp[s] = evp(v)
+            v = other._reg_s[s]
+            if v is not None:
+                new_rs[s] = evs(v)
+        new_mp = {cell: evp(v) for cell, v in other._mem_p.items()}
+        new_ms = {cell: evs(v) for cell, v in other._mem_s.items()}
+        bp = evp(other._best_p)
+        bs = evs(other._best_s)
+        for s, v in new_rp.items():
+            reg_p[s] = v
+        for s, v in new_rs.items():
+            reg_s[s] = v
+        mem_p.update(new_mp)
+        mem_s.update(new_ms)
+        if rel:
+            self._best_p = _rel_max2(self._best_p, bp)
+            self._best_s = _rel_max2(self._best_s, bs)
+        else:
+            if bp > self._best_p:
+                self._best_p = bp
+            if bs > self._best_s:
+                self._best_s = bs
+
+        # windows: the suffix's buffered items continue this engine's
+        # item stream; shift its cell ends by our totals and re-link the
+        # first cell delta across the boundary
+        if self._wstates:
+            base_r = self._rc_base + len(self._rcells)
+            base_w = self._wc_base + len(self._wcells)
+            self._keys.extend(other._keys)
+            self._rends.extend([base_r + e for e in other._rends])
+            self._wends.extend([base_w + e for e in other._wends])
+            if other._rcells:
+                self._rdeltas.append(other._rcells[0] - self._prev_rcell)
+                self._rdeltas.extend(other._rdeltas[1:])
+                self._rcells.extend(other._rcells)
+                self._prev_rcell = other._rcells[-1]
+            if other._wcells:
+                self._wdeltas.append(other._wcells[0] - self._prev_wcell)
+                self._wdeltas.extend(other._wdeltas[1:])
+                self._wcells.extend(other._wcells)
+                self._prev_wcell = other._wcells[-1]
+            if not rel:
+                self._consume_windows()
+                self._trim()
+
+
+class AnalysisState:
+    """A mergeable handle on a :class:`FusedAnalysisEngine`'s state.
+
+    ``merge`` stitches a *relative* suffix state (an engine built with
+    ``relative=True`` that consumed some contiguous slice of the
+    retirement stream) onto this state, returning a new state equal to
+    having run one engine over the concatenated stream. The operation is
+    associative — ``(a.merge(b)).merge(c) == a.merge(b.merge(c))`` —
+    and splitting a run at any block boundary and merging the shard
+    states reproduces the serial result exactly; the property tests in
+    ``tests/test_block_summaries.py`` enforce both. Neither operand is
+    consumed: merging clones the left engine first.
+    """
+
+    def __init__(self, engine: FusedAnalysisEngine):
+        self._engine = engine
+
+    @property
+    def engine(self) -> FusedAnalysisEngine:
+        return self._engine
+
+    @property
+    def relative(self) -> bool:
+        return self._engine._relative
+
+    def merge(self, other: "AnalysisState") -> "AnalysisState":
+        merged = self._engine.clone()
+        merged.absorb(other._engine)
+        return AnalysisState(merged)
+
+    def results(self) -> AnalysisResult:
+        """Absolute results; raises for a relative (suffix) state."""
+        return self._engine.results()

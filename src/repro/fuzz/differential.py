@@ -9,10 +9,14 @@ One generated program is judged four ways, cheapest first:
    fast path must produce *identical* observable state — exit code,
    stdout, every global's bit pattern, and the exact retirement count
    (blocks retire the same instruction stream they translate).
-3. **Cross-ISA**: RV64 and AArch64 executions of the same source must
+3. **Analysis**: the fused engine consuming translate-time block-summary
+   events must produce *exactly* the results of the five legacy
+   per-retire probes on the same binary — path length, plain and scaled
+   critical paths, instruction mix and windowed CPs.
+4. **Cross-ISA**: RV64 and AArch64 executions of the same source must
    agree on exit code, stdout and global bit patterns. Retirement counts
    legitimately differ (that delta is the paper's whole subject).
-4. **Invariants**: an interpreter run under
+5. **Invariants**: an interpreter run under
    :class:`~repro.sim.invariants.InvariantChecker` must retire cleanly.
 
 Doubles are compared as raw 64-bit patterns: the back ends never
@@ -48,6 +52,7 @@ __all__ = [
     "Finding",
     "Observation",
     "observe",
+    "diff_analysis",
     "diff_source",
     "run_case",
     "run_campaign",
@@ -93,7 +98,7 @@ class Finding:
     """One divergence/fault/compile failure discovered by the fuzzer."""
 
     kind: str          # compile-error | guest-fault | within-isa |
-    #                  # cross-isa | invariant
+    #                  # analysis | cross-isa | invariant
     detail: str
     isa: str = ""      # "" for cross-ISA findings
     source: str = ""
@@ -157,6 +162,60 @@ def _read_globals(image, memory) -> dict[str, list[int]]:
     return out
 
 
+#: Window sizes for the fuzzer's analysis oracle: small enough that
+#: short generated programs produce full windows.
+_ORACLE_WINDOWS = (4, 16)
+
+
+def diff_analysis(compiled, *, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
+                  ) -> str:
+    """Within-ISA analysis oracle: run the fused engine over the
+    translated block-summary event stream AND the five legacy per-retire
+    probes over the interpreter, and describe the first metric on which
+    they disagree ("" = exact agreement).
+    """
+    from repro.analysis import (
+        AnalysisConfig,
+        AnalysisResult,
+        CriticalPathProbe,
+        InstructionMixProbe,
+        PathLengthProbe,
+        WindowedCPProbe,
+    )
+    from repro.harness.plan import SCALED_MODELS
+    from repro.sim.config import load_core_model
+    from repro.sim.emucore import run_image
+
+    isa = get_isa(compiled.isa_name)
+    model = load_core_model(SCALED_MODELS[compiled.isa_name])
+    cfg = AnalysisConfig(windowed=True, window_sizes=_ORACLE_WINDOWS)
+    engine = cfg.build_engine(regions=compiled.image.regions, model=model)
+    run_image(compiled.image, isa, batch_sinks=[engine],
+              max_instructions=max_instructions)
+    fused = engine.results().to_dict()
+
+    path = PathLengthProbe(compiled.image.regions)
+    cp = CriticalPathProbe()
+    scaled = CriticalPathProbe(model)
+    mix = InstructionMixProbe()
+    window = WindowedCPProbe(_ORACLE_WINDOWS, 0.5)
+    run_image(compiled.image, isa, [path, cp, scaled, mix, window],
+              max_instructions=max_instructions, translate=False)
+    oracle = AnalysisResult(
+        path=path.result(), cp=cp.result(), scaled_cp=scaled.result(),
+        mix=mix.result(), windowed=window.results(),
+    ).to_dict()
+
+    if fused == oracle:
+        return ""
+    for key in ("path", "cp", "scaled_cp", "mix", "windowed"):
+        if fused.get(key) != oracle.get(key):
+            delta = (f"{key}: fused {fused.get(key)!r} != "
+                     f"probes {oracle.get(key)!r}")
+            return delta if len(delta) <= 500 else delta[:497] + "..."
+    return "analysis results differ"
+
+
 def _fault_finding(kind: str, err: Exception, *, isa: str, source: str,
                    seed=None, profile="") -> Finding:
     report = getattr(err, "fault_report", None)
@@ -204,8 +263,9 @@ def diff_source(source: str, *, seed: int | None = None, profile: str = "",
                 seed=seed, profile=profile))
             continue
 
-        if (fast.state() != ref.state()
-                or fast.instructions != ref.instructions):
+        diverged = (fast.state() != ref.state()
+                    or fast.instructions != ref.instructions)
+        if diverged:
             delta = _describe_delta(ref, fast)
             report = postmortem.capture(
                 core, reason=f"within-ISA divergence ({delta})")
@@ -217,6 +277,27 @@ def diff_source(source: str, *, seed: int | None = None, profile: str = "",
                 fault=report.to_dict(),
                 observations={"interpreter": ref.to_dict(),
                               "translated": fast.to_dict()}))
+        else:
+            # only meaningful when the execution paths agree: the
+            # analysis oracle compares fused-over-translated against
+            # probes-over-interpreter, so an execution divergence would
+            # just be re-reported here as a duplicate analysis delta
+            try:
+                delta = diff_analysis(compiled,
+                                      max_instructions=max_instructions)
+            except postmortem.GUEST_FAULTS as err:
+                findings.append(_fault_finding(
+                    "analysis", err, isa=isa_name, source=source,
+                    seed=seed, profile=profile))
+            else:
+                if delta:
+                    findings.append(Finding(
+                        kind="analysis",
+                        detail=f"{isa_name}: fused block-summary "
+                               f"analysis diverges from the probe "
+                               f"oracle ({delta})",
+                        isa=isa_name, source=source, seed=seed,
+                        profile=profile))
 
         try:
             observe(compiled, translate=False, check_invariants=True,

@@ -70,7 +70,13 @@ if TYPE_CHECKING:
 
 #: Bump to orphan every existing cache entry (layout/envelope changes).
 #: v2: integrity envelope (``check`` field / trace header) + quarantine.
-CACHE_FORMAT = 2
+#: v3: results store the nested ConfigResult v2 ("analysis") layout.
+#: Entries in any still-readable format keep validating (the result
+#: schemas are part of the plan fingerprint, so old-layout entries are
+#: simply never looked up for new plans — but ``ls``/``verify`` must not
+#: quarantine them as corrupt).
+CACHE_FORMAT = 3
+_READABLE_FORMATS = frozenset({2, CACHE_FORMAT})
 
 #: Trace entry envelope: magic, version u8, crc32 u32 and length u64 of
 #: the *decompressed* stream, then the zlib data.
@@ -368,9 +374,9 @@ class ResultCache:
                 raise ValueError(f"unparseable JSON: {err}") from None
         if not isinstance(doc, dict):
             raise ValueError("entry is not a JSON object")
-        if doc.get("format") != CACHE_FORMAT:
-            raise ValueError(f"cache format {doc.get('format')!r} != "
-                             f"{CACHE_FORMAT}")
+        if doc.get("format") not in _READABLE_FORMATS:
+            raise ValueError(f"cache format {doc.get('format')!r} not in "
+                             f"{sorted(_READABLE_FORMATS)}")
         try:
             check = doc["check"]
             payload = _result_payload(doc["result"])

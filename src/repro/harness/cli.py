@@ -32,8 +32,9 @@ installs a serialized :class:`repro.harness.faults.FaultPlan` — the
 deterministic fault-injection harness used by the robustness tests
 (see docs/robustness.md).
 
-The pre-subcommand invocation (``repro-isa-compare --scale ...``) still
-works as an implicit ``run`` but prints a deprecation note.
+The pre-subcommand invocation (``repro-isa-compare --scale ...``) was
+deprecated in the first subcommand release and has been removed; it now
+exits with an error naming the subcommands.
 """
 
 from __future__ import annotations
@@ -584,16 +585,13 @@ def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     argv = list(argv)
-    implicit_run = bool(argv) and argv[0] not in _SUBCOMMANDS and \
-        argv[0] not in ("-h", "--help")
-    if not argv:
-        implicit_run = True
-    if implicit_run:
-        if "--quiet" not in argv:
-            print("note: flag-only invocation is deprecated; use "
-                  "'repro-isa-compare run [flags]' (implicit 'run' assumed)",
-                  file=sys.stderr)
-        argv = ["run"] + argv
+    if not argv or (argv[0] not in _SUBCOMMANDS
+                    and argv[0] not in ("-h", "--help")):
+        print("error: flag-only invocation has been removed; pick a "
+              "subcommand: repro-isa-compare run|report|cache|fuzz "
+              "(e.g. 'repro-isa-compare run --scale 0.1'; see --help)",
+              file=sys.stderr)
+        return 2
 
     parser = build_parser()
     args = parser.parse_args(argv)

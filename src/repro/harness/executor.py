@@ -152,9 +152,7 @@ def execute_plan(plan: ExperimentPlan,
         workload,
         plan.isa,
         plan.profile,
-        windowed=plan.windowed,
-        window_sizes=plan.window_sizes,
-        slide_fraction=plan.slide_fraction,
+        analysis=plan.analysis,
         models={plan.isa: plan.model},
         max_instructions=plan.max_instructions,
         trace_writer=trace_writer,

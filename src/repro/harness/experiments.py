@@ -25,9 +25,12 @@ re-simulating the whole matrix each.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.analysis import (
+    AnalysisConfig,
+    AnalysisResult,
     CriticalPathProbe,
     CriticalPathResult,
     InstructionMixProbe,
@@ -55,7 +58,10 @@ from repro.sim.config import CoreModel, load_core_model
 from repro.workloads import ALL_WORKLOADS, Workload, get_workload, run_workload
 
 #: Bump when the serialized shape of :class:`ConfigResult` changes.
-CONFIG_RESULT_SCHEMA = 1
+#: v2 nests the engine-independent :class:`repro.analysis.AnalysisResult`
+#: under ``"analysis"`` instead of flattening its parts; ``from_dict``
+#: still reads v1 docs (pre-block-summary caches).
+CONFIG_RESULT_SCHEMA = 2
 
 
 @dataclass
@@ -94,6 +100,26 @@ class ConfigResult:
     def scaled_runtime_ms(self, clock_ghz: float = CLOCK_GHZ) -> float:
         return runtime_ms(self.scaled_cp.critical_path, clock_ghz)
 
+    @property
+    def analysis(self) -> AnalysisResult:
+        """The engine-independent analysis payload of this result."""
+        return AnalysisResult(
+            path=self.path, cp=self.cp, scaled_cp=self.scaled_cp,
+            mix=self.mix, windowed=self.windowed,
+        )
+
+    @classmethod
+    def from_analysis(cls, workload: str, isa: str, profile: str,
+                      analysis: AnalysisResult,
+                      translation: dict | None = None) -> "ConfigResult":
+        """Wrap one :class:`AnalysisResult` with its config identity."""
+        return cls(
+            workload=workload, isa=isa, profile=profile,
+            path=analysis.path, cp=analysis.cp,
+            scaled_cp=analysis.scaled_cp, mix=analysis.mix,
+            windowed=analysis.windowed, translation=translation,
+        )
+
     def to_dict(self) -> dict:
         """Versioned JSON-safe dict; exact inverse of :meth:`from_dict`
         (all leaf values are ints/strings, so the round-trip — and the
@@ -103,35 +129,36 @@ class ConfigResult:
             "workload": self.workload,
             "isa": self.isa,
             "profile": self.profile,
-            "path": self.path.to_dict(),
-            "cp": self.cp.to_dict(),
-            "scaled_cp": self.scaled_cp.to_dict(),
-            "mix": self.mix.to_dict(),
-            "windowed": (
-                None if self.windowed is None
-                else {str(w): r.to_dict() for w, r in self.windowed.items()}
-            ),
+            "analysis": self.analysis.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, doc: dict) -> "ConfigResult":
-        if doc.get("v") != CONFIG_RESULT_SCHEMA:
+        v = doc.get("v")
+        if v == 1:
+            # Pre-block-summary layout: the analysis leaves sat directly
+            # on the config doc. Read-only compatibility for old caches.
+            windowed = doc["windowed"]
+            return cls(
+                workload=doc["workload"],
+                isa=doc["isa"],
+                profile=doc["profile"],
+                path=PathLengthResult.from_dict(doc["path"]),
+                cp=CriticalPathResult.from_dict(doc["cp"]),
+                scaled_cp=CriticalPathResult.from_dict(doc["scaled_cp"]),
+                mix=InstructionMixResult.from_dict(doc["mix"]),
+                windowed=(
+                    None if windowed is None
+                    else {int(w): WindowedCPResult.from_dict(r)
+                          for w, r in windowed.items()}
+                ),
+            )
+        if v != CONFIG_RESULT_SCHEMA:
             raise ValueError(f"ConfigResult schema {doc.get('v')!r} != "
                              f"{CONFIG_RESULT_SCHEMA}")
-        windowed = doc["windowed"]
-        return cls(
-            workload=doc["workload"],
-            isa=doc["isa"],
-            profile=doc["profile"],
-            path=PathLengthResult.from_dict(doc["path"]),
-            cp=CriticalPathResult.from_dict(doc["cp"]),
-            scaled_cp=CriticalPathResult.from_dict(doc["scaled_cp"]),
-            mix=InstructionMixResult.from_dict(doc["mix"]),
-            windowed=(
-                None if windowed is None
-                else {int(w): WindowedCPResult.from_dict(r)
-                      for w, r in windowed.items()}
-            ),
+        return cls.from_analysis(
+            doc["workload"], doc["isa"], doc["profile"],
+            AnalysisResult.from_dict(doc["analysis"]),
         )
 
 
@@ -148,83 +175,79 @@ class SuiteResult:
         return self.configs[(workload, isa, profile)]
 
 
-def run_config(
-    workload: Workload,
-    isa: str,
-    profile: str,
-    *,
-    windowed: bool = False,
-    window_sizes: tuple[int, ...] = PAPER_WINDOW_SIZES,
-    slide_fraction: float = 0.5,
-    models: dict[str, str | CoreModel] | None = None,
-    max_instructions: int = 500_000_000,
-    engine: str = "fused",
-    trace_writer=None,
-    translate: bool = True,
-) -> ConfigResult:
-    """Compile, run and analyze one configuration (single execution).
+#: Literal defaults of the deprecated per-kwarg analysis parameters on
+#: :func:`run_config`; a value differing from these counts as "caller
+#: used the legacy surface".
+_LEGACY_ANALYSIS_DEFAULTS = {
+    "engine": "fused",
+    "windowed": False,
+    "window_sizes": PAPER_WINDOW_SIZES,
+    "slide_fraction": 0.5,
+}
 
-    ``engine`` selects the analysis implementation: ``"fused"`` (default)
-    runs the batched single-pass :class:`FusedAnalysisEngine`;
-    ``"probes"`` runs the five legacy per-retire probes (the differential
-    oracle, and the path custom probes use). ``trace_writer`` (fused
-    only) records the retirement stream alongside the analysis — the
-    trace level of the two-level result cache. ``translate=False``
-    forces per-instruction interpretation (identical results; the
-    translated path's differential oracle).
-    """
-    compiled = workload.compile(isa, profile)
-    model = (models or SCALED_MODELS)[isa]
-    if isinstance(model, str):
-        model = load_core_model(model)
 
-    if engine == "fused":
-        from repro.analysis.engine import FusedAnalysisEngine
+def _resolve_analysis(analysis, engine, windowed, window_sizes,
+                      slide_fraction) -> AnalysisConfig:
+    """Fold :func:`run_config`'s deprecated loose kwargs into one
+    :class:`AnalysisConfig`, warning when the legacy surface is used and
+    refusing a mix of both surfaces."""
+    legacy = {
+        "engine": engine,
+        "windowed": windowed,
+        "window_sizes": tuple(window_sizes),
+        "slide_fraction": slide_fraction,
+    }
+    changed = sorted(
+        k for k, v in legacy.items() if v != _LEGACY_ANALYSIS_DEFAULTS[k]
+    )
+    if analysis is not None:
+        if changed:
+            raise ExperimentError(
+                "pass analysis parameters via analysis=AnalysisConfig(...) "
+                "or via the legacy kwargs, not both "
+                f"(legacy kwargs set: {', '.join(changed)})"
+            )
+        return analysis
+    if changed:
+        warnings.warn(
+            "the engine=/windowed=/window_sizes=/slide_fraction= kwargs of "
+            "run_config are deprecated and will be removed in the next "
+            "release; pass analysis=AnalysisConfig(...) instead",
+            DeprecationWarning, stacklevel=3,
+        )
+    return AnalysisConfig(**legacy)
 
-        fused = FusedAnalysisEngine(
-            regions=compiled.image.regions, model=model,
-            windowed=windowed, window_sizes=window_sizes,
-            slide_fraction=slide_fraction,
-        )
-        sinks = [fused]
-        if trace_writer is not None:
-            trace_writer.isa_name = compiled.isa_name
-            trace_writer.regions = list(compiled.image.regions)
-            sinks.append(trace_writer)
-        run = run_workload(
-            workload, isa, profile, compiled=compiled,
-            max_instructions=max_instructions, batch_sinks=sinks,
-            translate=translate,
-        )
-        results = fused.results()
-        return ConfigResult(
-            workload=workload.name,
-            isa=isa,
-            profile=profile,
-            path=results.path,
-            cp=results.cp,
-            scaled_cp=results.scaled_cp,
-            mix=results.mix,
-            windowed=results.windowed,
-            translation=run.result.translation,
-        )
 
-    if engine != "probes":
-        raise ExperimentError(
-            f"unknown analysis engine {engine!r}; known: fused, probes"
-        )
+def _run_fused_config(workload, isa, profile, compiled, cfg, model,
+                      max_instructions, trace_writer, translate):
+    engine = cfg.build_engine(regions=compiled.image.regions, model=model)
+    sinks = [engine]
     if trace_writer is not None:
-        raise ExperimentError(
-            "trace recording requires the fused (batched) engine"
-        )
+        trace_writer.isa_name = compiled.isa_name
+        trace_writer.regions = list(compiled.image.regions)
+        sinks.append(trace_writer)
+    run = run_workload(
+        workload, isa, profile, compiled=compiled,
+        max_instructions=max_instructions, batch_sinks=sinks,
+        translate=translate,
+    )
+    return ConfigResult.from_analysis(
+        workload.name, isa, profile, engine.results(),
+        translation=run.result.translation,
+    )
+
+
+def _run_probe_config(workload, isa, profile, compiled, cfg, model,
+                      max_instructions, translate):
     path_probe = PathLengthProbe(compiled.image.regions)
-    cp_probe = CriticalPathProbe()
-    scaled_probe = CriticalPathProbe(model)
+    cp_probe = CriticalPathProbe(break_on_zero=cfg.break_on_zero)
+    scaled_probe = CriticalPathProbe(model, break_on_zero=cfg.break_on_zero)
     mix_probe = InstructionMixProbe()
     probes = [path_probe, cp_probe, scaled_probe, mix_probe]
     window_probe = None
-    if windowed:
-        window_probe = WindowedCPProbe(window_sizes, slide_fraction)
+    if cfg.windowed:
+        window_probe = WindowedCPProbe(cfg.window_sizes, cfg.slide_fraction,
+                                       cfg.keep_cps)
         probes.append(window_probe)
     run = run_workload(
         workload, isa, profile, probes, compiled=compiled,
@@ -243,6 +266,72 @@ def run_config(
     )
 
 
+def run_config(
+    workload: Workload,
+    isa: str,
+    profile: str,
+    *,
+    analysis: AnalysisConfig | None = None,
+    windowed: bool = False,
+    window_sizes: tuple[int, ...] = PAPER_WINDOW_SIZES,
+    slide_fraction: float = 0.5,
+    models: dict[str, str | CoreModel] | None = None,
+    max_instructions: int = 500_000_000,
+    engine: str = "fused",
+    trace_writer=None,
+    translate: bool = True,
+) -> ConfigResult:
+    """Compile, run and analyze one configuration (single execution).
+
+    ``analysis`` (an :class:`repro.analysis.AnalysisConfig`) names the
+    engine tier and every analysis parameter: ``"fused"`` (default) runs
+    the batched single-pass :class:`FusedAnalysisEngine` over
+    block-summary events; ``"probes"`` runs the five legacy per-retire
+    probes (the differential oracle, and the path custom probes use).
+    With ``check_invariants`` set, the *other* engine runs on the same
+    binary afterwards and the results must match exactly.
+
+    The loose ``engine=``/``windowed=``/``window_sizes=``/
+    ``slide_fraction=`` kwargs are deprecated (one release behind a
+    ``DeprecationWarning``) — pass ``analysis=`` instead.
+
+    ``trace_writer`` (fused only) records the retirement stream
+    alongside the analysis — the trace level of the two-level result
+    cache. ``translate=False`` forces per-instruction interpretation
+    (identical results; the translated path's differential oracle).
+    """
+    cfg = _resolve_analysis(analysis, engine, windowed, window_sizes,
+                            slide_fraction)
+    if trace_writer is not None and cfg.engine != "fused":
+        raise ExperimentError(
+            "trace recording requires the fused (batched) engine"
+        )
+    compiled = workload.compile(isa, profile)
+    model = (models or SCALED_MODELS)[isa]
+    if isinstance(model, str):
+        model = load_core_model(model)
+
+    if cfg.engine == "fused":
+        result = _run_fused_config(workload, isa, profile, compiled, cfg,
+                                   model, max_instructions, trace_writer,
+                                   translate)
+        check = (_run_probe_config(workload, isa, profile, compiled, cfg,
+                                   model, max_instructions, translate)
+                 if cfg.check_invariants else None)
+    else:
+        result = _run_probe_config(workload, isa, profile, compiled, cfg,
+                                   model, max_instructions, translate)
+        check = (_run_fused_config(workload, isa, profile, compiled, cfg,
+                                   model, max_instructions, None, translate)
+                 if cfg.check_invariants else None)
+    if check is not None and check.to_dict() != result.to_dict():
+        raise ExperimentError(
+            "invariant check failed: fused and probe analyses disagree on "
+            f"{workload.name}/{isa}/{profile}"
+        )
+    return result
+
+
 def replay_config(trace, plan) -> ConfigResult:
     """Analyze a recorded retirement trace under ``plan``'s analysis
     parameters — no compilation, no simulation.
@@ -253,26 +342,12 @@ def replay_config(trace, plan) -> ConfigResult:
     fraction, core model) replay one recording through a fresh
     :class:`FusedAnalysisEngine`.
     """
-    from repro.analysis.engine import FusedAnalysisEngine
-
     model = load_core_model(plan.model)
-    engine = FusedAnalysisEngine(
-        regions=trace.regions, model=model,
-        windowed=plan.windowed, window_sizes=plan.window_sizes,
-        slide_fraction=plan.slide_fraction,
-    )
+    engine = plan.analysis.build_engine(regions=trace.regions, model=model)
     for batch in trace.iter_batches():
         engine.on_batch(*batch)
-    results = engine.results()
-    return ConfigResult(
-        workload=plan.workload,
-        isa=plan.isa,
-        profile=plan.profile,
-        path=results.path,
-        cp=results.cp,
-        scaled_cp=results.scaled_cp,
-        mix=results.mix,
-        windowed=results.windowed,
+    return ConfigResult.from_analysis(
+        plan.workload, plan.isa, plan.profile, engine.results()
     )
 
 

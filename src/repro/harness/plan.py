@@ -82,6 +82,19 @@ class ExperimentPlan:
         """The (workload, isa, profile) key used by :class:`SuiteResult`."""
         return (self.workload, self.isa, self.profile)
 
+    @property
+    def analysis(self) -> "AnalysisConfig":
+        """This plan's analysis parameters as one typed
+        :class:`repro.analysis.AnalysisConfig` (always the fused tier;
+        probe runs are ad-hoc oracles, never planned suite members)."""
+        from repro.analysis.config import AnalysisConfig
+
+        return AnalysisConfig(
+            windowed=self.windowed,
+            window_sizes=self.window_sizes,
+            slide_fraction=self.slide_fraction,
+        )
+
     def describe(self) -> str:
         return f"{self.workload}/{self.isa}/{self.profile}"
 

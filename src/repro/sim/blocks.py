@@ -62,8 +62,10 @@ __all__ = [
     "MAX_BLOCK",
     "BlockTranslator",
     "BatchTranslator",
+    "SummaryTranslator",
     "run_translated",
     "run_batched_translated",
+    "run_summary_translated",
 ]
 
 #: Cap on superblock length; bounds per-block budget overshoot and the
@@ -108,7 +110,9 @@ _FALLBACK_CALL = re.compile(r"^\s*_e\d+\(m\)$")
 # [5] pc        entry PC
 # [6] looping   True when fn is a self-loop taking (machine, cap) and
 #               returning the retirement count
-# (batched entries append [7] static-table indices, one per inst)
+# (batched entries append [7] static-table indices, one per inst;
+#  summary entries append [8] the BlockSummary id, or -1 when the block
+#  stays on per-retirement bookkeeping)
 
 
 def _static_target(inst):
@@ -617,6 +621,78 @@ class BatchTranslator(_TranslatorBase):
         return executed
 
 
+class SummaryTranslator(BatchTranslator):
+    """Batched translation that also emits translate-time block summaries.
+
+    Static blocks (no SYSCALL/ATOMIC instruction) compile *without* any
+    per-retirement bookkeeping — just the inlined executors — and get a
+    :class:`repro.analysis.blocksummary.BlockSummary` built once from
+    their decoded instructions plus the observed access footprint. The
+    run loop (:func:`run_summary_translated`) then reports their
+    executions as ``(block id, count)`` events instead of
+    structure-of-arrays items. Dynamic and demoted blocks keep the
+    per-retirement bookkeeping of :class:`BatchTranslator` and are
+    reported as SoA segments, so the event stream losslessly covers
+    every retirement.
+    """
+
+    def __init__(self, core):
+        # the event path exists to feed analysis engines, which always
+        # consume the access streams: recording is unconditionally on
+        super().__init__(core, needs_memory=True)
+        self.summaries: list = []
+        self.summary_blocks = 0
+
+    def entry_for(self, pc):
+        entry = super().entry_for(pc)
+        entry.append(-1)  # [8] summary id; -1 = per-retirement bookkeeping
+        return entry
+
+    def _compile_block(self, entry, roffs, woffs):
+        insts = entry[4]
+        if any(inst.group is _SYSCALL or inst.group is _ATOMIC
+               for inst in insts):
+            # dynamic access counts: keep live len() bookkeeping
+            return super()._compile_block(entry, roffs, woffs)
+        from repro.analysis.blocksummary import build_summary
+
+        # the observed execution's accesses are still in the recording
+        # buffers (flushes only happen between block executions); their
+        # sizes are decode-time constants — the footprint template
+        memory = self.core.machine.memory
+        reads = memory.reads
+        writes = memory.writes
+        nr = roffs[-1] if roffs else 0
+        nw = woffs[-1] if woffs else 0
+        rsizes = [sz for _a, sz in reads[len(reads) - nr:]] if nr else []
+        wsizes = [sz for _a, sz in writes[len(writes) - nw:]] if nw else []
+
+        length = entry[1]
+        bindings: dict = {}
+        body = []
+        for i, inst in enumerate(insts):
+            if i == length - 1:
+                body.append(f"m.pc = {insts[-1].pc + 4}")
+            body.extend(self._inst_lines(i, inst, bindings))
+        if entry[6]:
+            body = self._loop_wrap(body, length, entry[5])
+            fn = self._assemble(body, bindings, params="m, _cap")
+        else:
+            fn = self._assemble(body, bindings)
+        # registration only after a successful compile: a demotion in
+        # _assemble leaves the entry on bookkeeping with [8] == -1
+        entry[8] = len(self.summaries)
+        self.summaries.append(
+            build_summary(insts, entry[7], roffs, woffs, rsizes, wsizes))
+        self.summary_blocks += 1
+        return fn
+
+    def stats(self):
+        stats = super().stats()
+        stats["summary_blocks"] = self.summary_blocks
+        return stats
+
+
 def _interp_tail_plain(core, count):
     """Probe-free bounded interpretation (budget-edge fallback)."""
     machine = core.machine
@@ -836,6 +912,162 @@ def run_batched_translated(core, sinks, *, batch_size,
         translator.executions += execs
         if needs_memory:
             memory.stop_recording()
+
+    return RunResult(
+        instructions=retired,
+        exit_code=machine.exit_code if machine.exit_code is not None else -1,
+        stdout=bytes(machine.stdout),
+        stderr=bytes(machine.stderr),
+        translation=core.translation_stats(),
+    )
+
+
+def run_summary_translated(core, sinks, *, batch_size,
+                           max_instructions=500_000_000):
+    """Translated run emitting block-summary *events* instead of
+    per-retirement items.
+
+    Sinks must implement the event protocol (``accepts_events`` true,
+    ``on_events(table, summaries, events, count, indices, read_ends,
+    write_ends, reads, writes)``). ``events`` is a flat
+    ``[id0, k0, id1, k1, ...]`` list: ``id >= 0`` means ``k`` executions
+    of ``summaries[id]`` (``k * length`` retirements whose accesses sit
+    at the stream cursor), ``id == -1`` means ``k`` per-retirement SoA
+    items (observation runs, dynamic/demoted blocks, interpreted tails)
+    carried in ``indices``/``read_ends``/``write_ends``. Access-end
+    counts are absolute within the flush — block executions and SoA
+    items share one ``reads``/``writes`` stream in retirement order.
+    Flushes happen at block boundaries, as on the batched path.
+    """
+    from repro.sim.emucore import RunResult
+
+    machine = core.machine
+    memory = machine.memory
+    sinks = list(sinks)
+    translator = core._batch_translators.get("summary")
+    if translator is None:
+        translator = SummaryTranslator(core)
+        core._batch_translators["summary"] = translator
+    memory.start_recording()
+    reads = memory.reads
+    writes = memory.writes
+    table = core.static_table
+    summaries = translator.summaries
+    indices = translator.indices
+    read_ends = translator.read_ends
+    write_ends = translator.write_ends
+    del indices[:]
+    del read_ends[:]
+    del write_ends[:]
+    events: list = []
+    eappend = events.append
+    cache_get = translator.cache.get
+    new_entry = translator.entry_for
+    observe = translator.observe
+    history = core.history
+    happend = history.append if history is not None else None
+    remaining = max_instructions
+    retired = 0
+    execs = 0
+    pending = 0
+    entry = None
+
+    def flush():
+        nonlocal pending
+        if pending:
+            for sink in sinks:
+                sink.on_events(table, summaries, events, pending, indices,
+                               read_ends, write_ends, reads, writes)
+            del events[:]
+            del indices[:]
+            del read_ends[:]
+            del write_ends[:]
+            del reads[:]
+            del writes[:]
+            pending = 0
+
+    try:
+        while machine.running:
+            entry = cache_get(machine.pc)
+            if entry is None:
+                entry = new_entry(machine.pc)
+            while True:
+                n = entry[1]
+                if n > remaining:
+                    done = translator.interp_tail(remaining)
+                    retired += done
+                    remaining -= done
+                    if done:
+                        if events and events[-2] == -1:
+                            events[-1] += done
+                        else:
+                            eappend(-1)
+                            eappend(done)
+                        pending += done
+                    if machine.running:
+                        flush()
+                        raise SimulationError(
+                            f"instruction budget ({max_instructions}) "
+                            f"exhausted",
+                            pc=machine.pc,
+                        )
+                    break
+                if happend is not None:
+                    happend(entry)
+                fn = entry[0]
+                if fn is None:
+                    # first execution: interpreted with SoA bookkeeping,
+                    # then compiled (and summarized when static)
+                    observe(entry)
+                    bid = -1
+                    k = n
+                elif entry[6]:
+                    n = fn(machine, min(remaining, batch_size - pending))
+                    bid = entry[8]
+                    k = n // entry[1] if bid >= 0 else n
+                else:
+                    fn(machine)
+                    bid = entry[8]
+                    k = 1 if bid >= 0 else n
+                if events and events[-2] == bid:
+                    events[-1] += k
+                else:
+                    eappend(bid)
+                    eappend(k)
+                execs += 1
+                retired += n
+                remaining -= n
+                pending += n
+                if not machine.running:
+                    break
+                if pending >= batch_size:
+                    flush()
+                if remaining == 0:
+                    flush()
+                    raise SimulationError(
+                        f"instruction budget ({max_instructions}) exhausted",
+                        pc=machine.pc,
+                    )
+                nxt = entry[2]
+                if nxt is None:
+                    chain_pc = entry[3]
+                    if chain_pc is None:
+                        break
+                    nxt = cache_get(chain_pc)
+                    if nxt is None:
+                        nxt = new_entry(chain_pc)
+                    entry[2] = nxt
+                    translator.chained += 1
+                entry = nxt
+        flush()
+    except (SimulationError, DecodeError) as err:
+        if entry is not None and getattr(err, "block_pc", None) is None:
+            err.block_pc = entry[5]
+        raise
+    finally:
+        machine.instret += retired
+        translator.executions += execs
+        memory.stop_recording()
 
     return RunResult(
         instructions=retired,

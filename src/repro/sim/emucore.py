@@ -151,9 +151,9 @@ class EmulationCore:
             else:
                 for key, value in stats.items():
                     if key == "max_block":
-                        merged[key] = max(merged[key], value)
+                        merged[key] = max(merged.get(key, 0), value)
                     else:
-                        merged[key] += value
+                        merged[key] = merged.get(key, 0) + value
         return merged
 
     def run(self, max_instructions: int = 500_000_000) -> RunResult:
@@ -295,11 +295,13 @@ class EmulationCore:
         self,
         sinks: Sequence[BatchSink],
         *,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_size: int | None = None,
         max_instructions: int = 500_000_000,
     ) -> RunResult:
         """Run with retirements accumulated into structure-of-arrays
-        buffers and flushed to ``sinks`` in batches of ``batch_size``.
+        buffers and flushed to ``sinks`` in batches of ``batch_size``
+        (``None`` honors the sinks' ``preferred_batch_size`` hints,
+        falling back to ``DEFAULT_BATCH_SIZE``).
 
         This is the fast path behind the fused analysis engine: the hot
         loop does three list appends per retirement instead of one Python
@@ -321,10 +323,32 @@ class EmulationCore:
         self,
         sinks: Sequence[BatchSink],
         *,
-        batch_size: int,
+        batch_size: int | None,
         max_instructions: int,
     ) -> RunResult:
+        if batch_size is None:
+            prefs = [getattr(s, "preferred_batch_size", None)
+                     for s in sinks]
+            prefs = [p for p in prefs if p]
+            # the smallest preference wins: a sink that needs small
+            # flushes (windowed memo locality) must not be starved by a
+            # throughput-hungry neighbor
+            batch_size = min(prefs) if prefs else DEFAULT_BATCH_SIZE
         if self.translate:
+            sinks = list(sinks)
+            if sinks and all(getattr(s, "accepts_events", False)
+                             for s in sinks):
+                # every sink understands block-summary events: use the
+                # translate-time-summary fast path (per-block events
+                # instead of per-retirement SoA items); events are
+                # pre-aggregated, so a flush covers far more
+                # instructions at similar sink cost.
+                from repro.sim.blocks import run_summary_translated
+
+                return run_summary_translated(
+                    self, sinks, batch_size=batch_size,
+                    max_instructions=max_instructions,
+                )
             from repro.sim.blocks import run_batched_translated
 
             return run_batched_translated(
@@ -438,7 +462,7 @@ def run_image(
     memory_size: int = 1 << 24,
     max_instructions: int = 500_000_000,
     batch_sinks: Sequence[BatchSink] | None = None,
-    batch_size: int = DEFAULT_BATCH_SIZE,
+    batch_size: int | None = None,
     translate: bool = True,
     history: int = 0,
     check_invariants: bool = False,

@@ -357,12 +357,18 @@ class TestCliSubcommands:
         assert rc == 0 and "removed 1" in out
         assert ResultCache(cache_dir).disk_stats()["entries"] == 0
 
-    def test_implicit_run_deprecation(self, tmp_path, capsys, monkeypatch):
+    def test_implicit_run_removed(self, tmp_path, capsys, monkeypatch):
+        # The PR-1 flag-only invocation is gone: no silent run, just a
+        # clear pointer at the subcommands.
         monkeypatch.setattr(executor_mod, "execute_plan",
                             lambda plan, trace_store=None: make_result(plan))
         rc, out, err = self._run(
             ["--scale", "0.02", "--workloads", "stream", "--skip-windowed",
              "--cache-dir", str(tmp_path / "c")], capsys)
-        assert rc == 0
-        assert "deprecated" in err
-        assert "Table 1" in out
+        assert rc == 2
+        assert "run|report|cache|fuzz" in err
+        assert "Table 1" not in out
+
+        rc, _out, err = self._run([], capsys)
+        assert rc == 2
+        assert "run|report|cache|fuzz" in err

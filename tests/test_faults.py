@@ -341,7 +341,7 @@ class TestCacheCorruption:
     def test_mutated_value_fails_checksum(self, tmp_path):
         cache, plan, path = self._put_one(tmp_path)
         doc = json.loads(path.read_text())
-        doc["result"]["path"]["total"] += 1  # silent bit-rot
+        doc["result"]["analysis"]["path"]["total"] += 1  # silent bit-rot
         path.write_text(json.dumps(doc))
         self._assert_quarantined(cache, plan, path)
 

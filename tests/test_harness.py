@@ -135,7 +135,7 @@ class TestCli:
     def test_cli_writes_artifacts(self, tmp_path):
         from repro.harness.cli import main
         rc = main([
-            "--scale", "0.02", "--workloads", "stream",
+            "run", "--scale", "0.02", "--workloads", "stream",
             "--windows", "4,16", "--out", str(tmp_path), "--quiet",
         ])
         assert rc == 0
@@ -147,7 +147,7 @@ class TestCli:
     def test_cli_skip_windowed(self, tmp_path, capsys):
         from repro.harness.cli import main
         rc = main([
-            "--scale", "0.02", "--workloads", "minisweep",
+            "run", "--scale", "0.02", "--workloads", "minisweep",
             "--skip-windowed", "--quiet",
         ])
         assert rc == 0

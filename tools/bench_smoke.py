@@ -9,6 +9,13 @@ build should fail::
 
     PYTHONPATH=src python tools/bench_smoke.py
 
+It also guards the block-summary analysis gap: a fully analyzed run
+(fused engine over translate-time block-summary events, §3–§5 metrics)
+must stay within ``ANALYZED_MAX_RATIO`` of the raw translated run.
+Before block summaries the fused engine cost ~7× raw translation; the
+summary layer's whole point is closing that gap, so it regressing past
+2.5× fails the build.
+
 It then runs a fault-injection smoke: the 4-config STREAM matrix across
 a 2-worker pool with one injected worker crash — the resilient executor
 must retry the killed plan and complete the suite (docs/robustness.md).
@@ -32,6 +39,12 @@ from repro.workloads import get_workload  # noqa: E402
 
 SCALE = 0.02
 REPEATS = 3
+RATIO_REPEATS = 8
+
+#: A fully analyzed run (fused engine on block-summary events, no
+#: windowed pass — the §3–§5 metrics every suite config computes) may
+#: cost at most this multiple of the raw translated run.
+ANALYZED_MAX_RATIO = 2.5
 
 
 def _best(image, isa, translate: bool) -> tuple[float, int]:
@@ -45,6 +58,40 @@ def _best(image, isa, translate: bool) -> tuple[float, int]:
         if best is None or seconds < best:
             best = seconds
     return best, instructions
+
+
+def _best_ratio_pair(compiled, isa) -> tuple[float, float, float]:
+    """Translated/analyzed timings in interleaved rounds.
+
+    Returns ``(best_translated, best_analyzed, best_round_ratio)``.
+    The guard statistic is the *minimum per-round ratio*: a scheduler
+    spike landing on either phase of a round only inflates that round,
+    and the cleanest round survives — while a genuine analysis-path
+    regression shifts every round up and still trips the limit.
+    Comparing per-phase minima instead would pair timings from
+    different rounds (different box states) and flap under load."""
+    from repro.analysis import FusedAnalysisEngine
+    from repro.sim.config import load_core_model
+
+    model = load_core_model("tx2-riscv")
+    best_t = best_a = best_r = None
+    for _ in range(RATIO_REPEATS):
+        started = time.perf_counter()
+        run_image(compiled.image, isa, translate=True)
+        trans = time.perf_counter() - started
+        if best_t is None or trans < best_t:
+            best_t = trans
+        engine = FusedAnalysisEngine(regions=compiled.image.regions,
+                                     model=model)
+        started = time.perf_counter()
+        run_image(compiled.image, isa, batch_sinks=[engine])
+        engine.results()
+        analyzed = time.perf_counter() - started
+        if best_a is None or analyzed < best_a:
+            best_a = analyzed
+        if best_r is None or analyzed / trans < best_r:
+            best_r = analyzed / trans
+    return best_t, best_a, best_r
 
 
 def _fault_smoke() -> int:
@@ -75,7 +122,7 @@ def main() -> int:
     isa = get_isa(compiled.isa_name)
 
     interp_s, instructions = _best(compiled.image, isa, translate=False)
-    trans_s, _ = _best(compiled.image, isa, translate=True)
+    trans_s, analyzed_s, ratio = _best_ratio_pair(compiled, isa)
 
     interp_ips = instructions / interp_s
     trans_ips = instructions / trans_s
@@ -89,6 +136,17 @@ def main() -> int:
               file=sys.stderr)
         return 1
     print("OK: translated path is faster than the interpreter")
+
+    print(f"analyzed   : {instructions / analyzed_s / 1e6:6.2f} M inst/s "
+          f"({analyzed_s:.3f}s, best round {ratio:.2f}x of raw "
+          f"translated)")
+    if ratio > ANALYZED_MAX_RATIO:
+        print(f"FAIL: fused analysis costs {ratio:.2f}x raw translation "
+              f"(limit {ANALYZED_MAX_RATIO}x) — the block-summary fast "
+              f"path has regressed", file=sys.stderr)
+        return 1
+    print(f"OK: fused analysis within {ANALYZED_MAX_RATIO}x of raw "
+          f"translation")
     return _fault_smoke()
 
 
