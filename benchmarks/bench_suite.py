@@ -1,13 +1,21 @@
 """Timing script for the experiment engine: serial vs parallel vs cached.
 
-Runs the suite four ways — in-process serial, process-parallel
-(``--jobs``), a second cached pass, and a trace-replay pass (changed
-window sizes against the same cache, so analyses replay recorded
-retirement streams instead of re-simulating) — and writes ``BENCH_suite.json``
-next to this file (or to ``--out``) so future PRs have a performance
-trajectory to compare against::
+Runs the suite several ways — in-process serial, process-parallel
+(``--jobs``), intra-run sharded (``--shards``, auto by default), a
+second cached pass, and a trace-replay pass (changed window sizes
+against the same cache, so analyses replay recorded retirement streams
+instead of re-simulating) — and writes ``BENCH_suite.json`` next to
+this file (or to ``--out``) so future PRs have a performance trajectory
+to compare against::
 
     PYTHONPATH=src python benchmarks/bench_suite.py --scale 0.05 --jobs 4
+
+The script is honest about the host it ran on: ``cpus`` records the
+effective core count, and on a single-core box the parallel and sharded
+comparisons are *skipped* rather than timed — multiprocess passes on
+one core measure only fork/IPC overhead, and publishing a "speedup"
+below 1.0 would poison the trajectory. Skipped passes record ``null``
+plus a machine-readable reason.
 
 Not a pytest file: run it directly. The cache passes use a throwaway
 directory, so they never touch (or benefit from) the user's real cache.
@@ -29,6 +37,7 @@ sys.path.insert(
 
 from repro import __version__  # noqa: E402
 from repro.harness import Executor, ResultCache, plan_suite  # noqa: E402
+from repro.harness.sharding import resolve_shards  # noqa: E402
 
 
 def _timed_run(plans, *, jobs: int, cache=None) -> float:
@@ -46,6 +55,9 @@ def main(argv=None) -> int:
                              "fastest)")
     parser.add_argument("--jobs", type=int, default=max(2, os.cpu_count() or 2),
                         help="worker processes for the parallel pass")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="slices per config for the sharded pass "
+                             "(0 = auto: one per core)")
     parser.add_argument("--windows", type=str, default="4,16,64",
                         help="window sizes for the §6 probes")
     parser.add_argument("--out", type=pathlib.Path,
@@ -53,18 +65,36 @@ def main(argv=None) -> int:
                         / "BENCH_suite.json")
     args = parser.parse_args(argv)
 
+    cores = os.cpu_count() or 1
+    multicore = cores >= 2
     workloads = tuple(args.workloads.split(","))
     windows = tuple(int(w) for w in args.windows.split(","))
     plans = plan_suite(args.scale, workloads=workloads, windowed=True,
                        window_sizes=windows)
     print(f"benchmarking {len(plans)} configs "
-          f"(scale={args.scale:g}, jobs={args.jobs}) ...", flush=True)
+          f"(scale={args.scale:g}, jobs={args.jobs}, cores={cores}) ...",
+          flush=True)
 
     serial_s = _timed_run(plans, jobs=1)
     print(f"  serial           : {serial_s:8.2f}s", flush=True)
 
-    parallel_s = _timed_run(plans, jobs=args.jobs)
-    print(f"  parallel (j={args.jobs}) : {parallel_s:8.2f}s", flush=True)
+    parallel_s = None
+    if multicore:
+        parallel_s = _timed_run(plans, jobs=args.jobs)
+        print(f"  parallel (j={args.jobs}) : {parallel_s:8.2f}s", flush=True)
+    else:
+        print("  parallel         :  skipped (single-core host)", flush=True)
+
+    shards = resolve_shards(args.shards, cores=cores)
+    sharded_s = None
+    if multicore and shards > 1:
+        shard_plans = plan_suite(args.scale, workloads=workloads,
+                                 windowed=True, window_sizes=windows,
+                                 shards=shards)
+        sharded_s = _timed_run(shard_plans, jobs=1)
+        print(f"  sharded (s={shards}) : {sharded_s:8.2f}s", flush=True)
+    else:
+        print("  sharded          :  skipped (single-core host)", flush=True)
 
     with tempfile.TemporaryDirectory() as tmp:
         cold_s = _timed_run(plans, jobs=1, cache=ResultCache(tmp))
@@ -79,22 +109,30 @@ def main(argv=None) -> int:
     print(f"  cache warm (hits): {warm_s:8.2f}s", flush=True)
     print(f"  trace replay     : {replay_s:8.2f}s", flush=True)
 
+    skip_reason = None if multicore else "single-core host"
     doc = {
         "version": __version__,
         "python": platform.python_version(),
-        "cpus": os.cpu_count(),
+        "cpus": cores,
         "scale": args.scale,
         "workloads": list(workloads),
         "windows": list(windows),
         "configs": len(plans),
         "jobs": args.jobs,
+        "shards": shards,
         "serial_seconds": round(serial_s, 3),
-        "parallel_seconds": round(parallel_s, 3),
+        "parallel_seconds": round(parallel_s, 3)
+        if parallel_s is not None else None,
+        "sharded_seconds": round(sharded_s, 3)
+        if sharded_s is not None else None,
         "cache_cold_seconds": round(cold_s, 3),
         "cache_warm_seconds": round(warm_s, 3),
         "trace_replay_seconds": round(replay_s, 3),
         "parallel_speedup": round(serial_s / parallel_s, 3)
         if parallel_s else None,
+        "shard_speedup": round(serial_s / sharded_s, 3)
+        if sharded_s else None,
+        "skipped_reason": skip_reason,
         "cache_hit_speedup": round(cold_s / warm_s, 3) if warm_s else None,
         "trace_replay_speedup": round(serial_s / replay_s, 3)
         if replay_s else None,

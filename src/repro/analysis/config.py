@@ -71,6 +71,14 @@ class AnalysisConfig:
                 "trace recording requires the fused (batched) engine"
             )
 
+    @property
+    def shardable(self) -> bool:
+        """Whether this config can run under the deterministic sharded
+        executor (:mod:`repro.harness.sharding`). Only the fused engine
+        shards: its :class:`AnalysisState` merge is associative, while
+        the legacy per-retire probes carry unmergeable running state."""
+        return self.engine == "fused"
+
     def build_engine(self, regions=(), model=None, *,
                      relative: bool = False):
         """A :class:`FusedAnalysisEngine` configured per this value."""

@@ -77,6 +77,38 @@ _MEMO_MAX_ITEMS = 4_000_000
 #: Bump when the serialized shape of :class:`AnalysisResult` changes.
 ANALYSIS_SCHEMA = 1
 
+#: Bump when the serialized shape of an engine *state* document
+#: (:meth:`FusedAnalysisEngine.state_doc`) changes.
+STATE_SCHEMA = 1
+
+
+class _InstMeta:
+    """Static-table stand-in carrying a :class:`DecodedInst`'s metadata.
+
+    Engine state crosses process boundaries as documents
+    (:meth:`FusedAnalysisEngine.state_doc`), but the real static table
+    holds decoded instructions whose ``execute`` closures cannot be
+    pickled. ``_InstMeta`` duck-types the analysis-side surface — every
+    attribute :meth:`results` and the merge path read — and nothing
+    execution-side, which a merged engine never needs.
+    """
+
+    __slots__ = ("pc", "word", "mnemonic", "text", "group", "srcs",
+                 "dsts", "is_load", "is_store", "is_branch")
+
+    def __init__(self, pc, word, mnemonic, text, group, srcs, dsts,
+                 is_load, is_store, is_branch):
+        self.pc = pc
+        self.word = word
+        self.mnemonic = mnemonic
+        self.text = text
+        self.group = InstructionGroup(group)
+        self.srcs = tuple(srcs)
+        self.dsts = tuple(dsts)
+        self.is_load = is_load
+        self.is_store = is_store
+        self.is_branch = is_branch
+
 
 @dataclass
 class AnalysisResult:
@@ -630,8 +662,16 @@ class FusedAnalysisEngine:
         getp = mem_p.get
         gets = mem_s.get
         bz = self.break_on_zero
-        best_p = self._best_p
-        best_s = self._best_s
+        # The best-depth accumulators max in a new value every retirement
+        # while their term sets grow with every fresh unseen cell — a
+        # fresh-dict _rel_max2 there is quadratic in the slice length.
+        # Copy once per batch and accumulate in place; the tuple stored
+        # back at the end is never mutated again (the next batch copies),
+        # so exported references stay immutable.
+        bp_c, bp_t = self._best_p
+        bp_t = dict(bp_t)
+        bs_c, bs_t = self._best_s
+        bs_t = dict(bs_t)
         for idx, r1, w1 in zip(indices, read_ends, write_ends):
             srcs, dd, wt = meta[idx]
             vals_p = []
@@ -674,10 +714,22 @@ class FusedAnalysisEngine:
                 for cell in cells:
                     mem_p[cell] = dp
                     mem_s[cell] = ds
-            best_p = _rel_max2(best_p, dp)
-            best_s = _rel_max2(best_s, ds)
-        self._best_p = best_p
-        self._best_s = best_s
+            c, t = dp
+            if c > bp_c:
+                bp_c = c
+            for s, o in t.items():
+                cur = bp_t.get(s)
+                if cur is None or o > cur:
+                    bp_t[s] = o
+            c, t = ds
+            if c > bs_c:
+                bs_c = c
+            for s, o in t.items():
+                cur = bs_t.get(s)
+                if cur is None or o > cur:
+                    bs_t[s] = o
+        self._best_p = (bp_c, bp_t)
+        self._best_s = (bs_c, bs_t)
 
     # -- windowed critical paths -----------------------------------------
 
@@ -1402,8 +1454,12 @@ class FusedAnalysisEngine:
         """Merge a *relative* engine's state onto this one in place.
 
         ``other`` must be a relative engine that consumed the stream
-        suffix immediately following this engine's prefix (same static
-        table, same analysis parameters); it is left intact. Counting
+        suffix immediately following this engine's prefix with the same
+        analysis parameters; it is left semantically intact. Engines
+        sharing one core's static table merge index-for-index; engines
+        with distinct tables (other cores, other processes — see
+        :meth:`state_doc`) are re-keyed by ``(pc, word)`` identity
+        first (:meth:`_rebase`). Counting
         state adds, chain heads compose through the max-plus values
         evaluated against this engine's pre-merge environment, and the
         window buffers concatenate (the relative side never consumes a
@@ -1424,17 +1480,34 @@ class FusedAnalysisEngine:
             if st.next_start or st.result.count:
                 raise ValueError("suffix window state already consumed")
 
-        self._ensure_meta(other._table)
         self._flatten_counts()
         other._flatten_counts()
         oc = other._counts
-        n = len(oc)
-        if len(self._counts) < n:
-            grown = np.zeros(n, dtype=np.int64)
-            grown[: len(self._counts)] = self._counts
-            self._counts = grown
-        if n:
-            self._counts[:n] += oc
+        if other._table is self._table:
+            # in-process fast path: both engines index one shared core
+            # table, so `other` is an extension-compatible view of it
+            remap = None
+            self._ensure_meta(other._table)
+            n = len(oc)
+            if len(self._counts) < n:
+                grown = np.zeros(n, dtype=np.int64)
+                grown[: len(self._counts)] = self._counts
+                self._counts = grown
+            if n:
+                self._counts[:n] += oc
+        else:
+            # cross-core/cross-process: the suffix engine built its own
+            # table in its own first-retirement order — re-key every
+            # index by (pc, word) identity
+            remap = self._rebase(other)
+            n = len(self._srcs)
+            if len(self._counts) < n:
+                grown = np.zeros(n, dtype=np.int64)
+                grown[: len(self._counts)] = self._counts
+                self._counts = grown
+            if len(oc):
+                np.add.at(self._counts,
+                          np.asarray(remap[:len(oc)], dtype=np.int64), oc)
         self._total += other._total
 
         # chains: evaluate every value of `other` against this engine's
@@ -1490,7 +1563,14 @@ class FusedAnalysisEngine:
         if self._wstates:
             base_r = self._rc_base + len(self._rcells)
             base_w = self._wc_base + len(self._wcells)
-            self._keys.extend(other._keys)
+            if remap is None:
+                self._keys.extend(other._keys)
+            else:
+                # item keys carry the static index in their high bits
+                mask = (1 << _IDX_SHIFT) - 1
+                self._keys.extend(
+                    (remap[k >> _IDX_SHIFT] << _IDX_SHIFT) | (k & mask)
+                    for k in other._keys)
             self._rends.extend([base_r + e for e in other._rends])
             self._wends.extend([base_w + e for e in other._wends])
             if other._rcells:
@@ -1506,6 +1586,157 @@ class FusedAnalysisEngine:
             if not rel:
                 self._consume_windows()
                 self._trim()
+
+    def _rebase(self, other: "FusedAnalysisEngine") -> list[int]:
+        """Map ``other``'s static indices onto this engine's table.
+
+        Two engines that consumed slices on different cores (or in
+        different processes) each hold a table in their *own*
+        first-retirement order; instructions are identified across them
+        by ``(pc, word)`` — exact, since code is not self-modifying.
+        Unseen instructions are appended to this engine's table in
+        ``other``'s order, which is precisely the order a serial run
+        would first retire them in, so the merged table (and therefore
+        every insertion-ordered result dict) matches serial
+        byte-for-byte. The table is copied before any append: clones
+        share tables by reference (possibly a live core's), and a merge
+        must never mutate one it doesn't own.
+        """
+        table = self._table
+        index: dict = {}
+        for j in range(len(table)):
+            inst = table[j]
+            index.setdefault((inst.pc, inst.word), j)
+        owned = False
+        remap: list[int] = []
+        osrcs = other._srcs
+        odsts = other._dsts
+        ometa = other._meta
+        otable = other._table
+        for j in range(len(osrcs)):
+            inst = otable[j]
+            key = (inst.pc, inst.word)
+            idx = index.get(key)
+            if idx is None:
+                if not owned:
+                    self._table = table = list(table)
+                    owned = True
+                idx = len(table)
+                index[key] = idx
+                table.append(inst)
+                self._srcs.append(osrcs[j])
+                self._dsts.append(odsts[j])
+                self._meta.append(ometa[j])
+            remap.append(idx)
+        return remap
+
+    # -- cross-process state transport -----------------------------------
+
+    def state_doc(self) -> dict:
+        """This engine's accumulated state as a process-portable document.
+
+        Everything :meth:`absorb` and :meth:`results` need, in plain
+        containers: the static table is flattened to metadata tuples
+        (decoded ``execute`` closures cannot cross a pipe; see
+        :class:`_InstMeta`), numpy counts become a list, and pure caches
+        are dropped — the receiving side rebuilds cold ones. Inverse of
+        :meth:`load_state_doc`.
+        """
+        self._flatten_counts()
+        n = len(self._srcs)
+        table = [
+            (inst.pc, inst.word, inst.mnemonic, inst.text,
+             int(inst.group), tuple(inst.srcs), tuple(inst.dsts),
+             inst.is_load, inst.is_store, inst.is_branch)
+            for inst in self._table[:n]
+        ]
+        return {
+            "v": STATE_SCHEMA,
+            "relative": self._relative,
+            "break_on_zero": self.break_on_zero,
+            "gw_key": self._gw_key,
+            "windows": [(st.size, st.slide) for st in self._wstates],
+            "table": table,
+            "counts": self._counts.tolist(),
+            "total": self._total,
+            "reg_p": list(self._reg_p),
+            "reg_s": list(self._reg_s),
+            "best_p": self._best_p,
+            "best_s": self._best_s,
+            "mem_p": dict(self._mem_p),
+            "mem_s": dict(self._mem_s),
+            "wstates": [
+                (st.next_start, st.result.count, st.result.total_cp,
+                 st.result.max_cp, st.result.min_cp, list(st.result.cps))
+                for st in self._wstates
+            ],
+            "keys": list(self._keys),
+            "key_base": self._key_base,
+            "rcells": list(self._rcells),
+            "rdeltas": list(self._rdeltas),
+            "wcells": list(self._wcells),
+            "wdeltas": list(self._wdeltas),
+            "rends": list(self._rends),
+            "wends": list(self._wends),
+            "rc_base": self._rc_base,
+            "wc_base": self._wc_base,
+            "prev_rcell": self._prev_rcell,
+            "prev_wcell": self._prev_wcell,
+        }
+
+    def load_state_doc(self, doc: dict) -> None:
+        """Adopt a :meth:`state_doc` document into this (fresh) engine.
+
+        The engine must have been constructed with the same analysis
+        parameters the document's producer used (the harness builds both
+        sides from one :class:`~repro.analysis.config.AnalysisConfig`)
+        and must not have consumed anything yet.
+        """
+        if doc.get("v") != STATE_SCHEMA:
+            raise ValueError(
+                f"engine state schema {doc.get('v')!r} != {STATE_SCHEMA}")
+        if bool(doc["relative"]) != self._relative:
+            raise ValueError("relative-mode mismatch")
+        if doc["break_on_zero"] != self.break_on_zero:
+            raise ValueError("break_on_zero mismatch")
+        if tuple(doc["gw_key"]) != self._gw_key:
+            raise ValueError("latency model mismatch")
+        if ([tuple(w) for w in doc["windows"]]
+                != [(st.size, st.slide) for st in self._wstates]):
+            raise ValueError("window configuration mismatch")
+        if self._total or self._keys or len(self._counts):
+            raise ValueError("can only load state into a fresh engine")
+        self._table = [_InstMeta(*t) for t in doc["table"]]
+        self._srcs = []
+        self._dsts = []
+        self._meta = []
+        self._ensure_meta(self._table)
+        self._counts = np.asarray(doc["counts"], dtype=np.int64)
+        self._total = doc["total"]
+        self._reg_p = list(doc["reg_p"])
+        self._reg_s = list(doc["reg_s"])
+        self._best_p = doc["best_p"]
+        self._best_s = doc["best_s"]
+        self._mem_p = dict(doc["mem_p"])
+        self._mem_s = dict(doc["mem_s"])
+        for st, (next_start, count, total_cp, max_cp, min_cp, cps) in zip(
+                self._wstates, doc["wstates"]):
+            st.next_start = next_start
+            st.result = WindowedCPResult(
+                window_size=st.size, count=count, total_cp=total_cp,
+                max_cp=max_cp, min_cp=min_cp, cps=list(cps))
+        self._keys = list(doc["keys"])
+        self._key_base = doc["key_base"]
+        self._rcells = list(doc["rcells"])
+        self._rdeltas = list(doc["rdeltas"])
+        self._wcells = list(doc["wcells"])
+        self._wdeltas = list(doc["wdeltas"])
+        self._rends = list(doc["rends"])
+        self._wends = list(doc["wends"])
+        self._rc_base = doc["rc_base"]
+        self._wc_base = doc["wc_base"]
+        self._prev_rcell = doc["prev_rcell"]
+        self._prev_wcell = doc["prev_wcell"]
 
 
 class AnalysisState:
@@ -1541,3 +1772,17 @@ class AnalysisState:
     def results(self) -> AnalysisResult:
         """Absolute results; raises for a relative (suffix) state."""
         return self._engine.results()
+
+    def to_doc(self) -> dict:
+        """Process-portable form (:meth:`FusedAnalysisEngine.state_doc`)."""
+        return self._engine.state_doc()
+
+    @classmethod
+    def from_doc(cls, doc: dict,
+                 engine: FusedAnalysisEngine) -> "AnalysisState":
+        """Rehydrate a state document into ``engine`` (a freshly built
+        engine with the producing side's analysis parameters) and wrap
+        it. The shard workers ship their slice states through pipes this
+        way; the parent merges them exactly as in-process states."""
+        engine.load_state_doc(doc)
+        return cls(engine)

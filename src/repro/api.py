@@ -23,6 +23,10 @@ The pieces:
   description of the paper's experiment matrix.
 * :class:`Executor` / :class:`ResultCache` — parallel execution with
   timeout/retry/heartbeat and the content-addressed result cache.
+* :class:`MachineSnapshot` / :func:`resolve_shards` /
+  :class:`PlanShardStats` — the deterministic intra-run sharding layer
+  (snapshot + fast-forward + parallel analysis slices; pass
+  ``shards=`` to :func:`run_config`, :func:`run_suite` or the plans).
 * :func:`run_suite` + ``run_figure1``/``run_table1``/``run_table2``/
   ``run_figure2`` — the paper artifacts.
 """
@@ -36,6 +40,7 @@ from repro.analysis import (
     FusedAnalysisEngine,
 )
 from repro.harness.cache import ResultCache, default_cache_dir
+from repro.harness.events import PlanShardStats
 from repro.harness.executor import Executor
 from repro.harness.experiments import (
     ConfigResult,
@@ -49,6 +54,8 @@ from repro.harness.experiments import (
     run_table2,
 )
 from repro.harness.plan import ExperimentPlan, plan_suite
+from repro.harness.sharding import resolve_shards, run_sharded_config
+from repro.sim import MachineSnapshot
 from repro.workloads import get_workload
 
 __all__ = [
@@ -59,15 +66,19 @@ __all__ = [
     "Executor",
     "ExperimentPlan",
     "FusedAnalysisEngine",
+    "MachineSnapshot",
+    "PlanShardStats",
     "ResultCache",
     "SuiteResult",
     "default_cache_dir",
     "get_workload",
     "plan_suite",
     "replay_config",
+    "resolve_shards",
     "run_config",
     "run_figure1",
     "run_figure2",
+    "run_sharded_config",
     "run_suite",
     "run_table1",
     "run_table2",

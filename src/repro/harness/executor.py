@@ -58,6 +58,7 @@ from repro.harness.events import (
     PlanCacheHit,
     PlanFailed,
     PlanFinished,
+    PlanShardStats,
     PlanStarted,
     PlanTraceHit,
     PlanTranslationStats,
@@ -145,7 +146,14 @@ def execute_plan(plan: ExperimentPlan,
         blob = trace_store.get(key)
         if blob is not None:
             return replay_config(read_trace(blob), plan)
-        trace_writer = TraceWriter()
+        if plan.shards == 1:
+            # A sharded plan skips trace *recording*: the trace sink
+            # would force every slice onto the slow per-retirement path
+            # (and exclude worker processes), costing far more than the
+            # recorded trace could ever save. Replay above still works —
+            # a trace recorded by any serial run of the same simulation
+            # identity satisfies sharded plans too.
+            trace_writer = TraceWriter()
 
     workload = get_workload(plan.workload, plan.scale)
     result = run_config(
@@ -157,6 +165,7 @@ def execute_plan(plan: ExperimentPlan,
         max_instructions=plan.max_instructions,
         trace_writer=trace_writer,
         translate=plan.translate,
+        shards=plan.shards,
     )
     if trace_store is not None and trace_writer is not None:
         trace_store.put(plan.trace_fingerprint(), trace_writer.finish())
@@ -348,13 +357,22 @@ class Executor:
         if todo:
             supervised = (self.timeout is not None
                           or self.heartbeat is not None)
-            if (jobs == 1 or len(todo) == 1) and not supervised:
-                fresh = self._run_serial(todo, indices, total, failures,
-                                         reports)
-            else:
-                fresh = self._run_pool(todo, indices, total, failures,
-                                       reports, jobs)
-            results.update(fresh)
+            # Sharded plans fan out their own per-slice worker
+            # processes; the pool's daemonic workers cannot fork, so
+            # those plans take the serial path and parallelize
+            # *internally* instead of nesting inside the pool.
+            sharded = [plan for plan in todo if plan.shards != 1]
+            pooled = [plan for plan in todo if plan.shards == 1]
+            if pooled:
+                if (jobs == 1 or len(pooled) == 1) and not supervised:
+                    results.update(self._run_serial(
+                        pooled, indices, total, failures, reports))
+                else:
+                    results.update(self._run_pool(
+                        pooled, indices, total, failures, reports, jobs))
+            if sharded:
+                results.update(self._run_serial(
+                    sharded, indices, total, failures, reports))
 
         self.events.emit(SuiteFinished(
             total=total,
@@ -379,6 +397,7 @@ class Executor:
         models: dict[str, str] | None = None,
         max_instructions: int = 500_000_000,
         translate: bool = True,
+        shards: int = 1,
     ) -> "SuiteResult":
         """Plan and execute the paper matrix; assemble a SuiteResult."""
         from repro.analysis.windowed import PAPER_WINDOW_SIZES
@@ -395,6 +414,7 @@ class Executor:
             models=models,
             max_instructions=max_instructions,
             translate=translate,
+            shards=shards,
         )
         results = self.run(plans)
         names = tuple(workloads) if workloads else tuple(
@@ -491,6 +511,10 @@ class Executor:
                     self.events.emit(PlanTranslationStats(
                         plan=plan, index=indices[plan], total=total,
                         stats=result.translation))
+                if result.shard_stats is not None:
+                    self.events.emit(PlanShardStats(
+                        plan=plan, index=indices[plan], total=total,
+                        stats=result.shard_stats))
                 self.events.emit(PlanFinished(
                     plan=plan, index=indices[plan], total=total,
                     seconds=seconds, attempt=attempt))

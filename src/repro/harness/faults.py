@@ -22,6 +22,14 @@ site                  checked by
                       trace envelope (``truncate``, ``garble``, ``empty``)
 ``cache-tmp-leftover``  :meth:`ResultCache.put`/:meth:`TraceStore.put` —
                       leaves a stray ``*.tmp`` file (``leftover``)
+``shard``               :func:`repro.harness.sharding._shard_child`, before
+                      the snapshot decodes (``crash``, ``hang``,
+                      ``transient``, ``error``) — and as a *data* site on
+                      the snapshot blob the parent ships (``truncate``,
+                      ``garble``, ``empty``: the worker sees a corrupt
+                      snapshot and dies with :class:`SnapshotError`).
+                      Exhausted retries fall the slice back to in-process
+                      serial execution; the plan never fails.
 ``translate-compile``   block compilation in :mod:`repro.sim.blocks`
                       (``error``; exercises per-block demotion)
 ``semantics``           compiled-block wrapping in :mod:`repro.sim.blocks`
@@ -160,15 +168,21 @@ class FaultPlan:
     # -- firing ----------------------------------------------------------
 
     def fire(self, site: str, *, plan: str = "", attempt: int = 0,
-             in_worker: bool = False) -> FaultSpec | None:
+             in_worker: bool = False,
+             kinds: tuple[str, ...] | None = None) -> FaultSpec | None:
         """The first spec firing at this occurrence of ``site``, or None.
 
         Increments each matching spec's occurrence counter (filters
         first, so a spec scoped to one plan counts only that plan's
-        occurrences).
+        occurrences). ``kinds`` restricts which specs are considered —
+        a site that is both an action point and a data point (``shard``:
+        the parent corrupts the blob, the child checks for crashes)
+        fires each spec only at the call that can apply it.
         """
         for i, spec in enumerate(self.specs):
             if spec.site != site:
+                continue
+            if kinds is not None and spec.kind not in kinds:
                 continue
             if spec.plan and spec.plan not in plan:
                 continue
@@ -259,16 +273,17 @@ def set_context(*, plan: str = "", attempt: int = 0,
     _CONTEXT.update(plan=plan, attempt=attempt, in_worker=in_worker)
 
 
-def fire(site: str) -> FaultSpec | None:
+def fire(site: str,
+         kinds: tuple[str, ...] | None = None) -> FaultSpec | None:
     """Fire ``site`` under the current context; None when inactive."""
     if _ACTIVE is None:
         return None
-    return _ACTIVE.fire(site, **_CONTEXT)
+    return _ACTIVE.fire(site, kinds=kinds, **_CONTEXT)
 
 
 def check(site: str) -> None:
     """Fire ``site`` and *perform* an action fault (crash/hang/raise)."""
-    spec = fire(site)
+    spec = fire(site, ACTION_KINDS)
     if spec is None:
         return
     if spec.kind == "crash":
@@ -297,7 +312,7 @@ def mutate_block(fn, insts):
     blocks with none). Demoted blocks are never passed through here, so
     the interpreter stays a trustworthy oracle.
     """
-    spec = fire("semantics")
+    spec = fire("semantics", SEMANTIC_KINDS)
     if spec is None:
         return fn
     if spec.kind != "skew":
@@ -318,7 +333,7 @@ def mutate_block(fn, insts):
 def corrupt(site: str, data: bytes) -> bytes:
     """Fire ``site`` and mangle ``data`` per the spec (identity when the
     site does not fire)."""
-    spec = fire(site)
+    spec = fire(site, DATA_KINDS)
     if spec is None:
         return data
     if spec.kind == "truncate":

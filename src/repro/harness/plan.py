@@ -36,7 +36,9 @@ ISA_DISPLAY = {"aarch64": "AArch64", "rv64": "RISC-V"}
 PROFILE_DISPLAY = {"gcc9": "GCC 9.2", "gcc12": "GCC 12.2"}
 
 #: Bump when the serialized shape of :class:`ExperimentPlan` changes.
-PLAN_SCHEMA = 2
+#: v3 adds ``shards`` (execution strategy, like ``translate`` — part of
+#: the serialized plan but excluded from the result fingerprint).
+PLAN_SCHEMA = 3
 
 
 @dataclass(frozen=True)
@@ -58,6 +60,12 @@ class ExperimentPlan:
     #: Results are identical either way (the interpreter is the
     #: differential oracle); False forces per-instruction interpretation.
     translate: bool = True
+    #: Deterministic intra-run sharding (:mod:`repro.harness.sharding`):
+    #: 1 (default) runs serially, N > 1 analyzes the retirement stream
+    #: in N parallel slices, 0 picks a slice count from the CPU count.
+    #: Results are byte-identical at any value, so — like ``translate``
+    #: — this is an execution strategy, excluded from the fingerprint.
+    shards: int = 1
 
     def __post_init__(self):
         if self.workload not in ALL_WORKLOADS:
@@ -74,6 +82,9 @@ class ExperimentPlan:
         if not self.model:
             object.__setattr__(self, "model", SCALED_MODELS[self.isa])
         object.__setattr__(self, "window_sizes", tuple(self.window_sizes))
+        if self.shards < 0:
+            raise ExperimentError(
+                f"shards must be >= 0 (0 = auto), got {self.shards}")
 
     # -- identity --------------------------------------------------------
 
@@ -112,11 +123,12 @@ class ExperimentPlan:
             "model": self.model,
             "max_instructions": self.max_instructions,
             "translate": self.translate,
+            "shards": self.shards,
         }
 
     @classmethod
     def from_dict(cls, doc: dict) -> "ExperimentPlan":
-        if doc.get("v") != PLAN_SCHEMA:
+        if doc.get("v") not in (2, PLAN_SCHEMA):
             raise ExperimentError(
                 f"ExperimentPlan schema {doc.get('v')!r} != {PLAN_SCHEMA}"
             )
@@ -131,6 +143,7 @@ class ExperimentPlan:
             model=doc["model"],
             max_instructions=int(doc["max_instructions"]),
             translate=bool(doc["translate"]),
+            shards=int(doc.get("shards", 1)),  # v2 docs predate sharding
         )
 
     def fingerprint(self) -> str:
@@ -141,10 +154,12 @@ class ExperimentPlan:
         from repro.sim.config import load_core_model
 
         doc = self.to_dict()
-        # translate selects an execution strategy, not a result: the
-        # translated and interpreted paths are differentially asserted
-        # identical, so both share one cache entry
+        # translate and shards select execution strategies, not results:
+        # the translated/interpreted paths are differentially asserted
+        # identical and sharded merges are byte-identical to serial by
+        # construction, so every variant shares one cache entry
         doc.pop("translate", None)
+        doc.pop("shards", None)
         doc["model_fingerprint"] = load_core_model(self.model).fingerprint()
         doc["result_schema"] = _result_schema_versions()
         blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
@@ -203,6 +218,7 @@ def suite_params_doc(
     models: dict[str, str] | None = None,
     max_instructions: int = 500_000_000,
     translate: bool = True,
+    shards: int = 1,
 ) -> dict:
     """The :func:`plan_suite` parameters as a JSON-safe dict — what a
     run journal stores so ``--resume`` can reconstruct the exact plan
@@ -217,6 +233,7 @@ def suite_params_doc(
         "models": dict(models) if models else None,
         "max_instructions": max_instructions,
         "translate": translate,
+        "shards": shards,
     }
 
 
@@ -231,6 +248,7 @@ def suite_from_params(doc: dict) -> list[ExperimentPlan]:
         models=doc.get("models") or None,
         max_instructions=int(doc["max_instructions"]),
         translate=bool(doc.get("translate", True)),
+        shards=int(doc.get("shards", 1)),
     )
 
 
@@ -244,6 +262,7 @@ def plan_suite(
     models: dict[str, str] | None = None,
     max_instructions: int = 500_000_000,
     translate: bool = True,
+    shards: int = 1,
 ) -> list[ExperimentPlan]:
     """The paper's full matrix as a list of plans, in deterministic order
     (workload-major, then ISA, then profile). Windowed analysis is
@@ -265,5 +284,6 @@ def plan_suite(
                     model=(models or SCALED_MODELS)[isa],
                     max_instructions=max_instructions,
                     translate=translate,
+                    shards=shards,
                 ))
     return plans

@@ -18,7 +18,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
-from repro.common import DecodeError, SimulationError
+from repro.common import BudgetExhausted, DecodeError, SimulationError
 from repro.isa.base import DecodedInst, ISA
 from repro.loader import LoadedImage, load_program
 from repro.sim.machine import Machine
@@ -225,7 +225,7 @@ class EmulationCore:
                     if retired >= max_instructions and machine.running:
                         # a clean exit on exactly the last budgeted
                         # instruction is a normal completion
-                        raise SimulationError(
+                        raise BudgetExhausted(
                             f"instruction budget ({max_instructions}) exhausted",
                             pc=pc,
                         )
@@ -269,7 +269,7 @@ class EmulationCore:
                     retired += executed
                     remaining -= executed
                     if remaining == 0 and machine.running:
-                        raise SimulationError(
+                        raise BudgetExhausted(
                             f"instruction budget ({max_instructions}) "
                             f"exhausted",
                             pc=pc,
@@ -290,6 +290,35 @@ class EmulationCore:
             stdout=bytes(machine.stdout),
             stderr=bytes(machine.stderr),
         )
+
+    def fast_forward(self, count: int) -> int:
+        """Advance by exactly ``count`` retired instructions, no sinks.
+
+        The sharded executor's fast-forward primitive: probe-free
+        execution (translated when this core translates, bounded
+        interpretation otherwise) that stops precisely at retirement
+        ``count`` instead of treating it as budget exhaustion. Returns
+        the number retired — ``count``, or fewer iff the program
+        exited. Retirements fold into ``machine.instret`` exactly as a
+        run's would, so fast-forward + resumed run == one uninterrupted
+        run, state-for-state (see
+        :func:`repro.sim.blocks.fast_forward_translated`).
+        """
+        try:
+            if self.translate:
+                from repro.sim.blocks import fast_forward_translated
+
+                return fast_forward_translated(self, count)
+            from repro.sim.blocks import _interp_tail_plain
+
+            executed = _interp_tail_plain(self, count)
+            self.machine.instret += executed
+            return executed
+        except (SimulationError, DecodeError) as err:
+            from repro.sim import postmortem
+
+            postmortem.attach(self, err)
+            raise
 
     def run_batched(
         self,
@@ -405,7 +434,7 @@ class EmulationCore:
                     del reads[:]
                     del writes[:]
                 if remaining == 0 and machine.running:
-                    raise SimulationError(
+                    raise BudgetExhausted(
                         f"instruction budget ({max_instructions}) exhausted",
                         pc=pc,
                     )

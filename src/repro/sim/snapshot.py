@@ -1,0 +1,209 @@
+"""Compact, versioned machine snapshots for deterministic sharding.
+
+A :class:`MachineSnapshot` captures one machine at an exact retirement
+position: the full architectural/process state from
+:meth:`Machine.capture_state` plus the memory pages that differ from the
+freshly loaded program image. Diffing against the image baseline keeps
+snapshots proportional to the guest's *working set* — a 10M-element
+STREAM run dirties its arrays, not the whole 16 MiB address space — and
+makes every snapshot self-contained: restoring never needs an earlier
+snapshot, so the checkpoint recorder can thin its history by simply
+dropping entries.
+
+Restoration is exact and in-place. Compiled block functions (see
+:mod:`repro.sim.inline`) bind ``machine.r``, ``machine.f``,
+``memory.data`` and the access-log ``append`` methods by *object
+identity*, so a restore zeroes memory in place, re-plays the image
+segments, applies the page diff, and slice-assigns the register files —
+never rebinding any of those objects. A machine restored this way is
+byte-identical to one that executed serially to the same retirement
+position, which is what makes sharded analysis results byte-identical to
+serial ones by construction.
+
+The wire format reuses the cache/trace framing idiom from
+:mod:`repro.harness.cache` (PR 4): a fixed header of magic ``RSNP``,
+format version, CRC-32 and payload length, followed by a
+zlib-compressed pickled document. Corruption or truncation anywhere
+raises :class:`SnapshotError` instead of feeding garbage to a shard.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.common import SnapshotError
+from repro.loader import LoadedImage, load_program
+from repro.sim.machine import Machine
+
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "PAGE_SIZE",
+    "MachineSnapshot",
+    "CheckpointRecorder",
+]
+
+#: Framing magic for serialized snapshots ("Repro SNaPshot").
+SNAPSHOT_MAGIC = b"RSNP"
+#: Bumped whenever the snapshot document layout changes.
+SNAPSHOT_VERSION = 1
+#: Diff granularity. 4 KiB balances diff precision against per-page
+#: overhead for the statically linked workloads' access patterns.
+PAGE_SIZE = 4096
+
+_HEADER = struct.Struct("<4sIIQ")  # magic, version, crc32, payload length
+
+
+def _zeros(size: int, _cache: dict = {}) -> bytes:
+    """A shared all-zero buffer per memory size (restores zero in place)."""
+    blob = _cache.get(size)
+    if blob is None:
+        blob = _cache[size] = bytes(size)
+    return blob
+
+
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """One machine at an exact retirement position, self-contained.
+
+    ``retired`` is the number of instructions retired since the run
+    started — the snapshot's position in the retirement stream, and the
+    coordinate the sharding layer partitions on. It equals the captured
+    ``instret`` when the snapshot comes from the fast-forward loop
+    (which folds retirements in per chunk) but is kept as its own field
+    so positions stay well-defined however the machine got here.
+    """
+
+    isa_name: str
+    retired: int
+    memory_size: int
+    machine: dict
+    pages: dict[int, bytes] = field(repr=False)
+    page_size: int = PAGE_SIZE
+    version: int = SNAPSHOT_VERSION
+
+    # -- capture / restore -------------------------------------------------
+
+    @classmethod
+    def capture(cls, machine: Machine, retired: int,
+                baseline: bytes | bytearray,
+                page_size: int = PAGE_SIZE) -> "MachineSnapshot":
+        """Snapshot ``machine`` against the fresh-image ``baseline``."""
+        return cls(
+            isa_name=machine.isa_name,
+            retired=retired,
+            memory_size=machine.memory.size,
+            machine=machine.capture_state(),
+            pages=machine.memory.diff_pages(baseline, page_size),
+            page_size=page_size,
+        )
+
+    def restore(self, machine: Machine, image: LoadedImage) -> None:
+        """Restore this snapshot into ``machine`` exactly, in place.
+
+        ``image`` must be the same program the snapshot was taken from
+        (the page diff is relative to its freshly loaded segments).
+        """
+        memory = machine.memory
+        if memory.size != self.memory_size:
+            raise SnapshotError(
+                f"snapshot memory size {self.memory_size} != "
+                f"machine memory size {memory.size}")
+        if machine.isa_name != self.isa_name:
+            raise SnapshotError(
+                f"snapshot is for {self.isa_name!r}, "
+                f"machine is {machine.isa_name!r}")
+        memory.data[:] = _zeros(memory.size)
+        load_program(image, memory)
+        memory.apply_pages(self.pages, self.page_size)
+        machine.apply_state(self.machine)
+
+    # -- wire format -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        doc = {
+            "version": self.version,
+            "isa_name": self.isa_name,
+            "retired": self.retired,
+            "memory_size": self.memory_size,
+            "machine": self.machine,
+            "pages": self.pages,
+            "page_size": self.page_size,
+        }
+        payload = zlib.compress(pickle.dumps(doc, protocol=4), 6)
+        return _HEADER.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+                            zlib.crc32(payload), len(payload)) + payload
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "MachineSnapshot":
+        if len(blob) < _HEADER.size:
+            raise SnapshotError(
+                f"snapshot truncated: {len(blob)} bytes < "
+                f"{_HEADER.size}-byte header")
+        magic, version, crc, length = _HEADER.unpack_from(blob)
+        if magic != SNAPSHOT_MAGIC:
+            raise SnapshotError(f"bad snapshot magic {magic!r}")
+        if version != SNAPSHOT_VERSION:
+            raise SnapshotError(f"unsupported snapshot version {version}")
+        payload = blob[_HEADER.size:]
+        if len(payload) != length:
+            raise SnapshotError(
+                f"snapshot truncated: payload {len(payload)} bytes, "
+                f"header claims {length}")
+        if zlib.crc32(payload) != crc:
+            raise SnapshotError("snapshot CRC mismatch")
+        try:
+            doc = pickle.loads(zlib.decompress(payload))
+        except Exception as err:
+            raise SnapshotError(
+                f"snapshot payload undecodable: {err}") from err
+        return cls(
+            isa_name=doc["isa_name"],
+            retired=doc["retired"],
+            memory_size=doc["memory_size"],
+            machine=doc["machine"],
+            pages=doc["pages"],
+            page_size=doc["page_size"],
+            version=doc["version"],
+        )
+
+
+class CheckpointRecorder:
+    """Capture a series of self-contained snapshots against one baseline.
+
+    Built once per run from the *freshly loaded* machine (before any
+    instruction retires): the constructor copies ``memory.data`` as the
+    diff baseline and records checkpoint 0 at ``retired == 0`` so shard
+    0 restores through exactly the same code path as every other shard.
+
+    Because snapshots are self-contained, :meth:`thin` halves the
+    history by dropping every other snapshot — the adaptive
+    fast-forward loop uses this to keep the checkpoint count bounded
+    without knowing the run length in advance.
+    """
+
+    def __init__(self, machine: Machine, *, page_size: int = PAGE_SIZE):
+        self._machine = machine
+        self._page_size = page_size
+        self._baseline = bytes(machine.memory.data)
+        self.snapshots: list[MachineSnapshot] = [
+            MachineSnapshot.capture(machine, 0, self._baseline, page_size)]
+
+    def capture(self, retired: int) -> MachineSnapshot:
+        """Snapshot the machine at retirement position ``retired``."""
+        snap = MachineSnapshot.capture(
+            self._machine, retired, self._baseline, self._page_size)
+        self.snapshots.append(snap)
+        return snap
+
+    def thin(self) -> None:
+        """Drop every other snapshot (keeps first; preserves order)."""
+        kept = self.snapshots[::2]
+        # Never silently lose the newest checkpoint — it bounds the
+        # final shard's fast-forward distance.
+        if self.snapshots and kept[-1] is not self.snapshots[-1]:
+            kept.append(self.snapshots[-1])
+        self.snapshots = kept

@@ -1,0 +1,242 @@
+"""Round-trip property tests for the snapshot layer.
+
+The sharding contract (PR 7) rests on one property: a machine restored
+from a :class:`MachineSnapshot` taken at retirement position ``k`` and
+then run to completion is indistinguishable — final architectural
+state, memory image, and the *entire remaining retirement stream* —
+from a machine that ran serially without interruption. These tests
+check that property at random cut points, through the wire format, on
+both ISAs, for both the interpreter and translated execution paths.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+from repro.common import SnapshotError
+from repro.isa import get_isa
+from repro.loader import load_program
+from repro.sim import EmulationCore, Machine, Memory
+from repro.sim.snapshot import (
+    SNAPSHOT_MAGIC,
+    CheckpointRecorder,
+    MachineSnapshot,
+)
+from repro.workloads.stream import Stream, StreamParams
+
+WL = Stream(StreamParams(n=64, ntimes=1))
+BUDGET = 5_000_000
+
+
+class StreamSink:
+    """Batch sink normalizing the retirement stream to comparable tuples:
+    ``(pc, word, reads, writes)`` per retired instruction."""
+
+    needs_memory = True
+
+    def __init__(self):
+        self.events = []
+
+    def on_batch(self, table, count, indices, read_ends, write_ends,
+                 reads, writes):
+        r0 = w0 = 0
+        for i in range(count):
+            inst = table[indices[i]]
+            r1, w1 = read_ends[i], write_ends[i]
+            self.events.append((inst.pc, inst.word,
+                                tuple(tuple(a) for a in reads[r0:r1]),
+                                tuple(tuple(a) for a in writes[w0:w1])))
+            r0, w0 = r1, w1
+
+
+def fresh(compiled):
+    isa = get_isa(compiled.isa_name)
+    memory = Memory()
+    load_program(compiled.image, memory)
+    machine = Machine(isa.name, memory)
+    machine.reset_stack()
+    machine.pc = compiled.image.entry
+    return machine, isa
+
+
+@pytest.fixture(scope="module")
+def compiled_for():
+    cache = {}
+
+    def get(isa_name):
+        if isa_name not in cache:
+            cache[isa_name] = WL.compile(isa_name, "gcc12")
+        return cache[isa_name]
+
+    return get
+
+
+@pytest.fixture(scope="module")
+def reference_for(compiled_for):
+    """Uninterrupted run per (isa, translate): final machine + stream."""
+    cache = {}
+
+    def get(isa_name, translate):
+        key = (isa_name, translate)
+        if key not in cache:
+            machine, isa = fresh(compiled_for(isa_name))
+            core = EmulationCore(isa, machine, translate=translate)
+            sink = StreamSink()
+            core.run_batched([sink], max_instructions=BUDGET)
+            cache[key] = (machine, sink.events)
+        return cache[key]
+
+    return get
+
+
+@pytest.mark.parametrize("translate", [False, True],
+                         ids=["interpreter", "translated"])
+@pytest.mark.parametrize("isa_name", ["rv64", "aarch64"])
+class TestResumeRoundTrip:
+    def test_resume_matches_serial(self, isa_name, translate, compiled_for,
+                                   reference_for):
+        compiled = compiled_for(isa_name)
+        ref_machine, ref_events = reference_for(isa_name, translate)
+        total = len(ref_events)
+        assert total > 1000, "workload too small to cut meaningfully"
+        rng = random.Random(f"snapshot/{isa_name}/{translate}")
+        for k in sorted(rng.sample(range(1, total), 2)):
+            machine, isa = fresh(compiled)
+            baseline = bytes(machine.memory.data)
+            core = EmulationCore(isa, machine, translate=translate)
+            assert core.fast_forward(k) == k
+            assert machine.instret == k
+            blob = MachineSnapshot.capture(machine, k, baseline).to_bytes()
+            snap = MachineSnapshot.from_bytes(blob)
+            assert snap.retired == k
+
+            resumed, isa2 = fresh(compiled)
+            snap.restore(resumed, compiled.image)
+            sink = StreamSink()
+            EmulationCore(isa2, resumed, translate=translate).run_batched(
+                [sink], max_instructions=BUDGET)
+
+            assert sink.events == ref_events[k:]
+            assert resumed.capture_state() == ref_machine.capture_state()
+            assert bytes(resumed.memory.data) == bytes(ref_machine.memory.data)
+
+    def test_restore_is_in_place(self, isa_name, translate, compiled_for):
+        """Restore must mutate, never rebind: compiled blocks hold the
+        register files and memory by object identity."""
+        compiled = compiled_for(isa_name)
+        machine, isa = fresh(compiled)
+        baseline = bytes(machine.memory.data)
+        core = EmulationCore(isa, machine, translate=translate)
+        core.fast_forward(500)
+        snap = MachineSnapshot.capture(machine, 500, baseline)
+
+        target, _ = fresh(compiled)
+        r, f, data = target.r, target.f, target.memory.data
+        stdout, stderr = target.stdout, target.stderr
+        snap.restore(target, compiled.image)
+        assert target.r is r and target.f is f
+        assert target.memory.data is data
+        assert target.stdout is stdout and target.stderr is stderr
+
+
+@pytest.fixture(scope="module")
+def snap_blob(compiled_for):
+    compiled = compiled_for("rv64")
+    machine, isa = fresh(compiled)
+    baseline = bytes(machine.memory.data)
+    EmulationCore(isa, machine, translate=False).fast_forward(500)
+    snap = MachineSnapshot.capture(machine, 500, baseline)
+    return snap, snap.to_bytes()
+
+
+class TestWireFormat:
+    def test_round_trip_fields(self, snap_blob):
+        snap, blob = snap_blob
+        again = MachineSnapshot.from_bytes(blob)
+        assert again == snap
+
+    def test_header_magic(self, snap_blob):
+        _, blob = snap_blob
+        assert blob[:4] == SNAPSHOT_MAGIC
+
+    def test_truncated_header(self, snap_blob):
+        _, blob = snap_blob
+        with pytest.raises(SnapshotError, match="truncated"):
+            MachineSnapshot.from_bytes(blob[:10])
+
+    def test_empty(self):
+        with pytest.raises(SnapshotError, match="truncated"):
+            MachineSnapshot.from_bytes(b"")
+
+    def test_bad_magic(self, snap_blob):
+        _, blob = snap_blob
+        with pytest.raises(SnapshotError, match="magic"):
+            MachineSnapshot.from_bytes(b"XXXX" + blob[4:])
+
+    def test_bad_version(self, snap_blob):
+        _, blob = snap_blob
+        mangled = blob[:4] + struct.pack("<I", 99) + blob[8:]
+        with pytest.raises(SnapshotError, match="version"):
+            MachineSnapshot.from_bytes(mangled)
+
+    def test_truncated_payload(self, snap_blob):
+        _, blob = snap_blob
+        with pytest.raises(SnapshotError, match="truncated"):
+            MachineSnapshot.from_bytes(blob[:-5])
+
+    def test_crc_catches_bitflip(self, snap_blob):
+        _, blob = snap_blob
+        flipped = bytearray(blob)
+        flipped[len(blob) // 2] ^= 0x40
+        with pytest.raises(SnapshotError, match="CRC|truncated|version"):
+            MachineSnapshot.from_bytes(bytes(flipped))
+
+    def test_undecodable_payload(self):
+        """A well-framed header over garbage still fails cleanly."""
+        import zlib
+
+        payload = b"not a pickle, not even compressed"
+        blob = struct.pack("<4sIIQ", SNAPSHOT_MAGIC, 1,
+                           zlib.crc32(payload), len(payload)) + payload
+        with pytest.raises(SnapshotError, match="undecodable"):
+            MachineSnapshot.from_bytes(blob)
+
+
+class TestRestoreGuards:
+    def test_wrong_isa(self, compiled_for):
+        compiled = compiled_for("rv64")
+        machine, isa = fresh(compiled)
+        snap = MachineSnapshot.capture(machine, 0, bytes(machine.memory.data))
+        other, _ = fresh(compiled_for("aarch64"))
+        with pytest.raises(SnapshotError, match="rv64"):
+            snap.restore(other, compiled.image)
+
+    def test_wrong_memory_size(self, compiled_for):
+        compiled = compiled_for("rv64")
+        machine, isa = fresh(compiled)
+        snap = MachineSnapshot.capture(machine, 0, bytes(machine.memory.data))
+        small = Machine("rv64", Memory(1 << 20))
+        with pytest.raises(SnapshotError, match="memory size"):
+            snap.restore(small, compiled.image)
+
+
+class TestCheckpointRecorder:
+    def test_thinning_keeps_first_and_last(self, compiled_for):
+        compiled = compiled_for("rv64")
+        machine, isa = fresh(compiled)
+        core = EmulationCore(isa, machine, translate=False)
+        recorder = CheckpointRecorder(machine)
+        pos = 0
+        for _ in range(9):
+            pos += core.fast_forward(100)
+            recorder.capture(pos)
+        positions = [s.retired for s in recorder.snapshots]
+        assert positions[0] == 0 and positions[-1] == pos
+        recorder.thin()
+        thinned = [s.retired for s in recorder.snapshots]
+        assert thinned[0] == 0 and thinned[-1] == pos
+        assert len(thinned) < len(positions)
+        assert set(thinned) <= set(positions)
