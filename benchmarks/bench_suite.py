@@ -2,11 +2,14 @@
 
 Runs the suite several ways — in-process serial, process-parallel
 (``--jobs``), intra-run sharded (``--shards``, auto by default), a
-second cached pass, and a trace-replay pass (changed window sizes
-against the same cache, so analyses replay recorded retirement streams
-instead of re-simulating) — and writes ``BENCH_suite.json`` next to
-this file (or to ``--out``) so future PRs have a performance trajectory
-to compare against::
+second cached pass, a trace-replay pass (changed window sizes against
+the same cache, so analyses replay recorded retirement streams instead
+of re-simulating), and a warm-reuse pass (the same plans twice through
+one warm-enabled Executor with *no* result cache, so the second pass's
+only advantage is the cross-plan warm level: cached images and reused
+translated blocks) — and writes ``BENCH_suite.json`` next to this file
+(or to ``--out``) so future PRs have a performance trajectory to
+compare against::
 
     PYTHONPATH=src python benchmarks/bench_suite.py --scale 0.05 --jobs 4
 
@@ -96,6 +99,30 @@ def main(argv=None) -> int:
     else:
         print("  sharded          :  skipped (single-core host)", flush=True)
 
+    # warm-reuse pass: two passes through ONE warm-enabled Executor and
+    # no result cache — every plan re-executes, so the second pass
+    # isolates exactly what the warm level saves (image compiles,
+    # block/summary codegen). Valid on any core count: this is
+    # in-process reuse, not parallelism.
+    from repro.harness.events import EventBus, WarmCacheStats
+
+    warm_stats: list[dict] = []
+    bus = EventBus()
+    bus.subscribe(lambda e: warm_stats.append(e.stats)
+                  if isinstance(e, WarmCacheStats) else None)
+    warm_exec = Executor(jobs=1, warm_pool=True, events=bus)
+    started = time.perf_counter()
+    warm_exec.run(plans)
+    warm_cold_s = time.perf_counter() - started
+    started = time.perf_counter()
+    warm_exec.run(plans)
+    warm_pool_s = time.perf_counter() - started
+    reuse_hits = (warm_stats[1].get("translation_reuse_hits", 0)
+                  if len(warm_stats) > 1 else 0)
+    print(f"  warm first pass  : {warm_cold_s:8.2f}s", flush=True)
+    print(f"  warm reuse pass  : {warm_pool_s:8.2f}s "
+          f"({reuse_hits} translation reuse hits)", flush=True)
+
     with tempfile.TemporaryDirectory() as tmp:
         cold_s = _timed_run(plans, jobs=1, cache=ResultCache(tmp))
         warm_s = _timed_run(plans, jobs=1, cache=ResultCache(tmp))
@@ -125,6 +152,11 @@ def main(argv=None) -> int:
         if parallel_s is not None else None,
         "sharded_seconds": round(sharded_s, 3)
         if sharded_s is not None else None,
+        "warm_pool_cold_seconds": round(warm_cold_s, 3),
+        "warm_pool_seconds": round(warm_pool_s, 3),
+        "translation_reuse_hits": reuse_hits,
+        "warm_reuse_speedup": round(warm_cold_s / warm_pool_s, 3)
+        if warm_pool_s else None,
         "cache_cold_seconds": round(cold_s, 3),
         "cache_warm_seconds": round(warm_s, 3),
         "trace_replay_seconds": round(replay_s, 3),

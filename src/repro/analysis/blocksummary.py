@@ -42,6 +42,62 @@ _RC_SHIFT = 12
 #: configurations over one binary share compiles).
 _CP_CODE_CACHE: dict = {}
 
+#: Bump whenever the generated chain-stitch source shape changes; part
+#: of the persistent block-cache key (stale on-disk sources orphan
+#: instead of preloading).
+SUMMARY_VERSION = 1
+
+#: Chain-stitch compile-cache telemetry (mirrors
+#: :data:`repro.sim.blocks._CODE_STATS`).
+_CP_STATS = {"hits": 0, "misses": 0, "preloaded": 0}
+
+#: When not None, freshly compiled chain-stitch sources collect here for
+#: the warm-cache layer to persist (see :func:`drain_new_cp_sources`).
+_CP_NEW_SOURCES: list | None = None
+
+
+def cp_cache_stats() -> dict:
+    """A copy of the chain-stitch compile-cache counters."""
+    return dict(_CP_STATS)
+
+
+def set_cp_source_recording(enabled: bool) -> None:
+    """Start (or stop) collecting freshly compiled chain-stitch sources."""
+    global _CP_NEW_SOURCES
+    if enabled and _CP_NEW_SOURCES is None:
+        _CP_NEW_SOURCES = []
+    elif not enabled:
+        _CP_NEW_SOURCES = None
+
+
+def drain_new_cp_sources() -> list:
+    """Return (and clear) chain-stitch sources compiled since last drain."""
+    global _CP_NEW_SOURCES
+    if not _CP_NEW_SOURCES:
+        return []
+    drained = _CP_NEW_SOURCES
+    _CP_NEW_SOURCES = []
+    return drained
+
+
+def preload_cp_sources(sources) -> int:
+    """Compile chain-stitch ``sources`` ahead of demand; skips cached and
+    uncompilable entries (preloading must never fail a run)."""
+    loaded = 0
+    for source in sources:
+        if not isinstance(source, str) or source in _CP_CODE_CACHE:
+            continue
+        try:
+            code = compile(source, "<block-summary-cp>", "exec")
+        except (SyntaxError, ValueError):
+            continue
+        if len(_CP_CODE_CACHE) > 16384:
+            _CP_CODE_CACHE.clear()
+        _CP_CODE_CACHE[source] = code
+        loaded += 1
+    _CP_STATS["preloaded"] += loaded
+    return loaded
+
 
 class BlockSummary:
     """Immutable per-block analysis template (see module docstring).
@@ -332,10 +388,15 @@ def _compile_cp_fn(summary: BlockSummary, weights: tuple,
     source = _cp_source(summary, weights, break_on_zero)
     code = _CP_CODE_CACHE.get(source)
     if code is None:
+        _CP_STATS["misses"] += 1
         if len(_CP_CODE_CACHE) > 16384:
             _CP_CODE_CACHE.clear()
         code = compile(source, "<block-summary-cp>", "exec")
         _CP_CODE_CACHE[source] = code
+        if _CP_NEW_SOURCES is not None:
+            _CP_NEW_SOURCES.append(source)
+    else:
+        _CP_STATS["hits"] += 1
     namespace = {"_mc": mem_cells}
     exec(code, namespace)  # noqa: S102
     return namespace["_cps"]

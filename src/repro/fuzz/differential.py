@@ -19,6 +19,14 @@ One generated program is judged four ways, cheapest first:
    document. Randomized programs probe slice boundaries (mid-loop,
    mid-dependency-chain, straddling memory reuse) that the curated
    workloads never hit.
+4b. **Warm reuse**: the same program analyzed as the first plan on a
+   fresh :class:`~repro.harness.warmcache.WarmCache` and again as plan
+   #N after intervening cached reuses must produce identical analysis
+   documents. The reuse loop passes through the cache's fingerprint
+   re-check, so this oracle composes with the ``warm`` fault site: a
+   garbled cached image raises ``WarmStateError``, the entry is evicted
+   and rebuilt (the executor's recycle-and-retry in miniature), and the
+   documents must *still* agree.
 5. **Cross-ISA**: RV64 and AArch64 executions of the same source must
    agree on exit code, stdout and global bit patterns. Retirement counts
    legitimately differ (that delta is the paper's whole subject).
@@ -60,6 +68,7 @@ __all__ = [
     "observe",
     "diff_analysis",
     "diff_sharded",
+    "diff_warm",
     "diff_source",
     "run_case",
     "run_campaign",
@@ -105,7 +114,8 @@ class Finding:
     """One divergence/fault/compile failure discovered by the fuzzer."""
 
     kind: str          # compile-error | guest-fault | within-isa |
-    #                  # analysis | sharding | cross-isa | invariant
+    #                  # analysis | sharding | warm-reuse | cross-isa |
+    #                  # invariant
     detail: str
     isa: str = ""      # "" for cross-ISA findings
     source: str = ""
@@ -264,6 +274,62 @@ def diff_sharded(compiled, *, seed: int = 0,
     return "sharded analysis differs"
 
 
+def diff_warm(compiled, *, reuses: int = 3,
+              max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> str:
+    """Warm-reuse oracle: analyze the program as plan #1 on a fresh
+    warm cache, then again as plan #N after ``reuses`` intervening
+    cache reuses, and describe the first metric on which the two
+    analysis documents disagree ("" = exact agreement).
+
+    Every reuse passes through the cache's fingerprint re-check, so an
+    installed ``warm`` fault garbling the cached image surfaces here as
+    :class:`WarmStateError`; the oracle rebuilds and continues, exactly
+    like the executor recycling a poisoned worker — and the final
+    document must still match the first.
+    """
+    from repro.analysis import AnalysisConfig
+    from repro.harness.plan import SCALED_MODELS
+    from repro.harness.warmcache import WarmCache, WarmStateError
+    from repro.sim.config import load_core_model
+    from repro.sim.emucore import run_image
+
+    isa = get_isa(compiled.isa_name)
+    model = load_core_model(SCALED_MODELS[compiled.isa_name])
+    cfg = AnalysisConfig(windowed=True, window_sizes=_ORACLE_WINDOWS)
+
+    def analyze(prog) -> dict:
+        engine = cfg.build_engine(regions=prog.image.regions, model=model)
+        run_image(prog.image, isa, batch_sinks=[engine],
+                  max_instructions=max_instructions)
+        return engine.results().to_dict()
+
+    def build():
+        return compile_source(compiled.source, compiled.isa_name,
+                              compiled.profile.name)
+
+    warm = WarmCache()
+    key = ("fuzz", compiled.isa_name, compiled.profile.name)
+    first = analyze(warm.cached_program(key, build))
+    reused = None
+    for _ in range(max(1, reuses)):
+        try:
+            reused = warm.cached_program(key, build)
+        except WarmStateError:
+            # poisoned entry evicted; the next lookup rebuilds — the
+            # executor's recycle-and-retry, in miniature
+            reused = warm.cached_program(key, build)
+    last = analyze(reused)
+
+    if first == last:
+        return ""
+    for metric in ("path", "cp", "scaled_cp", "mix", "windowed"):
+        if first.get(metric) != last.get(metric):
+            delta = (f"{metric}: plan #1 {first.get(metric)!r} != "
+                     f"warm plan #N {last.get(metric)!r}")
+            return delta if len(delta) <= 500 else delta[:497] + "..."
+    return "warm-reuse analysis differs"
+
+
 def _fault_finding(kind: str, err: Exception, *, isa: str, source: str,
                    seed=None, profile="") -> Finding:
     report = getattr(err, "fault_report", None)
@@ -359,6 +425,22 @@ def diff_source(source: str, *, seed: int | None = None, profile: str = "",
                         kind="sharding",
                         detail=f"{isa_name}: sharded analysis diverges "
                                f"from the serial fused engine ({delta})",
+                        isa=isa_name, source=source, seed=seed,
+                        profile=profile))
+            try:
+                delta = diff_warm(compiled,
+                                  max_instructions=max_instructions)
+            except postmortem.GUEST_FAULTS as err:
+                findings.append(_fault_finding(
+                    "warm-reuse", err, isa=isa_name, source=source,
+                    seed=seed, profile=profile))
+            else:
+                if delta:
+                    findings.append(Finding(
+                        kind="warm-reuse",
+                        detail=f"{isa_name}: analysis after warm cache "
+                               f"reuse diverges from the first plan "
+                               f"({delta})",
                         isa=isa_name, source=source, seed=seed,
                         profile=profile))
 

@@ -6,7 +6,9 @@ The engine is an explicit plan/execute API:
   description of one workload × ISA × profile configuration;
   :func:`repro.harness.plan.plan_suite` builds the paper's full matrix.
 * :class:`repro.harness.executor.Executor` — runs a batch of plans
-  in-process or across a ``multiprocessing`` pool, with per-plan
+  in-process or across a persistent warm worker pool
+  (:mod:`repro.harness.warmcache`: images and translated blocks reused
+  across plans, fingerprint-verified on every hit), with per-plan
   timeout, one retry on transient failure, and structured telemetry
   (:mod:`repro.harness.events`).
 * :class:`repro.harness.cache.ResultCache` — the content-addressed
@@ -38,7 +40,12 @@ the artifact-style text outputs (``kernelCounts.txt``,
 ``basicCPResult.txt``, ``scaledCPResult.txt``, ``windowAverages.txt``).
 """
 
-from repro.harness.cache import ResultCache, TraceStore, default_cache_dir
+from repro.harness.cache import (
+    BlockStore,
+    ResultCache,
+    TraceStore,
+    default_cache_dir,
+)
 from repro.harness.checkpoint import RunJournal, unfinished_runs
 from repro.harness.events import ConsoleReporter, EventBus, TimingCollector
 from repro.harness.executor import (
@@ -48,6 +55,7 @@ from repro.harness.executor import (
     execute_plan,
 )
 from repro.harness.faults import FaultPlan, FaultSpec
+from repro.harness.warmcache import WarmCache, WarmStateError
 from repro.harness.experiments import (
     ConfigResult,
     SuiteResult,
@@ -76,6 +84,9 @@ __all__ = [
     "unfinished_runs",
     "ResultCache",
     "TraceStore",
+    "BlockStore",
+    "WarmCache",
+    "WarmStateError",
     "default_cache_dir",
     "EventBus",
     "ConsoleReporter",

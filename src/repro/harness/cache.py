@@ -7,6 +7,8 @@ Layout (under ``~/.cache/repro-isa`` by default, overridable with
     <root>/quarantine/                corrupt result entries, moved aside
     <root>/traces/<k0k1>/<key>.rtrc.z trace entries
     <root>/traces/quarantine/         corrupt trace entries
+    <root>/blocks/<k0k1>/<key>.rblk.z compiled-block/summary source entries
+    <root>/blocks/quarantine/         corrupt block entries
     <root>/runs/<run-id>.jsonl        suite run journals (checkpoint.py)
 
 where ``key = plan.fingerprint()`` — a sha256 over the canonical plan,
@@ -39,13 +41,20 @@ Integrity and atomicity — the robustness contract:
   every entry at both levels, quarantines failures, and removes stray
   tmp files.
 
-The cache is two-level. Below the result entries a :class:`TraceStore`
+The cache is three-level. Below the result entries a :class:`TraceStore`
 keeps compressed retirement traces keyed by
 :meth:`ExperimentPlan.trace_fingerprint` — the *simulation* identity only
 (workload, scale, ISA, profile, budget). Changing analysis parameters
 (window sizes, slide fraction, core model) misses at the result level
 but hits at the trace level, so the executor replays the recorded stream
-through the fused analysis engine instead of re-simulating.
+through the fused analysis engine instead of re-simulating. Below that, a
+:class:`BlockStore` persists the generated block/summary *source texts*
+keyed by image fingerprint + translator versions
+(:func:`repro.harness.warmcache.block_key`): compiled block functions are
+closures over live machine state and cannot be pickled, but their sources
+are deterministic per image, so a cold worker preloads them into the
+translator's compile cache and skips every ``compile()`` call — the
+persistent half of the warm-worker-pool translation reuse.
 """
 
 from __future__ import annotations
@@ -83,6 +92,12 @@ _READABLE_FORMATS = frozenset({2, CACHE_FORMAT})
 TRACE_MAGIC = b"RTRZ"
 _TRACE_HDR = struct.Struct("<4sBIQ")
 TRACE_ENVELOPE_VERSION = 1
+
+#: Block-source entries (third cache level) share the trace header
+#: layout under their own magic so a blocks/ file misfiled as a trace
+#: (or vice versa) is rejected by magic, not by luck.
+BLOCK_MAGIC = b"RBLK"
+BLOCK_ENVELOPE_VERSION = 1
 
 #: Unique-per-process tmp suffixes (satellite fix: two processes writing
 #: the same key used to collide on one ``with_suffix`` tmp name).
@@ -315,6 +330,155 @@ class TraceStore:
         return removed
 
 
+class BlockStore:
+    """Get/put compiled-block/summary source documents keyed by
+    :func:`repro.harness.warmcache.block_key` (the third cache level).
+
+    An entry is a JSON document ``{"v": 1, "sources": [...],
+    "cp_sources": [...]}`` — the deterministic generated sources of an
+    image's translated blocks and summary chain-stitch functions —
+    stored under the same integrity contract as traces: a binary
+    envelope (magic, version, CRC-32 and length of the decompressed
+    payload), atomic fsynced writes, and quarantine-on-corruption.
+    """
+
+    def __init__(self, root: str | os.PathLike, events=None):
+        self.root = pathlib.Path(root)
+        self.stats = CacheStats()
+        self.events = events
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.rblk.z"
+
+    def _emit(self, event) -> None:
+        if self.events is not None:
+            self.events.emit(event)
+
+    # -- read ------------------------------------------------------------
+
+    def _decode(self, raw: bytes) -> dict:
+        """Envelope-verified decompression + parse; raises ValueError on
+        any integrity failure."""
+        if len(raw) < _TRACE_HDR.size:
+            raise ValueError("block entry shorter than its envelope")
+        magic, version, crc, length = _TRACE_HDR.unpack_from(raw)
+        if magic != BLOCK_MAGIC:
+            raise ValueError("bad block envelope magic")
+        if version != BLOCK_ENVELOPE_VERSION:
+            raise ValueError(f"block envelope version {version}")
+        try:
+            blob = zlib.decompress(raw[_TRACE_HDR.size:])
+        except zlib.error as err:
+            raise ValueError(f"corrupt zlib stream: {err}") from None
+        if len(blob) != length:
+            raise ValueError(f"block length {len(blob)} != {length} recorded")
+        if zlib.crc32(blob) != crc:
+            raise ValueError("block checksum mismatch")
+        try:
+            doc = json.loads(blob)
+        except ValueError as err:
+            raise ValueError(f"unparseable block JSON: {err}") from None
+        if not isinstance(doc, dict) or doc.get("v") != 1:
+            raise ValueError(f"block doc version {doc.get('v') if isinstance(doc, dict) else None!r}")
+        return doc
+
+    def _quarantine(self, path: pathlib.Path, reason: str) -> None:
+        dest = _quarantine_file(path, self.root)
+        self.stats.quarantined += 1
+        self._emit(CacheCorruption(level="block", key=path.name.split(".")[0],
+                                   path=str(dest), reason=reason))
+
+    def get(self, key: str) -> dict | None:
+        """The stored block-source document (verified), or None on a
+        miss. Corrupt entries are quarantined, never re-parsed."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError:
+            self.stats.misses += 1
+            self.stats.errors += 1
+            return None
+        try:
+            doc = self._decode(raw)
+        except ValueError as err:
+            self.stats.misses += 1
+            self.stats.errors += 1
+            self._quarantine(path, str(err))
+            return None
+        self.stats.hits += 1
+        return doc
+
+    # -- write -----------------------------------------------------------
+
+    def put(self, key: str, sources, cp_sources=()) -> pathlib.Path:
+        """Store the source lists in a checksummed envelope (atomic)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"v": 1, "key": key, "sources": sorted(sources),
+               "cp_sources": sorted(cp_sources)}
+        blob = json.dumps(doc, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        data = _TRACE_HDR.pack(BLOCK_MAGIC, BLOCK_ENVELOPE_VERSION,
+                               zlib.crc32(blob), len(blob))
+        data += zlib.compress(blob, 1)
+        _write_atomic(path, data)
+        self.stats.puts += 1
+        return path
+
+    # -- maintenance -----------------------------------------------------
+
+    def _files(self) -> Iterator[pathlib.Path]:
+        if not self.root.is_dir():
+            return
+        for sub in sorted(self.root.iterdir()):
+            if sub.is_dir() and len(sub.name) == 2:
+                yield from sorted(sub.glob("*.rblk.z"))
+
+    def verify(self) -> dict:
+        """Check every entry's envelope; quarantine failures."""
+        report = {"checked": 0, "ok": 0, "quarantined": 0}
+        for path in list(self._files()):
+            report["checked"] += 1
+            try:
+                self._decode(path.read_bytes())
+            except (OSError, ValueError) as err:
+                self.stats.errors += 1
+                self._quarantine(path, str(err))
+                report["quarantined"] += 1
+            else:
+                report["ok"] += 1
+        return report
+
+    def disk_stats(self) -> dict:
+        count = 0
+        total = 0
+        for path in self._files():
+            count += 1
+            total += path.stat().st_size
+        return {"entries": count, "bytes": total, "root": str(self.root)}
+
+    def clear(self) -> int:
+        removed = 0
+        for path in list(self._files()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if self.root.is_dir():
+            for sub in self.root.iterdir():
+                if sub.is_dir() and len(sub.name) == 2:
+                    try:
+                        sub.rmdir()
+                    except OSError:
+                        pass
+        removed += _clear_quarantine(self.root)
+        return removed
+
+
 def _leftover_tmp(path: pathlib.Path) -> None:
     """Fault-injection helper: simulate a crashed writer's stray tmp."""
     (path.parent / f"{path.name}.{os.getpid()}.crashed.tmp").write_bytes(
@@ -348,12 +512,15 @@ class ResultCache:
         # second level: retirement traces ("traces" is not a 2-char shard
         # dir, so result-entry iteration never descends into it)
         self.traces = TraceStore(self.root / "traces", events=events)
+        # third level: compiled-block/summary sources for warm reuse
+        self.blocks = BlockStore(self.root / "blocks", events=events)
 
     def attach_events(self, bus) -> None:
-        """Wire an event bus into both cache levels (the executor calls
+        """Wire an event bus into all cache levels (the executor calls
         this so corruption reports reach the run's subscribers)."""
         self.events = bus
         self.traces.events = bus
+        self.blocks.events = bus
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
@@ -508,6 +675,7 @@ class ResultCache:
             else:
                 results["ok"] += 1
         traces = self.traces.verify()
+        blocks = self.blocks.verify()
         tmp_removed = 0
         if self.root.is_dir():
             for tmp in self.root.rglob("*.tmp"):
@@ -516,7 +684,7 @@ class ResultCache:
                     tmp_removed += 1
                 except OSError:
                     pass
-        return {"results": results, "traces": traces,
+        return {"results": results, "traces": traces, "blocks": blocks,
                 "tmp_removed": tmp_removed}
 
     def disk_stats(self) -> dict:
@@ -527,14 +695,18 @@ class ResultCache:
             count += 1
             total += path.stat().st_size
         traces = self.traces.disk_stats()
+        blocks = self.blocks.disk_stats()
         return {"entries": count, "bytes": total, "root": str(self.root),
                 "trace_entries": traces["entries"],
-                "trace_bytes": traces["bytes"]}
+                "trace_bytes": traces["bytes"],
+                "block_entries": blocks["entries"],
+                "block_bytes": blocks["bytes"]}
 
     def clear(self) -> int:
-        """Delete every entry (results, traces, quarantine); returns the
-        number removed."""
+        """Delete every entry (results, traces, blocks, quarantine);
+        returns the number removed."""
         removed = self.traces.clear()
+        removed += self.blocks.clear()
         for path in list(self._files()):
             try:
                 path.unlink()

@@ -5,6 +5,7 @@ Subcommands::
     repro-isa-compare run    [--scale S] [--workloads stream,lbm,...]
                              [--jobs N] [--timeout SEC] [--heartbeat SEC]
                              [--retries N] [--resume RUN_ID]
+                             [--no-warm-pool] [--max-tasks-per-worker N]
                              [--cache-dir DIR] [--no-cache]
                              [--skip-windowed] [--windows 4,16,...]
                              [--out DIR] [--future-cores] [--quiet]
@@ -110,6 +111,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--retries", type=int, default=1,
                        help="extra attempts after a transient failure "
                             "(default 1)")
+    run_p.add_argument("--warm-pool", dest="warm_pool", action="store_true",
+                       default=True,
+                       help="persistent warm workers: reuse loaded images "
+                            "and translated blocks across plans (default)")
+    run_p.add_argument("--no-warm-pool", dest="warm_pool",
+                       action="store_false",
+                       help="legacy mode: fork a fresh process per plan "
+                            "attempt, no cross-plan reuse (the byte-identity "
+                            "baseline)")
+    run_p.add_argument("--max-tasks-per-worker", type=int, default=0,
+                       metavar="N",
+                       help="recycle each warm worker after N plans "
+                            "(default 0 = never)")
     run_p.add_argument("--resume", type=str, default=None, metavar="RUN_ID",
                        help="continue an interrupted suite: restore its "
                             "parameters from the run journal and re-execute "
@@ -348,6 +362,8 @@ def _cmd_run(args) -> int:
             events=bus,
             translate=bool(params.get("translate", True)),
             shards=int(params.get("shards", 1)),
+            warm_pool=args.warm_pool,
+            max_tasks_per_worker=args.max_tasks_per_worker,
         )
     finally:
         if fault_plan is not None:
@@ -378,6 +394,16 @@ def _cmd_run(args) -> int:
         if cache is not None:
             line += f" (cache: {cache.root})"
         print(line, file=sys.stderr)
+        warm = summary["warm"]
+        if warm:
+            line = (f"warm: {warm.get('image_hits', 0)} image reuses, "
+                    f"{warm.get('translation_reuse_hits', 0)} translation "
+                    f"reuse hits, {warm.get('blocks_preloaded', 0)} block "
+                    f"sources preloaded")
+            if summary["workers_recycled"]:
+                line += (f", {summary['workers_recycled']} worker(s) "
+                         f"recycled")
+            print(line, file=sys.stderr)
         if summary["sharded_plans"]:
             line = (f"sharding: {summary['sharded_plans']} config(s) ran "
                     f"sliced")

@@ -31,6 +31,8 @@ __all__ = [
     "PlanFailed",
     "CacheCorruption",
     "ExecutorDegraded",
+    "WorkerRecycled",
+    "WarmCacheStats",
     "SuiteFinished",
     "EventBus",
     "ConsoleReporter",
@@ -153,6 +155,30 @@ class ExecutorDegraded(Event):
 
 
 @dataclass(frozen=True)
+class WorkerRecycled(Event):
+    """A warm pool worker was retired and (if plans remain) respawned.
+
+    ``reason`` is one of ``"max-tasks"`` (the ``--max-tasks-per-worker``
+    budget), ``"poisoned"`` (warm-state fingerprint check failed),
+    ``"fault"`` (worker died / timed out / lost its heartbeat) or
+    ``"shutdown"`` (normal end-of-queue retirement)."""
+
+    worker: int = 0      # worker slot index
+    tasks: int = 0       # tasks the retiring process completed
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class WarmCacheStats(Event):
+    """Aggregated warm-cache counters for a whole ``Executor.run``:
+    image hits/misses/evictions, translation-reuse (compiled-code-cache)
+    hits, block-source preloads and on-disk block-store traffic —
+    summed over every worker plus the parent process."""
+
+    stats: dict = None
+
+
+@dataclass(frozen=True)
 class SuiteFinished(Event):
     total: int = 0
     executed: int = 0
@@ -227,6 +253,15 @@ class ConsoleReporter:
             text = (f"executor: {event.failures} pool-level failures — "
                     f"degrading to serial for {event.remaining} remaining "
                     f"plans ({event.reason})")
+        elif isinstance(event, WorkerRecycled):
+            text = (f"pool: recycled worker {event.worker} after "
+                    f"{event.tasks} task(s) ({event.reason})")
+        elif isinstance(event, WarmCacheStats):
+            s = event.stats or {}
+            text = (f"warm: {s.get('image_hits', 0)} image reuses, "
+                    f"{s.get('translation_reuse_hits', 0)} translation "
+                    f"reuse hits, {s.get('blocks_preloaded', 0)} block "
+                    f"sources preloaded")
         elif isinstance(event, SuiteFinished):
             text = (f"suite: done in {event.seconds:.2f}s "
                     f"({event.executed} simulated, {event.cached} cache hits"
@@ -255,6 +290,10 @@ class TimingCollector:
         self.translated_plans = 0
         self.sharded_plans = 0
         self.shard_fallbacks = 0
+        self.workers_recycled = 0
+        #: Latest aggregated warm-cache counters (one WarmCacheStats is
+        #: emitted per Executor.run; across runs the counters sum).
+        self.warm: dict[str, int] = {}
 
     def __call__(self, event: Event) -> None:
         if isinstance(event, PlanFinished):
@@ -285,6 +324,11 @@ class TimingCollector:
             self.corruptions += 1
         elif isinstance(event, ExecutorDegraded):
             self.degraded += 1
+        elif isinstance(event, WorkerRecycled):
+            self.workers_recycled += 1
+        elif isinstance(event, WarmCacheStats):
+            for key, value in (event.stats or {}).items():
+                self.warm[key] = self.warm.get(key, 0) + value
         elif isinstance(event, SuiteFinished):
             self.suite_seconds = event.seconds
 
@@ -302,4 +346,6 @@ class TimingCollector:
             "translation": dict(self.translation),
             "sharded_plans": self.sharded_plans,
             "shard_fallbacks": self.shard_fallbacks,
+            "workers_recycled": self.workers_recycled,
+            "warm": dict(self.warm),
         }

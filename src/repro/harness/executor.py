@@ -9,11 +9,19 @@ into :class:`ConfigResult` values. For each plan it
    through the fused analysis engine (:func:`execute_plan`);
 2. otherwise simulates — in-process when only one worker would be used
    (``jobs == 1`` or a single outstanding plan) and no timeout/heartbeat
-   supervision is requested, else in a worker process
-   (``multiprocessing``, fork start method where available) so the
-   matrix fans out across cores and a wedged simulation can be killed.
-   ``jobs=None`` defaults to one worker per CPU, capped at the number of
-   plans to simulate;
+   supervision is requested, else in a **persistent warm worker pool**
+   (``multiprocessing``, fork start method where available): long-lived
+   workers pull plans from a task queue and keep per-process warm caches
+   (:mod:`repro.harness.warmcache`) — built workload images by
+   fingerprint and translated block/summary code by source text — so a
+   suite pays cold-start (imports, image build, block translation) once
+   per worker instead of once per plan. Workers recycle after
+   ``max_tasks_per_worker`` tasks or on any fault; machine state is
+   rebuilt per plan, so results are byte-identical to fresh-process
+   execution (``warm_pool=False`` restores the legacy
+   process-per-plan-attempt pool as the baseline). ``jobs=None``
+   defaults to one worker per CPU, capped at the number of plans to
+   simulate;
 3. supervises workers two ways: a per-plan wall-clock ``timeout`` (the
    budget for *legitimate* work) and a ``heartbeat`` deadline (a worker
    that stops beating is wedged — deadlocked, swapped out, or stuck in
@@ -51,7 +59,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.common.errors import ExperimentError, ReproError
 from repro.harness import faults
-from repro.harness.cache import ResultCache, TraceStore
+from repro.harness.cache import BlockStore, ResultCache, TraceStore
 from repro.harness.events import (
     EventBus,
     ExecutorDegraded,
@@ -64,8 +72,11 @@ from repro.harness.events import (
     PlanTranslationStats,
     SuiteFinished,
     SuiteStarted,
+    WarmCacheStats,
+    WorkerRecycled,
 )
 from repro.harness.plan import ExperimentPlan, plan_suite
+from repro.harness.warmcache import WarmCache, WarmStateError, set_block_root
 
 if TYPE_CHECKING:
     from repro.harness.experiments import ConfigResult, SuiteResult
@@ -93,6 +104,9 @@ class AttemptRecord:
     #: Serialized :class:`~repro.sim.postmortem.GuestFaultReport` when
     #: the attempt died on a guest fault (survives the worker pipe).
     fault: dict | None = None
+    #: True when the attempt ran on a warm (reused) worker, False on a
+    #: cold one, None when unknown (legacy pool, serial path).
+    warm: bool | None = None
 
 
 @dataclass
@@ -121,7 +135,8 @@ class SuiteExecutionError(ExperimentError):
 
 
 def execute_plan(plan: ExperimentPlan,
-                 trace_store: "TraceStore | None" = None) -> "ConfigResult":
+                 trace_store: "TraceStore | None" = None, *,
+                 warm_cache: "WarmCache | None" = None) -> "ConfigResult":
     """Simulate one plan in this process (no result cache, no retry).
 
     With a ``trace_store``, the second cache level kicks in: a recorded
@@ -129,8 +144,16 @@ def execute_plan(plan: ExperimentPlan,
     through the fused analysis engine (zero simulations), and a fresh
     simulation records its trace for future analysis-parameter changes.
 
+    With a ``warm_cache``, the cross-plan warm level kicks in: the
+    workload image comes from (or lands in) the per-process warm cache
+    — fingerprint-verified on every reuse, a mismatch raises the
+    transient :class:`WarmStateError` — and the image's translated
+    block/summary sources round-trip through the on-disk block store,
+    so repeat plans skip compile + decode + per-block codegen.
+
     Fault-injection site ``execute`` fires here (transient/error/hang),
-    covering both the serial path and worker processes.
+    covering both the serial path and worker processes; the ``warm``
+    site fires inside the warm cache on image reuse.
     """
     from repro.harness.experiments import run_config
     from repro.workloads import get_workload
@@ -155,6 +178,11 @@ def execute_plan(plan: ExperimentPlan,
             # identity satisfies sharded plans too.
             trace_writer = TraceWriter()
 
+    compiled = None
+    if warm_cache is not None:
+        compiled = warm_cache.program_for(plan)
+        warm_cache.preload_blocks(compiled, plan.translate)
+
     workload = get_workload(plan.workload, plan.scale)
     result = run_config(
         workload,
@@ -166,16 +194,27 @@ def execute_plan(plan: ExperimentPlan,
         trace_writer=trace_writer,
         translate=plan.translate,
         shards=plan.shards,
+        compiled=compiled,
     )
+    if warm_cache is not None and compiled is not None:
+        warm_cache.export_blocks(compiled, plan.translate)
     if trace_store is not None and trace_writer is not None:
         trace_store.put(plan.trace_fingerprint(), trace_writer.finish())
     return result
 
 
-def _heartbeat_loop(conn, lock, interval, stop) -> None:
+def _heartbeat_loop(conn, lock, interval, stop, gate=None) -> None:
     """Worker-side heartbeat: periodic beats on the result pipe until
-    stopped (or the pipe dies)."""
+    stopped (or the pipe dies).
+
+    When ``gate`` is given, beats are suppressed while it is clear —
+    persistent workers clear it across the per-task ``worker`` fault
+    check so an injected hang still looks like a worker that stopped
+    beating, even though the thread outlives individual tasks.
+    """
     while not stop.wait(interval):
+        if gate is not None and not gate.is_set():
+            continue
         with lock:
             try:
                 conn.send({"hb": True})
@@ -250,6 +289,120 @@ def _child_main(conn, plan_doc: dict, trace_root: str | None = None,
             pass
 
 
+def _pool_worker_main(task_conn, result_conn, trace_root: str | None = None,
+                      fault_doc: dict | None = None,
+                      heartbeat: float | None = None,
+                      block_root: str | None = None,
+                      worker: int = 0) -> None:
+    """Persistent-worker entry point: loop over tasks from the queue.
+
+    One process, many plans: the :class:`WarmCache` built here outlives
+    every task, so the second plan on this worker reuses the first's
+    workload image and translated blocks. Per task the worker receives
+    ``{"plan": doc, "attempt": n}``, replies with a result/failure
+    message tagged ``warm`` (did this attempt run on a reused worker?)
+    and ``warm_stats`` (that task's cache-counter movement), and waits
+    for the next. ``{"stop": True}`` (or queue EOF) retires it.
+
+    A :class:`WarmStateError` — the fingerprint re-check caught a
+    poisoned warm entry — is reported with ``poisoned=True`` and the
+    worker *exits*: a process that corrupted one cache entry cannot be
+    trusted with the rest, so the parent respawns a clean one and the
+    plan retries there. The ``worker`` fault site is checked before
+    each task, matching the legacy one-check-per-spawn semantics
+    task-for-task; the heartbeat gate stays closed across that check so
+    an injected ``hang`` still models a worker that never beats, even
+    when the heartbeat thread is already running from an earlier task.
+    """
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    beating = threading.Event()
+    if fault_doc:
+        faults.install(faults.FaultPlan.from_dict(fault_doc))
+    store = TraceStore(trace_root) if trace_root else None
+    block_store = BlockStore(block_root) if block_root else None
+    warm = WarmCache(block_store)
+    set_block_root(block_root)
+    hb_started = False
+    tasks_done = 0
+    try:
+        while True:
+            try:
+                task = task_conn.recv()
+            except (EOFError, OSError):
+                return
+            if not isinstance(task, dict) or task.get("stop"):
+                return
+            plan = ExperimentPlan.from_dict(task["plan"])
+            attempt = int(task.get("attempt", 1))
+            was_warm = tasks_done > 0
+            started = time.monotonic()
+            beating.clear()
+            try:
+                if fault_doc:
+                    faults.set_context(plan=plan.describe(), attempt=attempt,
+                                       in_worker=True)
+                    faults.check("worker")
+                if heartbeat and not hb_started:
+                    threading.Thread(
+                        target=_heartbeat_loop,
+                        args=(result_conn, send_lock,
+                              min(1.0, heartbeat / 4.0), stop, beating),
+                        daemon=True,
+                    ).start()
+                    hb_started = True
+                beating.set()
+                trace_hits = store.stats.hits if store is not None else 0
+                result = execute_plan(plan, store, warm_cache=warm)
+                with send_lock:
+                    result_conn.send({
+                        "ok": True, "result": result.to_dict(),
+                        "seconds": time.monotonic() - started,
+                        "trace_hit": bool(store is not None
+                                          and store.stats.hits > trace_hits),
+                        "translation": result.translation,
+                        "warm": was_warm,
+                        "warm_stats": warm.take_delta(),
+                    })
+            except (KeyboardInterrupt, SystemExit):
+                try:
+                    with send_lock:
+                        result_conn.send({"ok": False,
+                                          "error": "worker interrupted",
+                                          "transient": False,
+                                          "warm": was_warm})
+                except Exception:
+                    pass
+                raise
+            except Exception as err:
+                poisoned = isinstance(err, WarmStateError)
+                report = getattr(err, "fault_report", None)
+                try:
+                    with send_lock:
+                        result_conn.send({
+                            "ok": False,
+                            "error": f"{type(err).__name__}: {err}",
+                            "transient": isinstance(err, _TRANSIENT),
+                            "fault": (report.to_dict()
+                                      if report is not None else None),
+                            "warm": was_warm,
+                            "poisoned": poisoned,
+                            "warm_stats": warm.take_delta(),
+                        })
+                except Exception:
+                    pass
+                if poisoned:
+                    return
+            tasks_done += 1
+    finally:
+        stop.set()
+        for conn in (task_conn, result_conn):
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+
 def _mp_context():
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
@@ -297,6 +450,14 @@ class Executor:
             ``backoff * 2**(n-1)`` (capped at ``backoff_cap``) scaled by
             seeded jitter in [0.5, 1.0]. 0 disables the wait.
         backoff_cap: upper bound on the exponential delay.
+        warm_pool: keep worker processes alive across plans with warm
+            per-process caches (the default). False restores the legacy
+            fresh-process-per-plan-attempt pool and a cache-less serial
+            path — the byte-identity baseline warm mode is tested
+            against.
+        max_tasks_per_worker: retire a warm worker after this many
+            tasks (0 = never); a fresh process takes its place while
+            plans remain.
     """
 
     def __init__(
@@ -310,9 +471,15 @@ class Executor:
         retries: int = 1,
         backoff: float = 0.05,
         backoff_cap: float = 2.0,
+        warm_pool: bool = True,
+        max_tasks_per_worker: int = 0,
     ):
         validate_limits(jobs=jobs, timeout=timeout, heartbeat=heartbeat,
                         retries=retries)
+        if max_tasks_per_worker < 0:
+            raise ExperimentError(
+                f"max_tasks_per_worker must be >= 0, got "
+                f"{max_tasks_per_worker}")
         self.jobs = jobs
         self.cache = cache
         self.events = events or EventBus()
@@ -321,8 +488,15 @@ class Executor:
         self.retries = retries
         self.backoff = backoff
         self.backoff_cap = backoff_cap
+        self.warm_pool = warm_pool
+        self.max_tasks_per_worker = max_tasks_per_worker
         #: Seeded jitter: deterministic per Executor instance.
         self._rng = random.Random(0x5EED)
+        #: In-process warm cache for the serial path (persists across
+        #: ``run`` calls, like a long-lived worker would).
+        self._serial_warm: WarmCache | None = None
+        #: Aggregated warm counters for the current ``run``.
+        self._warm_totals: dict[str, int] = {}
 
     # -- public API ------------------------------------------------------
 
@@ -354,25 +528,50 @@ class Executor:
 
         reports: dict[ExperimentPlan, PlanFailureReport] = {}
         failures: dict[ExperimentPlan, str] = {}
-        if todo:
-            supervised = (self.timeout is not None
-                          or self.heartbeat is not None)
-            # Sharded plans fan out their own per-slice worker
-            # processes; the pool's daemonic workers cannot fork, so
-            # those plans take the serial path and parallelize
-            # *internally* instead of nesting inside the pool.
-            sharded = [plan for plan in todo if plan.shards != 1]
-            pooled = [plan for plan in todo if plan.shards == 1]
-            if pooled:
-                if (jobs == 1 or len(pooled) == 1) and not supervised:
+        self._warm_totals = {}
+        warm_serial: WarmCache | None = None
+        prev_block_root = None
+        if todo and self.warm_pool:
+            from repro.harness.warmcache import get_block_root
+
+            warm_serial = self._warm_cache()
+            warm_serial.take_delta()  # discard activity from prior runs
+            # Park the block-store root where sharding's slice launcher
+            # can find it (slice children preload block sources too).
+            prev_block_root = get_block_root()
+            set_block_root(str(self.cache.blocks.root)
+                           if self.cache is not None else None)
+        try:
+            if todo:
+                supervised = (self.timeout is not None
+                              or self.heartbeat is not None)
+                # Sharded plans fan out their own per-slice worker
+                # processes; the pool's daemonic workers cannot fork, so
+                # those plans take the serial path and parallelize
+                # *internally* instead of nesting inside the pool.
+                sharded = [plan for plan in todo if plan.shards != 1]
+                pooled = [plan for plan in todo if plan.shards == 1]
+                if pooled:
+                    if (jobs == 1 or len(pooled) == 1) and not supervised:
+                        results.update(self._run_serial(
+                            pooled, indices, total, failures, reports,
+                            warm=warm_serial))
+                    elif self.warm_pool:
+                        results.update(self._run_warm_pool(
+                            pooled, indices, total, failures, reports, jobs))
+                    else:
+                        results.update(self._run_pool(
+                            pooled, indices, total, failures, reports, jobs))
+                if sharded:
                     results.update(self._run_serial(
-                        pooled, indices, total, failures, reports))
-                else:
-                    results.update(self._run_pool(
-                        pooled, indices, total, failures, reports, jobs))
-            if sharded:
-                results.update(self._run_serial(
-                    sharded, indices, total, failures, reports))
+                        sharded, indices, total, failures, reports,
+                        warm=warm_serial))
+        finally:
+            if warm_serial is not None:
+                set_block_root(prev_block_root)
+                self._merge_warm(warm_serial.take_delta())
+        if self.warm_pool and todo:
+            self.events.emit(WarmCacheStats(stats=dict(self._warm_totals)))
 
         self.events.emit(SuiteFinished(
             total=total,
@@ -428,6 +627,20 @@ class Executor:
             suite.configs[plan.config_key] = result
         return suite
 
+    # -- warm-cache plumbing ---------------------------------------------
+
+    def _warm_cache(self) -> WarmCache:
+        """The serial path's per-Executor warm cache (created lazily, so
+        a ``warm_pool=False`` executor never touches warm state)."""
+        if self._serial_warm is None:
+            block_store = self.cache.blocks if self.cache is not None else None
+            self._serial_warm = WarmCache(block_store)
+        return self._serial_warm
+
+    def _merge_warm(self, delta: dict | None) -> None:
+        for key, value in (delta or {}).items():
+            self._warm_totals[key] = self._warm_totals.get(key, 0) + value
+
     # -- retry policy ----------------------------------------------------
 
     def _backoff_delay(self, failed_attempt: int) -> float:
@@ -440,7 +653,7 @@ class Executor:
         return delay * (0.5 + 0.5 * self._rng.random())
 
     def _record_failure(self, reports, plan, attempt, message, transient,
-                        seconds=0.0, fault=None,
+                        seconds=0.0, fault=None, warm=None,
                         ) -> tuple[bool, tuple[str, ...]]:
         """Append an attempt record; returns (will_retry, prior_errors)."""
         report = reports.get(plan)
@@ -449,12 +662,13 @@ class Executor:
         history = tuple(a.error for a in report.attempts)
         report.attempts.append(AttemptRecord(
             attempt=attempt, error=message, transient=transient,
-            seconds=seconds, fault=fault))
+            seconds=seconds, fault=fault, warm=warm))
         return (transient and attempt <= self.retries), history
 
     # -- serial path -----------------------------------------------------
 
-    def _run_serial(self, todo, indices, total, failures, reports):
+    def _run_serial(self, todo, indices, total, failures, reports,
+                    warm: WarmCache | None = None):
         results = {}
         traces = self.cache.traces if self.cache is not None else None
         injecting = faults.active() is not None
@@ -470,10 +684,7 @@ class Executor:
                     faults.set_context(plan=plan.describe(), attempt=attempt,
                                        in_worker=False)
                 try:
-                    if traces is None:
-                        result = execute_plan(plan)
-                    else:
-                        result = execute_plan(plan, traces)
+                    result = execute_plan(plan, traces, warm_cache=warm)
                 except _TRANSIENT as err:
                     message = f"{type(err).__name__}: {err}"
                     seconds = time.monotonic() - plan_started
@@ -527,7 +738,258 @@ class Executor:
                 break
         return results
 
-    # -- process pool ----------------------------------------------------
+    # -- warm persistent pool --------------------------------------------
+
+    def _run_warm_pool(self, todo, indices, total, failures, reports, jobs):
+        """Queue-based dispatch over persistent warm workers.
+
+        Up to ``jobs`` long-lived processes each run one task at a
+        time; a finished worker immediately pulls the next ready plan,
+        so retries land on live warm workers instead of paying a fresh
+        fork (the queue is the reuse mechanism). The PR 4 supervision
+        contract carries over task-for-task: per-task wall-clock
+        ``timeout``, per-task ``heartbeat`` deadline, transient retries
+        with seeded backoff, strike-counted pool failures degrading to
+        serial. Workers additionally recycle — after
+        ``max_tasks_per_worker`` tasks, on any death/timeout/hang, and
+        on a ``poisoned`` warm-state report — each recycle emitting
+        :class:`WorkerRecycled`.
+        """
+        from repro.harness.experiments import ConfigResult
+
+        ctx = _mp_context()
+        pending: list[tuple[ExperimentPlan, int, float]] = [
+            (plan, 1, 0.0) for plan in todo]
+        results = {}
+        trace_root = (str(self.cache.traces.root)
+                      if self.cache is not None else None)
+        block_root = (str(self.cache.blocks.root)
+                      if self.cache is not None else None)
+        fault_doc = faults.export()
+        injecting = fault_doc is not None
+        workers: list[dict] = []
+        next_slot = 0
+        strikes = 0
+        degraded = False
+        orphans: list[ExperimentPlan] = []
+
+        def spawn() -> dict:
+            nonlocal next_slot
+            task_recv, task_send = ctx.Pipe(duplex=False)
+            res_recv, res_send = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_pool_worker_main,
+                args=(task_recv, res_send, trace_root, fault_doc,
+                      self.heartbeat, block_root, next_slot),
+                daemon=True,
+            )
+            proc.start()
+            task_recv.close()
+            res_send.close()
+            worker = {"proc": proc, "task": task_send, "res": res_recv,
+                      "slot": next_slot, "tasks": 0,
+                      "current": None}  # [plan, attempt, started, last_beat]
+            next_slot += 1
+            workers.append(worker)
+            return worker
+
+        def close_worker(worker, *, force: bool) -> None:
+            if not force:
+                try:
+                    worker["task"].send({"stop": True})
+                except Exception:
+                    force = True
+            if force:
+                worker["proc"].terminate()
+            worker["proc"].join(timeout=None if force else 5.0)
+            if worker["proc"].is_alive():
+                worker["proc"].terminate()
+                worker["proc"].join()
+            for conn in (worker["task"], worker["res"]):
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            if worker in workers:
+                workers.remove(worker)
+
+        def recycle(worker, reason: str, *, force: bool) -> None:
+            tasks, slot = worker["tasks"], worker["slot"]
+            close_worker(worker, force=force)
+            self.events.emit(WorkerRecycled(
+                worker=slot, tasks=tasks, reason=reason))
+
+        def finish(plan, attempt, started, message=None, transient=False,
+                   payload=None, fault=None, warm=None):
+            nonlocal strikes
+            if payload is not None:
+                strikes = 0
+                seconds = payload.get("seconds", 0.0)
+                result = ConfigResult.from_dict(payload["result"])
+                result.translation = payload.get("translation")
+                results[plan] = result
+                if payload.get("trace_hit"):
+                    self.events.emit(PlanTraceHit(
+                        plan=plan, index=indices[plan], total=total,
+                        key=plan.trace_fingerprint()))
+                if result.translation is not None:
+                    self.events.emit(PlanTranslationStats(
+                        plan=plan, index=indices[plan], total=total,
+                        stats=result.translation))
+                self.events.emit(PlanFinished(
+                    plan=plan, index=indices[plan], total=total,
+                    seconds=seconds, attempt=attempt))
+                if self.cache is not None:
+                    if injecting:
+                        faults.set_context(plan=plan.describe(),
+                                           attempt=attempt, in_worker=False)
+                    self.cache.put(plan, result, seconds=seconds)
+                return
+            retry, history = self._record_failure(
+                reports, plan, attempt, message, transient,
+                time.monotonic() - started, fault=fault, warm=warm)
+            self.events.emit(PlanFailed(
+                plan=plan, error=message, attempt=attempt,
+                will_retry=retry, history=history))
+            if retry:
+                pending.append((plan, attempt + 1,
+                                time.monotonic() + self._backoff_delay(attempt)))
+            else:
+                failures[plan] = message
+
+        def pop_ready():
+            now = time.monotonic()
+            for i, item in enumerate(pending):
+                if item[2] <= now:
+                    return pending.pop(i)
+            return None
+
+        try:
+            while pending or any(w["current"] is not None for w in workers):
+                # dispatch ready plans onto idle (warm-first) workers
+                while pending:
+                    idle = next((w for w in workers
+                                 if w["current"] is None), None)
+                    if idle is None and len(workers) >= jobs:
+                        break
+                    item = pop_ready()
+                    if item is None:
+                        break  # retries still backing off
+                    plan, attempt, _ready = item
+                    if idle is None:
+                        idle = spawn()
+                    try:
+                        idle["task"].send({"plan": plan.to_dict(),
+                                           "attempt": attempt})
+                    except Exception:
+                        recycle(idle, "fault", force=True)
+                        pending.append((plan, attempt, 0.0))
+                        continue
+                    self.events.emit(PlanStarted(
+                        plan=plan, index=indices[plan], total=total,
+                        attempt=attempt))
+                    now = time.monotonic()
+                    idle["current"] = [plan, attempt, now, now]
+
+                time.sleep(_POLL_S)
+                for worker in list(workers):
+                    proc = worker["proc"]
+                    msg = None
+                    closed = False
+                    while worker["res"].poll():
+                        try:
+                            received = worker["res"].recv()
+                        except (EOFError, OSError):
+                            closed = True
+                            break
+                        if isinstance(received, dict) and "hb" in received:
+                            if worker["current"] is not None:
+                                worker["current"][3] = time.monotonic()
+                            continue
+                        msg = received
+                        break
+                    current = worker["current"]
+                    if msg is not None and current is not None:
+                        plan, attempt, started, _beat = current
+                        worker["current"] = None
+                        worker["tasks"] += 1
+                        self._merge_warm(msg.get("warm_stats"))
+                        if msg.get("ok"):
+                            finish(plan, attempt, started, payload=msg)
+                        else:
+                            finish(plan, attempt, started,
+                                   message=msg.get("error", "unknown error"),
+                                   transient=bool(msg.get("transient")),
+                                   fault=msg.get("fault"),
+                                   warm=msg.get("warm"))
+                        if msg.get("poisoned"):
+                            recycle(worker, "poisoned", force=True)
+                        elif (self.max_tasks_per_worker
+                              and worker["tasks"]
+                              >= self.max_tasks_per_worker):
+                            recycle(worker, "max-tasks", force=False)
+                        continue
+                    if closed or not proc.is_alive():
+                        exitcode = proc.exitcode
+                        was_warm = worker["tasks"] > 0
+                        recycle(worker, "fault", force=True)
+                        if current is not None:
+                            plan, attempt, started, _beat = current
+                            strikes += 1
+                            finish(plan, attempt, started,
+                                   message=("worker pipe closed unexpectedly"
+                                            if closed else
+                                            f"worker died (exit code "
+                                            f"{exitcode})"),
+                                   transient=True, warm=was_warm)
+                        continue
+                    if current is None:
+                        continue
+                    plan, attempt, started, last_beat = current
+                    now = time.monotonic()
+                    if (self.timeout is not None
+                            and now - started > self.timeout):
+                        was_warm = worker["tasks"] > 0
+                        recycle(worker, "fault", force=True)
+                        finish(plan, attempt, started,
+                               message=f"timed out after {self.timeout:g}s",
+                               transient=True, warm=was_warm)
+                    elif (self.heartbeat is not None
+                          and now - last_beat > self.heartbeat):
+                        was_warm = worker["tasks"] > 0
+                        recycle(worker, "fault", force=True)
+                        finish(plan, attempt, started,
+                               message=f"worker heartbeat lost (silent for "
+                                       f"> {self.heartbeat:g}s)",
+                               transient=True, warm=was_warm)
+                if strikes >= POOL_FAILURE_LIMIT:
+                    degraded = True
+                    orphans = [w["current"][0] for w in workers
+                               if w["current"] is not None]
+                    break
+        finally:
+            for worker in list(workers):
+                tasks, slot = worker["tasks"], worker["slot"]
+                close_worker(worker, force=degraded)
+                if tasks and not degraded:
+                    self.events.emit(WorkerRecycled(
+                        worker=slot, tasks=tasks, reason="shutdown"))
+
+        if degraded:
+            # the pool itself is failing (not individual plans): run the
+            # remainder in-process, where there is no pipe to break and
+            # no fork to die. Plans restart their attempt counters.
+            leftover = [plan for plan, _a, _r in pending]
+            leftover.extend(orphans)
+            self.events.emit(ExecutorDegraded(
+                failures=strikes, remaining=len(leftover),
+                reason="consecutive worker deaths/pipe failures"))
+            results.update(self._run_serial(
+                leftover, indices, total, failures, reports,
+                warm=self._warm_cache()))
+        return results
+
+    # -- legacy process-per-plan pool ------------------------------------
 
     def _run_pool(self, todo, indices, total, failures, reports, jobs):
         from repro.harness.experiments import ConfigResult

@@ -287,8 +287,15 @@ def run_config(
     trace_writer=None,
     translate: bool = True,
     shards: int = 1,
+    compiled=None,
 ) -> ConfigResult:
     """Compile, run and analyze one configuration (single execution).
+
+    ``compiled`` (a :class:`repro.compiler.driver.CompiledProgram`)
+    skips the compile step with a pre-built image — the warm worker
+    pool's cross-plan reuse hook. Compilation is deterministic and
+    every simulation builds fresh machine state, so a reused image is
+    observationally identical to a fresh one.
 
     ``analysis`` (an :class:`repro.analysis.AnalysisConfig`) names the
     engine tier and every analysis parameter: ``"fused"`` (default) runs
@@ -318,7 +325,8 @@ def run_config(
         raise ExperimentError(
             "trace recording requires the fused (batched) engine"
         )
-    compiled = workload.compile(isa, profile)
+    if compiled is None:
+        compiled = workload.compile(isa, profile)
     model = (models or SCALED_MODELS)[isa]
     if isinstance(model, str):
         model = load_core_model(model)
@@ -412,6 +420,8 @@ def run_suite(
     events=None,
     translate: bool = True,
     shards: int = 1,
+    warm_pool: bool = True,
+    max_tasks_per_worker: int = 0,
 ) -> SuiteResult:
     """Run the full matrix. ``scale`` scales every workload's problem size
     (1.0 = reduced defaults; see DESIGN.md §5). Windowed analysis runs on
@@ -425,7 +435,10 @@ def run_suite(
     timeout), ``retries`` bounds re-attempts after transient failures,
     and ``events`` (an :class:`repro.harness.events.EventBus`) receives
     structured progress telemetry; ``verbose`` attaches a console
-    reporter to it.
+    reporter to it. ``warm_pool=False`` restores the legacy
+    fresh-process-per-plan executor (the byte-identity baseline);
+    ``max_tasks_per_worker`` recycles warm workers after that many
+    tasks (0 = never).
     """
     from repro.harness.events import ConsoleReporter, EventBus
     from repro.harness.executor import Executor
@@ -434,7 +447,9 @@ def run_suite(
     if verbose:
         bus.subscribe(ConsoleReporter())
     executor = Executor(jobs=jobs, cache=cache, events=bus, timeout=timeout,
-                        heartbeat=heartbeat, retries=retries)
+                        heartbeat=heartbeat, retries=retries,
+                        warm_pool=warm_pool,
+                        max_tasks_per_worker=max_tasks_per_worker)
     return executor.run_suite(
         scale,
         workloads=workloads,

@@ -30,6 +30,17 @@ site                  checked by
                       snapshot and dies with :class:`SnapshotError`).
                       Exhausted retries fall the slice back to in-process
                       serial execution; the plan never fails.
+``warm``                :meth:`WarmCache.cached_program` on a warm-image
+                      *hit* — as an action site (``transient``, ``error``,
+                      ``hang``) and as a *data* site garbling the cached
+                      image bytes (``truncate``, ``garble``, ``empty``).
+                      The fingerprint re-check catches the corruption,
+                      evicts the entry and raises ``WarmStateError``; the
+                      pool recycles the poisoned worker and the plan
+                      retries clean — it never fails. Note warm workers
+                      live across plans, so per-process occurrence
+                      counters (``at``) count across the whole task
+                      stream, not per plan.
 ``translate-compile``   block compilation in :mod:`repro.sim.blocks`
                       (``error``; exercises per-block demotion)
 ``semantics``           compiled-block wrapping in :mod:`repro.sim.blocks`

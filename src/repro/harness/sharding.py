@@ -211,6 +211,17 @@ def _shard_child(conn, payload: dict) -> None:
             faults.set_context(plan=payload["describe"],
                                attempt=payload["attempt"], in_worker=True)
         faults.check("shard")
+        warm_blocks = payload.get("warm_blocks")
+        if warm_blocks:
+            # Draw translated block/summary sources from the same
+            # on-disk warm level the pool workers use: a spawn-started
+            # slice (no inherited code cache) skips per-block codegen.
+            from repro.harness.cache import BlockStore
+            from repro.harness.warmcache import preload_sources
+
+            doc = BlockStore(warm_blocks["root"]).get(warm_blocks["key"])
+            if doc is not None:
+                preload_sources(doc)
         snap = MachineSnapshot.from_bytes(payload["snapshot"])
         from repro.analysis.config import AnalysisConfig
 
@@ -245,7 +256,8 @@ def _shard_child(conn, payload: dict) -> None:
 
 def _run_parallel_slices(bounds, snaps, *, image, describe, cfg,
                          model, budget, translate, retries,
-                         stats: ShardRunStats, run_inproc):
+                         stats: ShardRunStats, run_inproc,
+                         warm_blocks: dict | None = None):
     """Fan slices out to worker processes; merge state docs in order.
 
     Per-slice bounded retries; a slice whose workers keep dying (or keep
@@ -267,6 +279,7 @@ def _run_parallel_slices(bounds, snaps, *, image, describe, cfg,
             "snapshot": blob, "index": k, "lo": lo, "hi": hi,
             "budget": budget, "translate": translate,
             "faults": fault_doc, "attempt": attempt, "describe": describe,
+            "warm_blocks": warm_blocks,
         }
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(target=_shard_child,
@@ -414,12 +427,22 @@ def run_sharded_config(workload, isa: str, profile: str, compiled, cfg,
         return engine.state(), None
 
     if use_parallel:
+        from repro.harness.warmcache import (
+            block_key, get_block_root, image_fingerprint,
+        )
+
+        warm_blocks = None
+        block_root = get_block_root()
+        if block_root and translate:
+            warm_blocks = {"root": block_root,
+                           "key": block_key(image_fingerprint(compiled),
+                                            translate)}
         merged, slice_translations = _run_parallel_slices(
             bounds, snaps, image=compiled.image,
             describe=f"{name}/{isa}/{profile}",
             cfg=cfg, model=model, budget=max_instructions,
             translate=translate, retries=retries, stats=stats,
-            run_inproc=run_inproc,
+            run_inproc=run_inproc, warm_blocks=warm_blocks,
         )
         translation = _merge_translation_stats(
             [core.translation_stats(), *slice_translations])

@@ -213,16 +213,95 @@ def _scan_block(core, pc):
 #: source text -> code object. Generated sources are deterministic per
 #: image, so repeated runs (benchmarks, differential tests, the suite's
 #: many configs over the same binaries) skip ``compile()`` entirely.
+#: This cache is the in-process warm substrate behind the harness's
+#: cross-plan translation reuse (:mod:`repro.harness.warmcache`): a warm
+#: worker that has already translated an image pays zero ``compile()``
+#: calls when a later plan runs the same binary.
 _CODE_CACHE: dict = {}
+
+#: Bump whenever the *shape* of generated block source changes (header
+#: layout, bookkeeping names, inlining conventions). The persistent
+#: block cache (:class:`repro.harness.cache.BlockStore`) keys on this,
+#: so stale on-disk sources are orphaned instead of silently preloaded.
+TRANSLATOR_VERSION = 1
+
+#: Compile-cache telemetry: ``hits`` are translation-reuse events (a
+#: regenerated block source matched a cached code object), ``misses``
+#: are fresh compiles, ``preloaded`` counts sources compiled ahead of
+#: demand from the persistent block cache.
+_CODE_STATS = {"hits": 0, "misses": 0, "preloaded": 0}
+
+#: When not None, every freshly compiled source is appended here — the
+#: warm-cache layer drains it to persist new block sources on disk.
+_NEW_SOURCES: list | None = None
+
+
+def code_cache_stats() -> dict:
+    """A copy of the compile-cache counters (see :data:`_CODE_STATS`)."""
+    return dict(_CODE_STATS)
+
+
+def set_source_recording(enabled: bool) -> None:
+    """Start (or stop) collecting freshly compiled block sources for
+    :func:`drain_new_sources`. Idempotent; recording costs one list
+    append per *fresh* compile, nothing on cache hits."""
+    global _NEW_SOURCES
+    if enabled and _NEW_SOURCES is None:
+        _NEW_SOURCES = []
+    elif not enabled:
+        _NEW_SOURCES = None
+
+
+def drain_new_sources() -> list:
+    """Return (and clear) the block sources compiled since the last
+    drain. Empty when recording is off."""
+    global _NEW_SOURCES
+    if not _NEW_SOURCES:
+        return []
+    drained = _NEW_SOURCES
+    _NEW_SOURCES = []
+    return drained
+
+
+def preload_block_sources(sources) -> int:
+    """Compile ``sources`` into the code cache ahead of demand (the
+    persistent block cache's warm-up path). Returns the number freshly
+    compiled; already-cached and uncompilable sources are skipped (a bad
+    source would demote its block at translate time anyway — preloading
+    must never be able to fail a run)."""
+    loaded = 0
+    for source in sources:
+        if not isinstance(source, str) or source in _CODE_CACHE:
+            continue
+        try:
+            code = compile(source, "<block>", "exec")
+        except (SyntaxError, ValueError):
+            continue
+        if len(_CODE_CACHE) > 16384:
+            _CODE_CACHE.clear()
+        _CODE_CACHE[source] = code
+        loaded += 1
+    _CODE_STATS["preloaded"] += loaded
+    return loaded
+
+
+def clear_code_cache() -> None:
+    """Drop every cached code object (tests and cold-start benchmarks)."""
+    _CODE_CACHE.clear()
 
 
 def _compile_fn(source, bindings):
     code = _CODE_CACHE.get(source)
     if code is None:
+        _CODE_STATS["misses"] += 1
         if len(_CODE_CACHE) > 16384:
             _CODE_CACHE.clear()
         code = compile(source, "<block>", "exec")
         _CODE_CACHE[source] = code
+        if _NEW_SOURCES is not None:
+            _NEW_SOURCES.append(source)
+    else:
+        _CODE_STATS["hits"] += 1
     namespace = dict(bindings)
     exec(code, namespace)  # noqa: S102
     return namespace["_blk"]

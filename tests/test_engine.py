@@ -173,7 +173,7 @@ class TestExecutor:
     def test_cache_hit_skips_simulation(self, tmp_path, monkeypatch):
         calls = []
 
-        def fake_execute(plan, trace_store=None):
+        def fake_execute(plan, trace_store=None, warm_cache=None):
             calls.append(plan)
             return make_result(plan)
 
@@ -189,7 +189,9 @@ class TestExecutor:
         assert second == first
 
     def test_events_sequence(self, monkeypatch):
-        monkeypatch.setattr(executor_mod, "execute_plan", make_result)
+        monkeypatch.setattr(
+            executor_mod, "execute_plan",
+            lambda plan, trace_store=None, warm_cache=None: make_result(plan))
         plans = plan_suite(0.02, workloads=("stream",), windowed=False)
         bus = EventBus()
         seen = []
@@ -207,7 +209,7 @@ class TestExecutor:
     def test_retry_then_fail_is_experiment_error(self, monkeypatch):
         attempts = []
 
-        def flaky(plan):
+        def flaky(plan, trace_store=None, warm_cache=None):
             attempts.append(plan)
             raise OSError("transient-looking failure")
 
@@ -221,7 +223,7 @@ class TestExecutor:
     def test_retry_recovers(self, monkeypatch):
         state = {"failed": False}
 
-        def once_flaky(plan):
+        def once_flaky(plan, trace_store=None, warm_cache=None):
             if not state["failed"]:
                 state["failed"] = True
                 raise OSError("first attempt dies")
@@ -268,7 +270,9 @@ class TestSharedSuite:
             return real_run_suite(*args, **kwargs)
 
         monkeypatch.setattr(experiments, "run_suite", counting_run_suite)
-        monkeypatch.setattr(executor_mod, "execute_plan", make_result)
+        monkeypatch.setattr(
+            executor_mod, "execute_plan",
+            lambda plan, trace_store=None, warm_cache=None: make_result(plan))
         experiments.clear_suite_memo()
         try:
             experiments.run_figure1(0.02)
@@ -283,7 +287,9 @@ class TestSharedSuite:
             experiments.clear_suite_memo()
 
     def test_figure2_without_windowed_raises_experiment_error(self, monkeypatch):
-        monkeypatch.setattr(executor_mod, "execute_plan", make_result)
+        monkeypatch.setattr(
+            executor_mod, "execute_plan",
+            lambda plan, trace_store=None, warm_cache=None: make_result(plan))
         suite = Executor().run_suite(0.02, workloads=("stream",),
                                      windowed=False)
         with pytest.raises(ExperimentError):
@@ -301,9 +307,9 @@ class TestCliSubcommands:
         calls = []
         real = executor_mod.execute_plan
 
-        def counting(plan, trace_store=None):
+        def counting(plan, trace_store=None, warm_cache=None):
             calls.append(plan)
-            return real(plan, trace_store)
+            return real(plan, trace_store, warm_cache=warm_cache)
 
         monkeypatch.setattr(executor_mod, "execute_plan", counting)
         cache_dir = tmp_path / "cache"
@@ -360,8 +366,9 @@ class TestCliSubcommands:
     def test_implicit_run_removed(self, tmp_path, capsys, monkeypatch):
         # The PR-1 flag-only invocation is gone: no silent run, just a
         # clear pointer at the subcommands.
-        monkeypatch.setattr(executor_mod, "execute_plan",
-                            lambda plan, trace_store=None: make_result(plan))
+        monkeypatch.setattr(
+            executor_mod, "execute_plan",
+            lambda plan, trace_store=None, warm_cache=None: make_result(plan))
         rc, out, err = self._run(
             ["--scale", "0.02", "--workloads", "stream", "--skip-windowed",
              "--cache-dir", str(tmp_path / "c")], capsys)

@@ -198,7 +198,7 @@ class TestWorkerSupervision:
     def test_hang_detected_by_heartbeat_not_timeout(self, monkeypatch):
         monkeypatch.setattr(
             executor_mod, "execute_plan",
-            lambda plan, trace_store=None: make_result(plan))
+            lambda plan, trace_store=None, warm_cache=None: make_result(plan))
         faults.install(FaultPlan([FaultSpec(
             site="worker", kind="hang", plan="stream/rv64/gcc9",
             attempts=(1,), seconds=30.0)]))
@@ -245,7 +245,7 @@ class TestWorkerSupervision:
         assert len(failed) == 1 and not failed[0].will_retry
 
     def test_deterministic_error_not_retried_pool(self, monkeypatch):
-        def fake(plan, trace_store=None):
+        def fake(plan, trace_store=None, warm_cache=None):
             faults.check("execute")  # the real execute_plan's fault site
             return make_result(plan)
 
@@ -261,7 +261,7 @@ class TestWorkerSupervision:
     def test_repeated_pool_failures_degrade_to_serial(self, monkeypatch):
         monkeypatch.setattr(
             executor_mod, "execute_plan",
-            lambda plan, trace_store=None: make_result(plan))
+            lambda plan, trace_store=None, warm_cache=None: make_result(plan))
         # every worker process crashes; the in-process fallback does not
         # (crash specs require worker context)
         faults.install(FaultPlan([FaultSpec(site="worker", kind="crash")]))
@@ -289,7 +289,7 @@ class TestWorkerSupervision:
         conn = Conn()
         plan_doc = make_plan().to_dict()
 
-        def interrupt(plan, trace_store=None):
+        def interrupt(plan, trace_store=None, warm_cache=None):
             raise KeyboardInterrupt
 
         real = executor_mod.execute_plan
@@ -366,7 +366,7 @@ class TestCacheCorruption:
     def test_injected_corrupt_writes_resimulated(self, tmp_path, monkeypatch):
         calls = []
 
-        def fake(plan, trace_store=None):
+        def fake(plan, trace_store=None, warm_cache=None):
             calls.append(plan)
             return make_result(plan)
 
@@ -542,9 +542,9 @@ class TestResumeCli:
         calls = []
         real = executor_mod.execute_plan
 
-        def counting(plan, trace_store=None):
+        def counting(plan, trace_store=None, warm_cache=None):
             calls.append(plan.describe())
-            return real(plan, trace_store)
+            return real(plan, trace_store, warm_cache=warm_cache)
 
         monkeypatch.setattr(executor_mod, "execute_plan", counting)
         rc, _out, err = self._run(

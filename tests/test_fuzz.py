@@ -82,6 +82,28 @@ class TestDifferential:
                                       "rv64", "gcc12")
             assert diff_sharded(compiled, seed=seed) == ""
 
+    def test_warm_reuse_oracle_agrees_on_clean_programs(self):
+        from repro.fuzz.differential import diff_warm
+
+        for seed in range(3):
+            compiled = compile_source(case_source(seed, "mixed"),
+                                      "rv64", "gcc12")
+            assert diff_warm(compiled) == ""
+
+    def test_warm_reuse_oracle_survives_warm_fault(self):
+        """The ``warm`` data fault garbles the cached image mid-reuse;
+        the oracle rebuilds (the executor's recycle-and-retry in
+        miniature) and the analysis documents must still agree."""
+        from repro.fuzz.differential import diff_warm
+
+        compiled = compile_source(case_source(0, "mixed"), "rv64", "gcc12")
+        faults.install(faults.FaultPlan(
+            [faults.FaultSpec(site="warm", kind="garble", at=(1,))]))
+        try:
+            assert diff_warm(compiled) == ""
+        finally:
+            faults.uninstall()
+
     def test_compile_error_is_a_finding(self):
         found = diff_source("func long main() { return undefined_var; }")
         assert found

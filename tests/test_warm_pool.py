@@ -1,0 +1,270 @@
+"""Warm persistent worker pool tests.
+
+The warm pool's contract is *invisibility*: plans executed on long-lived
+workers with cross-plan warm caches must produce artifacts byte-identical
+to fresh-process execution, in any order, through worker recycling, and
+through injected warm-state corruption. These tests pin that contract:
+
+* the full paper matrix renders byte-identically warm vs fresh;
+* plan results are independent of which plans ran before them on the
+  same worker (randomized orderings, fixed seeds);
+* a garbled warm image is caught by the fingerprint re-check, the
+  worker is recycled as poisoned, and the plan retries to success;
+* retries of transient failures reuse the live worker (no re-fork);
+* ``AttemptRecord.warm`` records whether a failed attempt ran warm;
+* the on-disk block store round-trips and quarantines corruption.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.harness import faults
+from repro.harness.cache import BlockStore
+from repro.harness.events import (
+    CacheCorruption,
+    EventBus,
+    PlanFailed,
+    WarmCacheStats,
+    WorkerRecycled,
+)
+from repro.harness.executor import Executor, SuiteExecutionError
+from repro.harness.faults import FaultPlan, FaultSpec
+from repro.harness.plan import ExperimentPlan
+
+
+#: Small real plans (distinct binaries and one shared-image analysis
+#: variant) — fast at scale 0.02, deterministic results.
+PLAN_STREAM = ExperimentPlan(workload="stream", isa="rv64", profile="gcc12",
+                             scale=0.02, windowed=False)
+PLAN_STREAM_WIN = PLAN_STREAM.with_overrides(windowed=True, window_sizes=(4,))
+PLAN_LBM = ExperimentPlan(workload="lbm", isa="rv64", profile="gcc12",
+                          scale=0.02, windowed=False)
+PLAN_STREAM_A64 = ExperimentPlan(workload="stream", isa="aarch64",
+                                 profile="gcc12", scale=0.02, windowed=False)
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    yield
+    faults.uninstall()
+
+
+def capture_bus():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    return bus, seen
+
+
+def docs(results) -> dict:
+    """Canonical JSON per plan — byte-level result identity."""
+    return {plan.describe() + f"/w{plan.windowed}": json.dumps(
+        result.to_dict(), sort_keys=True)
+        for plan, result in results.items()}
+
+
+def pool_executor(**kw) -> Executor:
+    """A warm-pool Executor forced onto the pool path even on one core
+    (an explicit heartbeat makes the run supervised)."""
+    kw.setdefault("jobs", 1)
+    kw.setdefault("heartbeat", 30.0)
+    kw.setdefault("warm_pool", True)
+    return Executor(**kw)
+
+
+class TestByteIdentity:
+    def test_full_matrix_warm_pool_matches_fresh_process(self):
+        """The whole paper matrix (5 workloads x 2 ISAs x 2 profiles),
+        rendered figure/table artifacts byte-identical warm vs fresh."""
+        from repro.harness import (
+            run_figure1, run_figure2, run_table1, run_table2)
+
+        kwargs = dict(windowed=True, window_sizes=(4,))
+        fresh = Executor(jobs=1, warm_pool=False).run_suite(0.02, **kwargs)
+        warm = Executor(jobs=2, heartbeat=60.0,
+                        warm_pool=True).run_suite(0.02, **kwargs)
+
+        def render(suite):
+            return "\n".join([
+                run_figure1(suite=suite).render(),
+                run_table1(suite=suite).render(),
+                run_table2(suite=suite).render(),
+                run_figure2(suite=suite).render(),
+            ])
+
+        assert render(fresh) == render(warm)
+        assert fresh.configs == warm.configs
+
+    def test_serial_warm_path_matches_fresh_process(self):
+        """jobs=1 unsupervised routes through the in-process warm cache;
+        results must still be byte-identical to fresh execution."""
+        plans = [PLAN_STREAM, PLAN_STREAM_WIN, PLAN_STREAM_A64]
+        fresh = Executor(jobs=1, warm_pool=False).run(plans)
+        warm = Executor(jobs=1, warm_pool=True).run(plans)
+        assert docs(fresh) == docs(warm)
+
+
+class TestIsolation:
+    def test_results_independent_of_plan_order_on_reused_worker(self):
+        """Property: a plan's result does not depend on which plans ran
+        before it on the same warm worker (fixed-seed random orders,
+        one persistent worker so every ordering is a maximal reuse
+        chain)."""
+        plans = [PLAN_STREAM, PLAN_STREAM_WIN, PLAN_LBM, PLAN_STREAM_A64]
+        baseline = docs(Executor(jobs=1, warm_pool=False).run(plans))
+        for seed in (0, 1, 2):
+            shuffled = list(plans)
+            random.Random(seed).shuffle(shuffled)
+            results = pool_executor().run(shuffled)
+            assert docs(results) == baseline, f"order seed {seed} diverged"
+
+
+class TestWarmFaultRecovery:
+    def test_garbled_warm_image_recycles_worker_and_retries(self):
+        """The ``warm`` data fault corrupts a reused worker's cached
+        image; the fingerprint re-check catches it, the worker is
+        recycled as poisoned, and the plan retries to success — plans
+        never fail."""
+        plans = [PLAN_STREAM, PLAN_STREAM_WIN]  # same image, reused
+        baseline = docs(Executor(jobs=1, warm_pool=False).run(plans))
+        faults.install(FaultPlan([FaultSpec(
+            site="warm", kind="garble", at=(1,))]))
+        bus, seen = capture_bus()
+        results = pool_executor(retries=1, backoff=0.01, events=bus).run(plans)
+        faults.uninstall()
+        assert docs(results) == baseline
+        terminal = [e for e in seen
+                    if isinstance(e, PlanFailed) and not e.will_retry]
+        assert terminal == []
+        poisoned = [e for e in seen if isinstance(e, WorkerRecycled)
+                    and e.reason == "poisoned"]
+        assert len(poisoned) == 1
+
+    def test_attempt_record_carries_warm_flag(self):
+        """A failed attempt records whether it ran on a reused worker:
+        the second task on a single persistent worker is warm."""
+        faults.install(FaultPlan([FaultSpec(
+            site="worker", kind="error", plan="lbm", attempts=(1,))]))
+        with pytest.raises(SuiteExecutionError) as exc:
+            pool_executor(retries=0).run([PLAN_STREAM, PLAN_LBM])
+        faults.uninstall()
+        reports = exc.value.reports
+        assert len(reports) == 1 and reports[0].plan == PLAN_LBM
+        assert reports[0].attempts[0].warm is True
+
+    def test_cold_attempt_recorded_as_not_warm(self):
+        faults.install(FaultPlan([FaultSpec(
+            site="worker", kind="error", plan="stream", attempts=(1,))]))
+        with pytest.raises(SuiteExecutionError) as exc:
+            pool_executor(retries=0).run([PLAN_STREAM, PLAN_LBM])
+        faults.uninstall()
+        reports = exc.value.reports
+        assert len(reports) == 1 and reports[0].plan == PLAN_STREAM
+        assert reports[0].attempts[0].warm is False
+
+
+class TestWorkerLifecycle:
+    def test_retry_reuses_live_worker(self):
+        """A transient failure retries on the still-healthy worker —
+        no mid-run recycle, only the end-of-suite shutdown."""
+        faults.install(FaultPlan([FaultSpec(
+            site="worker", kind="transient", plan="lbm", attempts=(1,))]))
+        bus, seen = capture_bus()
+        results = pool_executor(retries=1, backoff=0.01,
+                                events=bus).run([PLAN_STREAM, PLAN_LBM])
+        faults.uninstall()
+        assert len(results) == 2
+        retried = [e for e in seen
+                   if isinstance(e, PlanFailed) and e.will_retry]
+        assert len(retried) == 1
+        recycles = [e for e in seen if isinstance(e, WorkerRecycled)]
+        assert recycles and all(e.reason == "shutdown" for e in recycles)
+
+    def test_max_tasks_per_worker_recycles(self):
+        plans = [PLAN_STREAM, PLAN_STREAM_WIN, PLAN_LBM]
+        baseline = docs(Executor(jobs=1, warm_pool=False).run(plans))
+        bus, seen = capture_bus()
+        results = pool_executor(max_tasks_per_worker=1,
+                                events=bus).run(plans)
+        assert docs(results) == baseline
+        recycled = [e for e in seen if isinstance(e, WorkerRecycled)
+                    and e.reason == "max-tasks"]
+        assert len(recycled) >= 2
+        assert all(e.tasks == 1 for e in recycled)
+
+    def test_warm_cache_stats_emitted(self):
+        """The suite-end WarmCacheStats event reports image reuse and
+        translation reuse when plans share an image."""
+        bus, seen = capture_bus()
+        Executor(jobs=1, warm_pool=True,
+                 events=bus).run([PLAN_STREAM, PLAN_STREAM_WIN])
+        stats = [e for e in seen if isinstance(e, WarmCacheStats)]
+        assert len(stats) == 1
+        doc = stats[0].stats
+        assert doc["image_hits"] >= 1
+        assert doc["translation_reuse_hits"] > 0
+
+
+class TestBlockStore:
+    KEY = "ab" + "0" * 62
+
+    def test_roundtrip(self, tmp_path):
+        store = BlockStore(tmp_path)
+        store.put(self.KEY, ["b = 2", "a = 1"], cp_sources=["c = 3"])
+        doc = store.get(self.KEY)
+        assert doc["sources"] == ["a = 1", "b = 2"]
+        assert doc["cp_sources"] == ["c = 3"]
+        assert store.stats.hits == 1 and store.stats.puts == 1
+
+    def test_corruption_quarantined_never_reparsed(self, tmp_path):
+        bus, seen = capture_bus()
+        store = BlockStore(tmp_path, events=bus)
+        path = store.put(self.KEY, ["a = 1"])
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert store.get(self.KEY) is None
+        assert store.stats.quarantined == 1
+        corruption = [e for e in seen if isinstance(e, CacheCorruption)]
+        assert len(corruption) == 1 and corruption[0].level == "block"
+        # quarantined entries become plain misses, never re-parsed
+        assert store.get(self.KEY) is None
+        assert store.stats.quarantined == 1
+
+    def test_cold_process_preload_from_block_store(self, tmp_path):
+        """A ResultCache-backed run persists block sources; a later run
+        with cleared in-process caches preloads them from disk instead
+        of re-deriving (block_store_hits > 0, blocks_preloaded > 0)."""
+        from repro.analysis import blocksummary
+        from repro.harness.cache import ResultCache
+        from repro.sim import blocks
+
+        # start cold: earlier tests in the session may already have
+        # compiled this workload's blocks in-process, and sources are
+        # only persisted to disk when they are freshly derived
+        blocks.clear_code_cache()
+        blocksummary._CP_CODE_CACHE.clear()
+
+        cache = ResultCache(tmp_path)
+        Executor(jobs=1, warm_pool=True, cache=cache).run([PLAN_STREAM])
+        assert cache.disk_stats()["block_entries"] >= 1
+
+        # model a cold process: forget every compiled block source and
+        # drop the result/trace levels so the plan really re-executes
+        blocks.clear_code_cache()
+        blocksummary._CP_CODE_CACHE.clear()
+        for path in list(tmp_path.glob("??/*.json")):
+            path.unlink()
+        for path in list((tmp_path / "traces").glob("??/*.rtrc.z")):
+            path.unlink()
+
+        bus, seen = capture_bus()
+        Executor(jobs=1, warm_pool=True, cache=ResultCache(tmp_path),
+                 events=bus).run([PLAN_STREAM])
+        stats = [e for e in seen if isinstance(e, WarmCacheStats)]
+        assert stats and stats[0].stats["blocks_preloaded"] > 0
+        assert stats[0].stats["block_store_hits"] > 0

@@ -20,12 +20,22 @@ It then runs a fault-injection smoke: the 4-config STREAM matrix across
 a 2-worker pool with one injected worker crash — the resilient executor
 must retry the killed plan and complete the suite (docs/robustness.md).
 
-Finally, a sharding smoke: a mid-size STREAM config analyzed serially
+Then a sharding smoke: a mid-size STREAM config analyzed serially
 and sharded must produce byte-identical result documents, and on a box
 with two or more cores the sharded run's wall-clock must not exceed the
 serial run's (on one core the timing comparison is skipped — sharding
 there degenerates to serial by design, so timing it would only measure
 noise).
+
+Finally, a warm-pool smoke: the 4-config STREAM matrix through the
+warm execution path must be byte-identical to and no slower than
+fresh-process execution (within ``WARM_MAX_RATIO`` — this guard runs
+*everywhere*, including single-core boxes, because warm reuse must
+never regress into overhead). On two or more cores it additionally
+checks that warm repeat plans on a persistent pool complete faster
+than their cold first runs (skipped honestly on one core, where pool
+workers time-slice a single CPU and the comparison measures only the
+scheduler).
 
 Full numbers live in ``benchmarks/BENCH_emucore.json``; regenerate them
 with ``benchmarks/bench_emucore.py`` when the core changes.
@@ -57,6 +67,11 @@ SHARD_SCALE = 0.05
 #: windowed pass — the §3–§5 metrics every suite config computes) may
 #: cost at most this multiple of the raw translated run.
 ANALYZED_MAX_RATIO = 2.5
+
+#: Warm execution may cost at most this multiple of fresh execution —
+#: cache bookkeeping is cheap, so anything past a noise margin means
+#: the warm path has regressed into overhead.
+WARM_MAX_RATIO = 1.15
 
 
 def _best(image, isa, translate: bool) -> tuple[float, int]:
@@ -169,6 +184,73 @@ def _shard_smoke() -> int:
     return 0
 
 
+def _warm_smoke() -> int:
+    """Warm execution == fresh execution, and never slower than it."""
+    import json
+    import os
+
+    from repro.harness import Executor, plan_suite
+    from repro.harness.events import EventBus, PlanFinished
+
+    plans = plan_suite(SCALE, workloads=("stream",), windowed=False)
+
+    started = time.perf_counter()
+    fresh = Executor(jobs=1, warm_pool=False).run(plans)
+    fresh_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = Executor(jobs=1, warm_pool=True).run(plans)
+    warm_s = time.perf_counter() - started
+
+    fresh_docs = {p: json.dumps(r.to_dict(), sort_keys=True)
+                  for p, r in fresh.items()}
+    warm_docs = {p: json.dumps(r.to_dict(), sort_keys=True)
+                 for p, r in warm.items()}
+    if fresh_docs != warm_docs:
+        print("FAIL: warm results differ from fresh-process results",
+              file=sys.stderr)
+        return 1
+    print(f"OK: warm results byte-identical to fresh "
+          f"(fresh {fresh_s:.2f}s, warm {warm_s:.2f}s)")
+
+    if warm_s > fresh_s * WARM_MAX_RATIO:
+        print(f"FAIL: warm run ({warm_s:.2f}s) slower than "
+              f"{WARM_MAX_RATIO}x fresh ({fresh_s:.2f}s) — warm reuse "
+              f"has regressed into overhead", file=sys.stderr)
+        return 1
+    print(f"OK: warm run within {WARM_MAX_RATIO}x of fresh everywhere")
+
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        print("skip: single-core box — warm-pool second-half guard "
+              "needs >= 2 cores (pool workers would time-slice one CPU "
+              "and the comparison would measure only the scheduler)")
+        return 0
+
+    # cold first half, then warm repeats of the same images: distinct
+    # plans (max_instructions differs by one, never reached at this
+    # scale) so nothing is deduplicated, identical simulation work so
+    # the only difference is warm reuse.
+    repeats = [p.with_overrides(max_instructions=p.max_instructions - 1)
+               for p in plans]
+    bus = EventBus()
+    seconds: dict = {}
+    bus.subscribe(lambda e: seconds.__setitem__(e.plan, e.seconds)
+                  if isinstance(e, PlanFinished) else None)
+    Executor(jobs=2, heartbeat=60.0, warm_pool=True,
+             events=bus).run(list(plans) + repeats)
+    cold_s = sum(seconds[p] for p in plans)
+    repeat_s = sum(seconds[p] for p in repeats)
+    if repeat_s > cold_s:
+        print(f"FAIL: warm repeat plans ({repeat_s:.2f}s) slower than "
+              f"their cold first runs ({cold_s:.2f}s) on {cores} cores",
+              file=sys.stderr)
+        return 1
+    print(f"OK: warm repeats faster than cold first runs on {cores} "
+          f"cores ({cold_s:.2f}s -> {repeat_s:.2f}s)")
+    return 0
+
+
 def main() -> int:
     workload = get_workload("stream", SCALE)
     compiled = workload.compile("rv64", "gcc12")
@@ -200,7 +282,7 @@ def main() -> int:
         return 1
     print(f"OK: fused analysis within {ANALYZED_MAX_RATIO}x of raw "
           f"translation")
-    return _fault_smoke() or _shard_smoke()
+    return _fault_smoke() or _shard_smoke() or _warm_smoke()
 
 
 if __name__ == "__main__":
