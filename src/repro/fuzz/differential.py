@@ -1,6 +1,6 @@
 """Cross-ISA differential execution: the fuzzer's oracle stack.
 
-One generated program is judged four ways, cheapest first:
+One generated program is judged by a stack of oracles, cheapest first:
 
 1. **Compile** for both ISAs — a :class:`~repro.common.errors.CompilerError`
    on a generator-legal program is itself a finding (the generator once
@@ -27,6 +27,16 @@ One generated program is judged four ways, cheapest first:
    garbled cached image raises ``WarmStateError``, the entry is evicted
    and rebuilt (the executor's recycle-and-retry in miniature), and the
    documents must *still* agree.
+4c. **Serve round-trip** (opt-in, ``--serve-oracle``): a small suite
+   submitted to an in-process :class:`~repro.serve.app.ServeApp` over
+   real HTTP must yield artifacts *byte-identical* to the same suite
+   run directly through :func:`~repro.harness.experiments.run_suite`
+   and rendered locally. Both sides share the result cache, so the
+   oracle exercises the daemon's admission → journal → dispatch →
+   render path, not the simulator twice. Composes with the ``serve``
+   fault site: injected admission races surface as 429s the oracle
+   must survive by retrying, and journal-line corruption must never
+   change the rendered bytes.
 5. **Cross-ISA**: RV64 and AArch64 executions of the same source must
    agree on exit code, stdout and global bit patterns. Retirement counts
    legitimately differ (that delta is the paper's whole subject).
@@ -69,6 +79,7 @@ __all__ = [
     "diff_analysis",
     "diff_sharded",
     "diff_warm",
+    "diff_serve",
     "diff_source",
     "run_case",
     "run_campaign",
@@ -330,6 +341,80 @@ def diff_warm(compiled, *, reuses: int = 3,
     return "warm-reuse analysis differs"
 
 
+#: Lazily started in-process serve daemon shared by every ``diff_serve``
+#: call in this process (starting a daemon per case would dwarf the
+#: simulation cost; sharing one also matches production, where many
+#: submissions hit one long-lived service).
+_SERVE_FIXTURE: dict = {"app": None, "addr": None}
+
+
+def _serve_fixture() -> tuple[str, int]:
+    if _SERVE_FIXTURE["app"] is None:
+        import atexit
+
+        from repro.serve.app import ServeApp
+
+        app = ServeApp(jobs=2, queue_limit=8, client_quota=0)
+        addr = app.start_background()
+        atexit.register(app.stop_background)
+        _SERVE_FIXTURE.update(app=app, addr=addr)
+    return _SERVE_FIXTURE["addr"]
+
+
+def diff_serve(seed: int = 0, *, scale: float = 0.02) -> str:
+    """Serve round-trip oracle: submit a small suite to the shared
+    in-process daemon over HTTP and describe the first artifact whose
+    bytes differ from a direct :func:`run_suite` rendering ("" = exact
+    agreement). The workload rotates with ``seed`` so a campaign covers
+    the registry; the shared result cache keeps repeat cases cheap.
+
+    Injected admission faults (``serve``/``transient``, queue-full
+    races) surface as 429s, which the oracle absorbs by honouring
+    Retry-After a few times — persistent shedding *is* a finding.
+    """
+    import time as _time
+
+    from repro.harness.experiments import run_suite
+    from repro.serve.app import render_suite_artifacts
+    from repro.serve.client import ServeClient, ServeError
+    from repro.workloads import ALL_WORKLOADS
+
+    workload = sorted(ALL_WORKLOADS)[seed % len(ALL_WORKLOADS)]
+    params = {"scale": scale, "workloads": [workload], "windowed": False}
+    host, port = _serve_fixture()
+    client = ServeClient(host, port)
+    submitted = None
+    for _attempt in range(5):
+        try:
+            submitted = client.submit(params, client="fuzz")
+            break
+        except ServeError as err:
+            if err.status != 429:
+                return f"submission rejected: {err}"
+            _time.sleep(min(float(err.retry_after or 1), 2.0))
+    if submitted is None:
+        return "submission shed with 429 five times in a row"
+    job = client.wait(submitted["job"], timeout=600.0)
+    job_id = job["job"]
+    if job["state"] != "done":
+        return (f"job {job_id} finished {job['state']!r}: "
+                f"{job.get('error', '')}")
+    suite = run_suite(scale, workloads=(workload,), windowed=False,
+                      jobs=1, verbose=False)
+    expected = render_suite_artifacts(suite, windowed=False)
+    served = set(client.artifacts(job_id))
+    missing = sorted(set(expected) - served)
+    if missing:
+        return f"artifacts missing over HTTP: {missing}"
+    for name in sorted(expected):
+        got = client.artifact(job_id, name)
+        if got != expected[name]:
+            return (f"{name}: HTTP-served bytes differ from the direct "
+                    f"run_suite rendering ({len(got)} vs "
+                    f"{len(expected[name])} chars)")
+    return ""
+
+
 def _fault_finding(kind: str, err: Exception, *, isa: str, source: str,
                    seed=None, profile="") -> Finding:
     report = getattr(err, "fault_report", None)
@@ -342,8 +427,13 @@ def _fault_finding(kind: str, err: Exception, *, isa: str, source: str,
 
 def diff_source(source: str, *, seed: int | None = None, profile: str = "",
                 max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
-                ) -> list[Finding]:
-    """All findings for one program source (empty list = clean)."""
+                serve_oracle: bool = False) -> list[Finding]:
+    """All findings for one program source (empty list = clean).
+
+    ``serve_oracle`` additionally runs the HTTP round-trip oracle
+    (:func:`diff_serve`) — opt-in because it starts a daemon and runs a
+    real (tiny) workload suite, which the unit-test path must not pay.
+    """
     findings: list[Finding] = []
     interp: dict[str, Observation] = {}
 
@@ -452,6 +542,22 @@ def diff_source(source: str, *, seed: int | None = None, profile: str = "",
                 "invariant", err, isa=isa_name, source=source,
                 seed=seed, profile=profile))
 
+    if serve_oracle:
+        try:
+            delta = diff_serve(seed or 0)
+        except Exception as err:  # noqa: BLE001 — daemon trouble is the
+            findings.append(Finding(  # finding, not a fuzzer crash
+                kind="serve",
+                detail=f"serve oracle failed: {type(err).__name__}: {err}",
+                source=source, seed=seed, profile=profile))
+        else:
+            if delta:
+                findings.append(Finding(
+                    kind="serve",
+                    detail=f"HTTP-served artifacts diverge from the "
+                           f"direct run_suite rendering ({delta})",
+                    source=source, seed=seed, profile=profile))
+
     if len(interp) == len(ISAS):
         a, b = (interp[name] for name in ISAS)
         if a.state() != b.state():
@@ -484,17 +590,19 @@ def _describe_delta(a: Observation, b: Observation) -> str:
 
 def run_case(seed: int, profile: str, *,
              max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
-             ) -> list[Finding]:
+             serve_oracle: bool = False) -> list[Finding]:
     """Generate and differentially execute one ``(seed, profile)`` case."""
     prog = GenProgram(seed, profile)
     return diff_source(prog.render(), seed=seed, profile=profile,
-                       max_instructions=max_instructions)
+                       max_instructions=max_instructions,
+                       serve_oracle=serve_oracle)
 
 
 def run_campaign(seed: int, count: int, *, profiles=PROFILES,
                  out_dir=None, time_budget: float | None = None,
                  max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
-                 minimize: bool = True, progress=None) -> dict:
+                 minimize: bool = True, progress=None,
+                 serve_oracle: bool = False) -> dict:
     """Run ``count`` cases per profile starting at ``seed``.
 
     Returns a summary dict; when ``out_dir`` is given, each finding's
@@ -515,13 +623,16 @@ def run_campaign(seed: int, count: int, *, profiles=PROFILES,
                 break
             case_seed = seed + index
             found = run_case(case_seed, profile,
-                             max_instructions=max_instructions)
+                             max_instructions=max_instructions,
+                             serve_oracle=serve_oracle)
             cases += 1
             if progress is not None and not found:
                 progress(case_seed, profile, None)
             for finding in found:
                 prog = GenProgram(case_seed, profile)
-                if minimize:
+                # serve findings are daemon properties, not program
+                # properties — there is nothing to shrink
+                if minimize and finding.kind != "serve":
                     kept = shrink_program(
                         prog, finding.kind,
                         max_instructions=max_instructions)

@@ -14,8 +14,19 @@ The journal is *advisory*: the source of truth for "done" is the
 content-addressed cache itself (a fingerprint in the journal *is* a
 cache key). The journal adds what the cache cannot: which parameter set
 the interrupted suite was running (so ``--resume`` needs no flags) and
-crashed-run detection on startup. Appends are fsync'd line-by-line, and
-loading tolerates a torn final line (the crash can interrupt a write).
+crashed-run detection on startup. Appends are fsync'd line-by-line and
+the parent directory is fsync'd after the file is created and after the
+``finished`` marker, so neither the journal's existence nor its
+completion can be lost to a power cut. Loading tolerates a torn *final*
+line (the crash can interrupt a write); a torn or invalid *header* line
+means the journal identity itself is unreadable, so the file is
+quarantined under ``<dir>/quarantine/`` instead of being mis-parsed as
+an empty run.
+
+:class:`RunJournal` is subclass-friendly: the serve daemon's per-job
+journal overrides :attr:`RunJournal.SUBDIR` (its files live under
+``<cache_root>/serve/jobs/``) and :attr:`RunJournal.FAULT_SITE` (so the
+fault harness can tear its appends deterministically).
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ import time
 from pathlib import Path
 
 from repro.common.errors import ExperimentError
+from repro.harness import faults
 from repro.harness.events import Event, PlanCacheHit, PlanFinished
 
 __all__ = ["RunJournal", "journal_dir", "unfinished_runs"]
@@ -35,7 +47,45 @@ JOURNAL_SCHEMA = 1
 
 
 def journal_dir(cache_root) -> Path:
-    return Path(cache_root) / "runs"
+    return RunJournal.directory(cache_root)
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-created/renamed entry is durable.
+
+    Best-effort: some filesystems (and non-POSIX platforms) refuse to
+    open directories; losing the *directory* entry to a power cut there
+    is no worse than the prior behaviour."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _quarantine(path: Path, reason: str) -> Path:
+    """Move an unreadable journal aside (never delete evidence)."""
+    dest_dir = path.parent / "quarantine"
+    dest_dir.mkdir(parents=True, exist_ok=True)
+    dest = dest_dir / path.name
+    n = 0
+    while dest.exists():
+        n += 1
+        dest = dest_dir / f"{path.name}.{n}"
+    os.replace(path, dest)
+    _fsync_dir(dest_dir)
+    _fsync_dir(path.parent)
+    try:
+        (dest.with_suffix(dest.suffix + ".reason")).write_text(
+            reason + "\n", encoding="utf-8")
+    except OSError:
+        pass
+    return dest
 
 
 def _new_run_id() -> str:
@@ -51,6 +101,12 @@ class RunJournal:
     recorded, then call :meth:`finish` after artifacts are rendered.
     """
 
+    #: Directory under the cache root holding this journal type.
+    SUBDIR = "runs"
+    #: Fault site applied (via :func:`faults.corrupt`) to every appended
+    #: line; "" disables injection. Subclasses opt in.
+    FAULT_SITE = ""
+
     def __init__(self, path: Path, *, run_id: str, params: dict,
                  total: int):
         self.path = path
@@ -59,64 +115,100 @@ class RunJournal:
         self.total = total
         self.done: set[str] = set()
         self.finished = False
+        #: The parsed (or written) header document, extra keys included.
+        self.header: dict = {}
         self._fh = None
 
     # -- construction ----------------------------------------------------
 
     @classmethod
+    def directory(cls, cache_root) -> Path:
+        return Path(cache_root) / cls.SUBDIR
+
+    @classmethod
     def create(cls, cache_root, params: dict, total: int,
-               run_id: str | None = None) -> "RunJournal":
-        """Start a fresh journal; writes (and fsyncs) the header line."""
+               run_id: str | None = None,
+               extra: dict | None = None) -> "RunJournal":
+        """Start a fresh journal; writes (and fsyncs) the header line,
+        then fsyncs the parent directory so the file itself survives a
+        crash. ``extra`` keys are merged into the header (and surface on
+        :attr:`header` after :meth:`load`)."""
         run_id = run_id or _new_run_id()
-        root = journal_dir(cache_root)
+        root = cls.directory(cache_root)
         root.mkdir(parents=True, exist_ok=True)
         journal = cls(root / f"{run_id}.jsonl", run_id=run_id,
                       params=dict(params), total=total)
-        journal._append({
+        header = {
             "v": JOURNAL_SCHEMA,
             "run": run_id,
             "created": time.time(),
             "params": journal.params,
             "total": total,
-        })
+        }
+        for key, value in (extra or {}).items():
+            header.setdefault(key, value)
+        journal.header = header
+        journal._append(header)
+        _fsync_dir(root)
         return journal
 
     @classmethod
     def load(cls, cache_root, run_id: str) -> "RunJournal":
-        """Load an existing journal (tolerating a torn final line)."""
-        path = journal_dir(cache_root) / f"{run_id}.jsonl"
+        """Load an existing journal (tolerating a torn final line).
+
+        A torn, empty, or invalid *header* line is not tolerated: the
+        journal's identity is unreadable, so the file is moved to
+        ``quarantine/`` and an :class:`ExperimentError` is raised rather
+        than mis-parsing the run as empty."""
+        path = cls.directory(cache_root) / f"{run_id}.jsonl"
         if not path.is_file():
-            known = unfinished_runs(cache_root)
+            known = unfinished_runs(cache_root, cls=cls)
             hint = f"; unfinished runs: {', '.join(known)}" if known else ""
             raise ExperimentError(f"no run journal {run_id!r} under "
-                                  f"{journal_dir(cache_root)}{hint}")
+                                  f"{cls.directory(cache_root)}{hint}")
         header = None
         done: set[str] = set()
         finished = False
-        with path.open("r", encoding="utf-8") as fh:
+        with path.open("r", encoding="utf-8", errors="replace") as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
+                    continue
+                if header is None:
+                    # First content line MUST be a valid header: a torn
+                    # header is indistinguishable from garbage, so
+                    # quarantine instead of reading an "empty" run.
+                    try:
+                        doc = json.loads(line)
+                    except ValueError:
+                        doc = None
+                    if (not isinstance(doc, dict)
+                            or doc.get("v") != JOURNAL_SCHEMA
+                            or "run" not in doc):
+                        dest = _quarantine(
+                            path, f"torn or invalid header line: {line[:120]!r}")
+                        raise ExperimentError(
+                            f"run journal {path} has a torn or invalid "
+                            f"header line; quarantined to {dest}")
+                    header = doc
                     continue
                 try:
                     doc = json.loads(line)
                 except ValueError:
                     continue  # torn final line from a mid-write crash
-                if header is None:
-                    if doc.get("v") != JOURNAL_SCHEMA or "run" not in doc:
-                        raise ExperimentError(
-                            f"{path} does not start with a valid run-journal "
-                            f"header")
-                    header = doc
-                elif "done" in doc:
+                if "done" in doc:
                     done.add(doc["done"])
                 elif "finished" in doc:
                     finished = True
         if header is None:
-            raise ExperimentError(f"run journal {path} is empty")
+            dest = _quarantine(path, "no header line (empty journal)")
+            raise ExperimentError(
+                f"run journal {path} is empty (header never made it to "
+                f"disk); quarantined to {dest}")
         journal = cls(path, run_id=header["run"],
                       params=dict(header.get("params", {})),
                       total=int(header.get("total", 0)))
+        journal.header = header
         journal.done = done
         journal.finished = finished
         return journal
@@ -125,8 +217,11 @@ class RunJournal:
 
     def _append(self, doc: dict) -> None:
         if self._fh is None:
-            self._fh = self.path.open("a", encoding="utf-8")
-        self._fh.write(json.dumps(doc, sort_keys=True) + "\n")
+            self._fh = self.path.open("ab")
+        data = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        if self.FAULT_SITE:
+            data = faults.corrupt(self.FAULT_SITE, data)
+        self._fh.write(data)
         self._fh.flush()
         os.fsync(self._fh.fileno())
 
@@ -150,10 +245,12 @@ class RunJournal:
             self.record_done(event.key, plan=event.plan.describe())
 
     def finish(self) -> None:
-        """Mark the run complete and close the journal."""
+        """Mark the run complete, close the journal, and fsync the
+        directory so completion survives a crash."""
         if not self.finished:
             self._append({"finished": time.time()})
             self.finished = True
+            _fsync_dir(self.path.parent)
         self.close()
 
     def close(self) -> None:
@@ -162,16 +259,19 @@ class RunJournal:
             self._fh = None
 
 
-def unfinished_runs(cache_root) -> list[str]:
+def unfinished_runs(cache_root, cls: type[RunJournal] = RunJournal
+                    ) -> list[str]:
     """Run ids whose journals lack the ``finished`` marker (crashed or
-    still-running suites), oldest first."""
-    root = journal_dir(cache_root)
+    still-running suites), oldest first. Journals whose headers are
+    unreadable are quarantined by :meth:`RunJournal.load` as a side
+    effect of the scan."""
+    root = cls.directory(cache_root)
     if not root.is_dir():
         return []
     pending = []
     for path in sorted(root.glob("*.jsonl")):
         try:
-            journal = RunJournal.load(cache_root, path.stem)
+            journal = cls.load(cache_root, path.stem)
         except ExperimentError:
             continue
         if not journal.finished:

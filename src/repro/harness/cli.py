@@ -13,6 +13,11 @@ Subcommands::
     repro-isa-compare cache  {ls,stats,verify,clear} [--cache-dir DIR]
     repro-isa-compare fuzz   {run,replay,corpus} [--seed N] [--count N]
                              [--profiles p,q] [--out DIR] [--time-budget SEC]
+    repro-isa-compare serve  [--host H] [--port N] [--cache-dir DIR]
+                             [--jobs N] [--queue-limit N] [--client-quota N]
+                             [--timeout SEC] [--heartbeat SEC]
+                             [--max-tasks-per-worker N] [--drain-grace SEC]
+                             [--ready-file FILE]
 
 ``run`` simulates the experiment matrix (fanning out across ``--jobs``
 worker processes) and prints Figure 1, Table 1, Table 2 and Figure 2
@@ -32,6 +37,24 @@ parameters and re-executes only unfinished plans. ``--fault-plan FILE``
 installs a serialized :class:`repro.harness.faults.FaultPlan` — the
 deterministic fault-injection harness used by the robustness tests
 (see docs/robustness.md).
+
+``serve`` runs the long-lived multi-tenant experiment daemon
+(:mod:`repro.serve`): submit suites over HTTP/JSON, stream progress as
+server-sent events, and survive crashes via per-job journals (see
+docs/serve.md).
+
+Exit codes (all subcommands):
+
+====  ==================================================================
+code  meaning
+====  ==================================================================
+0     success (``fuzz``: no findings; ``serve``: clean drain)
+1     ``fuzz`` found divergences (reproducers written with ``--out``)
+2     usage or execution error (bad flags, failed plans, corrupt
+      ``--fault-plan``, unknown run id, ...)
+3     plans failed *with guest-fault post-mortems* (the post-mortem was
+      rendered to stderr)
+====  ==================================================================
 
 The pre-subcommand invocation (``repro-isa-compare --scale ...``) was
 deprecated in the first subcommand release and has been removed; it now
@@ -60,7 +83,36 @@ from repro.harness.experiments import (
 )
 from repro.harness.plan import ExperimentPlan, plan_suite
 
-_SUBCOMMANDS = ("run", "report", "cache", "fuzz")
+_SUBCOMMANDS = ("run", "report", "cache", "fuzz", "serve")
+
+#: The documented exit-code contract (also in the module docstring).
+EXIT_CODES = {
+    0: "success (fuzz: no findings; serve: clean drain)",
+    1: "fuzz found divergences",
+    2: "usage or execution error",
+    3: "plans failed with guest-fault post-mortems",
+}
+
+
+def _load_fault_plan(path: pathlib.Path):
+    """Read, parse, and validate a ``--fault-plan`` file; every failure
+    mode becomes a one-line ExperimentError naming the file (exit 2)
+    instead of a traceback."""
+    from repro.harness import faults
+
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as err:
+        raise ExperimentError(
+            f"cannot read fault plan {path}: {err}") from None
+    try:
+        return faults.FaultPlan.loads(text).validate()
+    except ExperimentError as err:
+        raise ExperimentError(f"fault plan {path}: {err}") from None
+    except (ValueError, KeyError, TypeError) as err:
+        raise ExperimentError(
+            f"fault plan {path} is not a valid FaultPlan JSON document: "
+            f"{err}") from None
 
 
 def _add_selection_args(parser: argparse.ArgumentParser) -> None:
@@ -182,6 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-run retirement budget")
     fuzz_run.add_argument("--no-minimize", action="store_true",
                           help="report findings without shrinking them")
+    fuzz_run.add_argument("--serve-oracle", action="store_true",
+                          help="also round-trip a small suite through an "
+                               "in-process serve daemon each case and "
+                               "require the HTTP-served artifacts to be "
+                               "byte-identical to a direct run_suite "
+                               "rendering")
     fuzz_run.add_argument("--fault-plan", type=pathlib.Path, default=None,
                           metavar="FILE",
                           help="install a serialized FaultPlan while "
@@ -199,6 +257,66 @@ def build_parser() -> argparse.ArgumentParser:
         "corpus", help="replay the checked-in regression corpus")
     fuzz_corpus.add_argument("--max-instructions", type=int, default=None)
     fuzz_corpus.add_argument("--quiet", action="store_true")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant experiment daemon (HTTP/JSON + SSE)",
+        description="Long-lived experiment service: submit suites with "
+                    "POST /jobs, poll GET /jobs/ID, fetch rendered "
+                    "artifacts from GET /jobs/ID/artifacts/NAME, stream "
+                    "progress from GET /events. Jobs are journaled under "
+                    "<cache>/serve/jobs/ before dispatch, so a killed "
+                    "daemon resumes every in-flight job on restart with "
+                    "byte-identical artifacts and zero re-execution of "
+                    "cached plans. SIGTERM drains gracefully: stop "
+                    "admitting (readyz goes 503), finish in-flight work "
+                    "within --drain-grace, recycle the worker pool. "
+                    "Exit codes: 0 clean drain, 2 startup/usage error. "
+                    "See docs/serve.md for the API and failure matrix.",
+    )
+    serve_p.add_argument("--host", type=str, default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8123,
+                         help="TCP port; 0 picks a free port "
+                              "(default 8123)")
+    _add_cache_dir_arg(serve_p)
+    serve_p.add_argument("--jobs", "-j", type=int, default=None,
+                         help="executor worker processes shared by all "
+                              "requests (default: one per CPU)")
+    serve_p.add_argument("--queue-limit", type=int, default=16,
+                         metavar="N",
+                         help="bounded queue depth; submissions beyond "
+                              "it shed with 429 + Retry-After "
+                              "(default 16)")
+    serve_p.add_argument("--client-quota", type=int, default=4,
+                         metavar="N",
+                         help="max outstanding jobs per client, 0 = "
+                              "unlimited (default 4)")
+    serve_p.add_argument("--timeout", type=float, default=None,
+                         help="default per-plan wall-clock limit for "
+                              "jobs submitted without their own timeout")
+    serve_p.add_argument("--heartbeat", type=float, default=None,
+                         help="worker hang-detection deadline in seconds")
+    serve_p.add_argument("--max-tasks-per-worker", type=int, default=0,
+                         metavar="N",
+                         help="recycle each warm worker after N plans "
+                              "(default 0 = never) — the daemon's worker "
+                              "hygiene knob")
+    serve_p.add_argument("--drain-grace", type=float, default=10.0,
+                         metavar="SEC",
+                         help="seconds SIGTERM waits for in-flight jobs "
+                              "before exiting (default 10); whatever "
+                              "misses the grace stays journaled and "
+                              "resumes on the next start")
+    serve_p.add_argument("--ready-file", type=pathlib.Path, default=None,
+                         metavar="FILE",
+                         help="write {host, port, pid} JSON here once "
+                              "listening (for supervisors and tests)")
+    serve_p.add_argument("--fault-plan", type=pathlib.Path, default=None,
+                         metavar="FILE",
+                         help="install a serialized FaultPlan (JSON) — "
+                              "chaos testing only")
+    serve_p.add_argument("--quiet", action="store_true")
     return parser
 
 
@@ -344,8 +462,7 @@ def _cmd_run(args) -> int:
 
     fault_plan = None
     if args.fault_plan is not None:
-        fault_plan = faults.FaultPlan.loads(
-            args.fault_plan.read_text(encoding="utf-8"))
+        fault_plan = _load_fault_plan(args.fault_plan)
         faults.install(fault_plan)
     try:
         suite = run_suite(
@@ -563,8 +680,7 @@ def _cmd_fuzz(args) -> int:
 
         fault_plan = None
         if args.fault_plan is not None:
-            fault_plan = faults.FaultPlan.loads(
-                args.fault_plan.read_text(encoding="utf-8"))
+            fault_plan = _load_fault_plan(args.fault_plan)
             faults.install(fault_plan)
         try:
             summary = fuzz.run_campaign(
@@ -572,7 +688,8 @@ def _cmd_fuzz(args) -> int:
                 out_dir=args.out, time_budget=args.time_budget,
                 max_instructions=budget,
                 minimize=not args.no_minimize,
-                progress=progress if not args.quiet else None)
+                progress=progress if not args.quiet else None,
+                serve_oracle=args.serve_oracle)
         finally:
             if fault_plan is not None:
                 faults.uninstall()
@@ -639,6 +756,51 @@ def _render_guest_faults(err: SuiteExecutionError) -> bool:
     return rendered
 
 
+# ----------------------------------------------------------------- serve
+
+def _cmd_serve(args) -> int:
+    from repro.harness import faults
+    from repro.serve import ServeApp
+
+    validate_limits(jobs=args.jobs, timeout=args.timeout,
+                    heartbeat=args.heartbeat)
+    if args.queue_limit < 1:
+        raise ExperimentError(
+            f"--queue-limit must be >= 1, got {args.queue_limit}")
+    if args.client_quota < 0:
+        raise ExperimentError(
+            f"--client-quota must be >= 0, got {args.client_quota}")
+    if args.drain_grace < 0:
+        raise ExperimentError(
+            f"--drain-grace must be >= 0, got {args.drain_grace}")
+    fault_plan = None
+    if args.fault_plan is not None:
+        fault_plan = _load_fault_plan(args.fault_plan)
+        faults.install(fault_plan)
+    app = ServeApp(
+        args.cache_dir, jobs=args.jobs, queue_limit=args.queue_limit,
+        client_quota=args.client_quota, timeout=args.timeout,
+        heartbeat=args.heartbeat,
+        max_tasks_per_worker=args.max_tasks_per_worker,
+        drain_grace=args.drain_grace)
+    if not args.quiet:
+        def on_ready(host, port):
+            print(f"repro serve listening on http://{host}:{port} "
+                  f"(cache: {app.cache.root}); SIGTERM drains "
+                  f"gracefully", file=sys.stderr)
+    else:
+        on_ready = None
+    try:
+        app.serve(args.host, args.port, ready_file=args.ready_file,
+                  on_ready=on_ready)
+    finally:
+        if fault_plan is not None:
+            faults.uninstall()
+    if not args.quiet:
+        print("repro serve: drained cleanly", file=sys.stderr)
+    return 0
+
+
 # ------------------------------------------------------------------ main
 
 def main(argv: list[str] | None = None) -> int:
@@ -648,7 +810,7 @@ def main(argv: list[str] | None = None) -> int:
     if not argv or (argv[0] not in _SUBCOMMANDS
                     and argv[0] not in ("-h", "--help")):
         print("error: flag-only invocation has been removed; pick a "
-              "subcommand: repro-isa-compare run|report|cache|fuzz "
+              "subcommand: repro-isa-compare run|report|cache|fuzz|serve "
               "(e.g. 'repro-isa-compare run --scale 0.1'; see --help)",
               file=sys.stderr)
         return 2
@@ -664,6 +826,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_cache(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except SuiteExecutionError as err:
         print(f"error: {err}", file=sys.stderr)
         return 3 if _render_guest_faults(err) else 2

@@ -7,7 +7,12 @@ bundled :class:`ConsoleReporter` reproduces (and improves on) the old
 accumulates the per-plan wall-clock and cache hit/miss statistics the CLI
 and the benchmark script report, and tests can capture the raw stream.
 
-Subscriber exceptions are swallowed: telemetry must never fail a run.
+Subscriber isolation: telemetry must never fail a run, and one broken
+subscriber must never starve the others. A subscriber that raises is
+unsubscribed on the spot and a single :class:`SubscriberError` event is
+emitted to the survivors — the suite continues, the failure is visible,
+and the dead callback (say, a disconnected SSE bridge) is never called
+again.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ __all__ = [
     "ExecutorDegraded",
     "WorkerRecycled",
     "WarmCacheStats",
+    "SubscriberError",
     "SuiteFinished",
     "EventBus",
     "ConsoleReporter",
@@ -179,6 +185,20 @@ class WarmCacheStats(Event):
 
 
 @dataclass(frozen=True)
+class SubscriberError(Event):
+    """An event subscriber raised and was unsubscribed.
+
+    Emitted exactly once per failing subscriber, to the *remaining*
+    subscribers (the dead one is removed first, so a subscriber that
+    fails on every event cannot loop). The suite itself is unaffected:
+    telemetry must never fail a run."""
+
+    subscriber: str = ""   # repr of the removed callback
+    error: str = ""        # "ExcType: message"
+    during: str = ""       # class name of the event being delivered
+
+
+@dataclass(frozen=True)
 class SuiteFinished(Event):
     total: int = 0
     executed: int = 0
@@ -200,11 +220,22 @@ class EventBus:
         self._subscribers.remove(callback)
 
     def emit(self, event: Event) -> None:
-        for callback in self._subscribers:
+        for callback in list(self._subscribers):
             try:
                 callback(event)
-            except Exception:  # noqa: BLE001 — telemetry must not fail a run
-                pass
+            except Exception as err:  # noqa: BLE001 — never fail the run
+                # Unsubscribe FIRST (so a subscriber that also fails on
+                # SubscriberError cannot recurse), then tell the
+                # survivors what happened — once per dead subscriber.
+                try:
+                    self._subscribers.remove(callback)
+                except ValueError:
+                    pass
+                if not isinstance(event, SubscriberError):
+                    self.emit(SubscriberError(
+                        subscriber=repr(callback),
+                        error=f"{type(err).__name__}: {err}",
+                        during=type(event).__name__))
 
 
 class ConsoleReporter:
@@ -262,6 +293,9 @@ class ConsoleReporter:
                     f"{s.get('translation_reuse_hits', 0)} translation "
                     f"reuse hits, {s.get('blocks_preloaded', 0)} block "
                     f"sources preloaded")
+        elif isinstance(event, SubscriberError):
+            text = (f"events: subscriber {event.subscriber} failed during "
+                    f"{event.during} ({event.error}) — unsubscribed")
         elif isinstance(event, SuiteFinished):
             text = (f"suite: done in {event.seconds:.2f}s "
                     f"({event.executed} simulated, {event.cached} cache hits"
@@ -291,6 +325,7 @@ class TimingCollector:
         self.sharded_plans = 0
         self.shard_fallbacks = 0
         self.workers_recycled = 0
+        self.subscriber_errors = 0
         #: Latest aggregated warm-cache counters (one WarmCacheStats is
         #: emitted per Executor.run; across runs the counters sum).
         self.warm: dict[str, int] = {}
@@ -326,6 +361,8 @@ class TimingCollector:
             self.degraded += 1
         elif isinstance(event, WorkerRecycled):
             self.workers_recycled += 1
+        elif isinstance(event, SubscriberError):
+            self.subscriber_errors += 1
         elif isinstance(event, WarmCacheStats):
             for key, value in (event.stats or {}).items():
                 self.warm[key] = self.warm.get(key, 0) + value
@@ -347,5 +384,6 @@ class TimingCollector:
             "sharded_plans": self.sharded_plans,
             "shard_fallbacks": self.shard_fallbacks,
             "workers_recycled": self.workers_recycled,
+            "subscriber_errors": self.subscriber_errors,
             "warm": dict(self.warm),
         }

@@ -394,6 +394,13 @@ def _pool_worker_main(task_conn, result_conn, trace_root: str | None = None,
                 if poisoned:
                     return
             tasks_done += 1
+            # Close the heartbeat gate while idle: a persistent worker
+            # may sit between tasks (or between whole runs, when the
+            # parent Executor is persistent) with nobody draining the
+            # result pipe — unchecked beats would fill the pipe buffer
+            # and wedge the heartbeat thread while it holds send_lock,
+            # deadlocking the next task's result send.
+            beating.clear()
     finally:
         stop.set()
         for conn in (task_conn, result_conn):
@@ -401,6 +408,28 @@ def _pool_worker_main(task_conn, result_conn, trace_root: str | None = None,
                 conn.close()
             except Exception:
                 pass
+
+
+def _stop_pool_worker(worker: dict, *, force: bool) -> None:
+    """Stop one pool worker process and close its pipes. With
+    ``force=False`` the worker drains its current task first (a ``stop``
+    message queues behind it); ``force=True`` terminates outright."""
+    if not force:
+        try:
+            worker["task"].send({"stop": True})
+        except Exception:
+            force = True
+    if force:
+        worker["proc"].terminate()
+    worker["proc"].join(timeout=None if force else 5.0)
+    if worker["proc"].is_alive():
+        worker["proc"].terminate()
+        worker["proc"].join()
+    for conn in (worker["task"], worker["res"]):
+        try:
+            conn.close()
+        except Exception:
+            pass
 
 
 def _mp_context():
@@ -458,6 +487,14 @@ class Executor:
         max_tasks_per_worker: retire a warm worker after this many
             tasks (0 = never); a fresh process takes its place while
             plans remain.
+        persistent: keep warm pool workers alive *across* ``run()``
+            calls (the serve daemon's execution tier: the second
+            request's plans land on workers still warm from the first).
+            The caller owns the lifetime — call :meth:`close` (or use
+            the executor as a context manager) to retire the fleet.
+            ``max_tasks_per_worker`` counts across runs, so worker
+            hygiene keeps working for a long-lived daemon. Implies
+            ``warm_pool``.
     """
 
     def __init__(
@@ -473,6 +510,7 @@ class Executor:
         backoff_cap: float = 2.0,
         warm_pool: bool = True,
         max_tasks_per_worker: int = 0,
+        persistent: bool = False,
     ):
         validate_limits(jobs=jobs, timeout=timeout, heartbeat=heartbeat,
                         retries=retries)
@@ -488,8 +526,18 @@ class Executor:
         self.retries = retries
         self.backoff = backoff
         self.backoff_cap = backoff_cap
+        if persistent and not warm_pool:
+            raise ExperimentError(
+                "persistent=True requires warm_pool=True (the legacy "
+                "pool has no workers to keep alive)")
         self.warm_pool = warm_pool
         self.max_tasks_per_worker = max_tasks_per_worker
+        self.persistent = persistent
+        #: Live pool workers carried across ``run()`` calls when
+        #: :attr:`persistent`; always empty otherwise.
+        self._pool_workers: list[dict] = []
+        self._pool_next_slot = 0
+        self._pool_fault_doc: dict | None = None
         #: Seeded jitter: deterministic per Executor instance.
         self._rng = random.Random(0x5EED)
         #: In-process warm cache for the serial path (persists across
@@ -626,6 +674,23 @@ class Executor:
         for plan, result in results.items():
             suite.configs[plan.config_key] = result
         return suite
+
+    def close(self) -> None:
+        """Retire every persistent pool worker (idempotent; a no-op for
+        non-persistent executors, whose pools die with each ``run``)."""
+        for worker in list(self._pool_workers):
+            tasks, slot = worker["tasks"], worker["slot"]
+            _stop_pool_worker(worker, force=False)
+            self._pool_workers.remove(worker)
+            if tasks:
+                self.events.emit(WorkerRecycled(
+                    worker=slot, tasks=tasks, reason="shutdown"))
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- warm-cache plumbing ---------------------------------------------
 
@@ -767,49 +832,49 @@ class Executor:
                       if self.cache is not None else None)
         fault_doc = faults.export()
         injecting = fault_doc is not None
-        workers: list[dict] = []
-        next_slot = 0
+        if self.persistent:
+            # Reuse the fleet from prior runs. A changed fault plan
+            # invalidates the workers (they installed the old one at
+            # spawn), and a worker that died while idle is swept here
+            # rather than striking against this run.
+            if self._pool_workers and self._pool_fault_doc != fault_doc:
+                self.close()
+            self._pool_fault_doc = fault_doc
+            workers = self._pool_workers
+            for worker in list(workers):
+                if not worker["proc"].is_alive():
+                    tasks, slot = worker["tasks"], worker["slot"]
+                    _stop_pool_worker(worker, force=True)
+                    workers.remove(worker)
+                    self.events.emit(WorkerRecycled(
+                        worker=slot, tasks=tasks, reason="fault"))
+        else:
+            workers = []
         strikes = 0
         degraded = False
         orphans: list[ExperimentPlan] = []
 
         def spawn() -> dict:
-            nonlocal next_slot
             task_recv, task_send = ctx.Pipe(duplex=False)
             res_recv, res_send = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_pool_worker_main,
                 args=(task_recv, res_send, trace_root, fault_doc,
-                      self.heartbeat, block_root, next_slot),
+                      self.heartbeat, block_root, self._pool_next_slot),
                 daemon=True,
             )
             proc.start()
             task_recv.close()
             res_send.close()
             worker = {"proc": proc, "task": task_send, "res": res_recv,
-                      "slot": next_slot, "tasks": 0,
+                      "slot": self._pool_next_slot, "tasks": 0,
                       "current": None}  # [plan, attempt, started, last_beat]
-            next_slot += 1
+            self._pool_next_slot += 1
             workers.append(worker)
             return worker
 
         def close_worker(worker, *, force: bool) -> None:
-            if not force:
-                try:
-                    worker["task"].send({"stop": True})
-                except Exception:
-                    force = True
-            if force:
-                worker["proc"].terminate()
-            worker["proc"].join(timeout=None if force else 5.0)
-            if worker["proc"].is_alive():
-                worker["proc"].terminate()
-                worker["proc"].join()
-            for conn in (worker["task"], worker["res"]):
-                try:
-                    conn.close()
-                except Exception:
-                    pass
+            _stop_pool_worker(worker, force=force)
             if worker in workers:
                 workers.remove(worker)
 
@@ -968,12 +1033,17 @@ class Executor:
                                if w["current"] is not None]
                     break
         finally:
-            for worker in list(workers):
-                tasks, slot = worker["tasks"], worker["slot"]
-                close_worker(worker, force=degraded)
-                if tasks and not degraded:
-                    self.events.emit(WorkerRecycled(
-                        worker=slot, tasks=tasks, reason="shutdown"))
+            if self.persistent and not degraded:
+                # Workers stay warm for the next run(); close() retires
+                # them. A degraded fleet is never kept.
+                pass
+            else:
+                for worker in list(workers):
+                    tasks, slot = worker["tasks"], worker["slot"]
+                    close_worker(worker, force=degraded)
+                    if tasks and not degraded:
+                        self.events.emit(WorkerRecycled(
+                            worker=slot, tasks=tasks, reason="shutdown"))
 
         if degraded:
             # the pool itself is failing (not individual plans): run the

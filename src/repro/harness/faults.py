@@ -41,6 +41,18 @@ site                  checked by
                       live across plans, so per-process occurrence
                       counters (``at``) count across the whole task
                       stream, not per plan.
+``serve``               the ``repro serve`` daemon's job lifecycle — an
+                      *action* site between the job-journal append and
+                      executor dispatch (``crash``, ``hang``,
+                      ``transient``, ``error``; fired via
+                      :func:`check_daemon`, since the daemon is its own
+                      supervised process rather than an executor worker),
+                      a *data* site tearing job-journal lines
+                      (``truncate``, ``garble``, ``empty`` — the restart
+                      scan must quarantine or tolerate them), and fired
+                      with kind filters at the admission queue-full race
+                      (``transient``) and the SSE writer (``hang``,
+                      modelling a stalled client socket).
 ``translate-compile``   block compilation in :mod:`repro.sim.blocks`
                       (``error``; exercises per-block demotion)
 ``semantics``           compiled-block wrapping in :mod:`repro.sim.blocks`
@@ -94,9 +106,11 @@ __all__ = [
     "export",
     "set_context",
     "check",
+    "check_daemon",
     "fire",
     "corrupt",
     "mutate_block",
+    "KNOWN_SITES",
 ]
 
 #: Sites whose kinds are *actions* (performed by :func:`check`).
@@ -106,6 +120,23 @@ DATA_KINDS = ("truncate", "garble", "empty")
 #: Kinds that mutate compiled-block semantics (applied by
 #: :func:`mutate_block` at the ``semantics`` site).
 SEMANTIC_KINDS = ("skew",)
+
+#: Every injection site the harness wires up, mapped to the kinds that
+#: site can apply. :meth:`FaultPlan.validate` rejects specs outside this
+#: table so a typo'd ``--fault-plan`` fails loudly instead of silently
+#: never firing.
+KNOWN_SITES: dict[str, tuple[str, ...]] = {
+    "worker": ACTION_KINDS,
+    "execute": ACTION_KINDS,
+    "shard": ACTION_KINDS + DATA_KINDS,
+    "warm": ("transient", "error", "hang") + DATA_KINDS,
+    "serve": ACTION_KINDS + DATA_KINDS,
+    "cache-result-write": DATA_KINDS,
+    "cache-trace-write": DATA_KINDS,
+    "cache-tmp-leftover": ("leftover",),
+    "translate-compile": ("error",),
+    "semantics": SEMANTIC_KINDS,
+}
 
 
 class InjectedFaultError(ExperimentError):
@@ -208,6 +239,21 @@ class FaultPlan:
             return spec
         return None
 
+    def validate(self) -> "FaultPlan":
+        """Reject specs naming unknown sites or kinds a site cannot
+        apply. Returns ``self`` so loading can chain."""
+        for spec in self.specs:
+            if spec.site not in KNOWN_SITES:
+                raise ExperimentError(
+                    f"unknown fault site {spec.site!r}; known sites: "
+                    f"{', '.join(sorted(KNOWN_SITES))}")
+            allowed = KNOWN_SITES[spec.site]
+            if spec.kind not in allowed:
+                raise ExperimentError(
+                    f"fault kind {spec.kind!r} does not apply at site "
+                    f"{spec.site!r} (allowed: {', '.join(allowed)})")
+        return self
+
     def rng_for(self, spec: FaultSpec) -> random.Random:
         """Deterministic RNG for this spec's data corruption (``hash()``
         is salted per process, so key on a stable CRC instead)."""
@@ -292,11 +338,7 @@ def fire(site: str,
     return _ACTIVE.fire(site, kinds=kinds, **_CONTEXT)
 
 
-def check(site: str) -> None:
-    """Fire ``site`` and *perform* an action fault (crash/hang/raise)."""
-    spec = fire(site, ACTION_KINDS)
-    if spec is None:
-        return
+def _perform(spec: FaultSpec, site: str) -> None:
     if spec.kind == "crash":
         os._exit(spec.exit_code)
     if spec.kind == "hang":
@@ -309,6 +351,35 @@ def check(site: str) -> None:
         raise InjectedFaultError(f"injected fault at {site!r}")
     raise ExperimentError(
         f"fault kind {spec.kind!r} is not an action (site {site!r})")
+
+
+def check(site: str) -> None:
+    """Fire ``site`` and *perform* an action fault (crash/hang/raise)."""
+    spec = fire(site, ACTION_KINDS)
+    if spec is None:
+        return
+    _perform(spec, site)
+
+
+def check_daemon(site: str,
+                 kinds: tuple[str, ...] | None = None) -> None:
+    """:func:`check` for a supervised *daemon* process.
+
+    ``crash`` specs normally fire only inside executor workers (the
+    parent must survive to observe the death); the serve daemon is its
+    own supervised process — its supervisor or the chaos test restarts
+    it — so here the in-worker guard is forced open. ``kinds`` narrows
+    which action kinds this call site can perform (e.g. the SSE writer
+    only models ``hang``)."""
+    if _ACTIVE is None:
+        return
+    action = tuple(k for k in (kinds or ACTION_KINDS) if k in ACTION_KINDS)
+    ctx = dict(_CONTEXT)
+    ctx["in_worker"] = True
+    spec = _ACTIVE.fire(site, kinds=action, **ctx)
+    if spec is None:
+        return
+    _perform(spec, site)
 
 
 def mutate_block(fn, insts):

@@ -1,0 +1,45 @@
+"""``repro serve`` — a crash-safe, overload-safe experiment service.
+
+A long-lived asyncio daemon (stdlib only) in front of the plan/execute
+engine: clients submit suite parameter sets over HTTP/JSON, jobs run on
+one persistent warm worker pool shared across *requests* (PR 8's
+execution tier kept alive by ``Executor(persistent=True)``), progress
+streams out as server-sent events, and every job is journaled so a
+``kill -9`` mid-suite resumes on restart with byte-identical artifacts
+and zero re-execution of cached plans.
+
+Modules:
+
+- :mod:`repro.serve.app` — the daemon: HTTP front end, dispatcher
+  thread, recovery scan, graceful drain.
+- :mod:`repro.serve.queue` — bounded priority job queue with
+  identical-submission coalescing and load-shed estimates.
+- :mod:`repro.serve.quotas` — per-client outstanding-job quotas.
+- :mod:`repro.serve.journal` — the durable per-job journal
+  (:class:`~repro.harness.checkpoint.RunJournal` under
+  ``<cache>/serve/jobs/``).
+- :mod:`repro.serve.sse` — EventBus → server-sent-events bridge with
+  slow-client disconnection.
+- :mod:`repro.serve.client` — stdlib HTTP client used by tests, the
+  fuzzer's ``diff_serve`` oracle, and the CI smoke.
+
+See ``docs/serve.md`` for the API and the failure matrix.
+"""
+
+from repro.serve.app import ServeApp
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.journal import JobJournal
+from repro.serve.queue import Job, JobQueue, QueueFullError
+from repro.serve.quotas import QuotaExceededError, Quotas
+
+__all__ = [
+    "ServeApp",
+    "ServeClient",
+    "ServeError",
+    "JobJournal",
+    "Job",
+    "JobQueue",
+    "QueueFullError",
+    "Quotas",
+    "QuotaExceededError",
+]

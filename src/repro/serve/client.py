@@ -1,0 +1,163 @@
+"""Stdlib HTTP client for the serve daemon.
+
+Used by the test suite, the fuzzer's ``diff_serve`` oracle, and the CI
+smoke — and small enough to read as API documentation for anyone
+writing their own client (everything is plain HTTP/JSON; see
+``docs/serve.md`` for the endpoint table and a curl quickstart).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from repro.common.errors import ExperimentError
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(ExperimentError):
+    """A non-2xx response. ``status`` is the HTTP code; ``retry_after``
+    is the shed hint in seconds when the server sent one (429/503)."""
+
+    def __init__(self, status: int, body: dict, retry_after: int | None):
+        self.status = status
+        self.body = body
+        self.retry_after = retry_after
+        hint = f" (retry after {retry_after}s)" if retry_after else ""
+        super().__init__(
+            f"HTTP {status}: {body.get('error', body)}{hint}")
+
+
+class ServeClient:
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+
+    def _request(self, method: str, path: str, doc: dict | None = None,
+                 ) -> tuple[int, dict, bytes]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = (json.dumps(doc).encode("utf-8")
+                    if doc is not None else None)
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+            retry_after = response.getheader("Retry-After")
+            headers_doc = {"retry_after": (int(retry_after)
+                                           if retry_after else None)}
+            return response.status, headers_doc, payload
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str,
+              doc: dict | None = None) -> dict:
+        status, headers, payload = self._request(method, path, doc)
+        try:
+            parsed = json.loads(payload.decode("utf-8"))
+        except ValueError:
+            parsed = {"error": payload.decode("utf-8", "replace")[:200]}
+        if status >= 400:
+            raise ServeError(status, parsed, headers["retry_after"])
+        return parsed
+
+    # -- API -------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def ready(self) -> bool:
+        status, _headers, _payload = self._request("GET", "/readyz")
+        return status == 200
+
+    def stats(self) -> dict:
+        return self._json("GET", "/stats")
+
+    def submit(self, params: dict, *, client: str = "",
+               priority: int = 5,
+               timeout: float | None = None) -> dict:
+        doc: dict = {"params": params, "client": client,
+                     "priority": priority}
+        if timeout is not None:
+            doc["timeout"] = timeout
+        return self._json("POST", "/jobs", doc)
+
+    def jobs(self) -> dict:
+        return self._json("GET", "/jobs")
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, *, timeout: float = 300.0,
+             poll: float = 0.2) -> dict:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc["state"] in ("done", "failed", "shed"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise ExperimentError(
+                    f"job {job_id} still {doc['state']!r} after "
+                    f"{timeout:g}s")
+            time.sleep(poll)
+
+    def artifacts(self, job_id: str) -> list[str]:
+        return self._json("GET", f"/jobs/{job_id}/artifacts")["artifacts"]
+
+    def artifact(self, job_id: str, name: str) -> str:
+        status, headers, payload = self._request(
+            "GET", f"/jobs/{job_id}/artifacts/{name}")
+        if status >= 400:
+            raise ServeError(status,
+                             {"error": payload.decode("utf-8", "replace")},
+                             headers["retry_after"])
+        return payload.decode("utf-8")
+
+    def drain(self) -> dict:
+        return self._json("POST", "/drain")
+
+    def events(self, job_id: str | None = None, *,
+               max_events: int | None = None,
+               time_budget: float | None = None):
+        """Yield parsed SSE event documents (a generator holding one
+        streaming connection; stops on disconnect, ``max_events``, or
+        ``time_budget`` seconds)."""
+        path = f"/jobs/{job_id}/events" if job_id else "/events"
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=min(self.timeout, time_budget or self.timeout))
+        seen = 0
+        started = time.monotonic()
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServeError(response.status,
+                                 {"error": "event stream refused"}, None)
+            while True:
+                if time_budget is not None and \
+                        time.monotonic() - started > time_budget:
+                    return
+                try:
+                    line = response.fp.readline()
+                except (TimeoutError, OSError):
+                    return
+                if not line:
+                    return
+                if line.startswith(b"data:"):
+                    try:
+                        yield json.loads(line[5:].strip().decode("utf-8"))
+                    except ValueError:
+                        continue
+                    seen += 1
+                    if max_events is not None and seen >= max_events:
+                        return
+        finally:
+            conn.close()

@@ -1,0 +1,38 @@
+"""Durable per-job journals for the serve daemon.
+
+A :class:`JobJournal` is a :class:`~repro.harness.checkpoint.RunJournal`
+living under ``<cache_root>/serve/jobs/<job-id>.jsonl`` whose header
+additionally records the submission (client, priority, params). The
+dispatcher creates the journal *before* dispatching a job to the
+executor and appends one line per completed plan, so a ``kill -9`` of
+the daemon leaves, for every in-flight job, a journal naming exactly
+what was running; the restart recovery scan re-enqueues those jobs, and
+because plan results are content-addressed in the cache, resumed jobs
+re-execute nothing already journaled — rendering byte-identical
+artifacts.
+
+``FAULT_SITE = "serve"`` routes every appended line through
+:func:`repro.harness.faults.corrupt`, so chaos tests can tear job
+journal lines deterministically and prove the scan quarantines torn
+headers and tolerates torn tails.
+"""
+
+from __future__ import annotations
+
+from repro.harness.checkpoint import RunJournal, unfinished_runs
+
+__all__ = ["JobJournal", "unfinished_jobs"]
+
+
+class JobJournal(RunJournal):
+    """One serve job's append-only completion journal."""
+
+    SUBDIR = "serve/jobs"
+    FAULT_SITE = "serve"
+
+
+def unfinished_jobs(cache_root) -> list[str]:
+    """Job ids whose journals lack the ``finished`` marker — the
+    recovery scan run at daemon startup. Torn-header journals are
+    quarantined by the scan itself."""
+    return unfinished_runs(cache_root, cls=JobJournal)

@@ -1,0 +1,179 @@
+"""Bounded priority job queue with coalescing, for the serve daemon.
+
+Admission control lives here: the queue is *bounded* (a full queue
+raises :class:`QueueFullError` carrying a Retry-After estimate instead
+of queueing unboundedly), prioritized (lower ``priority`` number runs
+first, FIFO within a priority), and *coalescing* — a submission whose
+canonical parameters match a job already queued or running returns that
+job instead of enqueueing a duplicate execution.
+
+The queue is thread-safe and deliberately dumb about policy it does not
+own: deadlines are checked by the dispatcher (which owns job
+bookkeeping) and quotas by :mod:`repro.serve.quotas`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.common.errors import ExperimentError
+
+__all__ = ["Job", "JobQueue", "QueueFullError", "params_fingerprint"]
+
+
+def params_fingerprint(params: dict) -> str:
+    """Content address of a canonical suite-params doc (the coalescing
+    key: byte-identical params ⇒ byte-identical artifacts)."""
+    blob = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class QueueFullError(ExperimentError):
+    """The bounded queue is full; ``retry_after`` is the shed hint in
+    seconds (HTTP 429 + Retry-After)."""
+
+    def __init__(self, limit: int, retry_after: int):
+        self.limit = limit
+        self.retry_after = retry_after
+        super().__init__(
+            f"job queue is full ({limit} queued); retry in "
+            f"~{retry_after}s")
+
+
+@dataclass
+class Job:
+    """One submitted suite: parameters, admission metadata, outcome."""
+
+    id: str
+    params: dict
+    client: str = ""
+    priority: int = 5
+    #: Submission wall-clock time (for display only).
+    submitted: float = field(default_factory=time.time)
+    #: Absolute monotonic deadline, or None for no deadline.
+    deadline: float | None = None
+    #: queued | running | done | failed | shed
+    state: str = "queued"
+    error: str = ""
+    #: Rendered artifact name -> on-disk path (absolute, str).
+    artifacts: dict[str, str] = field(default_factory=dict)
+    #: Execution summary (executed/cached/seconds/...) once done.
+    summary: dict = field(default_factory=dict)
+    #: True when this job was re-enqueued by the restart recovery scan.
+    recovered: bool = False
+    #: Set when the job reaches a terminal state.
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def fingerprint(self) -> str:
+        return params_fingerprint(self.params)
+
+    def remaining(self, now: float | None = None) -> float | None:
+        """Seconds until the deadline (negative = expired), or None."""
+        if self.deadline is None:
+            return None
+        return self.deadline - (time.monotonic() if now is None else now)
+
+    def to_doc(self) -> dict:
+        doc = {
+            "job": self.id,
+            "state": self.state,
+            "client": self.client,
+            "priority": self.priority,
+            "submitted": self.submitted,
+            "params": self.params,
+            "recovered": self.recovered,
+        }
+        if self.deadline is not None:
+            remaining = self.remaining()
+            doc["deadline_remaining"] = round(max(0.0, remaining), 3)
+        if self.error:
+            doc["error"] = self.error
+        if self.artifacts:
+            doc["artifacts"] = sorted(self.artifacts)
+        if self.summary:
+            doc["summary"] = self.summary
+        return doc
+
+
+class JobQueue:
+    """Thread-safe bounded priority queue of :class:`Job` values."""
+
+    def __init__(self, limit: int = 16):
+        if limit < 1:
+            raise ExperimentError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = 0
+        self._cond = threading.Condition()
+        #: fingerprint -> queued-or-running job, for coalescing.
+        self._in_flight: dict[str, Job] = {}
+        #: EWMA of completed-job wall seconds (Retry-After estimate).
+        self._ewma_seconds = 30.0
+
+    # -- admission -------------------------------------------------------
+
+    def coalesce(self, params: dict) -> Job | None:
+        """The queued-or-running job identical submissions ride, if any."""
+        with self._cond:
+            return self._in_flight.get(params_fingerprint(params))
+
+    def push(self, job: Job) -> None:
+        """Enqueue (or raise :class:`QueueFullError` when full)."""
+        with self._cond:
+            if len(self._heap) >= self.limit:
+                raise QueueFullError(self.limit, self.retry_after())
+            self._seq += 1
+            heapq.heappush(self._heap, (job.priority, self._seq, job))
+            self._in_flight[job.fingerprint] = job
+            self._cond.notify()
+
+    def pop(self, timeout: float | None = None) -> Job | None:
+        """Highest-priority job, blocking up to ``timeout``; None on
+        timeout. The job stays registered for coalescing until
+        :meth:`job_finished`."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._cond:
+            while not self._heap:
+                rest = (None if deadline is None
+                        else deadline - time.monotonic())
+                if rest is not None and rest <= 0:
+                    return None
+                self._cond.wait(rest)
+            return heapq.heappop(self._heap)[2]
+
+    def job_finished(self, job: Job, seconds: float | None = None) -> None:
+        """Drop the job from the coalescing map; fold its duration into
+        the Retry-After estimate."""
+        with self._cond:
+            if self._in_flight.get(job.fingerprint) is job:
+                del self._in_flight[job.fingerprint]
+            if seconds is not None and seconds > 0:
+                self._ewma_seconds = (0.7 * self._ewma_seconds
+                                      + 0.3 * seconds)
+
+    # -- introspection ---------------------------------------------------
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    def retry_after(self) -> int:
+        """Shed hint: roughly how long until a queue slot frees up."""
+        backlog = max(1, len(self._in_flight))
+        return max(1, int(self._ewma_seconds * backlog / max(1, self.limit)))
+
+    def drain_remaining(self) -> list[Job]:
+        """Empty the queue (graceful-drain bookkeeping: jobs still
+        queued at shutdown stay journaled-or-unjournaled as they are and
+        are surfaced to the caller)."""
+        with self._cond:
+            jobs = [job for _p, _s, job in sorted(self._heap)]
+            self._heap.clear()
+            return jobs

@@ -1,0 +1,72 @@
+"""Per-client admission quotas for the serve daemon.
+
+A client is whatever string the submitter sends as ``client`` (empty
+string is a client like any other — the anonymous pool). The quota
+bounds *outstanding* jobs — queued plus running — so one tenant cannot
+occupy the whole bounded queue; coalesced duplicate submissions ride an
+existing job and are never charged.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.common.errors import ExperimentError
+
+__all__ = ["Quotas", "QuotaExceededError"]
+
+
+class QuotaExceededError(ExperimentError):
+    """The client already has ``limit`` jobs outstanding."""
+
+    def __init__(self, client: str, limit: int):
+        self.client = client
+        self.limit = limit
+        super().__init__(
+            f"client {client!r} already has {limit} job(s) outstanding")
+
+
+class Quotas:
+    """Thread-safe per-client outstanding-job counter.
+
+    ``limit <= 0`` disables quota enforcement (counts are still kept,
+    for ``/jobs`` reporting).
+    """
+
+    def __init__(self, limit: int = 4):
+        self.limit = limit
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def acquire(self, client: str) -> None:
+        """Charge one outstanding job to ``client`` (or raise)."""
+        with self._lock:
+            held = self._counts.get(client, 0)
+            if self.limit > 0 and held >= self.limit:
+                raise QuotaExceededError(client, self.limit)
+            self._counts[client] = held + 1
+
+    def acquire_forced(self, client: str) -> None:
+        """Charge past the limit (recovery: crashed jobs re-enter even
+        if their client is already at quota — they were admitted once)."""
+        with self._lock:
+            self._counts[client] = self._counts.get(client, 0) + 1
+
+    def release(self, client: str) -> None:
+        """Return one outstanding job (no-op below zero: release is
+        called from several completion paths and must be idempotent at
+        the floor)."""
+        with self._lock:
+            held = self._counts.get(client, 0)
+            if held <= 1:
+                self._counts.pop(client, None)
+            else:
+                self._counts[client] = held - 1
+
+    def outstanding(self, client: str) -> int:
+        with self._lock:
+            return self._counts.get(client, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)

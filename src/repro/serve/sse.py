@@ -1,0 +1,159 @@
+"""EventBus → server-sent-events bridge with slow-client protection.
+
+The executor (and the dispatcher thread it runs on) must never block on
+a client socket. The bridge therefore decouples the two sides with one
+bounded :class:`asyncio.Queue` per connected client:
+
+- the dispatcher thread calls :meth:`SSEBroker.publish`, which hops
+  onto the event loop with ``call_soon_threadsafe`` and *drops* the
+  event for any client whose queue is full — marking that client dead
+  (its writer coroutine wakes on a sentinel and closes the connection).
+  A stalled ``curl`` costs its own stream, never the suite;
+- each client's writer coroutine drains its queue onto the socket at
+  whatever pace the socket tolerates.
+
+The ``serve`` fault site's ``hang`` kind models the stalled client: a
+firing spec makes the writer sleep instead of draining, so chaos tests
+can force the overflow → disconnect path deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import threading
+
+__all__ = ["SSEBroker", "SSEClient", "event_doc", "format_sse"]
+
+
+def event_doc(event, job: str = "") -> dict:
+    """A JSON-safe document for one EventBus event (plans collapse to
+    their ``describe()`` strings; anything else non-serializable to
+    ``str``)."""
+    doc: dict = {"event": type(event).__name__}
+    if job:
+        doc["job"] = job
+    for field in dataclasses.fields(event):
+        value = getattr(event, field.name)
+        if hasattr(value, "describe") and callable(value.describe):
+            doc[field.name] = value.describe()
+            continue
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            doc[field.name] = str(value)
+        else:
+            doc[field.name] = value
+    return doc
+
+
+def format_sse(doc: dict) -> bytes:
+    """One ``text/event-stream`` frame for ``doc``."""
+    payload = json.dumps(doc, sort_keys=True)
+    return (f"event: {doc.get('event', 'message')}\n"
+            f"data: {payload}\n\n").encode("utf-8")
+
+
+class SSEClient:
+    """One connected event-stream consumer."""
+
+    def __init__(self, job_id: str | None, maxsize: int):
+        #: Only events for this job (None = the global stream).
+        self.job_id = job_id
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize)
+        #: Set by the broker when this client's queue overflowed; the
+        #: writer coroutine closes the connection on its next wake.
+        self.dead = False
+        #: Events dropped on the floor for this client (telemetry).
+        self.dropped = 0
+        #: Injected stalled-socket simulation (``serve``/``hang``).
+        self.stall_seconds = 0.0
+
+
+class SSEBroker:
+    """Fan-out point between the dispatcher thread and SSE writers."""
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = maxsize
+        self._clients: list[SSEClient] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._lock = threading.Lock()
+        #: Clients disconnected for falling behind (telemetry).
+        self.disconnected_slow = 0
+
+    def bind(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Attach to the serving event loop (publish is a no-op until
+        bound, so the dispatcher can run without an HTTP front end)."""
+        self._loop = loop
+
+    # -- event-loop side -------------------------------------------------
+
+    def subscribe(self, job_id: str | None = None) -> SSEClient:
+        client = SSEClient(job_id, self.maxsize)
+        with self._lock:
+            self._clients.append(client)
+        return client
+
+    def unsubscribe(self, client: SSEClient) -> None:
+        with self._lock:
+            if client in self._clients:
+                self._clients.remove(client)
+
+    def _deliver(self, frame: bytes, job: str) -> None:
+        """On the loop: enqueue for every matching client; overflow
+        disconnects that client instead of blocking anyone."""
+        with self._lock:
+            clients = list(self._clients)
+        for client in clients:
+            if client.dead:
+                continue
+            if client.job_id is not None and client.job_id != job:
+                continue
+            try:
+                client.queue.put_nowait(frame)
+            except asyncio.QueueFull:
+                client.dead = True
+                client.dropped += 1
+                self.disconnected_slow += 1
+                # Make room for the wake-up sentinel, then wake the
+                # writer so it can close the connection.
+                while True:
+                    try:
+                        client.queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                client.queue.put_nowait(None)
+
+    # -- dispatcher-thread side ------------------------------------------
+
+    def publish(self, doc: dict) -> None:
+        """Thread-safe, non-blocking publish of one event document."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        frame = format_sse(doc)
+        job = str(doc.get("job", ""))
+        try:
+            loop.call_soon_threadsafe(self._deliver, frame, job)
+        except RuntimeError:
+            pass  # loop shut down mid-publish; the stream is gone anyway
+
+    def close_all(self) -> None:
+        """Wake every writer with a sentinel (drain/shutdown)."""
+        loop = self._loop
+
+        def _close():
+            with self._lock:
+                clients = list(self._clients)
+            for client in clients:
+                client.dead = True
+                try:
+                    client.queue.put_nowait(None)
+                except asyncio.QueueFull:
+                    pass
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(_close)
+            except RuntimeError:
+                pass

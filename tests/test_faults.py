@@ -174,6 +174,33 @@ class TestFaultPlan:
             [FaultSpec(site="cache-result-write", kind="garble")], seed=8))
         assert faults.corrupt("cache-result-write", data) != mangled[0]
 
+    def test_validate_rejects_unknown_site_and_misapplied_kind(self):
+        with pytest.raises(ExperimentError, match="unknown fault site"):
+            FaultPlan([FaultSpec(site="nope", kind="error")]).validate()
+        with pytest.raises(ExperimentError, match="does not apply"):
+            FaultPlan([FaultSpec(site="serve", kind="leftover")]).validate()
+        with pytest.raises(ExperimentError, match="does not apply"):
+            FaultPlan([FaultSpec(site="translate-compile",
+                                 kind="garble")]).validate()
+        plan = FaultPlan([FaultSpec(site="serve", kind="crash"),
+                          FaultSpec(site="serve", kind="garble"),
+                          FaultSpec(site="warm", kind="truncate")])
+        assert plan.validate() is plan  # chains
+
+    def test_check_daemon_opens_worker_gated_kinds(self):
+        # plain fire() refuses crash outside worker context — the
+        # daemon is not an executor worker
+        faults.install(FaultPlan([FaultSpec(site="serve", kind="crash")]))
+        assert faults.fire("serve", ("crash",)) is None
+        faults.uninstall()
+        # check_daemon opts the daemon in deliberately (proven via
+        # kind="error"; actually firing a crash would exit pytest)
+        faults.install(FaultPlan([FaultSpec(site="serve", kind="error")]))
+        with pytest.raises(InjectedFaultError):
+            faults.check_daemon("serve", kinds=("crash", "error"))
+        # kinds outside ACTION_KINDS are filtered out, never fired
+        faults.check_daemon("serve", kinds=("garble",))  # no-op
+
     def test_inactive_is_identity(self):
         assert faults.active() is None
         assert faults.fire("execute") is None
@@ -503,6 +530,186 @@ class TestRunJournal:
         journal.close()
         loaded = RunJournal.load(tmp_path, journal.run_id)
         assert loaded.done == {plan.fingerprint(), "c" * 64}
+
+    def test_torn_header_quarantined_not_misparsed(self, tmp_path):
+        journal = RunJournal.create(tmp_path, self.PARAMS, total=4)
+        journal.record_done("a" * 64)
+        journal.close()
+        # tear the header itself: only its first bytes made it to disk
+        raw = journal.path.read_bytes()
+        journal.path.write_bytes(raw[:10])
+        with pytest.raises(ExperimentError, match="torn or invalid"):
+            RunJournal.load(tmp_path, journal.run_id)
+        # evidence preserved, never deleted — and never read as "empty"
+        assert not journal.path.exists()
+        qdir = journal.path.parent / "quarantine"
+        assert len(list(qdir.glob("*.jsonl"))) == 1
+        reasons = list(qdir.glob("*.reason"))
+        assert reasons and "header" in reasons[0].read_text()
+        assert unfinished_runs(tmp_path) == []
+
+    def test_empty_journal_quarantined(self, tmp_path):
+        journal = RunJournal.create(tmp_path, self.PARAMS, total=4)
+        journal.close()
+        journal.path.write_bytes(b"")
+        with pytest.raises(ExperimentError, match="empty"):
+            RunJournal.load(tmp_path, journal.run_id)
+        assert not journal.path.exists()
+        # the scan quarantines as a side effect and reports nothing
+        stale = RunJournal.create(tmp_path, self.PARAMS, total=4)
+        stale.close()
+        stale.path.write_bytes(b"\n\n")
+        assert unfinished_runs(tmp_path) == []
+        assert not stale.path.exists()
+
+    def test_fresh_journal_dir_fsynced_into_existence(self, tmp_path):
+        # creation must leave a loadable file even before any record
+        journal = RunJournal.create(tmp_path, self.PARAMS, total=4)
+        journal.close()
+        loaded = RunJournal.load(tmp_path, journal.run_id)
+        assert loaded.params == self.PARAMS
+        assert loaded.done == set()
+        assert not loaded.finished
+
+
+# --------------------------------------------- event subscriber isolation
+
+class TestSubscriberIsolation:
+    def test_failing_subscriber_removed_after_one_error(self):
+        from repro.harness.events import (
+            SubscriberError,
+            SuiteFinished,
+            TimingCollector,
+        )
+
+        bus = EventBus()
+        timing = TimingCollector()
+        calls, seen = [], []
+
+        def bad(event):
+            calls.append(event)
+            raise RuntimeError("boom")
+
+        bus.subscribe(timing)
+        bus.subscribe(bad)
+        bus.subscribe(seen.append)
+        bus.emit(SuiteFinished(total=1))
+        bus.emit(SuiteFinished(total=2))
+
+        assert len(calls) == 1  # unsubscribed after its first failure
+        errors = [e for e in seen if isinstance(e, SubscriberError)]
+        assert len(errors) == 1  # announced exactly once
+        assert "RuntimeError: boom" in errors[0].error
+        assert errors[0].during == "SuiteFinished"
+        assert timing.summary()["subscriber_errors"] == 1
+        # the run itself was unaffected: both suite events delivered
+        suites = [e for e in seen if isinstance(e, SuiteFinished)]
+        assert [e.total for e in suites] == [1, 2]
+
+    def test_subscriber_failing_on_subscriber_error_cannot_recurse(self):
+        from repro.harness.events import SuiteFinished
+
+        bus = EventBus()
+
+        def bad_a(event):
+            raise RuntimeError("a")
+
+        def bad_b(event):
+            raise RuntimeError("b even on SubscriberError")
+
+        bus.subscribe(bad_a)
+        bus.subscribe(bad_b)
+        bus.emit(SuiteFinished())  # must terminate, no RecursionError
+        assert bus._subscribers == []
+
+
+# ----------------------------------------------- concurrent cache writers
+
+def _hammer_stores(root, rounds):
+    """Write the same result/block entries over and over (run in child
+    processes to race the in-test threads across process boundaries)."""
+    from pathlib import Path
+
+    from repro.harness.cache import BlockStore
+
+    cache = ResultCache(Path(root) / "rc")
+    blocks = BlockStore(Path(root) / "bs")
+    plan = make_plan()
+    result = make_result(plan)
+    for _ in range(rounds):
+        cache.put(plan, result)
+        blocks.put("ab" * 32, ["src-a", "src-b"], ["cp-a"])
+
+
+class TestConcurrentWriters:
+    def test_same_entry_write_race_never_corrupts(self, tmp_path):
+        import multiprocessing
+        import threading
+
+        from repro.harness.cache import BlockStore
+
+        plan = make_plan()
+        result = make_result(plan)
+        reader_cache = ResultCache(tmp_path / "rc")
+        reader_blocks = BlockStore(tmp_path / "bs")
+        thread_errors = []
+        stop = threading.Event()
+
+        def writer():
+            try:
+                cache = ResultCache(tmp_path / "rc")
+                blocks = BlockStore(tmp_path / "bs")
+                for _ in range(20):
+                    cache.put(plan, result)
+                    blocks.put("ab" * 32, ["src-a", "src-b"], ["cp-a"])
+            except Exception as err:  # noqa: BLE001 — collected below
+                thread_errors.append(err)
+
+        def reader():
+            # a reader racing the replaces must only ever see a valid
+            # entry or a clean miss — never corruption
+            try:
+                while not stop.is_set():
+                    reader_cache.get(plan)
+                    reader_blocks.get("ab" * 32)
+            except Exception as err:  # noqa: BLE001
+                thread_errors.append(err)
+
+        procs = [multiprocessing.Process(target=_hammer_stores,
+                                         args=(tmp_path, 20))
+                 for _ in range(2)]
+        for proc in procs:
+            proc.start()
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        watcher = threading.Thread(target=reader)
+        for t in threads:
+            t.start()
+        watcher.start()
+        for t in threads:
+            t.join(60)
+        for proc in procs:
+            proc.join(60)
+        stop.set()
+        watcher.join(10)
+
+        assert not thread_errors
+        assert all(proc.exitcode == 0 for proc in procs)
+        assert reader_cache.stats.quarantined == 0
+        assert reader_blocks.stats.quarantined == 0
+
+        # every store reads back valid, with no quarantine and no strays
+        final_cache = ResultCache(tmp_path / "rc")
+        loaded = final_cache.get(plan)
+        assert loaded is not None
+        assert (json.dumps(loaded.to_dict(), sort_keys=True)
+                == json.dumps(result.to_dict(), sort_keys=True))
+        assert final_cache.stats.errors == 0
+        doc = BlockStore(tmp_path / "bs").get("ab" * 32)
+        assert doc["sources"] == ["src-a", "src-b"]
+        assert doc["cp_sources"] == ["cp-a"]
+        assert not list(tmp_path.rglob("*.tmp"))
+        assert not list((tmp_path / "rc").glob("quarantine"))
+        assert not list((tmp_path / "bs").glob("quarantine"))
 
 
 # ------------------------------------------------------ CLI kill/resume

@@ -37,6 +37,16 @@ than their cold first runs (skipped honestly on one core, where pool
 workers time-slice a single CPU and the comparison measures only the
 scheduler).
 
+With ``--serve-only`` the script instead runs the serve-daemon chaos
+smoke (its own CI job): start ``repro serve`` as a real subprocess,
+submit the full five-workload two-ISA suite, SIGKILL the daemon
+mid-run, restart it on the same cache, and require that the recovered
+job finishes with artifacts byte-identical to a direct ``run_suite``
+rendering and with zero re-simulation of plans journaled before the
+kill (docs/serve.md)::
+
+    PYTHONPATH=src python tools/bench_smoke.py --serve-only
+
 Full numbers live in ``benchmarks/BENCH_emucore.json``; regenerate them
 with ``benchmarks/bench_emucore.py`` when the core changes.
 """
@@ -251,7 +261,126 @@ def _warm_smoke() -> int:
     return 0
 
 
+def _serve_smoke() -> int:
+    """SIGKILL the serve daemon mid-suite; restart must recover the job
+    byte-identically with zero re-simulation of journaled plans."""
+    import json
+    import os
+    import subprocess
+    import tempfile
+
+    from repro.harness.cache import ResultCache
+    from repro.harness.experiments import run_suite
+    from repro.serve.app import render_suite_artifacts
+    from repro.serve.client import ServeClient
+    from repro.serve.journal import JobJournal, unfinished_jobs
+    from repro.workloads import ALL_WORKLOADS
+
+    workloads = sorted(ALL_WORKLOADS)
+    params = {"scale": SCALE, "workloads": workloads, "windowed": False}
+    total_plans = len(workloads) * 4  # 2 ISAs x 2 compiler profiles
+
+    def start(cache_dir, ready_file):
+        env = dict(os.environ, REPRO_ISA_CACHE_DIR=str(cache_dir))
+        env["PYTHONPATH"] = (
+            str(pathlib.Path(__file__).resolve().parent.parent / "src")
+            + os.pathsep + env.get("PYTHONPATH", ""))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.harness.cli", "serve",
+             "--port", "0", "--jobs", "2", "--queue-limit", "8",
+             "--ready-file", str(ready_file), "--quiet"], env=env)
+        deadline = time.monotonic() + 60.0
+        while not ready_file.exists():
+            if proc.poll() is not None or time.monotonic() > deadline:
+                proc.kill()
+                raise RuntimeError("serve daemon failed to start")
+            time.sleep(0.05)
+        return proc, json.loads(ready_file.read_text())
+
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        tmp = pathlib.Path(tmp)
+        cache_dir = tmp / "cache"
+        proc, info = start(cache_dir, tmp / "ready1.json")
+        try:
+            client = ServeClient(info["host"], info["port"])
+            job_id = client.submit(params, client="smoke")["job"]
+            journaled = 0
+            deadline = time.monotonic() + 600.0
+            while time.monotonic() < deadline:
+                try:
+                    journal = JobJournal.load(cache_dir, job_id)
+                except Exception:
+                    time.sleep(0.05)
+                    continue
+                journaled = len(journal.done)
+                if journal.finished or journaled >= 1:
+                    break
+                time.sleep(0.05)
+        finally:
+            proc.kill()
+            proc.wait(30)
+        if journaled < 1 or JobJournal.load(cache_dir, job_id).finished:
+            print("FAIL: serve smoke could not kill the daemon mid-suite "
+                  f"({journaled} of {total_plans} plans journaled)",
+                  file=sys.stderr)
+            return 1
+        print(f"OK: daemon SIGKILLed mid-suite with {journaled} of "
+              f"{total_plans} plans journaled done")
+
+        proc, info = start(cache_dir, tmp / "ready2.json")
+        try:
+            if info["recovered"] != [job_id]:
+                print(f"FAIL: restart recovered {info['recovered']}, "
+                      f"expected [{job_id}]", file=sys.stderr)
+                return 1
+            client = ServeClient(info["host"], info["port"])
+            job = client.wait(job_id, timeout=900.0)
+            if job["state"] != "done":
+                print(f"FAIL: recovered job finished {job['state']!r}: "
+                      f"{job.get('error', '')}", file=sys.stderr)
+                return 1
+            timing = client.stats()["timing"]
+            if timing["cache_hits"] < journaled or \
+                    timing["executed"] + timing["cache_hits"] != total_plans:
+                print(f"FAIL: journaled plans were re-simulated "
+                      f"(executed {timing['executed']}, cache hits "
+                      f"{timing['cache_hits']}, {journaled} journaled "
+                      f"before the kill)", file=sys.stderr)
+                return 1
+            print(f"OK: zero re-simulation after restart (executed "
+                  f"{timing['executed']}, cache hits "
+                  f"{timing['cache_hits']})")
+
+            suite = run_suite(SCALE, workloads=tuple(workloads),
+                              windowed=False, jobs=1,
+                              cache=ResultCache(cache_dir))
+            expected = render_suite_artifacts(suite, windowed=False)
+            for name, text in sorted(expected.items()):
+                if client.artifact(job_id, name) != text:
+                    print(f"FAIL: {name} served over HTTP differs from "
+                          f"the direct run_suite rendering",
+                          file=sys.stderr)
+                    return 1
+            print(f"OK: all {len(expected)} artifacts byte-identical "
+                  f"to a direct run")
+            client.drain()
+        finally:
+            try:
+                proc.wait(60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(30)
+        if unfinished_jobs(cache_dir):
+            print("FAIL: unfinished jobs remain after a clean drain",
+                  file=sys.stderr)
+            return 1
+        print("OK: clean drain left no unfinished jobs")
+    return 0
+
+
 def main() -> int:
+    if "--serve-only" in sys.argv[1:]:
+        return _serve_smoke()
     workload = get_workload("stream", SCALE)
     compiled = workload.compile("rv64", "gcc12")
     isa = get_isa(compiled.isa_name)
