@@ -1,0 +1,22 @@
+"""Distributed execution tier: remote worker nodes behind the serve
+daemon.
+
+* :class:`~repro.dist.worker.WorkerNode` — the ``repro-isa-compare
+  worker --connect HOST:PORT`` node agent: its own persistent warm
+  pool, result cache and BlockStore, pulling leased plans over a
+  line-framed JSON/TCP protocol.
+* :class:`~repro.dist.dispatcher.Dispatcher` — lease-based idempotent
+  scatter of a job's plans across registered nodes, with journal-
+  before-wire leases, fingerprint dedup of duplicate results,
+  hang-vs-dead heartbeat discrimination, bounded redispatch with
+  seeded-jitter backoff, graceful node drain and local-pool fallback
+  when the remote tier is gone.
+* :mod:`~repro.dist.protocol` — the framing layer both sides share.
+"""
+
+from repro.dist.dispatcher import Dispatcher, RemoteNode
+from repro.dist.protocol import Framed, ProtocolError
+from repro.dist.worker import WorkerNode
+
+__all__ = ["Dispatcher", "RemoteNode", "WorkerNode", "Framed",
+           "ProtocolError"]

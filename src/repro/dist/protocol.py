@@ -1,0 +1,165 @@
+"""Line-framed JSON over TCP for the distributed execution tier.
+
+One frame = one JSON document, canonically serialized (sorted keys, no
+whitespace) and terminated by ``\\n``. Newline framing keeps torn
+writes *detectable*: a frame cut mid-wire either has no terminator
+(the reader times out waiting for the rest) or parses as invalid
+JSON (:class:`ProtocolError`), and the dispatcher treats both as a
+node fault — never as a half-result.
+
+Frame vocabulary (the ``type`` key):
+
+====================== ================================================
+worker -> daemon
+====================== ================================================
+``register``           ``{"node", "pid", "slots", "holding": [...]}`` —
+                       ``holding`` lists lease ids of results the node
+                       buffered through a partition and wants to
+                       reconcile.
+``hb``                 heartbeat, sent every ``heartbeat/4`` seconds
+                       even while a task is executing.
+``result``             ``{"lease", "fingerprint", "ok", "result",
+                       "seconds", "translation", "transient",
+                       "error"}`` — the executed plan's outcome.
+``drained``            the node finished its drain handshake and is
+                       about to close its socket.
+====================== ================================================
+
+====================== ================================================
+daemon -> worker
+====================== ================================================
+``registered``         ``{"node", "resend": [...], "discard": [...]}``
+                       — partition reconcile: which held results the
+                       dispatcher still wants re-sent, which leases
+                       are stale and must be discarded.
+``reject``             ``{"reason", "retry"}`` — registration refused
+                       (injected race or duplicate name); the worker
+                       backs off and retries when ``retry`` is true.
+``task``               ``{"lease", "fingerprint", "plan", "attempt",
+                       "timeout"}`` — one leased plan to execute.
+``ack``                ``{"lease"}`` — result accepted (or deduped);
+                       the worker drops its buffered copy.
+``drain``              finish the current task, send its result, then
+                       reply ``drained`` and close.
+====================== ================================================
+
+Result frames pass through :func:`repro.harness.faults.corrupt_point`
+(site ``dist``, point ``result:<plan>``) on the worker side, so the
+fault grammar can tear a frame mid-wire deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+from repro.common.errors import ExperimentError
+
+__all__ = ["ProtocolError", "Framed", "MAX_FRAME", "encode"]
+
+#: Upper bound on one frame; a line longer than this is a protocol
+#: violation (results for paper-scale plans are ~10s of KB).
+MAX_FRAME = 32 << 20
+
+_CHUNK = 1 << 16
+
+
+class ProtocolError(ExperimentError):
+    """A frame that violates the wire protocol (torn, oversized,
+    non-JSON, or not an object)."""
+
+
+def encode(doc: dict) -> bytes:
+    """Canonical frame bytes for ``doc`` *without* the terminator."""
+    return json.dumps(doc, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+class Framed:
+    """A socket wrapper speaking newline-delimited JSON frames.
+
+    Writes are serialized by a lock so the heartbeat thread and the
+    task loop (worker side) — or the dispatch loop and the ack path
+    (daemon side) — never interleave bytes of two frames. Reads keep
+    their own buffer (not a ``makefile``), so a :meth:`recv` timeout
+    mid-frame loses nothing: the partial frame stays buffered and the
+    next call resumes it.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._buf = bytearray()
+        self._send_lock = threading.Lock()
+
+    # -- sending ---------------------------------------------------------
+
+    def send(self, doc: dict) -> None:
+        """Send one frame; raises ``OSError`` when the peer is gone."""
+        self.send_raw(encode(doc))
+
+    def send_raw(self, payload: bytes) -> None:
+        """Send pre-encoded (possibly deliberately corrupted) frame
+        bytes. The terminator is always appended intact — corruption
+        models a torn *payload*, not an unframed stream."""
+        with self._send_lock:
+            self.sock.sendall(payload + b"\n")
+
+    # -- receiving -------------------------------------------------------
+
+    def recv(self, timeout: float | None = None) -> dict:
+        """Read one frame.
+
+        Raises ``EOFError`` on clean connection close, ``TimeoutError``
+        when ``timeout`` elapses with no complete frame, ``OSError`` on
+        a reset, and :class:`ProtocolError` on a torn or malformed
+        frame (including the blank line an ``empty``-corrupted frame
+        degenerates to).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            nl = self._buf.find(b"\n")
+            if nl >= 0:
+                line = bytes(self._buf[:nl]).strip()
+                del self._buf[:nl + 1]
+                return self._parse(line)
+            if len(self._buf) > MAX_FRAME:
+                raise ProtocolError(f"frame exceeds {MAX_FRAME} bytes")
+            if deadline is None:
+                self.sock.settimeout(None)
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError("no frame within timeout")
+                self.sock.settimeout(remaining)
+            try:
+                chunk = self.sock.recv(_CHUNK)
+            except socket.timeout as err:
+                raise TimeoutError("no frame within timeout") from err
+            if not chunk:
+                raise EOFError("connection closed")
+            self._buf.extend(chunk)
+
+    @staticmethod
+    def _parse(line: bytes) -> dict:
+        if not line:
+            raise ProtocolError("empty frame")
+        try:
+            doc = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as err:
+            raise ProtocolError(f"torn frame: {err}") from err
+        if not isinstance(doc, dict):
+            raise ProtocolError(
+                f"frame is {type(doc).__name__}, expected object")
+        return doc
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass

@@ -1,0 +1,337 @@
+"""The ``repro-isa-compare worker`` node agent.
+
+A :class:`WorkerNode` dials the serve daemon's dist listener, registers,
+and pulls leased plans over the line-framed protocol
+(:mod:`repro.dist.protocol`). Each node owns a full local execution
+stack — an :class:`~repro.harness.executor.Executor` in persistent mode
+with its own :class:`~repro.harness.cache.ResultCache` (and therefore
+its own warm pool, ``WarmCache`` and on-disk ``BlockStore``) — so a
+redispatched plan that lands on the same node again is a local cache
+hit, not a re-simulation: execution is idempotent by construction.
+
+Failure behaviour, all deterministic under the ``dist`` fault site:
+
+* A heartbeat thread beats every ``heartbeat/4`` seconds *while a task
+  executes* (the executor does the work; this thread only talks to the
+  daemon). An injected ``hang`` closes the beating gate first, so the
+  daemon observes true heartbeat silence — wedged, not dead.
+* Results the daemon never acknowledged are buffered. On reconnect
+  after a partition, the node re-registers ``holding`` those lease ids
+  and the dispatcher answers which to re-send and which to discard —
+  reconcile-or-discard, never silently drop.
+* Connect/register failures (including injected connect-refused and
+  registration races) back off with the executor's shared
+  seeded-jitter policy (:func:`repro.harness.executor.backoff_delay`)
+  and retry a bounded number of times.
+* A ``drain`` frame finishes the current task, flushes its result,
+  answers ``drained`` and exits cleanly — the CLI maps SIGTERM to the
+  same path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+import socket
+import sys
+import threading
+import time
+
+from repro.common.errors import ExperimentError
+from repro.dist.protocol import Framed, ProtocolError, encode
+from repro.harness import faults
+from repro.harness.cache import ResultCache
+from repro.harness.events import ConsoleReporter, EventBus
+from repro.harness.executor import (Executor, SuiteExecutionError,
+                                    backoff_delay)
+from repro.harness.plan import ExperimentPlan
+
+__all__ = ["WorkerNode"]
+
+_NODE_SEQ = itertools.count(1)
+
+
+class WorkerNode:
+    """One remote execution agent (see module docstring).
+
+    Args:
+        host/port: the daemon's dist listener.
+        name: node name the dispatcher keys on; default is unique per
+            process and instance.
+        cache_root: this node's own cache directory (results, traces,
+            blocks). Defaults to the process-default cache dir — point
+            distinct local nodes at distinct directories.
+        jobs: the node-local executor's worker count.
+        heartbeat: silence budget advertised to the daemon; beats go
+            out every ``heartbeat/4``.
+        retries/max_tasks_per_worker: forwarded to the local executor.
+        reconnect: dial again after losing the daemon (False = exit,
+            used by tests that model a node that dies for good).
+        connect_retries: bounded attempts per (re)connect cycle.
+        allow_crash: honour injected ``crash`` specs (only the CLI
+            subprocess sets this — an in-process node must not
+            ``os._exit`` the host).
+        quiet: suppress the node-local console reporter.
+    """
+
+    def __init__(self, host: str, port: int, *, name: str | None = None,
+                 cache_root=None, jobs: int = 1, heartbeat: float = 2.0,
+                 retries: int = 1, max_tasks_per_worker: int = 0,
+                 reconnect: bool = True, connect_retries: int = 8,
+                 allow_crash: bool = False, quiet: bool = True):
+        if heartbeat <= 0:
+            raise ExperimentError(
+                f"heartbeat must be positive, got {heartbeat}")
+        self.host = host
+        self.port = port
+        self.name = name or f"node-{os.getpid()}-{next(_NODE_SEQ)}"
+        self.heartbeat = heartbeat
+        self.reconnect = reconnect
+        self.connect_retries = max(1, connect_retries)
+        self.allow_crash = allow_crash
+        self.quiet = quiet
+        self.events = EventBus()
+        if not quiet:
+            self.events.subscribe(ConsoleReporter(sys.stderr))
+        self.executor = Executor(
+            jobs=jobs, cache=ResultCache(cache_root), events=self.events,
+            retries=retries, max_tasks_per_worker=max_tasks_per_worker,
+            persistent=True)
+        #: lease id -> result doc the daemon has not acked yet.
+        self._unacked: dict[str, dict] = {}
+        self._stop = threading.Event()
+        self._beating = threading.Event()
+        self._framed: Framed | None = None
+        self._rng = random.Random(zlib_seed(self.name))
+        self._thread: threading.Thread | None = None
+        #: tasks executed (for tests / the drained log line).
+        self.tasks_done = 0
+        self.drained = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start_background(self) -> threading.Thread:
+        """Run the agent on a daemon thread (in-process tests/fuzzing)."""
+        self._thread = threading.Thread(
+            target=self.run, name=f"dist-{self.name}", daemon=True)
+        self._thread.start()
+        return self._thread
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the agent: close the socket out from under it and wait."""
+        self._stop.set()
+        framed = self._framed
+        if framed is not None:
+            framed.close()
+        if self._thread is not None:
+            self._thread.join(timeout)
+        self.executor.close()
+
+    # -- main loop -------------------------------------------------------
+
+    def run(self) -> int:
+        """Dial, register, execute leased plans until drained/stopped.
+
+        Returns a process exit status: 0 for a clean drain or stop,
+        1 for a fatal (deterministic) failure.
+        """
+        try:
+            while not self._stop.is_set():
+                try:
+                    framed = self._connect_and_register()
+                except ExperimentError as err:
+                    self._log(f"fatal: {err}")
+                    return 1
+                if framed is None:  # retries exhausted or stopped
+                    return 0 if self._stop.is_set() else 1
+                try:
+                    if self._serve_connection(framed):
+                        return 0  # drained
+                except (OSError, EOFError, ProtocolError, TimeoutError) as err:
+                    self._log(f"connection lost: {err}")
+                finally:
+                    self._beating.clear()
+                    framed.close()
+                    self._framed = None
+                if not self.reconnect:
+                    return 0 if self._stop.is_set() else 1
+            return 0
+        finally:
+            self.executor.close()
+
+    # -- connection handling ---------------------------------------------
+
+    def _connect_and_register(self) -> Framed | None:
+        for attempt in range(1, self.connect_retries + 1):
+            if self._stop.is_set():
+                return None
+            try:
+                # Injected connect-refused / fatal connect errors.
+                faults.check_point("dist", f"connect:{self.name}",
+                                   attempt=attempt,
+                                   kinds=("transient", "error"))
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=10.0)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                framed = Framed(sock)
+                framed.send({
+                    "type": "register", "node": self.name,
+                    "pid": os.getpid(), "slots": 1,
+                    "heartbeat": self.heartbeat,
+                    "holding": sorted(self._unacked),
+                })
+                reply = framed.recv(timeout=10.0)
+                if reply.get("type") == "registered":
+                    self._reconcile(framed, reply)
+                    self._framed = framed
+                    self._beating.set()
+                    threading.Thread(
+                        target=self._hb_loop, args=(framed,),
+                        daemon=True).start()
+                    return framed
+                framed.close()
+                if reply.get("type") == "reject" and reply.get("retry"):
+                    raise faults.InjectedTransientError(
+                        f"registration rejected: {reply.get('reason')}")
+                raise ExperimentError(
+                    f"registration refused: {reply.get('reason')}")
+            except faults.InjectedFaultError as err:
+                raise ExperimentError(str(err)) from err
+            except (OSError, EOFError, ProtocolError, TimeoutError) as err:
+                self._log(f"connect attempt {attempt} failed: {err}")
+                if attempt < self.connect_retries:
+                    delay = backoff_delay(attempt, base=0.05, cap=2.0,
+                                          rng=self._rng)
+                    if self._stop.wait(delay):
+                        return None
+        self._log(f"giving up after {self.connect_retries} connect attempts")
+        return None
+
+    def _reconcile(self, framed: Framed, reply: dict) -> None:
+        """Partition reconcile: re-send held results the dispatcher
+        still wants, discard leases it declared stale."""
+        for lease in reply.get("discard", ()):
+            self._unacked.pop(lease, None)
+        for lease in reply.get("resend", ()):
+            doc = self._unacked.get(lease)
+            if doc is not None:
+                framed.send(doc)
+
+    def _hb_loop(self, framed: Framed) -> None:
+        interval = max(0.05, min(1.0, self.heartbeat / 4.0))
+        while not self._stop.wait(interval):
+            if self._framed is not framed:
+                return
+            if not self._beating.is_set():
+                continue
+            try:
+                framed.send({"type": "hb"})
+            except OSError:
+                return
+
+    # -- task handling ----------------------------------------------------
+
+    def _serve_connection(self, framed: Framed) -> bool:
+        """Process frames until drain (returns True) or disconnect."""
+        while not self._stop.is_set():
+            try:
+                msg = framed.recv(timeout=1.0)
+            except TimeoutError:
+                continue
+            kind = msg.get("type")
+            if kind == "task":
+                self._run_task(framed, msg)
+            elif kind == "ack":
+                self._unacked.pop(msg.get("lease"), None)
+            elif kind == "drain":
+                try:
+                    framed.send({"type": "drained",
+                                 "tasks_done": self.tasks_done})
+                except OSError:
+                    pass  # drain means exit either way
+                self.drained = True
+                self._log(f"drained after {self.tasks_done} task(s)")
+                return True
+            # unknown frame types are ignored: forward compatibility
+        return False
+
+    def _run_task(self, framed: Framed, msg: dict) -> None:
+        lease = msg["lease"]
+        attempt = int(msg.get("attempt", 1))
+        plan = ExperimentPlan.from_dict(msg["plan"])
+        point = f"task:{plan.describe()}"
+        result_doc: dict = {
+            "type": "result", "lease": lease,
+            "fingerprint": msg.get("fingerprint") or plan.fingerprint(),
+            "node": self.name,
+        }
+        started = time.monotonic()
+        kinds = ("crash", "hang", "transient", "error") if self.allow_crash \
+            else ("hang", "transient", "error")
+        try:
+            # The beating gate closes across the fault check so an
+            # injected hang models a truly silent node.
+            self._beating.clear()
+            faults.check_point("dist", point, attempt=attempt, kinds=kinds)
+            self._beating.set()
+            timeout = msg.get("timeout")
+            self.executor.timeout = float(timeout) if timeout else None
+            result = self.executor.run([plan])[plan]
+            result_doc.update(
+                ok=True, result=result.to_dict(),
+                seconds=time.monotonic() - started,
+                translation=result.translation)
+        except SuiteExecutionError as err:
+            last = None
+            if err.reports and err.reports[0].attempts:
+                last = err.reports[0].attempts[-1]
+            result_doc.update(
+                ok=False,
+                error=last.error if last else str(err),
+                transient=bool(last and last.transient),
+                seconds=time.monotonic() - started)
+        except faults.InjectedTransientError as err:
+            result_doc.update(ok=False, error=str(err), transient=True,
+                              seconds=time.monotonic() - started)
+        except ExperimentError as err:
+            result_doc.update(ok=False,
+                              error=f"{type(err).__name__}: {err}",
+                              transient=False,
+                              seconds=time.monotonic() - started)
+        finally:
+            self._beating.set()
+        self.tasks_done += 1
+        self._unacked[lease] = result_doc
+        self._send_result(framed, result_doc, point, attempt)
+
+    def _send_result(self, framed: Framed, doc: dict, point: str,
+                     attempt: int) -> None:
+        payload = encode(doc)
+        # Torn-frame injection happens on the wire bytes only — the
+        # buffered copy in _unacked stays intact for reconcile.
+        wire = faults.corrupt_point(
+            "dist", f"result:{point[5:]}", payload, attempt=attempt)
+        try:
+            framed.send_raw(wire)
+            if faults.fire_point("dist", f"result:{point[5:]}",
+                                 attempt=attempt, kinds=faults.DIST_KINDS):
+                framed.send_raw(payload)  # duplicate replay, intact copy
+        except OSError as err:
+            # Partition mid-send: the result stays buffered; the
+            # reconnect loop reconciles it.
+            self._log(f"result send failed ({err}); buffering for "
+                      f"reconcile")
+            raise
+
+    def _log(self, text: str) -> None:
+        if not self.quiet:
+            print(f"worker[{self.name}]: {text}", file=sys.stderr,
+                  flush=True)
+
+
+def zlib_seed(name: str) -> int:
+    """Stable per-node RNG seed (``hash()`` is salted per process)."""
+    import zlib
+
+    return zlib.crc32(name.encode("utf-8"))

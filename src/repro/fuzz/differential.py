@@ -27,7 +27,14 @@ One generated program is judged by a stack of oracles, cheapest first:
    garbled cached image raises ``WarmStateError``, the entry is evicted
    and rebuilt (the executor's recycle-and-retry in miniature), and the
    documents must *still* agree.
-4c. **Serve round-trip** (opt-in, ``--serve-oracle``): a small suite
+4c. **Distributed scatter** (opt-in, ``--dist-oracle``): a small suite
+   scattered by a :class:`~repro.dist.dispatcher.Dispatcher` across two
+   in-process worker nodes over real localhost TCP — with an injected
+   ``dist`` socket cut mid-run, so one node is lost and its leases are
+   redispatched — must render artifacts *byte-identical* to the same
+   suite run directly through ``run_suite``. This is the lease/dedup
+   machinery's end-to-end determinism proof under fire.
+4d. **Serve round-trip** (opt-in, ``--serve-oracle``): a small suite
    submitted to an in-process :class:`~repro.serve.app.ServeApp` over
    real HTTP must yield artifacts *byte-identical* to the same suite
    run directly through :func:`~repro.harness.experiments.run_suite`
@@ -80,6 +87,7 @@ __all__ = [
     "diff_sharded",
     "diff_warm",
     "diff_serve",
+    "diff_dist",
     "diff_source",
     "run_case",
     "run_campaign",
@@ -415,6 +423,107 @@ def diff_serve(seed: int = 0, *, scale: float = 0.02) -> str:
     return ""
 
 
+#: Lazily started distributed fixture shared by every ``diff_dist``
+#: call: one Dispatcher listening on localhost plus two in-process
+#: WorkerNode threads, each with its own cache directory (spinning this
+#: up per case would dwarf the simulation cost).
+_DIST_FIXTURE: dict = {"dispatcher": None}
+
+
+def _dist_fixture():
+    if _DIST_FIXTURE["dispatcher"] is None:
+        import atexit
+        import tempfile
+        from pathlib import Path
+
+        from repro.dist.dispatcher import Dispatcher
+        from repro.dist.worker import WorkerNode
+        from repro.harness.cache import ResultCache
+        from repro.harness.executor import Executor
+
+        tmp = Path(tempfile.mkdtemp(prefix="repro-dist-fuzz-"))
+        executor = Executor(jobs=1, cache=ResultCache(tmp / "daemon"),
+                            persistent=True)
+        dispatcher = Dispatcher(executor=executor, lease_timeout=30.0,
+                                node_heartbeat=5.0, retries=2)
+        host, port = dispatcher.start_listener()
+        nodes = [
+            WorkerNode(host, port, name=f"fuzz-node-{i}",
+                       cache_root=tmp / f"node{i}", heartbeat=0.5)
+            for i in (1, 2)
+        ]
+        for node in nodes:
+            node.start_background()
+        dispatcher.wait_for_nodes(2, timeout=15.0)
+
+        def teardown():
+            for node in nodes:
+                node.stop()
+            dispatcher.close()
+            executor.close()
+
+        atexit.register(teardown)
+        _DIST_FIXTURE.update(dispatcher=dispatcher, nodes=nodes)
+    return _DIST_FIXTURE["dispatcher"]
+
+
+def diff_dist(seed: int = 0, *, scale: float = 0.02) -> str:
+    """Distributed scatter oracle: run a small suite through the shared
+    two-node dispatcher fixture — cutting one node's socket mid-run —
+    and describe the first artifact whose bytes differ from a direct
+    :func:`run_suite` rendering ("" = exact agreement). The workload
+    and the victim plan rotate with ``seed``.
+
+    When a user fault plan is already installed (``--fault-plan``) it
+    is left in charge; otherwise a ``dist``/``transient`` spec is
+    installed for the duration that makes the dispatcher sever one
+    node's connection right after a task frame is sent, forcing a
+    lease redispatch the artifacts must not notice.
+    """
+    from repro.harness import faults
+    from repro.harness.experiments import run_suite
+    from repro.harness.plan import plan_suite
+    from repro.serve.app import assemble_suite, render_suite_artifacts
+    from repro.workloads import ALL_WORKLOADS
+
+    workload = sorted(ALL_WORKLOADS)[seed % len(ALL_WORKLOADS)]
+    params = {"scale": scale, "workloads": [workload], "windowed": False,
+              "window_sizes": ()}
+    plans = plan_suite(scale, workloads=(workload,), windowed=False)
+    dispatcher = _dist_fixture()
+
+    installed = None
+    if faults.active() is None:
+        victim = plans[seed % len(plans)]
+        installed = faults.FaultPlan(specs=[faults.FaultSpec(
+            site="dist", kind="transient",
+            plan=f"dispatch:{victim.describe()}", at=(1,))],
+            seed=seed)
+        faults.install(installed)
+    try:
+        results = dispatcher.run(plans)
+    except Exception as err:  # noqa: BLE001 — a failed scatter IS the
+        return f"distributed run failed: {type(err).__name__}: {err}"
+    finally:
+        if installed is not None:
+            faults.uninstall()
+
+    suite = run_suite(scale, workloads=(workload,), windowed=False,
+                      jobs=1, verbose=False)
+    expected = render_suite_artifacts(suite, windowed=False)
+    got = render_suite_artifacts(assemble_suite(params, results),
+                                 windowed=False)
+    missing = sorted(set(expected) - set(got))
+    if missing:
+        return f"artifacts missing from the distributed run: {missing}"
+    for name in sorted(expected):
+        if got[name] != expected[name]:
+            return (f"{name}: distributed bytes differ from the direct "
+                    f"run_suite rendering ({len(got[name])} vs "
+                    f"{len(expected[name])} chars)")
+    return ""
+
+
 def _fault_finding(kind: str, err: Exception, *, isa: str, source: str,
                    seed=None, profile="") -> Finding:
     report = getattr(err, "fault_report", None)
@@ -427,12 +536,15 @@ def _fault_finding(kind: str, err: Exception, *, isa: str, source: str,
 
 def diff_source(source: str, *, seed: int | None = None, profile: str = "",
                 max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
-                serve_oracle: bool = False) -> list[Finding]:
+                serve_oracle: bool = False,
+                dist_oracle: bool = False) -> list[Finding]:
     """All findings for one program source (empty list = clean).
 
     ``serve_oracle`` additionally runs the HTTP round-trip oracle
     (:func:`diff_serve`) — opt-in because it starts a daemon and runs a
     real (tiny) workload suite, which the unit-test path must not pay.
+    ``dist_oracle`` likewise runs the two-node distributed scatter
+    oracle (:func:`diff_dist`).
     """
     findings: list[Finding] = []
     interp: dict[str, Observation] = {}
@@ -542,6 +654,22 @@ def diff_source(source: str, *, seed: int | None = None, profile: str = "",
                 "invariant", err, isa=isa_name, source=source,
                 seed=seed, profile=profile))
 
+    if dist_oracle:
+        try:
+            delta = diff_dist(seed or 0)
+        except Exception as err:  # noqa: BLE001 — fixture trouble is the
+            findings.append(Finding(  # finding, not a fuzzer crash
+                kind="dist",
+                detail=f"dist oracle failed: {type(err).__name__}: {err}",
+                source=source, seed=seed, profile=profile))
+        else:
+            if delta:
+                findings.append(Finding(
+                    kind="dist",
+                    detail=f"distributed artifacts diverge from the "
+                           f"direct run_suite rendering ({delta})",
+                    source=source, seed=seed, profile=profile))
+
     if serve_oracle:
         try:
             delta = diff_serve(seed or 0)
@@ -590,19 +718,22 @@ def _describe_delta(a: Observation, b: Observation) -> str:
 
 def run_case(seed: int, profile: str, *,
              max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
-             serve_oracle: bool = False) -> list[Finding]:
+             serve_oracle: bool = False,
+             dist_oracle: bool = False) -> list[Finding]:
     """Generate and differentially execute one ``(seed, profile)`` case."""
     prog = GenProgram(seed, profile)
     return diff_source(prog.render(), seed=seed, profile=profile,
                        max_instructions=max_instructions,
-                       serve_oracle=serve_oracle)
+                       serve_oracle=serve_oracle,
+                       dist_oracle=dist_oracle)
 
 
 def run_campaign(seed: int, count: int, *, profiles=PROFILES,
                  out_dir=None, time_budget: float | None = None,
                  max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
                  minimize: bool = True, progress=None,
-                 serve_oracle: bool = False) -> dict:
+                 serve_oracle: bool = False,
+                 dist_oracle: bool = False) -> dict:
     """Run ``count`` cases per profile starting at ``seed``.
 
     Returns a summary dict; when ``out_dir`` is given, each finding's
@@ -624,15 +755,16 @@ def run_campaign(seed: int, count: int, *, profiles=PROFILES,
             case_seed = seed + index
             found = run_case(case_seed, profile,
                              max_instructions=max_instructions,
-                             serve_oracle=serve_oracle)
+                             serve_oracle=serve_oracle,
+                             dist_oracle=dist_oracle)
             cases += 1
             if progress is not None and not found:
                 progress(case_seed, profile, None)
             for finding in found:
                 prog = GenProgram(case_seed, profile)
-                # serve findings are daemon properties, not program
-                # properties — there is nothing to shrink
-                if minimize and finding.kind != "serve":
+                # serve/dist findings are service properties, not
+                # program properties — there is nothing to shrink
+                if minimize and finding.kind not in ("serve", "dist"):
                     kept = shrink_program(
                         prog, finding.kind,
                         max_instructions=max_instructions)

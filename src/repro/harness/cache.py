@@ -655,9 +655,12 @@ class ResultCache:
 
         Every result entry is parsed, envelope-verified and round-tripped
         through :meth:`ConfigResult.from_dict`; every trace entry's
-        envelope is verified; failures are quarantined. Stray ``*.tmp``
-        files (crashed writers, or the tmp-leftover fault) are removed.
-        Do not run concurrently with an active suite — a live writer's
+        envelope is verified; failures are quarantined. Serve job
+        journals under ``<root>/serve/jobs/`` are header-audited (torn
+        or empty headers quarantined with ``.reason`` sidecars, exactly
+        like the recovery scan would). Stray ``*.tmp`` files (crashed
+        writers, or the tmp-leftover fault) are removed. Do not run
+        concurrently with an active suite or daemon — a live writer's
         tmp file is indistinguishable from a stray one.
         """
         from repro.harness.experiments import ConfigResult
@@ -676,6 +679,7 @@ class ResultCache:
                 results["ok"] += 1
         traces = self.traces.verify()
         blocks = self.blocks.verify()
+        jobs = self._verify_jobs()
         tmp_removed = 0
         if self.root.is_dir():
             for tmp in self.root.rglob("*.tmp"):
@@ -685,7 +689,33 @@ class ResultCache:
                 except OSError:
                     pass
         return {"results": results, "traces": traces, "blocks": blocks,
-                "tmp_removed": tmp_removed}
+                "jobs": jobs, "tmp_removed": tmp_removed}
+
+    def _verify_jobs(self) -> dict:
+        """Audit serve job journals: a loadable header is ok; a torn or
+        empty one is quarantined (``.reason`` sidecar) so the daemon's
+        recovery scan never trips over it."""
+        report = {"checked": 0, "ok": 0, "quarantined": 0}
+        # serve is an optional layer above the harness; keep this audit
+        # a no-op when it is absent rather than a hard import edge.
+        try:
+            from repro.serve.journal import JobJournal
+        except ImportError:
+            return report
+        directory = JobJournal.directory(self.root)
+        if not directory.is_dir():
+            return report
+        for path in sorted(directory.glob("*.jsonl")):
+            report["checked"] += 1
+            try:
+                JobJournal.load(self.root, path.stem)
+            except ExperimentError:
+                # load() already quarantined the journal + sidecar
+                self.stats.errors += 1
+                report["quarantined"] += 1
+            else:
+                report["ok"] += 1
+        return report
 
     def disk_stats(self) -> dict:
         """Entry count and total size on disk (both cache levels)."""

@@ -17,7 +17,13 @@ Subcommands::
                              [--jobs N] [--queue-limit N] [--client-quota N]
                              [--timeout SEC] [--heartbeat SEC]
                              [--max-tasks-per-worker N] [--drain-grace SEC]
-                             [--ready-file FILE]
+                             [--ready-file FILE] [--dist-port N]
+                             [--lease-timeout SEC] [--node-heartbeat SEC]
+    repro-isa-compare worker --connect HOST:PORT [--name NAME]
+                             [--cache-dir DIR] [--jobs N]
+                             [--heartbeat SEC] [--retries N]
+                             [--max-tasks-per-worker N] [--no-reconnect]
+                             [--connect-retries N] [--fault-plan FILE]
 
 ``run`` simulates the experiment matrix (fanning out across ``--jobs``
 worker processes) and prints Figure 1, Table 1, Table 2 and Figure 2
@@ -41,7 +47,9 @@ deterministic fault-injection harness used by the robustness tests
 ``serve`` runs the long-lived multi-tenant experiment daemon
 (:mod:`repro.serve`): submit suites over HTTP/JSON, stream progress as
 server-sent events, and survive crashes via per-job journals (see
-docs/serve.md).
+docs/serve.md). With ``--dist-port`` it also opens the distributed
+tier's node listener, and ``worker`` runs one remote execution node
+that dials it (see docs/dist.md) — SIGTERM drains the node gracefully.
 
 Exit codes (all subcommands):
 
@@ -83,7 +91,7 @@ from repro.harness.experiments import (
 )
 from repro.harness.plan import ExperimentPlan, plan_suite
 
-_SUBCOMMANDS = ("run", "report", "cache", "fuzz", "serve")
+_SUBCOMMANDS = ("run", "report", "cache", "fuzz", "serve", "worker")
 
 #: The documented exit-code contract (also in the module docstring).
 EXIT_CODES = {
@@ -240,6 +248,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "require the HTTP-served artifacts to be "
                                "byte-identical to a direct run_suite "
                                "rendering")
+    fuzz_run.add_argument("--dist-oracle", action="store_true",
+                          help="also scatter a small suite across two "
+                               "in-process worker nodes each case — with "
+                               "an injected mid-run socket cut — and "
+                               "require the distributed artifacts to be "
+                               "byte-identical to a direct run_suite "
+                               "rendering")
     fuzz_run.add_argument("--fault-plan", type=pathlib.Path, default=None,
                           metavar="FILE",
                           help="install a serialized FaultPlan while "
@@ -312,11 +327,69 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="FILE",
                          help="write {host, port, pid} JSON here once "
                               "listening (for supervisors and tests)")
+    serve_p.add_argument("--dist-port", type=int, default=None,
+                         metavar="N",
+                         help="also open the distributed tier's node "
+                              "listener on this TCP port (0 picks a free "
+                              "port, reported in --ready-file); worker "
+                              "nodes connect with 'repro-isa-compare "
+                              "worker --connect HOST:PORT'")
+    serve_p.add_argument("--lease-timeout", type=float, default=60.0,
+                         metavar="SEC",
+                         help="seconds before an unanswered remote lease "
+                              "expires and its plan is redispatched "
+                              "(default 60)")
+    serve_p.add_argument("--node-heartbeat", type=float, default=5.0,
+                         metavar="SEC",
+                         help="silence budget before a lease-holding node "
+                              "with an open socket is declared hung "
+                              "(default 5)")
     serve_p.add_argument("--fault-plan", type=pathlib.Path, default=None,
                          metavar="FILE",
                          help="install a serialized FaultPlan (JSON) — "
                               "chaos testing only")
     serve_p.add_argument("--quiet", action="store_true")
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="run one distributed-tier execution node",
+        description="One remote worker node for the distributed tier: "
+                    "dials the serve daemon's --dist-port listener, "
+                    "registers, and executes leased plans on its own "
+                    "warm pool and cache. SIGTERM drains gracefully "
+                    "(finish the current plan, flush its result, exit "
+                    "0). Exit codes: 0 clean drain/stop, 1 fatal "
+                    "failure, 2 usage error. See docs/dist.md.",
+    )
+    worker_p.add_argument("--connect", type=str, required=True,
+                          metavar="HOST:PORT",
+                          help="the daemon's dist listener address")
+    worker_p.add_argument("--name", type=str, default=None,
+                          help="node name (default: unique per process)")
+    _add_cache_dir_arg(worker_p)
+    worker_p.add_argument("--jobs", "-j", type=int, default=1,
+                          help="node-local worker processes (default 1)")
+    worker_p.add_argument("--heartbeat", type=float, default=2.0,
+                          help="heartbeat silence budget advertised to "
+                               "the daemon (default 2)")
+    worker_p.add_argument("--retries", type=int, default=1,
+                          help="node-local transient retries (default 1)")
+    worker_p.add_argument("--max-tasks-per-worker", type=int, default=0,
+                          metavar="N",
+                          help="recycle each warm worker after N plans "
+                               "(default 0 = never)")
+    worker_p.add_argument("--no-reconnect", action="store_true",
+                          help="exit instead of redialing after losing "
+                               "the daemon")
+    worker_p.add_argument("--connect-retries", type=int, default=8,
+                          metavar="N",
+                          help="bounded attempts per (re)connect cycle "
+                               "(default 8)")
+    worker_p.add_argument("--fault-plan", type=pathlib.Path, default=None,
+                          metavar="FILE",
+                          help="install a serialized FaultPlan (JSON) — "
+                               "chaos testing only")
+    worker_p.add_argument("--quiet", action="store_true")
     return parser
 
 
@@ -607,13 +680,17 @@ def _cmd_cache(args) -> int:
         report = cache.verify()
         results = report["results"]
         traces = report["traces"]
+        jobs = report["jobs"]
         print(f"cache root : {cache.root}")
         print(f"results    : {results['checked']} checked, "
               f"{results['ok']} ok, {results['quarantined']} quarantined")
         print(f"traces     : {traces['checked']} checked, "
               f"{traces['ok']} ok, {traces['quarantined']} quarantined")
+        print(f"jobs       : {jobs['checked']} checked, "
+              f"{jobs['ok']} ok, {jobs['quarantined']} quarantined")
         print(f"tmp files  : {report['tmp_removed']} stragglers removed")
-        bad = results["quarantined"] + traces["quarantined"]
+        bad = (results["quarantined"] + traces["quarantined"]
+               + jobs["quarantined"])
         if bad:
             print(f"{bad} corrupt entr{'y' if bad == 1 else 'ies'} moved to "
                   f"{cache.root / 'quarantine'}; they will be re-simulated "
@@ -689,7 +766,8 @@ def _cmd_fuzz(args) -> int:
                 max_instructions=budget,
                 minimize=not args.no_minimize,
                 progress=progress if not args.quiet else None,
-                serve_oracle=args.serve_oracle)
+                serve_oracle=args.serve_oracle,
+                dist_oracle=args.dist_oracle)
         finally:
             if fault_plan is not None:
                 faults.uninstall()
@@ -777,12 +855,23 @@ def _cmd_serve(args) -> int:
     if args.fault_plan is not None:
         fault_plan = _load_fault_plan(args.fault_plan)
         faults.install(fault_plan)
+    if args.lease_timeout <= 0:
+        raise ExperimentError(
+            f"--lease-timeout must be positive, got {args.lease_timeout}")
+    if args.node_heartbeat <= 0:
+        raise ExperimentError(
+            f"--node-heartbeat must be positive, got {args.node_heartbeat}")
+    if args.dist_port is not None and not 0 <= args.dist_port <= 65535:
+        raise ExperimentError(
+            f"--dist-port must be 0-65535, got {args.dist_port}")
     app = ServeApp(
         args.cache_dir, jobs=args.jobs, queue_limit=args.queue_limit,
         client_quota=args.client_quota, timeout=args.timeout,
         heartbeat=args.heartbeat,
         max_tasks_per_worker=args.max_tasks_per_worker,
-        drain_grace=args.drain_grace)
+        drain_grace=args.drain_grace, dist_port=args.dist_port,
+        lease_timeout=args.lease_timeout,
+        node_heartbeat=args.node_heartbeat)
     if not args.quiet:
         def on_ready(host, port):
             print(f"repro serve listening on http://{host}:{port} "
@@ -799,6 +888,56 @@ def _cmd_serve(args) -> int:
     if not args.quiet:
         print("repro serve: drained cleanly", file=sys.stderr)
     return 0
+
+
+# ---------------------------------------------------------------- worker
+
+def _cmd_worker(args) -> int:
+    import signal
+
+    from repro.dist.worker import WorkerNode
+    from repro.harness import faults
+
+    host, sep, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not sep or not host or not 0 < port < 65536:
+        raise ExperimentError(
+            f"--connect must be HOST:PORT, got {args.connect!r}")
+    validate_limits(jobs=args.jobs, heartbeat=args.heartbeat,
+                    retries=args.retries)
+    if args.connect_retries < 1:
+        raise ExperimentError(
+            f"--connect-retries must be >= 1, got {args.connect_retries}")
+    fault_plan = None
+    if args.fault_plan is not None:
+        fault_plan = _load_fault_plan(args.fault_plan)
+        faults.install(fault_plan)
+    node = WorkerNode(
+        host, port, name=args.name, cache_root=args.cache_dir,
+        jobs=args.jobs, heartbeat=args.heartbeat, retries=args.retries,
+        max_tasks_per_worker=args.max_tasks_per_worker,
+        reconnect=not args.no_reconnect,
+        connect_retries=args.connect_retries,
+        allow_crash=True,  # subprocess: injected crashes may os._exit
+        quiet=args.quiet)
+
+    def on_sigterm(_signum, _frame):
+        # Graceful drain: stop dialing, close the socket out from under
+        # the serve loop; the run() loop exits 0.
+        node.stop(timeout=0.0)
+
+    signal.signal(signal.SIGTERM, on_sigterm)
+    if not args.quiet:
+        print(f"worker {node.name}: connecting to {host}:{port} "
+              f"(cache: {node.executor.cache.root})", file=sys.stderr)
+    try:
+        return node.run()
+    finally:
+        if fault_plan is not None:
+            faults.uninstall()
 
 
 # ------------------------------------------------------------------ main
@@ -828,6 +967,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_fuzz(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
     except SuiteExecutionError as err:
         print(f"error: {err}", file=sys.stderr)
         return 3 if _render_guest_faults(err) else 2

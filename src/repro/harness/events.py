@@ -38,6 +38,10 @@ __all__ = [
     "ExecutorDegraded",
     "WorkerRecycled",
     "WarmCacheStats",
+    "NodeJoined",
+    "NodeLost",
+    "PlanRedispatched",
+    "DistStats",
     "SubscriberError",
     "SuiteFinished",
     "EventBus",
@@ -185,6 +189,60 @@ class WarmCacheStats(Event):
 
 
 @dataclass(frozen=True)
+class NodeJoined(Event):
+    """A remote worker node registered with the dispatcher.
+
+    ``rejoined`` is True when the node reconnected after a partition
+    and reconciled (or discarded) the results it was still holding."""
+
+    node: str = ""
+    addr: str = ""
+    slots: int = 1
+    rejoined: bool = False
+
+
+@dataclass(frozen=True)
+class NodeLost(Event):
+    """A remote worker node left the dispatcher.
+
+    ``reason`` discriminates how: ``"dead"`` (socket closed / reset —
+    the process is gone), ``"hung"`` (socket alive but heartbeats
+    silent past the node-heartbeat budget — the agent is wedged, its
+    connection is force-closed), ``"cut"`` (daemon-side injected socket
+    cut), ``"torn-frame"`` (the node sent an unparseable result frame)
+    or ``"drained"`` (graceful drain handshake completed).
+    ``redispatched`` counts the leases it was holding that were
+    immediately requeued."""
+
+    node: str = ""
+    reason: str = ""
+    redispatched: int = 0
+
+
+@dataclass(frozen=True)
+class PlanRedispatched(Event):
+    """A lease expired (or its node was lost) without a result; the
+    plan goes back on the pending queue for another node — or the
+    local fallback pool — after a seeded-jitter backoff."""
+
+    plan: ExperimentPlan = None
+    fingerprint: str = ""
+    from_node: str = ""
+    to_node: str = ""     # "" until the next dispatch picks a node
+    attempt: int = 1      # dispatch attempts so far for this plan
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class DistStats(Event):
+    """Aggregated dispatcher counters for one distributed run: nodes
+    seen, leases granted/expired, plans redispatched, duplicate results
+    dropped and plans that fell back to the local warm pool."""
+
+    stats: dict = None
+
+
+@dataclass(frozen=True)
 class SubscriberError(Event):
     """An event subscriber raised and was unsubscribed.
 
@@ -293,6 +351,26 @@ class ConsoleReporter:
                     f"{s.get('translation_reuse_hits', 0)} translation "
                     f"reuse hits, {s.get('blocks_preloaded', 0)} block "
                     f"sources preloaded")
+        elif isinstance(event, NodeJoined):
+            flavor = "rejoined" if event.rejoined else "joined"
+            text = (f"dist: node {event.node} {flavor} from {event.addr} "
+                    f"({event.slots} slot(s))")
+        elif isinstance(event, NodeLost):
+            text = f"dist: node {event.node} lost ({event.reason})"
+            if event.redispatched:
+                text += f", {event.redispatched} lease(s) requeued"
+        elif isinstance(event, PlanRedispatched):
+            dest = event.to_node or "pending"
+            text = (f"dist: redispatching {event.plan.describe()} "
+                    f"{event.from_node} -> {dest} "
+                    f"(attempt {event.attempt}, {event.reason})")
+        elif isinstance(event, DistStats):
+            s = event.stats or {}
+            text = (f"dist: {s.get('completed', 0)} plan(s) over "
+                    f"{s.get('nodes_seen', 0)} node(s), "
+                    f"{s.get('redispatched', 0)} redispatched, "
+                    f"{s.get('duplicates_dropped', 0)} duplicate(s) "
+                    f"dropped, {s.get('local_fallback', 0)} ran locally")
         elif isinstance(event, SubscriberError):
             text = (f"events: subscriber {event.subscriber} failed during "
                     f"{event.during} ({event.error}) — unsubscribed")
@@ -326,6 +404,12 @@ class TimingCollector:
         self.shard_fallbacks = 0
         self.workers_recycled = 0
         self.subscriber_errors = 0
+        self.nodes_joined = 0
+        self.nodes_lost = 0
+        self.redispatches = 0
+        #: Latest dispatcher counters (one DistStats per distributed
+        #: run; across runs the counters sum).
+        self.dist: dict[str, int] = {}
         #: Latest aggregated warm-cache counters (one WarmCacheStats is
         #: emitted per Executor.run; across runs the counters sum).
         self.warm: dict[str, int] = {}
@@ -363,6 +447,16 @@ class TimingCollector:
             self.workers_recycled += 1
         elif isinstance(event, SubscriberError):
             self.subscriber_errors += 1
+        elif isinstance(event, NodeJoined):
+            self.nodes_joined += 1
+        elif isinstance(event, NodeLost):
+            self.nodes_lost += 1
+        elif isinstance(event, PlanRedispatched):
+            self.redispatches += 1
+        elif isinstance(event, DistStats):
+            for key, value in (event.stats or {}).items():
+                if isinstance(value, (int, float)):
+                    self.dist[key] = self.dist.get(key, 0) + value
         elif isinstance(event, WarmCacheStats):
             for key, value in (event.stats or {}).items():
                 self.warm[key] = self.warm.get(key, 0) + value
@@ -385,5 +479,9 @@ class TimingCollector:
             "shard_fallbacks": self.shard_fallbacks,
             "workers_recycled": self.workers_recycled,
             "subscriber_errors": self.subscriber_errors,
+            "nodes_joined": self.nodes_joined,
+            "nodes_lost": self.nodes_lost,
+            "redispatches": self.redispatches,
+            "dist": dict(self.dist),
             "warm": dict(self.warm),
         }

@@ -439,6 +439,19 @@ def _mp_context():
     )
 
 
+def backoff_delay(failed_attempt: int, *, base: float, cap: float,
+                  rng: random.Random) -> float:
+    """Exponential backoff with seeded jitter: the wait before the
+    attempt after ``failed_attempt``. Shared by the executor's retry
+    policy, the dist dispatcher's cross-node redispatch and the worker
+    agent's reconnect loop, so every retry path in the system jitters
+    the same way."""
+    if base <= 0:
+        return 0.0
+    delay = min(base * (2 ** (failed_attempt - 1)), cap)
+    return delay * (0.5 + 0.5 * rng.random())
+
+
 def validate_limits(*, jobs: int | None = None, timeout: float | None = None,
                     heartbeat: float | None = None, retries: int = 0) -> None:
     """Reject invalid supervision knobs before any work (or journal) starts."""
@@ -711,11 +724,8 @@ class Executor:
     def _backoff_delay(self, failed_attempt: int) -> float:
         """Exponential backoff with seeded jitter: the wait before the
         attempt after ``failed_attempt``."""
-        if self.backoff <= 0:
-            return 0.0
-        delay = min(self.backoff * (2 ** (failed_attempt - 1)),
-                    self.backoff_cap)
-        return delay * (0.5 + 0.5 * self._rng.random())
+        return backoff_delay(failed_attempt, base=self.backoff,
+                             cap=self.backoff_cap, rng=self._rng)
 
     def _record_failure(self, reports, plan, attempt, message, transient,
                         seconds=0.0, fault=None, warm=None,

@@ -53,6 +53,23 @@ site                  checked by
                       with kind filters at the admission queue-full race
                       (``transient``) and the SSE writer (``hang``,
                       modelling a stalled client socket).
+``dist``                the remote-executor tier (:mod:`repro.dist`) — a
+                      multi-threaded site fired with *explicit points*
+                      (:func:`check_point` / :func:`corrupt_point` /
+                      :func:`fire_point`, matched against each spec's
+                      ``plan`` filter) so concurrent daemon threads and
+                      worker-node agents cannot race on the process
+                      context. Windows: ``connect:<node>`` (worker
+                      connect — ``transient`` models connect refused),
+                      ``register:<node>`` (daemon registration race,
+                      ``transient``), ``dispatch:<plan>`` (daemon-side
+                      ``transient`` = the node socket cut mid-plan),
+                      ``task:<plan>`` (worker per-task ``crash``/
+                      ``hang``/``transient``/``error`` — ``hang``
+                      models heartbeat silence), ``result:<plan>``
+                      (data kinds tear the result frame mid-wire;
+                      the site-specific ``duplicate`` kind replays the
+                      frame, exercising lease dedup).
 ``translate-compile``   block compilation in :mod:`repro.sim.blocks`
                       (``error``; exercises per-block demotion)
 ``semantics``           compiled-block wrapping in :mod:`repro.sim.blocks`
@@ -107,8 +124,11 @@ __all__ = [
     "set_context",
     "check",
     "check_daemon",
+    "check_point",
     "fire",
+    "fire_point",
     "corrupt",
+    "corrupt_point",
     "mutate_block",
     "KNOWN_SITES",
 ]
@@ -120,6 +140,10 @@ DATA_KINDS = ("truncate", "garble", "empty")
 #: Kinds that mutate compiled-block semantics (applied by
 #: :func:`mutate_block` at the ``semantics`` site).
 SEMANTIC_KINDS = ("skew",)
+#: Site-specific kinds of the ``dist`` tier: ``duplicate`` replays a
+#: result frame after the original was sent (the dispatcher must drop
+#: the copy by fingerprint — the lease-dedup proof).
+DIST_KINDS = ("duplicate",)
 
 #: Every injection site the harness wires up, mapped to the kinds that
 #: site can apply. :meth:`FaultPlan.validate` rejects specs outside this
@@ -131,6 +155,7 @@ KNOWN_SITES: dict[str, tuple[str, ...]] = {
     "shard": ACTION_KINDS + DATA_KINDS,
     "warm": ("transient", "error", "hang") + DATA_KINDS,
     "serve": ACTION_KINDS + DATA_KINDS,
+    "dist": ACTION_KINDS + DATA_KINDS + DIST_KINDS,
     "cache-result-write": DATA_KINDS,
     "cache-trace-write": DATA_KINDS,
     "cache-tmp-leftover": ("leftover",),
@@ -382,6 +407,48 @@ def check_daemon(site: str,
     _perform(spec, site)
 
 
+def fire_point(site: str, point: str, *, attempt: int = 0,
+               kinds: tuple[str, ...] | None = None) -> FaultSpec | None:
+    """Fire ``site`` with an *explicit* context instead of the
+    process-global one.
+
+    The ``dist`` tier is multi-threaded on both ends (daemon reader
+    threads, worker heartbeat threads), so the global
+    :func:`set_context` would race between components firing
+    concurrently. ``point`` is matched against each spec's ``plan``
+    substring filter — call sites tag themselves
+    (``"dispatch:<plan>"``, ``"result:<plan>"``, ...) and specs scope
+    to a window by filtering on the tag. ``in_worker`` is forced open:
+    every dist participant (daemon and node agents) is its own
+    supervised process."""
+    if _ACTIVE is None:
+        return None
+    return _ACTIVE.fire(site, plan=point, attempt=attempt,
+                        in_worker=True, kinds=kinds)
+
+
+def check_point(site: str, point: str, *, attempt: int = 0,
+                kinds: tuple[str, ...] | None = None) -> None:
+    """:func:`check` under an explicit ``point`` (see
+    :func:`fire_point`); ``kinds`` narrows which action kinds this call
+    site can perform."""
+    action = tuple(k for k in (kinds or ACTION_KINDS) if k in ACTION_KINDS)
+    spec = fire_point(site, point, attempt=attempt, kinds=action)
+    if spec is None:
+        return
+    _perform(spec, site)
+
+
+def corrupt_point(site: str, point: str, data: bytes, *,
+                  attempt: int = 0) -> bytes:
+    """:func:`corrupt` under an explicit ``point`` (see
+    :func:`fire_point`)."""
+    spec = fire_point(site, point, attempt=attempt, kinds=DATA_KINDS)
+    if spec is None:
+        return data
+    return _apply_corruption(spec, site, data)
+
+
 def mutate_block(fn, insts):
     """Fire the ``semantics`` site for a freshly compiled block function.
 
@@ -418,6 +485,10 @@ def corrupt(site: str, data: bytes) -> bytes:
     spec = fire(site, DATA_KINDS)
     if spec is None:
         return data
+    return _apply_corruption(spec, site, data)
+
+
+def _apply_corruption(spec: FaultSpec, site: str, data: bytes) -> bytes:
     if spec.kind == "truncate":
         return data[:len(data) // 2]
     if spec.kind == "empty":

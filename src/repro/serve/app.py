@@ -8,16 +8,20 @@ Architecture (all stdlib):
   non-blocking: admission is queue bookkeeping, status reads in-memory
   job records, artifacts read rendered files;
 - a single **dispatcher thread** pops jobs off the bounded priority
-  queue and runs them one at a time on a shared
-  ``Executor(persistent=True)`` — the warm worker pool outlives each
-  job, so the second request's plans land on workers that already hold
-  built workload images and translated blocks. (Jobs are serialized;
-  the *executor* parallelizes plans within a job across its workers.)
+  queue and runs them one at a time through the **distributed tier**
+  (:class:`repro.dist.dispatcher.Dispatcher`): with worker nodes
+  registered on the dist listener (``--dist-port``), a job's plans
+  scatter across them under journaled leases; with none, the job runs
+  on the shared local ``Executor(persistent=True)`` exactly as before
+  — and when the last node dies mid-job, the dispatcher degrades back
+  to that local warm pool rather than failing the job. (Jobs are
+  serialized; the dist/executor tier parallelizes plans within a job.)
 - every job is journaled (:class:`repro.serve.journal.JobJournal`)
-  before dispatch; the startup **recovery scan** re-enqueues unfinished
-  jobs, whose already-journaled plans are satisfied from the
-  content-addressed result cache — zero re-execution, byte-identical
-  artifacts;
+  at *admission* — a 202 means the submission is already durable, so a
+  drain or crash with jobs still queued loses nothing; the startup
+  **recovery scan** re-enqueues unfinished jobs, whose already-
+  journaled plans are satisfied from the content-addressed result
+  cache — zero re-execution, byte-identical artifacts;
 - **graceful drain** on SIGTERM (or ``POST /drain``): stop admitting
   (``/readyz`` 503, submissions 503), let in-flight work finish within
   ``drain_grace`` seconds, retire the worker pool, close SSE streams.
@@ -41,6 +45,7 @@ import time
 from pathlib import Path
 
 from repro.common.errors import ExperimentError, ReproError
+from repro.dist.dispatcher import Dispatcher
 from repro.harness import faults
 from repro.harness.cache import ResultCache
 from repro.harness.events import EventBus, TimingCollector
@@ -174,6 +179,14 @@ class ServeApp:
         drain_grace: seconds SIGTERM waits for in-flight work.
         sse_queue: per-SSE-client buffered events before a slow client
             is disconnected.
+        dist_port: TCP port for the remote-worker listener (0 = any
+            free port; None disables the distributed tier's listener —
+            jobs always run on the local pool).
+        lease_timeout: seconds a remotely dispatched plan may stay
+            unanswered before its lease expires and it is
+            re-dispatched.
+        node_heartbeat: silence budget before a connected-but-silent
+            node is declared hung and dropped.
     """
 
     def __init__(self, cache_root=None, *, jobs: int | None = None,
@@ -182,7 +195,10 @@ class ServeApp:
                  heartbeat: float | None = None,
                  max_tasks_per_worker: int = 0,
                  drain_grace: float = 10.0,
-                 sse_queue: int = 256):
+                 sse_queue: int = 256,
+                 dist_port: int | None = None,
+                 lease_timeout: float = 60.0,
+                 node_heartbeat: float = 5.0):
         self.cache = ResultCache(cache_root)
         self.bus = EventBus()
         self.timing = TimingCollector()
@@ -192,6 +208,11 @@ class ServeApp:
             jobs=jobs, cache=self.cache, events=self.bus, timeout=timeout,
             heartbeat=heartbeat, max_tasks_per_worker=max_tasks_per_worker,
             persistent=True)
+        self.dist_port = dist_port
+        self.dist_addr: tuple[str, int] | None = None
+        self.dispatcher = Dispatcher(
+            executor=self.executor, cache=self.cache, events=self.bus,
+            lease_timeout=lease_timeout, node_heartbeat=node_heartbeat)
         self.queue = JobQueue(queue_limit)
         self.quotas = Quotas(client_quota)
         self.broker = SSEBroker(sse_queue)
@@ -234,7 +255,10 @@ class ServeApp:
         Runs on the event loop, so everything here is bookkeeping —
         queue, quotas, coalescing — never execution."""
         if self.draining or not self._running:
-            return 503, {"error": "draining; not accepting jobs"}, {}
+            # Riders whose coalesced job drained away re-submit; give
+            # them the same backoff hint shedding gives.
+            return 503, {"error": "draining; not accepting jobs"}, {
+                "Retry-After": str(self.queue.retry_after())}
         try:
             params = canonical_params(doc.get("params", {}))
         except ExperimentError as err:
@@ -280,6 +304,18 @@ class ServeApp:
                 retry
         with self._jobs_lock:
             self.jobs[job.id] = job
+        # Journal at admission, not at dispatch: a 202 means the job is
+        # durable, so a drain (or crash) with this job still *queued*
+        # leaves it recoverable on the next start.
+        try:
+            journal = JobJournal.create(
+                self.cache.root, params,
+                total=len(suite_from_params(params)), run_id=job.id,
+                extra={"job": job.id, "client": job.client,
+                       "priority": job.priority})
+            journal.close()
+        except Exception:  # noqa: BLE001 — admission must not fail on
+            pass           # journal hiccups; dispatch re-creates it
         self._publish_job(job)
         return 202, {"job": job.id, "state": job.state,
                      "queue_depth": self.queue.depth()}, {}
@@ -342,6 +378,12 @@ class ServeApp:
     def _run_job(self, job: Job) -> None:
         remaining = job.remaining()
         if remaining is not None and remaining <= 0:
+            # Close out the admission-time journal: a shed job must not
+            # come back from the dead as a recovered one.
+            try:
+                JobJournal.load(self.cache.root, job.id).finish()
+            except ExperimentError:
+                pass
             self._finish_job(
                 job, "shed", error="deadline expired before dispatch")
             return
@@ -362,7 +404,10 @@ class ServeApp:
                 # executor's per-plan wall-clock budget.
                 self.executor.timeout = (remaining if remaining is not None
                                          else self.default_timeout)
-                results = self.executor.run(plans)
+                # The distributed tier: scatter across registered
+                # worker nodes under journaled leases; with zero nodes
+                # this is exactly executor.run(plans).
+                results = self.dispatcher.run(plans, journal=journal)
             finally:
                 self._current_job = ""
                 self.bus.unsubscribe(journal.subscriber)
@@ -394,11 +439,13 @@ class ServeApp:
                 journal.close()
 
     def _job_journal(self, job: Job, total: int) -> JobJournal:
-        if job.recovered:
-            try:
-                return JobJournal.load(self.cache.root, job.id)
-            except ExperimentError:
-                pass  # quarantined/corrupt: fall through to a fresh one
+        # Every job normally has an admission-time journal; recovered
+        # jobs have their original. A quarantined/corrupt (or, for a
+        # journal-hiccup admission, missing) one is replaced fresh.
+        try:
+            return JobJournal.load(self.cache.root, job.id)
+        except ExperimentError:
+            pass
         return JobJournal.create(
             self.cache.root, job.params, total=total, run_id=job.id,
             extra={"job": job.id, "client": job.client,
@@ -434,6 +481,7 @@ class ServeApp:
             "quotas": self.quotas.snapshot(),
             "pool_workers": len(self.executor._pool_workers),
             "sse_disconnected_slow": self.broker.disconnected_slow,
+            "dist": self.dispatcher.stats_doc(),
             "timing": self.timing.summary(),
         }
 
@@ -490,7 +538,17 @@ class ServeApp:
             # dispatcher still wedged in a job keeps its (daemonic)
             # workers, which die with the process. Its job is journaled
             # and recovers on the next start.
+            await self._call_blocking(self.dispatcher.close)
             await self._call_blocking(self.executor.close)
+        # Jobs still queued when the grace ran out: their admission-
+        # time journals are unfinished, so the next start recovers
+        # them. Unblock any in-process waiters/riders now.
+        for job in self.queue.drain_remaining():
+            job.error = ("drained before dispatch; journaled for "
+                         "restart recovery")
+            self.quotas.release(job.client)
+            job.done_event.set()
+            self._publish_job(job)
         self.broker.close_all()
         server.close()
         await server.wait_closed()
@@ -508,6 +566,9 @@ class ServeApp:
         self._drain_requested = asyncio.Event()
         self.broker.bind(loop)
         recovered = self.recover()
+        if self.dist_port is not None:
+            self.dist_addr = self.dispatcher.start_listener(
+                host, self.dist_port)
         self.start_dispatcher()
         server = await asyncio.start_server(self._handle, host, port)
         bound_port = server.sockets[0].getsockname()[1]
@@ -519,6 +580,8 @@ class ServeApp:
         if ready_file is not None:
             _write_atomic(Path(ready_file), json.dumps(
                 {"host": host, "port": bound_port, "pid": os.getpid(),
+                 "dist_port": (self.dist_addr[1]
+                               if self.dist_addr else None),
                  "recovered": recovered}) + "\n")
         self._ready = True
         if on_ready is not None:
@@ -602,6 +665,15 @@ class ServeApp:
                     "reason": "draining" if self.draining else "starting"})
         elif method == "GET" and path == "/stats":
             await _respond(writer, 200, self.stats_doc())
+        elif method == "GET" and path == "/nodes":
+            await _respond(writer, 200, self.dispatcher.stats_doc())
+        elif (method == "POST" and len(parts) == 3
+                and parts[0] == "nodes" and parts[2] == "drain"):
+            if self.dispatcher.drain_node(parts[1]):
+                await _respond(writer, 202, {"draining": parts[1]})
+            else:
+                await _respond(writer, 404, {
+                    "error": f"no live node {parts[1]!r}"})
         elif method == "POST" and path == "/drain":
             self.request_drain()
             await _respond(writer, 202, {"draining": True,

@@ -123,6 +123,15 @@ class ServeClient:
     def drain(self) -> dict:
         return self._json("POST", "/drain")
 
+    def nodes(self) -> dict:
+        """Distributed-tier status: registered nodes + counters."""
+        return self._json("GET", "/nodes")
+
+    def drain_node(self, name: str) -> dict:
+        """Gracefully drain one worker node (finish current task,
+        return leases, disconnect)."""
+        return self._json("POST", f"/nodes/{name}/drain")
+
     def events(self, job_id: str | None = None, *,
                max_events: int | None = None,
                time_budget: float | None = None):

@@ -3,13 +3,23 @@
 A :class:`JobJournal` is a :class:`~repro.harness.checkpoint.RunJournal`
 living under ``<cache_root>/serve/jobs/<job-id>.jsonl`` whose header
 additionally records the submission (client, priority, params). The
-dispatcher creates the journal *before* dispatching a job to the
-executor and appends one line per completed plan, so a ``kill -9`` of
-the daemon leaves, for every in-flight job, a journal naming exactly
-what was running; the restart recovery scan re-enqueues those jobs, and
-because plan results are content-addressed in the cache, resumed jobs
-re-execute nothing already journaled — rendering byte-identical
-artifacts.
+daemon creates the journal at *admission* — a 202 means the job is
+already durable, queued-but-never-dispatched jobs included — and
+appends one line per completed plan, so a ``kill -9`` of the daemon
+(or a drain with work still queued) leaves, for every incomplete job,
+a journal naming exactly what was accepted; the restart recovery scan
+re-enqueues those jobs, and because plan results are content-addressed
+in the cache, resumed jobs re-execute nothing already journaled —
+rendering byte-identical artifacts.
+
+The distributed tier adds *lease* lines: every remote dispatch is
+journaled (:meth:`JobJournal.record_lease`) **before** the task frame
+leaves the socket, and every settlement — result accepted, duplicate
+dropped, lease expired/requeued — is journaled after
+(:meth:`JobJournal.record_lease_result`). Lease lines use keys the
+base loader ignores (``"lease"`` / ``"lease_done"``), so journals stay
+readable by older code; :func:`lease_records` parses them back for
+audits and the dedup proofs in ``tests/test_dist.py``.
 
 ``FAULT_SITE = "serve"`` routes every appended line through
 :func:`repro.harness.faults.corrupt`, so chaos tests can tear job
@@ -19,9 +29,11 @@ headers and tolerates torn tails.
 
 from __future__ import annotations
 
+import json
+
 from repro.harness.checkpoint import RunJournal, unfinished_runs
 
-__all__ = ["JobJournal", "unfinished_jobs"]
+__all__ = ["JobJournal", "unfinished_jobs", "lease_records"]
 
 
 class JobJournal(RunJournal):
@@ -29,6 +41,46 @@ class JobJournal(RunJournal):
 
     SUBDIR = "serve/jobs"
     FAULT_SITE = "serve"
+
+    def record_lease(self, *, lease: str, fingerprint: str, node: str,
+                     attempt: int, expires_in: float) -> None:
+        """Journal a remote dispatch *before* it goes on the wire."""
+        self._append({"lease": lease, "fp": fingerprint, "node": node,
+                      "attempt": attempt,
+                      "expires_in": round(expires_in, 3)})
+
+    def record_lease_result(self, *, lease: str, status: str,
+                            node: str = "") -> None:
+        """Journal how a lease settled: ``ok``, ``failed``,
+        ``duplicate``, ``stale``, ``lease-expired`` or ``node-lost``."""
+        self._append({"lease_done": lease, "status": status,
+                      "node": node})
+
+
+def lease_records(cache_root, job_id: str
+                  ) -> tuple[list[dict], list[dict]]:
+    """Parse a job journal's lease lines: ``(grants, settlements)``.
+
+    Torn lines are skipped exactly like the base loader skips them."""
+    path = JobJournal.directory(cache_root) / f"{job_id}.jsonl"
+    grants: list[dict] = []
+    settlements: list[dict] = []
+    with path.open("r", encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(doc, dict):
+                continue
+            if "lease" in doc:
+                grants.append(doc)
+            elif "lease_done" in doc:
+                settlements.append(doc)
+    return grants, settlements
 
 
 def unfinished_jobs(cache_root) -> list[str]:

@@ -1,0 +1,530 @@
+"""Distributed tier tests: protocol framing, lease-based scatter,
+fault windows (connect refused, registration race, mid-plan socket cut,
+torn result frame, duplicate replay, heartbeat hang vs dead), graceful
+node drain, degrade-to-local, and the chaos headline — ``kill -9`` one
+of two real worker subprocesses mid-suite and require byte-identical
+artifacts with zero plans lost and zero double-counted, asserted
+against the lease journal.
+
+In-process tests share module-scoped *node* caches (execution is
+idempotent, so remote nodes answering from their own caches is the
+production behavior) but give every dispatcher a fresh daemon-side
+cache, so plans always actually go remote.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.harness import faults
+from repro.harness.cache import ResultCache
+from repro.harness.events import (DistStats, EventBus, NodeJoined, NodeLost,
+                                  PlanRedispatched)
+from repro.harness.executor import Executor
+from repro.harness.experiments import run_suite
+from repro.harness.faults import FaultPlan, FaultSpec
+from repro.harness.plan import plan_suite
+from repro.dist.dispatcher import Dispatcher
+from repro.dist.protocol import Framed, ProtocolError
+from repro.dist.worker import WorkerNode
+from repro.serve.app import assemble_suite, render_suite_artifacts
+from repro.serve.journal import (JobJournal, lease_records,
+                                 unfinished_jobs)
+
+SCALE = 0.02
+PARAMS = {"scale": SCALE, "workloads": ["stream"], "windowed": False,
+          "window_sizes": ()}
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture(scope="module")
+def plans():
+    return plan_suite(SCALE, workloads=("stream",), windowed=False)
+
+
+@pytest.fixture(scope="module")
+def expected_artifacts(tmp_path_factory):
+    """The byte-identity baseline: a direct serial run_suite rendering."""
+    cache = ResultCache(tmp_path_factory.mktemp("direct-cache"))
+    suite = run_suite(SCALE, workloads=("stream",), windowed=False,
+                      jobs=1, cache=cache, verbose=False)
+    return render_suite_artifacts(suite, windowed=False)
+
+
+@pytest.fixture(scope="module")
+def node_caches(tmp_path_factory):
+    """Each in-process node's own cache, shared across tests: the first
+    test pays the simulations, later ones are remote cache hits."""
+    return [tmp_path_factory.mktemp("node1"), tmp_path_factory.mktemp("node2")]
+
+
+@pytest.fixture
+def tier(tmp_path, node_caches):
+    """Factory for (dispatcher, nodes): fresh daemon cache per test,
+    module-shared node caches, full teardown."""
+    made = []
+
+    def _make(n_nodes=2, dispatcher_kw=None, node_kw=None, events=None):
+        executor = Executor(jobs=1, cache=ResultCache(tmp_path / "daemon"),
+                            persistent=True, events=events)
+        dispatcher = Dispatcher(
+            executor=executor,
+            **dict({"lease_timeout": 30.0, "node_heartbeat": 3.0},
+                   **(dispatcher_kw or {})))
+        host, port = dispatcher.start_listener()
+        nodes = [
+            WorkerNode(host, port, name=f"t{os.getpid()}-{len(made)}-{i}",
+                       cache_root=node_caches[i % len(node_caches)],
+                       **dict({"heartbeat": 0.5}, **(node_kw or {})))
+            for i in range(n_nodes)
+        ]
+        for node in nodes:
+            node.start_background()
+        if n_nodes:
+            assert dispatcher.wait_for_nodes(n_nodes, timeout=15.0), \
+                "worker nodes never registered"
+        made.append((dispatcher, executor, nodes))
+        return dispatcher, nodes
+
+    yield _make
+    for dispatcher, executor, nodes in made:
+        for node in nodes:
+            node.stop(timeout=5.0)
+        dispatcher.close()
+        executor.close()
+
+
+def rendered(results):
+    return render_suite_artifacts(assemble_suite(PARAMS, results),
+                                  windowed=False)
+
+
+def assert_leases_consistent(cache_root, job_id, *, plans):
+    """The exactly-once-accounting proof, read back from the journal.
+
+    Every granted lease settles at least once and no lease is granted
+    twice. A lease *may* settle more than once — a requeued lease whose
+    late replica still lands settles again as ``duplicate``/``stale`` —
+    but it is never accounted ``ok`` twice, and no plan fingerprint is
+    accounted ``ok`` through two different leases (zero double-counted).
+    """
+    grants, settlements = lease_records(cache_root, job_id)
+    granted = [doc["lease"] for doc in grants]
+    assert len(granted) == len(set(granted)), "a lease id was granted twice"
+    statuses: dict = {}
+    for doc in settlements:
+        statuses.setdefault(doc["lease_done"], []).append(doc["status"])
+    unsettled = [lease for lease in granted if lease not in statuses]
+    assert not unsettled, f"granted leases never settled: {unsettled}"
+    unknown = sorted(set(statuses) - set(granted))
+    assert not unknown, f"settlements for unknown leases: {unknown}"
+    fp_by_lease = {doc["lease"]: doc["fp"] for doc in grants}
+    for lease, outcomes in statuses.items():
+        assert outcomes.count("ok") <= 1, \
+            f"lease {lease} accounted ok twice: {outcomes}"
+    ok_fps = [fp_by_lease[lease] for lease, outcomes in statuses.items()
+              if "ok" in outcomes]
+    assert len(ok_fps) == len(set(ok_fps)), \
+        "a plan was accounted ok twice (double count)"
+    want = {plan.fingerprint() for plan in plans}
+    assert set(fp_by_lease.values()) <= want, \
+        "a lease names a fingerprint outside the suite"
+    return grants, settlements
+
+
+# ------------------------------------------------------------- protocol
+
+class TestProtocol:
+    def _pair(self):
+        a, b = socket.socketpair()
+        return Framed(a), Framed(b)
+
+    def test_roundtrip_and_interleaving(self):
+        a, b = self._pair()
+        a.send({"type": "x", "n": 1})
+        a.send({"type": "y", "n": 2})
+        assert b.recv(timeout=5.0) == {"type": "x", "n": 1}
+        assert b.recv(timeout=5.0) == {"type": "y", "n": 2}
+        a.close()
+        with pytest.raises(EOFError):
+            b.recv(timeout=5.0)
+        b.close()
+
+    def test_torn_frame_is_protocol_error(self):
+        a, b = self._pair()
+        a.send_raw(b'{"type": "result", "ok": tr')  # torn mid-token
+        with pytest.raises(ProtocolError):
+            b.recv(timeout=5.0)
+        a.close()
+        b.close()
+
+    def test_timeout_preserves_partial_frame(self):
+        a, b = self._pair()
+        a.sock.sendall(b'{"half": ')  # no newline yet
+        with pytest.raises(TimeoutError):
+            b.recv(timeout=0.1)
+        a.sock.sendall(b'1}\n')
+        assert b.recv(timeout=5.0) == {"half": 1}
+        a.close()
+        b.close()
+
+
+# -------------------------------------------------------- happy scatter
+
+class TestScatter:
+    def test_zero_nodes_is_exactly_local(self, tmp_path, plans,
+                                         expected_artifacts):
+        executor = Executor(jobs=1, cache=ResultCache(tmp_path / "c"),
+                            persistent=True)
+        dispatcher = Dispatcher(executor=executor)
+        try:
+            results = dispatcher.run(plans)
+            assert rendered(results) == expected_artifacts
+            assert dispatcher.counters["dispatched"] == 0
+        finally:
+            executor.close()
+
+    def test_two_nodes_byte_identical(self, tier, plans,
+                                      expected_artifacts):
+        dispatcher, _nodes = tier()
+        results = dispatcher.run(plans)
+        assert list(results) == list(plans)  # input order preserved
+        assert rendered(results) == expected_artifacts
+        assert dispatcher.counters["completed"] == len(plans)
+        assert dispatcher.counters["local_fallback"] == 0
+
+    def test_lease_journaled_before_dispatch(self, tier, tmp_path, plans,
+                                             expected_artifacts):
+        dispatcher, _nodes = tier()
+        journal = JobJournal.create(tmp_path / "daemon", PARAMS,
+                                    total=len(plans), run_id="job-lease")
+        results = dispatcher.run(plans, journal=journal)
+        journal.finish()
+        assert rendered(results) == expected_artifacts
+        grants, _settlements = assert_leases_consistent(
+            tmp_path / "daemon", "job-lease", plans=plans)
+        assert len(grants) == dispatcher.counters["dispatched"]
+
+    def test_dist_stats_event_emitted(self, tier, plans):
+        bus = EventBus()
+        stats = []
+        bus.subscribe(lambda e: stats.append(e)
+                      if isinstance(e, DistStats) else None)
+        dispatcher, _nodes = tier(events=bus)
+        dispatcher.run(plans)
+        assert len(stats) == 1
+        assert stats[0].stats["completed"] == len(plans)
+
+
+# ------------------------------------------------------- fault windows
+
+class TestFaultWindows:
+    def test_daemon_side_socket_cut_redispatches(self, tier, tmp_path,
+                                                 plans,
+                                                 expected_artifacts):
+        """The frame left the daemon; the connection dies before any
+        result comes back. The lease must be redispatched and the
+        artifacts must not notice."""
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(e)
+                      if isinstance(e, (NodeLost, PlanRedispatched))
+                      else None)
+        dispatcher, _nodes = tier(events=bus)
+        journal = JobJournal.create(tmp_path / "daemon", PARAMS,
+                                    total=len(plans), run_id="job-cut")
+        faults.install(FaultPlan([FaultSpec(
+            site="dist", kind="transient",
+            plan=f"dispatch:{plans[0].describe()}", at=(1,))]))
+        try:
+            results = dispatcher.run(plans, journal=journal)
+        finally:
+            faults.uninstall()
+        journal.finish()
+        assert rendered(results) == expected_artifacts
+        assert dispatcher.counters["nodes_lost"] >= 1
+        assert any(isinstance(e, NodeLost) and e.reason == "cut"
+                   for e in seen)
+        assert any(isinstance(e, PlanRedispatched) for e in seen)
+        assert_leases_consistent(tmp_path / "daemon", "job-cut",
+                                 plans=plans)
+
+    def test_duplicate_result_replay_deduped(self, tier, tmp_path, plans,
+                                             expected_artifacts):
+        dispatcher, _nodes = tier()
+        journal = JobJournal.create(tmp_path / "daemon", PARAMS,
+                                    total=len(plans), run_id="job-dup")
+        faults.install(FaultPlan([FaultSpec(
+            site="dist", kind="duplicate",
+            plan=f"result:{plans[0].describe()}", at=(1,))]))
+        try:
+            results = dispatcher.run(plans, journal=journal)
+        finally:
+            faults.uninstall()
+        journal.finish()
+        assert rendered(results) == expected_artifacts
+        assert dispatcher.counters["duplicates_dropped"] >= 1
+        assert dispatcher.counters["completed"] == len(plans)
+        assert_leases_consistent(tmp_path / "daemon", "job-dup",
+                                 plans=plans)
+
+    def test_torn_result_frame_recovers(self, tier, plans,
+                                        expected_artifacts):
+        """A result frame torn on the wire faults the stream; the
+        worker's buffered intact copy reconciles on reconnect (or the
+        lease redispatches) — either way, bytes identical."""
+        dispatcher, _nodes = tier()
+        faults.install(FaultPlan([FaultSpec(
+            site="dist", kind="truncate",
+            plan=f"result:{plans[0].describe()}", at=(1,))]))
+        try:
+            results = dispatcher.run(plans)
+        finally:
+            faults.uninstall()
+        assert rendered(results) == expected_artifacts
+        assert dispatcher.counters["nodes_lost"] >= 1
+        assert dispatcher.counters["completed"] == len(plans)
+
+    def test_hang_vs_dead_discrimination(self, tier, plans,
+                                         expected_artifacts):
+        """A wedged node keeps its socket open but stops beating: the
+        dispatcher must call it *hung* (not dead) and redispatch."""
+        bus = EventBus()
+        lost = []
+        bus.subscribe(lambda e: lost.append(e)
+                      if isinstance(e, NodeLost) else None)
+        dispatcher, _nodes = tier(
+            events=bus, dispatcher_kw={"node_heartbeat": 2.0},
+            node_kw={"reconnect": False})
+        faults.install(FaultPlan([FaultSpec(
+            site="dist", kind="hang",
+            plan=f"task:{plans[0].describe()}", at=(1,), seconds=60.0)]))
+        try:
+            results = dispatcher.run(plans)
+        finally:
+            faults.uninstall()
+        assert rendered(results) == expected_artifacts
+        assert [e.reason for e in lost].count("hung") == 1
+
+    def test_dead_node_detected_immediately(self, tier, plans):
+        """EOF/reset is *dead* — no heartbeat budget burned."""
+        bus = EventBus()
+        lost = []
+        bus.subscribe(lambda e: lost.append(e)
+                      if isinstance(e, NodeLost) else None)
+        dispatcher, nodes = tier(events=bus)
+        nodes[0].stop(timeout=5.0)  # closes the socket under the daemon
+        deadline = time.monotonic() + 5.0
+        while not lost and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert [e.reason for e in lost] == ["dead"]
+
+    def test_registration_race_retries_and_joins(self, tier):
+        dispatcher, nodes = tier(n_nodes=0)
+        name = "racer"
+        faults.install(FaultPlan([FaultSpec(
+            site="dist", kind="transient", plan=f"register:{name}",
+            at=(1,))]))
+        try:
+            node = WorkerNode(*dispatcher._listener.getsockname()[:2],
+                              name=name, heartbeat=0.5)
+            nodes.append(node)  # fixture teardown
+            node.start_background()
+            assert dispatcher.wait_for_nodes(1, timeout=15.0)
+        finally:
+            faults.uninstall()
+        node.stop(timeout=5.0)
+
+    def test_connect_refused_backs_off_and_retries(self, tier):
+        dispatcher, nodes = tier(n_nodes=0)
+        name = "dialer"
+        faults.install(FaultPlan([FaultSpec(
+            site="dist", kind="transient", plan=f"connect:{name}",
+            at=(1,))]))
+        try:
+            node = WorkerNode(*dispatcher._listener.getsockname()[:2],
+                              name=name, heartbeat=0.5)
+            nodes.append(node)
+            node.start_background()
+            assert dispatcher.wait_for_nodes(1, timeout=15.0)
+        finally:
+            faults.uninstall()
+        node.stop(timeout=5.0)
+
+
+# ---------------------------------------------- drain / degrade / serve
+
+class TestDrainAndDegrade:
+    def test_graceful_node_drain(self, tier, plans, expected_artifacts):
+        bus = EventBus()
+        lost = []
+        bus.subscribe(lambda e: lost.append(e)
+                      if isinstance(e, NodeLost) else None)
+        dispatcher, nodes = tier(events=bus)
+        assert dispatcher.drain_node(nodes[0].name) is True
+        # wait for both ends: the worker's farewell AND the daemon
+        # processing it (the worker flags `drained` before the daemon
+        # reads the frame)
+        deadline = time.monotonic() + 10.0
+        while ((not nodes[0].drained or not lost)
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        assert nodes[0].drained
+        assert [e.reason for e in lost] == ["drained"]
+        assert dispatcher.drain_node("nonexistent") is False
+        # the suite still completes on the remaining node
+        results = dispatcher.run(plans)
+        assert rendered(results) == expected_artifacts
+
+    def test_last_node_dies_degrades_to_local(self, tier, plans,
+                                              expected_artifacts):
+        """Degrade, never fail: both nodes cut mid-suite, no reconnect
+        — the daemon's local pool finishes the suite byte-identically."""
+        dispatcher, _nodes = tier(node_kw={"reconnect": False})
+        faults.install(FaultPlan([FaultSpec(
+            site="dist", kind="transient", plan="dispatch:",
+            at=(1, 2))]))
+        try:
+            results = dispatcher.run(plans)
+        finally:
+            faults.uninstall()
+        assert rendered(results) == expected_artifacts
+        assert dispatcher.counters["nodes_lost"] == 2
+        assert dispatcher.counters["local_fallback"] >= 1
+
+    def test_node_joined_rejoined_flags(self, tier, plans):
+        bus = EventBus()
+        joined = []
+        bus.subscribe(lambda e: joined.append(e)
+                      if isinstance(e, NodeJoined) else None)
+        dispatcher, _nodes = tier(events=bus)
+        deadline = time.monotonic() + 10.0
+        while len(joined) < 2 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert sorted(e.rejoined for e in joined) == [False, False]
+        faults.install(FaultPlan([FaultSpec(
+            site="dist", kind="transient",
+            plan=f"dispatch:{plans[0].describe()}", at=(1,))]))
+        try:
+            dispatcher.run(plans)
+        finally:
+            faults.uninstall()
+        deadline = time.monotonic() + 10.0
+        while len(joined) < 3 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert any(e.rejoined for e in joined[2:]), \
+            "the cut node never re-registered as a rejoin"
+
+
+# ------------------------------------------------------- chaos headline
+
+class TestChaosKillWorker:
+    """The acceptance headline: two real worker subprocesses, one
+    ``kill -9``ed mid-suite. The suite must complete byte-identical to
+    a serial run with zero plans lost and zero double-counted —
+    asserted against the lease journal, not just the artifacts."""
+
+    def _spawn(self, args, cache_dir):
+        import repro
+        from pathlib import Path
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ, REPRO_ISA_CACHE_DIR=str(cache_dir))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.harness.cli"] + args,
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+
+    def test_sigkill_worker_mid_suite(self, tmp_path, plans,
+                                      expected_artifacts):
+        from repro.serve.client import ServeClient
+
+        cache_dir = tmp_path / "cache"
+        ready = tmp_path / "ready.json"
+        daemon = self._spawn(
+            ["serve", "--port", "0", "--jobs", "1", "--dist-port", "0",
+             "--lease-timeout", "30", "--node-heartbeat", "3",
+             "--ready-file", str(ready), "--quiet"], cache_dir)
+        workers = []
+        try:
+            deadline = time.monotonic() + 60.0
+            while not ready.exists():
+                if daemon.poll() is not None:
+                    raise AssertionError(
+                        "daemon died at startup: "
+                        + daemon.stderr.read().decode("utf-8", "replace"))
+                assert time.monotonic() < deadline, "daemon never ready"
+                time.sleep(0.05)
+            info = json.loads(ready.read_text())
+            assert info["dist_port"], "daemon did not open a dist port"
+            for i in (1, 2):
+                workers.append(self._spawn(
+                    ["worker", "--connect",
+                     f"{info['host']}:{info['dist_port']}",
+                     "--name", f"chaos-{i}",
+                     "--cache-dir", str(tmp_path / f"node{i}"),
+                     "--quiet"], cache_dir))
+            client = ServeClient(info["host"], info["port"])
+            deadline = time.monotonic() + 60.0
+            while client.nodes()["live"] < 2:
+                assert time.monotonic() < deadline, "workers never joined"
+                time.sleep(0.05)
+
+            job_id = client.submit(PARAMS, client="chaos")["job"]
+            # kill -9 one worker once at least one plan has settled and
+            # the suite is still in flight
+            deadline = time.monotonic() + 300.0
+            while time.monotonic() < deadline:
+                _grants, settlements = lease_records(cache_dir, job_id)
+                if any(doc["status"] == "ok" for doc in settlements):
+                    break
+                time.sleep(0.02)
+            else:
+                raise AssertionError("no lease settled ok within 300s")
+            workers[0].send_signal(signal.SIGKILL)
+            workers[0].wait(30)
+
+            job = client.wait(job_id, timeout=600.0)
+            assert job["state"] == "done", job
+            nodes_doc = client.nodes()
+            assert nodes_doc["counters"]["nodes_lost"] >= 1, \
+                "the dispatcher never observed the killed node"
+
+            # zero lost, zero double-counted: every granted lease
+            # settled, every plan was actually dispatched, no plan
+            # accounted ok twice (the helper asserts dedup)
+            grants, _settlements = assert_leases_consistent(
+                cache_dir, job_id, plans=plans)
+            want = {plan.fingerprint() for plan in plans}
+            assert {doc["fp"] for doc in grants} == want, \
+                "some plan never appeared in the lease ledger"
+
+            # byte-identical to the direct serial rendering
+            for name, text in expected_artifacts.items():
+                assert client.artifact(job_id, name) == text, name
+
+            workers[1].send_signal(signal.SIGTERM)
+            assert workers[1].wait(30) == 0, \
+                "surviving worker did not drain cleanly on SIGTERM"
+            client.drain()
+            assert daemon.wait(60) == 0
+            assert job_id not in unfinished_jobs(cache_dir), \
+                "a done job's journal was left unfinished"
+        finally:
+            for proc in [daemon] + workers:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(30)

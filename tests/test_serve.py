@@ -357,6 +357,41 @@ class TestRecovery:
             with open(path, "rb") as fh:
                 assert fh.read() == expected[name].encode("utf-8"), name
 
+    def test_drain_with_queued_jobs_recovers_on_restart(self, make_app,
+                                                        tmp_path):
+        """A drain with jobs still queued loses nothing: the 202 was
+        already durable (journal written at admission), so the queued —
+        never dispatched — jobs survive as unfinished journals and the
+        next start recovers and runs them."""
+        cache_dir = tmp_path / "cache"
+        app = make_app(cache_dir=cache_dir, queue_limit=8)
+        app._running = True   # admitting; the dispatcher never starts
+        queued = [
+            submitted_job(app, app.submit(
+                {"params": dict(PARAMS, scale=scale),
+                 "client": "drainee"}))
+            for scale in (0.02, 0.04)
+        ]
+        # admission-time durability: journal headers exist while the
+        # jobs are still queued, before any dispatch
+        assert sorted(unfinished_jobs(cache_dir)) == sorted(
+            job.id for job in queued)
+
+        app.request_drain()   # the POST /drain / SIGTERM path
+        status, body, headers = app.submit({"params": PARAMS})
+        assert status == 503, body
+        assert int(headers["Retry-After"]) >= 1   # backoff hint surfaced
+
+        second = make_app(cache_dir=cache_dir, queue_limit=8)
+        second._running = True
+        assert sorted(second.recover()) == sorted(j.id for j in queued)
+        second.start_dispatcher()
+        for job in queued:
+            revived = second.jobs[job.id]
+            assert revived.recovered
+            assert wait_done(revived).state == "done"
+        assert unfinished_jobs(cache_dir) == []
+
     def test_recovery_stops_at_full_queue(self, make_app, tmp_path):
         cache_dir = tmp_path / "cache"
         for scale in (0.11, 0.12, 0.13):

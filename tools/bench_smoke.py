@@ -47,6 +47,16 @@ kill (docs/serve.md)::
 
     PYTHONPATH=src python tools/bench_smoke.py --serve-only
 
+With ``--dist-only`` it runs the distributed-tier chaos smoke (its own
+CI job): start the daemon with ``--dist-port``, attach two real
+``repro worker`` subprocesses, submit the full suite, SIGKILL one
+worker mid-suite, and require the job to finish with artifacts
+byte-identical to a direct ``run_suite`` rendering — the dispatcher
+must observe the node loss, redispatch its leases, and lose or
+double-count nothing (docs/dist.md)::
+
+    PYTHONPATH=src python tools/bench_smoke.py --dist-only
+
 Full numbers live in ``benchmarks/BENCH_emucore.json``; regenerate them
 with ``benchmarks/bench_emucore.py`` when the core changes.
 """
@@ -378,9 +388,149 @@ def _serve_smoke() -> int:
     return 0
 
 
+def _dist_smoke() -> int:
+    """SIGKILL one of two worker nodes mid-suite; the dispatcher must
+    redispatch its leases and finish byte-identical to a direct run."""
+    import json
+    import os
+    import signal
+    import subprocess
+    import tempfile
+
+    from repro.harness.cache import ResultCache
+    from repro.harness.experiments import run_suite
+    from repro.serve.app import render_suite_artifacts
+    from repro.serve.client import ServeClient
+    from repro.serve.journal import lease_records, unfinished_jobs
+    from repro.workloads import ALL_WORKLOADS
+
+    workloads = sorted(ALL_WORKLOADS)
+    params = {"scale": SCALE, "workloads": workloads, "windowed": False}
+    total_plans = len(workloads) * 4  # 2 ISAs x 2 compiler profiles
+    src = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+    def env_for(cache_dir):
+        env = dict(os.environ, REPRO_ISA_CACHE_DIR=str(cache_dir))
+        env["PYTHONPATH"] = (str(src) + os.pathsep
+                             + env.get("PYTHONPATH", ""))
+        return env
+
+    with tempfile.TemporaryDirectory(prefix="dist-smoke-") as tmp:
+        tmp = pathlib.Path(tmp)
+        cache_dir = tmp / "cache"
+        ready_file = tmp / "ready.json"
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro.harness.cli", "serve",
+             "--port", "0", "--jobs", "2", "--queue-limit", "8",
+             "--dist-port", "0", "--lease-timeout", "30",
+             "--node-heartbeat", "3",
+             "--ready-file", str(ready_file), "--quiet"],
+            env=env_for(cache_dir))
+        workers: list[subprocess.Popen] = []
+        try:
+            deadline = time.monotonic() + 60.0
+            while not ready_file.exists():
+                if daemon.poll() is not None or \
+                        time.monotonic() > deadline:
+                    raise RuntimeError("serve daemon failed to start")
+                time.sleep(0.05)
+            info = json.loads(ready_file.read_text())
+            client = ServeClient(info["host"], info["port"])
+            for i in (1, 2):
+                workers.append(subprocess.Popen(
+                    [sys.executable, "-m", "repro.harness.cli", "worker",
+                     "--connect", f"{info['host']}:{info['dist_port']}",
+                     "--name", f"smoke-node-{i}",
+                     "--cache-dir", str(tmp / f"node{i}"), "--quiet"],
+                    env=env_for(cache_dir)))
+            deadline = time.monotonic() + 60.0
+            while client.nodes()["live"] < 2:
+                if time.monotonic() > deadline:
+                    raise RuntimeError("worker nodes failed to register")
+                time.sleep(0.05)
+            print("OK: daemon up with 2 registered worker nodes")
+
+            job_id = client.submit(params, client="smoke")["job"]
+            deadline = time.monotonic() + 600.0
+            while client.nodes()["counters"]["completed"] < 2:
+                if time.monotonic() > deadline:
+                    raise RuntimeError("no remote plan completed in time")
+                time.sleep(0.05)
+            workers[0].send_signal(signal.SIGKILL)
+            print("OK: one worker node SIGKILLed mid-suite")
+
+            job = client.wait(job_id, timeout=900.0)
+            if job["state"] != "done":
+                print(f"FAIL: job finished {job['state']!r}: "
+                      f"{job.get('error', '')}", file=sys.stderr)
+                return 1
+            nodes = client.nodes()
+            if nodes["counters"]["nodes_lost"] < 1:
+                print("FAIL: dispatcher never observed the killed node",
+                      file=sys.stderr)
+                return 1
+            print(f"OK: suite completed after the node loss "
+                  f"(counters: {nodes['counters']})")
+
+            grants, settlements = lease_records(cache_dir, job_id)
+            settled = {doc["lease_done"] for doc in settlements}
+            unsettled = [doc["lease"] for doc in grants
+                         if doc["lease"] not in settled]
+            ok_leases = [doc for doc in settlements
+                         if doc["status"] == "ok"]
+            if unsettled:
+                print(f"FAIL: {len(unsettled)} lease(s) never settled: "
+                      f"{unsettled}", file=sys.stderr)
+                return 1
+            if len(ok_leases) != len({doc["lease_done"]
+                                      for doc in ok_leases}):
+                print("FAIL: a lease settled ok twice (double count)",
+                      file=sys.stderr)
+                return 1
+            print(f"OK: all {len(grants)} journaled leases settled "
+                  f"exactly once ({len(ok_leases)} ok)")
+
+            suite = run_suite(SCALE, workloads=tuple(workloads),
+                              windowed=False, jobs=1,
+                              cache=ResultCache(cache_dir))
+            expected = render_suite_artifacts(suite, windowed=False)
+            for name, text in sorted(expected.items()):
+                if client.artifact(job_id, name) != text:
+                    print(f"FAIL: {name} differs from the direct "
+                          f"run_suite rendering", file=sys.stderr)
+                    return 1
+            print(f"OK: all {len(expected)} artifacts byte-identical "
+                  f"to a direct run ({total_plans} plans)")
+
+            workers[1].send_signal(signal.SIGTERM)
+            if workers[1].wait(30) != 0:
+                print("FAIL: surviving worker did not drain cleanly on "
+                      "SIGTERM", file=sys.stderr)
+                return 1
+            print("OK: surviving worker drained cleanly on SIGTERM")
+            client.drain()
+            if daemon.wait(60) != 0:
+                print("FAIL: daemon did not drain cleanly",
+                      file=sys.stderr)
+                return 1
+            if unfinished_jobs(cache_dir):
+                print("FAIL: unfinished jobs remain after a clean drain",
+                      file=sys.stderr)
+                return 1
+            print("OK: clean drain left no unfinished jobs")
+        finally:
+            for proc in [daemon] + workers:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(30)
+    return 0
+
+
 def main() -> int:
     if "--serve-only" in sys.argv[1:]:
         return _serve_smoke()
+    if "--dist-only" in sys.argv[1:]:
+        return _dist_smoke()
     workload = get_workload("stream", SCALE)
     compiled = workload.compile("rv64", "gcc12")
     isa = get_isa(compiled.isa_name)
